@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows next to the paper's published values, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+report generator.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print an experiment block (visible with ``-s`` / on failures)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}")

@@ -1,0 +1,34 @@
+"""Adaptive (observation-only) agent vs static and model-guided.
+
+The paper's agent only receives execution information from the runtimes;
+it never knows arithmetic intensities.  This benchmark shows a feedback
+hill climber recovering nearly all of the spec-aware (model-guided)
+agent's gain over static fair share.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_adaptive_agent
+
+
+def test_bench_adaptive_agent(benchmark):
+    res = benchmark.pedantic(
+        run_adaptive_agent, kwargs={"duration": 0.5}, rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Observation-only adaptive agent (mem + comp mix)",
+        render_table(
+            ["policy", "GFLOPS"],
+            [
+                ["static fair share", res.static_gflops],
+                ["adaptive (no specs)", res.adaptive_gflops],
+                ["model-guided (oracle)", res.model_guided_gflops],
+            ],
+        )
+        + f"\nmoves kept/reverted: {res.moves_kept}/{res.moves_reverted}"
+        f"\nfinal split: {res.adaptive_final_split}",
+    )
+    assert res.adaptive_vs_static > 1.3
+    assert res.adaptive_vs_oracle > 0.9

@@ -1,0 +1,35 @@
+"""Section II's tightest integration: cache handoff between applications.
+
+"with even tighter integration, we might be able to not just move the
+threads, but also make sure that the core that wrote the data ... also
+starts processing the data inside the other application, enabling cache
+reuse."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_cache_handoff
+
+
+def test_bench_cache_handoff(benchmark):
+    res = benchmark.pedantic(run_cache_handoff, rounds=1, iterations=1)
+    emit(
+        "Producer->consumer cache handoff (Section II tight integration)",
+        render_table(
+            ["configuration", "completion time [s]"],
+            [
+                ["handoff (co-located + warm LLC)", res.handoff_time],
+                [
+                    "co-located, cache model off",
+                    res.colocated_no_cache_time,
+                ],
+                ["separate nodes", res.separate_nodes_time],
+            ],
+        )
+        + f"\nconsumer LLC hit rate: {res.cache_hit_rate * 100:.0f}%"
+        f"\ncache-only speedup {res.cache_speedup:.2f}x, "
+        f"total {res.total_speedup:.2f}x",
+    )
+    assert res.cache_speedup > 1.2
+    assert res.total_speedup > 2.0

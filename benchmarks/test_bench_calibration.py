@@ -1,0 +1,40 @@
+"""Section III-B: calibrating machine parameters from a measured run.
+
+The paper "estimate[s] the parameters of the machine from the measured
+performance of the application" in the even scenario.  The benchmark runs
+that procedure against the simulated Skylake and checks the recovered
+parameters.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_calibration
+
+
+def test_bench_calibration(benchmark):
+    res = benchmark.pedantic(
+        run_calibration, kwargs={"duration": 0.3}, rounds=1, iterations=1
+    )
+    emit(
+        "Machine calibration from the even-allocation run (Sec. III-B)",
+        render_table(
+            ["parameter", "true", "estimated", "error [%]"],
+            [
+                [
+                    "peak GFLOPS/thread",
+                    res.true_peak,
+                    res.est_peak,
+                    res.peak_error * 100,
+                ],
+                [
+                    "node bandwidth GB/s",
+                    res.true_bandwidth,
+                    res.est_bandwidth,
+                    res.bandwidth_error * 100,
+                ],
+            ],
+        ),
+    )
+    assert res.peak_error < 0.02
+    assert res.bandwidth_error < 0.02

@@ -1,0 +1,38 @@
+"""Section V: on-node gains across a cluster, barrier vs loose sync.
+
+"If the code requires a barrier ... the benefit of speeding up the
+iteration body on some of the nodes is rather limited. If the
+synchronization is loose ... most of the local speedup should translate
+to overall speedup."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_distributed
+
+
+def test_bench_distributed(benchmark):
+    res = benchmark.pedantic(
+        run_distributed,
+        kwargs={"num_ranks": 8, "iterations": 30},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p, w, res.makespan(p, w)]
+        for p in ("static-exclusive", "static-split", "dynamic")
+        for w in ("barrier", "taskbag")
+    ]
+    emit(
+        "Distributed partitioning x synchronisation (Section V)",
+        render_table(["partition", "workload", "makespan [s]"], rows),
+    )
+    dyn_bag = res.makespan("dynamic", "taskbag")
+    split_bag = res.makespan("static-split", "taskbag")
+    dyn_bar = res.makespan("dynamic", "barrier")
+    split_bar = res.makespan("static-split", "barrier")
+    # Loose synchronisation: dynamic sharing clearly wins.
+    assert dyn_bag < split_bag
+    # Barrier code keeps much less of the gain.
+    assert (split_bag / dyn_bag) > (split_bar / dyn_bar)

@@ -1,0 +1,44 @@
+"""Figure 1: the agent architecture on the producer-consumer scenario.
+
+Reproduces the finding of the authors' earlier experiments [10] that the
+architecture's clear win is the reduction in intermediate data, with only
+marginal wall-clock impact.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_fig1_agent
+
+
+def test_bench_fig1_agent(benchmark):
+    res = benchmark.pedantic(run_fig1_agent, rounds=1, iterations=1)
+    emit(
+        "Figure 1 - agent-coordinated producer/consumer",
+        render_table(
+            ["configuration", "time [s]", "peak intermediate items"],
+            [
+                [
+                    "no agent (OS only)",
+                    res.time_without_agent,
+                    res.peak_items_without_agent,
+                ],
+                [
+                    "with agent",
+                    res.time_with_agent,
+                    res.peak_items_with_agent,
+                ],
+            ],
+        )
+        + f"\nagent rounds: {res.agent_rounds}, "
+        f"commands issued: {res.agent_commands}",
+    )
+    # Clear storage benefit...
+    assert res.peak_items_with_agent < res.peak_items_without_agent / 1.5
+    # ...and only marginal performance impact (paper: "a few percent",
+    # sometimes none).
+    delta = (
+        abs(res.time_with_agent - res.time_without_agent)
+        / res.time_without_agent
+    )
+    assert delta < 0.25

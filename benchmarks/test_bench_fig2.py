@@ -1,0 +1,24 @@
+"""Figure 2: the three allocation scenarios (254 / 140 / 128 GFLOPS)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_fig2
+
+
+def test_bench_fig2(benchmark):
+    results = benchmark(run_fig2)
+    emit(
+        "Figure 2 - allocation scenarios on the model machine",
+        render_table(
+            ["scenario", "GFLOPS (ours)", "GFLOPS (paper)"],
+            [[r.name, r.gflops, r.paper_gflops] for r in results],
+        ),
+    )
+    by_name = {r.name: r.gflops for r in results}
+    assert by_name["a) uneven (1,1,1,5)"] == pytest.approx(254.0)
+    assert by_name["b) even (2,2,2,2)"] == pytest.approx(140.0)
+    assert by_name["c) node-exclusive"] == pytest.approx(128.0)
+    # Paper's qualitative ordering for NUMA-perfect apps.
+    g = [r.gflops for r in results]
+    assert g[0] > g[1] > g[2]

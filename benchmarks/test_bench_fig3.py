@@ -1,0 +1,25 @@
+"""Figure 3: the NUMA-bad example (even 138 vs node-exclusive 150)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_fig3
+
+
+def test_bench_fig3(benchmark):
+    results = benchmark(run_fig3)
+    emit(
+        "Figure 3 - NUMA-bad application example",
+        render_table(
+            ["allocation", "GFLOPS (ours)", "GFLOPS (paper)"],
+            [[r.name, r.gflops, r.paper_gflops] for r in results],
+        ),
+    )
+    even, exclusive = results
+    assert even.gflops == pytest.approx(138.75)
+    assert exclusive.gflops == pytest.approx(150.0)
+    # The paper's headline: the ordering flips versus Figure 2 — with a
+    # NUMA-bad app, dedicating whole (data-local) nodes wins.
+    assert exclusive.gflops > even.gflops
+    for r in results:
+        assert abs(r.relative_error) < 0.01

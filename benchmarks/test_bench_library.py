@@ -1,0 +1,32 @@
+"""Tight integration: shifting cores to a delegated "library" app.
+
+Section II's scenario: "quickly shifting resources to the 'library'
+application when it is called could improve efficiency. Similarly, when
+the 'library' finishes, we can quickly free up the CPU cores."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_library_shift
+
+
+def test_bench_library_shift(benchmark):
+    res = benchmark.pedantic(
+        run_library_shift, kwargs={"phases": 10}, rounds=1, iterations=1
+    )
+    emit(
+        "Main + library composition (Section II tight integration)",
+        render_table(
+            ["core policy", "completion time [s]"],
+            [
+                ["static half/half split", res.static_split_time],
+                ["static generous-library", res.static_generous_time],
+                ["agent dynamic shifting", res.dynamic_shift_time],
+            ],
+        )
+        + f"\ndynamic speedup over static split: {res.speedup:.2f}x",
+    )
+    assert res.dynamic_shift_time < res.static_split_time
+    assert res.dynamic_shift_time < res.static_generous_time
+    assert res.speedup > 1.05

@@ -1,0 +1,37 @@
+"""The conclusion's future work, implemented and measured.
+
+"In the first iteration, we plan to continue with our work on OCR-Vx,
+but also incorporate TBB, allowing TBB and OCR-Vx applications to
+cooperatively manage CPU cores."
+
+An OCR-Vx memory-bound application and a TBB compute-bound application
+(arena-per-node, Section II's recipe) share the model machine under
+three coordination regimes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_mixed_runtimes
+
+
+def test_bench_mixed_runtimes(benchmark):
+    res = benchmark.pedantic(
+        run_mixed_runtimes, kwargs={"duration": 0.4}, rounds=1,
+        iterations=1,
+    )
+    emit(
+        "OCR-Vx + TBB cooperative core management (future work, built)",
+        render_table(
+            ["coordination", "GFLOPS"],
+            [
+                ["none (both sized to full machine)", res.uncoordinated_gflops],
+                ["agent fair share", res.fair_share_gflops],
+                ["agent adaptive (observation-only)", res.adaptive_gflops],
+            ],
+        )
+        + f"\nadaptive gain over uncoordinated: {res.adaptive_gain:.2f}x",
+    )
+    assert res.fair_share_gflops > res.uncoordinated_gflops
+    assert res.adaptive_gflops > res.fair_share_gflops
+    assert res.adaptive_gain > 1.5

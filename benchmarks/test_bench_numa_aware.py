@@ -1,0 +1,67 @@
+"""Section III's motivating claim (from the authors' KNL work [11]):
+
+"with OCR-Vx, it is possible to get very significant speed improvement
+with NUMA-aware codes over NUMA-oblivious alternatives ... It was
+possible to get good performance from the NUMA-oblivious codes by
+switching the process to non-NUMA mode [on KNL].  But on most
+multi-socket servers, the NUMA is inherent ... and it is impossible to
+opt out."
+
+The stencil application runs NUMA-aware and NUMA-oblivious on three
+machines: the SNC-4 KNL, the flat KNL, and the 4-socket Skylake.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.apps import StencilApp
+from repro.machine import knl_flat, knl_snc4, skylake_4s
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+def _run(machine, numa_aware):
+    ex = ExecutionSimulator(machine)
+    rt = OCRVxRuntime("stencil", ex)
+    rt.start()
+    app = StencilApp(
+        rt,
+        blocks=32,
+        iterations=16,
+        numa_aware=numa_aware,
+        flops_per_block=0.02,
+        arithmetic_intensity=0.25,
+    )
+    app.build()
+    return ex.run_until_condition(lambda: app.finished, max_time=600)
+
+
+def _sweep():
+    out = []
+    for name, machine in [
+        ("knl-snc4", knl_snc4()),
+        ("knl-flat", knl_flat()),
+        ("skylake-4s", skylake_4s()),
+    ]:
+        aware = _run(machine, True)
+        oblivious = _run(machine, False)
+        out.append((name, aware, oblivious, oblivious / aware))
+    return out
+
+
+def test_bench_numa_aware_vs_oblivious(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "NUMA-aware vs NUMA-oblivious stencil (Section III / [11])",
+        render_table(
+            ["machine", "aware [s]", "oblivious [s]", "speedup"],
+            [list(r) for r in rows],
+        ),
+    )
+    by_name = {r[0]: r[3] for r in rows}
+    # Big win where NUMA is real...
+    assert by_name["knl-snc4"] > 1.5
+    assert by_name["skylake-4s"] > 1.2
+    # ...and no gap on the flat (non-NUMA) configuration.
+    assert by_name["knl-flat"] == pytest.approx(1.0, abs=0.03)

@@ -1,0 +1,83 @@
+"""Ablation: allocation-search strategies on the paper workloads.
+
+DESIGN.md calls out the optimizer as a design choice to ablate: how do
+greedy, hill-climbing and annealing compare against exhaustive symmetric
+search in quality and in model evaluations?
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.core import (
+    AnnealingSearch,
+    AppSpec,
+    ExhaustiveSearch,
+    GreedySearch,
+    HillClimbSearch,
+)
+from repro.machine import model_machine, skylake_4s
+
+
+def _apps():
+    return [
+        AppSpec.memory_bound("mem0", 0.5),
+        AppSpec.memory_bound("mem1", 0.5),
+        AppSpec.memory_bound("mem2", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ]
+
+
+def _compare(machine):
+    apps = _apps()
+    searches = {
+        "exhaustive": ExhaustiveSearch(),
+        "greedy": GreedySearch(),
+        "hill-climb": HillClimbSearch(),
+        "annealing": AnnealingSearch(steps=1500, seed=1),
+    }
+    return {
+        name: s.search(machine, apps) for name, s in searches.items()
+    }
+
+
+def test_bench_optimizer_model_machine(benchmark):
+    results = benchmark.pedantic(
+        _compare, args=(model_machine(),), rounds=1, iterations=1
+    )
+    emit(
+        "Optimizer ablation (model machine, Tables I/II workload)",
+        render_table(
+            ["search", "GFLOPS", "model evaluations"],
+            [
+                [name, r.score, r.evaluations]
+                for name, r in results.items()
+            ],
+        ),
+    )
+    best = results["exhaustive"].score
+    assert best == pytest.approx(320.0)
+    # Heuristics reach at least 95% of the symmetric optimum.
+    for name, r in results.items():
+        assert r.score >= 0.95 * best, name
+    # Greedy needs far fewer evaluations than exhaustive on big machines.
+    assert results["greedy"].evaluations > 0
+
+
+def test_bench_optimizer_skylake(benchmark):
+    results = benchmark.pedantic(
+        _compare, args=(skylake_4s(),), rounds=1, iterations=1
+    )
+    emit(
+        "Optimizer ablation (Skylake 4x20)",
+        render_table(
+            ["search", "GFLOPS", "model evaluations"],
+            [
+                [name, r.score, r.evaluations]
+                for name, r in results.items()
+            ],
+        ),
+    )
+    best = max(r.score for r in results.values())
+    for name, r in results.items():
+        assert r.score >= 0.90 * best, name

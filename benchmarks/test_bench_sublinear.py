@@ -1,0 +1,35 @@
+"""Section II claim: move cores away from sub-linearly scaling apps.
+
+"if the scaling of the applications is less than linear, we might get
+better efficiency by reducing the number of threads ... and assign the
+CPU cores to another application, which can make better use of them."
+The memory-bound apps of the Tables I/II workload stop scaling once the
+node bandwidth saturates; the exhaustive search recovers the paper's
+(1,1,1,5) split and its 254-vs-140 GFLOPS margin.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_sublinear
+
+
+def test_bench_sublinear(benchmark):
+    res = benchmark(run_sublinear)
+    emit(
+        "Sub-linear scaling reallocation (Section II)",
+        render_table(
+            ["allocation", "GFLOPS"],
+            [
+                ["fair share (2,2,2,2)", res.fair_gflops],
+                ["optimal (searched)", res.optimal_gflops],
+            ],
+        )
+        + f"\noptimal allocation: {res.optimal_allocation}",
+    )
+    assert res.fair_gflops == pytest.approx(140.0)
+    assert res.optimal_gflops == pytest.approx(254.0)
+    assert res.speedup == pytest.approx(254.0 / 140.0)
+    assert res.optimal_allocation.threads_of("comp").tolist() == [
+        5, 5, 5, 5,
+    ]

@@ -1,0 +1,16 @@
+"""Table I: the uneven (1,1,1,5) worked example, 254 GFLOPS total."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_table1)
+    emit("Table I - uneven allocation (1,1,1,5)", result.render())
+    mem, comp = result.columns
+    assert result.total_gflops == pytest.approx(254.0)
+    assert result.total_gflops_per_node == pytest.approx(63.5)
+    assert mem.gflops_per_thread == pytest.approx(4.5)
+    assert comp.gflops_per_application == pytest.approx(50.0)

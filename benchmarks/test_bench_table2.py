@@ -1,0 +1,16 @@
+"""Table II: the even (2,2,2,2) worked example, 140 GFLOPS total."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import run_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(run_table2)
+    emit("Table II - even allocation (2,2,2,2)", result.render())
+    mem, comp = result.columns
+    assert result.total_gflops == pytest.approx(140.0)
+    assert result.total_gflops_per_node == pytest.approx(35.0)
+    assert mem.gflops_per_thread == pytest.approx(2.5)
+    assert comp.gflops_per_application == pytest.approx(20.0)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Section V: does the on-node gain survive in a distributed run?
+
+A main MPI-style component shares every node of an 8-node cluster with a
+bursty co-located component.  Three partitioning strategies are compared
+under two synchronisation disciplines.
+
+Run:  python examples/cluster_colocation.py
+"""
+
+from repro.analysis import render_table
+from repro.core import AppSpec
+from repro.distributed import (
+    ClusterExperiment,
+    DynamicSharingPartition,
+    NodePerformance,
+    StaticExclusivePartition,
+    StaticSplitPartition,
+)
+from repro.machine import model_machine
+
+
+def main() -> None:
+    machine = model_machine()
+    main_app = AppSpec("main-solver", 2.0)
+    colocated = AppSpec("in-situ-analytics", 2.0)
+    perf = NodePerformance(machine, main_app, colocated)
+
+    partitions = {
+        "static node-exclusive": StaticExclusivePartition(
+            perf, main_fraction=0.5
+        ),
+        "static per-node split": StaticSplitPartition(
+            perf, main_share=0.5, colocated_duty_cycle=0.5
+        ),
+        "dynamic core shifting": DynamicSharingPartition(
+            perf,
+            main_share_busy=0.5,
+            main_share_quiet=1.0,
+            colocated_duty_cycle=0.5,
+            reallocation_penalty=0.02,
+        ),
+    }
+    experiment = ClusterExperiment(
+        num_ranks=8, iterations=40, work_per_iteration=20.0
+    )
+
+    rows = []
+    for name, partition in partitions.items():
+        barrier = experiment.run_barrier(name, partition)
+        taskbag = experiment.run_taskbag(name, partition)
+        rows.append(
+            [
+                name,
+                barrier.makespan,
+                barrier.result.efficiency,
+                taskbag.makespan,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "partition",
+                "barrier makespan [s]",
+                "barrier efficiency",
+                "task-bag makespan [s]",
+            ],
+            rows,
+            title="8-rank cluster, main component co-located with "
+            "bursty analytics:",
+        )
+    )
+    print(
+        "\nAs the paper predicts: with loose synchronisation (task bag) "
+        "dynamic core\nshifting converts on-node gains into overall "
+        "speedup, while a per-iteration\nbarrier lets the slowest rank "
+        "eat most of the benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Rescuing a NUMA-bad application: allocation choice and data migration.
+
+A "NUMA-bad" application stores all its data on one node (Section III).
+This example shows, on the simulated Skylake server:
+
+1. how badly a cross-node even allocation performs,
+2. how much a data-affine node-exclusive allocation recovers,
+3. and the OCR-specific remedy the paper highlights — the runtime owns
+   the data, so it can *migrate* the datablocks to where the threads are
+   (impossible in TBB, where the runtime never sees application data).
+
+Run:  python examples/numa_bad_rescue.py
+"""
+
+from repro.analysis import render_table
+from repro.apps import SyntheticApp
+from repro.core import AppSpec, NumaPerformanceModel, ThreadAllocation
+from repro.machine import skylake_4s
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+def measure(allocation: list[int], migrate_to: int | None) -> float:
+    """Run the NUMA-bad app alone under a per-node allocation."""
+    machine = skylake_4s()
+    ex = ExecutionSimulator(machine)
+    rt = OCRVxRuntime("bad", ex)
+    rt.start(allocation)
+    spec = AppSpec.numa_bad("bad", 1 / 16, home_node=0)
+    app = SyntheticApp(rt, spec, task_flops=0.005)
+    if migrate_to is not None:
+        app.migrate_data(migrate_to)
+    app.submit_stream(10**9)
+    duration = 0.3
+    ex.run(duration)
+    return ex.total_gflops(duration)
+
+
+def main() -> None:
+    machine = skylake_4s()
+    model = NumaPerformanceModel()
+    spec = AppSpec.numa_bad("bad", 1 / 16, home_node=0)
+
+    # Analytic predictions first.
+    even = ThreadAllocation.from_mapping({"bad": [5, 5, 5, 5]})
+    home = ThreadAllocation.from_mapping({"bad": [20, 0, 0, 0]})
+    wrong = ThreadAllocation.from_mapping({"bad": [0, 0, 0, 20]})
+    rows = []
+    for name, alloc in [
+        ("spread over all nodes (5,5,5,5)", even),
+        ("all threads on the data's node", home),
+        ("all threads on the WRONG node", wrong),
+    ]:
+        rows.append(
+            [name, model.predict(machine, [spec], alloc).total_gflops]
+        )
+    print(
+        render_table(
+            ["thread placement", "predicted GFLOPS"],
+            rows,
+            title="NUMA-bad app (data on node 0), model predictions:",
+        )
+    )
+    print()
+
+    # Now measured on the full runtime stack, including the migration fix.
+    measured = [
+        [
+            "threads on wrong node, data stays",
+            measure([0, 0, 0, 20], migrate_to=None),
+        ],
+        [
+            "threads on wrong node, data MIGRATED to it",
+            measure([0, 0, 0, 20], migrate_to=3),
+        ],
+    ]
+    print(
+        render_table(
+            ["configuration", "measured GFLOPS"],
+            measured,
+            title="The OCR remedy — migrate the datablocks:",
+        )
+    )
+    print(
+        "\nMigrating the data turns remote (link-capped) traffic into "
+        "local traffic;\nthe paper notes this is natural in OCR, where "
+        "the runtime manages the data,\nbut 'very difficult in "
+        "applications based on TBB'."
+    )
+
+
+if __name__ == "__main__":
+    main()

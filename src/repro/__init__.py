@@ -1,0 +1,35 @@
+"""repro — reproduction of "NUMA-aware CPU core allocation in cooperating
+dynamic applications" (Dokulil & Benkner, IPPS 2020).
+
+The package is organised bottom-up:
+
+* :mod:`repro.machine` — NUMA machine topologies, presets, calibration;
+* :mod:`repro.core` — the paper's contribution: the roofline-based NUMA
+  bandwidth-sharing model, thread allocations, policies, optimizers and
+  multi-runtime arbitration;
+* :mod:`repro.sim` — the deterministic discrete-event machine simulator
+  (the "hardware" the experiments run on);
+* :mod:`repro.runtime` — task-based runtimes: OCR-Vx with blockable
+  workers, TBB arenas + RML, an OpenMP adapter;
+* :mod:`repro.agent` — the Figure 1 coordination agent and strategies;
+* :mod:`repro.apps` — synthetic roofline applications and composition
+  scenarios (producer-consumer, main+library);
+* :mod:`repro.distributed` — the Section V distributed layer;
+* :mod:`repro.analysis` — one driver per paper table/figure.
+
+Quick start::
+
+    from repro.machine import model_machine
+    from repro.core import AppSpec, ThreadAllocation, NumaPerformanceModel
+
+    machine = model_machine()
+    apps = [AppSpec.memory_bound("mem", 0.5),
+            AppSpec.compute_bound("comp", 10.0)]
+    alloc = ThreadAllocation.uniform(["mem", "comp"], 4, [3, 5])
+    print(NumaPerformanceModel().predict(machine, apps, alloc).summary())
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["__version__", "ReproError"]

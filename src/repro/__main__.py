@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``report``
+    Regenerate every paper table/figure and print the full report.
+``run <experiment-id>``
+    Run one experiment (ids: ``table1 table2 fig1 fig2 fig3 table3
+    oversub sublinear library distributed calibration``).
+``list``
+    List experiment ids with their titles.
+``describe <preset>``
+    Print a machine preset (``model``, ``skylake``, ``numa-bad``,
+    ``knl-flat``, ``knl-snc4``) in the parseable topology format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import EXPERIMENTS, full_report, run_experiment
+from repro.machine import (
+    knl_flat,
+    knl_snc4,
+    model_machine,
+    numa_bad_example_machine,
+    skylake_4s,
+)
+from repro.machine.parser import format_topology
+
+_PRESETS = {
+    "model": model_machine,
+    "skylake": skylake_4s,
+    "numa-bad": numa_bad_example_machine,
+    "knl-flat": knl_flat,
+    "knl-snc4": knl_snc4,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'NUMA-aware CPU core allocation in "
+        "cooperating dynamic applications' (IPPS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("report", help="run every experiment")
+    runp = sub.add_parser("run", help="run one experiment by id")
+    runp.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("api", help="print the public API reference")
+    desc = sub.add_parser("describe", help="print a machine preset")
+    desc.add_argument("preset", choices=sorted(_PRESETS))
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        print(full_report())
+    elif args.command == "run":
+        print(run_experiment(args.experiment))
+    elif args.command == "list":
+        for exp_id, (title, _) in EXPERIMENTS.items():
+            print(f"{exp_id:12s} {title}")
+    elif args.command == "api":
+        from repro.analysis.apidoc import api_summary
+
+        print(api_summary())
+    elif args.command == "describe":
+        print(format_topology(_PRESETS[args.preset]()), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

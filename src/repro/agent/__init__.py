@@ -1,0 +1,42 @@
+"""The resource-arbitration agent (Figure 1) and its strategies."""
+
+from repro.agent.adapters import OmpEndpoint, TbbEndpoint
+from repro.agent.agent import Agent, AgentDecision
+from repro.agent.consensus import DecentralizedCoordinator
+from repro.agent.monitor import LoadMonitor, LoadSample
+from repro.agent.protocol import (
+    CommandKind,
+    OcrVxEndpoint,
+    RuntimeEndpoint,
+    StatusReport,
+    ThreadCommand,
+)
+from repro.agent.strategies import (
+    AgentStrategy,
+    FairShareStrategy,
+    FeedbackHillClimb,
+    LibraryShiftStrategy,
+    ModelGuidedStrategy,
+    ProducerConsumerAlignment,
+)
+
+__all__ = [
+    "Agent",
+    "AgentDecision",
+    "DecentralizedCoordinator",
+    "LoadMonitor",
+    "LoadSample",
+    "CommandKind",
+    "ThreadCommand",
+    "StatusReport",
+    "RuntimeEndpoint",
+    "OcrVxEndpoint",
+    "TbbEndpoint",
+    "OmpEndpoint",
+    "AgentStrategy",
+    "FairShareStrategy",
+    "ProducerConsumerAlignment",
+    "ModelGuidedStrategy",
+    "LibraryShiftStrategy",
+    "FeedbackHillClimb",
+]

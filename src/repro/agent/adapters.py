@@ -1,0 +1,198 @@
+"""Agent protocol endpoints for the non-OCR runtimes.
+
+The paper's conclusion names its next step: "we plan to continue with our
+work on OCR-Vx, but also incorporate TBB, allowing TBB and OCR-Vx
+applications to cooperatively manage CPU cores."  These adapters make
+that concrete:
+
+* :class:`TbbEndpoint` — drives a :class:`~repro.runtime.tbb.TbbRuntime`
+  through the recipe the paper spells out in Section II: one arena per
+  NUMA node, threads bound to the arena's node, and RML concurrency
+  adjustments standing in for OCR-Vx's option 3 ("by binding all threads
+  in an arena to a NUMA node and using RML to adjust the number of
+  threads in the arenas, we should also be able to get something very
+  similar to option 3 of OCR-Vx").
+* :class:`OmpEndpoint` — drives an
+  :class:`~repro.runtime.openmp.OpenMpRuntime`, which only supports a
+  total thread count (option 1) and may decline to block threads holding
+  tied work; per-node commands are translated to totals, and the report
+  carries how many threads the last command actually blocked.
+"""
+
+from __future__ import annotations
+
+from repro.agent.protocol import (
+    CommandKind,
+    RuntimeEndpoint,
+    StatusReport,
+    ThreadCommand,
+)
+from repro.errors import ProtocolError
+from repro.runtime.openmp import OpenMpRuntime
+from repro.runtime.tbb import TbbRuntime
+from repro.sim.cpu import ThreadState
+
+__all__ = ["TbbEndpoint", "OmpEndpoint"]
+
+
+class TbbEndpoint(RuntimeEndpoint):
+    """Arena-per-node adapter for TBB (the paper's option-3 equivalent).
+
+    Creates one node-bound arena per NUMA node on construction (named
+    ``node<k>``); the application enqueues tasks through
+    :meth:`arena_for` and the agent's SET_ALLOCATION commands become RML
+    concurrency changes.
+    """
+
+    def __init__(self, runtime: TbbRuntime) -> None:
+        self.runtime = runtime
+        self.name = runtime.name
+        self._last_flops = 0.0
+        self._last_time = 0.0
+        machine = runtime.machine
+        threads = len(runtime._threads)
+        base, extra = divmod(threads, machine.num_nodes)
+        self._arenas = []
+        for node in range(machine.num_nodes):
+            limit = base + (1 if node < extra else 0)
+            self._arenas.append(
+                runtime.create_arena(
+                    f"node{node}", max_concurrency=limit, node=node
+                )
+            )
+
+    def arena_for(self, node: int):
+        """The node-bound arena applications enqueue into."""
+        return self._arenas[node]
+
+    def report(self, time: float) -> StatusReport:
+        rt = self.runtime
+        flops = rt.executor.metrics.integrator(f"flops/{rt.name}").total
+        dt = time - self._last_time
+        active = sum(a.active for a in self._arenas)
+        load = 0.0
+        if dt > 0 and active > 0:
+            core_peak = rt.machine.nodes[0].cores[0].peak_gflops
+            load = (flops - self._last_flops) / dt / (core_peak * active)
+        self._last_flops = flops
+        self._last_time = time
+        total_threads = len(rt._threads)
+        return StatusReport(
+            runtime_name=rt.name,
+            time=time,
+            tasks_executed=rt.stats_tasks_executed,
+            active_threads=active,
+            blocked_threads=rt.idle_threads,
+            active_per_node=tuple(a.active for a in self._arenas),
+            # Any market thread can join any arena, so every node could
+            # host the whole pool.
+            workers_per_node=(total_threads,) * len(self._arenas),
+            queue_length=sum(a.pending for a in self._arenas),
+            progress={},
+            cpu_load=load,
+        )
+
+    def apply(self, command: ThreadCommand) -> None:
+        rt = self.runtime
+        k = command.kind
+        if k is CommandKind.SET_ALLOCATION:
+            for node, count in enumerate(command.per_node):
+                rt.set_arena_concurrency(f"node{node}", int(count))
+        elif k is CommandKind.SET_NODE_THREADS:
+            rt.set_arena_concurrency(
+                f"node{command.node}", int(command.count)
+            )
+        elif k is CommandKind.SET_TOTAL_THREADS:
+            # Spread the total over the arenas, favouring low node ids.
+            n = rt.machine.num_nodes
+            base, extra = divmod(int(command.total), n)
+            for node in range(n):
+                rt.set_arena_concurrency(
+                    f"node{node}", base + (1 if node < extra else 0)
+                )
+        else:
+            raise ProtocolError(
+                f"TBB endpoint cannot apply {k.value} (no per-worker "
+                f"blocking in the arena model)"
+            )
+
+
+class OmpEndpoint(RuntimeEndpoint):
+    """Option-1-only adapter for the OpenMP runtime (Section IV caveats).
+
+    Per-node commands are honoured by their *total*; the endpoint records
+    how many threads the runtime actually blocked, because tied tasks can
+    make it decline (the report's ``progress['declined']`` counter lets
+    the agent see partially honoured commands).
+    """
+
+    def __init__(self, runtime: OpenMpRuntime) -> None:
+        self.runtime = runtime
+        self.name = runtime.name
+        self._last_flops = 0.0
+        self._last_time = 0.0
+        self.declined = 0
+
+    def report(self, time: float) -> StatusReport:
+        rt = self.runtime
+        flops = rt.executor.metrics.integrator(f"flops/{rt.name}").total
+        dt = time - self._last_time
+        active = sum(
+            1 for t in rt._threads if t.state is ThreadState.RUNNABLE
+        )
+        load = 0.0
+        if dt > 0 and active > 0:
+            core_peak = rt.executor.machine.nodes[0].cores[0].peak_gflops
+            load = (flops - self._last_flops) / dt / (core_peak * active)
+        self._last_flops = flops
+        self._last_time = time
+        nodes = rt.executor.machine.num_nodes
+        per_node = [0] * nodes
+        for t in rt._threads:
+            if t.state is ThreadState.RUNNABLE:
+                node = t.binding.node_of(rt.executor.machine)
+                per_node[node if node is not None else 0] += 1
+        workers = [0] * nodes
+        for t in rt._threads:
+            node = t.binding.node_of(rt.executor.machine)
+            workers[node if node is not None else 0] += 1
+        return StatusReport(
+            runtime_name=rt.name,
+            time=time,
+            tasks_executed=rt.tasks_executed,
+            active_threads=active,
+            blocked_threads=len(rt._threads) - active,
+            active_per_node=tuple(per_node),
+            workers_per_node=tuple(workers),
+            queue_length=len(rt._shared),
+            progress={"declined": float(self.declined)},
+            cpu_load=load,
+        )
+
+    def apply(self, command: ThreadCommand) -> None:
+        rt = self.runtime
+        k = command.kind
+        if k is CommandKind.SET_TOTAL_THREADS:
+            target = int(command.total)
+        elif k is CommandKind.SET_ALLOCATION:
+            target = int(sum(command.per_node))
+        elif k is CommandKind.SET_NODE_THREADS:
+            raise ProtocolError(
+                "OpenMP runtime has no per-node thread control"
+            )
+        else:
+            raise ProtocolError(
+                f"OpenMP endpoint cannot apply {k.value}"
+            )
+        target = min(target, rt.num_threads)
+        before = sum(
+            1 for t in rt._threads if t.state is ThreadState.RUNNABLE
+        )
+        rt.set_total_threads(target)
+        after = sum(
+            1 for t in rt._threads if t.state is ThreadState.RUNNABLE
+        )
+        wanted = before - target
+        got = before - after
+        if wanted > 0 and got < wanted:
+            self.declined += wanted - got

@@ -1,0 +1,179 @@
+"""The coordination agent of Figure 1.
+
+A dedicated process that periodically: collects a :class:`StatusReport`
+from every registered runtime endpoint, samples machine load, asks its
+:class:`~repro.agent.strategies.AgentStrategy` for commands, and applies
+them.  The loop runs on the shared discrete-event clock, so agent activity
+interleaves with application execution exactly as it would on a real node.
+
+Section IV warns that a CPU-hungry agent perturbs the applications; the
+agent therefore tracks its cumulative *deliberation budget*
+(``decision_cost_seconds`` per round) and can optionally burn that budget
+as real simulated work on a dedicated core via ``charge_cpu=True`` —
+letting the experiments quantify the perturbation instead of ignoring it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.agent.monitor import LoadMonitor, LoadSample
+from repro.agent.protocol import RuntimeEndpoint, StatusReport, ThreadCommand
+from repro.agent.strategies import AgentStrategy
+from repro.errors import AgentError
+from repro.sim.executor import ExecutionSimulator, WorkSegment
+from repro.sim.cpu import Binding, SimThread
+from repro.sim.trace import TraceKind
+
+__all__ = ["AgentDecision", "Agent"]
+
+
+@dataclass(frozen=True)
+class AgentDecision:
+    """Record of one agent round."""
+
+    time: float
+    reports: dict[str, StatusReport]
+    load: LoadSample
+    commands: dict[str, tuple[ThreadCommand, ...]]
+
+
+class Agent:
+    """The resource-arbitration agent.
+
+    Parameters
+    ----------
+    executor:
+        The shared execution simulator.
+    strategy:
+        Decision logic.
+    period:
+        Seconds between rounds.
+    decision_cost_seconds:
+        CPU time one round costs the agent (Section IV's concern).
+    charge_cpu:
+        When True, the agent's deliberation is executed as work on a
+        dedicated simulated thread (bound to ``agent_node``), competing
+        for a core like any other thread would.
+    """
+
+    def __init__(
+        self,
+        executor: ExecutionSimulator,
+        strategy: AgentStrategy,
+        *,
+        period: float = 0.01,
+        decision_cost_seconds: float = 0.0,
+        charge_cpu: bool = False,
+        agent_node: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise AgentError(f"period must be positive, got {period}")
+        if decision_cost_seconds < 0:
+            raise AgentError("decision_cost_seconds must be >= 0")
+        self.executor = executor
+        self.strategy = strategy
+        self.period = period
+        self.decision_cost_seconds = decision_cost_seconds
+        self.charge_cpu = charge_cpu
+        self.agent_node = agent_node
+        self.endpoints: dict[str, RuntimeEndpoint] = {}
+        self.monitor = LoadMonitor(executor)
+        self.decisions: list[AgentDecision] = []
+        self.total_deliberation = 0.0
+        self._started = False
+        self._agent_thread: SimThread | None = None
+        self._pending_work = 0.0
+
+    # ------------------------------------------------------------------
+    def register(self, endpoint: RuntimeEndpoint) -> None:
+        """Attach a runtime to the agent."""
+        if endpoint.name in self.endpoints:
+            raise AgentError(f"duplicate endpoint '{endpoint.name}'")
+        self.endpoints[endpoint.name] = endpoint
+
+    def start(self) -> None:
+        """Begin the periodic control loop (first round after one period)."""
+        if self._started:
+            raise AgentError("agent already started")
+        if not self.endpoints:
+            raise AgentError("agent has no registered runtimes")
+        self._started = True
+        if self.charge_cpu and self.decision_cost_seconds > 0:
+            # The agent's own thread: its provider drains deliberation
+            # work charged by each round.  Compute-only (high AI).
+            agent = self
+
+            class _AgentWork:
+                def next_segment(self, thread: SimThread) -> WorkSegment | None:
+                    if agent._pending_work <= 0:
+                        return None
+                    core_peak = agent.executor.machine.node(
+                        agent.agent_node
+                    ).cores[0].peak_gflops
+                    flops = agent._pending_work * core_peak
+                    agent._pending_work = 0.0
+                    return WorkSegment(
+                        flops=flops,
+                        arithmetic_intensity=1e6,
+                        label="agent-deliberation",
+                    )
+
+                def segment_finished(self, thread, segment) -> None:
+                    pass
+
+            self._agent_thread = self.executor.add_thread(
+                "agent",
+                Binding.to_node(self.agent_node),
+                _AgentWork(),
+                app_name="agent",
+            )
+        self.executor.sim.schedule(self.period, self._round, priority=5)
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        now = self.executor.sim.now
+        reports = {
+            name: ep.report(now) for name, ep in self.endpoints.items()
+        }
+        load = self.monitor.sample()
+        commands = self.strategy.decide(self.executor.machine, reports)
+        for name, cmds in commands.items():
+            if name not in self.endpoints:
+                raise AgentError(
+                    f"strategy issued commands for unknown runtime '{name}'"
+                )
+            for cmd in cmds:
+                self.endpoints[name].apply(cmd)
+                self.executor.tracer.emit(
+                    now, TraceKind.COMMAND, name, command=cmd.kind.value
+                )
+        self.total_deliberation += self.decision_cost_seconds
+        if self.charge_cpu:
+            self._pending_work += self.decision_cost_seconds
+        self.decisions.append(
+            AgentDecision(
+                time=now,
+                reports=reports,
+                load=load,
+                commands={
+                    k: tuple(v) for k, v in commands.items()
+                },
+            )
+        )
+        self.executor.sim.schedule(self.period, self._round, priority=5)
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Completed decision rounds."""
+        return len(self.decisions)
+
+    def commands_issued(self) -> int:
+        """Total commands applied across all rounds."""
+        return sum(
+            len(cmds)
+            for d in self.decisions
+            for cmds in d.commands.values()
+        )

@@ -1,0 +1,150 @@
+"""Agentless coordination: runtimes cooperatively agree on cores.
+
+Section II offers an alternative to the dedicated agent: "it would also
+be possible to have the different runtime systems cooperatively come to
+an agreement."  :class:`DecentralizedCoordinator` realises it on the
+simulator: each participating runtime periodically *publishes* a demand
+record to a shared bulletin board, every participant then runs the same
+deterministic :class:`~repro.core.arbitration.CooperativeConsensus`
+protocol over the published records, and applies *its own* row of the
+agreed allocation.  There is no privileged process — the coordinator
+object here only models the shared board and the common clock tick.
+
+Demand priorities are derived from observable pressure: a runtime with a
+deep ready queue publishes a higher priority, so cores drift toward the
+application that can use them, with the deterministic tie-breaking that
+keeps all participants' computations identical (the paper's "we would
+not want all runtime systems to decide ... they will all use node 0").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agent.protocol import CommandKind, RuntimeEndpoint, ThreadCommand
+from repro.core.arbitration import CooperativeConsensus, ResourceRequest
+from repro.core.spec import AppSpec
+from repro.errors import AgentError
+from repro.sim.executor import ExecutionSimulator
+
+__all__ = ["DecentralizedCoordinator"]
+
+
+@dataclass
+class _Participant:
+    endpoint: RuntimeEndpoint
+    spec: AppSpec
+    min_threads: int
+
+
+class DecentralizedCoordinator:
+    """Periodic cooperative core agreement without a central agent.
+
+    Parameters
+    ----------
+    executor:
+        Shared execution simulator (provides the clock).
+    period:
+        Seconds between agreement rounds.
+    queue_pressure_weight:
+        How strongly a runtime's ready-queue depth raises its priority:
+        ``priority = 1 + weight * queue_length / active_threads``.
+    """
+
+    def __init__(
+        self,
+        executor: ExecutionSimulator,
+        *,
+        period: float = 0.01,
+        queue_pressure_weight: float = 0.1,
+    ) -> None:
+        if period <= 0:
+            raise AgentError(f"period must be positive, got {period}")
+        if queue_pressure_weight < 0:
+            raise AgentError("queue_pressure_weight must be >= 0")
+        self.executor = executor
+        self.period = period
+        self.queue_pressure_weight = queue_pressure_weight
+        self.participants: dict[str, _Participant] = {}
+        self.rounds = 0
+        self.agreements: list[dict[str, list[int]]] = []
+        self._started = False
+
+    def join(
+        self,
+        endpoint: RuntimeEndpoint,
+        spec: AppSpec,
+        *,
+        min_threads: int = 1,
+    ) -> None:
+        """Register a runtime as a protocol participant."""
+        if endpoint.name in self.participants:
+            raise AgentError(f"'{endpoint.name}' already joined")
+        if endpoint.name != spec.name:
+            raise AgentError(
+                f"endpoint '{endpoint.name}' and spec '{spec.name}' "
+                f"must share a name"
+            )
+        self.participants[endpoint.name] = _Participant(
+            endpoint=endpoint, spec=spec, min_threads=min_threads
+        )
+
+    def start(self) -> None:
+        """Begin the periodic agreement rounds."""
+        if self._started:
+            raise AgentError("coordinator already started")
+        if not self.participants:
+            raise AgentError("no participants joined")
+        self._started = True
+        self.executor.sim.schedule(self.period, self._round, priority=6)
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        now = self.executor.sim.now
+        # 1. Every runtime publishes its record to the board.
+        board = {
+            name: p.endpoint.report(now)
+            for name, p in self.participants.items()
+        }
+        # 2. Every participant runs the same deterministic protocol over
+        #    the same board (computed once here, since the outcome is
+        #    identical by construction).
+        requests = []
+        for name in sorted(self.participants):
+            p = self.participants[name]
+            report = board[name]
+            pressure = 0.0
+            if report.active_threads > 0:
+                pressure = report.queue_length / report.active_threads
+            requests.append(
+                ResourceRequest(
+                    spec=p.spec,
+                    min_threads=p.min_threads,
+                    max_threads=sum(report.workers_per_node),
+                    priority=1.0
+                    + self.queue_pressure_weight * pressure,
+                )
+            )
+        outcome = CooperativeConsensus().decide(
+            self.executor.machine, requests
+        )
+        # 3. Each runtime applies its own row.
+        agreement: dict[str, list[int]] = {}
+        for name, p in self.participants.items():
+            per_node = [
+                min(int(x), w)
+                for x, w in zip(
+                    outcome.allocation.threads_of(name),
+                    board[name].workers_per_node,
+                )
+            ]
+            agreement[name] = per_node
+            p.endpoint.apply(
+                ThreadCommand(
+                    kind=CommandKind.SET_ALLOCATION,
+                    per_node=tuple(per_node),
+                )
+            )
+        self.rounds += 1
+        self.agreements.append(agreement)
+        self.executor.sim.schedule(self.period, self._round, priority=6)

@@ -1,0 +1,87 @@
+"""Fairness and utilisation metrics for allocations and predictions.
+
+An arbiter maximising raw GFLOPS starves memory-bound applications (the
+320-GFLOPS degenerate optimum of the Tables I/II workload gives three of
+the four applications nothing).  These metrics quantify that trade-off so
+reports can show throughput *and* fairness side by side:
+
+* **Jain's fairness index** — :math:`(\\sum x_i)^2 / (n \\sum x_i^2)`,
+  1 when everyone gets the same, ``1/n`` when one application gets all;
+* **proportional-fairness welfare** — :math:`\\sum \\log x_i`, the Nash
+  bargaining objective (``-inf`` as soon as anyone is starved);
+* machine **compute and bandwidth utilisation** of a prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.model import Prediction
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "jain_index",
+    "proportional_fairness",
+    "FairnessReport",
+    "evaluate_prediction",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of non-negative values, in ``[1/n, 1]``."""
+    if not values:
+        raise ConfigurationError("jain_index needs at least one value")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("values must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0  # everyone equally has nothing
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)
+
+
+def proportional_fairness(values: Sequence[float]) -> float:
+    """Sum of logs (Nash welfare); ``-inf`` if anyone gets zero."""
+    if not values:
+        raise ConfigurationError(
+            "proportional_fairness needs at least one value"
+        )
+    if any(v < 0 for v in values):
+        raise ConfigurationError("values must be non-negative")
+    if any(v == 0 for v in values):
+        return float("-inf")
+    return sum(math.log(v) for v in values)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Throughput/fairness summary of one prediction."""
+
+    total_gflops: float
+    jain: float
+    nash_welfare: float
+    min_app_gflops: float
+    compute_utilization: float
+    bandwidth_utilization: float
+
+
+def evaluate_prediction(
+    machine: MachineTopology, prediction: Prediction
+) -> FairnessReport:
+    """Compute the fairness/utilisation summary of a model prediction."""
+    per_app = [a.gflops for a in prediction.apps]
+    return FairnessReport(
+        total_gflops=prediction.total_gflops,
+        jain=jain_index(per_app),
+        nash_welfare=proportional_fairness(per_app),
+        min_app_gflops=min(per_app),
+        compute_utilization=(
+            prediction.total_gflops / machine.peak_gflops
+        ),
+        bandwidth_utilization=(
+            prediction.total_bandwidth / machine.total_local_bandwidth
+        ),
+    )

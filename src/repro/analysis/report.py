@@ -1,0 +1,282 @@
+"""Full experiment report generation.
+
+``python -m repro report`` (or :func:`full_report`) regenerates every
+table and figure of the paper and formats a single text report with the
+paper's values alongside — the command-line counterpart of
+EXPERIMENTS.md.  Individual experiments can be run by id, matching the
+index in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.experiments import (
+    run_adaptive_agent,
+    run_cache_handoff,
+    run_calibration,
+    run_distributed,
+    run_dvfs_ablation,
+    run_fig1_agent,
+    run_fig2,
+    run_fig3,
+    run_library_shift,
+    run_mixed_runtimes,
+    run_model_validation,
+    run_oversub_benefit,
+    run_oversubscription,
+    run_sublinear,
+    run_table1,
+    run_table2,
+    run_table3_model,
+    run_table3_real,
+    run_thread_control_options,
+)
+from repro.analysis.tablefmt import render_table
+from repro.errors import ConfigurationError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "full_report"]
+
+
+def _table1() -> str:
+    return run_table1().render()
+
+
+def _table2() -> str:
+    return run_table2().render()
+
+
+def _fig2() -> str:
+    return render_table(
+        ["scenario", "GFLOPS (ours)", "GFLOPS (paper)"],
+        [[r.name, r.gflops, r.paper_gflops] for r in run_fig2()],
+    )
+
+
+def _fig3() -> str:
+    return render_table(
+        ["allocation", "GFLOPS (ours)", "GFLOPS (paper)"],
+        [[r.name, r.gflops, r.paper_gflops] for r in run_fig3()],
+    )
+
+
+def _table3(fast: bool = False) -> str:
+    rows = run_table3_model() if fast else run_table3_real()
+    headers = ["scenario", "model (ours)"]
+    if not fast:
+        headers.append("real (ours)")
+    headers += ["model (paper)", "real (paper)"]
+    body = []
+    for r in rows:
+        row = [r.name, r.our_model]
+        if not fast:
+            row.append(r.our_real)
+        row += [r.paper_model, r.paper_real]
+        body.append(row)
+    return render_table(headers, body)
+
+
+def _fig1() -> str:
+    res = run_fig1_agent()
+    return render_table(
+        ["configuration", "time [s]", "peak intermediate items"],
+        [
+            [
+                "no agent",
+                res.time_without_agent,
+                res.peak_items_without_agent,
+            ],
+            ["with agent", res.time_with_agent, res.peak_items_with_agent],
+        ],
+    )
+
+
+def _oversub() -> str:
+    res = run_oversubscription()
+    return render_table(
+        ["configuration", "GFLOPS"],
+        [
+            ["2x over-subscribed", res.oversubscribed_gflops],
+            ["fair share", res.fair_share_gflops],
+        ],
+    ) + f"\nimprovement: {res.improvement * 100:.1f}%"
+
+
+def _sublinear() -> str:
+    res = run_sublinear()
+    return render_table(
+        ["allocation", "GFLOPS"],
+        [
+            ["fair share", res.fair_gflops],
+            ["optimal (searched)", res.optimal_gflops],
+        ],
+    ) + f"\noptimal: {res.optimal_allocation}"
+
+
+def _library() -> str:
+    res = run_library_shift()
+    return render_table(
+        ["core policy", "time [s]"],
+        [
+            ["static split", res.static_split_time],
+            ["static generous-library", res.static_generous_time],
+            ["dynamic shifting", res.dynamic_shift_time],
+        ],
+    ) + f"\ndynamic speedup: {res.speedup:.2f}x"
+
+
+def _distributed() -> str:
+    res = run_distributed()
+    return render_table(
+        ["partition", "workload", "makespan [s]"],
+        [[p, w, t] for (p, w), t in sorted(res.runs.items())],
+    )
+
+
+def _calibration() -> str:
+    res = run_calibration()
+    return render_table(
+        ["parameter", "true", "estimated"],
+        [
+            ["peak GFLOPS/thread", res.true_peak, res.est_peak],
+            ["node bandwidth GB/s", res.true_bandwidth, res.est_bandwidth],
+        ],
+    )
+
+
+def _thread_control() -> str:
+    res = run_thread_control_options()
+    return render_table(
+        ["configuration", "time [s]"],
+        [
+            ["full machine (80 threads)", res.full_machine],
+            ["option 1: total=40", res.option1_total],
+            ["option 3: even (10,10,10,10)", res.option3_even],
+            ["option 3: packed (20,20,0,0)", res.option3_packed],
+            ["option 2: block nodes 2+3", res.option2_two_nodes],
+        ],
+    )
+
+
+def _adaptive() -> str:
+    res = run_adaptive_agent()
+    return render_table(
+        ["policy", "GFLOPS"],
+        [
+            ["static fair share", res.static_gflops],
+            ["adaptive (no specs)", res.adaptive_gflops],
+            ["model-guided (oracle)", res.model_guided_gflops],
+        ],
+    )
+
+
+def _oversub_benefit() -> str:
+    res = run_oversub_benefit()
+    return render_table(
+        ["threads", "GFLOPS"],
+        [[t, g] for t, g in sorted(res.gflops_by_threads.items())],
+    )
+
+
+def _dvfs() -> str:
+    res = run_dvfs_ablation()
+    return render_table(
+        ["placement", "no DVFS", "with DVFS"],
+        [
+            ["packed (8 on node 0)", res.packed_no_dvfs, res.packed_dvfs],
+            ["spread (2 per node)", res.spread_no_dvfs, res.spread_dvfs],
+        ],
+    )
+
+
+def _cache() -> str:
+    res = run_cache_handoff()
+    return render_table(
+        ["configuration", "time [s]"],
+        [
+            ["handoff (co-located + warm LLC)", res.handoff_time],
+            ["co-located, cache off", res.colocated_no_cache_time],
+            ["separate nodes", res.separate_nodes_time],
+        ],
+    )
+
+
+def _mixed() -> str:
+    res = run_mixed_runtimes()
+    return render_table(
+        ["coordination", "GFLOPS"],
+        [
+            ["none", res.uncoordinated_gflops],
+            ["agent fair share", res.fair_share_gflops],
+            ["agent adaptive", res.adaptive_gflops],
+        ],
+    )
+
+
+def _validation() -> str:
+    res = run_model_validation()
+    return render_table(
+        ["metric", "value [%]"],
+        [
+            ["max |relative error|", res.max_error * 100],
+            ["mean |relative error|", res.mean_error * 100],
+        ],
+    )
+
+
+#: Experiment id -> (title, renderer).  Ids match DESIGN.md Section 5.
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "table1": ("Table I - uneven allocation worked example", _table1),
+    "table2": ("Table II - even allocation worked example", _table2),
+    "fig2": ("Figure 2 - three allocation scenarios", _fig2),
+    "fig3": ("Figure 3 - NUMA-bad example", _fig3),
+    "table3": ("Table III - model vs synthetic benchmark", _table3),
+    "fig1": ("Figure 1 - agent architecture", _fig1),
+    "oversub": ("Section II - over-subscription cost", _oversub),
+    "sublinear": ("Section II - sub-linear reallocation", _sublinear),
+    "library": ("Section II - library-call shifting", _library),
+    "distributed": ("Section V - distributed partitioning", _distributed),
+    "calibration": ("Section III-B - machine calibration", _calibration),
+    "threadcontrol": (
+        "Section III - thread-control options on a NUMA-aware app",
+        _thread_control,
+    ),
+    "adaptive": (
+        "Extension - observation-only adaptive agent",
+        _adaptive,
+    ),
+    "oversub-benefit": (
+        "Section II - beneficial over-subscription (I/O)",
+        _oversub_benefit,
+    ),
+    "dvfs": ("Extension - DVFS ablation (assumption 2)", _dvfs),
+    "cache": (
+        "Section II - producer->consumer cache handoff",
+        _cache,
+    ),
+    "mixed": (
+        "Future work - OCR-Vx + TBB cooperative management",
+        _mixed,
+    ),
+    "validation": (
+        "Extension - model vs simulator cross-validation",
+        _validation,
+    ),
+}
+
+
+def run_experiment(exp_id: str) -> str:
+    """Run one experiment by id, returning its formatted block."""
+    if exp_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment '{exp_id}'; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    title, fn = EXPERIMENTS[exp_id]
+    bar = "=" * 72
+    return f"{bar}\n{title}\n{bar}\n{fn()}\n"
+
+
+def full_report() -> str:
+    """Run every experiment and concatenate the blocks."""
+    return "\n".join(run_experiment(e) for e in EXPERIMENTS)

@@ -1,0 +1,108 @@
+"""ASCII roofline charts.
+
+Renders the classic log-log roofline of a NUMA node with application
+operating points, so examples and reports can show *why* an application
+is memory or compute bound at a glance — the visual companion of
+Section III-A's model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.roofline import Roofline
+from repro.core.spec import AppSpec
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineTopology
+
+__all__ = ["render_roofline"]
+
+
+def render_roofline(
+    machine: MachineTopology,
+    apps: Sequence[AppSpec] = (),
+    *,
+    node: int = 0,
+    width: int = 64,
+    height: int = 16,
+    ai_range: tuple[float, float] | None = None,
+) -> str:
+    """Render node ``node``'s roofline with the apps' operating points.
+
+    The x axis is arithmetic intensity (log scale), the y axis attainable
+    GFLOPS (log scale).  The roof is drawn with ``/`` (bandwidth slope)
+    and ``-`` (compute ceiling); each application appears as a letter at
+    its (AI, attainable) point, with a legend underneath.
+    """
+    if width < 16 or height < 6:
+        raise ConfigurationError("chart needs width >= 16, height >= 6")
+    n = machine.node(node)
+    roof = Roofline(
+        peak_gflops=n.peak_gflops, peak_bandwidth=n.local_bandwidth
+    )
+    ridge = roof.ridge_ai
+    if ai_range is None:
+        ai_lo = ridge / 64
+        ai_hi = ridge * 64
+        for app in apps:
+            ai_lo = min(ai_lo, app.arithmetic_intensity / 2)
+            ai_hi = max(ai_hi, app.arithmetic_intensity * 2)
+    else:
+        ai_lo, ai_hi = ai_range
+        if ai_lo <= 0 or ai_hi <= ai_lo:
+            raise ConfigurationError("invalid ai_range")
+
+    y_hi = roof.peak_gflops * 2
+    y_lo = roof.attainable(ai_lo) / 4
+
+    def x_of(ai: float) -> int:
+        f = (math.log10(ai) - math.log10(ai_lo)) / (
+            math.log10(ai_hi) - math.log10(ai_lo)
+        )
+        return min(width - 1, max(0, int(f * (width - 1))))
+
+    def y_of(gflops: float) -> int:
+        f = (math.log10(gflops) - math.log10(y_lo)) / (
+            math.log10(y_hi) - math.log10(y_lo)
+        )
+        return min(height - 1, max(0, int(f * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Roof line.
+    for cx in range(width):
+        ai = 10 ** (
+            math.log10(ai_lo)
+            + cx / (width - 1) * (math.log10(ai_hi) - math.log10(ai_lo))
+        )
+        attainable = roof.attainable(ai)
+        cy = y_of(attainable)
+        grid[cy][cx] = "-" if ai >= ridge else "/"
+    # Ridge marker.
+    grid[y_of(roof.peak_gflops)][x_of(ridge)] = "+"
+    # Application points.
+    legend = []
+    for i, app in enumerate(apps):
+        mark = chr(ord("A") + (i % 26))
+        ai = app.arithmetic_intensity
+        point = roof.attainable(ai)
+        grid[y_of(point)][x_of(ai)] = mark
+        bound = "memory" if roof.is_memory_bound(ai) else "compute"
+        legend.append(
+            f"  {mark} = {app.name} (AI {ai:g}, attainable "
+            f"{point:.2f} GFLOPS, {bound} bound)"
+        )
+
+    lines = [
+        f"roofline of '{machine.name}' node {node}: peak "
+        f"{roof.peak_gflops:g} GFLOPS, {roof.peak_bandwidth:g} GB/s, "
+        f"ridge AI {ridge:.3g}"
+    ]
+    for row in reversed(grid):
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" AI {ai_lo:.3g} {' ' * (width - 16)}AI {ai_hi:.3g}"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Parameter sweeps: run a function over a cartesian parameter grid."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepRecord", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid point and its result."""
+
+    params: dict[str, Any]
+    result: Any
+
+
+def sweep(
+    fn: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+) -> list[SweepRecord]:
+    """Call ``fn(**point)`` for every point of the cartesian ``grid``.
+
+    Deterministic iteration order: keys in the mapping's order, values in
+    their sequence order (rightmost key varies fastest).
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must not be empty")
+    keys = list(grid)
+    for k in keys:
+        if not grid[k]:
+            raise ConfigurationError(f"grid dimension '{k}' is empty")
+    records = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        records.append(SweepRecord(params=params, result=fn(**params)))
+    return records

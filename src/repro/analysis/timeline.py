@@ -1,0 +1,134 @@
+"""ASCII timelines from execution traces.
+
+Renders a Gantt-style view of worker activity — task execution, blocked
+intervals, agent commands — from a :class:`~repro.sim.trace.Tracer`.
+Used by the examples to *show* the core shifting the agent performs, and
+handy when debugging scheduler behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceKind, Tracer
+
+__all__ = ["ActivityInterval", "extract_intervals", "render_timeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class ActivityInterval:
+    """One contiguous activity of one subject."""
+
+    subject: str
+    start: float
+    end: float
+    kind: str  # "task" or "blocked"
+    label: str = ""
+
+
+def extract_intervals(
+    tracer: Tracer, *, until: float | None = None
+) -> list[ActivityInterval]:
+    """Pair start/finish trace events into intervals.
+
+    Task intervals come from TASK_STARTED/TASK_FINISHED pairs; blocked
+    intervals from THREAD_BLOCKED/THREAD_UNBLOCKED.  Unclosed intervals
+    are extended to ``until`` (default: the last event's time).
+    """
+    events = list(tracer)
+    if until is None:
+        until = max((e.time for e in events), default=0.0)
+    open_tasks: dict[str, tuple[float, str]] = {}
+    open_blocks: dict[str, float] = {}
+    out: list[ActivityInterval] = []
+    for e in events:
+        if e.kind is TraceKind.TASK_STARTED:
+            open_tasks[e.subject] = (e.time, e.detail.get("label", ""))
+        elif e.kind is TraceKind.TASK_FINISHED:
+            if e.subject in open_tasks:
+                start, label = open_tasks.pop(e.subject)
+                out.append(
+                    ActivityInterval(
+                        subject=e.subject,
+                        start=start,
+                        end=e.time,
+                        kind="task",
+                        label=label,
+                    )
+                )
+        elif e.kind is TraceKind.THREAD_BLOCKED:
+            open_blocks[e.subject] = e.time
+        elif e.kind is TraceKind.THREAD_UNBLOCKED:
+            if e.subject in open_blocks:
+                out.append(
+                    ActivityInterval(
+                        subject=e.subject,
+                        start=open_blocks.pop(e.subject),
+                        end=e.time,
+                        kind="blocked",
+                    )
+                )
+    for subject, (start, label) in open_tasks.items():
+        out.append(
+            ActivityInterval(
+                subject=subject,
+                start=start,
+                end=until,
+                kind="task",
+                label=label,
+            )
+        )
+    for subject, start in open_blocks.items():
+        out.append(
+            ActivityInterval(
+                subject=subject, start=start, end=until, kind="blocked"
+            )
+        )
+    out.sort(key=lambda i: (i.subject, i.start))
+    return out
+
+
+def render_timeline(
+    tracer: Tracer,
+    *,
+    width: int = 80,
+    subjects: list[str] | None = None,
+    until: float | None = None,
+) -> str:
+    """Render one row per subject: '#' running a task, 'x' blocked.
+
+    Each column is ``span / width`` seconds.  Blocked marks win over task
+    marks: a worker suspended mid-task holds the task but is not
+    executing, and the timeline shows execution.
+    """
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    intervals = extract_intervals(tracer, until=until)
+    if not intervals:
+        return "(no activity recorded)"
+    t_end = max(i.end for i in intervals)
+    t_end = max(t_end, 1e-12)
+    if subjects is None:
+        subjects = sorted({i.subject for i in intervals})
+    name_w = max(len(s) for s in subjects)
+    lines = []
+    for subject in subjects:
+        row = ["."] * width
+        # Tasks first, blocked second, so suspension overwrites.
+        ordered = sorted(
+            (iv for iv in intervals if iv.subject == subject),
+            key=lambda iv: iv.kind == "blocked",
+        )
+        for iv in ordered:
+            c0 = int(iv.start / t_end * width)
+            c1 = max(c0 + 1, int(iv.end / t_end * width))
+            mark = "#" if iv.kind == "task" else "x"
+            for c in range(c0, min(c1, width)):
+                row[c] = mark
+        lines.append(f"{subject.ljust(name_w)} |{''.join(row)}|")
+    lines.append(
+        f"{' ' * name_w} 0{' ' * (width - len(f'{t_end:.4g}') - 1)}"
+        f"{t_end:.4g}s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Synthetic applications and composition scenarios."""
+
+from repro.apps.composed import ComposedAppScenario
+from repro.apps.nonworker import ComputeThread, IoThread
+from repro.apps.producer_consumer import ProducerConsumerScenario
+from repro.apps.stencil import StencilApp
+from repro.apps.synthetic import SyntheticApp
+from repro.apps.workloads import chain, fan, fork_join, random_dag, stencil_1d
+
+__all__ = [
+    "SyntheticApp",
+    "StencilApp",
+    "ProducerConsumerScenario",
+    "ComposedAppScenario",
+    "IoThread",
+    "ComputeThread",
+    "fan",
+    "chain",
+    "fork_join",
+    "stencil_1d",
+    "random_dag",
+]

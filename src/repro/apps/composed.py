@@ -1,0 +1,138 @@
+"""The tight-integration scenario: a main application delegating to a
+"library" application.
+
+Section II: "one application might use the other application like a
+library, delegating a specific job to it whenever needed.  In this case,
+quickly shifting resources to the 'library' application when it is called
+could improve efficiency.  Similarly, when the 'library' finishes, we can
+quickly free up the CPU cores."
+
+The scenario alternates *main phases* (a fan of tasks in the main runtime)
+with *library calls* (a fan in the library runtime); each phase depends on
+the previous call's completion and vice versa.  Between calls the library
+is idle — exactly when its cores are wasted unless an agent reclaims them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.runtime.events import LatchEvent
+from repro.runtime.runtime import OCRVxRuntime
+from repro.runtime.task import Task
+from repro.sim.executor import ExecutionSimulator
+
+__all__ = ["ComposedAppScenario"]
+
+
+class ComposedAppScenario:
+    """Main + library composed application.
+
+    Parameters
+    ----------
+    executor:
+        Shared execution simulator.
+    main / library:
+        The two runtimes.
+    phases:
+        Number of main-phase / library-call rounds.
+    main_tasks, library_tasks:
+        Fan width of each side's round.
+    main_flops, library_flops:
+        Work per task.
+    arithmetic_intensity:
+        Kernel intensity (same both sides by default).
+    """
+
+    def __init__(
+        self,
+        executor: ExecutionSimulator,
+        main: OCRVxRuntime,
+        library: OCRVxRuntime,
+        *,
+        phases: int,
+        main_tasks: int = 16,
+        library_tasks: int = 32,
+        main_flops: float = 0.01,
+        library_flops: float = 0.01,
+        arithmetic_intensity: float = 8.0,
+    ) -> None:
+        if phases <= 0:
+            raise ConfigurationError("phases must be positive")
+        self.executor = executor
+        self.main = main
+        self.library = library
+        self.phases = phases
+        self.main_tasks = main_tasks
+        self.library_tasks = library_tasks
+        self.main_flops = main_flops
+        self.library_flops = library_flops
+        self.ai = arithmetic_intensity
+        self.calls_completed = 0
+        self.phases_completed = 0
+        self._built = False
+
+    def build(self) -> None:
+        """Create the alternating phase/call dependence chain."""
+        if self._built:
+            raise ConfigurationError("scenario already built")
+        self._built = True
+        prev: Task | None = None
+        for p in range(self.phases):
+            prev = self._main_phase(p, prev)
+            prev = self._library_call(p, prev)
+
+    def _main_phase(self, p: int, prev: Task | None) -> Task:
+        deps = [prev] if prev is not None else []
+        fan = [
+            self.main.create_task(
+                f"phase{p}.{j}",
+                flops=self.main_flops,
+                arithmetic_intensity=self.ai,
+                depends_on=deps,
+            )
+            for j in range(self.main_tasks)
+        ]
+
+        def done(_t: Task) -> None:
+            self.phases_completed += 1
+            self.main.stats.report_progress("phases")
+
+        return self.main.create_task(
+            f"phase{p}.join",
+            flops=self.main_flops * 0.1,
+            arithmetic_intensity=self.ai,
+            depends_on=fan,
+            on_finish=done,
+        )
+
+    def _library_call(self, p: int, prev: Task | None) -> Task:
+        deps = [prev] if prev is not None else []
+        fan = [
+            self.library.create_task(
+                f"call{p}.{j}",
+                flops=self.library_flops,
+                arithmetic_intensity=self.ai,
+                depends_on=deps,
+            )
+            for j in range(self.library_tasks)
+        ]
+
+        def done(_t: Task) -> None:
+            self.calls_completed += 1
+            self.library.stats.report_progress("calls")
+
+        return self.library.create_task(
+            f"call{p}.join",
+            flops=self.library_flops * 0.1,
+            arithmetic_intensity=self.ai,
+            depends_on=fan,
+            on_finish=done,
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True when all phases and calls have completed."""
+        return (
+            self.phases_completed == self.phases
+            and self.calls_completed == self.phases
+        )

@@ -1,0 +1,131 @@
+"""Non-worker threads (Section IV).
+
+Threads that do work but are outside any runtime's control:
+
+* :class:`IoThread` — mostly blocked in I/O, briefly computing between
+  waits ("if such a thread ... is mostly blocked in I/O function calls,
+  it is not a big issue from the load balancing point of view");
+* :class:`ComputeThread` — a main thread or hand-rolled pthread doing
+  steady computation the arbiter cannot block, only re-bind via OS
+  affinity ("We might still be able to use thread affinities provided by
+  the operating system to move such threads").
+
+Both are plain :class:`~repro.sim.executor.WorkProvider`s; experiments add
+them next to runtime-managed workers to measure the interference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.cpu import Binding, SimThread
+from repro.sim.executor import ExecutionSimulator, WorkSegment
+
+__all__ = ["IoThread", "ComputeThread"]
+
+
+class IoThread:
+    """Alternates short compute bursts with I/O waits.
+
+    Parameters
+    ----------
+    burst_flops:
+        Work per burst (GFLOP) — e.g. preparing/parsing a buffer.
+    wait_seconds:
+        I/O wait between bursts (the thread yields its core).
+    arithmetic_intensity:
+        Intensity of the burst; I/O preparation is typically streaming,
+        so the default is memory-heavy.
+    data_home:
+        Node whose memory the I/O buffers live on; the paper notes I/O
+        threads "will most likely be reading and writing data that is
+        also used for computation", so placing this on a busy node is the
+        interesting case.
+    total_bursts:
+        Stop after this many bursts (None = forever).
+    initial_delay:
+        Offset before the first burst; staggering a group of I/O threads
+        de-synchronises their wait windows, which is what lets extra
+        threads fill the gaps (the Section II benefit).
+    """
+
+    def __init__(
+        self,
+        executor: ExecutionSimulator,
+        *,
+        burst_flops: float = 0.001,
+        wait_seconds: float = 0.01,
+        arithmetic_intensity: float = 0.25,
+        data_home: int | None = None,
+        total_bursts: int | None = None,
+        initial_delay: float = 0.0,
+    ) -> None:
+        if burst_flops <= 0 or wait_seconds < 0 or initial_delay < 0:
+            raise ConfigurationError("invalid IoThread parameters")
+        self.executor = executor
+        self.burst_flops = burst_flops
+        self.wait_seconds = wait_seconds
+        self.ai = arithmetic_intensity
+        self.data_home = data_home
+        self.total_bursts = total_bursts
+        self.bursts_done = 0
+        self._next_ready = initial_delay
+
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Next compute burst, or None while "blocked in I/O"."""
+        if (
+            self.total_bursts is not None
+            and self.bursts_done >= self.total_bursts
+        ):
+            return None
+        if self.executor.sim.now < self._next_ready:
+            return None  # "blocked in I/O"
+        return WorkSegment(
+            flops=self.burst_flops,
+            arithmetic_intensity=self.ai,
+            data_home=self.data_home,
+            label="io-burst",
+        )
+
+    def segment_finished(self, thread: SimThread, segment: WorkSegment) -> None:
+        """Account the burst and enter the next I/O wait."""
+        self.bursts_done += 1
+        self._next_ready = self.executor.sim.now + self.wait_seconds
+
+
+class ComputeThread:
+    """A steady computing thread outside runtime control.
+
+    The arbiter cannot block it; it can only be re-bound (the executor's
+    :meth:`~repro.sim.executor.ExecutionSimulator.rebind`) or deprioritised.
+    """
+
+    def __init__(
+        self,
+        *,
+        task_flops: float = 0.01,
+        arithmetic_intensity: float = 4.0,
+        data_home: int | None = None,
+        total_tasks: int | None = None,
+    ) -> None:
+        if task_flops <= 0:
+            raise ConfigurationError("task_flops must be positive")
+        self.task_flops = task_flops
+        self.ai = arithmetic_intensity
+        self.data_home = data_home
+        self.total_tasks = total_tasks
+        self.tasks_done = 0
+
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Next compute task (never blocks, never yields)."""
+        if self.total_tasks is not None and self.tasks_done >= self.total_tasks:
+            return None
+        return WorkSegment(
+            flops=self.task_flops,
+            arithmetic_intensity=self.ai,
+            data_home=self.data_home,
+            label="nonworker-compute",
+        )
+
+    def segment_finished(self, thread: SimThread, segment: WorkSegment) -> None:
+        """Count the finished task."""
+        self.tasks_done += 1

@@ -1,0 +1,192 @@
+"""The producer-consumer scenario of the authors' earlier work [10].
+
+"We used a simple producer-consumer scenario, where one application
+produces one data item per iteration and another application consumes one
+such item per iteration.  Each iteration consists internally of multiple
+tasks that can be executed in parallel."
+
+Two :class:`~repro.runtime.runtime.OCRVxRuntime` instances share the
+machine.  Producer iteration *i* is a fan of parallel tasks joined by a
+sink that publishes item *i*; consumer iteration *i* depends on item *i*
+and on the consumer's own iteration *i-1*.  The scenario tracks the
+*intermediate data* (items produced but not yet consumed) over time — the
+metric where the paper reports the clearest benefit of agent coordination
+("a clear benefit on storage thanks to the reduced size of intermediate
+data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.events import OnceEvent
+from repro.runtime.runtime import OCRVxRuntime
+from repro.runtime.task import Task
+from repro.sim.executor import ExecutionSimulator
+from repro.sim.metrics import TimeSeries
+
+__all__ = ["ProducerConsumerScenario"]
+
+
+@dataclass(frozen=True)
+class _SideConfig:
+    tasks_per_iteration: int
+    flops_per_task: float
+    arithmetic_intensity: float
+
+
+class ProducerConsumerScenario:
+    """Builds and tracks the two-application pipeline.
+
+    Parameters
+    ----------
+    executor:
+        Shared execution simulator.
+    iterations:
+        Pipeline length.
+    producer / consumer:
+        The two hosting runtimes (created by the caller, typically with
+        half the machine each or with all cores each to exhibit
+        over-subscription).
+    tasks_per_iteration:
+        Parallel fan width inside one iteration.
+    producer_flops / consumer_flops:
+        Work per task on each side; unequal values make one side the
+        bottleneck, which is what the agent has to keep aligned.
+    item_bytes:
+        Size of one produced item, for the intermediate-data metric.
+    """
+
+    def __init__(
+        self,
+        executor: ExecutionSimulator,
+        producer: OCRVxRuntime,
+        consumer: OCRVxRuntime,
+        *,
+        iterations: int,
+        tasks_per_iteration: int = 8,
+        producer_flops: float = 0.01,
+        consumer_flops: float = 0.01,
+        arithmetic_intensity: float = 4.0,
+        item_bytes: float = 16 * 2**20,
+    ) -> None:
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if tasks_per_iteration <= 0:
+            raise ConfigurationError("tasks_per_iteration must be positive")
+        self.executor = executor
+        self.producer = producer
+        self.consumer = consumer
+        self.iterations = iterations
+        self.item_bytes = item_bytes
+        self._pcfg = _SideConfig(
+            tasks_per_iteration, producer_flops, arithmetic_intensity
+        )
+        self._ccfg = _SideConfig(
+            tasks_per_iteration, consumer_flops, arithmetic_intensity
+        )
+        self.produced = 0
+        self.consumed = 0
+        self.intermediate_items = TimeSeries("intermediate-items")
+        self.item_events: list[OnceEvent] = [
+            OnceEvent(f"item-{i}") for i in range(iterations)
+        ]
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Create both applications' full task graphs (pipelined)."""
+        if self._built:
+            raise ConfigurationError("scenario already built")
+        self._built = True
+        prev_sink: Task | None = None
+        for i in range(self.iterations):
+            prev_sink = self._producer_iteration(i, prev_sink)
+        prev_csink: Task | None = None
+        for i in range(self.iterations):
+            prev_csink = self._consumer_iteration(i, prev_csink)
+
+    def _producer_iteration(
+        self, i: int, prev_sink: Task | None
+    ) -> Task:
+        cfg = self._pcfg
+        deps = [prev_sink] if prev_sink is not None else []
+        fan = [
+            self.producer.create_task(
+                f"prod{i}.{j}",
+                flops=cfg.flops_per_task,
+                arithmetic_intensity=cfg.arithmetic_intensity,
+                depends_on=deps,
+            )
+            for j in range(cfg.tasks_per_iteration)
+        ]
+
+        def publish(_t: Task) -> None:
+            self.produced += 1
+            self.producer.stats.report_progress("iterations")
+            self.intermediate_items.record(
+                self.executor.sim.now, self.produced - self.consumed
+            )
+            self.item_events[i].satisfy(i)
+
+        sink = self.producer.create_task(
+            f"prod{i}.sink",
+            flops=cfg.flops_per_task * 0.1,
+            arithmetic_intensity=cfg.arithmetic_intensity,
+            depends_on=fan,
+            on_finish=publish,
+        )
+        return sink
+
+    def _consumer_iteration(
+        self, i: int, prev_sink: Task | None
+    ) -> Task:
+        cfg = self._ccfg
+        deps: list = [self.item_events[i]]
+        if prev_sink is not None:
+            deps.append(prev_sink)
+        fan = [
+            self.consumer.create_task(
+                f"cons{i}.{j}",
+                flops=cfg.flops_per_task,
+                arithmetic_intensity=cfg.arithmetic_intensity,
+                depends_on=deps,
+            )
+            for j in range(cfg.tasks_per_iteration)
+        ]
+
+        def retire(_t: Task) -> None:
+            self.consumed += 1
+            self.consumer.stats.report_progress("iterations")
+            self.intermediate_items.record(
+                self.executor.sim.now, self.produced - self.consumed
+            )
+
+        sink = self.consumer.create_task(
+            f"cons{i}.sink",
+            flops=cfg.flops_per_task * 0.1,
+            arithmetic_intensity=cfg.arithmetic_intensity,
+            depends_on=fan,
+            on_finish=retire,
+        )
+        return sink
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True when every item has been produced and consumed."""
+        return (
+            self.produced == self.iterations
+            and self.consumed == self.iterations
+        )
+
+    def max_intermediate_items(self) -> int:
+        """Peak number of items alive at once (storage high-water mark)."""
+        if len(self.intermediate_items) == 0:
+            return 0
+        return int(self.intermediate_items.max())
+
+    def max_intermediate_bytes(self) -> float:
+        """Peak intermediate storage in bytes."""
+        return self.max_intermediate_items() * self.item_bytes

@@ -1,0 +1,151 @@
+"""Synthetic roofline applications (the paper's Section III-B benchmark).
+
+"We have implemented a simple synthetic benchmark that can behave like the
+applications used to evaluate the model" — an application here is a stream
+of identical tasks with a chosen arithmetic intensity and NUMA placement,
+hosted by an :class:`~repro.runtime.runtime.OCRVxRuntime`.  Throughput of
+the stream under a given thread allocation is the "real GFLOPS" column of
+Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import AppSpec, Placement
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineTopology
+from repro.runtime.datablock import Datablock
+from repro.runtime.runtime import OCRVxRuntime
+from repro.runtime.task import Task
+
+__all__ = ["SyntheticApp"]
+
+
+class SyntheticApp:
+    """A stream of identical roofline tasks on one runtime.
+
+    Parameters
+    ----------
+    runtime:
+        Hosting runtime (one synthetic app per runtime).
+    spec:
+        Arithmetic intensity and NUMA placement of the kernel.
+    task_flops:
+        Work per task in GFLOP.  Must be large relative to the executor's
+        slice for low quantisation error; the default (0.01 GFLOP, about
+        1 ms on a 10 GFLOPS core) is a good compromise.
+    item_bytes:
+        Size of the datablock(s) backing SINGLE_NODE and INTERLEAVED
+        placements.
+    """
+
+    def __init__(
+        self,
+        runtime: OCRVxRuntime,
+        spec: AppSpec,
+        *,
+        task_flops: float = 0.01,
+        item_bytes: float = 64 * 2**20,
+    ) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.task_flops = task_flops
+        self.machine: MachineTopology = runtime.machine
+        self._tasks_created = 0
+        self._tasks_target = 0
+        self._round_robin = 0
+        self._datablocks: list[Datablock] = []
+        if spec.placement is Placement.SINGLE_NODE:
+            if spec.home_node is None or spec.home_node >= self.machine.num_nodes:
+                raise ConfigurationError(
+                    f"app '{spec.name}': invalid home node {spec.home_node}"
+                )
+            self._datablocks = [
+                runtime.create_datablock(
+                    item_bytes, spec.home_node, name=f"{spec.name}-data"
+                )
+            ]
+        elif spec.placement is Placement.INTERLEAVED:
+            self._datablocks = [
+                runtime.create_datablock(
+                    item_bytes / self.machine.num_nodes,
+                    n,
+                    name=f"{spec.name}-data-n{n}",
+                )
+                for n in range(self.machine.num_nodes)
+            ]
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks_created(self) -> int:
+        """Tasks created so far."""
+        return self._tasks_created
+
+    def _next_affinity(self) -> int | None:
+        """Round-robin tasks over nodes that have active workers.
+
+        NUMA-perfect apps place each task on a node and touch only that
+        node's memory; NUMA-bad apps don't care where they run (their
+        traffic goes to the home node regardless).
+        """
+        if self.spec.placement is not Placement.NUMA_PERFECT:
+            return None
+        active = self.runtime.active_per_node()
+        nodes = [n for n, a in enumerate(active) if a > 0]
+        if not nodes:
+            nodes = list(range(self.machine.num_nodes))
+        node = nodes[self._round_robin % len(nodes)]
+        self._round_robin += 1
+        return node
+
+    def _spawn_one(self) -> Task:
+        i = self._tasks_created
+        self._tasks_created += 1
+
+        def replenish(_task: Task) -> None:
+            if self._tasks_created < self._tasks_target:
+                self._spawn_one()
+
+        return self.runtime.create_task(
+            f"k{i}",
+            flops=self.task_flops,
+            arithmetic_intensity=self.spec.arithmetic_intensity,
+            datablocks=self._datablocks,
+            affinity_node=self._next_affinity(),
+            on_finish=replenish,
+        )
+
+    def submit_stream(self, total_tasks: int, *, window: int | None = None) -> None:
+        """Create a self-replenishing stream of ``total_tasks`` tasks.
+
+        ``window`` tasks are materialised immediately (default: twice the
+        worker count) and each completion spawns a replacement until the
+        total is reached, keeping every worker busy without building a
+        huge queue up front.
+        """
+        if total_tasks <= 0:
+            raise ConfigurationError("total_tasks must be positive")
+        self._tasks_target += total_tasks
+        if window is None:
+            window = max(2 * len(self.runtime.workers), 2)
+        for _ in range(min(window, total_tasks)):
+            if self._tasks_created < self._tasks_target:
+                self._spawn_one()
+
+    def submit_batch(self, num_tasks: int) -> list[Task]:
+        """Create ``num_tasks`` independent tasks immediately."""
+        if num_tasks <= 0:
+            raise ConfigurationError("num_tasks must be positive")
+        self._tasks_target += num_tasks
+        return [self._spawn_one() for _ in range(num_tasks)]
+
+    def migrate_data(self, node: int) -> None:
+        """Move all the app's datablocks to ``node``.
+
+        The remedy the paper proposes for NUMA-bad applications under OCR
+        ("the application should be able to move the data to a different
+        NUMA node").  Only legal between tasks (no block acquired).
+        """
+        for db in self._datablocks:
+            db.migrate(node)

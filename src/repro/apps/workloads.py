@@ -1,0 +1,150 @@
+"""Task-graph workload generators for tests and benchmarks.
+
+Shapes used throughout the suite: embarrassingly parallel fans, dependency
+chains (zero parallelism), layered fork-join graphs (the iteration
+structure of the producer-consumer scenario), 1-D stencil graphs (each
+task depends on its neighbours one layer up — loose synchronisation), and
+seeded random DAGs for property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.task import Task
+from repro.runtime.taskgraph import TaskGraph
+
+__all__ = [
+    "fan",
+    "chain",
+    "fork_join",
+    "stencil_1d",
+    "random_dag",
+]
+
+
+def _mk(name: str, flops: float, ai: float, **kw) -> Task:
+    return Task(name=name, flops=flops, arithmetic_intensity=ai, **kw)
+
+
+def fan(
+    width: int, *, flops: float = 0.01, ai: float = 4.0
+) -> TaskGraph:
+    """``width`` independent tasks (maximum parallelism)."""
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    g = TaskGraph()
+    for i in range(width):
+        g.add(_mk(f"fan{i}", flops, ai))
+    return g
+
+
+def chain(
+    length: int, *, flops: float = 0.01, ai: float = 4.0
+) -> TaskGraph:
+    """``length`` tasks in a straight dependence chain (parallelism 1)."""
+    if length <= 0:
+        raise ConfigurationError("length must be positive")
+    g = TaskGraph()
+    prev: Task | None = None
+    for i in range(length):
+        t = _mk(f"chain{i}", flops, ai)
+        g.add(t)
+        if prev is not None:
+            g.add_edge(prev, t)
+        prev = t
+    return g
+
+
+def fork_join(
+    rounds: int,
+    width: int,
+    *,
+    flops: float = 0.01,
+    ai: float = 4.0,
+    join_flops: float | None = None,
+) -> TaskGraph:
+    """``rounds`` of a ``width``-wide fan joined by a sink each round."""
+    if rounds <= 0 or width <= 0:
+        raise ConfigurationError("rounds and width must be positive")
+    g = TaskGraph()
+    prev_join: Task | None = None
+    for r in range(rounds):
+        fan_tasks = []
+        for j in range(width):
+            t = _mk(f"r{r}.t{j}", flops, ai)
+            g.add(t)
+            if prev_join is not None:
+                g.add_edge(prev_join, t)
+            fan_tasks.append(t)
+        join = _mk(f"r{r}.join", join_flops or flops * 0.1, ai)
+        g.add(join)
+        for t in fan_tasks:
+            g.add_edge(t, join)
+        prev_join = join
+    return g
+
+
+def stencil_1d(
+    layers: int,
+    width: int,
+    *,
+    flops: float = 0.01,
+    ai: float = 0.5,
+    num_nodes: int | None = None,
+) -> TaskGraph:
+    """Layered 1-D stencil: task (l, i) depends on (l-1, i-1..i+1).
+
+    With ``num_nodes`` given, tasks get NUMA affinity by block partition of
+    the spatial axis — the canonical NUMA-perfect decomposition whose edge
+    tasks still read a neighbour's node.
+    """
+    if layers <= 0 or width <= 0:
+        raise ConfigurationError("layers and width must be positive")
+    g = TaskGraph()
+    prev: list[Task] = []
+    for l in range(layers):
+        cur: list[Task] = []
+        for i in range(width):
+            affinity = None
+            if num_nodes is not None:
+                affinity = min(i * num_nodes // width, num_nodes - 1)
+            t = _mk(f"l{l}.x{i}", flops, ai, affinity_node=affinity)
+            g.add(t)
+            if prev:
+                for di in (-1, 0, 1):
+                    j = i + di
+                    if 0 <= j < width:
+                        g.add_edge(prev[j], t)
+            cur.append(t)
+        prev = cur
+    return g
+
+
+def random_dag(
+    num_tasks: int,
+    *,
+    edge_probability: float = 0.1,
+    flops: float = 0.01,
+    ai: float = 4.0,
+    seed: int = 0,
+) -> TaskGraph:
+    """Seeded random DAG: edges only from lower to higher task index."""
+    if num_tasks <= 0:
+        raise ConfigurationError("num_tasks must be positive")
+    if not 0 <= edge_probability <= 1:
+        raise ConfigurationError("edge_probability must be in [0,1]")
+    rng = np.random.default_rng(seed)
+    g = TaskGraph()
+    tasks = [
+        _mk(f"rnd{i}", flops * float(rng.uniform(0.5, 1.5)), ai)
+        for i in range(num_tasks)
+    ]
+    for t in tasks:
+        g.add(t)
+    for i in range(num_tasks):
+        for j in range(i + 1, num_tasks):
+            if rng.random() < edge_probability:
+                g.add_edge(tasks[i], tasks[j])
+    return g

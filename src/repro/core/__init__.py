@@ -1,0 +1,96 @@
+"""The paper's primary contribution: the NUMA-aware allocation model.
+
+Public surface:
+
+* :class:`~repro.core.spec.AppSpec` / :class:`~repro.core.spec.Placement` —
+  analytic application descriptions;
+* :class:`~repro.core.allocation.ThreadAllocation` — per-app per-node
+  thread counts (the paper's thread-control option 3);
+* :class:`~repro.core.model.NumaPerformanceModel` — the bandwidth-sharing
+  performance model of Section III-A;
+* :mod:`~repro.core.policies` and :mod:`~repro.core.optimizer` —
+  allocation generators and searches;
+* :mod:`~repro.core.arbitration` — static multi-runtime core negotiation;
+* :func:`~repro.core.worked.worked_example` — Table I/II style row-by-row
+  breakdowns.
+"""
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.arbitration import (
+    AgentArbiter,
+    ArbitrationOutcome,
+    CooperativeConsensus,
+    FairShareArbiter,
+    ResourceRequest,
+)
+from repro.core.bwshare import NodeShare, RemainderRule, share_node_bandwidth
+from repro.core.model import (
+    AppResult,
+    GroupResult,
+    NodeResult,
+    NumaPerformanceModel,
+    Prediction,
+)
+from repro.core.optimizer import (
+    AnnealingSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    HillClimbSearch,
+    SearchResult,
+    min_app_gflops,
+    total_gflops,
+    weighted_gflops,
+)
+from repro.core.policies import (
+    AllocationPolicy,
+    EvenSharePolicy,
+    NodeExclusivePolicy,
+    ProportionalDemandPolicy,
+    SingleAppFillPolicy,
+    UnevenSharePolicy,
+    enumerate_node_compositions,
+    enumerate_symmetric_allocations,
+)
+from repro.core.roofline import Roofline, attainable_gflops
+from repro.core.spec import AppSpec, Placement
+from repro.core.worked import AppColumn, WorkedExample, worked_example
+
+__all__ = [
+    "AppSpec",
+    "Placement",
+    "ThreadAllocation",
+    "Roofline",
+    "attainable_gflops",
+    "RemainderRule",
+    "NodeShare",
+    "share_node_bandwidth",
+    "NumaPerformanceModel",
+    "Prediction",
+    "AppResult",
+    "GroupResult",
+    "NodeResult",
+    "AllocationPolicy",
+    "EvenSharePolicy",
+    "UnevenSharePolicy",
+    "NodeExclusivePolicy",
+    "ProportionalDemandPolicy",
+    "SingleAppFillPolicy",
+    "enumerate_symmetric_allocations",
+    "enumerate_node_compositions",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "HillClimbSearch",
+    "AnnealingSearch",
+    "SearchResult",
+    "total_gflops",
+    "weighted_gflops",
+    "min_app_gflops",
+    "ResourceRequest",
+    "ArbitrationOutcome",
+    "FairShareArbiter",
+    "AgentArbiter",
+    "CooperativeConsensus",
+    "WorkedExample",
+    "AppColumn",
+    "worked_example",
+]

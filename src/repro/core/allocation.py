@@ -1,0 +1,270 @@
+"""Thread allocations: how many threads each application runs on each node.
+
+This is the paper's thread-control **option 3** ("number of threads per
+NUMA node") made concrete: an allocation is an ``apps x nodes`` integer
+matrix.  Options 1 (total thread count) and 2 (explicit cores) are handled
+by the runtime layer (:mod:`repro.runtime`); the analytic model always
+reasons in option-3 terms because, under the paper's no-over-subscription
+assumption, threads and cores are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError, OversubscriptionError
+from repro.machine.topology import MachineTopology
+
+__all__ = ["ThreadAllocation"]
+
+
+@dataclass(frozen=True)
+class ThreadAllocation:
+    """Per-application, per-NUMA-node thread counts.
+
+    Parameters
+    ----------
+    app_names:
+        Application names, one per matrix row, unique.
+    counts:
+        Integer matrix of shape ``(len(app_names), num_nodes)``;
+        ``counts[a, n]`` is the number of threads of application ``a``
+        bound to NUMA node ``n``.
+    """
+
+    app_names: tuple[str, ...]
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(set(self.app_names)) != len(self.app_names):
+            raise AllocationError(f"duplicate app names: {self.app_names}")
+        counts = np.asarray(self.counts)
+        if counts.ndim != 2:
+            raise AllocationError(
+                f"counts must be a 2-D matrix, got shape {counts.shape}"
+            )
+        if counts.shape[0] != len(self.app_names):
+            raise AllocationError(
+                f"counts has {counts.shape[0]} rows but there are "
+                f"{len(self.app_names)} app names"
+            )
+        if not np.issubdtype(counts.dtype, np.integer):
+            rounded = np.rint(counts)
+            if not np.allclose(counts, rounded):
+                raise AllocationError("thread counts must be integers")
+            counts = rounded.astype(np.int64)
+        else:
+            counts = counts.astype(np.int64)
+        if np.any(counts < 0):
+            raise AllocationError("thread counts must be non-negative")
+        counts.setflags(write=False)
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "app_names", tuple(self.app_names))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(
+        cls,
+        per_app: Mapping[str, Sequence[int]],
+    ) -> "ThreadAllocation":
+        """Build from ``{app_name: [threads_on_node0, ...]}``."""
+        if not per_app:
+            raise AllocationError("allocation must contain at least one app")
+        names = tuple(per_app)
+        lengths = {len(v) for v in per_app.values()}
+        if len(lengths) != 1:
+            raise AllocationError(
+                f"all apps must list the same number of nodes, got {lengths}"
+            )
+        counts = np.array([list(per_app[n]) for n in names], dtype=np.int64)
+        return cls(app_names=names, counts=counts)
+
+    @classmethod
+    def uniform(
+        cls,
+        app_names: Sequence[str],
+        num_nodes: int,
+        threads_per_node: int | Sequence[int],
+    ) -> "ThreadAllocation":
+        """Give every app the same per-node thread count(s).
+
+        ``threads_per_node`` is either one integer (same count on every
+        node) or one integer per app (that app's count on every node).
+        """
+        names = tuple(app_names)
+        if isinstance(threads_per_node, int):
+            per_app = [threads_per_node] * len(names)
+        else:
+            per_app = list(threads_per_node)
+            if len(per_app) != len(names):
+                raise AllocationError(
+                    f"{len(per_app)} thread counts for {len(names)} apps"
+                )
+        counts = np.array(
+            [[t] * num_nodes for t in per_app], dtype=np.int64
+        )
+        return cls(app_names=names, counts=counts)
+
+    @classmethod
+    def node_exclusive(
+        cls,
+        app_names: Sequence[str],
+        machine: MachineTopology,
+        assignment: Mapping[str, int] | None = None,
+    ) -> "ThreadAllocation":
+        """Give each application all cores of one NUMA node.
+
+        Requires exactly as many apps as nodes.  ``assignment`` maps app
+        name to node id; by default apps take nodes in listing order.
+        """
+        names = tuple(app_names)
+        if len(names) != machine.num_nodes:
+            raise AllocationError(
+                f"node-exclusive needs one app per node: {len(names)} apps, "
+                f"{machine.num_nodes} nodes"
+            )
+        if assignment is None:
+            assignment = {name: i for i, name in enumerate(names)}
+        if sorted(assignment.values()) != list(range(machine.num_nodes)):
+            raise AllocationError(
+                f"assignment must be a bijection onto nodes "
+                f"0..{machine.num_nodes - 1}: {assignment}"
+            )
+        counts = np.zeros((len(names), machine.num_nodes), dtype=np.int64)
+        for a, name in enumerate(names):
+            if name not in assignment:
+                raise AllocationError(f"assignment missing app '{name}'")
+            node = assignment[name]
+            counts[a, node] = machine.node(node).num_cores
+        return cls(app_names=names, counts=counts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_apps(self) -> int:
+        """Number of applications in the allocation."""
+        return len(self.app_names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of NUMA nodes the allocation spans."""
+        return int(self.counts.shape[1])
+
+    @property
+    def threads_per_node(self) -> np.ndarray:
+        """Total threads on each node (all apps), shape ``(num_nodes,)``."""
+        return self.counts.sum(axis=0)
+
+    @property
+    def threads_per_app(self) -> np.ndarray:
+        """Total threads of each app (all nodes), shape ``(num_apps,)``."""
+        return self.counts.sum(axis=1)
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads across all apps and nodes."""
+        return int(self.counts.sum())
+
+    def app_index(self, name: str) -> int:
+        """Row index of application ``name``."""
+        try:
+            return self.app_names.index(name)
+        except ValueError:
+            raise AllocationError(
+                f"unknown app '{name}'; allocation has {self.app_names}"
+            ) from None
+
+    def threads_of(self, name: str) -> np.ndarray:
+        """Per-node thread counts of application ``name``."""
+        return self.counts[self.app_index(name)]
+
+    def as_mapping(self) -> dict[str, list[int]]:
+        """Inverse of :meth:`from_mapping`."""
+        return {
+            name: self.counts[i].tolist()
+            for i, name in enumerate(self.app_names)
+        }
+
+    # ------------------------------------------------------------------
+    # Validation & algebra
+    # ------------------------------------------------------------------
+    def validate(self, machine: MachineTopology) -> None:
+        """Check the allocation fits ``machine`` without over-subscription.
+
+        Raises
+        ------
+        AllocationError
+            If node counts disagree with the machine.
+        OversubscriptionError
+            If any node is assigned more threads than it has cores
+            (forbidden by the paper's second modelling assumption).
+        """
+        if self.num_nodes != machine.num_nodes:
+            raise AllocationError(
+                f"allocation spans {self.num_nodes} nodes, machine "
+                f"'{machine.name}' has {machine.num_nodes}"
+            )
+        per_node = self.threads_per_node
+        for node in machine.nodes:
+            if per_node[node.node_id] > node.num_cores:
+                raise OversubscriptionError(
+                    f"node {node.node_id}: {per_node[node.node_id]} threads "
+                    f"allocated but only {node.num_cores} cores available"
+                )
+
+    def fits(self, machine: MachineTopology) -> bool:
+        """True when :meth:`validate` would pass."""
+        try:
+            self.validate(machine)
+        except AllocationError:
+            return False
+        return True
+
+    def utilization(self, machine: MachineTopology) -> float:
+        """Fraction of machine cores used by this allocation."""
+        return self.total_threads / machine.total_cores
+
+    def with_counts(
+        self, name: str, per_node: Sequence[int]
+    ) -> "ThreadAllocation":
+        """Return a copy with app ``name``'s row replaced."""
+        idx = self.app_index(name)
+        counts = np.array(self.counts)
+        if len(per_node) != self.num_nodes:
+            raise AllocationError(
+                f"{len(per_node)} node counts for {self.num_nodes} nodes"
+            )
+        counts[idx] = per_node
+        return ThreadAllocation(app_names=self.app_names, counts=counts)
+
+    def move_thread(
+        self, src_app: str, dst_app: str, node: int
+    ) -> "ThreadAllocation":
+        """Move one thread on ``node`` from ``src_app`` to ``dst_app``.
+
+        The elementary step used by local-search allocation optimizers.
+        """
+        si, di = self.app_index(src_app), self.app_index(dst_app)
+        if not 0 <= node < self.num_nodes:
+            raise AllocationError(f"node {node} out of range")
+        if self.counts[si, node] == 0:
+            raise AllocationError(
+                f"app '{src_app}' has no thread on node {node} to move"
+            )
+        counts = np.array(self.counts)
+        counts[si, node] -= 1
+        counts[di, node] += 1
+        return ThreadAllocation(app_names=self.app_names, counts=counts)
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            f"{name}={self.counts[i].tolist()}"
+            for i, name in enumerate(self.app_names)
+        )
+        return f"ThreadAllocation({rows})"

@@ -1,0 +1,150 @@
+"""Per-NUMA-node memory-bandwidth arbitration.
+
+Implements assumptions 4 and 5 of the paper's model (Section III-A):
+
+4. memory bandwidth is shared by all cores in the same NUMA node;
+5. the actual bandwidth is split so that each core can get at least its
+   equal share of the node total (the *baseline*, ``node_bw / num_cores``),
+   and the remainder is split proportionately to the attempted memory
+   access above the baseline.
+
+The remainder split is a water-filling problem: a thread can never receive
+more than it demands, and bandwidth freed by a thread whose demand is met
+flows back to the still-unsatisfied threads.  The paper's worked examples
+(Tables I and II) only exercise the case where all unsatisfied threads have
+identical unmet demand, where proportional and even splitting coincide;
+:class:`RemainderRule` exposes both so the difference can be ablated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["RemainderRule", "NodeShare", "share_node_bandwidth"]
+
+#: Bandwidth below this (GB/s) is treated as zero during water-filling.
+_EPS = 1e-12
+
+
+class RemainderRule(enum.Enum):
+    """How leftover bandwidth is divided among unsatisfied threads."""
+
+    #: Proportional to each thread's unmet demand (paper assumption 5:
+    #: "a code that would want to make twice as many memory operations
+    #: above the baseline will end up getting twice as much of the
+    #: remaining bandwidth").
+    PROPORTIONAL = "proportional"
+
+    #: Equal split among unsatisfied threads (the arithmetic actually
+    #: performed in the paper's worked examples: "We split this evenly
+    #: among the three memory-bound applications").
+    EVEN = "even"
+
+
+@dataclass(frozen=True)
+class NodeShare:
+    """Result of arbitrating one node's bandwidth.
+
+    Attributes
+    ----------
+    allocated:
+        GB/s granted to each thread, same order as the input demands.
+    baseline:
+        The per-core baseline share used (``capacity / num_cores``).
+    capacity:
+        The bandwidth that was available for local threads.
+    """
+
+    allocated: np.ndarray
+    baseline: float
+    capacity: float
+
+    @property
+    def consumed(self) -> float:
+        """Total bandwidth handed out."""
+        return float(self.allocated.sum())
+
+    @property
+    def leftover(self) -> float:
+        """Bandwidth that nobody wanted."""
+        return self.capacity - self.consumed
+
+
+def share_node_bandwidth(
+    capacity: float,
+    num_cores: int,
+    demands: np.ndarray | list[float],
+    *,
+    rule: RemainderRule = RemainderRule.PROPORTIONAL,
+) -> NodeShare:
+    """Split ``capacity`` GB/s among threads with the given ``demands``.
+
+    Parameters
+    ----------
+    capacity:
+        Bandwidth available to local threads on this node (GB/s).  This is
+        the node's full local bandwidth unless remote traffic was served
+        first (see :mod:`repro.core.model`).
+    num_cores:
+        Number of CPU cores in the node.  The baseline is
+        ``capacity / num_cores`` regardless of how many threads are
+        actually running — an idle core's share joins the remainder pool.
+    demands:
+        Per-thread attempted bandwidth (GB/s).
+
+    Returns
+    -------
+    NodeShare
+        Per-thread grants.  Invariants: ``0 <= grant <= demand`` for every
+        thread, ``sum(grants) <= capacity``, and when total demand meets or
+        exceeds capacity the grants exhaust it (up to rounding).
+    """
+    if capacity < 0:
+        raise ModelError(f"capacity must be non-negative, got {capacity}")
+    if num_cores <= 0:
+        raise ModelError(f"num_cores must be positive, got {num_cores}")
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 1:
+        raise ModelError(f"demands must be 1-D, got shape {d.shape}")
+    if np.any(d < 0):
+        raise ModelError("demands must be non-negative")
+    if len(d) > num_cores:
+        raise ModelError(
+            f"{len(d)} threads on a node with {num_cores} cores violates "
+            f"the model's no-over-subscription assumption"
+        )
+
+    baseline = capacity / num_cores
+    allocated = np.minimum(d, baseline)
+    remaining = capacity - allocated.sum()
+
+    # Water-fill the remainder.  Each pass hands out bandwidth according to
+    # the rule, capped at each thread's unmet demand; threads that become
+    # satisfied drop out and their unused share is redistributed in the
+    # next pass.  Terminates because every pass either exhausts the
+    # remainder or satisfies at least one thread.
+    while remaining > _EPS:
+        unmet = d - allocated
+        unsatisfied = unmet > _EPS
+        if not np.any(unsatisfied):
+            break
+        if rule is RemainderRule.PROPORTIONAL:
+            weights = np.where(unsatisfied, unmet, 0.0)
+        else:
+            weights = unsatisfied.astype(float)
+        give = remaining * weights / weights.sum()
+        give = np.minimum(give, unmet)
+        handed = give.sum()
+        if handed <= _EPS:
+            break
+        allocated += give
+        remaining -= handed
+
+    return NodeShare(
+        allocated=allocated, baseline=baseline, capacity=capacity
+    )

@@ -1,0 +1,357 @@
+"""Search for good thread allocations under the analytic model.
+
+The paper argues ("There are many other ways to partition the machine...")
+that picking the right partition matters — the Tables I/II workload spans
+254 vs 140 vs 128 GFLOPS across three natural choices.  This module
+provides the search machinery a resource arbiter would use:
+
+* :class:`ExhaustiveSearch` over the node-symmetric subspace (ground truth
+  for small machines; the symmetric space for 8 cores / 4 apps has only
+  165 points),
+* :class:`GreedySearch` — build the allocation one thread at a time, always
+  adding where the model says the marginal GFLOPS gain is largest,
+* :class:`HillClimbSearch` — local search over single-thread moves between
+  apps (optionally asymmetric across nodes),
+* :class:`AnnealingSearch` — simulated annealing over the full asymmetric
+  space, able to escape the local optima hill climbing gets stuck in.
+
+All searches also support an *objective* other than total GFLOPS, e.g.
+weighted throughput or max-min fairness, since a real arbiter rarely
+optimises raw FLOP/s alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.model import NumaPerformanceModel, Prediction
+from repro.core.policies import enumerate_symmetric_allocations
+from repro.core.spec import AppSpec
+from repro.errors import AllocationError, ModelError
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "Objective",
+    "total_gflops",
+    "weighted_gflops",
+    "min_app_gflops",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "HillClimbSearch",
+    "AnnealingSearch",
+]
+
+#: An objective maps a model prediction to a scalar score (higher = better).
+Objective = Callable[[Prediction], float]
+
+
+def total_gflops(prediction: Prediction) -> float:
+    """Default objective: machine-wide achieved GFLOPS."""
+    return prediction.total_gflops
+
+
+def weighted_gflops(weights: dict[str, float]) -> Objective:
+    """Objective factory: weighted sum of per-app GFLOPS.
+
+    Lets an arbiter encode priorities (e.g. the interactive component
+    counts double).
+    """
+
+    def objective(prediction: Prediction) -> float:
+        return sum(
+            weights.get(a.name, 1.0) * a.gflops for a in prediction.apps
+        )
+
+    return objective
+
+
+def min_app_gflops(prediction: Prediction) -> float:
+    """Max-min fairness objective: the worst-off application's GFLOPS."""
+    return min(a.gflops for a in prediction.apps)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an allocation search."""
+
+    allocation: ThreadAllocation
+    prediction: Prediction
+    score: float
+    evaluations: int
+    trajectory: tuple[float, ...] = ()
+
+    def __str__(self) -> str:
+        return (
+            f"SearchResult(score={self.score:.3f}, "
+            f"evaluations={self.evaluations}, "
+            f"allocation={self.allocation})"
+        )
+
+
+class _SearchBase:
+    """Shared plumbing: model evaluation with counting."""
+
+    def __init__(
+        self,
+        model: NumaPerformanceModel | None = None,
+        objective: Objective = total_gflops,
+    ) -> None:
+        self.model = model or NumaPerformanceModel()
+        self.objective = objective
+        self._evaluations = 0
+
+    def _score(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        allocation: ThreadAllocation,
+    ) -> tuple[float, Prediction]:
+        self._evaluations += 1
+        prediction = self.model.predict(machine, apps, allocation)
+        return self.objective(prediction), prediction
+
+
+class ExhaustiveSearch(_SearchBase):
+    """Evaluate every node-symmetric allocation; exact in that subspace.
+
+    Parameters
+    ----------
+    require_full:
+        Whether every core must be occupied.  Allowing idle cores enlarges
+        the space but can win when all applications are memory bound.
+    """
+
+    def __init__(
+        self,
+        model: NumaPerformanceModel | None = None,
+        objective: Objective = total_gflops,
+        *,
+        require_full: bool = True,
+    ) -> None:
+        super().__init__(model, objective)
+        self.require_full = require_full
+
+    def search(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> SearchResult:
+        """Return the best symmetric allocation."""
+        self._evaluations = 0
+        best: tuple[float, ThreadAllocation, Prediction] | None = None
+        for alloc in enumerate_symmetric_allocations(
+            machine, apps, require_full=self.require_full
+        ):
+            score, pred = self._score(machine, apps, alloc)
+            if best is None or score > best[0]:
+                best = (score, alloc, pred)
+        if best is None:
+            raise AllocationError("empty search space")
+        return SearchResult(
+            allocation=best[1],
+            prediction=best[2],
+            score=best[0],
+            evaluations=self._evaluations,
+        )
+
+
+class GreedySearch(_SearchBase):
+    """Add one thread at a time where the marginal objective gain is best.
+
+    Starts from the empty allocation and performs
+    ``sum(cores per node)`` rounds; each round tries every (app, node)
+    placement with a free core and keeps the best.  Runs in
+    ``O(total_cores * apps * nodes)`` model evaluations and may place
+    different compositions on different nodes (unlike
+    :class:`ExhaustiveSearch`).  Stops early if every possible addition
+    lowers the objective (only possible with non-throughput objectives or
+    contention-heavy workloads).
+    """
+
+    def search(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> SearchResult:
+        """Greedily build an allocation."""
+        self._evaluations = 0
+        names = tuple(a.name for a in apps)
+        counts = np.zeros((len(apps), machine.num_nodes), dtype=np.int64)
+        free = np.array([n.num_cores for n in machine.nodes], dtype=np.int64)
+        current_score = -math.inf
+        best_pred: Prediction | None = None
+        trajectory: list[float] = []
+        while free.sum() > 0:
+            best_step: tuple[float, int, int, Prediction] | None = None
+            for a in range(len(apps)):
+                for n in range(machine.num_nodes):
+                    if free[n] == 0:
+                        continue
+                    counts[a, n] += 1
+                    alloc = ThreadAllocation(app_names=names, counts=counts.copy())
+                    score, pred = self._score(machine, apps, alloc)
+                    counts[a, n] -= 1
+                    if best_step is None or score > best_step[0]:
+                        best_step = (score, a, n, pred)
+            if best_step is None:
+                break
+            score, a, n, pred = best_step
+            if score < current_score - 1e-12:
+                break  # every addition hurts; stop with idle cores
+            counts[a, n] += 1
+            free[n] -= 1
+            current_score = score
+            best_pred = pred
+            trajectory.append(score)
+        if best_pred is None:
+            raise AllocationError("greedy search placed no threads")
+        return SearchResult(
+            allocation=ThreadAllocation(app_names=names, counts=counts),
+            prediction=best_pred,
+            score=current_score,
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )
+
+
+class HillClimbSearch(_SearchBase):
+    """Steepest-ascent local search over single-thread moves.
+
+    A move takes one thread of one app on one node and gives it to another
+    app on the same node (the machine stays fully utilised).  Terminates at
+    a local optimum of the move neighbourhood.
+    """
+
+    def __init__(
+        self,
+        model: NumaPerformanceModel | None = None,
+        objective: Objective = total_gflops,
+        *,
+        max_rounds: int = 1000,
+    ) -> None:
+        super().__init__(model, objective)
+        self.max_rounds = max_rounds
+
+    def search(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation | None = None,
+    ) -> SearchResult:
+        """Climb from ``start`` (default: even share with leftovers)."""
+        self._evaluations = 0
+        if start is None:
+            from repro.core.policies import EvenSharePolicy
+
+            start = EvenSharePolicy(distribute_leftover=True).allocate(
+                machine, apps
+            )
+        start.validate(machine)
+        current = start
+        score, pred = self._score(machine, apps, current)
+        trajectory = [score]
+        for _ in range(self.max_rounds):
+            best_move: tuple[float, ThreadAllocation, Prediction] | None = None
+            for src in current.app_names:
+                for dst in current.app_names:
+                    if src == dst:
+                        continue
+                    for n in range(machine.num_nodes):
+                        if current.threads_of(src)[n] == 0:
+                            continue
+                        cand = current.move_thread(src, dst, n)
+                        s, p = self._score(machine, apps, cand)
+                        if best_move is None or s > best_move[0]:
+                            best_move = (s, cand, p)
+            if best_move is None or best_move[0] <= score + 1e-12:
+                break
+            score, current, pred = best_move
+            trajectory.append(score)
+        return SearchResult(
+            allocation=current,
+            prediction=pred,
+            score=score,
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )
+
+
+class AnnealingSearch(_SearchBase):
+    """Simulated annealing over single-thread moves.
+
+    Same neighbourhood as :class:`HillClimbSearch` but accepts worsening
+    moves with probability ``exp(delta / T)`` under a geometric cooling
+    schedule, so it can cross the valleys between symmetric optima.
+    Deterministic for a fixed ``seed``.
+    """
+
+    def __init__(
+        self,
+        model: NumaPerformanceModel | None = None,
+        objective: Objective = total_gflops,
+        *,
+        steps: int = 2000,
+        initial_temperature: float = 5.0,
+        cooling: float = 0.995,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, objective)
+        if steps <= 0:
+            raise ModelError(f"steps must be positive, got {steps}")
+        if not 0 < cooling < 1:
+            raise ModelError(f"cooling must be in (0,1), got {cooling}")
+        self.steps = steps
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def search(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation | None = None,
+    ) -> SearchResult:
+        """Anneal from ``start`` (default: even share with leftovers)."""
+        self._evaluations = 0
+        rng = np.random.default_rng(self.seed)
+        if start is None:
+            from repro.core.policies import EvenSharePolicy
+
+            start = EvenSharePolicy(distribute_leftover=True).allocate(
+                machine, apps
+            )
+        start.validate(machine)
+        current = start
+        score, pred = self._score(machine, apps, current)
+        best = (score, current, pred)
+        temperature = self.initial_temperature
+        trajectory = [score]
+        names = current.app_names
+        for _ in range(self.steps):
+            # Propose a random legal single-thread move.
+            donors = np.argwhere(current.counts > 0)
+            if donors.size == 0:
+                break
+            ai, n = donors[rng.integers(len(donors))]
+            choices = [j for j in range(len(names)) if j != ai]
+            if not choices:
+                break
+            dj = choices[rng.integers(len(choices))]
+            cand = current.move_thread(names[ai], names[dj], int(n))
+            s, p = self._score(machine, apps, cand)
+            delta = s - score
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current, score, pred = cand, s, p
+                if score > best[0]:
+                    best = (score, current, pred)
+            temperature = max(temperature * self.cooling, 1e-6)
+            trajectory.append(score)
+        return SearchResult(
+            allocation=best[1],
+            prediction=best[2],
+            score=best[0],
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )

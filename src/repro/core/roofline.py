@@ -1,0 +1,125 @@
+"""The roofline performance model [12].
+
+The paper builds its NUMA model on the roofline: given a kernel's
+arithmetic intensity ``AI`` (FLOPs per byte) and a platform's peak compute
+``P`` (GFLOPS) and peak memory bandwidth ``B`` (GB/s), attainable
+performance is ``min(P, B * AI)``.  The *ridge point* ``P / B`` separates
+memory-bound kernels (AI below) from compute-bound ones (AI above).
+
+This module provides the scalar roofline plus helpers used by calibration
+and by the synthetic-application generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["Roofline", "attainable_gflops"]
+
+
+def attainable_gflops(
+    arithmetic_intensity: float, peak_gflops: float, peak_bandwidth: float
+) -> float:
+    """Roofline-attainable GFLOPS: ``min(P, B * AI)``."""
+    if arithmetic_intensity <= 0:
+        raise ModelError(
+            f"arithmetic_intensity must be positive, got {arithmetic_intensity}"
+        )
+    if peak_gflops <= 0 or peak_bandwidth <= 0:
+        raise ModelError("peaks must be positive")
+    return min(peak_gflops, peak_bandwidth * arithmetic_intensity)
+
+
+@dataclass(frozen=True, slots=True)
+class Roofline:
+    """A roofline for one execution context (a core, a node, a machine).
+
+    Attributes
+    ----------
+    peak_gflops:
+        Compute ceiling (GFLOPS).
+    peak_bandwidth:
+        Memory ceiling (GB/s).
+    """
+
+    peak_gflops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0:
+            raise ModelError(
+                f"peak_gflops must be positive, got {self.peak_gflops}"
+            )
+        if self.peak_bandwidth <= 0:
+            raise ModelError(
+                f"peak_bandwidth must be positive, got {self.peak_bandwidth}"
+            )
+
+    @property
+    def ridge_ai(self) -> float:
+        """Arithmetic intensity at which the two ceilings intersect."""
+        return self.peak_gflops / self.peak_bandwidth
+
+    def attainable(self, arithmetic_intensity: float) -> float:
+        """Attainable GFLOPS for a kernel of the given intensity."""
+        return attainable_gflops(
+            arithmetic_intensity, self.peak_gflops, self.peak_bandwidth
+        )
+
+    def is_memory_bound(self, arithmetic_intensity: float) -> bool:
+        """True when the kernel sits left of the ridge point."""
+        if arithmetic_intensity <= 0:
+            raise ModelError(
+                f"arithmetic_intensity must be positive, got "
+                f"{arithmetic_intensity}"
+            )
+        return arithmetic_intensity < self.ridge_ai
+
+    def demand_bandwidth(self, arithmetic_intensity: float) -> float:
+        """Bandwidth (GB/s) the kernel attempts to draw at peak compute.
+
+        This is the paper's assumption 3: every thread tries to stream at
+        ``peak_gflops / AI`` regardless of whether the memory system can
+        sustain it.
+        """
+        if arithmetic_intensity <= 0:
+            raise ModelError(
+                f"arithmetic_intensity must be positive, got "
+                f"{arithmetic_intensity}"
+            )
+        return self.peak_gflops / arithmetic_intensity
+
+    def efficiency(self, arithmetic_intensity: float) -> float:
+        """Attainable GFLOPS as a fraction of peak compute, in (0, 1]."""
+        return self.attainable(arithmetic_intensity) / self.peak_gflops
+
+    def sweep(
+        self, intensities: np.ndarray | list[float]
+    ) -> np.ndarray:
+        """Vectorised attainable GFLOPS over many intensities."""
+        ai = np.asarray(intensities, dtype=float)
+        if np.any(ai <= 0):
+            raise ModelError("all intensities must be positive")
+        return np.minimum(self.peak_gflops, self.peak_bandwidth * ai)
+
+    def scaled(self, threads: int, *, bandwidth_shared: bool = True) -> "Roofline":
+        """Roofline of ``threads`` cooperating threads.
+
+        Compute scales linearly with the thread count; bandwidth stays at
+        the node ceiling when ``bandwidth_shared`` (the NUMA-node case) or
+        scales linearly too (the multi-node NUMA-perfect case).
+        """
+        if threads <= 0:
+            raise ModelError(f"threads must be positive, got {threads}")
+        return Roofline(
+            peak_gflops=self.peak_gflops * threads,
+            peak_bandwidth=(
+                self.peak_bandwidth
+                if bandwidth_shared
+                else self.peak_bandwidth * threads
+            ),
+        )

@@ -1,0 +1,243 @@
+"""Application scaling curves and marginal-utility core allocation.
+
+Section II: "if the scaling of the applications is less than linear, we
+might get better efficiency by reducing the number of threads ... The
+application's performance might increase with any extra thread, but the
+scaling is not linear.  In this case, it might be better to limit the
+number of threads allocated to this application and assign the CPU cores
+to another application, which can make better use of them."
+
+This module makes that reasoning executable:
+
+* :class:`ScalingCurve` — throughput as a function of thread count, with
+  three concrete families: linear, Amdahl, and the model-derived curve of
+  a roofline application on a NUMA node (linear until bandwidth
+  saturation, flat after — exactly the paper's memory-bound case);
+* :func:`marginal_utility_allocation` — the greedy water-filling
+  allocator over marginal gains.  For concave curves the greedy choice is
+  optimal, which turns the paper's observation into an O(cores * apps)
+  algorithm instead of a search.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.spec import AppSpec
+from repro.errors import ConfigurationError, ModelError
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "ScalingCurve",
+    "LinearScaling",
+    "AmdahlScaling",
+    "RooflineNodeScaling",
+    "measured_curve",
+    "marginal_utility_allocation",
+]
+
+
+class ScalingCurve(ABC):
+    """Throughput (GFLOPS) of one application vs its thread count."""
+
+    @abstractmethod
+    def throughput(self, threads: int) -> float:
+        """Throughput with ``threads`` threads (0 threads -> 0)."""
+
+    def speedup(self, threads: int) -> float:
+        """Throughput relative to one thread."""
+        base = self.throughput(1)
+        if base <= 0:
+            raise ModelError("speedup undefined: zero single-thread rate")
+        return self.throughput(threads) / base
+
+    def efficiency(self, threads: int) -> float:
+        """Speedup divided by thread count (parallel efficiency)."""
+        if threads <= 0:
+            raise ModelError(f"threads must be positive, got {threads}")
+        return self.speedup(threads) / threads
+
+    def marginal(self, threads: int) -> float:
+        """Extra throughput from adding the ``threads``-th thread."""
+        if threads <= 0:
+            raise ModelError(f"threads must be positive, got {threads}")
+        return self.throughput(threads) - self.throughput(threads - 1)
+
+    def is_sublinear(self, max_threads: int, *, tol: float = 1e-9) -> bool:
+        """True if efficiency drops below 1 anywhere up to max_threads."""
+        return any(
+            self.efficiency(t) < 1.0 - tol
+            for t in range(2, max_threads + 1)
+        )
+
+
+@dataclass(frozen=True)
+class LinearScaling(ScalingCurve):
+    """Perfect scaling: ``threads * per_thread`` GFLOPS."""
+
+    per_thread: float
+
+    def __post_init__(self) -> None:
+        if self.per_thread <= 0:
+            raise ConfigurationError("per_thread must be positive")
+
+    def throughput(self, threads: int) -> float:
+        if threads < 0:
+            raise ModelError("threads must be non-negative")
+        return self.per_thread * threads
+
+
+@dataclass(frozen=True)
+class AmdahlScaling(ScalingCurve):
+    """Amdahl's law: serial fraction limits the speedup.
+
+    ``throughput(n) = peak_single * n / (serial * n + (1 - serial))``.
+    """
+
+    peak_single: float
+    serial_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.peak_single <= 0:
+            raise ConfigurationError("peak_single must be positive")
+        if not 0 <= self.serial_fraction <= 1:
+            raise ConfigurationError("serial_fraction must be in [0,1]")
+
+    def throughput(self, threads: int) -> float:
+        if threads < 0:
+            raise ModelError("threads must be non-negative")
+        if threads == 0:
+            return 0.0
+        s = self.serial_fraction
+        return self.peak_single * threads / (s * threads + (1 - s))
+
+
+@dataclass(frozen=True)
+class RooflineNodeScaling(ScalingCurve):
+    """The model-derived curve of a roofline app alone on one NUMA node.
+
+    Linear at ``per_thread_peak`` until the node bandwidth saturates,
+    flat at ``bandwidth * AI`` beyond — the paper's memory-bound
+    applications follow exactly this shape (the source of the 254-vs-140
+    result).
+    """
+
+    per_thread_peak: float
+    node_bandwidth: float
+    arithmetic_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.per_thread_peak <= 0:
+            raise ConfigurationError("per_thread_peak must be positive")
+        if self.node_bandwidth <= 0:
+            raise ConfigurationError("node_bandwidth must be positive")
+        if self.arithmetic_intensity <= 0:
+            raise ConfigurationError("arithmetic_intensity must be positive")
+
+    @property
+    def saturation_threads(self) -> float:
+        """Thread count at which the bandwidth ceiling binds."""
+        demand = self.per_thread_peak / self.arithmetic_intensity
+        return self.node_bandwidth / demand
+
+    def throughput(self, threads: int) -> float:
+        if threads < 0:
+            raise ModelError("threads must be non-negative")
+        compute = self.per_thread_peak * threads
+        memory = self.node_bandwidth * self.arithmetic_intensity
+        return min(compute, memory)
+
+    @classmethod
+    def for_app(
+        cls, machine: MachineTopology, spec: AppSpec, node: int = 0
+    ) -> "RooflineNodeScaling":
+        """Curve of ``spec`` alone on ``machine``'s node ``node``."""
+        n = machine.node(node)
+        return cls(
+            per_thread_peak=spec.peak_gflops(n.cores[0].peak_gflops),
+            node_bandwidth=n.local_bandwidth,
+            arithmetic_intensity=spec.arithmetic_intensity,
+        )
+
+
+@dataclass(frozen=True)
+class _TabulatedCurve(ScalingCurve):
+    values: tuple[float, ...]  # values[t] = throughput with t threads
+
+    def throughput(self, threads: int) -> float:
+        if threads < 0:
+            raise ModelError("threads must be non-negative")
+        if threads >= len(self.values):
+            return self.values[-1]
+        return self.values[threads]
+
+
+def measured_curve(samples: Sequence[float]) -> ScalingCurve:
+    """Build a curve from measured throughputs ``[t=0, t=1, ...]``.
+
+    Values beyond the last sample are held flat (pessimistic).  The
+    samples must be non-decreasing — the paper explicitly does "not
+    assum[e] that the performance of that application actually degrades
+    with more threads".
+    """
+    vals = [float(v) for v in samples]
+    if len(vals) < 2:
+        raise ConfigurationError("need at least [t0, t1] samples")
+    if vals[0] != 0.0:
+        raise ConfigurationError("samples[0] (zero threads) must be 0")
+    if any(b < a - 1e-12 for a, b in zip(vals, vals[1:])):
+        raise ConfigurationError("samples must be non-decreasing")
+    return _TabulatedCurve(values=tuple(vals))
+
+
+def marginal_utility_allocation(
+    curves: dict[str, ScalingCurve],
+    total_cores: int,
+    *,
+    min_threads: int = 0,
+    weights: dict[str, float] | None = None,
+) -> dict[str, int]:
+    """Allocate ``total_cores`` threads by greatest marginal gain.
+
+    Hands out cores one at a time, each to the application whose
+    (optionally weighted) marginal throughput for its next thread is
+    largest — the water-filling rule.  Optimal for concave curves; exact
+    for all three curve families above.  Ties break by application name,
+    so the result is deterministic.
+
+    Parameters
+    ----------
+    min_threads:
+        Floor given to every application first (the arbiter's
+        "nobody starves" rule).
+    """
+    if total_cores < 0:
+        raise ConfigurationError("total_cores must be non-negative")
+    if not curves:
+        raise ConfigurationError("need at least one application curve")
+    if min_threads * len(curves) > total_cores:
+        raise ConfigurationError(
+            f"cannot give {min_threads} thread(s) to each of "
+            f"{len(curves)} apps with {total_cores} cores"
+        )
+    w = weights or {}
+    alloc = {name: min_threads for name in curves}
+    remaining = total_cores - min_threads * len(curves)
+    for _ in range(remaining):
+        best_name = None
+        best_gain = -np.inf
+        for name in sorted(curves):
+            gain = w.get(name, 1.0) * curves[name].marginal(
+                alloc[name] + 1
+            )
+            if gain > best_gain + 1e-15:
+                best_gain = gain
+                best_name = name
+        if best_name is None or best_gain <= 0:
+            break  # no application profits from another core
+        alloc[best_name] += 1
+    return alloc

@@ -1,0 +1,141 @@
+"""Application specifications consumed by the analytic model.
+
+The model characterises an application by two properties (Section III-A):
+
+* its **arithmetic intensity** (AI) — floating-point operations per byte
+  transferred from/to memory; together with a core's peak GFLOPS this fixes
+  the bandwidth each of the application's threads attempts to draw
+  (``peak_gflops / AI`` GB/s, assumption 3 of the paper), and
+
+* its **NUMA data placement** — the paper models two extremes: applications
+  "perfectly adapted to NUMA" that only ever read memory local to the
+  thread's node, and "NUMA-bad" applications that store *all* their data on
+  a single node.  We additionally support interleaved placement (data
+  spread evenly over all nodes), the behaviour one gets from
+  ``numactl --interleave`` or from ignoring NUMA on first-touch kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Placement", "AppSpec"]
+
+
+class Placement(enum.Enum):
+    """Where an application's data lives relative to its threads."""
+
+    #: Every thread only accesses memory of its own NUMA node
+    #: (the paper's "perfectly adapted to NUMA" application).
+    NUMA_PERFECT = "numa-perfect"
+
+    #: All data lives on one home node; threads elsewhere read remotely
+    #: (the paper's "NUMA-bad" / "worst case" application).
+    SINGLE_NODE = "single-node"
+
+    #: Data spread evenly across all nodes; every thread reads
+    #: ``1/num_nodes`` of its traffic from each node (extension).
+    INTERLEAVED = "interleaved"
+
+
+@dataclass(frozen=True, slots=True)
+class AppSpec:
+    """Analytic description of one application.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in allocations and reports; unique per workload.
+    arithmetic_intensity:
+        FLOPs per byte of memory traffic.  The paper's examples use 0.5 and
+        10 (model machine) and 1/32, 1, 1/16 (Skylake).
+    placement:
+        NUMA data placement, see :class:`Placement`.
+    home_node:
+        For :attr:`Placement.SINGLE_NODE`: which node holds the data.
+        Ignored (and must be left ``None``) for other placements.
+    peak_gflops_per_thread:
+        Override of the machine's per-core peak for this application.
+        The paper assumes "a single CPU core has the same peak GFLOPS for
+        each application" (assumption 1), so the default of ``None`` (use
+        the core's peak) reproduces the paper; the override supports
+        modelling applications that cannot reach machine peak.
+    """
+
+    name: str
+    arithmetic_intensity: float
+    placement: Placement = Placement.NUMA_PERFECT
+    home_node: int | None = None
+    peak_gflops_per_thread: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("application name must be non-empty")
+        if self.arithmetic_intensity <= 0:
+            raise ConfigurationError(
+                f"app '{self.name}': arithmetic_intensity must be positive, "
+                f"got {self.arithmetic_intensity}"
+            )
+        if self.placement is Placement.SINGLE_NODE:
+            if self.home_node is None or self.home_node < 0:
+                raise ConfigurationError(
+                    f"app '{self.name}': SINGLE_NODE placement requires a "
+                    f"non-negative home_node"
+                )
+        elif self.home_node is not None:
+            raise ConfigurationError(
+                f"app '{self.name}': home_node only applies to SINGLE_NODE "
+                f"placement"
+            )
+        if (
+            self.peak_gflops_per_thread is not None
+            and self.peak_gflops_per_thread <= 0
+        ):
+            raise ConfigurationError(
+                f"app '{self.name}': peak_gflops_per_thread must be "
+                f"positive, got {self.peak_gflops_per_thread}"
+            )
+
+    def peak_gflops(self, core_peak: float) -> float:
+        """Effective per-thread peak GFLOPS on a core with ``core_peak``."""
+        if self.peak_gflops_per_thread is None:
+            return core_peak
+        return min(self.peak_gflops_per_thread, core_peak)
+
+    def demand_per_thread(self, core_peak: float) -> float:
+        """Bandwidth (GB/s) one thread attempts to draw (assumption 3)."""
+        return self.peak_gflops(core_peak) / self.arithmetic_intensity
+
+    def is_memory_bound_on(self, core_peak: float, baseline_bw: float) -> bool:
+        """True if a thread's demand exceeds its fair bandwidth share."""
+        return self.demand_per_thread(core_peak) > baseline_bw
+
+    # Convenience constructors -----------------------------------------
+    @classmethod
+    def memory_bound(
+        cls, name: str, arithmetic_intensity: float = 0.5
+    ) -> "AppSpec":
+        """A NUMA-perfect memory-bound application (paper default AI 0.5)."""
+        return cls(name=name, arithmetic_intensity=arithmetic_intensity)
+
+    @classmethod
+    def compute_bound(
+        cls, name: str, arithmetic_intensity: float = 10.0
+    ) -> "AppSpec":
+        """A NUMA-perfect compute-bound application (paper default AI 10)."""
+        return cls(name=name, arithmetic_intensity=arithmetic_intensity)
+
+    @classmethod
+    def numa_bad(
+        cls, name: str, arithmetic_intensity: float = 1.0, home_node: int = 0
+    ) -> "AppSpec":
+        """A NUMA-bad application storing all data on ``home_node``."""
+        return cls(
+            name=name,
+            arithmetic_intensity=arithmetic_intensity,
+            placement=Placement.SINGLE_NODE,
+            home_node=home_node,
+        )

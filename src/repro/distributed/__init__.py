@@ -1,0 +1,31 @@
+"""Distributed execution layer (Section V): partitions x synchronisation."""
+
+from repro.distributed.cluster import ClusterExperiment, ClusterRun
+from repro.distributed.partition import (
+    DynamicSharingPartition,
+    NodePerformance,
+    Partition,
+    StaticExclusivePartition,
+    StaticSplitPartition,
+)
+from repro.distributed.rates import PeriodicRate, RatePhase
+from repro.distributed.workload import (
+    BarrierIterativeWorkload,
+    TaskBagWorkload,
+    WorkloadResult,
+)
+
+__all__ = [
+    "PeriodicRate",
+    "RatePhase",
+    "NodePerformance",
+    "Partition",
+    "StaticExclusivePartition",
+    "StaticSplitPartition",
+    "DynamicSharingPartition",
+    "BarrierIterativeWorkload",
+    "TaskBagWorkload",
+    "WorkloadResult",
+    "ClusterExperiment",
+    "ClusterRun",
+]

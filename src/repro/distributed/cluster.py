@@ -1,0 +1,121 @@
+"""Cluster experiment driver: partition strategies x synchronisation kinds.
+
+Glues the Section V pieces together: build per-rank rate profiles from a
+:class:`~repro.distributed.partition.Partition` and run both workload
+models, producing the comparison the paper's discussion predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.partition import Partition
+from repro.distributed.rates import PeriodicRate
+from repro.distributed.workload import (
+    BarrierIterativeWorkload,
+    TaskBagWorkload,
+    WorkloadResult,
+)
+from repro.errors import DistributedError
+
+__all__ = ["ClusterRun", "ClusterExperiment"]
+
+
+@dataclass(frozen=True)
+class ClusterRun:
+    """Result of one (partition, workload) combination."""
+
+    partition_name: str
+    workload_name: str
+    result: WorkloadResult
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the run."""
+        return self.result.makespan
+
+
+class ClusterExperiment:
+    """Run a set of partitions against both synchronisation models.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of compute nodes the main component spans.
+    iterations / work_per_iteration:
+        The barrier workload: each rank computes ``work_per_iteration``
+        GFLOP per iteration.
+    num_tasks / work_per_task:
+        The task-bag workload (sized to the same total work by default).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_ranks: int,
+        iterations: int = 50,
+        work_per_iteration: float = 10.0,
+        num_tasks: int | None = None,
+        work_per_task: float | None = None,
+    ) -> None:
+        if num_ranks <= 0:
+            raise DistributedError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.iterations = iterations
+        self.work_per_iteration = work_per_iteration
+        total = iterations * work_per_iteration * num_ranks
+        self.work_per_task = work_per_task or work_per_iteration
+        self.num_tasks = num_tasks or int(round(total / self.work_per_task))
+
+    def profiles(self, partition: Partition) -> list[PeriodicRate]:
+        """Profiles for the ranks that host the main component."""
+        return [
+            partition.rank_profile(r, self.num_ranks)
+            for r in partition.participating_ranks(self.num_ranks)
+        ]
+
+    def run_barrier(
+        self, name: str, partition: Partition
+    ) -> ClusterRun:
+        """Run the barrier-synchronised workload under ``partition``.
+
+        The global problem size is fixed at ``num_ranks *
+        work_per_iteration`` per iteration; a partition hosting the main
+        component on fewer ranks gives each of them a larger share.
+        """
+        profiles = self.profiles(partition)
+        per_rank = (
+            self.work_per_iteration * self.num_ranks / len(profiles)
+        )
+        wl = BarrierIterativeWorkload(
+            iterations=self.iterations,
+            work_per_rank=per_rank,
+        )
+        return ClusterRun(
+            partition_name=name,
+            workload_name="barrier",
+            result=wl.run(profiles),
+        )
+
+    def run_taskbag(
+        self, name: str, partition: Partition
+    ) -> ClusterRun:
+        """Run the loosely synchronised workload under ``partition``."""
+        wl = TaskBagWorkload(
+            num_tasks=self.num_tasks, work_per_task=self.work_per_task
+        )
+        return ClusterRun(
+            partition_name=name,
+            workload_name="taskbag",
+            result=wl.run(self.profiles(partition)),
+        )
+
+    def compare(
+        self, partitions: dict[str, Partition]
+    ) -> list[ClusterRun]:
+        """Run every partition under both workloads."""
+        out: list[ClusterRun] = []
+        for name, p in partitions.items():
+            out.append(self.run_barrier(name, p))
+            out.append(self.run_taskbag(name, p))
+        return out

@@ -1,0 +1,191 @@
+"""An MPI-flavoured communication model for the Section V experiments.
+
+Most large scientific applications are "usually ... MPI" (Section V), so
+the distributed layer needs communication costs, not just compute rates.
+:class:`NetworkModel` prices the three operations the experiments use —
+point-to-point transfers, barriers, and allreduces — with the standard
+latency/bandwidth (alpha-beta) model and logarithmic trees for the
+collectives.
+
+:class:`BspProgram` combines communication with the per-rank compute-rate
+profiles of :mod:`repro.distributed.partition` into a bulk-synchronous
+iteration model with three synchronisation disciplines:
+
+* ``GLOBAL`` — a barrier/allreduce after every iteration (the paper's
+  tightly synchronised case);
+* ``NEIGHBOR`` — halo exchange with nearest neighbours only (the common
+  stencil pattern: looser than a barrier, skew propagates at one rank
+  per iteration);
+* ``NONE`` — independent ranks (the fully loose limit).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.rates import PeriodicRate
+from repro.errors import DistributedError
+
+__all__ = ["NetworkModel", "SyncKind", "BspResult", "BspProgram"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta network cost model.
+
+    Attributes
+    ----------
+    latency:
+        Per-message latency (seconds) — the alpha term.
+    bandwidth:
+        Link bandwidth in GB/s — the beta term's inverse.
+    """
+
+    latency: float = 2e-6
+    bandwidth: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise DistributedError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise DistributedError("bandwidth must be positive")
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Point-to-point message time."""
+        if size_bytes < 0:
+            raise DistributedError("size must be non-negative")
+        return self.latency + size_bytes / (self.bandwidth * 1e9)
+
+    def barrier_time(self, num_ranks: int) -> float:
+        """Dissemination barrier: ceil(log2(n)) rounds of tiny messages."""
+        if num_ranks <= 0:
+            raise DistributedError("num_ranks must be positive")
+        if num_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_ranks))
+        return rounds * self.transfer_time(8)
+
+    def allreduce_time(self, size_bytes: float, num_ranks: int) -> float:
+        """Recursive-doubling allreduce: log2(n) rounds of full payload."""
+        if num_ranks <= 0:
+            raise DistributedError("num_ranks must be positive")
+        if num_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_ranks))
+        return rounds * self.transfer_time(size_bytes)
+
+
+class SyncKind(enum.Enum):
+    """How iterations are synchronised across ranks."""
+
+    GLOBAL = "global"  #: barrier/allreduce each iteration
+    NEIGHBOR = "neighbor"  #: halo exchange with rank +-1
+    NONE = "none"  #: no cross-rank synchronisation
+
+
+@dataclass(frozen=True)
+class BspResult:
+    """Outcome of a BSP run."""
+
+    makespan: float
+    compute_time: tuple[float, ...]
+    wait_time: tuple[float, ...]
+    comm_time: float
+
+    @property
+    def mean_wait_fraction(self) -> float:
+        """Average fraction of the makespan ranks spend waiting."""
+        if self.makespan <= 0:
+            return 0.0
+        return float(np.mean(self.wait_time)) / self.makespan
+
+
+class BspProgram:
+    """Iterative bulk-synchronous program over per-rank rate profiles.
+
+    Parameters
+    ----------
+    iterations:
+        Number of outer iterations.
+    work_per_rank:
+        GFLOP each rank computes per iteration.
+    message_bytes:
+        Halo / reduction payload per iteration.
+    sync:
+        Synchronisation discipline, see :class:`SyncKind`.
+    network:
+        Cost model for the communication.
+    """
+
+    def __init__(
+        self,
+        *,
+        iterations: int,
+        work_per_rank: float,
+        message_bytes: float = 1e6,
+        sync: SyncKind = SyncKind.GLOBAL,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if iterations <= 0:
+            raise DistributedError("iterations must be positive")
+        if work_per_rank <= 0:
+            raise DistributedError("work_per_rank must be positive")
+        if message_bytes < 0:
+            raise DistributedError("message_bytes must be non-negative")
+        self.iterations = iterations
+        self.work_per_rank = work_per_rank
+        self.message_bytes = message_bytes
+        self.sync = sync
+        self.network = network or NetworkModel()
+
+    def run(self, profiles: list[PeriodicRate]) -> BspResult:
+        """Simulate the program; returns per-rank time breakdowns."""
+        if not profiles:
+            raise DistributedError("need at least one rank")
+        n = len(profiles)
+        ready = np.zeros(n)  # when each rank may start the next compute
+        compute = np.zeros(n)
+        wait = np.zeros(n)
+        comm_total = 0.0
+        for _ in range(self.iterations):
+            finish = np.array(
+                [
+                    p.finish_time(self.work_per_rank, t)
+                    for p, t in zip(profiles, ready)
+                ]
+            )
+            compute += finish - ready
+            if self.sync is SyncKind.GLOBAL:
+                sync_cost = self.network.allreduce_time(
+                    self.message_bytes, n
+                )
+                t_next = finish.max() + sync_cost
+                wait += t_next - finish
+                comm_total += sync_cost
+                ready = np.full(n, t_next)
+            elif self.sync is SyncKind.NEIGHBOR:
+                xfer = self.network.transfer_time(self.message_bytes)
+                nxt = np.array(finish)
+                for r in range(n):
+                    neighbours = [finish[r]]
+                    if r > 0:
+                        neighbours.append(finish[r - 1])
+                    if r < n - 1:
+                        neighbours.append(finish[r + 1])
+                    nxt[r] = max(neighbours) + xfer
+                wait += nxt - finish - xfer
+                comm_total += xfer
+                ready = nxt
+            else:  # NONE
+                ready = finish
+        makespan = float(ready.max())
+        return BspResult(
+            makespan=makespan,
+            compute_time=tuple(float(c) for c in compute),
+            wait_time=tuple(float(w) for w in wait),
+            comm_time=comm_total,
+        )

@@ -1,0 +1,215 @@
+"""Node partitioning strategies for co-located components (Section V).
+
+A distributed application's main component shares every node with a
+second, bursty component (think in-situ analytics, a coupled solver, or
+the paper's "library").  Three ways to split each node:
+
+* :class:`StaticExclusivePartition` — "allocating nodes to the different
+  components exclusively": on ``main_fraction`` of the ranks the main
+  component owns the whole node; on the rest it gets nothing (those ranks
+  contribute no main-component work — the comparison is made at equal
+  total node count).
+* :class:`StaticSplitPartition` — "splitting each node into several parts
+  and giving each part to a component": the main component permanently
+  owns a fixed fraction of each node's cores.
+* :class:`DynamicSharingPartition` — the paper's proposal: components run
+  on the same nodes and cores shift with demand.  While the co-located
+  component is idle (its duty cycle's off phase), the main component gets
+  (almost) the whole node; while it is active, the main component falls
+  back to its split share.  The reallocation penalty models the shifting
+  cost (thread wake-up, cache refill).
+
+Every strategy turns a per-node performance figure into one
+:class:`~repro.distributed.rates.PeriodicRate` per rank.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.model import NumaPerformanceModel
+from repro.core.spec import AppSpec
+from repro.distributed.rates import PeriodicRate, RatePhase
+from repro.errors import DistributedError
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "NodePerformance",
+    "Partition",
+    "StaticExclusivePartition",
+    "StaticSplitPartition",
+    "DynamicSharingPartition",
+]
+
+
+class NodePerformance:
+    """Model-backed GFLOPS of the main component at a given core share.
+
+    Evaluates the Section III model for the main component receiving
+    ``share`` of every NUMA node's cores (the co-located component gets
+    the rest), so the distributed layer inherits the on-node NUMA
+    behaviour instead of assuming linear scaling.
+    """
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        main: AppSpec,
+        colocated: AppSpec,
+        *,
+        model: NumaPerformanceModel | None = None,
+    ) -> None:
+        self.machine = machine
+        self.main = main
+        self.colocated = colocated
+        self.model = model or NumaPerformanceModel()
+        self._cache: dict[tuple[int, bool], float] = {}
+
+    def main_gflops(self, share: float, *, colocated_active: bool) -> float:
+        """Main component's node GFLOPS at a core ``share`` in [0, 1]."""
+        if not 0 <= share <= 1:
+            raise DistributedError(f"share must be in [0,1], got {share}")
+        per_node = [
+            int(round(share * n.num_cores)) for n in self.machine.nodes
+        ]
+        key = (tuple(per_node), colocated_active)
+        if key in self._cache:
+            return self._cache[key]
+        rest = [
+            n.num_cores - p
+            for n, p in zip(self.machine.nodes, per_node)
+        ]
+        if sum(per_node) == 0:
+            self._cache[key] = 0.0
+            return 0.0
+        apps = [self.main]
+        counts = [per_node]
+        if colocated_active and sum(rest) > 0:
+            apps.append(self.colocated)
+            counts.append(rest)
+        alloc = ThreadAllocation(
+            app_names=tuple(a.name for a in apps),
+            counts=np.array(counts, dtype=np.int64),
+        )
+        pred = self.model.predict(self.machine, apps, alloc)
+        out = pred.app(self.main.name).gflops
+        self._cache[key] = out
+        return out
+
+
+class Partition(ABC):
+    """Strategy interface: rank -> main-component rate profile."""
+
+    @abstractmethod
+    def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        """The main component's compute-rate profile on ``rank``."""
+
+    def participating_ranks(self, num_ranks: int) -> list[int]:
+        """Ranks hosting the main component (all, unless exclusive)."""
+        return list(range(num_ranks))
+
+
+@dataclass
+class StaticExclusivePartition(Partition):
+    """Whole nodes go to one component or the other.
+
+    The main component only exists on ``main_fraction`` of the ranks, so
+    at the same global problem size each of its ranks carries
+    proportionally more work (the workload models rescale accordingly).
+    """
+
+    perf: NodePerformance
+    main_fraction: float = 0.5
+
+    def participating_ranks(self, num_ranks: int) -> list[int]:
+        main_ranks = max(1, int(round(self.main_fraction * num_ranks)))
+        return list(range(main_ranks))
+
+    def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        if rank not in self.participating_ranks(num_ranks):
+            raise DistributedError(
+                f"rank {rank} does not host the main component"
+            )
+        g = self.perf.main_gflops(1.0, colocated_active=False)
+        return PeriodicRate.constant(g)
+
+
+@dataclass
+class StaticSplitPartition(Partition):
+    """Each node permanently split between the components."""
+
+    perf: NodePerformance
+    main_share: float = 0.5
+    colocated_duty_cycle: float = 0.5
+    colocated_period: float = 1.0
+    stagger: bool = True
+
+    def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        on = self.colocated_duty_cycle * self.colocated_period
+        off = self.colocated_period - on
+        busy = self.perf.main_gflops(
+            self.main_share, colocated_active=True
+        )
+        quiet = self.perf.main_gflops(
+            self.main_share, colocated_active=False
+        )
+        phases = []
+        if on > 0:
+            phases.append(RatePhase(on, busy))
+        if off > 0:
+            phases.append(RatePhase(off, quiet))
+        offset = (
+            rank * self.colocated_period / max(num_ranks, 1)
+            if self.stagger
+            else 0.0
+        )
+        return PeriodicRate(phases, offset=offset)
+
+
+@dataclass
+class DynamicSharingPartition(Partition):
+    """Cores shift to the main component whenever the co-runner idles.
+
+    ``reallocation_penalty`` is the fraction of each phase lost to the
+    shift itself (waking threads, command latency, cache refill); the
+    paper's mechanism makes this small, and the ``oversub`` benchmarks
+    measure how large it may grow before dynamic sharing loses.
+    """
+
+    perf: NodePerformance
+    main_share_busy: float = 0.5
+    main_share_quiet: float = 1.0
+    colocated_duty_cycle: float = 0.5
+    colocated_period: float = 1.0
+    reallocation_penalty: float = 0.02
+    stagger: bool = True
+
+    def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        if not 0 <= self.reallocation_penalty < 1:
+            raise DistributedError(
+                "reallocation_penalty must be in [0,1)"
+            )
+        on = self.colocated_duty_cycle * self.colocated_period
+        off = self.colocated_period - on
+        eff = 1.0 - self.reallocation_penalty
+        busy = self.perf.main_gflops(
+            self.main_share_busy, colocated_active=True
+        )
+        quiet = self.perf.main_gflops(
+            self.main_share_quiet, colocated_active=False
+        )
+        phases = []
+        if on > 0:
+            phases.append(RatePhase(on, busy * eff))
+        if off > 0:
+            phases.append(RatePhase(off, quiet * eff))
+        offset = (
+            rank * self.colocated_period / max(num_ranks, 1)
+            if self.stagger
+            else 0.0
+        )
+        return PeriodicRate(phases, offset=offset)

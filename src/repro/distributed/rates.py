@@ -1,0 +1,139 @@
+"""Piecewise-constant compute-rate profiles.
+
+The distributed layer (Section V) reasons about *how fast each rank's
+component computes over time*: co-located components and dynamic core
+shifting make a rank's effective GFLOPS a piecewise-constant function.
+:class:`PeriodicRate` represents one period of such a profile and answers
+the only question the workload models need: *given this profile, when does
+``work`` GFLOP finish if started at time t?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DistributedError
+
+__all__ = ["RatePhase", "PeriodicRate"]
+
+
+@dataclass(frozen=True, slots=True)
+class RatePhase:
+    """One phase of a periodic rate profile."""
+
+    duration: float
+    gflops: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise DistributedError(
+                f"phase duration must be positive, got {self.duration}"
+            )
+        if self.gflops < 0:
+            raise DistributedError(
+                f"phase rate must be non-negative, got {self.gflops}"
+            )
+
+
+class PeriodicRate:
+    """A compute-rate profile repeating with a fixed period.
+
+    Parameters
+    ----------
+    phases:
+        The phases of one period, in order.
+    offset:
+        Phase shift: the profile at time ``t`` is the base profile at
+        ``t + offset`` (lets co-located components on different ranks be
+        out of phase, the situation that hurts barrier codes most).
+    """
+
+    def __init__(
+        self, phases: Sequence[RatePhase], *, offset: float = 0.0
+    ) -> None:
+        if not phases:
+            raise DistributedError("profile needs at least one phase")
+        self.phases = tuple(phases)
+        self.period = sum(p.duration for p in self.phases)
+        self.offset = offset % self.period
+        if all(p.gflops == 0 for p in self.phases):
+            raise DistributedError("profile never computes")
+
+    @classmethod
+    def constant(cls, gflops: float) -> "PeriodicRate":
+        """A flat profile."""
+        return cls([RatePhase(duration=1.0, gflops=gflops)])
+
+    # ------------------------------------------------------------------
+    def rate_at(self, time: float) -> float:
+        """Instantaneous GFLOPS at ``time``."""
+        t = (time + self.offset) % self.period
+        for p in self.phases:
+            if t < p.duration:
+                return p.gflops
+            t -= p.duration
+        return self.phases[-1].gflops  # pragma: no cover - fp guard
+
+    def work_per_period(self) -> float:
+        """GFLOP completed in one full period."""
+        return sum(p.duration * p.gflops for p in self.phases)
+
+    def average_rate(self) -> float:
+        """Long-run average GFLOPS."""
+        return self.work_per_period() / self.period
+
+    def finish_time(self, work: float, start: float) -> float:
+        """Earliest time at which ``work`` GFLOP complete, starting at
+        ``start``."""
+        if work < 0:
+            raise DistributedError(f"work must be non-negative, got {work}")
+        if work == 0:
+            return start
+        # Skip whole periods first.  When the work is an exact multiple
+        # of a period's output, it completes at the end of that period's
+        # *last active phase*, not after any trailing idle time — so walk
+        # the final period explicitly.
+        wpp = self.work_per_period()
+        periods = int(work // wpp)
+        remaining = work - periods * wpp
+        if remaining <= 1e-15 and periods > 0:
+            periods -= 1
+            remaining = wpp
+        t = start + periods * self.period
+        # Walk phases until the remainder is done.  The remainder spans at
+        # most one period plus the phase we started inside, so the walk
+        # needs at most len(phases)+2 steps; the epsilon snaps below keep
+        # float noise at phase boundaries from stalling it.  All
+        # tolerances scale with the running time, because the modulo's
+        # absolute error grows with |t|.
+        guard = 0
+        work_floor = 1e-12 * max(work, 1.0)
+        while remaining > work_floor:
+            guard += 1
+            if guard > 10 * (len(self.phases) + 2):
+                raise DistributedError(
+                    "finish_time failed to converge"
+                )
+            eps = 1e-12 * max(self.period, abs(t), 1.0)
+            local = (t + self.offset) % self.period
+            if self.period - local < eps:
+                local = 0.0  # snap a boundary-straddling remainder
+            acc = 0.0
+            for p in self.phases:
+                if local < acc + p.duration:
+                    in_phase_left = acc + p.duration - local
+                    if in_phase_left < eps:
+                        # Step past the boundary, not just up to it, or
+                        # float rounding re-lands on the same spot.
+                        t += eps
+                        break
+                    if p.gflops > 0:
+                        need = remaining / p.gflops
+                        if need <= in_phase_left + eps:
+                            return t + need
+                        remaining -= p.gflops * in_phase_left
+                    t += in_phase_left
+                    break
+                acc += p.duration
+        return t

@@ -1,0 +1,119 @@
+"""Distributed workload models: barrier-synchronised vs. loosely coupled.
+
+Section V's claim: "If the code requires a barrier (or similar) after
+every iteration, the benefit of speeding up the iteration body on some of
+the nodes is rather limited.  If the synchronization is loose, like an
+application that needs to perform a lot of independent tasks ..., most of
+the local speedup should translate to overall speedup."
+
+Both models consume one rate profile per rank (from
+:mod:`repro.distributed.partition`) and return the completion time, so the
+benchmark can compare the same partitioning strategies under the two
+synchronisation disciplines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.distributed.rates import PeriodicRate
+from repro.errors import DistributedError
+
+__all__ = [
+    "WorkloadResult",
+    "BarrierIterativeWorkload",
+    "TaskBagWorkload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of a distributed run."""
+
+    makespan: float
+    per_rank_busy: tuple[float, ...]
+    barrier_wait: float = 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Mean busy fraction across ranks."""
+        if self.makespan <= 0:
+            return 0.0
+        return float(
+            sum(self.per_rank_busy) / (len(self.per_rank_busy) * self.makespan)
+        )
+
+
+class BarrierIterativeWorkload:
+    """Tightly synchronised iterations: a barrier after each.
+
+    ``work_per_rank`` GFLOP must complete on *every* rank each iteration;
+    the next iteration starts when the slowest rank arrives.
+    """
+
+    def __init__(self, *, iterations: int, work_per_rank: float) -> None:
+        if iterations <= 0:
+            raise DistributedError("iterations must be positive")
+        if work_per_rank <= 0:
+            raise DistributedError("work_per_rank must be positive")
+        self.iterations = iterations
+        self.work_per_rank = work_per_rank
+
+    def run(self, profiles: list[PeriodicRate]) -> WorkloadResult:
+        """Simulate the barrier loop over the given rank profiles."""
+        if not profiles:
+            raise DistributedError("need at least one rank")
+        t = 0.0
+        busy = [0.0] * len(profiles)
+        wait_total = 0.0
+        for _ in range(self.iterations):
+            finishes = [
+                p.finish_time(self.work_per_rank, t) for p in profiles
+            ]
+            t_next = max(finishes)
+            for r, f in enumerate(finishes):
+                busy[r] += f - t
+                wait_total += t_next - f
+            t = t_next
+        return WorkloadResult(
+            makespan=t,
+            per_rank_busy=tuple(busy),
+            barrier_wait=wait_total,
+        )
+
+
+class TaskBagWorkload:
+    """Loose synchronisation: a bag of independent equal tasks.
+
+    Ranks pull the next task the moment they finish their current one
+    (continuous-time greedy list scheduling); the makespan is when the
+    last task completes.
+    """
+
+    def __init__(self, *, num_tasks: int, work_per_task: float) -> None:
+        if num_tasks <= 0:
+            raise DistributedError("num_tasks must be positive")
+        if work_per_task <= 0:
+            raise DistributedError("work_per_task must be positive")
+        self.num_tasks = num_tasks
+        self.work_per_task = work_per_task
+
+    def run(self, profiles: list[PeriodicRate]) -> WorkloadResult:
+        """Greedy pull-based execution over the rank profiles."""
+        if not profiles:
+            raise DistributedError("need at least one rank")
+        remaining = self.num_tasks
+        busy = [0.0] * len(profiles)
+        # Priority queue of (next-free-time, rank).
+        heap = [(0.0, r) for r in range(len(profiles))]
+        heapq.heapify(heap)
+        makespan = 0.0
+        while remaining > 0:
+            t_free, r = heapq.heappop(heap)
+            done = profiles[r].finish_time(self.work_per_task, t_free)
+            busy[r] += done - t_free
+            makespan = max(makespan, done)
+            remaining -= 1
+            heapq.heappush(heap, (done, r))
+        return WorkloadResult(makespan=makespan, per_rank_busy=tuple(busy))

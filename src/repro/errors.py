@@ -1,0 +1,98 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration problems from runtime (simulation)
+problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "AllocationError",
+    "OversubscriptionError",
+    "ModelError",
+    "SimulationError",
+    "SchedulerError",
+    "RuntimeSystemError",
+    "TaskError",
+    "DependencyError",
+    "DatablockError",
+    "AgentError",
+    "ProtocolError",
+    "DistributedError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class TopologyError(ConfigurationError):
+    """A machine topology is malformed (e.g. non-square link matrix)."""
+
+
+class AllocationError(ConfigurationError):
+    """A thread allocation is malformed or refers to unknown apps/nodes."""
+
+
+class OversubscriptionError(AllocationError):
+    """A thread allocation assigns more threads to a NUMA node than cores.
+
+    The paper's model explicitly assumes no over-subscription ("there are at
+    most as many threads bound to a NUMA node as there are CPU cores in that
+    NUMA node"); violating allocations are rejected eagerly unless the
+    caller opts into the OS-scheduler simulation which supports them.
+    """
+
+
+class ModelError(ReproError):
+    """The analytic performance model was driven with invalid inputs."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """An OS- or task-scheduler invariant was violated."""
+
+
+class RuntimeSystemError(ReproError):
+    """A task-based runtime system (OCR-Vx / TBB / OpenMP adapter) failed."""
+
+
+class TaskError(RuntimeSystemError):
+    """A task was misused (double completion, running a cancelled task...)."""
+
+
+class DependencyError(RuntimeSystemError):
+    """A task-graph dependency is invalid (cycle, unknown producer...)."""
+
+
+class DatablockError(RuntimeSystemError):
+    """A datablock was misused (freed twice, accessed without acquire...)."""
+
+
+class AgentError(ReproError):
+    """The resource-arbitration agent failed."""
+
+
+class ProtocolError(AgentError):
+    """An agent<->runtime protocol message was malformed or out of order."""
+
+
+class DistributedError(ReproError):
+    """The simulated distributed (MPI-like) layer failed."""
+
+
+class CalibrationError(ReproError):
+    """Machine-parameter calibration could not fit the measurements."""

@@ -1,0 +1,59 @@
+"""NUMA machine descriptions: topology objects, presets, calibration.
+
+Calibration and STREAM symbols are loaded lazily (PEP 562): they sit on
+top of :mod:`repro.core` and :mod:`repro.sim`, which themselves build on
+this package — importing them eagerly here would close an import cycle.
+"""
+
+from repro.machine.presets import (
+    heterogeneous_machine,
+    knl_flat,
+    knl_snc4,
+    model_machine,
+    numa_bad_example_machine,
+    skylake_4s,
+    uma_machine,
+)
+from repro.machine.parser import format_topology, parse_topology
+from repro.machine.topology import Core, MachineTopology, NumaNode
+
+__all__ = [
+    "Core",
+    "NumaNode",
+    "MachineTopology",
+    "model_machine",
+    "numa_bad_example_machine",
+    "skylake_4s",
+    "knl_flat",
+    "knl_snc4",
+    "uma_machine",
+    "heterogeneous_machine",
+    "parse_topology",
+    "format_topology",
+    "CalibratedParameters",
+    "calibrate_from_even_run",
+    "Scenario",
+    "LeastSquaresCalibrator",
+    "measure_pair_bandwidth",
+    "measure_link_matrix",
+]
+
+_LAZY = {
+    "CalibratedParameters": "repro.machine.calibration",
+    "calibrate_from_even_run": "repro.machine.calibration",
+    "Scenario": "repro.machine.calibration",
+    "LeastSquaresCalibrator": "repro.machine.calibration",
+    "measure_pair_bandwidth": "repro.machine.stream",
+    "measure_link_matrix": "repro.machine.stream",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.machine' has no attribute '{name}'")

@@ -1,0 +1,146 @@
+"""Parse textual machine descriptions into topologies.
+
+A downstream user's first question is "how do I describe *my* machine?".
+This module accepts a small, human-writable format (inspired by hwloc's
+summary output) so topologies can live in config files next to job
+scripts:
+
+.. code-block:: text
+
+    machine skylake-2s
+    node 0: cores=20 gflops=0.29 bandwidth=100
+    node 1: cores=20 gflops=0.29 bandwidth=100
+    link 0 1: 10
+    link 1 0: 10
+
+Rules: one ``machine`` line (optional, names the topology), one ``node``
+line per NUMA node (ids dense from 0), and ``link`` lines for
+off-diagonal bandwidths — omitted links default to the *minimum* of the
+two nodes' local bandwidths (a conservative guess).  Blank lines and
+``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.topology import Core, MachineTopology, NumaNode
+
+__all__ = ["parse_topology", "format_topology"]
+
+_NODE_RE = re.compile(
+    r"^node\s+(\d+)\s*:\s*cores\s*=\s*(\d+)\s+gflops\s*=\s*([\d.eE+-]+)"
+    r"\s+bandwidth\s*=\s*([\d.eE+-]+)\s*$"
+)
+_LINK_RE = re.compile(
+    r"^link\s+(\d+)\s+(\d+)\s*:\s*([\d.eE+-]+)\s*$"
+)
+_MACHINE_RE = re.compile(r"^machine\s+(\S+)\s*$")
+
+
+def parse_topology(text: str) -> MachineTopology:
+    """Parse the description format above into a topology.
+
+    Raises
+    ------
+    TopologyError
+        On syntax errors, duplicate/missing node ids, or links referring
+        to unknown nodes.
+    """
+    name = "parsed-machine"
+    nodes: dict[int, tuple[int, float, float]] = {}
+    links: dict[tuple[int, int], float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if m := _MACHINE_RE.match(line):
+            name = m.group(1)
+            continue
+        if m := _NODE_RE.match(line):
+            node_id = int(m.group(1))
+            if node_id in nodes:
+                raise TopologyError(
+                    f"line {lineno}: duplicate node {node_id}"
+                )
+            nodes[node_id] = (
+                int(m.group(2)),
+                float(m.group(3)),
+                float(m.group(4)),
+            )
+            continue
+        if m := _LINK_RE.match(line):
+            links[(int(m.group(1)), int(m.group(2)))] = float(m.group(3))
+            continue
+        raise TopologyError(f"line {lineno}: cannot parse: {raw!r}")
+
+    if not nodes:
+        raise TopologyError("description contains no nodes")
+    n = len(nodes)
+    if sorted(nodes) != list(range(n)):
+        raise TopologyError(
+            f"node ids must be dense from 0, got {sorted(nodes)}"
+        )
+    for (s, m_), _ in links.items():
+        if s not in nodes or m_ not in nodes:
+            raise TopologyError(f"link {s}->{m_} names an unknown node")
+        if s == m_:
+            raise TopologyError(
+                f"link {s}->{m_}: local bandwidth belongs on the node line"
+            )
+
+    built: list[NumaNode] = []
+    gid = 0
+    for node_id in range(n):
+        cores, gflops, bw = nodes[node_id]
+        node_cores = []
+        for local in range(cores):
+            node_cores.append(
+                Core(
+                    global_id=gid,
+                    node_id=node_id,
+                    local_id=local,
+                    peak_gflops=gflops,
+                )
+            )
+            gid += 1
+        built.append(
+            NumaNode(
+                node_id=node_id,
+                cores=tuple(node_cores),
+                local_bandwidth=bw,
+            )
+        )
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i, i] = nodes[i][2]
+        for j in range(n):
+            if i == j:
+                continue
+            matrix[i, j] = links.get(
+                (i, j), min(nodes[i][2], nodes[j][2])
+            )
+    return MachineTopology(
+        nodes=tuple(built), link_bandwidth=matrix, name=name
+    )
+
+
+def format_topology(machine: MachineTopology) -> str:
+    """Inverse of :func:`parse_topology` (round-trips exactly)."""
+    lines = [f"machine {machine.name}"]
+    for node in machine.nodes:
+        lines.append(
+            f"node {node.node_id}: cores={node.num_cores} "
+            f"gflops={node.cores[0].peak_gflops:g} "
+            f"bandwidth={node.local_bandwidth:g}"
+        )
+    for s in range(machine.num_nodes):
+        for m in range(machine.num_nodes):
+            if s != m:
+                lines.append(
+                    f"link {s} {m}: {machine.bandwidth(s, m):g}"
+                )
+    return "\n".join(lines) + "\n"

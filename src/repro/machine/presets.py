@@ -1,0 +1,190 @@
+"""Machine presets used throughout the paper and its reproduction.
+
+Three machines appear in the paper:
+
+* :func:`model_machine` — the didactic machine of Section III-A's worked
+  examples (Tables I and II, Figure 2): 4 NUMA nodes, 8 cores each, 10
+  GFLOPS per core, 32 GB/s of memory bandwidth per node.
+
+  .. note::
+     The captions of Tables I and II say "40 GB/s bandwidth per NUMA node",
+     but every number inside those tables is computed with 32 GB/s (the
+     baseline is ``32/8 = 4`` GB/s and the body text states "The memory
+     bandwidth is 32 GB/s per NUMA node").  We follow the arithmetic, not
+     the caption.
+
+* :func:`numa_bad_example_machine` — the machine implied by the NUMA-bad
+  example (Figure 3; "even = 138 GFLOPS, node-exclusive = 150 GFLOPS").
+  The paper never states this machine's bandwidths.  Working the model
+  backwards, the 32 GB/s machine cannot produce 150 GFLOPS for any
+  allocation of those applications (total machine bandwidth caps the
+  configuration at 80 GFLOPS); local 60 GB/s with 10 GB/s inter-node links
+  reproduces both published numbers (138.75 and 150.0).  See DESIGN.md
+  Section 3.
+
+* :func:`skylake_4s` — the experimental platform of Section III-B: a
+  four-socket Intel Xeon Gold 6138 server, 4 NUMA nodes x 20 cores.  The
+  paper estimates "100 GB/s memory bandwidth and 0.29 peak GFLOPS per
+  thread" from the calibration run; the 10 GB/s link bandwidth is our
+  recovery from Table III's cross-node rows (it reproduces the published
+  13.98 GFLOPS exactly).
+
+:func:`knl_flat` is provided as an extra: the Knights Landing machine from
+the authors' earlier work [11], where NUMA (SNC-4 clustering) is optional —
+useful for NUMA-aware-vs-oblivious comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "model_machine",
+    "numa_bad_example_machine",
+    "skylake_4s",
+    "knl_flat",
+    "knl_snc4",
+    "uma_machine",
+    "heterogeneous_machine",
+]
+
+#: Inter-node link bandwidth (GB/s) recovered from Table III (see module doc).
+SKYLAKE_LINK_BANDWIDTH_GBS = 10.0
+
+#: Peak per-thread GFLOPS estimated by the paper's calibration (Sec. III-B).
+SKYLAKE_PEAK_GFLOPS_PER_THREAD = 0.29
+
+#: Per-node memory bandwidth estimated by the paper's calibration (GB/s).
+SKYLAKE_NODE_BANDWIDTH_GBS = 100.0
+
+
+def model_machine() -> MachineTopology:
+    """The worked-example machine of Tables I/II and Figure 2.
+
+    4 NUMA nodes x 8 cores, 10 GFLOPS/core, 32 GB/s per node.  Inter-node
+    links are set to 10 GB/s; the Tables I/II scenarios never exercise them
+    because every application there is NUMA-perfect.
+    """
+    return MachineTopology.homogeneous(
+        num_nodes=4,
+        cores_per_node=8,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=32.0,
+        remote_bandwidth=10.0,
+        name="paper-model-4x8",
+    )
+
+
+def numa_bad_example_machine() -> MachineTopology:
+    """The machine implied by the Figure 3 NUMA-bad example.
+
+    Local bandwidth 60 GB/s, links 10 GB/s (recovered, not stated in the
+    paper — see module docstring).  With the paper's applications this
+    yields 138.75 GFLOPS for the even allocation (paper prints 138) and
+    exactly 150.0 GFLOPS for the node-exclusive allocation.
+    """
+    return MachineTopology.homogeneous(
+        num_nodes=4,
+        cores_per_node=8,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=60.0,
+        remote_bandwidth=10.0,
+        name="paper-numa-bad-4x8",
+    )
+
+
+def skylake_4s() -> MachineTopology:
+    """The calibrated four-socket Skylake server of Section III-B.
+
+    4 NUMA nodes x 20 cores (Xeon Gold 6138), 0.29 GFLOPS per thread and
+    100 GB/s per node as calibrated by the paper, 10 GB/s links as
+    recovered from Table III.
+    """
+    return MachineTopology.homogeneous(
+        num_nodes=4,
+        cores_per_node=20,
+        peak_gflops_per_core=SKYLAKE_PEAK_GFLOPS_PER_THREAD,
+        local_bandwidth=SKYLAKE_NODE_BANDWIDTH_GBS,
+        remote_bandwidth=SKYLAKE_LINK_BANDWIDTH_GBS,
+        name="skylake-gold6138-4s",
+    )
+
+
+def knl_flat() -> MachineTopology:
+    """A Knights Landing node with NUMA clustering switched off.
+
+    Modelled as a single NUMA node with 64 cores.  Bandwidth reflects
+    DDR4-only (flat) mode at roughly 90 GB/s; per-core peak is scaled so
+    aggregate peak compute matches the SNC-4 variant.
+    """
+    return MachineTopology.homogeneous(
+        num_nodes=1,
+        cores_per_node=64,
+        peak_gflops_per_core=0.7,
+        local_bandwidth=90.0,
+        name="knl-flat",
+    )
+
+
+def knl_snc4() -> MachineTopology:
+    """A Knights Landing node in SNC-4 mode: 4 clusters x 16 cores."""
+    return MachineTopology.homogeneous(
+        num_nodes=4,
+        cores_per_node=16,
+        peak_gflops_per_core=0.7,
+        local_bandwidth=22.5,
+        remote_bandwidth=11.0,
+        name="knl-snc4",
+    )
+
+
+def uma_machine(
+    *, cores: int = 8, peak_gflops_per_core: float = 10.0, bandwidth: float = 32.0
+) -> MachineTopology:
+    """A single-node (UMA) machine, handy for model unit tests."""
+    return MachineTopology.homogeneous(
+        num_nodes=1,
+        cores_per_node=cores,
+        peak_gflops_per_core=peak_gflops_per_core,
+        local_bandwidth=bandwidth,
+        name=f"uma-{cores}c",
+    )
+
+
+def heterogeneous_machine() -> MachineTopology:
+    """A machine with unequal NUMA nodes (extension).
+
+    Two "big" nodes (12 cores, 80 GB/s) and two "small" ones (4 cores,
+    24 GB/s) — the shape of a CPU+HBM or big.LITTLE-ish server.  The
+    model and simulator handle per-node core counts and bandwidths; the
+    symmetric-only tooling (worked examples, symmetric enumeration)
+    rejects it, which the tests pin.
+    """
+    from repro.machine.topology import Core, NumaNode
+    import numpy as np
+
+    nodes = []
+    gid = 0
+    shapes = [(12, 80.0), (12, 80.0), (4, 24.0), (4, 24.0)]
+    for node_id, (cores, bw) in enumerate(shapes):
+        node_cores = tuple(
+            Core(
+                global_id=gid + i,
+                node_id=node_id,
+                local_id=i,
+                peak_gflops=10.0,
+            )
+            for i in range(cores)
+        )
+        gid += cores
+        nodes.append(
+            NumaNode(
+                node_id=node_id, cores=node_cores, local_bandwidth=bw
+            )
+        )
+    links = np.full((4, 4), 12.0)
+    for i, (_, bw) in enumerate(shapes):
+        links[i, i] = bw
+    return MachineTopology(
+        nodes=tuple(nodes), link_bandwidth=links, name="hetero-2big-2small"
+    )

@@ -1,0 +1,112 @@
+"""STREAM-like bandwidth measurement on the simulated machine.
+
+The paper's remote-access model rules were chosen to "capture to some
+degree experimental results that we have obtained using the STREAM
+benchmark [13] on a four socket server".  This module reproduces that
+measurement methodology against the execution simulator: saturate a
+(source node, memory node) pair with streaming threads and report the
+achieved bandwidth.  Running it over all pairs recovers the machine's
+link matrix — which is how a user would calibrate
+:class:`~repro.machine.topology.MachineTopology` parameters for their own
+hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.machine.topology import MachineTopology
+
+# NOTE: the simulator is imported lazily inside the functions below.  The
+# machine package is the bottom layer of the library and the simulator
+# depends on it; importing repro.sim here at module load time would close
+# an import cycle (machine -> stream -> sim -> machine).
+
+__all__ = ["measure_pair_bandwidth", "measure_link_matrix"]
+
+#: Arithmetic intensity of the triad kernel: essentially pure streaming.
+_STREAM_AI = 1e-3
+
+
+class _StreamLoad:
+    """Endless streaming segments against a fixed memory node."""
+
+    def __init__(self, memory_node: int, flops: float) -> None:
+        self.memory_node = memory_node
+        self.flops = flops
+
+    def next_segment(self, thread):
+        from repro.sim.executor import WorkSegment
+
+        return WorkSegment(
+            flops=self.flops,
+            arithmetic_intensity=_STREAM_AI,
+            data_home=self.memory_node,
+            label="stream-triad",
+        )
+
+    def segment_finished(self, thread, segment) -> None:
+        pass
+
+
+def measure_pair_bandwidth(
+    machine: MachineTopology,
+    source_node: int,
+    memory_node: int,
+    *,
+    threads: int | None = None,
+    duration: float = 0.2,
+) -> float:
+    """Achieved GB/s for ``threads`` on ``source_node`` reading
+    ``memory_node``.
+
+    ``threads`` defaults to all cores of the source node (the saturating
+    configuration STREAM uses).
+    """
+    from repro.sim.cpu import Binding
+    from repro.sim.executor import ExecutionSimulator
+
+    machine.node(source_node)
+    machine.node(memory_node)
+    if duration <= 0:
+        raise CalibrationError("duration must be positive")
+    n = threads or machine.node(source_node).num_cores
+    if n <= 0 or n > machine.node(source_node).num_cores:
+        raise CalibrationError(
+            f"thread count {n} invalid for node {source_node}"
+        )
+    ex = ExecutionSimulator(machine)
+    core_peak = machine.node(source_node).cores[0].peak_gflops
+    # Size each task to ~10 slices so quantisation error stays small.
+    flops = core_peak * ex.slice_seconds * 10
+    load = _StreamLoad(memory_node, flops)
+    for i in range(n):
+        ex.add_thread(
+            f"stream-{i}",
+            Binding.to_node(source_node),
+            load,
+            app_name="stream",
+        )
+    ex.run(duration)
+    gflops = ex.achieved_gflops("stream", duration)
+    return gflops / _STREAM_AI
+
+
+def measure_link_matrix(
+    machine: MachineTopology, *, duration: float = 0.2
+) -> np.ndarray:
+    """Measure achieved bandwidth for every (source, memory) node pair.
+
+    The diagonal approaches each node's local bandwidth; off-diagonal
+    entries approach the link bandwidths — the measured analogue of
+    :attr:`MachineTopology.link_bandwidth`.
+    """
+    n = machine.num_nodes
+    out = np.zeros((n, n))
+    for s in range(n):
+        for m in range(n):
+            out[s, m] = measure_pair_bandwidth(
+                machine, s, m, duration=duration
+            )
+    return out

@@ -1,0 +1,366 @@
+"""NUMA machine topology description.
+
+The paper's performance model (Section III-A) characterises a machine by a
+small set of scalars:
+
+* the number of NUMA nodes and CPU cores per node,
+* the peak floating-point performance of a core (GFLOPS),
+* the peak local memory bandwidth of each NUMA node (GB/s),
+* the peak bandwidth of the link between every pair of NUMA nodes (GB/s) —
+  added when the model was extended to handle "NUMA-bad" applications that
+  store all of their data on a single node.
+
+:class:`MachineTopology` captures exactly this information.  Everything else
+in the library (the analytic model, the discrete-event simulator, the
+runtime systems, the distributed layer) consumes machines through this one
+type, so experiments can swap the paper's worked-example machine for the
+calibrated Skylake server by changing a single constructor call (see
+:mod:`repro.machine.presets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["Core", "NumaNode", "MachineTopology"]
+
+
+@dataclass(frozen=True, slots=True)
+class Core:
+    """A single CPU core.
+
+    Attributes
+    ----------
+    global_id:
+        Machine-wide core index, dense in ``[0, total_cores)``.
+    node_id:
+        Index of the NUMA node this core belongs to.
+    local_id:
+        Index of the core within its NUMA node.
+    peak_gflops:
+        Peak floating-point throughput of this core in GFLOPS.
+    """
+
+    global_id: int
+    node_id: int
+    local_id: int
+    peak_gflops: float
+
+    def __post_init__(self) -> None:
+        if self.global_id < 0 or self.node_id < 0 or self.local_id < 0:
+            raise TopologyError(f"core indices must be non-negative: {self}")
+        if self.peak_gflops <= 0:
+            raise TopologyError(
+                f"core {self.global_id}: peak_gflops must be positive, "
+                f"got {self.peak_gflops}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class NumaNode:
+    """One NUMA node: a set of cores attached to one memory controller.
+
+    Attributes
+    ----------
+    node_id:
+        Index of the node within the machine.
+    cores:
+        The cores local to this node.
+    local_bandwidth:
+        Peak bandwidth (GB/s) of the node's memory as seen by its own cores.
+    """
+
+    node_id: int
+    cores: tuple[Core, ...]
+    local_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise TopologyError(f"NUMA node {self.node_id} has no cores")
+        if self.local_bandwidth <= 0:
+            raise TopologyError(
+                f"NUMA node {self.node_id}: local_bandwidth must be "
+                f"positive, got {self.local_bandwidth}"
+            )
+        for core in self.cores:
+            if core.node_id != self.node_id:
+                raise TopologyError(
+                    f"core {core.global_id} claims node {core.node_id} but "
+                    f"is attached to node {self.node_id}"
+                )
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in this node."""
+        return len(self.cores)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak compute throughput of the node (GFLOPS)."""
+        return float(sum(c.peak_gflops for c in self.cores))
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A complete NUMA machine description.
+
+    Parameters
+    ----------
+    nodes:
+        The NUMA nodes.  ``nodes[i].node_id`` must equal ``i``.
+    link_bandwidth:
+        Square matrix where entry ``[s, m]`` is the peak bandwidth (GB/s)
+        available to cores on node ``s`` reading from the memory of node
+        ``m``.  The diagonal must match each node's ``local_bandwidth``.
+    name:
+        Human-readable machine name used in reports.
+    """
+
+    nodes: tuple[NumaNode, ...]
+    link_bandwidth: np.ndarray
+    name: str = "machine"
+    _cores: tuple[Core, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise TopologyError("a machine needs at least one NUMA node")
+        for i, node in enumerate(self.nodes):
+            if node.node_id != i:
+                raise TopologyError(
+                    f"nodes must be listed in id order: position {i} holds "
+                    f"node {node.node_id}"
+                )
+        links = np.asarray(self.link_bandwidth, dtype=float)
+        n = len(self.nodes)
+        if links.shape != (n, n):
+            raise TopologyError(
+                f"link_bandwidth must be {n}x{n}, got shape {links.shape}"
+            )
+        if np.any(links <= 0):
+            raise TopologyError("all link bandwidths must be positive")
+        for i, node in enumerate(self.nodes):
+            if not np.isclose(links[i, i], node.local_bandwidth):
+                raise TopologyError(
+                    f"link_bandwidth[{i},{i}]={links[i, i]} disagrees with "
+                    f"node {i} local_bandwidth={node.local_bandwidth}"
+                )
+        links.setflags(write=False)
+        object.__setattr__(self, "link_bandwidth", links)
+        cores: list[Core] = []
+        for node in self.nodes:
+            cores.extend(node.cores)
+        for expect, core in enumerate(cores):
+            if core.global_id != expect:
+                raise TopologyError(
+                    f"core global ids must be dense and ordered by node; "
+                    f"expected {expect}, found {core.global_id}"
+                )
+        object.__setattr__(self, "_cores", tuple(cores))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        *,
+        num_nodes: int,
+        cores_per_node: int,
+        peak_gflops_per_core: float,
+        local_bandwidth: float,
+        remote_bandwidth: float | None = None,
+        link_bandwidth: np.ndarray | Sequence[Sequence[float]] | None = None,
+        name: str = "machine",
+    ) -> "MachineTopology":
+        """Build a machine where every node looks the same.
+
+        Either ``remote_bandwidth`` (one value for every off-diagonal link)
+        or a full ``link_bandwidth`` matrix may be given; if neither is
+        given, remote links default to the local bandwidth (a UMA machine
+        expressed in NUMA terms).
+        """
+        if num_nodes <= 0:
+            raise TopologyError(f"num_nodes must be positive, got {num_nodes}")
+        if cores_per_node <= 0:
+            raise TopologyError(
+                f"cores_per_node must be positive, got {cores_per_node}"
+            )
+        if remote_bandwidth is not None and link_bandwidth is not None:
+            raise TopologyError(
+                "give either remote_bandwidth or link_bandwidth, not both"
+            )
+        nodes: list[NumaNode] = []
+        gid = 0
+        for node_id in range(num_nodes):
+            cores = []
+            for local_id in range(cores_per_node):
+                cores.append(
+                    Core(
+                        global_id=gid,
+                        node_id=node_id,
+                        local_id=local_id,
+                        peak_gflops=peak_gflops_per_core,
+                    )
+                )
+                gid += 1
+            nodes.append(
+                NumaNode(
+                    node_id=node_id,
+                    cores=tuple(cores),
+                    local_bandwidth=local_bandwidth,
+                )
+            )
+        if link_bandwidth is None:
+            remote = local_bandwidth if remote_bandwidth is None else remote_bandwidth
+            links = np.full((num_nodes, num_nodes), float(remote))
+            np.fill_diagonal(links, local_bandwidth)
+        else:
+            links = np.asarray(link_bandwidth, dtype=float)
+        return cls(nodes=tuple(nodes), link_bandwidth=links, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of NUMA nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of cores across all nodes."""
+        return len(self._cores)
+
+    @property
+    def cores(self) -> tuple[Core, ...]:
+        """All cores, ordered by global id."""
+        return self._cores
+
+    @property
+    def cores_per_node(self) -> tuple[int, ...]:
+        """Core count of each node, in node order."""
+        return tuple(node.num_cores for node in self.nodes)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every node has the same core count and bandwidths."""
+        counts = {node.num_cores for node in self.nodes}
+        bws = {node.local_bandwidth for node in self.nodes}
+        gflops = {core.peak_gflops for core in self._cores}
+        off = self.link_bandwidth[~np.eye(self.num_nodes, dtype=bool)]
+        return (
+            len(counts) == 1
+            and len(bws) == 1
+            and len(gflops) == 1
+            and (off.size == 0 or bool(np.all(np.isclose(off, off.flat[0]))))
+        )
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak compute throughput of the machine (GFLOPS)."""
+        return float(sum(core.peak_gflops for core in self._cores))
+
+    @property
+    def total_local_bandwidth(self) -> float:
+        """Sum of all nodes' local memory bandwidth (GB/s)."""
+        return float(sum(node.local_bandwidth for node in self.nodes))
+
+    def node_of_core(self, global_id: int) -> NumaNode:
+        """Return the NUMA node owning core ``global_id``."""
+        core = self.core(global_id)
+        return self.nodes[core.node_id]
+
+    def core(self, global_id: int) -> Core:
+        """Return the core with the given global id."""
+        if not 0 <= global_id < len(self._cores):
+            raise TopologyError(
+                f"core id {global_id} out of range [0, {len(self._cores)})"
+            )
+        return self._cores[global_id]
+
+    def cores_of_node(self, node_id: int) -> tuple[Core, ...]:
+        """Return the cores of node ``node_id``."""
+        return self.node(node_id).cores
+
+    def node(self, node_id: int) -> NumaNode:
+        """Return the node with the given id."""
+        if not 0 <= node_id < len(self.nodes):
+            raise TopologyError(
+                f"node id {node_id} out of range [0, {len(self.nodes)})"
+            )
+        return self.nodes[node_id]
+
+    def bandwidth(self, source_node: int, memory_node: int) -> float:
+        """Peak GB/s for cores on ``source_node`` reading ``memory_node``."""
+        self.node(source_node)
+        self.node(memory_node)
+        return float(self.link_bandwidth[source_node, memory_node])
+
+    def ridge_ai(self, node_id: int) -> float:
+        """Roofline ridge-point arithmetic intensity of a node.
+
+        An application whose arithmetic intensity is below this value is
+        memory bound on the node (when running on all of the node's cores);
+        above it, compute bound.
+        """
+        node = self.node(node_id)
+        return node.peak_gflops / node.local_bandwidth
+
+    def iter_node_pairs(self) -> Iterator[tuple[int, int]]:
+        """Yield all ordered (source, memory) node pairs, including self."""
+        for s in range(self.num_nodes):
+            for m in range(self.num_nodes):
+                yield s, m
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the machine."""
+        lines = [f"machine '{self.name}':"]
+        lines.append(
+            f"  {self.num_nodes} NUMA node(s), {self.total_cores} core(s), "
+            f"peak {self.peak_gflops:.2f} GFLOPS"
+        )
+        for node in self.nodes:
+            lines.append(
+                f"  node {node.node_id}: {node.num_cores} cores x "
+                f"{node.cores[0].peak_gflops:g} GFLOPS, "
+                f"{node.local_bandwidth:g} GB/s local"
+            )
+        if self.num_nodes > 1:
+            off = self.link_bandwidth[~np.eye(self.num_nodes, dtype=bool)]
+            lines.append(
+                f"  inter-node links: min {off.min():g} / max {off.max():g} GB/s"
+            )
+        return "\n".join(lines)
+
+    def with_name(self, name: str) -> "MachineTopology":
+        """Return a copy of this topology under a different name."""
+        return MachineTopology(
+            nodes=self.nodes, link_bandwidth=self.link_bandwidth, name=name
+        )
+
+    def scaled_bandwidth(self, factor: float) -> "MachineTopology":
+        """Return a topology with all bandwidths multiplied by ``factor``.
+
+        Useful for sensitivity sweeps (e.g. "what if the links were twice
+        as fast?").
+        """
+        if factor <= 0:
+            raise TopologyError(f"scale factor must be positive, got {factor}")
+        nodes = tuple(
+            NumaNode(
+                node_id=n.node_id,
+                cores=n.cores,
+                local_bandwidth=n.local_bandwidth * factor,
+            )
+            for n in self.nodes
+        )
+        return MachineTopology(
+            nodes=nodes,
+            link_bandwidth=np.asarray(self.link_bandwidth) * factor,
+            name=f"{self.name}(bw x{factor:g})",
+        )

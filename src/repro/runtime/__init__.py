@@ -1,0 +1,50 @@
+"""Task-based runtime systems running on the execution simulator.
+
+* :class:`~repro.runtime.runtime.OCRVxRuntime` — the paper's extended
+  OCR-Vx with all three thread-control options;
+* :class:`~repro.runtime.tbb.TbbRuntime` — TBB-like arenas + RML;
+* :class:`~repro.runtime.openmp.OpenMpRuntime` — OpenMP-like static loops
+  and tied tasks (the Section IV hazards).
+"""
+
+from repro.runtime.datablock import AccessMode, Datablock, traffic_fractions
+from repro.runtime.events import Event, LatchEvent, OnceEvent
+from repro.runtime.openmp import OmpSchedule, OpenMpRuntime
+from repro.runtime.runtime import BindingMode, OCRVxRuntime, RuntimeStats
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    TaskScheduler,
+    WorkStealingScheduler,
+)
+from repro.runtime.task import Task, TaskState
+from repro.runtime.taskgraph import TaskGraph
+from repro.runtime.templates import FinishScope, TaskTemplate
+from repro.runtime.tbb import TbbArena, TbbRuntime
+from repro.runtime.worker import Worker
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "TaskGraph",
+    "TaskTemplate",
+    "FinishScope",
+    "Event",
+    "OnceEvent",
+    "LatchEvent",
+    "Datablock",
+    "AccessMode",
+    "traffic_fractions",
+    "TaskScheduler",
+    "FifoScheduler",
+    "LocalityScheduler",
+    "WorkStealingScheduler",
+    "Worker",
+    "BindingMode",
+    "RuntimeStats",
+    "OCRVxRuntime",
+    "TbbArena",
+    "TbbRuntime",
+    "OmpSchedule",
+    "OpenMpRuntime",
+]

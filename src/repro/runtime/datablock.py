@@ -1,0 +1,142 @@
+"""OCR-style datablocks: runtime-managed data with NUMA placement.
+
+In OCR "the application data [is] under the control of the runtime
+system", which is what the paper says makes data migration feasible ("This
+would easily be possible in OCR, where the runtime system is also in
+charge of managing the data, but it might be very difficult in
+applications based on TBB").  A :class:`Datablock` records where its bytes
+live; tasks acquire datablocks, and the traffic of a task is split over
+the home nodes of its acquisitions in proportion to their sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DatablockError
+
+__all__ = ["AccessMode", "Datablock", "traffic_fractions"]
+
+
+class AccessMode(enum.Enum):
+    """How a task acquires a datablock."""
+
+    READ_ONLY = "ro"
+    READ_WRITE = "rw"
+
+
+class Datablock:
+    """A block of runtime-managed memory.
+
+    Parameters
+    ----------
+    size_bytes:
+        Size of the block.
+    home_node:
+        NUMA node currently holding the block.
+    name:
+        Identifier for traces and errors.
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self, size_bytes: float, home_node: int, name: str = ""
+    ) -> None:
+        if size_bytes <= 0:
+            raise DatablockError(
+                f"datablock size must be positive, got {size_bytes}"
+            )
+        if home_node < 0:
+            raise DatablockError(
+                f"home_node must be non-negative, got {home_node}"
+            )
+        self.db_id = Datablock._next_id
+        Datablock._next_id += 1
+        self.name = name or f"db-{self.db_id}"
+        self.size_bytes = float(size_bytes)
+        self._home_node = home_node
+        self._freed = False
+        self._acquisitions = 0
+        self.migrations = 0
+
+    @property
+    def home_node(self) -> int:
+        """NUMA node currently holding the data."""
+        return self._home_node
+
+    @property
+    def freed(self) -> bool:
+        """True once destroyed."""
+        return self._freed
+
+    @property
+    def acquired(self) -> bool:
+        """True while at least one task holds the block."""
+        return self._acquisitions > 0
+
+    def acquire(self, mode: AccessMode = AccessMode.READ_ONLY) -> None:
+        """Register an acquisition (tasks call this when they start)."""
+        if self._freed:
+            raise DatablockError(f"datablock '{self.name}' was freed")
+        if mode is AccessMode.READ_WRITE and self._acquisitions > 0:
+            raise DatablockError(
+                f"datablock '{self.name}': RW acquire while "
+                f"{self._acquisitions} acquisition(s) outstanding"
+            )
+        self._acquisitions += 1
+
+    def release(self) -> None:
+        """Drop one acquisition."""
+        if self._acquisitions <= 0:
+            raise DatablockError(
+                f"datablock '{self.name}' released more than acquired"
+            )
+        self._acquisitions -= 1
+
+    def migrate(self, node: int) -> None:
+        """Move the block to another NUMA node.
+
+        Only legal while nobody holds the block — the runtime owns the
+        data, so it can move it between tasks.  This is the capability the
+        paper calls out as OCR's advantage for fixing NUMA-bad placement.
+        """
+        if self._freed:
+            raise DatablockError(f"datablock '{self.name}' was freed")
+        if self._acquisitions > 0:
+            raise DatablockError(
+                f"datablock '{self.name}': cannot migrate while acquired"
+            )
+        if node < 0:
+            raise DatablockError(f"invalid node {node}")
+        if node != self._home_node:
+            self._home_node = node
+            self.migrations += 1
+
+    def destroy(self) -> None:
+        """Free the block; double free raises."""
+        if self._freed:
+            raise DatablockError(f"datablock '{self.name}' freed twice")
+        if self._acquisitions > 0:
+            raise DatablockError(
+                f"datablock '{self.name}': destroy while acquired"
+            )
+        self._freed = True
+
+
+def traffic_fractions(
+    datablocks: list[Datablock],
+) -> dict[int, float] | None:
+    """Split a task's memory traffic over its datablocks' home nodes.
+
+    Fractions are proportional to block sizes.  Returns ``None`` for an
+    empty list (meaning: traffic is local to wherever the task runs).
+    """
+    if not datablocks:
+        return None
+    total = sum(db.size_bytes for db in datablocks)
+    out: dict[int, float] = {}
+    for db in datablocks:
+        out[db.home_node] = out.get(db.home_node, 0.0) + db.size_bytes / total
+    return out

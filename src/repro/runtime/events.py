@@ -1,0 +1,123 @@
+"""OCR-style synchronisation events.
+
+The Open Community Runtime expresses all inter-task synchronisation as
+*events*: a task's pre-slots are satisfied by events, and a task fires its
+output event on completion.  Two event flavours cover the paper's needs:
+
+* :class:`OnceEvent` — fires when satisfied once; the basic dependence.
+* :class:`LatchEvent` — a counting event: fires when its counter returns
+  to zero (OCR's latch; useful for join patterns and iteration barriers).
+
+Events deliver to *sinks*: callables registered via :meth:`add_dependent`.
+The runtime registers task pre-slot decrements as sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DependencyError
+
+__all__ = ["Event", "OnceEvent", "LatchEvent"]
+
+
+class Event:
+    """Base event: satisfiable, delivering a payload to dependents."""
+
+    _next_id = 0
+
+    def __init__(self, name: str = "") -> None:
+        self.event_id = Event._next_id
+        Event._next_id += 1
+        self.name = name or f"event-{self.event_id}"
+        self._sinks: list[Callable[[Any], None]] = []
+        self._fired = False
+        self._payload: Any = None
+
+    @property
+    def fired(self) -> bool:
+        """True once the event has triggered."""
+        return self._fired
+
+    @property
+    def payload(self) -> Any:
+        """The value the event fired with (None before firing)."""
+        return self._payload
+
+    def add_dependent(self, sink: Callable[[Any], None]) -> None:
+        """Register a sink; fires immediately if the event already did.
+
+        Late registration firing immediately is what makes dynamic task
+        creation race-free: a consumer task created after the producer
+        finished still sees the dependence satisfied.
+        """
+        if self._fired:
+            sink(self._payload)
+        else:
+            self._sinks.append(sink)
+
+    def _fire(self, payload: Any) -> None:
+        if self._fired:
+            raise DependencyError(f"event '{self.name}' fired twice")
+        self._fired = True
+        self._payload = payload
+        sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            sink(payload)
+
+
+class OnceEvent(Event):
+    """Fires on the first (and only) :meth:`satisfy`."""
+
+    def satisfy(self, payload: Any = None) -> None:
+        """Trigger the event, delivering ``payload`` to all dependents."""
+        self._fire(payload)
+
+
+class LatchEvent(Event):
+    """Counting event: fires when its count returns to zero.
+
+    Starts at ``count``; :meth:`count_up` increments, :meth:`count_down`
+    decrements.  Reaching zero fires the event (once).
+    """
+
+    def __init__(self, count: int, name: str = "") -> None:
+        super().__init__(name)
+        if count <= 0:
+            raise DependencyError(
+                f"latch '{self.name}' must start positive, got {count}"
+            )
+        self._count = count
+
+    @property
+    def count(self) -> int:
+        """Current counter value."""
+        return self._count
+
+    def count_up(self, n: int = 1) -> None:
+        """Increment the latch (register more outstanding work)."""
+        if self._fired:
+            raise DependencyError(
+                f"latch '{self.name}' already fired; cannot count up"
+            )
+        if n <= 0:
+            raise DependencyError(f"count_up needs positive n, got {n}")
+        self._count += n
+
+    def count_down(self, n: int = 1, payload: Any = None) -> None:
+        """Decrement the latch; fires when the counter reaches zero."""
+        if self._fired:
+            raise DependencyError(
+                f"latch '{self.name}' already fired; cannot count down"
+            )
+        if n <= 0:
+            raise DependencyError(f"count_down needs positive n, got {n}")
+        if n > self._count:
+            raise DependencyError(
+                f"latch '{self.name}': count_down({n}) below zero "
+                f"(count={self._count})"
+            )
+        self._count -= n
+        if self._count == 0:
+            self._fire(payload)

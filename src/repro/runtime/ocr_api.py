@@ -1,0 +1,262 @@
+"""A C-flavoured OCR API facade over :class:`OCRVxRuntime`.
+
+The Open Community Runtime specification [1], [9] expresses everything
+through GUIDs and a small C API.  This module mirrors the subset the
+paper's applications use, so OCR example codes port almost line by line:
+
+=====================================  ===================================
+OCR C API                              here
+=====================================  ===================================
+``ocrEdtTemplateCreate``               :func:`ocr_edt_template_create`
+``ocrEdtCreate``                       :func:`ocr_edt_create`
+``ocrDbCreate``                        :func:`ocr_db_create`
+``ocrDbDestroy``                       :func:`ocr_db_destroy`
+``ocrEventCreate`` (ONCE / LATCH)      :func:`ocr_event_create`
+``ocrEventSatisfy``                    :func:`ocr_event_satisfy`
+``ocrAddDependence``                   :func:`ocr_add_dependence`
+=====================================  ===================================
+
+EDTs are created with ``depc`` pre-declared dependence slots; a slot is
+either satisfied at creation (an entry in ``depv``) or connected later
+with :func:`ocr_add_dependence` — including with the ``UNINITIALIZED``
+placeholder followed by a later connection, the OCR idiom for cyclic
+creation orders.  All functions operate on opaque integer GUIDs held by
+an :class:`OcrContext`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.datablock import Datablock
+from repro.runtime.events import Event, LatchEvent, OnceEvent
+from repro.runtime.runtime import OCRVxRuntime
+from repro.runtime.task import Task
+
+__all__ = [
+    "UNINITIALIZED",
+    "OcrEventKind",
+    "OcrContext",
+    "ocr_edt_template_create",
+    "ocr_edt_create",
+    "ocr_db_create",
+    "ocr_db_destroy",
+    "ocr_event_create",
+    "ocr_event_satisfy",
+    "ocr_add_dependence",
+]
+
+#: Placeholder for a dependence slot to be connected later
+#: (``UNINITIALIZED_GUID`` in the OCR spec).
+UNINITIALIZED: int = -1
+
+
+class OcrEventKind(enum.Enum):
+    """Event flavours of ``ocrEventCreate``."""
+
+    ONCE = "once"
+    LATCH = "latch"
+
+
+@dataclass
+class _Template:
+    name: str
+    flops: float
+    arithmetic_intensity: float
+    instances: int = 0
+
+
+class OcrContext:
+    """GUID table tied to one hosting runtime."""
+
+    def __init__(self, runtime: OCRVxRuntime) -> None:
+        self.runtime = runtime
+        self._objects: dict[int, Any] = {}
+        self._next_guid = 1
+        #: EDT guid -> list of per-slot events (None = satisfied slot)
+        self._edt_slots: dict[int, list[OnceEvent | None]] = {}
+
+    def _register(self, obj: Any) -> int:
+        guid = self._next_guid
+        self._next_guid += 1
+        self._objects[guid] = obj
+        return guid
+
+    def get(self, guid: int) -> Any:
+        """Resolve a GUID (raises on unknown/stale guids)."""
+        if guid not in self._objects:
+            raise RuntimeSystemError(f"unknown GUID {guid}")
+        return self._objects[guid]
+
+    def task_of(self, edt_guid: int) -> Task:
+        """The :class:`Task` behind an EDT guid."""
+        obj = self.get(edt_guid)
+        if not isinstance(obj, Task):
+            raise RuntimeSystemError(f"GUID {edt_guid} is not an EDT")
+        return obj
+
+
+# ----------------------------------------------------------------------
+def ocr_edt_template_create(
+    ctx: OcrContext,
+    name: str,
+    flops: float,
+    arithmetic_intensity: float,
+) -> int:
+    """``ocrEdtTemplateCreate``: register an EDT kind, returns its GUID."""
+    if flops <= 0 or arithmetic_intensity <= 0:
+        raise RuntimeSystemError(
+            f"template '{name}': flops and AI must be positive"
+        )
+    return ctx._register(
+        _Template(
+            name=name, flops=flops, arithmetic_intensity=arithmetic_intensity
+        )
+    )
+
+
+def ocr_edt_create(
+    ctx: OcrContext,
+    template_guid: int,
+    depv: list[int] | None = None,
+    *,
+    affinity_node: int | None = None,
+) -> tuple[int, int]:
+    """``ocrEdtCreate``: instantiate an EDT from a template.
+
+    ``depv`` lists one GUID per dependence slot: an event or datablock
+    GUID satisfies the slot immediately (datablocks count as
+    pre-satisfied data dependences, as in OCR), ``UNINITIALIZED`` leaves
+    it open for :func:`ocr_add_dependence`.  Returns
+    ``(edt_guid, output_event_guid)``.
+    """
+    template = ctx.get(template_guid)
+    if not isinstance(template, _Template):
+        raise RuntimeSystemError(
+            f"GUID {template_guid} is not an EDT template"
+        )
+    template.instances += 1
+    depv = list(depv or [])
+    datablocks: list[Datablock] = []
+    slot_sources: list[Any] = []
+    for guid in depv:
+        if guid == UNINITIALIZED:
+            slot_sources.append(None)
+            continue
+        obj = ctx.get(guid)
+        if isinstance(obj, Datablock):
+            datablocks.append(obj)
+            slot_sources.append("db")
+        elif isinstance(obj, Event):
+            slot_sources.append(obj)
+        elif isinstance(obj, Task):
+            slot_sources.append(obj.output_event)
+        else:
+            raise RuntimeSystemError(
+                f"GUID {guid} cannot satisfy a dependence slot"
+            )
+
+    # Each open or event-connected slot gets its own relay event; the
+    # task depends on all of them, so late ocr_add_dependence connections
+    # are race-free.
+    slots: list[OnceEvent | None] = []
+    deps: list[Event] = []
+    for i, source in enumerate(slot_sources):
+        if source == "db":
+            slots.append(None)  # satisfied by the datablock itself
+            continue
+        relay = OnceEvent(f"{template.name}.slot{i}")
+        slots.append(relay)
+        deps.append(relay)
+        if isinstance(source, Event):
+            source.add_dependent(relay.satisfy)
+
+    task = ctx.runtime.create_task(
+        f"{template.name}#{template.instances}",
+        flops=template.flops,
+        arithmetic_intensity=template.arithmetic_intensity,
+        depends_on=deps,
+        datablocks=datablocks,
+        affinity_node=affinity_node,
+    )
+    edt_guid = ctx._register(task)
+    ctx._edt_slots[edt_guid] = slots
+    out_guid = ctx._register(task.output_event)
+    return edt_guid, out_guid
+
+
+def ocr_db_create(
+    ctx: OcrContext, size_bytes: float, home_node: int, name: str = ""
+) -> int:
+    """``ocrDbCreate``: allocate a datablock, returns its GUID."""
+    db = ctx.runtime.create_datablock(size_bytes, home_node, name=name)
+    return ctx._register(db)
+
+
+def ocr_db_destroy(ctx: OcrContext, db_guid: int) -> None:
+    """``ocrDbDestroy``: free a datablock (GUID becomes stale)."""
+    db = ctx.get(db_guid)
+    if not isinstance(db, Datablock):
+        raise RuntimeSystemError(f"GUID {db_guid} is not a datablock")
+    db.destroy()
+    del ctx._objects[db_guid]
+
+
+def ocr_event_create(
+    ctx: OcrContext,
+    kind: OcrEventKind = OcrEventKind.ONCE,
+    *,
+    latch_count: int = 1,
+    name: str = "",
+) -> int:
+    """``ocrEventCreate``: create a ONCE or LATCH event."""
+    if kind is OcrEventKind.ONCE:
+        return ctx._register(OnceEvent(name))
+    return ctx._register(LatchEvent(latch_count, name))
+
+
+def ocr_event_satisfy(
+    ctx: OcrContext, event_guid: int, payload: Any = None
+) -> None:
+    """``ocrEventSatisfy``: trigger a ONCE event / count down a latch."""
+    obj = ctx.get(event_guid)
+    if isinstance(obj, LatchEvent):
+        obj.count_down(payload=payload)
+    elif isinstance(obj, OnceEvent):
+        obj.satisfy(payload)
+    else:
+        raise RuntimeSystemError(f"GUID {event_guid} is not an event")
+
+
+def ocr_add_dependence(
+    ctx: OcrContext, source_guid: int, dest_edt_guid: int, slot: int
+) -> None:
+    """``ocrAddDependence``: connect ``source`` to an EDT's open slot."""
+    slots = ctx._edt_slots.get(dest_edt_guid)
+    if slots is None:
+        raise RuntimeSystemError(f"GUID {dest_edt_guid} is not an EDT")
+    if not 0 <= slot < len(slots):
+        raise RuntimeSystemError(
+            f"slot {slot} out of range (EDT has {len(slots)} slots)"
+        )
+    relay = slots[slot]
+    if relay is None:
+        raise RuntimeSystemError(
+            f"slot {slot} was satisfied at creation"
+        )
+    if relay.fired:
+        raise RuntimeSystemError(f"slot {slot} already connected")
+    source = ctx.get(source_guid)
+    if isinstance(source, Task):
+        source = source.output_event
+    if isinstance(source, Event):
+        source.add_dependent(relay.satisfy)
+    elif isinstance(source, Datablock):
+        relay.satisfy(source)  # data dependence: immediately available
+    else:
+        raise RuntimeSystemError(
+            f"GUID {source_guid} cannot be a dependence source"
+        )

@@ -1,0 +1,249 @@
+"""An OpenMP-like runtime adapter: static loops and tied tasks.
+
+Section IV of the paper uses OpenMP to illustrate two hazards for dynamic
+core allocation:
+
+* codes "written with the assumption that all their threads progress at a
+  similar rate" — the canonical example being ``parallel for`` with
+  *static* scheduling, where slowing one thread stalls the loop's implicit
+  barrier;
+* *tied* tasks, which "[are] guaranteed to eventually resume execution on
+  the same thread", so "removing this thread from the worker pool would
+  prevent the task from executing" — the paper's suggested fix is to
+  simply not suspend threads that own tied work.
+
+:class:`OpenMpRuntime` implements a fixed thread team, ``parallel_for``
+with STATIC and DYNAMIC schedules, tied-task tracking, and a
+:meth:`~OpenMpRuntime.set_total_threads` that refuses to block a thread
+holding tied work (returning which threads it actually blocked).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Sequence
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.events import LatchEvent
+from repro.runtime.task import Task
+from repro.sim.cpu import Binding, SimThread
+from repro.sim.executor import ExecutionSimulator, WorkSegment
+
+__all__ = ["OmpSchedule", "OpenMpRuntime"]
+
+
+class OmpSchedule(enum.Enum):
+    """Loop scheduling kinds (the two that matter for the paper's point)."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+class OpenMpRuntime:
+    """A fixed team of OpenMP-like threads.
+
+    Parameters
+    ----------
+    name:
+        Runtime name.
+    executor:
+        Shared execution simulator.
+    num_threads:
+        Team size (``OMP_NUM_THREADS``).
+    node:
+        Optional NUMA node to bind the whole team to.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        executor: ExecutionSimulator,
+        num_threads: int,
+        *,
+        node: int | None = None,
+    ) -> None:
+        if num_threads <= 0:
+            raise RuntimeSystemError("OpenMP team needs at least one thread")
+        self.name = name
+        self.executor = executor
+        binding = Binding.to_node(node) if node is not None else Binding.unbound()
+        self._threads: list[SimThread] = []
+        #: per-thread private queues (static chunks, tied tasks)
+        self._private: dict[int, deque[Task]] = {}
+        #: shared queue (dynamic chunks, untied tasks)
+        self._shared: deque[Task] = deque()
+        self._current: dict[int, Task] = {}
+        self._blocked_target = 0
+        for i in range(num_threads):
+            t = executor.add_thread(
+                f"{name}/omp{i}", binding, self, app_name=name
+            )
+            self._threads.append(t)
+            self._private[t.tid] = deque()
+        self.loops_completed = 0
+        self.tasks_executed = 0
+
+    @property
+    def num_threads(self) -> int:
+        """Team size."""
+        return len(self._threads)
+
+    # ------------------------------------------------------------------
+    # Loop API
+    # ------------------------------------------------------------------
+    def parallel_for(
+        self,
+        name: str,
+        iterations: int,
+        flops_per_iteration: float,
+        arithmetic_intensity: float,
+        *,
+        schedule: OmpSchedule = OmpSchedule.STATIC,
+        chunk: int | None = None,
+    ) -> LatchEvent:
+        """Submit a parallel loop; returns its completion latch.
+
+        STATIC pre-assigns contiguous chunks to threads (each thread's
+        chunk goes to its private queue — nobody else may run it, exactly
+        the rigidity Section IV warns about).  DYNAMIC splits the
+        iteration space into ``chunk``-sized tasks on the shared queue.
+        """
+        if iterations <= 0:
+            raise RuntimeSystemError(f"loop '{name}': iterations must be > 0")
+        nt = len(self._threads)
+        done = LatchEvent(1, name=f"{self.name}/{name}.done")
+
+        def make_task(label: str, iters: int, owner: int | None) -> Task:
+            done.count_up()
+            task = Task(
+                name=f"{self.name}/{name}/{label}",
+                flops=iters * flops_per_iteration,
+                arithmetic_intensity=arithmetic_intensity,
+                on_finish=lambda _t: done.count_down(),
+                tied_to=None,
+            )
+            return task
+
+        if schedule is OmpSchedule.STATIC:
+            base, extra = divmod(iterations, nt)
+            for i, t in enumerate(self._threads):
+                iters = base + (1 if i < extra else 0)
+                if iters == 0:
+                    continue
+                task = make_task(f"chunk{i}", iters, t.tid)
+                self._private[t.tid].append(task)
+        else:
+            step = chunk or max(1, iterations // (4 * nt))
+            start = 0
+            idx = 0
+            while start < iterations:
+                iters = min(step, iterations - start)
+                task = make_task(f"dyn{idx}", iters, None)
+                self._shared.append(task)
+                start += iters
+                idx += 1
+        done.count_down()  # balance the initial 1; fires when tasks drain
+        done.add_dependent(lambda _p: self._loop_done())
+        return done
+
+    def _loop_done(self) -> None:
+        self.loops_completed += 1
+
+    def submit_tied_task(
+        self,
+        name: str,
+        flops: float,
+        arithmetic_intensity: float,
+        thread_index: int,
+    ) -> Task:
+        """Submit a task tied to a specific team thread."""
+        if not 0 <= thread_index < len(self._threads):
+            raise RuntimeSystemError(
+                f"thread index {thread_index} out of range"
+            )
+        t = self._threads[thread_index]
+        task = Task(
+            name=f"{self.name}/{name}",
+            flops=flops,
+            arithmetic_intensity=arithmetic_intensity,
+            tied_to=t.name,
+        )
+        self._private[t.tid].append(task)
+        return task
+
+    # ------------------------------------------------------------------
+    # Thread control with the tied-task caveat
+    # ------------------------------------------------------------------
+    def set_total_threads(self, n: int) -> list[str]:
+        """Try to reduce the active team to ``n`` threads.
+
+        Threads holding tied work are never blocked (the paper's
+        resolution of the tied-task problem).  Returns the names of the
+        threads actually blocked; the caller (agent) can see the command
+        was only partially honoured.
+        """
+        if n < 0 or n > len(self._threads):
+            raise RuntimeSystemError(
+                f"target {n} outside [0, {len(self._threads)}]"
+            )
+        from repro.sim.cpu import ThreadState
+
+        active = [
+            t for t in self._threads if t.state is ThreadState.RUNNABLE
+        ]
+        blocked_now: list[str] = []
+        to_block = len(active) - n
+        if to_block > 0:
+            # Prefer blocking threads without tied/private work.
+            candidates = sorted(
+                active,
+                key=lambda t: (len(self._private[t.tid]) > 0, t.tid),
+            )
+            for t in candidates:
+                if to_block == 0:
+                    break
+                if self._private[t.tid]:
+                    continue  # tied or static work pinned here
+                self.executor.block(t)
+                blocked_now.append(t.name)
+                to_block -= 1
+        elif to_block < 0:
+            blocked = [
+                t for t in self._threads if t.state is ThreadState.BLOCKED
+            ]
+            for t in blocked[: -to_block]:
+                self.executor.unblock(t)
+        return blocked_now
+
+    # ------------------------------------------------------------------
+    # WorkProvider protocol
+    # ------------------------------------------------------------------
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Pop the thread's private queue first, then the shared one."""
+        own = self._private[thread.tid]
+        task: Task | None = None
+        if own:
+            task = own.popleft()
+        elif self._shared:
+            task = self._shared.popleft()
+        if task is None:
+            return None
+        task.start(thread.name)
+        self._current[thread.tid] = task
+        return WorkSegment(
+            flops=task.flops,
+            arithmetic_intensity=task.arithmetic_intensity,
+            data_fractions=task.traffic(),
+            label=task.name,
+        )
+
+    def segment_finished(self, thread: SimThread, segment: WorkSegment) -> None:
+        """Complete the thread's chunk/task (drives loop latches)."""
+        task = self._current.pop(thread.tid, None)
+        if task is None:
+            raise RuntimeSystemError(
+                f"OpenMP thread {thread.name} finished unknown segment"
+            )
+        self.tasks_executed += 1
+        task.finish()

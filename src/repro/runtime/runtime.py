@@ -1,0 +1,415 @@
+"""OCRVxRuntime: a task-based runtime with blockable worker threads.
+
+This is the reproduction of the paper's extended OCR-Vx [3], [10]: a
+task-based runtime whose worker-thread count can be adjusted while the
+application runs.  All three thread-control options of Section II are
+implemented with the published semantics:
+
+1. **Total number of threads** (:meth:`OCRVxRuntime.set_total_threads`) —
+   the runtime keeps at most N workers active.  Workers over the limit
+   block when they are "not currently executing a task": a worker running
+   a long task keeps going until the task ends, and if enough other
+   workers blocked meanwhile it never blocks at all.  Raising the target
+   unblocks randomly selected workers "almost immediately".
+2. **Individual cores** (:meth:`OCRVxRuntime.block_workers` /
+   :meth:`OCRVxRuntime.unblock_workers`) — explicit per-worker commands;
+   workers are core-bound in this mode.
+3. **Threads per NUMA node** (:meth:`OCRVxRuntime.set_node_threads`) —
+   workers are node-bound and each node has its own active-thread target.
+
+Workers are fed by a pluggable :class:`~repro.runtime.scheduler.TaskScheduler`
+and executed by the :class:`~repro.sim.executor.ExecutionSimulator`; the
+runtime is the executor's :class:`~repro.sim.executor.WorkProvider`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.datablock import AccessMode, Datablock
+from repro.runtime.events import Event, LatchEvent, OnceEvent
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    TaskScheduler,
+    WorkStealingScheduler,
+)
+from repro.runtime.task import Task, TaskState
+from repro.runtime.worker import Worker
+from repro.sim.cpu import Binding, SimThread, ThreadState
+from repro.sim.executor import ExecutionSimulator, WorkSegment
+from repro.sim.trace import TraceKind
+
+__all__ = ["BindingMode", "RuntimeStats", "OCRVxRuntime"]
+
+
+class BindingMode(enum.Enum):
+    """How this runtime binds its workers (paper Section II)."""
+
+    CORE = "core"  #: one worker pinned per core (enables option 2)
+    NODE = "node"  #: workers bound to NUMA nodes (options 1 and 3)
+    UNBOUND = "unbound"  #: no affinity (option 1 with free threads)
+
+
+class RuntimeStats:
+    """Counters the runtime reports to the agent (Figure 1's upward arrows)."""
+
+    def __init__(self) -> None:
+        self.tasks_executed = 0
+        self.tasks_created = 0
+        self.progress: dict[str, float] = {}
+
+    def report_progress(self, key: str, amount: float = 1.0) -> None:
+        """Application-level progress marker (e.g. iterations done)."""
+        self.progress[key] = self.progress.get(key, 0.0) + amount
+
+
+class OCRVxRuntime:
+    """A task-based runtime instance hosting one application.
+
+    Parameters
+    ----------
+    name:
+        Runtime/application name (unique per executor).
+    executor:
+        The shared execution simulator ("the machine").
+    binding_mode:
+        Worker affinity granularity; NODE is the paper's recommended mode.
+    scheduler:
+        Ready-task pool; default is a :class:`LocalityScheduler`, making
+        applications NUMA-aware out of the box.
+    seed:
+        Seed for the random unblock selection of option 1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        executor: ExecutionSimulator,
+        *,
+        binding_mode: BindingMode = BindingMode.NODE,
+        scheduler: TaskScheduler | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.executor = executor
+        self.machine = executor.machine
+        self.binding_mode = binding_mode
+        self.scheduler = scheduler or LocalityScheduler(
+            self.machine.num_nodes
+        )
+        self.stats = RuntimeStats()
+        self.workers: list[Worker] = []
+        self._by_tid: dict[int, Worker] = {}
+        self._rng = np.random.default_rng(seed)
+        self._node_target: dict[int, int] = {}
+        self._total_target: int | None = None
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def start(
+        self, threads_per_node: Sequence[int] | None = None
+    ) -> None:
+        """Create the worker threads.
+
+        ``threads_per_node`` defaults to one worker per core of every node
+        ("Each application starts with as many threads as there are CPU
+        cores").  With UNBOUND mode the per-node counts only determine the
+        total.
+        """
+        if self._started:
+            raise RuntimeSystemError(f"runtime '{self.name}' already started")
+        if threads_per_node is None:
+            threads_per_node = [n.num_cores for n in self.machine.nodes]
+        if len(threads_per_node) != self.machine.num_nodes:
+            raise RuntimeSystemError(
+                f"runtime '{self.name}': {len(threads_per_node)} node "
+                f"counts for {self.machine.num_nodes} nodes"
+            )
+        index = 0
+        for node_id, count in enumerate(threads_per_node):
+            node = self.machine.node(node_id)
+            if count > node.num_cores:
+                raise RuntimeSystemError(
+                    f"runtime '{self.name}': {count} workers on node "
+                    f"{node_id} with {node.num_cores} cores"
+                )
+            for k in range(count):
+                if self.binding_mode is BindingMode.CORE:
+                    binding = Binding.to_core(node.cores[k].global_id)
+                elif self.binding_mode is BindingMode.NODE:
+                    binding = Binding.to_node(node_id)
+                else:
+                    binding = Binding.unbound()
+                worker = Worker(
+                    index=index,
+                    name=f"{self.name}/w{index}",
+                    binding=binding,
+                    node=(
+                        None
+                        if self.binding_mode is BindingMode.UNBOUND
+                        else node_id
+                    ),
+                )
+                thread = self.executor.add_thread(
+                    worker.name, binding, self, app_name=self.name
+                )
+                worker.thread = thread
+                self.workers.append(worker)
+                self._by_tid[thread.tid] = worker
+                if isinstance(self.scheduler, WorkStealingScheduler):
+                    self.scheduler.register_worker(worker.name)
+                index += 1
+        self._started = True
+
+    def stop(self) -> None:
+        """Retire all workers (application exit)."""
+        for w in self.workers:
+            if w.thread is not None:
+                self.executor.finish(w.thread)
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Task API (the application-facing surface)
+    # ------------------------------------------------------------------
+    def create_task(
+        self,
+        name: str,
+        flops: float,
+        arithmetic_intensity: float,
+        *,
+        depends_on: Sequence[Task | Event] = (),
+        datablocks: Sequence[Datablock] = (),
+        access_modes: Sequence[AccessMode] | None = None,
+        affinity_node: int | None = None,
+        on_finish: Callable[[Task], None] | None = None,
+        tied_to: str | None = None,
+    ) -> Task:
+        """Create a task; it enters the scheduler when its deps are met."""
+        if self._stopped:
+            raise RuntimeSystemError(f"runtime '{self.name}' stopped")
+        task = Task(
+            name=f"{self.name}/{name}",
+            flops=flops,
+            arithmetic_intensity=arithmetic_intensity,
+            datablocks=list(datablocks),
+            access_modes=list(access_modes) if access_modes else None,
+            affinity_node=affinity_node,
+            on_finish=on_finish,
+            tied_to=tied_to,
+        )
+        for dep in depends_on:
+            task.depends_on(dep)
+        self.stats.tasks_created += 1
+        task.on_ready(self._enqueue)
+        return task
+
+    def _enqueue(self, task: Task) -> None:
+        self.scheduler.push(task)
+
+    def create_datablock(
+        self, size_bytes: float, home_node: int, name: str = ""
+    ) -> Datablock:
+        """Allocate a runtime-managed datablock on ``home_node``."""
+        return Datablock(size_bytes, home_node, name=name)
+
+    # ------------------------------------------------------------------
+    # WorkProvider protocol (called by the executor)
+    # ------------------------------------------------------------------
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Hand the worker its next task (or block it at the boundary)."""
+        worker = self._by_tid[thread.tid]
+        if self._stopped:
+            return None
+        if self._must_block(worker):
+            self.executor.block(thread)
+            return None
+        task = self.scheduler.pop(worker)
+        if task is None:
+            return None
+        task.start(worker.name)
+        worker.current_task = task
+        return WorkSegment(
+            flops=task.flops,
+            arithmetic_intensity=task.arithmetic_intensity,
+            data_home=None,
+            data_fractions=task.traffic(),
+            cache_keys=tuple(db.db_id for db in task.datablocks),
+            label=task.name,
+        )
+
+    def segment_finished(self, thread: SimThread, segment: WorkSegment) -> None:
+        """Complete the worker's task and fire its output event."""
+        worker = self._by_tid[thread.tid]
+        task = worker.current_task
+        if task is None:
+            raise RuntimeSystemError(
+                f"worker '{worker.name}' finished a segment with no task"
+            )
+        worker.current_task = None
+        worker.tasks_executed += 1
+        self.stats.tasks_executed += 1
+        task.finish()
+
+    # ------------------------------------------------------------------
+    # Thread control (the agent-facing surface, Figure 1's commands)
+    # ------------------------------------------------------------------
+    def set_total_threads(self, n: int) -> None:
+        """Option 1: keep at most ``n`` workers active, machine wide."""
+        if n < 0 or n > len(self.workers):
+            raise RuntimeSystemError(
+                f"runtime '{self.name}': total target {n} outside "
+                f"[0, {len(self.workers)}]"
+            )
+        self._node_target.clear()
+        self._total_target = n
+        active = [w for w in self.workers if w.active]
+        deficit = n - len(active)
+        if deficit > 0:
+            blocked = [w for w in self.workers if w.blocked]
+            # "These threads are selected randomly."
+            pick = self._rng.permutation(len(blocked))[:deficit]
+            for i in pick:
+                self._unblock(blocked[i])
+
+    def set_node_threads(self, node: int, n: int) -> None:
+        """Option 3: per-NUMA-node active-thread target.
+
+        Requires NODE (or CORE) binding so workers belong to nodes.
+        """
+        if self.binding_mode is BindingMode.UNBOUND:
+            raise RuntimeSystemError(
+                "per-node thread control needs node- or core-bound workers"
+            )
+        members = [w for w in self.workers if w.node == node]
+        if n < 0 or n > len(members):
+            raise RuntimeSystemError(
+                f"runtime '{self.name}': node {node} target {n} outside "
+                f"[0, {len(members)}]"
+            )
+        self._total_target = None
+        self._node_target[node] = n
+        active = [w for w in members if w.active]
+        deficit = n - len(active)
+        if deficit > 0:
+            blocked = [w for w in members if w.blocked]
+            pick = self._rng.permutation(len(blocked))[:deficit]
+            for i in pick:
+                self._unblock(blocked[i])
+
+    def set_allocation(self, threads_per_node: Sequence[int]) -> None:
+        """Option 3 for all nodes at once (one agent command)."""
+        if len(threads_per_node) != self.machine.num_nodes:
+            raise RuntimeSystemError(
+                f"{len(threads_per_node)} counts for "
+                f"{self.machine.num_nodes} nodes"
+            )
+        for node, n in enumerate(threads_per_node):
+            self.set_node_threads(node, int(n))
+
+    def migrate_worker(self, name: str, node: int) -> None:
+        """Move a worker thread to another NUMA node.
+
+        The paper's other core-shifting mechanism: runtimes "can also
+        easily move work between CPU cores, either by moving the worker
+        threads or by stopping threads ... and starting new threads on
+        the target cores."  The thread re-binds at the next slice; the
+        worker then pulls tasks from its new node's queue.  Requires
+        NODE binding (a core-pinned worker would need option-2 restart
+        semantics instead).
+        """
+        if self.binding_mode is not BindingMode.NODE:
+            raise RuntimeSystemError(
+                "worker migration requires NODE binding"
+            )
+        self.machine.node(node)  # validate
+        by_name = {w.name: w for w in self.workers}
+        if name not in by_name:
+            raise RuntimeSystemError(
+                f"runtime '{self.name}': unknown worker '{name}'"
+            )
+        worker = by_name[name]
+        if worker.node == node:
+            return
+        binding = Binding.to_node(node)
+        self.executor.rebind(worker.thread, binding)
+        worker.binding = binding
+        worker.node = node
+
+    def block_workers(self, names: Sequence[str]) -> None:
+        """Option 2: request specific workers to block at the boundary."""
+        by_name = {w.name: w for w in self.workers}
+        for name in names:
+            if name not in by_name:
+                raise RuntimeSystemError(
+                    f"runtime '{self.name}': unknown worker '{name}'"
+                )
+            by_name[name].block_requested = True
+
+    def unblock_workers(self, names: Sequence[str]) -> None:
+        """Option 2: wake specific workers (nearly immediate)."""
+        by_name = {w.name: w for w in self.workers}
+        for name in names:
+            if name not in by_name:
+                raise RuntimeSystemError(
+                    f"runtime '{self.name}': unknown worker '{name}'"
+                )
+            w = by_name[name]
+            w.block_requested = False
+            if w.blocked:
+                self._unblock(w)
+
+    def _must_block(self, worker: Worker) -> bool:
+        if worker.block_requested:
+            return True
+        if self._total_target is not None:
+            active = sum(1 for w in self.workers if w.active)
+            if active > self._total_target:
+                return True
+        if worker.node is not None and worker.node in self._node_target:
+            members_active = sum(
+                1
+                for w in self.workers
+                if w.node == worker.node and w.active
+            )
+            if members_active > self._node_target[worker.node]:
+                return True
+        return False
+
+    def _unblock(self, worker: Worker) -> None:
+        worker.block_requested = False
+        if worker.thread is not None:
+            self.executor.unblock(worker.thread)
+
+    # ------------------------------------------------------------------
+    # Introspection (what the agent samples)
+    # ------------------------------------------------------------------
+    @property
+    def active_threads(self) -> int:
+        """Workers currently able to run tasks."""
+        return sum(1 for w in self.workers if w.active)
+
+    @property
+    def blocked_threads(self) -> int:
+        """Workers currently suspended."""
+        return sum(1 for w in self.workers if w.blocked)
+
+    def active_per_node(self) -> list[int]:
+        """Active workers per NUMA node (unbound workers not counted)."""
+        out = [0] * self.machine.num_nodes
+        for w in self.workers:
+            if w.active and w.node is not None:
+                out[w.node] += 1
+        return out
+
+    @property
+    def queue_length(self) -> int:
+        """Ready tasks waiting for a worker."""
+        return len(self.scheduler)

@@ -1,0 +1,210 @@
+"""Task schedulers: pick which ready task a worker runs next.
+
+The paper anticipates that "different kinds of workloads might benefit
+from using a scheduler tailored for the specific kind of problems", so the
+runtime takes the scheduler as a strategy object.  Three are provided:
+
+* :class:`FifoScheduler` — one global queue; simplest and fair.
+* :class:`LocalityScheduler` — per-NUMA-node queues keyed on the task's
+  affinity node; a worker drains its own node first and only then (if
+  allowed) steals elsewhere.  This is what makes an application
+  "NUMA-perfect" in the simulator: tasks run where their data lives.
+* :class:`WorkStealingScheduler` — per-worker deques with random-victim
+  stealing (the classic TBB/Cilk discipline), deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.runtime.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+__all__ = [
+    "TaskScheduler",
+    "FifoScheduler",
+    "LocalityScheduler",
+    "WorkStealingScheduler",
+]
+
+
+class TaskScheduler(ABC):
+    """Interface between the runtime and its ready-task pool."""
+
+    @abstractmethod
+    def push(self, task: Task) -> None:
+        """Add a ready task."""
+
+    @abstractmethod
+    def pop(self, worker: "Worker") -> Task | None:
+        """Return the next task for ``worker`` (None if nothing suits)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queued tasks."""
+
+    def _check_ready(self, task: Task) -> None:
+        if task.state is not TaskState.READY:
+            raise SchedulerError(
+                f"cannot schedule task '{task.name}' in state "
+                f"{task.state.value}"
+            )
+
+
+class FifoScheduler(TaskScheduler):
+    """Single global FIFO queue.
+
+    Tied tasks (``task.tied_to``) are skipped for other workers and left
+    in place for their owner.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[Task] = deque()
+
+    def push(self, task: Task) -> None:
+        self._check_ready(task)
+        self._queue.append(task)
+
+    def pop(self, worker: "Worker") -> Task | None:
+        for _ in range(len(self._queue)):
+            task = self._queue.popleft()
+            if task.tied_to is not None and task.tied_to != worker.name:
+                self._queue.append(task)
+                continue
+            return task
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LocalityScheduler(TaskScheduler):
+    """Per-NUMA-node queues with optional cross-node stealing.
+
+    A task lands in the queue of its ``affinity_node`` (or a shared
+    overflow queue when it has none).  Workers pop their own node's queue,
+    then the overflow, then — only if ``allow_steal`` — the fullest other
+    node's queue.  With stealing disabled, work placed on a node whose
+    workers are all blocked simply waits, which is exactly the hazard the
+    paper warns option-1 thread control creates for NUMA-aware codes.
+    """
+
+    def __init__(self, num_nodes: int, *, allow_steal: bool = True) -> None:
+        if num_nodes <= 0:
+            raise SchedulerError(f"num_nodes must be positive: {num_nodes}")
+        self._queues: list[deque[Task]] = [
+            deque() for _ in range(num_nodes)
+        ]
+        self._overflow: deque[Task] = deque()
+        self.allow_steal = allow_steal
+
+    def push(self, task: Task) -> None:
+        self._check_ready(task)
+        node = task.affinity_node
+        if node is None:
+            self._overflow.append(task)
+        elif 0 <= node < len(self._queues):
+            self._queues[node].append(task)
+        else:
+            raise SchedulerError(
+                f"task '{task.name}' affinity node {node} out of range"
+            )
+
+    def pop(self, worker: "Worker") -> Task | None:
+        sources: list[deque[Task]] = []
+        if worker.node is not None:
+            sources.append(self._queues[worker.node])
+        sources.append(self._overflow)
+        if self.allow_steal or worker.node is None:
+            others = sorted(
+                (
+                    q
+                    for i, q in enumerate(self._queues)
+                    if i != worker.node
+                ),
+                key=len,
+                reverse=True,
+            )
+            sources.extend(others)
+        for q in sources:
+            for _ in range(len(q)):
+                task = q.popleft()
+                if task.tied_to is not None and task.tied_to != worker.name:
+                    q.append(task)
+                    continue
+                return task
+        return None
+
+    def __len__(self) -> int:
+        return len(self._overflow) + sum(len(q) for q in self._queues)
+
+    def queued_on(self, node: int) -> int:
+        """Tasks currently queued for ``node``."""
+        return len(self._queues[node])
+
+
+class WorkStealingScheduler(TaskScheduler):
+    """Per-worker deques, LIFO locally, random-victim FIFO steals."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._deques: dict[str, deque[Task]] = {}
+        self._shared: deque[Task] = deque()
+        self._rng = np.random.default_rng(seed)
+
+    def register_worker(self, name: str) -> None:
+        """Create a deque for a worker (runtimes call this at spawn)."""
+        self._deques.setdefault(name, deque())
+
+    def push(self, task: Task) -> None:
+        self._check_ready(task)
+        # Tasks pushed from a worker's control path go to its own deque;
+        # external pushes (main thread, agent) go to the shared queue.
+        owner = task.worker_name
+        if owner is not None and owner in self._deques:
+            self._deques[owner].append(task)
+        else:
+            self._shared.append(task)
+
+    def pop(self, worker: "Worker") -> Task | None:
+        self._deques.setdefault(worker.name, deque())
+        own = self._deques[worker.name]
+        # Local LIFO for cache warmth.
+        for _ in range(len(own)):
+            task = own.pop()
+            if task.tied_to is not None and task.tied_to != worker.name:
+                own.appendleft(task)
+                continue
+            return task
+        # Shared queue next.
+        for _ in range(len(self._shared)):
+            task = self._shared.popleft()
+            if task.tied_to is not None and task.tied_to != worker.name:
+                self._shared.append(task)
+                continue
+            return task
+        # Steal: random victims, oldest task first.
+        victims = [
+            n for n, q in self._deques.items() if n != worker.name and q
+        ]
+        if not victims:
+            return None
+        order = self._rng.permutation(len(victims))
+        for i in order:
+            q = self._deques[victims[i]]
+            for _ in range(len(q)):
+                task = q.popleft()
+                if task.tied_to is not None and task.tied_to != worker.name:
+                    q.append(task)
+                    continue
+                return task
+        return None
+
+    def __len__(self) -> int:
+        return len(self._shared) + sum(len(q) for q in self._deques.values())

@@ -1,0 +1,185 @@
+"""Tasks: the unit of work scheduled by the runtime systems.
+
+Tasks follow the OCR lifecycle: *created* with a number of unsatisfied
+pre-slots, *ready* once all pre-slots are satisfied, *running* on a worker
+thread, *finished* when their work completes (firing their output event).
+The paper's central premise is that "by decoupling the work (tasks) from
+the processing units (CPU cores), these runtime systems get much more
+flexibility" — tasks never block and never migrate mid-execution, which is
+what lets the runtime suspend worker threads at task boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DependencyError, TaskError
+from repro.runtime.datablock import AccessMode, Datablock, traffic_fractions
+from repro.runtime.events import Event, OnceEvent
+
+__all__ = ["TaskState", "Task"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    WAITING = "waiting"  #: has unsatisfied pre-slots
+    READY = "ready"  #: schedulable
+    RUNNING = "running"  #: executing on a worker
+    FINISHED = "finished"  #: done; output event fired
+
+
+class Task:
+    """One task.
+
+    Parameters
+    ----------
+    name:
+        Identifier for traces.
+    flops:
+        Work volume in GFLOP.
+    arithmetic_intensity:
+        FLOPs per byte of this task's kernel.
+    datablocks:
+        Blocks the task acquires while running; their home nodes determine
+        where its memory traffic goes.  Empty means node-local traffic
+        (the NUMA-perfect idealisation).
+    affinity_node:
+        Scheduling hint: prefer running on this NUMA node.  Defaults to
+        the largest datablock's home, or ``None``.
+    on_finish:
+        Callback run (on the runtime's control path) after completion —
+        OCR-style dynamic task graphs create successor tasks here.
+    tied_to:
+        Worker name this task must run on (models OpenMP *tied* tasks;
+        ``None`` for the normal untied case).
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        name: str,
+        flops: float,
+        arithmetic_intensity: float,
+        *,
+        datablocks: list[Datablock] | None = None,
+        access_modes: list[AccessMode] | None = None,
+        affinity_node: int | None = None,
+        on_finish: Callable[["Task"], None] | None = None,
+        tied_to: str | None = None,
+    ) -> None:
+        if flops <= 0:
+            raise TaskError(f"task '{name}': flops must be positive")
+        if arithmetic_intensity <= 0:
+            raise TaskError(f"task '{name}': AI must be positive")
+        self.task_id = Task._next_id
+        Task._next_id += 1
+        self.name = name or f"task-{self.task_id}"
+        self.flops = float(flops)
+        self.arithmetic_intensity = float(arithmetic_intensity)
+        self.datablocks = list(datablocks or [])
+        if access_modes is None:
+            access_modes = [AccessMode.READ_ONLY] * len(self.datablocks)
+        if len(access_modes) != len(self.datablocks):
+            raise TaskError(
+                f"task '{name}': {len(access_modes)} access modes for "
+                f"{len(self.datablocks)} datablocks"
+            )
+        self.access_modes = access_modes
+        if affinity_node is None and self.datablocks:
+            biggest = max(self.datablocks, key=lambda db: db.size_bytes)
+            affinity_node = biggest.home_node
+        self.affinity_node = affinity_node
+        self.on_finish = on_finish
+        self.tied_to = tied_to
+        self.state = TaskState.READY
+        self.output_event: OnceEvent = OnceEvent(f"{self.name}.out")
+        self._pending_slots = 0
+        self._ready_callback: Callable[["Task"], None] | None = None
+        self.worker_name: str | None = None
+
+    # ------------------------------------------------------------------
+    # Dependencies
+    # ------------------------------------------------------------------
+    def depends_on(self, source: "Task | Event") -> None:
+        """Add a pre-slot satisfied by ``source`` (task output or event).
+
+        Must be called before the task is handed to a scheduler (the
+        runtime enforces this by only accepting WAITING->READY
+        transitions through the dependence mechanism).
+        """
+        if self.state not in (TaskState.WAITING, TaskState.READY):
+            raise DependencyError(
+                f"task '{self.name}': cannot add dependences in state "
+                f"{self.state.value}"
+            )
+        event = source.output_event if isinstance(source, Task) else source
+        self._pending_slots += 1
+        self.state = TaskState.WAITING
+        event.add_dependent(self._slot_satisfied)
+
+    def _slot_satisfied(self, _payload: Any) -> None:
+        if self._pending_slots <= 0:
+            raise DependencyError(
+                f"task '{self.name}': more satisfactions than slots"
+            )
+        self._pending_slots -= 1
+        if self._pending_slots == 0 and self.state is TaskState.WAITING:
+            self.state = TaskState.READY
+            if self._ready_callback is not None:
+                self._ready_callback(self)
+
+    def on_ready(self, callback: Callable[["Task"], None]) -> None:
+        """Register the runtime's "task became ready" hook.
+
+        Fires immediately if the task is already ready.
+        """
+        self._ready_callback = callback
+        if self.state is TaskState.READY:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Execution transitions (driven by the runtime)
+    # ------------------------------------------------------------------
+    def start(self, worker_name: str) -> None:
+        """Transition READY -> RUNNING; acquires the task's datablocks."""
+        if self.state is not TaskState.READY:
+            raise TaskError(
+                f"task '{self.name}': start from state {self.state.value}"
+            )
+        if self.tied_to is not None and worker_name != self.tied_to:
+            raise TaskError(
+                f"tied task '{self.name}' must run on '{self.tied_to}', "
+                f"not '{worker_name}'"
+            )
+        for db, mode in zip(self.datablocks, self.access_modes):
+            db.acquire(mode)
+        self.state = TaskState.RUNNING
+        self.worker_name = worker_name
+
+    def finish(self) -> None:
+        """Transition RUNNING -> FINISHED; releases blocks, fires output."""
+        if self.state is not TaskState.RUNNING:
+            raise TaskError(
+                f"task '{self.name}': finish from state {self.state.value}"
+            )
+        for db in self.datablocks:
+            db.release()
+        self.state = TaskState.FINISHED
+        if self.on_finish is not None:
+            self.on_finish(self)
+        self.output_event.satisfy(self)
+
+    # ------------------------------------------------------------------
+    def traffic(self) -> dict[int, float] | None:
+        """Per-node traffic fractions derived from the task's datablocks."""
+        return traffic_fractions(self.datablocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Task {self.name} {self.state.value} flops={self.flops:g} "
+            f"ai={self.arithmetic_intensity:g}>"
+        )

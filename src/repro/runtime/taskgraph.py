@@ -1,0 +1,151 @@
+"""Static task-graph utilities: construction, validation, analysis.
+
+Runtimes accept dynamically created tasks, but many workloads (and tests)
+build their graph up front.  :class:`TaskGraph` collects tasks and edges,
+checks the graph is acyclic, and offers the standard structural queries
+(topological order, critical path, width) used by the workload generators
+in :mod:`repro.apps.workloads`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import DependencyError
+from repro.runtime.task import Task
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A collection of tasks with explicit dependence edges."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._ids: set[int] = set()
+        self._edges: list[tuple[Task, Task]] = []
+
+    # ------------------------------------------------------------------
+    def add(self, task: Task) -> Task:
+        """Register a task (idempotent)."""
+        if task.task_id not in self._ids:
+            self._ids.add(task.task_id)
+            self._tasks.append(task)
+        return task
+
+    def add_edge(self, producer: Task, consumer: Task) -> None:
+        """Declare ``consumer`` depends on ``producer``; registers both."""
+        self.add(producer)
+        self.add(consumer)
+        consumer.depends_on(producer)
+        self._edges.append((producer, consumer))
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """All registered tasks, in insertion order."""
+        return tuple(self._tasks)
+
+    @property
+    def edges(self) -> tuple[tuple[Task, Task], ...]:
+        """All declared edges."""
+        return tuple(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    def _adjacency(self) -> dict[int, list[Task]]:
+        adj: dict[int, list[Task]] = {t.task_id: [] for t in self._tasks}
+        for p, c in self._edges:
+            adj[p.task_id].append(c)
+        return adj
+
+    def _indegrees(self) -> dict[int, int]:
+        deg = {t.task_id: 0 for t in self._tasks}
+        for _, c in self._edges:
+            deg[c.task_id] += 1
+        return deg
+
+    def topological_order(self) -> list[Task]:
+        """Kahn's algorithm; raises :class:`DependencyError` on cycles."""
+        adj = self._adjacency()
+        deg = self._indegrees()
+        by_id = {t.task_id: t for t in self._tasks}
+        queue = deque(
+            t for t in self._tasks if deg[t.task_id] == 0
+        )
+        order: list[Task] = []
+        while queue:
+            t = queue.popleft()
+            order.append(t)
+            for c in adj[t.task_id]:
+                deg[c.task_id] -= 1
+                if deg[c.task_id] == 0:
+                    queue.append(by_id[c.task_id])
+        if len(order) != len(self._tasks):
+            stuck = [
+                t.name for t in self._tasks if deg[t.task_id] > 0
+            ]
+            raise DependencyError(
+                f"task graph has a cycle through {stuck[:5]}"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Raise if the graph has a cycle."""
+        self.topological_order()
+
+    def critical_path_flops(self) -> float:
+        """Largest total FLOPs along any dependence chain.
+
+        Lower-bounds execution time: ``critical_path / per_thread_rate``.
+        """
+        order = self.topological_order()
+        adj = self._adjacency()
+        longest: dict[int, float] = {}
+        for t in order:
+            longest.setdefault(t.task_id, t.flops)
+            for c in adj[t.task_id]:
+                cand = longest[t.task_id] + c.flops
+                if cand > longest.get(c.task_id, c.flops):
+                    longest[c.task_id] = cand
+                else:
+                    longest.setdefault(c.task_id, c.flops)
+        return max(longest.values(), default=0.0)
+
+    def total_flops(self) -> float:
+        """Sum of all tasks' FLOPs."""
+        return sum(t.flops for t in self._tasks)
+
+    def max_width(self) -> int:
+        """Size of the largest antichain level (parallelism upper bound).
+
+        Computed by levelling: a task's level is one past the max level of
+        its predecessors; width is the largest level population.  This is
+        the standard "how many workers could this graph ever keep busy at
+        once" estimate for layered graphs.
+        """
+        order = self.topological_order()
+        preds: dict[int, list[Task]] = {t.task_id: [] for t in self._tasks}
+        for p, c in self._edges:
+            preds[c.task_id].append(p)
+        level: dict[int, int] = {}
+        for t in order:
+            level[t.task_id] = (
+                max((level[p.task_id] for p in preds[t.task_id]), default=-1)
+                + 1
+            )
+        if not level:
+            return 0
+        counts: dict[int, int] = {}
+        for lv in level.values():
+            counts[lv] = counts.get(lv, 0) + 1
+        return max(counts.values())
+
+    def parallelism(self) -> float:
+        """Average parallelism: total FLOPs / critical-path FLOPs."""
+        cp = self.critical_path_flops()
+        if cp <= 0:
+            return 0.0
+        return self.total_flops() / cp

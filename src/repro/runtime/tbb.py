@@ -1,0 +1,221 @@
+"""A TBB-like runtime: arenas fed by a Resource Management Layer (RML).
+
+The paper observes that although the TBB API fixes the worker count at
+scheduler initialisation, TBB's RML "can dynamically allocate threads to
+arenas", and that binding an arena's threads to a NUMA node while
+adjusting arena concurrency through RML "should ... get something very
+similar to option 3 of OCR-Vx".  This module implements that composition:
+
+* :class:`TbbArena` — a task queue with a ``max_concurrency`` limit and an
+  optional NUMA-node binding;
+* :class:`TbbRuntime` — the market/RML: a fixed pool of worker threads
+  that migrate between arenas on demand, re-binding to the arena's node
+  when they join (as TBB's NUMA support does via
+  ``task_arena::constraints``).
+
+Unlike :class:`~repro.runtime.runtime.OCRVxRuntime`, the market never
+blocks threads outright — an idle TBB worker just has no arena — but
+setting every arena's concurrency low leaves workers parked, which is the
+"automatically stopping unneeded threads" behaviour the paper credits TBB
+with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.task import Task, TaskState
+from repro.sim.cpu import Binding, SimThread
+from repro.sim.executor import ExecutionSimulator, WorkSegment
+
+__all__ = ["TbbArena", "TbbRuntime"]
+
+
+class TbbArena:
+    """A TBB task arena: a queue plus a concurrency limit.
+
+    Parameters
+    ----------
+    name:
+        Arena name.
+    max_concurrency:
+        Maximum worker threads simultaneously executing in this arena.
+    node:
+        Optional NUMA node constraint; joining workers re-bind to it.
+    """
+
+    def __init__(
+        self, name: str, max_concurrency: int, *, node: int | None = None
+    ) -> None:
+        if max_concurrency < 0:
+            raise RuntimeSystemError(
+                f"arena '{name}': max_concurrency must be >= 0"
+            )
+        self.name = name
+        self.max_concurrency = max_concurrency
+        self.node = node
+        self._queue: deque[Task] = deque()
+        self.active = 0  # workers currently inside
+        self.tasks_executed = 0
+
+    def enqueue(self, task: Task) -> None:
+        """Submit a ready task to this arena."""
+        if task.state is not TaskState.READY:
+            raise RuntimeSystemError(
+                f"arena '{self.name}': task '{task.name}' not ready"
+            )
+        self._queue.append(task)
+
+    @property
+    def pending(self) -> int:
+        """Queued tasks not yet started."""
+        return len(self._queue)
+
+    @property
+    def wants_workers(self) -> bool:
+        """True when the arena could use another worker."""
+        return self.pending > 0 and self.active < self.max_concurrency
+
+    def _pop(self) -> Task | None:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+
+class TbbRuntime:
+    """The market/RML: a pool of threads serving multiple arenas.
+
+    Workers are created unbound; when one joins an arena with a node
+    constraint it re-binds to that node (and back to unbound on leave).
+    Arena selection is demand-driven and deterministic: the arena with the
+    largest backlog-per-active-worker wins, ties broken by name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        executor: ExecutionSimulator,
+        num_threads: int,
+    ) -> None:
+        if num_threads <= 0:
+            raise RuntimeSystemError(
+                f"TBB runtime '{name}' needs at least one thread"
+            )
+        self.name = name
+        self.executor = executor
+        self.machine = executor.machine
+        self.arenas: dict[str, TbbArena] = {}
+        self._threads: list[SimThread] = []
+        self._membership: dict[int, TbbArena | None] = {}
+        self._current_task: dict[int, Task] = {}
+        for i in range(num_threads):
+            t = executor.add_thread(
+                f"{name}/t{i}", Binding.unbound(), self, app_name=name
+            )
+            self._threads.append(t)
+            self._membership[t.tid] = None
+        self.stats_tasks_executed = 0
+
+    # ------------------------------------------------------------------
+    def create_arena(
+        self, name: str, max_concurrency: int, *, node: int | None = None
+    ) -> TbbArena:
+        """Create (and register) an arena."""
+        if name in self.arenas:
+            raise RuntimeSystemError(f"duplicate arena '{name}'")
+        if node is not None:
+            self.machine.node(node)  # validate
+        arena = TbbArena(name, max_concurrency, node=node)
+        self.arenas[name] = arena
+        return arena
+
+    def set_arena_concurrency(self, name: str, max_concurrency: int) -> None:
+        """RML command: change an arena's thread allowance at runtime.
+
+        Excess workers leave at their next task boundary.
+        """
+        if name not in self.arenas:
+            raise RuntimeSystemError(f"unknown arena '{name}'")
+        if max_concurrency < 0:
+            raise RuntimeSystemError("max_concurrency must be >= 0")
+        self.arenas[name].max_concurrency = max_concurrency
+
+    # ------------------------------------------------------------------
+    # WorkProvider protocol
+    # ------------------------------------------------------------------
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Pick an arena for the thread and pop its next task."""
+        arena = self._membership[thread.tid]
+        # Leave an arena that is over its limit or out of work.
+        if arena is not None and (
+            arena.active > arena.max_concurrency or arena.pending == 0
+        ):
+            self._leave(thread, arena)
+            arena = None
+        if arena is None:
+            arena = self._pick_arena()
+            if arena is None:
+                return None
+            self._join(thread, arena)
+        task = arena._pop()
+        if task is None:
+            return None
+        task.start(f"{self.name}/t{thread.tid}")
+        self._current_task[thread.tid] = task
+        return WorkSegment(
+            flops=task.flops,
+            arithmetic_intensity=task.arithmetic_intensity,
+            data_fractions=task.traffic(),
+            cache_keys=tuple(db.db_id for db in task.datablocks),
+            label=task.name,
+        )
+
+    def segment_finished(self, thread: SimThread, segment: WorkSegment) -> None:
+        """Complete the thread's task and credit its arena."""
+        task = self._current_task.pop(thread.tid, None)
+        if task is None:
+            raise RuntimeSystemError(
+                f"TBB thread {thread.name} finished unknown segment"
+            )
+        arena = self._membership[thread.tid]
+        if arena is not None:
+            arena.tasks_executed += 1
+        self.stats_tasks_executed += 1
+        task.finish()
+
+    # ------------------------------------------------------------------
+    def _pick_arena(self) -> TbbArena | None:
+        candidates = [a for a in self.arenas.values() if a.wants_workers]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda a: (
+                a.pending / max(a.active, 1),
+                a.name,
+            ),
+        )
+
+    def _join(self, thread: SimThread, arena: TbbArena) -> None:
+        arena.active += 1
+        self._membership[thread.tid] = arena
+        if arena.node is not None:
+            self.executor.rebind(thread, Binding.to_node(arena.node))
+
+    def _leave(self, thread: SimThread, arena: TbbArena) -> None:
+        arena.active -= 1
+        self._membership[thread.tid] = None
+        if arena.node is not None:
+            self.executor.rebind(thread, Binding.unbound())
+
+    # ------------------------------------------------------------------
+    @property
+    def idle_threads(self) -> int:
+        """Threads not currently in any arena."""
+        return sum(1 for a in self._membership.values() if a is None)
+
+    def arena_occupancy(self) -> dict[str, int]:
+        """Active worker count per arena."""
+        return {name: a.active for name, a in self.arenas.items()}

@@ -1,0 +1,196 @@
+"""OCR-style task templates and finish scopes.
+
+Two OCR idioms the paper's runtime experience builds on:
+
+* **task templates** (``ocrEdtTemplateCreate``) — a reusable description
+  of a task kind (work volume, intensity, dependence count) instantiated
+  many times; workload generators become declarative;
+* **finish EDTs** (``EDT_PROP_FINISH``) — a scope whose completion event
+  fires only once every task created *within* the scope (transitively)
+  has finished.  This is OCR's structured join, and it is how composed
+  applications know a delegated job is fully done.
+
+:class:`FinishScope` implements the transitive semantics with a latch:
+the scope counts up on every task created while it is the runtime's
+active scope — including tasks created from ``on_finish`` callbacks of
+scope members — and counts down as they finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.datablock import AccessMode, Datablock
+from repro.runtime.events import Event, LatchEvent
+from repro.runtime.runtime import OCRVxRuntime
+from repro.runtime.task import Task
+
+__all__ = ["TaskTemplate", "FinishScope"]
+
+
+@dataclass(frozen=True)
+class TaskTemplate:
+    """A reusable task description.
+
+    Attributes mirror :meth:`OCRVxRuntime.create_task`; ``instantiate``
+    stamps out tasks with an index-derived name.
+    """
+
+    name: str
+    flops: float
+    arithmetic_intensity: float
+    affinity_node: int | None = None
+    tied_to: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise RuntimeSystemError(
+                f"template '{self.name}': flops must be positive"
+            )
+        if self.arithmetic_intensity <= 0:
+            raise RuntimeSystemError(
+                f"template '{self.name}': AI must be positive"
+            )
+
+    def instantiate(
+        self,
+        runtime: OCRVxRuntime,
+        index: int | str = 0,
+        *,
+        depends_on: Sequence[Task | Event] = (),
+        datablocks: Sequence[Datablock] = (),
+        access_modes: Sequence[AccessMode] | None = None,
+        affinity_node: int | None = None,
+        on_finish: Callable[[Task], None] | None = None,
+    ) -> Task:
+        """Create one task from the template on ``runtime``."""
+        return runtime.create_task(
+            f"{self.name}[{index}]",
+            flops=self.flops,
+            arithmetic_intensity=self.arithmetic_intensity,
+            depends_on=depends_on,
+            datablocks=datablocks,
+            access_modes=access_modes,
+            affinity_node=(
+                affinity_node
+                if affinity_node is not None
+                else self.affinity_node
+            ),
+            on_finish=on_finish,
+            tied_to=self.tied_to,
+        )
+
+    def instantiate_many(
+        self,
+        runtime: OCRVxRuntime,
+        count: int,
+        *,
+        depends_on: Sequence[Task | Event] = (),
+        spread_nodes: int | None = None,
+    ) -> list[Task]:
+        """Stamp out ``count`` instances; optionally round-robin their
+        affinity over ``spread_nodes`` NUMA nodes."""
+        if count <= 0:
+            raise RuntimeSystemError("count must be positive")
+        out = []
+        for i in range(count):
+            affinity = None
+            if spread_nodes:
+                affinity = i % spread_nodes
+            out.append(
+                self.instantiate(
+                    runtime,
+                    i,
+                    depends_on=depends_on,
+                    affinity_node=affinity,
+                )
+            )
+        return out
+
+
+class FinishScope:
+    """OCR finish-EDT semantics: completion of a transitive task set.
+
+    Use as a context manager around task creation::
+
+        with FinishScope(runtime) as scope:
+            root = runtime.create_task(...)   # may spawn children later
+        scope.done.add_dependent(lambda _ : ...)
+
+    Every task created on the runtime while the scope is open joins it —
+    including tasks created later from member ``on_finish`` callbacks,
+    because finishing members re-open the scope for the duration of
+    their callback.  ``done`` fires when the member count drains.
+    """
+
+    def __init__(self, runtime: OCRVxRuntime, name: str = "") -> None:
+        self.runtime = runtime
+        self.name = name or f"finish-{id(self):x}"
+        self.done = LatchEvent(1, name=f"{self.name}.done")
+        self.members = 0
+        self._closed = False
+        self._saved_create: Callable[..., Task] | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FinishScope":
+        if self._closed:
+            raise RuntimeSystemError(
+                f"finish scope '{self.name}' cannot be re-entered"
+            )
+        self._hook()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._unhook()
+        if exc_type is None:
+            self._closed = True
+            # Balance the initial latch count; if no member is still
+            # pending the scope completes immediately.
+            self.done.count_down()
+
+    # ------------------------------------------------------------------
+    def _hook(self) -> None:
+        if self._saved_create is not None:
+            raise RuntimeSystemError(
+                f"finish scope '{self.name}' already active"
+            )
+        scope = self
+        original = self.runtime.create_task
+
+        def create_in_scope(*args: Any, **kwargs: Any) -> Task:
+            user_finish = kwargs.pop("on_finish", None)
+
+            def member_finished(task: Task) -> None:
+                # Children created inside a member's callback belong to
+                # the scope too: re-hook for the callback's duration.
+                scope._hook()
+                try:
+                    if user_finish is not None:
+                        user_finish(task)
+                finally:
+                    scope._unhook()
+                scope.members -= 1
+                scope.done.count_down()
+
+            task = original(*args, on_finish=member_finished, **kwargs)
+            scope.members += 1
+            scope.done.count_up()
+            return task
+
+        self._saved_create = original
+        self.runtime.create_task = create_in_scope  # type: ignore[method-assign]
+
+    def _unhook(self) -> None:
+        if self._saved_create is None:
+            raise RuntimeSystemError(
+                f"finish scope '{self.name}' is not active"
+            )
+        self.runtime.create_task = self._saved_create  # type: ignore[method-assign]
+        self._saved_create = None
+
+    @property
+    def finished(self) -> bool:
+        """True once every transitive member has completed."""
+        return self.done.fired

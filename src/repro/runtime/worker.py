@@ -1,0 +1,63 @@
+"""Worker threads: the runtime's view of the threads it owns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.cpu import Binding, BindingKind, SimThread, ThreadState
+from repro.runtime.task import Task
+
+__all__ = ["Worker"]
+
+
+@dataclass
+class Worker:
+    """One worker thread of a task-based runtime.
+
+    Attributes
+    ----------
+    index:
+        Dense index within the runtime.
+    name:
+        Globally unique name (``<runtime>/w<index>``).
+    binding:
+        The CPU affinity this worker's thread was created with.
+    node:
+        NUMA node the worker is associated with (None when unbound).
+    thread:
+        The simulator thread carrying this worker.
+    """
+
+    index: int
+    name: str
+    binding: Binding
+    node: int | None
+    thread: SimThread | None = None
+    current_task: Task | None = None
+    tasks_executed: int = 0
+    #: set by the runtime when this worker must block at the next task
+    #: boundary (paper: "a thread blocks as soon as it finishes running a
+    #: task or almost immediately if it is idle")
+    block_requested: bool = False
+
+    @property
+    def blocked(self) -> bool:
+        """True while the underlying thread is suspended."""
+        return (
+            self.thread is not None
+            and self.thread.state is ThreadState.BLOCKED
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when the worker can run tasks (not blocked/finished)."""
+        return (
+            self.thread is not None
+            and self.thread.state is ThreadState.RUNNABLE
+        )
+
+    @property
+    def busy(self) -> bool:
+        """True while a task is executing on this worker."""
+        return self.current_task is not None

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+The simulator is the reproduction's "hardware": a deterministic event
+engine (:mod:`~repro.sim.engine`), a fluid CFS-like OS scheduler
+(:mod:`~repro.sim.os_scheduler`), per-slice NUMA bandwidth arbitration
+(:mod:`~repro.sim.memory`) and the slice-stepped execution loop gluing
+them together (:mod:`~repro.sim.executor`).
+"""
+
+from repro.sim.cache import CacheModel
+from repro.sim.cpu import Binding, BindingKind, SimThread, ThreadState
+from repro.sim.dvfs import DvfsModel
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.executor import ExecutionSimulator, WorkProvider, WorkSegment
+from repro.sim.memory import BandwidthGrant, BandwidthRequest, BandwidthResolver
+from repro.sim.metrics import Counter, MetricSet, RateIntegrator, TimeSeries
+from repro.sim.os_scheduler import CfsScheduler, CpuAssignment
+from repro.sim.trace import TraceEvent, TraceKind, Tracer
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Binding",
+    "BindingKind",
+    "SimThread",
+    "ThreadState",
+    "CfsScheduler",
+    "CpuAssignment",
+    "DvfsModel",
+    "CacheModel",
+    "BandwidthRequest",
+    "BandwidthGrant",
+    "BandwidthResolver",
+    "ExecutionSimulator",
+    "WorkProvider",
+    "WorkSegment",
+    "Counter",
+    "TimeSeries",
+    "RateIntegrator",
+    "MetricSet",
+    "Tracer",
+    "TraceEvent",
+    "TraceKind",
+]

@@ -1,0 +1,100 @@
+"""A last-level-cache warmth model for the execution simulator.
+
+Section II's tightest integration level: "with even tighter integration,
+we might be able to not just move the threads, but also make sure that
+the core that wrote the data (that should be processed by the 'library')
+also starts processing the data inside the other application, enabling
+cache reuse."
+
+Modelling individual cache lines is far below this library's abstraction
+level; what matters for the paper's argument is *whether a task's input
+is still resident in the LLC of the node it runs on*.  :class:`CacheModel`
+tracks, per NUMA node, when each cache key (a datablock id) was last
+touched; a task whose keys are all warm on its node fetches that fraction
+of its traffic from cache instead of memory, cutting its bandwidth demand
+by ``reuse_fraction``.
+
+Keys expire after ``retention_seconds`` (the time it takes co-running
+traffic to evict a working set from a ~30 MB LLC) and are touched both
+when a task starts (read) and finishes (write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheModel"]
+
+
+@dataclass
+class CacheModel:
+    """Per-NUMA-node LLC warmth tracking.
+
+    Attributes
+    ----------
+    retention_seconds:
+        How long after its last touch a key counts as warm.
+    reuse_fraction:
+        Fraction of a warm task's memory traffic served from cache
+        (its bandwidth demand is multiplied by ``1 - reuse_fraction``).
+    """
+
+    retention_seconds: float = 0.01
+    reuse_fraction: float = 0.6
+    _last_touch: dict[tuple[int, Hashable], float] = field(
+        default_factory=dict, repr=False
+    )
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retention_seconds <= 0:
+            raise ConfigurationError(
+                "retention_seconds must be positive"
+            )
+        if not 0 <= self.reuse_fraction < 1:
+            raise ConfigurationError(
+                "reuse_fraction must be in [0, 1)"
+            )
+
+    def touch(
+        self, node: int, keys: tuple[Hashable, ...], now: float
+    ) -> None:
+        """Mark ``keys`` resident on ``node`` at time ``now``."""
+        for key in keys:
+            self._last_touch[(node, key)] = now
+
+    def is_warm(
+        self, node: int, keys: tuple[Hashable, ...], now: float
+    ) -> bool:
+        """True when every key was touched on ``node`` recently."""
+        if not keys:
+            return False
+        for key in keys:
+            t = self._last_touch.get((node, key))
+            if t is None or now - t > self.retention_seconds:
+                return False
+        return True
+
+    def demand_factor(
+        self, node: int, keys: tuple[Hashable, ...], now: float
+    ) -> float:
+        """Bandwidth-demand multiplier for a task starting now.
+
+        Also updates the hit/miss counters (one decision per task).
+        """
+        if self.is_warm(node, keys, now):
+            self.hits += 1
+            return 1.0 - self.reuse_fraction
+        if keys:
+            self.misses += 1
+        return 1.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of keyed tasks that found their data warm."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

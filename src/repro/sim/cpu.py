@@ -1,0 +1,130 @@
+"""Simulated threads and their CPU bindings.
+
+The paper's runtime binds worker threads in one of three ways (Section
+II): to an individual core, to all cores of a NUMA node, or not at all.
+:class:`Binding` captures the three; :class:`SimThread` is the unit the
+OS scheduler places and the execution simulator advances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.machine.topology import MachineTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.executor import WorkProvider
+
+__all__ = ["BindingKind", "Binding", "ThreadState", "SimThread"]
+
+
+class BindingKind(enum.Enum):
+    """CPU affinity granularity of a thread."""
+
+    CORE = "core"  #: pinned to one core
+    NODE = "node"  #: may use any core of one NUMA node
+    UNBOUND = "unbound"  #: may use any core of the machine
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """A thread's CPU affinity."""
+
+    kind: BindingKind
+    node: int | None = None
+    core: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is BindingKind.CORE:
+            if self.core is None:
+                raise SimulationError("CORE binding needs a core id")
+        elif self.kind is BindingKind.NODE:
+            if self.node is None:
+                raise SimulationError("NODE binding needs a node id")
+            if self.core is not None:
+                raise SimulationError("NODE binding must not name a core")
+        else:
+            if self.node is not None or self.core is not None:
+                raise SimulationError("UNBOUND binding must not name cpus")
+
+    @classmethod
+    def to_core(cls, core: int) -> "Binding":
+        """Pin to one core (paper's thread-control option 2 granularity)."""
+        return cls(kind=BindingKind.CORE, core=core)
+
+    @classmethod
+    def to_node(cls, node: int) -> "Binding":
+        """Bind to a NUMA node (paper's option 3 granularity)."""
+        return cls(kind=BindingKind.NODE, node=node)
+
+    @classmethod
+    def unbound(cls) -> "Binding":
+        """No affinity (paper's option 1 with unbound threads)."""
+        return cls(kind=BindingKind.UNBOUND)
+
+    def node_of(self, machine: MachineTopology) -> int | None:
+        """The node this binding confines the thread to, if any."""
+        if self.kind is BindingKind.CORE:
+            return machine.core(self.core).node_id
+        if self.kind is BindingKind.NODE:
+            return self.node
+        return None
+
+    def validate(self, machine: MachineTopology) -> None:
+        """Check the binding refers to CPUs the machine actually has."""
+        if self.kind is BindingKind.CORE:
+            machine.core(self.core)  # raises if out of range
+        elif self.kind is BindingKind.NODE:
+            machine.node(self.node)
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle state of a simulated thread."""
+
+    RUNNABLE = "runnable"  #: may be placed on a core this slice
+    BLOCKED = "blocked"  #: suspended by its runtime (paper's blocking)
+    FINISHED = "finished"  #: will never run again
+
+
+@dataclass
+class SimThread:
+    """One simulated OS thread.
+
+    Execution state (the current work segment and its remaining FLOPs)
+    is managed by :class:`~repro.sim.executor.ExecutionSimulator`; this
+    object carries identity, affinity and lifecycle.
+    """
+
+    tid: int
+    name: str
+    binding: Binding
+    provider: "WorkProvider"
+    app_name: str = ""
+    state: ThreadState = ThreadState.RUNNABLE
+    #: CFS weight (the nice-value lever of Section IV: "Using priorities
+    #: may also help in controlling how much compute time these threads
+    #: actually get").  Relative: a weight-2 thread gets twice the CPU
+    #: share of a weight-1 thread under contention.
+    weight: float = 1.0
+
+    # Execution-simulator internals (read-only for other layers):
+    current_segment: Any = field(default=None, repr=False)
+    remaining_flops: float = field(default=0.0, repr=False)
+    assigned_node: int | None = field(default=None, repr=False)
+    #: cached LLC demand factor of the current segment (None = not yet
+    #: evaluated; the executor resolves it once the node is known)
+    cache_factor: float | None = field(default=None, repr=False)
+
+    @property
+    def busy(self) -> bool:
+        """True while a work segment is in progress."""
+        return self.current_segment is not None
+
+    def __hash__(self) -> int:
+        return self.tid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SimThread) and other.tid == self.tid

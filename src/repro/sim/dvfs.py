@@ -1,0 +1,60 @@
+"""Optional DVFS (turbo-frequency) model for the execution simulator.
+
+The paper's model assumption 2 states "for the purposes of computation,
+the CPU cores are completely independent (e.g., there is no DVFS)".  Real
+multi-socket Xeons violate this: with few active cores per socket, the
+active ones boost their frequency.  :class:`DvfsModel` lets experiments
+*relax* that assumption and quantify its cost — an ablation the paper
+implies but does not run.
+
+The frequency factor for a node with ``active`` busy cores out of
+``total``:
+
+    f = 1 + max_boost * (1 - (active - 1) / (total - 1))    (total > 1)
+
+i.e. a single active core gains the full ``max_boost``, a fully busy node
+runs at base frequency, and the scaling in between is linear (a
+reasonable fit to published Xeon turbo tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DvfsModel"]
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Linear per-node turbo model.
+
+    Attributes
+    ----------
+    max_boost:
+        Fractional frequency gain of a single active core (e.g. 0.3 for
+        a 3.7 GHz turbo on a 2.85 GHz base — roughly the Xeon Gold 6138).
+    """
+
+    max_boost: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_boost < 0:
+            raise ConfigurationError("max_boost must be non-negative")
+
+    def frequency_factor(self, active: int, total: int) -> float:
+        """Frequency multiplier for a node with ``active``/``total`` busy
+        cores."""
+        if total <= 0:
+            raise ConfigurationError("total cores must be positive")
+        if active < 0 or active > total:
+            raise ConfigurationError(
+                f"active={active} outside [0, {total}]"
+            )
+        if active == 0:
+            return 1.0 + self.max_boost  # next core to wake gets full boost
+        if total == 1:
+            return 1.0 + self.max_boost
+        idle_fraction = 1.0 - (active - 1) / (total - 1)
+        return 1.0 + self.max_boost * idle_fraction

@@ -1,0 +1,195 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal but complete DES core: events are ``(time, priority, seq)``
+ordered callbacks on a binary heap.  Determinism matters — every experiment
+in the reproduction must give bit-identical results across runs — so ties
+in time are broken first by an explicit priority and then by scheduling
+order (``seq``), never by hash order or object identity.
+
+Time is a float in **seconds**.  All higher layers (the execution
+simulator's slice ticks, agent sampling timers, message deliveries in the
+distributed layer) are driven through this one event loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Keep it to :meth:`Simulator.cancel` the event later; a cancelled event
+    silently does nothing when its time comes.
+    """
+
+    _entry: _Entry
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time (seconds)."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled."""
+        return self._entry.cancelled
+
+
+class Simulator:
+    """The event loop.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, lambda: order.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``priority`` breaks ties among events at the same instant (lower
+        fires first); equal priorities fire in scheduling order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        entry = _Entry(
+            time=self._now + delay,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+        )
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        return self.schedule(time - self._now, callback, priority=priority)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event; cancelling twice is a no-op."""
+        handle._entry.cancelled = True
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now - 1e-12:
+                raise SimulationError(
+                    f"event at {entry.time} fired after clock reached "
+                    f"{self._now}"
+                )
+            self._now = max(self._now, entry.time)
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self.step():
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, time: float, *, max_events: int | None = None) -> int:
+        """Run events with firing time <= ``time``; advance clock to it.
+
+        Returns the number of events executed by this call.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: now={self._now}, target={time}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if nxt.time > time + 1e-12:
+                    break
+                if self.step():
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        self._running = False
+                        return executed
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+        return executed

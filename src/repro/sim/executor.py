@@ -1,0 +1,507 @@
+"""The execution simulator: advances threads through work in time slices.
+
+This is the reproduction's stand-in for "real hardware" (Section III-B's
+synthetic benchmark runs).  Each slice (default 1 ms):
+
+1. every runnable thread without work asks its :class:`WorkProvider` for
+   the next :class:`WorkSegment` (a task, in runtime terms);
+2. the OS scheduler grants CPU shares within affinity domains
+   (:mod:`repro.sim.os_scheduler`);
+3. threads' memory demands — CPU-share-scaled roofline demands — are
+   arbitrated by :class:`~repro.sim.memory.BandwidthResolver` under the
+   same rules as the analytic model;
+4. each thread progresses by ``min(peak, bandwidth * AI) * slice`` GFLOP
+   and completed segments are reported back to the provider.
+
+The slice quantisation and task granularity make measured throughput fall
+slightly short of the analytic steady state, which is precisely the
+relationship between the "model" and "real" columns of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.bwshare import RemainderRule
+from repro.errors import SimulationError
+from repro.machine.topology import MachineTopology
+from repro.sim.cpu import Binding, SimThread, ThreadState
+from repro.sim.engine import Simulator
+from repro.sim.memory import BandwidthRequest, BandwidthResolver
+from repro.sim.metrics import MetricSet
+from repro.sim.os_scheduler import CfsScheduler
+from repro.sim.trace import Tracer, TraceKind
+
+__all__ = ["WorkSegment", "WorkProvider", "ExecutionSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkSegment:
+    """A contiguous piece of work executed by one thread (a task body).
+
+    Attributes
+    ----------
+    flops:
+        Work volume in GFLOP (1e9 floating-point operations).
+    arithmetic_intensity:
+        FLOPs per byte; fixes the segment's bandwidth demand.
+    data_home:
+        NUMA node holding the segment's data; ``None`` means data local to
+        whichever node the thread runs on (the NUMA-perfect case).
+    data_fractions:
+        Optional explicit split of traffic over nodes (fractions summing
+        to 1), overriding ``data_home``; used for interleaved placement.
+    cache_keys:
+        Identifiers of the data this segment touches (datablock ids).
+        With a :class:`~repro.sim.cache.CacheModel` installed, a segment
+        whose keys are warm on its node demands less memory bandwidth.
+    label:
+        Free-form tag recorded in traces.
+    """
+
+    flops: float
+    arithmetic_intensity: float
+    data_home: int | None = None
+    data_fractions: dict[int, float] | None = None
+    cache_keys: tuple = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise SimulationError(f"segment flops must be positive: {self}")
+        if self.arithmetic_intensity <= 0:
+            raise SimulationError(f"segment AI must be positive: {self}")
+        if self.data_fractions is not None:
+            total = sum(self.data_fractions.values())
+            if abs(total - 1.0) > 1e-9:
+                raise SimulationError(
+                    f"data_fractions must sum to 1, got {total}"
+                )
+            if any(f < 0 for f in self.data_fractions.values()):
+                raise SimulationError("data_fractions must be non-negative")
+
+
+class WorkProvider(Protocol):
+    """Source of work for one or more threads (implemented by runtimes)."""
+
+    def next_segment(self, thread: SimThread) -> WorkSegment | None:
+        """Return the thread's next segment, or None if it should idle."""
+        ...
+
+    def segment_finished(
+        self, thread: SimThread, segment: WorkSegment
+    ) -> None:
+        """Called when the thread completes ``segment``."""
+        ...
+
+
+class ExecutionSimulator:
+    """Slice-stepped machine execution on top of the DES engine.
+
+    Parameters
+    ----------
+    machine:
+        The NUMA machine to simulate.
+    slice_seconds:
+        Time-slice length; 1 ms by default.  Smaller slices approach the
+        analytic fluid limit at proportional cost.
+    scheduler:
+        OS CPU scheduler; default :class:`CfsScheduler` with the paper's
+        "few percent" over-subscription penalty.
+    remainder_rule:
+        Bandwidth remainder rule, forwarded to the resolver.
+    simulator:
+        Share an existing event engine (so agents and runtimes can
+        schedule their own timers on the same clock); a fresh one is
+        created by default.
+    dvfs:
+        Optional turbo-frequency model (:class:`~repro.sim.dvfs.DvfsModel`).
+        The paper's model assumes no DVFS; pass one to relax assumption 2
+        and measure the deviation.
+    cache:
+        Optional LLC warmth model (:class:`~repro.sim.cache.CacheModel`)
+        for the Section II cache-reuse experiments.
+    sample_bandwidth:
+        Record per-node drawn bandwidth (GB/s) as time series
+        ``bw/node<k>`` in :attr:`metrics` every slice.  Off by default —
+        it appends one sample per node per slice.
+    noise:
+        Relative per-slice, per-thread rate jitter (standard deviation of
+        a clamped Gaussian factor).  Zero (default) keeps the simulator
+        deterministic-exact; a few percent reproduces the run-to-run
+        variance real hardware shows between the paper's model and real
+        columns.  Seeded by ``noise_seed`` — the run stays reproducible.
+    """
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        *,
+        slice_seconds: float = 1e-3,
+        scheduler: CfsScheduler | None = None,
+        remainder_rule: RemainderRule = RemainderRule.PROPORTIONAL,
+        simulator: Simulator | None = None,
+        tracer: Tracer | None = None,
+        dvfs=None,
+        cache=None,
+        sample_bandwidth: bool = False,
+        noise: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        if slice_seconds <= 0:
+            raise SimulationError(
+                f"slice_seconds must be positive, got {slice_seconds}"
+            )
+        self.machine = machine
+        self.slice_seconds = slice_seconds
+        self.scheduler = scheduler or CfsScheduler()
+        self.resolver = BandwidthResolver(machine, rule=remainder_rule)
+        self.sim = simulator or Simulator()
+        self.dvfs = dvfs
+        self.cache = cache
+        self.sample_bandwidth = sample_bandwidth
+        if noise < 0 or noise >= 0.5:
+            raise SimulationError(
+                f"noise must be in [0, 0.5), got {noise}"
+            )
+        self.noise = noise
+        self._noise_rng = np.random.default_rng(noise_seed)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = MetricSet()
+        self.threads: list[SimThread] = []
+        self._next_tid = 0
+        self._tick_scheduled = False
+        #: simulation time of the most recent completed work (used by
+        #: run_until_idle to report when the workload actually finished,
+        #: independent of polling-chunk quantisation)
+        self.last_progress_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def add_thread(
+        self,
+        name: str,
+        binding: Binding,
+        provider: WorkProvider,
+        *,
+        app_name: str = "",
+    ) -> SimThread:
+        """Create a thread; it starts runnable and asks for work on the
+        next slice."""
+        binding.validate(self.machine)
+        thread = SimThread(
+            tid=self._next_tid,
+            name=name,
+            binding=binding,
+            provider=provider,
+            app_name=app_name or name,
+        )
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    def block(self, thread: SimThread) -> None:
+        """Suspend a thread (it keeps its in-flight segment, matching the
+        paper's rule that a thread "blocks as soon as it finishes running
+        a task"; the executor simply never advances it while blocked —
+        callers that want task-boundary semantics block via the runtime
+        layer, which waits for the boundary)."""
+        if thread.state is ThreadState.FINISHED:
+            raise SimulationError(f"thread {thread.name} already finished")
+        if thread.state is ThreadState.BLOCKED:
+            return
+        thread.state = ThreadState.BLOCKED
+        self.tracer.emit(self.sim.now, TraceKind.THREAD_BLOCKED, thread.name)
+
+    def unblock(self, thread: SimThread) -> None:
+        """Resume a blocked thread ("unblocking ... is nearly immediate":
+        it participates again from the next slice)."""
+        if thread.state is ThreadState.FINISHED:
+            raise SimulationError(f"thread {thread.name} already finished")
+        if thread.state is ThreadState.RUNNABLE:
+            return
+        thread.state = ThreadState.RUNNABLE
+        self.tracer.emit(
+            self.sim.now, TraceKind.THREAD_UNBLOCKED, thread.name
+        )
+
+    def finish(self, thread: SimThread) -> None:
+        """Permanently retire a thread."""
+        thread.state = ThreadState.FINISHED
+        thread.current_segment = None
+
+    def rebind(self, thread: SimThread, binding: Binding) -> None:
+        """Change a thread's affinity (takes effect next slice)."""
+        binding.validate(self.machine)
+        old = thread.binding
+        thread.binding = binding
+        self.tracer.emit(
+            self.sim.now,
+            TraceKind.THREAD_MIGRATED,
+            thread.name,
+            old=str(old.kind.value),
+            new=str(binding.kind.value),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive: {duration}")
+        end = self.sim.now + duration
+        if not self._tick_scheduled:
+            self.sim.schedule(0.0, self._tick, priority=10)
+            self._tick_scheduled = True
+        self.sim.run_until(end)
+
+    def run_until_idle(self, *, max_time: float = 3600.0) -> float:
+        """Run until every thread is out of work; returns the finish time.
+
+        A thread is "out of work" when its provider returns ``None`` and it
+        has no in-flight segment.  Blocked threads don't count as idle —
+        they may be unblocked by an agent event later; if only blocked
+        threads remain and no events are pending, this raises, because the
+        workload can never finish.
+        """
+        if not self._tick_scheduled:
+            self.sim.schedule(0.0, self._tick, priority=10)
+            self._tick_scheduled = True
+        chunk = 100 * self.slice_seconds
+        idle_chunks = 0
+        while self.sim.now < max_time:
+            flops_before = self.metrics.integrator("flops/total").total
+            self.sim.run_until(min(self.sim.now + chunk, max_time))
+            progressed = (
+                self.metrics.integrator("flops/total").total
+                > flops_before + 1e-15
+            )
+            if progressed or any(t.busy for t in self.threads):
+                idle_chunks = 0
+                continue
+            # No work in flight and none was issued during the chunk.
+            # Periodic controllers (agents) keep events pending forever,
+            # so "queue empty" is not a usable termination signal; instead
+            # a few consecutive work-free chunks declare the workload
+            # drained.  One idle chunk suffices when only the tick event
+            # remains.
+            idle_chunks += 1
+            if self.sim.pending > 1 and idle_chunks < 3:
+                continue
+            blocked = [
+                t for t in self.threads if t.state is ThreadState.BLOCKED
+            ]
+            if blocked and not any(
+                t.state is ThreadState.RUNNABLE for t in self.threads
+            ):
+                raise SimulationError(
+                    f"deadlock: only blocked threads remain "
+                    f"({[t.name for t in blocked]})"
+                )
+            return self.last_progress_time
+        raise SimulationError(f"workload did not finish by t={max_time}")
+
+    def run_until_condition(
+        self,
+        predicate,
+        *,
+        max_time: float = 3600.0,
+    ) -> float:
+        """Run until ``predicate()`` is true (checked at chunk boundaries).
+
+        The precise completion time reported is the instant of the last
+        work completion, not the chunk boundary.  Raises if ``max_time``
+        passes first.
+        """
+        if not self._tick_scheduled:
+            self.sim.schedule(0.0, self._tick, priority=10)
+            self._tick_scheduled = True
+        chunk = 20 * self.slice_seconds
+        while self.sim.now < max_time:
+            if predicate():
+                return self.last_progress_time
+            self.sim.run_until(min(self.sim.now + chunk, max_time))
+        if predicate():
+            return self.last_progress_time
+        raise SimulationError(
+            f"condition not reached by t={max_time}"
+        )
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sim.now
+        # 1. Hand out new segments.
+        for t in self.threads:
+            if t.state is not ThreadState.RUNNABLE or t.busy:
+                continue
+            segment = t.provider.next_segment(t)
+            if segment is not None:
+                t.current_segment = segment
+                t.remaining_flops = segment.flops
+                t.cache_factor = None
+                self.tracer.emit(
+                    now, TraceKind.TASK_STARTED, t.name, label=segment.label
+                )
+
+        # 2. CPU shares.
+        active = [
+            t
+            for t in self.threads
+            if t.state is ThreadState.RUNNABLE and t.busy
+        ]
+        if active:
+            assignments = self.scheduler.assign(self.machine, active)
+
+            # Optional DVFS: per-node frequency factor from the number of
+            # busy cores this slice.
+            freq = [1.0] * self.machine.num_nodes
+            if self.dvfs is not None:
+                busy = [0.0] * self.machine.num_nodes
+                for t in active:
+                    a = assignments[t.tid]
+                    busy[a.node] += a.share
+                for n, node in enumerate(self.machine.nodes):
+                    active_cores = min(
+                        node.num_cores, int(np.ceil(busy[n] - 1e-12))
+                    )
+                    freq[n] = self.dvfs.frequency_factor(
+                        active_cores, node.num_cores
+                    )
+
+            # 3. Memory demands.
+            requests = []
+            peaks: dict[int, float] = {}
+            for t in active:
+                a = assignments[t.tid]
+                t.assigned_node = a.node
+                core_peak = (
+                    self.machine.node(a.node).cores[0].peak_gflops
+                    * freq[a.node]
+                )
+                peak = core_peak * a.effective
+                peaks[t.tid] = peak
+                seg = t.current_segment
+                demand = peak / seg.arithmetic_intensity
+                if self.cache is not None and seg.cache_keys:
+                    if t.cache_factor is None:
+                        t.cache_factor = self.cache.demand_factor(
+                            a.node, seg.cache_keys, now
+                        )
+                        self.cache.touch(a.node, seg.cache_keys, now)
+                    demand *= t.cache_factor
+                if seg.data_fractions is not None:
+                    demands = {
+                        m: demand * f
+                        for m, f in seg.data_fractions.items()
+                        if f > 0
+                    }
+                elif seg.data_home is not None:
+                    demands = {seg.data_home: demand}
+                else:
+                    demands = {a.node: demand}
+                requests.append(
+                    BandwidthRequest(
+                        key=t.tid, source_node=a.node, demands=demands
+                    )
+                )
+            grants = self.resolver.resolve(requests)
+
+            if self.sample_bandwidth:
+                drawn = [0.0] * self.machine.num_nodes
+                for g in grants.values():
+                    for m, got in g.by_node.items():
+                        drawn[m] += got
+                for m, value in enumerate(drawn):
+                    self.metrics.series(f"bw/node{m}").record(now, value)
+
+            # 4. Progress.  A thread that completes its segment mid-slice
+            # immediately chains into the next one at the same rate —
+            # contention rates are only re-evaluated at slice boundaries,
+            # so very fine tasks cost rate staleness, not dead time.
+            for t in active:
+                time_left = self.slice_seconds
+                executed_total = 0.0
+                while time_left > 1e-15 and t.busy:
+                    seg = t.current_segment
+                    bw = grants[t.tid].total
+                    # A cache-warm segment needs fewer memory bytes per
+                    # FLOP: its effective intensity rises by the same
+                    # factor its demand fell.
+                    ai_eff = seg.arithmetic_intensity
+                    if t.cache_factor is not None and t.cache_factor < 1.0:
+                        ai_eff = ai_eff / t.cache_factor
+                    rate = min(peaks[t.tid], bw * ai_eff)
+                    if self.noise > 0:
+                        factor = 1.0 + self.noise * float(
+                            self._noise_rng.standard_normal()
+                        )
+                        rate *= max(factor, 0.05)
+                    if rate <= 1e-15:
+                        break
+                    executed = min(t.remaining_flops, rate * time_left)
+                    t.remaining_flops -= executed
+                    executed_total += executed
+                    time_left -= executed / rate
+                    if t.remaining_flops <= 1e-12:
+                        t.current_segment = None
+                        t.remaining_flops = 0.0
+                        if self.cache is not None and seg.cache_keys:
+                            # finishing writes the data: it is warm now
+                            self.cache.touch(
+                                t.assigned_node,
+                                seg.cache_keys,
+                                now + (self.slice_seconds - time_left),
+                            )
+                        self.metrics.counter(f"segments/{t.app_name}").add()
+                        self.tracer.emit(
+                            now + (self.slice_seconds - time_left),
+                            TraceKind.TASK_FINISHED,
+                            t.name,
+                            label=seg.label,
+                        )
+                        t.provider.segment_finished(t, seg)
+                        nxt = t.provider.next_segment(t)
+                        if nxt is not None:
+                            t.current_segment = nxt
+                            t.remaining_flops = nxt.flops
+                            t.cache_factor = None
+                            self.tracer.emit(
+                                now + (self.slice_seconds - time_left),
+                                TraceKind.TASK_STARTED,
+                                t.name,
+                                label=nxt.label,
+                            )
+                if executed_total > 0:
+                    self.last_progress_time = max(
+                        self.last_progress_time,
+                        now + (self.slice_seconds - max(time_left, 0.0)),
+                    )
+                    self.metrics.integrator(f"flops/{t.app_name}").accumulate(
+                        now,
+                        now + self.slice_seconds,
+                        executed_total / self.slice_seconds,
+                    )
+                    self.metrics.integrator("flops/total").accumulate(
+                        now,
+                        now + self.slice_seconds,
+                        executed_total / self.slice_seconds,
+                    )
+
+        # 5. Next tick.
+        self.sim.schedule(self.slice_seconds, self._tick, priority=10)
+
+    # ------------------------------------------------------------------
+    def achieved_gflops(self, app_name: str, duration: float) -> float:
+        """Average achieved GFLOPS of ``app_name`` over ``duration``."""
+        return self.metrics.integrator(f"flops/{app_name}").average_rate(
+            duration
+        )
+
+    def total_gflops(self, duration: float) -> float:
+        """Machine-wide average achieved GFLOPS over ``duration``."""
+        return self.metrics.integrator("flops/total").average_rate(duration)

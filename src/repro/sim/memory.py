@@ -1,0 +1,185 @@
+"""Dynamic memory-bandwidth arbitration for the execution simulator.
+
+Applies the same two-phase rules as the analytic model
+(:mod:`repro.core.model`) — remote requests served first up to the link
+bandwidth, then baseline + water-fill locally — but at per-thread, per-time-
+slice granularity and tolerant of over-subscription (the simulator may run
+more threads than cores when the OS-scheduler experiments ask for it; each
+thread's demand arrives already scaled by its CPU share).
+
+Keeping this implementation separate from the model is deliberate: the
+model is the paper's artefact and stays exactly as published, while the
+simulator is the "real hardware" stand-in whose behaviour may be perturbed
+(slice quantisation, task granularity, over-subscription).  A test pins the
+two to agree in the steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bwshare import RemainderRule, share_node_bandwidth
+from repro.errors import SimulationError
+from repro.machine.topology import MachineTopology
+
+__all__ = ["BandwidthRequest", "BandwidthGrant", "BandwidthResolver"]
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthRequest:
+    """One thread's memory demand for the current time slice.
+
+    Attributes
+    ----------
+    key:
+        Opaque identifier used to map the grant back to the thread.
+    source_node:
+        NUMA node the thread is executing on this slice.
+    demands:
+        GB/s attempted against each memory node.  Entries for the source
+        node are local traffic; all others travel over the corresponding
+        inter-node link.
+    """
+
+    key: Hashable
+    source_node: int
+    demands: Mapping[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthGrant:
+    """Bandwidth granted to one request, split by memory node."""
+
+    key: Hashable
+    by_node: dict[int, float]
+
+    @property
+    def total(self) -> float:
+        """Total granted GB/s."""
+        return float(sum(self.by_node.values()))
+
+
+class BandwidthResolver:
+    """Resolves one slice's worth of bandwidth requests."""
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        *,
+        rule: RemainderRule = RemainderRule.PROPORTIONAL,
+    ) -> None:
+        self.machine = machine
+        self.rule = rule
+
+    def resolve(
+        self, requests: Sequence[BandwidthRequest]
+    ) -> dict[Hashable, BandwidthGrant]:
+        """Grant bandwidth to every request.
+
+        Invariants: each grant is between 0 and the request's demand; the
+        traffic drawn from any node's memory never exceeds its bandwidth;
+        link traffic never exceeds link bandwidth.
+        """
+        machine = self.machine
+        n_nodes = machine.num_nodes
+        for r in requests:
+            if not 0 <= r.source_node < n_nodes:
+                raise SimulationError(
+                    f"request {r.key}: source node {r.source_node} out of "
+                    f"range"
+                )
+            for m, d in r.demands.items():
+                if not 0 <= m < n_nodes:
+                    raise SimulationError(
+                        f"request {r.key}: memory node {m} out of range"
+                    )
+                if d < 0:
+                    raise SimulationError(
+                        f"request {r.key}: negative demand {d}"
+                    )
+
+        grants: dict[Hashable, dict[int, float]] = {
+            r.key: {} for r in requests
+        }
+
+        # Phase 1: remote service, per memory node.
+        remote_served = np.zeros(n_nodes)
+        for m in range(n_nodes):
+            # Aggregate remote demand by source node.
+            by_source: dict[int, list[tuple[Hashable, float]]] = {}
+            for r in requests:
+                d = r.demands.get(m, 0.0)
+                if d <= 0 or r.source_node == m:
+                    continue
+                by_source.setdefault(r.source_node, []).append((r.key, d))
+            if not by_source:
+                continue
+            served: dict[int, float] = {}
+            for s, items in by_source.items():
+                total = sum(d for _, d in items)
+                served[s] = min(total, machine.bandwidth(s, m))
+            cap = machine.node(m).local_bandwidth
+            total_served = sum(served.values())
+            scale = 1.0
+            if total_served > cap:
+                scale = cap / total_served
+            for s, items in by_source.items():
+                total = sum(d for _, d in items)
+                flow = served[s] * scale
+                for key, d in items:
+                    grants[key][m] = grants[key].get(m, 0.0) + flow * d / total
+            remote_served[m] = total_served * scale
+
+        # Phase 2: local arbitration on the remainder of each node.
+        for m in range(n_nodes):
+            node = machine.node(m)
+            local = [
+                (r.key, r.demands.get(m, 0.0))
+                for r in requests
+                if r.source_node == m and r.demands.get(m, 0.0) > 0
+            ]
+            capacity = max(node.local_bandwidth - remote_served[m], 0.0)
+            if not local:
+                continue
+            demands = np.array([d for _, d in local])
+            if len(local) <= node.num_cores:
+                share = share_node_bandwidth(
+                    capacity, node.num_cores, demands, rule=self.rule
+                )
+                allocated = share.allocated
+            else:
+                # Over-subscribed node: the baseline guarantee no longer
+                # fits in the capacity, so fall back to capped proportional
+                # sharing (what a fair memory controller converges to).
+                allocated = self._proportional_capped(capacity, demands)
+            for (key, _), got in zip(local, allocated):
+                grants[key][m] = grants[key].get(m, 0.0) + float(got)
+
+        return {
+            key: BandwidthGrant(key=key, by_node=by_node)
+            for key, by_node in grants.items()
+        }
+
+    @staticmethod
+    def _proportional_capped(
+        capacity: float, demands: np.ndarray
+    ) -> np.ndarray:
+        """Water-filling proportional share, each grant capped at demand."""
+        allocated = np.zeros_like(demands)
+        remaining = capacity
+        for _ in range(len(demands) + 1):
+            unmet = demands - allocated
+            open_mask = unmet > 1e-12
+            if remaining <= 1e-12 or not np.any(open_mask):
+                break
+            weights = np.where(open_mask, unmet, 0.0)
+            give = np.minimum(remaining * weights / weights.sum(), unmet)
+            handed = give.sum()
+            if handed <= 1e-12:
+                break
+            allocated += give
+            remaining -= handed
+        return allocated

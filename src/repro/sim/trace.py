@@ -1,0 +1,116 @@
+"""Structured execution traces.
+
+The runtime and scheduler layers emit typed trace records (task started,
+thread blocked, command received...).  Tests assert on traces instead of
+poking internals; the analysis layer renders them into timelines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceKind", "TraceEvent", "Tracer"]
+
+
+class TraceKind(enum.Enum):
+    """Category of a trace record."""
+
+    TASK_CREATED = "task-created"
+    TASK_READY = "task-ready"
+    TASK_STARTED = "task-started"
+    TASK_FINISHED = "task-finished"
+    THREAD_BLOCKED = "thread-blocked"
+    THREAD_UNBLOCKED = "thread-unblocked"
+    THREAD_IDLE = "thread-idle"
+    THREAD_MIGRATED = "thread-migrated"
+    COMMAND = "command"
+    REPORT = "report"
+    MESSAGE = "message"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    kind: TraceKind
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.6f}] {self.kind.value:16s} {self.subject} {parts}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records.
+
+    Tracing can be disabled wholesale (``enabled=False``) for long
+    benchmark runs; the emit path then costs one attribute check.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def emit(
+        self,
+        time: float,
+        kind: TraceKind,
+        subject: str,
+        **detail: Any,
+    ) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All recorded events in emission order."""
+        return tuple(self._events)
+
+    def filter(
+        self,
+        kind: TraceKind | None = None,
+        subject: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching all the given criteria."""
+        out = []
+        for e in self._events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if subject is not None and e.subject != subject:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            out.append(e)
+        return out
+
+    def count(self, kind: TraceKind) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def render(self, *, limit: int | None = None) -> str:
+        """Human-readable dump of (up to ``limit``) events."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [str(e) for e in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... {len(self._events) - limit} more")
+        return "\n".join(lines)

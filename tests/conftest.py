@@ -1,0 +1,59 @@
+"""Shared fixtures: paper machines and application sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import AppSpec
+from repro.machine import (
+    model_machine,
+    numa_bad_example_machine,
+    skylake_4s,
+    uma_machine,
+)
+
+
+@pytest.fixture
+def paper_machine():
+    """The Tables I/II machine: 4 nodes x 8 cores, 10 GFLOPS, 32 GB/s."""
+    return model_machine()
+
+
+@pytest.fixture
+def numa_bad_machine():
+    """The Figure 3 machine: 60 GB/s local, 10 GB/s links."""
+    return numa_bad_example_machine()
+
+
+@pytest.fixture
+def skylake():
+    """The Table III machine: 4 x 20 cores, 0.29 GFLOPS, 100+10 GB/s."""
+    return skylake_4s()
+
+
+@pytest.fixture
+def uma():
+    """A single-node machine for isolation tests."""
+    return uma_machine()
+
+
+@pytest.fixture
+def paper_apps():
+    """The Tables I/II application set: 3 memory-bound + 1 compute-bound."""
+    return [
+        AppSpec.memory_bound("mem0", 0.5),
+        AppSpec.memory_bound("mem1", 0.5),
+        AppSpec.memory_bound("mem2", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ]
+
+
+@pytest.fixture
+def numa_bad_apps():
+    """The Figure 3 application set: 3 NUMA-perfect + 1 NUMA-bad."""
+    return [
+        AppSpec.memory_bound("mem0", 0.5),
+        AppSpec.memory_bound("mem1", 0.5),
+        AppSpec.memory_bound("mem2", 0.5),
+        AppSpec.numa_bad("bad", 1.0, home_node=3),
+    ]

@@ -1,0 +1,165 @@
+"""Tests for the TBB and OpenMP agent endpoints (the paper's future work)."""
+
+import pytest
+
+from repro.agent import (
+    Agent,
+    FairShareStrategy,
+    OcrVxEndpoint,
+    OmpEndpoint,
+    TbbEndpoint,
+)
+from repro.agent.protocol import CommandKind, ThreadCommand
+from repro.errors import ProtocolError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime, OpenMpRuntime, TbbRuntime
+from repro.runtime.task import Task
+from repro.sim import ExecutionSimulator
+
+
+def mk_task(name, flops=0.01, ai=8.0):
+    return Task(name=name, flops=flops, arithmetic_intensity=ai)
+
+
+class TestTbbEndpoint:
+    @pytest.fixture
+    def env(self):
+        ex = ExecutionSimulator(model_machine())
+        tbb = TbbRuntime("tbb", ex, num_threads=16)
+        ep = TbbEndpoint(tbb)
+        return ex, tbb, ep
+
+    def test_creates_arena_per_node(self, env):
+        ex, tbb, ep = env
+        assert set(tbb.arenas) == {"node0", "node1", "node2", "node3"}
+        assert ep.arena_for(2).node == 2
+        # 16 threads spread 4 per arena
+        assert all(a.max_concurrency == 4 for a in tbb.arenas.values())
+
+    def test_report_shape(self, env):
+        ex, tbb, ep = env
+        r = ep.report(0.0)
+        assert r.runtime_name == "tbb"
+        assert len(r.active_per_node) == 4
+        assert r.workers_per_node == (16, 16, 16, 16)
+
+    def test_set_allocation_adjusts_arenas(self, env):
+        ex, tbb, ep = env
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION, per_node=(8, 8, 0, 0)
+            )
+        )
+        assert tbb.arenas["node0"].max_concurrency == 8
+        assert tbb.arenas["node3"].max_concurrency == 0
+
+    def test_set_total_spreads(self, env):
+        ex, tbb, ep = env
+        ep.apply(
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=6)
+        )
+        limits = [
+            tbb.arenas[f"node{n}"].max_concurrency for n in range(4)
+        ]
+        assert sum(limits) == 6
+        assert max(limits) - min(limits) <= 1
+
+    def test_worker_blocking_rejected(self, env):
+        ex, tbb, ep = env
+        with pytest.raises(ProtocolError):
+            ep.apply(
+                ThreadCommand(
+                    kind=CommandKind.BLOCK_WORKERS, workers=("x",)
+                )
+            )
+
+    def test_execution_respects_agent_limits(self, env):
+        ex, tbb, ep = env
+        for i in range(300):
+            ep.arena_for(i % 4).enqueue(mk_task(f"t{i}", flops=0.02))
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION, per_node=(2, 2, 2, 2)
+            )
+        )
+        ex.run(0.05)
+        assert all(a.active <= 2 for a in tbb.arenas.values())
+
+
+class TestOmpEndpoint:
+    @pytest.fixture
+    def env(self):
+        ex = ExecutionSimulator(model_machine())
+        omp = OpenMpRuntime("omp", ex, num_threads=8, node=0)
+        return ex, omp, OmpEndpoint(omp)
+
+    def test_report_shape(self, env):
+        ex, omp, ep = env
+        r = ep.report(0.0)
+        assert r.active_threads == 8
+        assert r.workers_per_node[0] == 8
+        assert r.progress["declined"] == 0.0
+
+    def test_total_command(self, env):
+        ex, omp, ep = env
+        ep.apply(
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=3)
+        )
+        r = ep.report(0.0)
+        assert r.active_threads == 3
+
+    def test_allocation_translated_to_total(self, env):
+        ex, omp, ep = env
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION, per_node=(2, 1, 1, 0)
+            )
+        )
+        assert ep.report(0.0).active_threads == 4
+
+    def test_tied_work_declines_recorded(self, env):
+        ex, omp, ep = env
+        for i in range(8):
+            omp.submit_tied_task(f"tied{i}", 0.5, 8.0, thread_index=i)
+        ep.apply(
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=0)
+        )
+        r = ep.report(0.0)
+        assert r.progress["declined"] == 8.0
+        assert r.active_threads == 8  # nothing could be blocked
+
+    def test_per_node_rejected(self, env):
+        ex, omp, ep = env
+        with pytest.raises(ProtocolError):
+            ep.apply(
+                ThreadCommand(
+                    kind=CommandKind.SET_NODE_THREADS, node=0, count=1
+                )
+            )
+
+
+class TestMixedRuntimeCoordination:
+    def test_fair_share_across_ocr_and_tbb(self):
+        """The paper's future-work scenario: OCR-Vx and TBB applications
+        cooperatively managed by one agent."""
+        ex = ExecutionSimulator(model_machine())
+        ocr = OCRVxRuntime("ocr-app", ex)
+        ocr.start()
+        tbb = TbbRuntime("tbb-app", ex, num_threads=32)
+        tbb_ep = TbbEndpoint(tbb)
+        agent = Agent(ex, FairShareStrategy(), period=0.005)
+        agent.register(OcrVxEndpoint(ocr))
+        agent.register(tbb_ep)
+        agent.start()
+        # both applications keep the machine saturated with work
+        for i in range(400):
+            ocr.create_task(f"o{i}", 0.01, 8.0)
+            tbb_ep.arena_for(i % 4).enqueue(mk_task(f"b{i}"))
+        ex.run(0.1)
+        # fair share: each runtime holds half of every node
+        assert ocr.active_per_node() == [4, 4, 4, 4]
+        assert all(
+            a.max_concurrency == 4 for a in tbb.arenas.values()
+        )
+        assert tbb.stats_tasks_executed > 0
+        assert ocr.stats.tasks_executed > 0

@@ -1,0 +1,122 @@
+"""Unit and integration tests for the coordination agent."""
+
+import pytest
+
+from repro.agent import (
+    Agent,
+    FairShareStrategy,
+    OcrVxEndpoint,
+    ProducerConsumerAlignment,
+)
+from repro.agent.monitor import LoadMonitor
+from repro.errors import AgentError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+@pytest.fixture
+def setup():
+    ex = ExecutionSimulator(model_machine())
+    a = OCRVxRuntime("a", ex)
+    b = OCRVxRuntime("b", ex)
+    a.start()
+    b.start()
+    return ex, a, b
+
+
+class TestAgentLifecycle:
+    def test_requires_endpoints(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy())
+        with pytest.raises(AgentError):
+            agent.start()
+
+    def test_duplicate_endpoint_rejected(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy())
+        agent.register(OcrVxEndpoint(a))
+        with pytest.raises(AgentError):
+            agent.register(OcrVxEndpoint(a))
+
+    def test_double_start_rejected(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy())
+        agent.register(OcrVxEndpoint(a))
+        agent.start()
+        with pytest.raises(AgentError):
+            agent.start()
+
+    def test_invalid_period(self, setup):
+        ex, a, b = setup
+        with pytest.raises(AgentError):
+            Agent(ex, FairShareStrategy(), period=0.0)
+
+
+class TestAgentRounds:
+    def test_rounds_at_period(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(OcrVxEndpoint(a))
+        agent.register(OcrVxEndpoint(b))
+        agent.start()
+        ex.run(0.055)
+        assert agent.rounds == 5
+
+    def test_fair_share_applied_once(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(OcrVxEndpoint(a))
+        agent.register(OcrVxEndpoint(b))
+        agent.start()
+        ex.run(0.05)
+        assert a.active_per_node() == [4, 4, 4, 4]
+        assert b.active_per_node() == [4, 4, 4, 4]
+        assert agent.commands_issued() == 2
+
+    def test_decisions_recorded(self, setup):
+        ex, a, b = setup
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(OcrVxEndpoint(a))
+        agent.register(OcrVxEndpoint(b))
+        agent.start()
+        ex.run(0.03)
+        d = agent.decisions[0]
+        assert set(d.reports) == {"a", "b"}
+        assert d.load.time == pytest.approx(0.01)
+
+
+class TestAgentCpuCharge:
+    def test_deliberation_charged_as_work(self, setup):
+        ex, a, b = setup
+        agent = Agent(
+            ex,
+            FairShareStrategy(),
+            period=0.01,
+            decision_cost_seconds=0.002,
+            charge_cpu=True,
+            agent_node=0,
+        )
+        agent.register(OcrVxEndpoint(a))
+        agent.register(OcrVxEndpoint(b))
+        agent.start()
+        ex.run(0.1)
+        assert agent.total_deliberation == pytest.approx(
+            agent.rounds * 0.002
+        )
+        # the agent's thread actually consumed cycles
+        assert ex.metrics.integrator("flops/agent").total > 0
+
+
+class TestLoadMonitor:
+    def test_samples_utilisation(self, setup):
+        ex, a, b = setup
+        mon = LoadMonitor(ex)
+        for i in range(200):
+            a.create_task(f"t{i}", 0.01, 10.0)
+        ex.run(0.05)
+        s = mon.sample()
+        assert s.interval == pytest.approx(0.05)
+        assert 0 < s.machine_utilization <= 1.0
+        assert s.gflops_by_app["a"] > 0
+        assert s.gflops_by_app["b"] == 0

@@ -1,0 +1,94 @@
+"""Tests for the decentralized (agentless) coordinator."""
+
+import pytest
+
+from repro.agent import DecentralizedCoordinator, OcrVxEndpoint
+from repro.apps import SyntheticApp
+from repro.core import AppSpec
+from repro.errors import AgentError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+def setup(num_apps=2):
+    ex = ExecutionSimulator(model_machine())
+    runtimes = []
+    specs = []
+    for i in range(num_apps):
+        spec = AppSpec(f"app{i}", 4.0)
+        rt = OCRVxRuntime(spec.name, ex)
+        rt.start()
+        runtimes.append(rt)
+        specs.append(spec)
+    return ex, runtimes, specs
+
+
+class TestLifecycle:
+    def test_requires_participants(self):
+        ex, _, _ = setup()
+        coord = DecentralizedCoordinator(ex)
+        with pytest.raises(AgentError):
+            coord.start()
+
+    def test_duplicate_join_rejected(self):
+        ex, (a, _), (sa, _) = setup()
+        coord = DecentralizedCoordinator(ex)
+        coord.join(OcrVxEndpoint(a), sa)
+        with pytest.raises(AgentError):
+            coord.join(OcrVxEndpoint(a), sa)
+
+    def test_name_mismatch_rejected(self):
+        ex, (a, _), _ = setup()
+        coord = DecentralizedCoordinator(ex)
+        with pytest.raises(AgentError):
+            coord.join(OcrVxEndpoint(a), AppSpec("other", 1.0))
+
+    def test_invalid_period(self):
+        ex, _, _ = setup()
+        with pytest.raises(AgentError):
+            DecentralizedCoordinator(ex, period=0.0)
+
+
+class TestAgreement:
+    def test_equal_demand_converges_to_fair_split(self):
+        ex, runtimes, specs = setup(2)
+        coord = DecentralizedCoordinator(ex, period=0.005)
+        for rt, spec in zip(runtimes, specs):
+            coord.join(OcrVxEndpoint(rt), spec)
+        coord.start()
+        ex.run(0.05)
+        assert coord.rounds >= 5
+        for rt in runtimes:
+            assert rt.active_threads == 16  # half of 32 cores each
+
+    def test_agreement_has_no_over_subscription(self):
+        ex, runtimes, specs = setup(3)
+        coord = DecentralizedCoordinator(ex, period=0.005)
+        for rt, spec in zip(runtimes, specs):
+            coord.join(OcrVxEndpoint(rt), spec)
+        coord.start()
+        ex.run(0.03)
+        last = coord.agreements[-1]
+        per_node = [0] * 4
+        for alloc in last.values():
+            for n, c in enumerate(alloc):
+                per_node[n] += c
+        assert all(c <= 8 for c in per_node)
+
+    def test_queue_pressure_shifts_cores(self):
+        ex, runtimes, specs = setup(2)
+        # Load only app0 with work: its queue depth raises its priority.
+        SyntheticApp(runtimes[0], specs[0]).submit_batch(500)
+        coord = DecentralizedCoordinator(
+            ex, period=0.005, queue_pressure_weight=1.0
+        )
+        for rt, spec in zip(runtimes, specs):
+            coord.join(OcrVxEndpoint(rt), spec)
+        coord.start()
+        ex.run(0.02)
+        # The first agreement sees app0's deep queue and shifts cores;
+        # later rounds may equalise again once the queue drains.
+        busy = coord.agreements[0]["app0"]
+        idle = coord.agreements[0]["app1"]
+        assert sum(busy) > sum(idle)

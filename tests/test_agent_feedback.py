@@ -1,0 +1,122 @@
+"""Tests for the observation-driven FeedbackHillClimb strategy."""
+
+import pytest
+
+from repro.agent import Agent, FeedbackHillClimb, OcrVxEndpoint
+from repro.agent.protocol import StatusReport
+from repro.apps import SyntheticApp
+from repro.core import AppSpec
+from repro.errors import AgentError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+def report(name, *, load, active=(4, 4, 4, 4)):
+    return StatusReport(
+        runtime_name=name,
+        time=0.0,
+        tasks_executed=0,
+        active_threads=sum(active),
+        blocked_threads=0,
+        active_per_node=tuple(active),
+        workers_per_node=(8, 8, 8, 8),
+        queue_length=10,
+        cpu_load=load,
+    )
+
+
+class TestUnit:
+    def test_needs_two_apps(self):
+        with pytest.raises(AgentError):
+            FeedbackHillClimb(["solo"])
+
+    def test_first_round_even_split(self):
+        s = FeedbackHillClimb(["a", "b"])
+        out = s.decide(
+            model_machine(),
+            {"a": report("a", load=0.5), "b": report("b", load=0.5)},
+        )
+        assert out["a"][0].per_node == (4, 4, 4, 4)
+        assert out["b"][0].per_node == (4, 4, 4, 4)
+
+    def test_keeps_improving_move(self):
+        s = FeedbackHillClimb(["a", "b"], improvement_threshold=0.0)
+        m = model_machine()
+        r = {"a": report("a", load=0.2), "b": report("b", load=0.2)}
+        s.decide(m, r)  # round 0: even split
+        s.decide(m, r)  # baseline measurement, proposes first move
+        assert s._pending_move is not None
+        # report a big improvement: the move is kept, same direction again
+        better = {
+            "a": report("a", load=0.9),
+            "b": report("b", load=0.9),
+        }
+        s.decide(m, better)
+        assert s.moves_kept == 1
+
+    def test_reverts_bad_move(self):
+        s = FeedbackHillClimb(["a", "b"])
+        m = model_machine()
+        r = {"a": report("a", load=0.5), "b": report("b", load=0.5)}
+        s.decide(m, r)
+        s.decide(m, r)
+        before = {k: list(v) for k, v in s._split.items()}
+        worse = {"a": report("a", load=0.1), "b": report("b", load=0.1)}
+        s.decide(m, worse)
+        assert s.moves_reverted == 1
+        # a different move is now pending; the reverted one is undone
+        total = [
+            s._split["a"][n] + s._split["b"][n] for n in range(4)
+        ]
+        assert total == [8, 8, 8, 8]
+
+    def test_converges_after_full_scan(self):
+        s = FeedbackHillClimb(["a", "b"])
+        m = model_machine()
+        r = {"a": report("a", load=0.5), "b": report("b", load=0.5)}
+        s.decide(m, r)
+        for _ in range(10):
+            s.decide(m, r)  # flat score: every move reverts
+            if s.converged:
+                break
+        assert s.converged
+        assert s.decide(m, r) == {}
+
+
+class TestEndToEnd:
+    def test_beats_static_fair_share(self):
+        def run(adaptive):
+            machine = model_machine()
+            ex = ExecutionSimulator(machine)
+            specs = [
+                AppSpec.memory_bound("mem", 0.5),
+                AppSpec.compute_bound("comp", 10.0),
+            ]
+            runtimes = []
+            for spec in specs:
+                rt = OCRVxRuntime(spec.name, ex)
+                rt.start()
+                if not adaptive:
+                    rt.set_allocation([4, 4, 4, 4])
+                SyntheticApp(rt, spec, task_flops=0.02).submit_stream(
+                    10**9
+                )
+                runtimes.append(rt)
+            strat = None
+            if adaptive:
+                strat = FeedbackHillClimb(["mem", "comp"])
+                agent = Agent(ex, strat, period=0.01)
+                for rt in runtimes:
+                    agent.register(OcrVxEndpoint(rt))
+                agent.start()
+            ex.run(0.6)
+            return ex.total_gflops(0.6), strat
+
+        static, _ = run(False)
+        adaptive, strat = run(True)
+        assert adaptive > static * 1.3
+        assert strat.converged
+        # it found the (1-per-node mem, 7-per-node comp) shape without
+        # knowing any arithmetic intensity
+        assert strat._split["comp"][0] >= 6

@@ -1,0 +1,97 @@
+"""Unit tests for agent<->runtime protocol messages and endpoints."""
+
+import pytest
+
+from repro.agent.protocol import (
+    CommandKind,
+    OcrVxEndpoint,
+    ThreadCommand,
+)
+from repro.errors import ProtocolError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+class TestThreadCommand:
+    def test_required_fields_enforced(self):
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_NODE_THREADS, node=0)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_ALLOCATION)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.BLOCK_WORKERS)
+
+    def test_valid_commands(self):
+        ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=4)
+        ThreadCommand(kind=CommandKind.SET_NODE_THREADS, node=0, count=2)
+        ThreadCommand(
+            kind=CommandKind.SET_ALLOCATION, per_node=(1, 1, 1, 1)
+        )
+        ThreadCommand(
+            kind=CommandKind.UNBLOCK_WORKERS, workers=("a/w0",)
+        )
+
+
+class TestOcrVxEndpoint:
+    @pytest.fixture
+    def setup(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("app", ex)
+        rt.start([2, 2, 2, 2])
+        return ex, rt, OcrVxEndpoint(rt)
+
+    def test_report_contents(self, setup):
+        ex, rt, ep = setup
+        r = ep.report(ex.sim.now)
+        assert r.runtime_name == "app"
+        assert r.active_threads == 8
+        assert r.active_per_node == (2, 2, 2, 2)
+        assert r.workers_per_node == (2, 2, 2, 2)
+        assert r.queue_length == 0
+
+    def test_cpu_load_differencing(self, setup):
+        ex, rt, ep = setup
+        ep.report(ex.sim.now)
+        for i in range(100):
+            rt.create_task(f"t{i}", 0.01, 10.0)
+        ex.run(0.05)
+        r = ep.report(ex.sim.now)
+        assert 0.0 < r.cpu_load <= 1.01
+
+    def test_apply_allocation(self, setup):
+        ex, rt, ep = setup
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION, per_node=(1, 1, 1, 1)
+            )
+        )
+        ex.run(0.01)
+        assert rt.active_per_node() == [1, 1, 1, 1]
+
+    def test_apply_total(self, setup):
+        ex, rt, ep = setup
+        ep.apply(
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=3)
+        )
+        ex.run(0.01)
+        assert rt.active_threads == 3
+
+    def test_apply_block_unblock(self, setup):
+        ex, rt, ep = setup
+        name = rt.workers[0].name
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.BLOCK_WORKERS, workers=(name,)
+            )
+        )
+        ex.run(0.01)
+        assert rt.workers[0].blocked
+        ep.apply(
+            ThreadCommand(
+                kind=CommandKind.UNBLOCK_WORKERS, workers=(name,)
+            )
+        )
+        assert not rt.workers[0].blocked

@@ -1,0 +1,181 @@
+"""Unit tests for the agent strategies (pure decision logic)."""
+
+import pytest
+
+from repro.agent.protocol import CommandKind, StatusReport
+from repro.agent.strategies import (
+    FairShareStrategy,
+    LibraryShiftStrategy,
+    ModelGuidedStrategy,
+    ProducerConsumerAlignment,
+)
+from repro.core.spec import AppSpec
+from repro.errors import AgentError
+from repro.machine import model_machine
+
+
+def report(name, *, progress=None, queue=0, active=(8, 8, 8, 8)):
+    return StatusReport(
+        runtime_name=name,
+        time=0.0,
+        tasks_executed=0,
+        active_threads=sum(active),
+        blocked_threads=0,
+        active_per_node=tuple(active),
+        workers_per_node=(8, 8, 8, 8),
+        queue_length=queue,
+        progress=progress or {},
+    )
+
+
+@pytest.fixture
+def machine():
+    return model_machine()
+
+
+class TestFairShare:
+    def test_issues_once(self, machine):
+        s = FairShareStrategy()
+        reports = {"a": report("a"), "b": report("b")}
+        first = s.decide(machine, reports)
+        assert set(first) == {"a", "b"}
+        assert first["a"][0].per_node == (4, 4, 4, 4)
+        assert s.decide(machine, reports) == {}
+
+    def test_clamps_to_worker_counts(self, machine):
+        s = FairShareStrategy()
+        small = StatusReport(
+            runtime_name="a",
+            time=0.0,
+            tasks_executed=0,
+            active_threads=4,
+            blocked_threads=0,
+            active_per_node=(1, 1, 1, 1),
+            workers_per_node=(1, 1, 1, 1),
+            queue_length=0,
+        )
+        out = s.decide(machine, {"a": small, "b": report("b")})
+        assert out["a"][0].per_node == (1, 1, 1, 1)
+
+
+class TestProducerConsumerAlignment:
+    def test_initial_split_even(self, machine):
+        s = ProducerConsumerAlignment("p", "c", max_lead=3, min_lead=1)
+        out = s.decide(machine, {"p": report("p"), "c": report("c")})
+        assert out["p"][0].per_node == (4, 4, 4, 4)
+        assert out["c"][0].per_node == (4, 4, 4, 4)
+
+    def test_shifts_to_consumer_when_producer_leads(self, machine):
+        s = ProducerConsumerAlignment("p", "c", max_lead=3, min_lead=1)
+        s.decide(machine, {"p": report("p"), "c": report("c")})
+        out = s.decide(
+            machine,
+            {
+                "p": report("p", progress={"iterations": 10}),
+                "c": report("c", progress={"iterations": 2}),
+            },
+        )
+        assert out["p"][0].per_node == (3, 3, 3, 3)
+        assert out["c"][0].per_node == (5, 5, 5, 5)
+
+    def test_shifts_back_when_lead_too_small(self, machine):
+        s = ProducerConsumerAlignment("p", "c", max_lead=5, min_lead=2)
+        s.decide(machine, {"p": report("p"), "c": report("c")})
+        out = s.decide(
+            machine,
+            {
+                "p": report("p", progress={"iterations": 3}),
+                "c": report("c", progress={"iterations": 3}),
+            },
+        )
+        assert out["p"][0].per_node == (5, 5, 5, 5)
+
+    def test_quiet_when_aligned(self, machine):
+        s = ProducerConsumerAlignment("p", "c", max_lead=4, min_lead=1)
+        s.decide(machine, {"p": report("p"), "c": report("c")})
+        out = s.decide(
+            machine,
+            {
+                "p": report("p", progress={"iterations": 5}),
+                "c": report("c", progress={"iterations": 3}),
+            },
+        )
+        assert out == {}
+
+    def test_floor_of_one_thread(self, machine):
+        s = ProducerConsumerAlignment("p", "c", max_lead=1.5, min_lead=0.5)
+        s.decide(machine, {"p": report("p"), "c": report("c")})
+        # repeated large leads: producer shrinks but never below 1/node
+        for lead in range(100):
+            s.decide(
+                machine,
+                {
+                    "p": report("p", progress={"iterations": 1000.0}),
+                    "c": report("c", progress={"iterations": 0.0}),
+                },
+            )
+        assert all(p >= 1 for p, _ in s._split.values())
+
+    def test_invalid_bounds(self):
+        with pytest.raises(AgentError):
+            ProducerConsumerAlignment("p", "c", max_lead=1, min_lead=2)
+
+
+class TestModelGuided:
+    def test_issues_optimal_allocation(self, machine, paper_apps):
+        s = ModelGuidedStrategy(paper_apps)
+        reports = {a.name: report(a.name) for a in paper_apps}
+        out = s.decide(machine, reports)
+        assert set(out) == {a.name for a in paper_apps}
+        # throughput-optimal: all cores to comp (others zero)
+        assert sum(out["comp"][0].per_node) == 32
+
+    def test_no_replan_by_default(self, machine, paper_apps):
+        s = ModelGuidedStrategy(paper_apps)
+        reports = {a.name: report(a.name) for a in paper_apps}
+        s.decide(machine, reports)
+        assert s.decide(machine, reports) == {}
+
+    def test_replan_every(self, machine, paper_apps):
+        s = ModelGuidedStrategy(paper_apps, replan_every=2)
+        reports = {a.name: report(a.name) for a in paper_apps}
+        s.decide(machine, reports)
+        assert s.decide(machine, reports) != {}
+
+    def test_needs_specs(self):
+        with pytest.raises(AgentError):
+            ModelGuidedStrategy([])
+
+
+class TestLibraryShift:
+    def test_shifts_on_library_demand(self, machine):
+        s = LibraryShiftStrategy("main", "lib", library_share=0.75)
+        out = s.decide(
+            machine,
+            {"main": report("main"), "lib": report("lib", queue=5)},
+        )
+        assert out["lib"][0].per_node == (6, 6, 6, 6)
+        assert out["main"][0].per_node == (2, 2, 2, 2)
+
+    def test_shifts_back_when_idle(self, machine):
+        s = LibraryShiftStrategy("main", "lib")
+        s.decide(
+            machine,
+            {"main": report("main"), "lib": report("lib", queue=5)},
+        )
+        out = s.decide(
+            machine,
+            {"main": report("main"), "lib": report("lib", queue=0)},
+        )
+        assert out["main"][0].per_node == (7, 7, 7, 7)
+        assert out["lib"][0].per_node == (1, 1, 1, 1)
+
+    def test_no_command_without_state_change(self, machine):
+        s = LibraryShiftStrategy("main", "lib")
+        r = {"main": report("main"), "lib": report("lib", queue=5)}
+        s.decide(machine, r)
+        assert s.decide(machine, r) == {}
+
+    def test_invalid_share(self):
+        with pytest.raises(AgentError):
+            LibraryShiftStrategy("m", "l", library_share=1.5)

@@ -1,0 +1,153 @@
+"""Tests for the analysis helpers and experiment drivers."""
+
+import pytest
+
+from repro.analysis import (
+    render_table,
+    run_calibration,
+    run_distributed,
+    run_library_shift,
+    run_oversubscription,
+    run_sublinear,
+    sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1.234], ["bb", 10]],
+            title="T",
+        )
+        assert "T" in text
+        assert "1.23" in text
+        assert "bb" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSweep:
+    def test_cartesian(self):
+        records = sweep(
+            lambda x, y: x * y, {"x": [1, 2], "y": [10, 20]}
+        )
+        assert len(records) == 4
+        assert records[0].params == {"x": 1, "y": 10}
+        assert records[-1].result == 40
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda: None, {})
+        with pytest.raises(ConfigurationError):
+            sweep(lambda x: None, {"x": []})
+
+
+class TestSectionIIClaims:
+    def test_oversubscription_gain_is_a_few_percent(self):
+        res = run_oversubscription(duration=0.2)
+        # The paper: "only marginal (a few percent) improvement".
+        assert 0.0 < res.improvement < 0.10
+
+    def test_sublinear_reallocation_wins_big(self):
+        res = run_sublinear()
+        assert res.fair_gflops == pytest.approx(140.0)
+        assert res.optimal_gflops == pytest.approx(254.0)
+        assert res.speedup == pytest.approx(254.0 / 140.0)
+        # The optimum found by search IS the paper's uneven allocation.
+        assert res.optimal_allocation.threads_of("comp").tolist() == [
+            5, 5, 5, 5,
+        ]
+
+
+class TestLibraryScenario:
+    def test_dynamic_beats_static(self):
+        res = run_library_shift(phases=6)
+        assert res.dynamic_shift_time < res.static_split_time
+        assert res.dynamic_shift_time < res.static_generous_time
+        assert res.speedup > 1.05
+
+
+class TestDistributed:
+    def test_section5_shape(self):
+        res = run_distributed(num_ranks=8, iterations=20)
+        dyn_bag = res.makespan("dynamic", "taskbag")
+        split_bag = res.makespan("static-split", "taskbag")
+        dyn_bar = res.makespan("dynamic", "barrier")
+        split_bar = res.makespan("static-split", "barrier")
+        # Loose sync: dynamic clearly wins.
+        assert dyn_bag < split_bag
+        # Barrier sync keeps most of the gain away.
+        assert (split_bag / dyn_bag) > (split_bar / dyn_bar)
+
+
+class TestCalibrationExperiment:
+    def test_recovers_parameters_within_two_percent(self):
+        res = run_calibration(duration=0.3)
+        assert res.peak_error < 0.02
+        assert res.bandwidth_error < 0.02
+
+
+class TestFairness:
+    def test_jain_bounds(self):
+        from repro.analysis.fairness import jain_index
+
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert jain_index([0.0, 0.0]) == 1.0
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+        with pytest.raises(ConfigurationError):
+            jain_index([-1.0])
+
+    def test_proportional_fairness(self):
+        import math
+
+        from repro.analysis.fairness import proportional_fairness
+
+        assert proportional_fairness([1.0, 1.0]) == pytest.approx(0.0)
+        assert proportional_fairness([math.e, 1.0]) == pytest.approx(1.0)
+        assert proportional_fairness([1.0, 0.0]) == float("-inf")
+
+    def test_evaluate_prediction_tradeoff(self):
+        """The throughput optimum of the paper workload is maximally
+        unfair; the fair share is maximally fair; the paper's uneven
+        allocation sits between — the exact trade-off Section II asks
+        the arbiter to navigate."""
+        from repro.analysis.fairness import evaluate_prediction
+        from repro.core import (
+            AppSpec,
+            NumaPerformanceModel,
+            ThreadAllocation,
+        )
+        from repro.machine import model_machine
+
+        machine = model_machine()
+        apps = [
+            AppSpec.memory_bound("mem0", 0.5),
+            AppSpec.memory_bound("mem1", 0.5),
+            AppSpec.memory_bound("mem2", 0.5),
+            AppSpec.compute_bound("comp", 10.0),
+        ]
+        names = [a.name for a in apps]
+        model = NumaPerformanceModel()
+
+        def report(tpn):
+            alloc = ThreadAllocation.uniform(names, 4, tpn)
+            return evaluate_prediction(
+                machine, model.predict(machine, apps, alloc)
+            )
+
+        greedy = report([0, 0, 0, 8])
+        uneven = report([1, 1, 1, 5])
+        even = report([2, 2, 2, 2])
+        assert greedy.total_gflops > uneven.total_gflops > even.total_gflops
+        assert greedy.jain < uneven.jain < even.jain
+        assert greedy.nash_welfare == float("-inf")
+        assert uneven.nash_welfare > float("-inf")
+        assert even.min_app_gflops == pytest.approx(20.0)
+        assert 0 < uneven.compute_utilization < 1
+        assert 0 < uneven.bandwidth_utilization <= 1

@@ -1,0 +1,181 @@
+"""Tests for the timeline renderer, report generator, and CLI."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.analysis.timeline import extract_intervals, render_timeline
+from repro.errors import ConfigurationError
+from repro.machine import uma_machine
+from repro.sim import Binding, ExecutionSimulator, Tracer, WorkSegment
+
+
+class _Work:
+    def __init__(self, count):
+        self.remaining = count
+
+    def next_segment(self, thread):
+        if self.remaining <= 0:
+            return None
+        self.remaining -= 1
+        return WorkSegment(
+            flops=0.02, arithmetic_intensity=10.0, label="k"
+        )
+
+    def segment_finished(self, thread, segment):
+        pass
+
+
+@pytest.fixture
+def traced_run():
+    tracer = Tracer()
+    ex = ExecutionSimulator(uma_machine(), tracer=tracer)
+    t = ex.add_thread("w0", Binding.to_node(0), _Work(3))
+    ex.run(0.004)
+    ex.block(t)
+    ex.run(0.004)
+    ex.unblock(t)
+    ex.run_until_idle()
+    return tracer
+
+
+class TestTimeline:
+    def test_intervals_extracted(self, traced_run):
+        intervals = extract_intervals(traced_run)
+        kinds = {i.kind for i in intervals}
+        assert "task" in kinds
+        assert "blocked" in kinds
+        for i in intervals:
+            assert i.end >= i.start
+
+    def test_render_marks_states(self, traced_run):
+        text = render_timeline(traced_run, width=40)
+        assert "w0" in text
+        assert "#" in text
+        assert "x" in text
+
+    def test_empty_tracer(self):
+        assert "no activity" in render_timeline(Tracer())
+
+    def test_invalid_width(self, traced_run):
+        with pytest.raises(ConfigurationError):
+            render_timeline(traced_run, width=0)
+
+
+class TestReport:
+    def test_run_experiment_by_id(self):
+        block = run_experiment("fig2")
+        assert "Figure 2" in block
+        assert "254.00" in block
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("nope")
+
+    def test_every_fast_experiment_renders(self):
+        for exp_id in ("table1", "table2", "fig2", "fig3", "sublinear"):
+            assert run_experiment(exp_id)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_run(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "254" in out
+
+    def test_describe_round_trips(self, capsys):
+        from repro.__main__ import main
+        from repro.machine import parse_topology
+
+        assert main(["describe", "skylake"]) == 0
+        out = capsys.readouterr().out
+        m = parse_topology(out)
+        assert m.total_cores == 80
+
+
+class TestApiDoc:
+    def test_summary_covers_all_packages(self):
+        from repro.analysis.apidoc import api_summary
+
+        text = api_summary()
+        for pkg in (
+            "repro.machine",
+            "repro.core",
+            "repro.sim",
+            "repro.runtime",
+            "repro.agent",
+            "repro.apps",
+            "repro.distributed",
+            "repro.analysis",
+        ):
+            assert f"## `{pkg}`" in text
+
+    def test_key_symbols_documented(self):
+        from repro.analysis.apidoc import api_summary
+
+        text = api_summary()
+        for symbol in (
+            "NumaPerformanceModel",
+            "OCRVxRuntime",
+            "ThreadAllocation",
+            "ExecutionSimulator",
+            "Agent",
+        ):
+            assert f"`{symbol}`" in text
+        assert "(undocumented)" not in text
+
+    def test_cli_api_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["api"]) == 0
+        assert "# API reference" in capsys.readouterr().out
+
+
+class TestFullReport:
+    def test_full_report_over_subset(self, monkeypatch):
+        import repro.analysis.report as rep
+
+        subset = {
+            k: rep.EXPERIMENTS[k]
+            for k in ("table1", "table2", "fig2", "fig3")
+        }
+        monkeypatch.setattr(rep, "EXPERIMENTS", subset)
+        text = rep.full_report()
+        assert "Table I -" in text
+        assert "Figure 3" in text
+        assert "254" in text
+        assert "150.00" in text
+
+    def test_registry_titles_unique(self):
+        from repro.analysis import EXPERIMENTS
+
+        titles = [t for t, _ in EXPERIMENTS.values()]
+        assert len(set(titles)) == len(titles)
+        assert len(EXPERIMENTS) >= 18
+
+
+class TestResultDataclasses:
+    def test_scenario_result_relative_error(self):
+        from repro.analysis import ScenarioResult
+
+        r = ScenarioResult("x", 110.0, 100.0)
+        assert r.relative_error == pytest.approx(0.1)
+        assert ScenarioResult("y", 1.0).relative_error is None
+
+    def test_workload_result_efficiency_bounds(self):
+        from repro.distributed import WorkloadResult
+
+        r = WorkloadResult(
+            makespan=10.0, per_rank_busy=(10.0, 5.0)
+        )
+        assert r.efficiency == pytest.approx(0.75)
+        empty = WorkloadResult(makespan=0.0, per_rank_busy=(0.0,))
+        assert empty.efficiency == 0.0

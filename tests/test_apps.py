@@ -1,0 +1,203 @@
+"""Tests for the application layer: synthetic apps, scenarios, non-workers."""
+
+import pytest
+
+from repro.apps import (
+    ComposedAppScenario,
+    ComputeThread,
+    IoThread,
+    ProducerConsumerScenario,
+    SyntheticApp,
+)
+from repro.core.spec import AppSpec, Placement
+from repro.errors import ConfigurationError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import Binding, ExecutionSimulator
+
+
+@pytest.fixture
+def ex():
+    return ExecutionSimulator(model_machine())
+
+
+class TestSyntheticApp:
+    def test_batch_runs(self, ex):
+        rt = OCRVxRuntime("a", ex)
+        rt.start([2, 2, 2, 2])
+        app = SyntheticApp(rt, AppSpec.compute_bound("a"))
+        app.submit_batch(40)
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 40
+
+    def test_stream_replenishes(self, ex):
+        rt = OCRVxRuntime("a", ex)
+        rt.start([2, 2, 2, 2])
+        app = SyntheticApp(rt, AppSpec.compute_bound("a"))
+        app.submit_stream(100)
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 100
+        assert app.tasks_created == 100
+
+    def test_numa_perfect_round_robins_active_nodes(self, ex):
+        rt = OCRVxRuntime("a", ex)
+        rt.start([2, 0, 2, 0])
+        app = SyntheticApp(rt, AppSpec.memory_bound("a"))
+        tasks = app.submit_batch(8)
+        affs = {t.affinity_node for t in tasks}
+        assert affs == {0, 2}
+
+    def test_numa_bad_creates_home_datablock(self, ex):
+        rt = OCRVxRuntime("b", ex)
+        rt.start([2, 2, 2, 2])
+        app = SyntheticApp(rt, AppSpec.numa_bad("b", home_node=1))
+        tasks = app.submit_batch(4)
+        for t in tasks:
+            assert t.traffic() == {1: pytest.approx(1.0)}
+
+    def test_interleaved_spreads_datablocks(self, ex):
+        spec = AppSpec("i", 1.0, placement=Placement.INTERLEAVED)
+        rt = OCRVxRuntime("i", ex)
+        rt.start([2, 2, 2, 2])
+        app = SyntheticApp(rt, spec)
+        t = app.submit_batch(1)[0]
+        f = t.traffic()
+        assert set(f) == {0, 1, 2, 3}
+        assert f[0] == pytest.approx(0.25)
+
+    def test_migrate_data(self, ex):
+        rt = OCRVxRuntime("b", ex)
+        rt.start([2, 2, 2, 2])
+        app = SyntheticApp(rt, AppSpec.numa_bad("b", home_node=0))
+        app.migrate_data(3)
+        t = app.submit_batch(1)[0]
+        assert t.traffic() == {3: pytest.approx(1.0)}
+
+    def test_bad_home_node_rejected(self, ex):
+        rt = OCRVxRuntime("b", ex)
+        rt.start([1, 1, 1, 1])
+        with pytest.raises(ConfigurationError):
+            SyntheticApp(rt, AppSpec.numa_bad("b", home_node=9))
+
+    def test_invalid_counts_rejected(self, ex):
+        rt = OCRVxRuntime("a", ex)
+        rt.start([1, 1, 1, 1])
+        app = SyntheticApp(rt, AppSpec.compute_bound("a"))
+        with pytest.raises(ConfigurationError):
+            app.submit_batch(0)
+        with pytest.raises(ConfigurationError):
+            app.submit_stream(-5)
+
+
+class TestProducerConsumer:
+    def test_pipeline_completes(self, ex):
+        p = OCRVxRuntime("p", ex)
+        c = OCRVxRuntime("c", ex)
+        p.start([2, 2, 2, 2])
+        c.start([2, 2, 2, 2])
+        sc = ProducerConsumerScenario(
+            ex, p, c, iterations=10, tasks_per_iteration=4
+        )
+        sc.build()
+        ex.run_until_idle()
+        assert sc.finished
+        assert sc.produced == 10
+        assert sc.consumed == 10
+
+    def test_consumer_never_ahead(self, ex):
+        p = OCRVxRuntime("p", ex)
+        c = OCRVxRuntime("c", ex)
+        p.start([2, 2, 2, 2])
+        c.start([2, 2, 2, 2])
+        sc = ProducerConsumerScenario(
+            ex, p, c, iterations=15, tasks_per_iteration=4
+        )
+        sc.build()
+        ex.run_until_idle()
+        assert all(v >= 0 for v in sc.intermediate_items.values)
+
+    def test_slow_consumer_builds_backlog(self, ex):
+        p = OCRVxRuntime("p", ex)
+        c = OCRVxRuntime("c", ex)
+        p.start([2, 2, 2, 2])
+        c.start([2, 2, 2, 2])
+        sc = ProducerConsumerScenario(
+            ex,
+            p,
+            c,
+            iterations=20,
+            tasks_per_iteration=4,
+            producer_flops=0.002,
+            consumer_flops=0.02,
+        )
+        sc.build()
+        ex.run_until_idle()
+        assert sc.max_intermediate_items() > 3
+        assert sc.max_intermediate_bytes() == (
+            sc.max_intermediate_items() * sc.item_bytes
+        )
+
+    def test_double_build_rejected(self, ex):
+        p = OCRVxRuntime("p", ex)
+        c = OCRVxRuntime("c", ex)
+        p.start([1, 1, 1, 1])
+        c.start([1, 1, 1, 1])
+        sc = ProducerConsumerScenario(ex, p, c, iterations=2)
+        sc.build()
+        with pytest.raises(ConfigurationError):
+            sc.build()
+
+    def test_invalid_parameters(self, ex):
+        p = OCRVxRuntime("p", ex)
+        c = OCRVxRuntime("c", ex)
+        with pytest.raises(ConfigurationError):
+            ProducerConsumerScenario(ex, p, c, iterations=0)
+
+
+class TestComposedApp:
+    def test_alternation_completes(self, ex):
+        m = OCRVxRuntime("m", ex)
+        l = OCRVxRuntime("l", ex)
+        m.start([2, 2, 2, 2])
+        l.start([2, 2, 2, 2])
+        sc = ComposedAppScenario(
+            ex, m, l, phases=5, main_tasks=8, library_tasks=8
+        )
+        sc.build()
+        ex.run_until_idle()
+        assert sc.finished
+        assert sc.phases_completed == 5
+        assert sc.calls_completed == 5
+
+    def test_invalid_phases(self, ex):
+        m = OCRVxRuntime("m", ex)
+        l = OCRVxRuntime("l", ex)
+        with pytest.raises(ConfigurationError):
+            ComposedAppScenario(ex, m, l, phases=0)
+
+
+class TestNonWorkers:
+    def test_io_thread_duty_cycle(self, ex):
+        io = IoThread(
+            ex,
+            burst_flops=0.001,
+            wait_seconds=0.02,
+            total_bursts=3,
+        )
+        ex.add_thread("io", Binding.to_node(0), io, app_name="io")
+        ex.run_until_idle()
+        assert io.bursts_done == 3
+        # 3 bursts with two 20 ms waits between them: at least 40 ms.
+        assert ex.sim.now >= 0.04
+
+    def test_compute_thread_cannot_be_starved(self, ex):
+        ct = ComputeThread(task_flops=0.01, total_tasks=5)
+        ex.add_thread("ct", Binding.to_node(0), ct, app_name="ct")
+        ex.run_until_idle()
+        assert ct.tasks_done == 5
+
+    def test_validation(self, ex):
+        with pytest.raises(ConfigurationError):
+            IoThread(ex, burst_flops=0.0)
+        with pytest.raises(ConfigurationError):
+            ComputeThread(task_flops=-1.0)

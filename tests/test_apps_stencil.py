@@ -1,0 +1,94 @@
+"""Tests for the Jacobi-style stencil application."""
+
+import pytest
+
+from repro.apps import StencilApp
+from repro.errors import ConfigurationError
+from repro.machine import knl_flat, knl_snc4, model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+def run_stencil(machine, *, numa_aware, blocks=16, iterations=8):
+    ex = ExecutionSimulator(machine)
+    rt = OCRVxRuntime("st", ex)
+    rt.start()
+    app = StencilApp(
+        rt,
+        blocks=blocks,
+        iterations=iterations,
+        numa_aware=numa_aware,
+        flops_per_block=0.02,
+        arithmetic_intensity=0.25,
+    )
+    app.build()
+    end = ex.run_until_condition(lambda: app.finished, max_time=600)
+    return end, app
+
+
+class TestConstruction:
+    def test_numa_aware_blocks_spread(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("st", ex)
+        rt.start([1, 1, 1, 1])
+        app = StencilApp(rt, blocks=8, iterations=1, numa_aware=True)
+        homes = [db.home_node for db in app.datablocks]
+        assert homes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_oblivious_blocks_on_node_zero(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("st", ex)
+        rt.start([1, 1, 1, 1])
+        app = StencilApp(rt, blocks=8, iterations=1, numa_aware=False)
+        assert all(db.home_node == 0 for db in app.datablocks)
+
+    def test_validation(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("st", ex)
+        rt.start([1, 1, 1, 1])
+        with pytest.raises(ConfigurationError):
+            StencilApp(rt, blocks=0, iterations=1)
+        with pytest.raises(ConfigurationError):
+            StencilApp(rt, blocks=1, iterations=0)
+        app = StencilApp(rt, blocks=2, iterations=1)
+        app.build()
+        with pytest.raises(ConfigurationError):
+            app.build()
+
+
+class TestExecution:
+    def test_completes_all_sweeps(self):
+        end, app = run_stencil(model_machine(), numa_aware=True)
+        assert app.finished
+        assert app.iterations_done == 8
+        assert app.done.fired
+
+    def test_sweep_ordering_respected(self):
+        # Total tasks executed equals blocks * iterations; progress
+        # counter matches.
+        end, app = run_stencil(
+            model_machine(), numa_aware=True, blocks=8, iterations=4
+        )
+        assert app.runtime.stats.tasks_executed == 32
+        assert app.runtime.stats.progress["sweeps"] == 4
+
+    def test_numa_aware_beats_oblivious_on_numa_machine(self):
+        aware, _ = run_stencil(knl_snc4(), numa_aware=True)
+        oblivious, _ = run_stencil(knl_snc4(), numa_aware=False)
+        # [11]: "very significant speed improvement"
+        assert oblivious > aware * 1.5
+
+    def test_no_gap_on_flat_machine(self):
+        # [11]: on KNL with NUMA off, the oblivious code is fine.
+        aware, _ = run_stencil(knl_flat(), numa_aware=True)
+        oblivious, _ = run_stencil(knl_flat(), numa_aware=False)
+        assert oblivious == pytest.approx(aware, rel=0.02)
+
+    def test_total_flops(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("st", ex)
+        rt.start([1, 1, 1, 1])
+        app = StencilApp(
+            rt, blocks=4, iterations=3, flops_per_block=0.5
+        )
+        assert app.total_flops() == pytest.approx(6.0)

@@ -1,0 +1,149 @@
+"""Unit tests for ThreadAllocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ThreadAllocation
+from repro.errors import AllocationError, OversubscriptionError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        a = ThreadAllocation.from_mapping({"x": [1, 2], "y": [3, 0]})
+        assert a.num_apps == 2
+        assert a.num_nodes == 2
+        assert a.threads_of("x").tolist() == [1, 2]
+
+    def test_from_mapping_rejects_ragged(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation.from_mapping({"x": [1, 2], "y": [3]})
+
+    def test_from_mapping_rejects_empty(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation.from_mapping({})
+
+    def test_uniform_scalar(self):
+        a = ThreadAllocation.uniform(["a", "b"], 4, 2)
+        assert a.counts.shape == (2, 4)
+        assert a.total_threads == 16
+
+    def test_uniform_per_app(self):
+        a = ThreadAllocation.uniform(["a", "b"], 4, [1, 5])
+        assert a.threads_of("a").tolist() == [1, 1, 1, 1]
+        assert a.threads_of("b").tolist() == [5, 5, 5, 5]
+
+    def test_uniform_wrong_count(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation.uniform(["a", "b"], 4, [1, 2, 3])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation(
+                app_names=("a", "a"), counts=np.ones((2, 2), dtype=int)
+            )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation(
+                app_names=("a",), counts=np.array([[-1, 0]])
+            )
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(AllocationError):
+            ThreadAllocation(
+                app_names=("a",), counts=np.array([[1.5, 0.0]])
+            )
+
+    def test_float_integral_counts_accepted(self):
+        a = ThreadAllocation(
+            app_names=("a",), counts=np.array([[2.0, 3.0]])
+        )
+        assert a.counts.dtype == np.int64
+
+    def test_node_exclusive(self, paper_machine):
+        a = ThreadAllocation.node_exclusive(
+            ["a", "b", "c", "d"], paper_machine
+        )
+        assert a.threads_per_node.tolist() == [8, 8, 8, 8]
+        assert a.threads_of("a").tolist() == [8, 0, 0, 0]
+
+    def test_node_exclusive_with_assignment(self, paper_machine):
+        a = ThreadAllocation.node_exclusive(
+            ["a", "b", "c", "d"],
+            paper_machine,
+            assignment={"a": 3, "b": 2, "c": 1, "d": 0},
+        )
+        assert a.threads_of("a").tolist() == [0, 0, 0, 8]
+
+    def test_node_exclusive_wrong_app_count(self, paper_machine):
+        with pytest.raises(AllocationError):
+            ThreadAllocation.node_exclusive(["a", "b"], paper_machine)
+
+    def test_node_exclusive_bad_assignment(self, paper_machine):
+        with pytest.raises(AllocationError):
+            ThreadAllocation.node_exclusive(
+                ["a", "b", "c", "d"],
+                paper_machine,
+                assignment={"a": 0, "b": 0, "c": 1, "d": 2},
+            )
+
+
+class TestValidation:
+    def test_validate_accepts_fitting(self, paper_machine):
+        ThreadAllocation.uniform(["a", "b"], 4, [4, 4]).validate(
+            paper_machine
+        )
+
+    def test_oversubscription_rejected(self, paper_machine):
+        a = ThreadAllocation.uniform(["a", "b"], 4, [5, 4])
+        with pytest.raises(OversubscriptionError):
+            a.validate(paper_machine)
+        assert not a.fits(paper_machine)
+
+    def test_wrong_node_count_rejected(self, paper_machine):
+        a = ThreadAllocation.uniform(["a"], 3, 1)
+        with pytest.raises(AllocationError):
+            a.validate(paper_machine)
+
+    def test_utilization(self, paper_machine):
+        a = ThreadAllocation.uniform(["a"], 4, 4)
+        assert a.utilization(paper_machine) == pytest.approx(0.5)
+
+
+class TestAlgebra:
+    def test_move_thread(self):
+        a = ThreadAllocation.uniform(["x", "y"], 2, [2, 2])
+        b = a.move_thread("x", "y", 0)
+        assert b.threads_of("x").tolist() == [1, 2]
+        assert b.threads_of("y").tolist() == [3, 2]
+        # original untouched
+        assert a.threads_of("x").tolist() == [2, 2]
+
+    def test_move_from_empty_rejected(self):
+        a = ThreadAllocation.from_mapping({"x": [0], "y": [1]})
+        with pytest.raises(AllocationError):
+            a.move_thread("x", "y", 0)
+
+    def test_move_bad_node_rejected(self):
+        a = ThreadAllocation.uniform(["x", "y"], 2, 1)
+        with pytest.raises(AllocationError):
+            a.move_thread("x", "y", 5)
+
+    def test_with_counts(self):
+        a = ThreadAllocation.uniform(["x"], 3, 1)
+        b = a.with_counts("x", [0, 2, 1])
+        assert b.threads_of("x").tolist() == [0, 2, 1]
+
+    def test_unknown_app_rejected(self):
+        a = ThreadAllocation.uniform(["x"], 2, 1)
+        with pytest.raises(AllocationError):
+            a.threads_of("nope")
+
+    def test_round_trip_mapping(self):
+        m = {"x": [1, 2], "y": [0, 3]}
+        assert ThreadAllocation.from_mapping(m).as_mapping() == m
+
+    def test_counts_immutable(self):
+        a = ThreadAllocation.uniform(["x"], 2, 1)
+        with pytest.raises(ValueError):
+            a.counts[0, 0] = 5

@@ -1,0 +1,159 @@
+"""Unit tests for multi-runtime core arbitration."""
+
+import numpy as np
+import pytest
+
+from repro.core.arbitration import (
+    AgentArbiter,
+    CooperativeConsensus,
+    FairShareArbiter,
+    ResourceRequest,
+)
+from repro.core.spec import AppSpec
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def requests(paper_apps):
+    return [ResourceRequest(spec=a) for a in paper_apps]
+
+
+class TestResourceRequest:
+    def test_validation(self, paper_apps):
+        with pytest.raises(AllocationError):
+            ResourceRequest(spec=paper_apps[0], min_threads=-1)
+        with pytest.raises(AllocationError):
+            ResourceRequest(
+                spec=paper_apps[0], min_threads=4, max_threads=2
+            )
+        with pytest.raises(AllocationError):
+            ResourceRequest(spec=paper_apps[0], priority=0.0)
+
+
+class TestFairShare:
+    def test_even_split(self, paper_machine, requests):
+        out = FairShareArbiter().decide(paper_machine, requests)
+        assert np.all(out.allocation.counts == 2)
+        assert out.predicted_gflops == pytest.approx(140.0)
+
+    def test_no_oversubscription(self, paper_machine, requests):
+        out = FairShareArbiter().decide(paper_machine, requests)
+        out.allocation.validate(paper_machine)
+
+    def test_max_threads_clamped(self, paper_machine, paper_apps):
+        reqs = [
+            ResourceRequest(spec=a, max_threads=4) for a in paper_apps
+        ]
+        out = FairShareArbiter().decide(paper_machine, reqs)
+        for a in paper_apps:
+            assert out.allocation.threads_of(a.name).sum() <= 4
+
+    def test_leftover_goes_to_priority(self, paper_apps):
+        from repro.machine import MachineTopology
+
+        m = MachineTopology.homogeneous(
+            num_nodes=1,
+            cores_per_node=5,
+            peak_gflops_per_core=10.0,
+            local_bandwidth=32.0,
+        )
+        reqs = [
+            ResourceRequest(spec=a, priority=p)
+            for a, p in zip(paper_apps, [1, 1, 1, 9])
+        ]
+        out = FairShareArbiter().decide(m, reqs)
+        assert out.allocation.threads_of("comp").sum() == 2
+
+    def test_empty_requests_rejected(self, paper_machine):
+        with pytest.raises(AllocationError):
+            FairShareArbiter().decide(paper_machine, [])
+
+    def test_impossible_minimums_rejected(self, paper_machine, paper_apps):
+        reqs = [
+            ResourceRequest(spec=a, min_threads=20) for a in paper_apps
+        ]
+        with pytest.raises(AllocationError):
+            FairShareArbiter().decide(paper_machine, reqs)
+
+
+class TestAgentArbiter:
+    def test_beats_fair_share(self, paper_machine, requests):
+        fair = FairShareArbiter().decide(paper_machine, requests)
+        agent = AgentArbiter().decide(paper_machine, requests)
+        assert agent.predicted_gflops >= fair.predicted_gflops
+
+    def test_minimums_respected(self, paper_machine, paper_apps):
+        reqs = [
+            ResourceRequest(spec=a, min_threads=2) for a in paper_apps
+        ]
+        out = AgentArbiter().decide(paper_machine, reqs)
+        for a in paper_apps:
+            assert out.allocation.threads_of(a.name).sum() >= 2
+
+    def test_maximums_respected(self, paper_machine, paper_apps):
+        reqs = [
+            ResourceRequest(
+                spec=a,
+                max_threads=8 if a.name == "comp" else None,
+            )
+            for a in paper_apps
+        ]
+        out = AgentArbiter().decide(paper_machine, reqs)
+        assert out.allocation.threads_of("comp").sum() <= 8
+
+    def test_log_mentions_search(self, paper_machine, requests):
+        out = AgentArbiter().decide(paper_machine, requests)
+        assert any("search" in line for line in out.log)
+
+
+class TestCooperativeConsensus:
+    def test_reaches_valid_fixpoint(self, paper_machine, requests):
+        out = CooperativeConsensus().decide(paper_machine, requests)
+        out.allocation.validate(paper_machine)
+        assert out.rounds >= 1
+
+    def test_equal_priorities_equal_shares(self, paper_machine, requests):
+        out = CooperativeConsensus().decide(paper_machine, requests)
+        totals = out.allocation.threads_per_app
+        assert totals.max() - totals.min() <= 1
+
+    def test_priority_shifts_shares(self, paper_machine, paper_apps):
+        reqs = [
+            ResourceRequest(spec=a, priority=p)
+            for a, p in zip(paper_apps, [1.0, 1.0, 1.0, 5.0])
+        ]
+        out = CooperativeConsensus().decide(paper_machine, reqs)
+        assert (
+            out.allocation.threads_of("comp").sum()
+            > out.allocation.threads_of("mem0").sum()
+        )
+
+    def test_numa_bad_claims_home_first(
+        self, numa_bad_machine, numa_bad_apps
+    ):
+        reqs = [ResourceRequest(spec=a) for a in numa_bad_apps]
+        out = CooperativeConsensus().decide(numa_bad_machine, reqs)
+        bad = out.allocation.threads_of("bad")
+        # the NUMA-bad app's claim concentrates on its home node 3
+        assert bad[3] == bad.max()
+
+    def test_deterministic(self, paper_machine, requests):
+        a = CooperativeConsensus().decide(paper_machine, requests)
+        b = CooperativeConsensus().decide(paper_machine, requests)
+        assert a.allocation.as_mapping() == b.allocation.as_mapping()
+
+    def test_not_all_runtimes_pick_node_zero(self, paper_machine):
+        # The paper's coordination pitfall: two apps each wanting exactly
+        # one node's worth of cores must not both sit on node 0.
+        apps = [
+            AppSpec.memory_bound("a", 0.5),
+            AppSpec.memory_bound("b", 0.5),
+        ]
+        reqs = [
+            ResourceRequest(spec=s, min_threads=8, max_threads=8)
+            for s in apps
+        ]
+        out = CooperativeConsensus().decide(paper_machine, reqs)
+        counts = out.allocation.counts
+        per_node = counts.sum(axis=0)
+        assert per_node.max() <= 8  # no node over-claimed

@@ -1,0 +1,169 @@
+"""Unit tests for the per-node bandwidth arbitration (assumptions 4/5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bwshare import (
+    NodeShare,
+    RemainderRule,
+    share_node_bandwidth,
+)
+from repro.errors import ModelError
+
+
+class TestBasics:
+    def test_all_satisfied_when_capacity_ample(self):
+        share = share_node_bandwidth(100.0, 8, [1.0, 2.0, 3.0])
+        assert np.allclose(share.allocated, [1.0, 2.0, 3.0])
+        assert share.leftover == pytest.approx(94.0)
+
+    def test_baseline_is_capacity_over_cores(self):
+        share = share_node_bandwidth(32.0, 8, [20.0])
+        assert share.baseline == 4.0
+
+    def test_table1_node_arithmetic(self):
+        # 3 mem threads at 20 GB/s, 5 compute threads at 1 GB/s, 32 GB/s.
+        demands = [20.0] * 3 + [1.0] * 5
+        share = share_node_bandwidth(32.0, 8, demands)
+        # compute threads fully satisfied at 1 each
+        assert np.allclose(share.allocated[3:], 1.0)
+        # memory threads get baseline 4 + 5 remainder = 9 each
+        assert np.allclose(share.allocated[:3], 9.0)
+        assert share.consumed == pytest.approx(32.0)
+
+    def test_table2_node_arithmetic(self):
+        demands = [20.0] * 6 + [1.0] * 2
+        share = share_node_bandwidth(32.0, 8, demands)
+        assert np.allclose(share.allocated[:6], 5.0)
+        assert np.allclose(share.allocated[6:], 1.0)
+
+    def test_empty_demands(self):
+        share = share_node_bandwidth(32.0, 8, [])
+        assert share.consumed == 0.0
+        assert share.leftover == 32.0
+
+    def test_zero_capacity(self):
+        share = share_node_bandwidth(0.0, 8, [5.0, 5.0])
+        assert np.allclose(share.allocated, 0.0)
+
+
+class TestWaterFilling:
+    def test_capped_grant_redistributes(self):
+        # One thread wants barely above baseline; the freed remainder
+        # flows to the hungrier thread in a second pass.
+        share = share_node_bandwidth(10.0, 2, [6.0, 100.0])
+        # baseline 5 each; thread 0 unmet 1, thread 1 unmet 95.
+        # proportional split of the 0 remaining... capacity exhausted by
+        # baseline; actually baseline sums to 10, nothing remains.
+        assert share.consumed == pytest.approx(10.0)
+        assert share.allocated[0] == pytest.approx(5.0)
+
+    def test_redistribution_after_cap(self):
+        # capacity 12, 2 cores -> baseline 6.  Demands 7 and 100.
+        # Initial: min(7,6)=6, min(100,6)=6 -> remaining 0.
+        share = share_node_bandwidth(12.0, 2, [7.0, 100.0])
+        assert share.consumed == pytest.approx(12.0)
+
+    def test_idle_core_share_joins_remainder(self):
+        # 2 threads on a 4-core node: baseline is capacity/4, but the two
+        # idle cores' share must still be handed out.
+        share = share_node_bandwidth(40.0, 4, [30.0, 30.0])
+        assert share.consumed == pytest.approx(40.0)
+        assert np.allclose(share.allocated, 20.0)
+
+    def test_never_exceeds_demand(self):
+        share = share_node_bandwidth(100.0, 4, [1.0, 2.0])
+        assert np.all(share.allocated <= np.array([1.0, 2.0]) + 1e-12)
+
+    def test_full_consumption_when_over_demanded(self):
+        share = share_node_bandwidth(32.0, 8, [10.0] * 8)
+        assert share.consumed == pytest.approx(32.0)
+
+    def test_even_vs_proportional_rule(self):
+        # Unequal unmet demands distinguish the rules.
+        demands = [8.0, 20.0]
+        prop = share_node_bandwidth(
+            12.0, 2, demands, rule=RemainderRule.PROPORTIONAL
+        )
+        even = share_node_bandwidth(
+            12.0, 2, demands, rule=RemainderRule.EVEN
+        )
+        # baseline 6 each; nothing remains -> identical here
+        assert np.allclose(prop.allocated, even.allocated)
+        # now capacity above baseline: 16 total, baseline 8 -> thread 0
+        # satisfied at 8... demands [8,20]: alloc [8,8], remaining 0.
+        prop2 = share_node_bandwidth(
+            18.0, 2, demands, rule=RemainderRule.PROPORTIONAL
+        )
+        even2 = share_node_bandwidth(
+            18.0, 2, demands, rule=RemainderRule.EVEN
+        )
+        # baseline 9: thread0 capped at 8, thread1 9; remaining 1 goes
+        # fully to thread1 under both rules (only unsatisfied thread).
+        assert prop2.allocated[1] == pytest.approx(10.0)
+        assert even2.allocated[1] == pytest.approx(10.0)
+
+    def test_rules_differ_with_multiple_unsatisfied(self):
+        # 3 cores, capacity 30, demands 11, 12, 30.
+        # baseline 10: alloc [10+?, 10+?, 10+?]... initial [10,10,10],
+        # remaining 0 -> same.  Use capacity 36 instead:
+        prop = share_node_bandwidth(
+            36.0, 3, [13.0, 14.0, 30.0], rule=RemainderRule.PROPORTIONAL
+        )
+        even = share_node_bandwidth(
+            36.0, 3, [13.0, 14.0, 30.0], rule=RemainderRule.EVEN
+        )
+        # baseline 12: initial [12,12,12], remaining 0. Capacity 45:
+        prop = share_node_bandwidth(
+            45.0, 3, [13.0, 14.0, 30.0], rule=RemainderRule.PROPORTIONAL
+        )
+        even = share_node_bandwidth(
+            45.0, 3, [13.0, 14.0, 30.0], rule=RemainderRule.EVEN
+        )
+        # baseline 15 -> initial [13,14,15], remaining 3, only thread 2
+        # unsatisfied under both rules -> both give it all 3.
+        assert prop.allocated[2] == pytest.approx(18.0)
+        assert even.allocated[2] == pytest.approx(18.0)
+        # a case that genuinely differs: baseline small, two unsatisfied
+        # with different unmet demand.
+        prop = share_node_bandwidth(
+            20.0, 2, [11.0, 29.0], rule=RemainderRule.PROPORTIONAL
+        )
+        even = share_node_bandwidth(
+            20.0, 2, [11.0, 29.0], rule=RemainderRule.EVEN
+        )
+        # baseline 10 -> initial [10,10], remaining 0; same again.
+        # Use 1 thread idle: 2 cores, 1 thread.
+        prop = share_node_bandwidth(
+            20.0, 4, [11.0, 29.0], rule=RemainderRule.PROPORTIONAL
+        )
+        even = share_node_bandwidth(
+            20.0, 4, [11.0, 29.0], rule=RemainderRule.EVEN
+        )
+        # baseline 5 -> initial [5,5], remaining 10.
+        # proportional: unmet 6 and 24 -> +2 and +8 -> [7, 13]
+        # even: +5 each -> [10, 10] -> thread0 capped at 11?? no: +5 < 6.
+        assert prop.allocated == pytest.approx([7.0, 13.0])
+        assert even.allocated == pytest.approx([10.0, 10.0])
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            share_node_bandwidth(-1.0, 8, [1.0])
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ModelError):
+            share_node_bandwidth(10.0, 0, [1.0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ModelError):
+            share_node_bandwidth(10.0, 4, [-1.0])
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ModelError):
+            share_node_bandwidth(10.0, 2, [1.0, 1.0, 1.0])
+
+    def test_2d_demands_rejected(self):
+        with pytest.raises(ModelError):
+            share_node_bandwidth(10.0, 4, np.ones((2, 2)))

@@ -1,0 +1,124 @@
+"""Unit tests for the allocation searches."""
+
+import pytest
+
+from repro.core.model import NumaPerformanceModel
+from repro.core.optimizer import (
+    AnnealingSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    HillClimbSearch,
+    min_app_gflops,
+    total_gflops,
+    weighted_gflops,
+)
+from repro.core.policies import EvenSharePolicy
+from repro.core.spec import AppSpec
+from repro.errors import ModelError
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, paper_machine, paper_apps):
+        res = ExhaustiveSearch().search(paper_machine, paper_apps)
+        # All cores to the compute app: the machine peak.
+        assert res.score == pytest.approx(320.0)
+        assert res.evaluations == 165
+
+    def test_max_min_objective_balances(self, paper_machine, paper_apps):
+        res = ExhaustiveSearch(objective=min_app_gflops).search(
+            paper_machine, paper_apps
+        )
+        worst = min(a.gflops for a in res.prediction.apps)
+        assert worst > 0
+        # the pure-throughput optimum starves apps, so max-min must differ
+        assert res.allocation.threads_of("mem0").sum() > 0
+
+    def test_weighted_objective(self, paper_machine, paper_apps):
+        heavy_mem = weighted_gflops(
+            {"mem0": 100.0, "mem1": 100.0, "mem2": 100.0, "comp": 0.01}
+        )
+        res = ExhaustiveSearch(objective=heavy_mem).search(
+            paper_machine, paper_apps
+        )
+        assert res.allocation.threads_of("comp").sum() == 0
+
+    def test_allow_idle_cores(self, paper_machine):
+        # Purely memory-bound workload: beyond saturation extra threads
+        # add nothing, so partial allocations tie with full ones.
+        apps = [AppSpec.memory_bound("m", 0.5)]
+        res = ExhaustiveSearch(require_full=False).search(
+            paper_machine, apps
+        )
+        assert res.score == pytest.approx(64.0)
+
+
+class TestGreedy:
+    def test_matches_exhaustive_on_paper_workload(
+        self, paper_machine, paper_apps
+    ):
+        ex = ExhaustiveSearch().search(paper_machine, paper_apps)
+        gr = GreedySearch().search(paper_machine, paper_apps)
+        assert gr.score == pytest.approx(ex.score)
+
+    def test_trajectory_monotone(self, paper_machine, paper_apps):
+        res = GreedySearch().search(paper_machine, paper_apps)
+        assert list(res.trajectory) == sorted(res.trajectory)
+
+    def test_fills_machine(self, paper_machine, paper_apps):
+        res = GreedySearch().search(paper_machine, paper_apps)
+        assert res.allocation.total_threads == paper_machine.total_cores
+
+
+class TestHillClimb:
+    def test_improves_on_even_start(self, paper_machine, paper_apps):
+        start = EvenSharePolicy().allocate(paper_machine, paper_apps)
+        base = NumaPerformanceModel().predict(
+            paper_machine, paper_apps, start
+        )
+        res = HillClimbSearch().search(
+            paper_machine, paper_apps, start=start
+        )
+        assert res.score >= base.total_gflops
+        assert res.score == pytest.approx(320.0)
+
+    def test_respects_max_rounds(self, paper_machine, paper_apps):
+        res = HillClimbSearch(max_rounds=1).search(
+            paper_machine, paper_apps
+        )
+        assert len(res.trajectory) <= 2
+
+
+class TestAnnealing:
+    def test_deterministic_under_seed(self, paper_machine, paper_apps):
+        a = AnnealingSearch(steps=300, seed=7).search(
+            paper_machine, paper_apps
+        )
+        b = AnnealingSearch(steps=300, seed=7).search(
+            paper_machine, paper_apps
+        )
+        assert a.score == b.score
+        assert a.allocation.as_mapping() == b.allocation.as_mapping()
+
+    def test_reaches_near_optimum(self, paper_machine, paper_apps):
+        res = AnnealingSearch(steps=1500, seed=3).search(
+            paper_machine, paper_apps
+        )
+        assert res.score >= 300.0  # within ~6% of 320
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            AnnealingSearch(steps=0)
+        with pytest.raises(ModelError):
+            AnnealingSearch(cooling=1.5)
+
+
+class TestObjectives:
+    def test_total_gflops(self, paper_machine, paper_apps):
+        alloc = EvenSharePolicy().allocate(paper_machine, paper_apps)
+        pred = NumaPerformanceModel().predict(
+            paper_machine, paper_apps, alloc
+        )
+        assert total_gflops(pred) == pytest.approx(140.0)
+        assert min_app_gflops(pred) == pytest.approx(20.0)
+        w = weighted_gflops({"comp": 2.0})
+        assert w(pred) == pytest.approx(140.0 + 80.0)

@@ -1,0 +1,78 @@
+"""Unit tests for the roofline model."""
+
+import numpy as np
+import pytest
+
+from repro.core.roofline import Roofline, attainable_gflops
+from repro.errors import ModelError
+
+
+class TestAttainable:
+    def test_memory_bound_side(self):
+        assert attainable_gflops(0.5, 10.0, 4.0) == pytest.approx(2.0)
+
+    def test_compute_bound_side(self):
+        assert attainable_gflops(10.0, 10.0, 4.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            attainable_gflops(0.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            attainable_gflops(1.0, 0.0, 1.0)
+
+
+class TestRoofline:
+    def test_ridge(self):
+        r = Roofline(peak_gflops=80.0, peak_bandwidth=32.0)
+        assert r.ridge_ai == pytest.approx(2.5)
+        assert r.is_memory_bound(0.5)
+        assert not r.is_memory_bound(10.0)
+
+    def test_demand_bandwidth_matches_paper(self):
+        r = Roofline(peak_gflops=10.0, peak_bandwidth=32.0)
+        assert r.demand_bandwidth(0.5) == pytest.approx(20.0)
+        assert r.demand_bandwidth(10.0) == pytest.approx(1.0)
+
+    def test_attainable_continuous_at_ridge(self):
+        r = Roofline(peak_gflops=80.0, peak_bandwidth=32.0)
+        assert r.attainable(r.ridge_ai) == pytest.approx(80.0)
+
+    def test_efficiency(self):
+        r = Roofline(peak_gflops=10.0, peak_bandwidth=5.0)
+        assert r.efficiency(1.0) == pytest.approx(0.5)
+        assert r.efficiency(100.0) == pytest.approx(1.0)
+
+    def test_sweep_vectorised(self):
+        r = Roofline(peak_gflops=10.0, peak_bandwidth=5.0)
+        out = r.sweep([0.5, 1.0, 2.0, 4.0])
+        assert np.allclose(out, [2.5, 5.0, 10.0, 10.0])
+
+    def test_sweep_rejects_nonpositive(self):
+        r = Roofline(peak_gflops=10.0, peak_bandwidth=5.0)
+        with pytest.raises(ModelError):
+            r.sweep([1.0, 0.0])
+
+    def test_scaled_shared_bandwidth(self):
+        # A NUMA node: compute scales, bandwidth doesn't.
+        core = Roofline(peak_gflops=10.0, peak_bandwidth=32.0)
+        node = core.scaled(8, bandwidth_shared=True)
+        assert node.peak_gflops == 80.0
+        assert node.peak_bandwidth == 32.0
+
+    def test_scaled_private_bandwidth(self):
+        core = Roofline(peak_gflops=10.0, peak_bandwidth=32.0)
+        machine = core.scaled(4, bandwidth_shared=False)
+        assert machine.peak_bandwidth == 128.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Roofline(peak_gflops=0.0, peak_bandwidth=1.0)
+        with pytest.raises(ModelError):
+            Roofline(peak_gflops=1.0, peak_bandwidth=-1.0)
+        r = Roofline(peak_gflops=1.0, peak_bandwidth=1.0)
+        with pytest.raises(ModelError):
+            r.scaled(0)
+        with pytest.raises(ModelError):
+            r.is_memory_bound(0.0)
+        with pytest.raises(ModelError):
+            r.demand_bandwidth(-2.0)

@@ -1,0 +1,158 @@
+"""Unit tests for scaling curves and the marginal-utility allocator."""
+
+import pytest
+
+from repro.core.scaling import (
+    AmdahlScaling,
+    LinearScaling,
+    RooflineNodeScaling,
+    marginal_utility_allocation,
+    measured_curve,
+)
+from repro.core.spec import AppSpec
+from repro.errors import ConfigurationError, ModelError
+from repro.machine import model_machine
+
+
+class TestLinear:
+    def test_throughput(self):
+        c = LinearScaling(per_thread=2.0)
+        assert c.throughput(4) == 8.0
+        assert c.efficiency(7) == pytest.approx(1.0)
+        assert not c.is_sublinear(16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearScaling(per_thread=0.0)
+        with pytest.raises(ModelError):
+            LinearScaling(per_thread=1.0).throughput(-1)
+
+
+class TestAmdahl:
+    def test_limits(self):
+        c = AmdahlScaling(peak_single=1.0, serial_fraction=0.1)
+        assert c.throughput(1) == pytest.approx(1.0)
+        # speedup approaches 1/serial_fraction
+        assert c.speedup(10**6) == pytest.approx(10.0, rel=0.01)
+        assert c.is_sublinear(4)
+
+    def test_zero_serial_is_linear(self):
+        c = AmdahlScaling(peak_single=2.0, serial_fraction=0.0)
+        assert c.throughput(8) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmdahlScaling(peak_single=1.0, serial_fraction=1.5)
+
+
+class TestRooflineNode:
+    def test_paper_memory_bound_curve(self):
+        # AI=0.5, 10 GFLOPS/thread, 32 GB/s: saturates at 1.6 threads.
+        c = RooflineNodeScaling(
+            per_thread_peak=10.0,
+            node_bandwidth=32.0,
+            arithmetic_intensity=0.5,
+        )
+        assert c.saturation_threads == pytest.approx(1.6)
+        assert c.throughput(1) == pytest.approx(10.0)
+        assert c.throughput(2) == pytest.approx(16.0)
+        assert c.throughput(8) == pytest.approx(16.0)  # flat
+        assert c.marginal(2) == pytest.approx(6.0)
+        assert c.marginal(3) == pytest.approx(0.0)
+        assert c.is_sublinear(8)
+
+    def test_compute_bound_never_saturates(self):
+        c = RooflineNodeScaling(
+            per_thread_peak=10.0,
+            node_bandwidth=32.0,
+            arithmetic_intensity=10.0,
+        )
+        assert c.throughput(8) == pytest.approx(80.0)
+        assert not c.is_sublinear(8)
+
+    def test_for_app(self):
+        c = RooflineNodeScaling.for_app(
+            model_machine(), AppSpec.memory_bound("m", 0.5)
+        )
+        assert c.node_bandwidth == 32.0
+        assert c.per_thread_peak == 10.0
+
+
+class TestMeasuredCurve:
+    def test_holds_flat_beyond_samples(self):
+        c = measured_curve([0.0, 5.0, 9.0, 12.0])
+        assert c.throughput(3) == 12.0
+        assert c.throughput(10) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measured_curve([0.0])
+        with pytest.raises(ConfigurationError):
+            measured_curve([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            measured_curve([0.0, 5.0, 4.0])
+
+
+class TestMarginalUtilityAllocation:
+    def test_recovers_paper_uneven_split(self):
+        """Per NUMA node: 3 memory-bound + 1 compute-bound on 8 cores
+        should land on the paper's (1,1,1,5)."""
+        mem = RooflineNodeScaling(
+            per_thread_peak=10.0,
+            node_bandwidth=32.0 / 3,  # each app's fair bandwidth slice
+            arithmetic_intensity=0.5,
+        )
+        comp = LinearScaling(per_thread=10.0)
+        alloc = marginal_utility_allocation(
+            {"mem0": mem, "mem1": mem, "mem2": mem, "comp": comp},
+            total_cores=8,
+            min_threads=1,
+        )
+        assert alloc["comp"] == 5
+        assert alloc["mem0"] == 1
+
+    def test_stops_when_no_gain(self):
+        flat = measured_curve([0.0, 10.0, 10.0])
+        alloc = marginal_utility_allocation({"a": flat}, total_cores=8)
+        assert alloc["a"] == 1  # a second core adds nothing
+
+    def test_weights_shift_allocation(self):
+        a = LinearScaling(per_thread=1.0)
+        b = LinearScaling(per_thread=1.0)
+        alloc = marginal_utility_allocation(
+            {"a": a, "b": b}, total_cores=4, weights={"a": 10.0}
+        )
+        assert alloc["a"] == 4
+        assert alloc["b"] == 0
+
+    def test_min_threads_floor(self):
+        a = LinearScaling(per_thread=100.0)
+        b = LinearScaling(per_thread=1.0)
+        alloc = marginal_utility_allocation(
+            {"a": a, "b": b}, total_cores=4, min_threads=1
+        )
+        assert alloc["b"] == 1
+        assert alloc["a"] == 3
+
+    def test_deterministic_tie_break(self):
+        a = LinearScaling(per_thread=1.0)
+        alloc = marginal_utility_allocation(
+            {"z": a, "a": a}, total_cores=3
+        )
+        # ties always go to the alphabetically first name (linear curves
+        # never change their marginal, so 'a' takes every core) — use
+        # min_threads to prevent starvation when that matters
+        assert alloc["a"] == 3
+        assert alloc["z"] == 0
+        fair = marginal_utility_allocation(
+            {"z": a, "a": a}, total_cores=3, min_threads=1
+        )
+        assert fair == {"a": 2, "z": 1}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            marginal_utility_allocation({}, total_cores=4)
+        with pytest.raises(ConfigurationError):
+            marginal_utility_allocation(
+                {"a": LinearScaling(1.0)}, total_cores=0, min_threads=1
+            )

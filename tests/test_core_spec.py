@@ -1,0 +1,73 @@
+"""Unit tests for AppSpec and Placement."""
+
+import pytest
+
+from repro.core.spec import AppSpec, Placement
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults_are_numa_perfect(self):
+        a = AppSpec("a", 0.5)
+        assert a.placement is Placement.NUMA_PERFECT
+        assert a.home_node is None
+
+    def test_memory_bound_helper(self):
+        a = AppSpec.memory_bound("m")
+        assert a.arithmetic_intensity == 0.5
+
+    def test_compute_bound_helper(self):
+        a = AppSpec.compute_bound("c")
+        assert a.arithmetic_intensity == 10.0
+
+    def test_numa_bad_helper(self):
+        a = AppSpec.numa_bad("b", home_node=2)
+        assert a.placement is Placement.SINGLE_NODE
+        assert a.home_node == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec("", 1.0)
+
+    def test_nonpositive_ai_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec("a", 0.0)
+        with pytest.raises(ConfigurationError):
+            AppSpec("a", -1.0)
+
+    def test_single_node_requires_home(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec("a", 1.0, placement=Placement.SINGLE_NODE)
+
+    def test_home_node_forbidden_elsewhere(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec("a", 1.0, home_node=0)
+
+    def test_nonpositive_peak_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AppSpec("a", 1.0, peak_gflops_per_thread=0.0)
+
+
+class TestDerivedQuantities:
+    def test_demand_per_thread_is_peak_over_ai(self):
+        # Paper assumption 3: 10 GFLOPS core, AI=2 -> 5 GB/s.
+        a = AppSpec("a", 2.0)
+        assert a.demand_per_thread(10.0) == pytest.approx(5.0)
+
+    def test_paper_demands(self):
+        mem = AppSpec.memory_bound("m", 0.5)
+        comp = AppSpec.compute_bound("c", 10.0)
+        assert mem.demand_per_thread(10.0) == pytest.approx(20.0)
+        assert comp.demand_per_thread(10.0) == pytest.approx(1.0)
+
+    def test_peak_override_caps_at_core_peak(self):
+        a = AppSpec("a", 1.0, peak_gflops_per_thread=50.0)
+        assert a.peak_gflops(10.0) == 10.0
+        b = AppSpec("b", 1.0, peak_gflops_per_thread=5.0)
+        assert b.peak_gflops(10.0) == 5.0
+
+    def test_is_memory_bound_on(self):
+        mem = AppSpec.memory_bound("m", 0.5)
+        comp = AppSpec.compute_bound("c", 10.0)
+        assert mem.is_memory_bound_on(10.0, baseline_bw=4.0)
+        assert not comp.is_memory_bound_on(10.0, baseline_bw=4.0)

@@ -1,0 +1,167 @@
+"""Golden tests: the worked examples reproduce Tables I and II row by row."""
+
+import pytest
+
+from repro.core.spec import AppSpec, Placement
+from repro.core.worked import worked_example
+from repro.errors import ModelError
+from repro.machine import model_machine
+
+
+@pytest.fixture
+def table1():
+    return worked_example(
+        model_machine(),
+        [
+            (AppSpec.memory_bound("memory-bound", 0.5), 3, 1),
+            (AppSpec.compute_bound("compute-bound", 10.0), 1, 5),
+        ],
+    )
+
+
+@pytest.fixture
+def table2():
+    return worked_example(
+        model_machine(),
+        [
+            (AppSpec.memory_bound("memory-bound", 0.5), 3, 2),
+            (AppSpec.compute_bound("compute-bound", 10.0), 1, 2),
+        ],
+    )
+
+
+class TestTable1:
+    """Every row of Table I."""
+
+    def test_peak_bandwidth_per_thread(self, table1):
+        mem, comp = table1.columns
+        assert mem.peak_bw_per_thread == pytest.approx(20.0)
+        assert comp.peak_bw_per_thread == pytest.approx(1.0)
+
+    def test_peak_bandwidth_per_instance(self, table1):
+        mem, comp = table1.columns
+        assert mem.peak_bw_per_instance == pytest.approx(20.0)
+        assert comp.peak_bw_per_instance == pytest.approx(5.0)
+
+    def test_total_bandwidth_of_all_instances(self, table1):
+        mem, comp = table1.columns
+        assert mem.total_bw_all_instances == pytest.approx(60.0)
+        assert comp.total_bw_all_instances == pytest.approx(5.0)
+
+    def test_total_required_bandwidth(self, table1):
+        assert table1.total_required_bandwidth == pytest.approx(65.0)
+
+    def test_baseline(self, table1):
+        assert table1.baseline_per_thread == pytest.approx(4.0)
+
+    def test_allocated_baseline(self, table1):
+        mem, comp = table1.columns
+        assert mem.allocated_baseline_per_thread == pytest.approx(4.0)
+        assert comp.allocated_baseline_per_thread == pytest.approx(1.0)
+
+    def test_allocated_node_bandwidth(self, table1):
+        assert table1.allocated_node_bandwidth == pytest.approx(17.0)
+
+    def test_remaining_node_bandwidth(self, table1):
+        assert table1.remaining_node_bandwidth == pytest.approx(15.0)
+
+    def test_still_required(self, table1):
+        mem, comp = table1.columns
+        assert mem.still_required_per_thread == pytest.approx(16.0)
+        assert comp.still_required_per_thread == pytest.approx(0.0)
+        assert table1.still_required_bandwidth == pytest.approx(48.0)
+
+    def test_remainder_given_to_a_thread(self, table1):
+        mem, comp = table1.columns
+        assert mem.remainder_per_thread == pytest.approx(5.0)
+        assert comp.remainder_per_thread == pytest.approx(0.0)
+
+    def test_total_allocated_per_thread(self, table1):
+        mem, comp = table1.columns
+        assert mem.total_per_thread == pytest.approx(9.0)
+        assert comp.total_per_thread == pytest.approx(1.0)
+
+    def test_gflops_per_thread(self, table1):
+        mem, comp = table1.columns
+        assert mem.gflops_per_thread == pytest.approx(4.5)
+        assert comp.gflops_per_thread == pytest.approx(10.0)
+
+    def test_gflops_per_application(self, table1):
+        mem, comp = table1.columns
+        assert mem.gflops_per_application == pytest.approx(4.5)
+        assert comp.gflops_per_application == pytest.approx(50.0)
+
+    def test_totals(self, table1):
+        assert table1.total_gflops_per_node == pytest.approx(63.5)
+        assert table1.total_gflops == pytest.approx(254.0)
+
+    def test_render_contains_totals(self, table1):
+        text = table1.render()
+        assert "254" in text
+        assert "63.5" in text
+
+
+class TestTable2:
+    """The distinguishing rows of Table II."""
+
+    def test_total_required_bandwidth(self, table2):
+        assert table2.total_required_bandwidth == pytest.approx(122.0)
+
+    def test_allocated_node_bandwidth(self, table2):
+        assert table2.allocated_node_bandwidth == pytest.approx(26.0)
+
+    def test_remaining(self, table2):
+        assert table2.remaining_node_bandwidth == pytest.approx(6.0)
+
+    def test_still_required(self, table2):
+        assert table2.still_required_bandwidth == pytest.approx(96.0)
+
+    def test_remainder_per_thread(self, table2):
+        mem, comp = table2.columns
+        assert mem.remainder_per_thread == pytest.approx(1.0)
+
+    def test_per_thread_allocation(self, table2):
+        mem, comp = table2.columns
+        assert mem.total_per_thread == pytest.approx(5.0)
+        assert mem.gflops_per_thread == pytest.approx(2.5)
+
+    def test_gflops_per_application(self, table2):
+        mem, comp = table2.columns
+        assert mem.gflops_per_application == pytest.approx(5.0)
+        assert comp.gflops_per_application == pytest.approx(20.0)
+
+    def test_totals(self, table2):
+        assert table2.total_gflops_per_node == pytest.approx(35.0)
+        assert table2.total_gflops == pytest.approx(140.0)
+
+
+class TestValidation:
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ModelError):
+            worked_example(
+                model_machine(),
+                [(AppSpec.memory_bound("m", 0.5), 3, 3)],
+            )
+
+    def test_rejects_numa_bad_apps(self):
+        with pytest.raises(ModelError):
+            worked_example(
+                model_machine(),
+                [(AppSpec.numa_bad("b", 1.0, home_node=0), 1, 2)],
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            worked_example(model_machine(), [])
+
+    def test_cross_check_against_model_runs(self):
+        # cross_check=True is the default; reaching here means the two
+        # implementations agreed.
+        result = worked_example(
+            model_machine(),
+            [
+                (AppSpec.memory_bound("m", 0.25), 2, 3),
+                (AppSpec.compute_bound("c", 20.0), 1, 2),
+            ],
+        )
+        assert result.total_gflops > 0

@@ -1,0 +1,137 @@
+"""Tests for the MPI-flavoured network model and BSP programs."""
+
+import pytest
+
+from repro.distributed.messaging import (
+    BspProgram,
+    NetworkModel,
+    SyncKind,
+)
+from repro.distributed.rates import PeriodicRate, RatePhase
+from repro.errors import DistributedError
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        net = NetworkModel(latency=1e-6, bandwidth=10.0)
+        # 1 GB over 10 GB/s = 0.1 s plus latency
+        assert net.transfer_time(1e9) == pytest.approx(0.1, rel=0.01)
+
+    def test_barrier_scaling(self):
+        net = NetworkModel()
+        assert net.barrier_time(1) == 0.0
+        assert net.barrier_time(8) == pytest.approx(
+            3 * net.transfer_time(8)
+        )
+        assert net.barrier_time(9) == pytest.approx(
+            4 * net.transfer_time(8)
+        )
+
+    def test_allreduce_scaling(self):
+        net = NetworkModel()
+        one = net.allreduce_time(1e6, 2)
+        assert net.allreduce_time(1e6, 4) == pytest.approx(2 * one)
+
+    def test_validation(self):
+        with pytest.raises(DistributedError):
+            NetworkModel(latency=-1)
+        with pytest.raises(DistributedError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(DistributedError):
+            NetworkModel().transfer_time(-1)
+        with pytest.raises(DistributedError):
+            NetworkModel().barrier_time(0)
+
+
+class TestBspProgram:
+    def test_homogeneous_ranks_no_wait(self):
+        prog = BspProgram(
+            iterations=5, work_per_rank=10.0, sync=SyncKind.GLOBAL,
+            message_bytes=0.0,
+        )
+        res = prog.run([PeriodicRate.constant(10.0)] * 4)
+        assert res.makespan == pytest.approx(5.0, rel=0.01)
+        assert res.mean_wait_fraction < 0.01
+
+    def test_global_sync_waits_for_slowest(self):
+        prog = BspProgram(
+            iterations=4, work_per_rank=10.0, sync=SyncKind.GLOBAL,
+            message_bytes=0.0,
+        )
+        res = prog.run(
+            [PeriodicRate.constant(10.0), PeriodicRate.constant(5.0)]
+        )
+        assert res.makespan == pytest.approx(8.0, rel=0.01)
+        # fast rank waits half of every iteration
+        assert res.wait_time[0] == pytest.approx(4.0, rel=0.05)
+
+    def test_none_sync_ranks_independent(self):
+        prog = BspProgram(
+            iterations=4, work_per_rank=10.0, sync=SyncKind.NONE
+        )
+        res = prog.run(
+            [PeriodicRate.constant(10.0), PeriodicRate.constant(5.0)]
+        )
+        assert res.makespan == pytest.approx(8.0, rel=0.01)
+        assert sum(res.wait_time) == pytest.approx(0.0)
+
+    def test_neighbor_sync_localises_skew(self):
+        # One slow rank in a chain of fast ones: with NEIGHBOR sync only
+        # adjacent ranks wait each iteration, so total wait is smaller
+        # than under GLOBAL sync.
+        fast = PeriodicRate.constant(10.0)
+        slow = PeriodicRate.constant(5.0)
+        ranks = [fast, fast, fast, slow, fast, fast, fast]
+
+        def total_wait(sync):
+            prog = BspProgram(
+                iterations=3,
+                work_per_rank=10.0,
+                sync=sync,
+                message_bytes=0.0,
+            )
+            return sum(prog.run(ranks).wait_time)
+
+        assert total_wait(SyncKind.NEIGHBOR) < total_wait(SyncKind.GLOBAL)
+
+    def test_bursty_corunner_hurts_global_most(self):
+        # The Section V story with communication included: a staggered
+        # bursty co-runner costs much more under global sync.
+        phases = [RatePhase(0.5, 5.0), RatePhase(0.5, 10.0)]
+        ranks = [
+            PeriodicRate(phases, offset=r * 0.125) for r in range(8)
+        ]
+
+        def makespan(sync):
+            return BspProgram(
+                iterations=10,
+                work_per_rank=5.0,
+                sync=sync,
+                message_bytes=0.0,
+            ).run(ranks).makespan
+
+        loose = makespan(SyncKind.NONE)
+        neigh = makespan(SyncKind.NEIGHBOR)
+        tight = makespan(SyncKind.GLOBAL)
+        assert loose <= neigh <= tight
+
+    def test_comm_time_accounted(self):
+        prog = BspProgram(
+            iterations=2,
+            work_per_rank=1.0,
+            sync=SyncKind.GLOBAL,
+            message_bytes=1e9,
+            network=NetworkModel(bandwidth=10.0),
+        )
+        res = prog.run([PeriodicRate.constant(10.0)] * 2)
+        # each allreduce: 1 round x 0.1 s, twice
+        assert res.comm_time == pytest.approx(0.2, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(DistributedError):
+            BspProgram(iterations=0, work_per_rank=1.0)
+        with pytest.raises(DistributedError):
+            BspProgram(iterations=1, work_per_rank=0.0)
+        prog = BspProgram(iterations=1, work_per_rank=1.0)
+        with pytest.raises(DistributedError):
+            prog.run([])

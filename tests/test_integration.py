@@ -1,0 +1,172 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.agent import (
+    Agent,
+    ModelGuidedStrategy,
+    OcrVxEndpoint,
+    ProducerConsumerAlignment,
+)
+from repro.apps import ProducerConsumerScenario, SyntheticApp
+from repro.core import AppSpec, NumaPerformanceModel, ThreadAllocation
+from repro.machine import model_machine, skylake_4s
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+class TestModelVsSimulator:
+    """The executor's steady state must track the analytic model."""
+
+    @pytest.mark.parametrize(
+        "threads,expected",
+        [
+            ([1, 1, 1, 1], None),  # uncontended
+            ([8, 8, 8, 8], None),  # saturated
+        ],
+    )
+    def test_memory_bound_agreement(self, threads, expected):
+        machine = model_machine()
+        spec = AppSpec.memory_bound("m", 0.5)
+        alloc = ThreadAllocation.from_mapping({"m": threads})
+        analytic = (
+            NumaPerformanceModel()
+            .predict(machine, [spec], alloc)
+            .total_gflops
+        )
+        ex = ExecutionSimulator(machine)
+        rt = OCRVxRuntime("m", ex)
+        rt.start(threads)
+        app = SyntheticApp(rt, spec, task_flops=0.05)
+        app.submit_stream(10**9)
+        ex.run(0.3)
+        measured = ex.total_gflops(0.3)
+        assert measured == pytest.approx(analytic, rel=0.02)
+
+    def test_mixed_workload_agreement(self):
+        machine = model_machine()
+        specs = [
+            AppSpec.memory_bound("m", 0.5),
+            AppSpec.compute_bound("c", 10.0),
+        ]
+        alloc = ThreadAllocation.uniform(["m", "c"], 4, [3, 5])
+        analytic = (
+            NumaPerformanceModel()
+            .predict(machine, specs, alloc)
+            .total_gflops
+        )
+        ex = ExecutionSimulator(machine)
+        for spec in specs:
+            rt = OCRVxRuntime(spec.name, ex)
+            rt.start([int(x) for x in alloc.threads_of(spec.name)])
+            SyntheticApp(rt, spec, task_flops=0.05).submit_stream(10**9)
+        ex.run(0.3)
+        assert ex.total_gflops(0.3) == pytest.approx(analytic, rel=0.02)
+
+    def test_numa_bad_agreement_on_skylake(self):
+        machine = skylake_4s()
+        spec = AppSpec.numa_bad("b", 1 / 16, home_node=0)
+        alloc = ThreadAllocation.uniform(["b"], 4, 5)
+        analytic = (
+            NumaPerformanceModel()
+            .predict(machine, [spec], alloc)
+            .total_gflops
+        )
+        ex = ExecutionSimulator(machine)
+        rt = OCRVxRuntime("b", ex)
+        rt.start([5, 5, 5, 5])
+        SyntheticApp(rt, spec, task_flops=0.005).submit_stream(10**9)
+        ex.run(0.3)
+        assert ex.total_gflops(0.3) == pytest.approx(analytic, rel=0.03)
+
+
+class TestAgentEndToEnd:
+    def test_alignment_reduces_intermediate_data(self):
+        def run(with_agent):
+            machine = model_machine()
+            ex = ExecutionSimulator(machine)
+            prod = OCRVxRuntime("producer", ex)
+            cons = OCRVxRuntime("consumer", ex)
+            prod.start()
+            cons.start()
+            sc = ProducerConsumerScenario(
+                ex,
+                prod,
+                cons,
+                iterations=30,
+                tasks_per_iteration=8,
+                producer_flops=0.004,
+                consumer_flops=0.012,
+            )
+            sc.build()
+            if with_agent:
+                agent = Agent(
+                    ex,
+                    ProducerConsumerAlignment(
+                        "producer", "consumer", max_lead=3, min_lead=1
+                    ),
+                    period=0.005,
+                )
+                agent.register(OcrVxEndpoint(prod))
+                agent.register(OcrVxEndpoint(cons))
+                agent.start()
+            end = ex.run_until_condition(
+                lambda: sc.finished, max_time=300.0
+            )
+            return end, sc.max_intermediate_items()
+
+        t_plain, peak_plain = run(False)
+        t_agent, peak_agent = run(True)
+        # The paper's [10] finding: clear storage benefit...
+        assert peak_agent < peak_plain / 1.5
+        # ...with only marginal wall-clock impact either way.
+        assert abs(t_agent - t_plain) / t_plain < 0.25
+
+    def test_model_guided_agent_improves_throughput(self):
+        machine = model_machine()
+        specs = [
+            AppSpec.memory_bound("mem", 0.5),
+            AppSpec.compute_bound("comp", 10.0),
+        ]
+
+        def run(with_agent):
+            ex = ExecutionSimulator(machine)
+            runtimes = {}
+            for spec in specs:
+                # paper setup: every app starts with one worker per core
+                rt = OCRVxRuntime(spec.name, ex)
+                rt.start()
+                if not with_agent:
+                    rt.set_allocation([4, 4, 4, 4])  # static fair share
+                SyntheticApp(rt, spec, task_flops=0.02).submit_stream(
+                    10**9
+                )
+                runtimes[spec.name] = rt
+            if with_agent:
+                agent = Agent(
+                    ex, ModelGuidedStrategy(specs), period=0.005
+                )
+                for rt in runtimes.values():
+                    agent.register(OcrVxEndpoint(rt))
+                agent.start()
+            ex.run(0.3)
+            return ex.total_gflops(0.3)
+
+        plain = run(False)
+        guided = run(True)
+        assert guided > plain * 1.2
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def run():
+            machine = model_machine()
+            ex = ExecutionSimulator(machine)
+            rt = OCRVxRuntime("a", ex, seed=5)
+            rt.start([2, 2, 2, 2])
+            app = SyntheticApp(rt, AppSpec.memory_bound("a", 0.5))
+            app.submit_stream(200)
+            end = ex.run_until_idle()
+            return end, ex.metrics.integrator("flops/a").total
+
+        assert run() == run()

@@ -1,0 +1,97 @@
+"""Tests for the textual topology parser."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import (
+    format_topology,
+    model_machine,
+    parse_topology,
+    skylake_4s,
+)
+
+EXAMPLE = """
+# a two-socket box
+machine twosock
+node 0: cores=4 gflops=2.5 bandwidth=50
+node 1: cores=4 gflops=2.5 bandwidth=50
+link 0 1: 12
+link 1 0: 12
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        m = parse_topology(EXAMPLE)
+        assert m.name == "twosock"
+        assert m.num_nodes == 2
+        assert m.total_cores == 8
+        assert m.nodes[0].cores[0].peak_gflops == 2.5
+        assert m.bandwidth(0, 1) == 12.0
+
+    def test_comments_and_blank_lines_ignored(self):
+        m = parse_topology(
+            "node 0: cores=1 gflops=1 bandwidth=5\n\n# comment\n"
+        )
+        assert m.num_nodes == 1
+
+    def test_missing_links_default_to_min_local(self):
+        m = parse_topology(
+            "node 0: cores=1 gflops=1 bandwidth=30\n"
+            "node 1: cores=1 gflops=1 bandwidth=10\n"
+        )
+        assert m.bandwidth(0, 1) == 10.0
+
+    def test_asymmetric_links(self):
+        m = parse_topology(
+            "node 0: cores=1 gflops=1 bandwidth=30\n"
+            "node 1: cores=1 gflops=1 bandwidth=30\n"
+            "link 0 1: 5\n"
+            "link 1 0: 7\n"
+        )
+        assert m.bandwidth(0, 1) == 5.0
+        assert m.bandwidth(1, 0) == 7.0
+
+    def test_syntax_error(self):
+        with pytest.raises(TopologyError):
+            parse_topology("nodde 0: cores=1\n")
+
+    def test_duplicate_node(self):
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "node 0: cores=1 gflops=1 bandwidth=5\n"
+                "node 0: cores=1 gflops=1 bandwidth=5\n"
+            )
+
+    def test_non_dense_ids(self):
+        with pytest.raises(TopologyError):
+            parse_topology("node 1: cores=1 gflops=1 bandwidth=5\n")
+
+    def test_link_to_unknown_node(self):
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "node 0: cores=1 gflops=1 bandwidth=5\nlink 0 3: 1\n"
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "node 0: cores=1 gflops=1 bandwidth=5\nlink 0 0: 1\n"
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_topology("# nothing\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [model_machine, skylake_4s], ids=["model", "skylake"]
+    )
+    def test_format_parse_round_trip(self, factory):
+        m = factory()
+        again = parse_topology(format_topology(m))
+        assert again.name == m.name
+        assert again.cores_per_node == m.cores_per_node
+        assert (again.link_bandwidth == m.link_bandwidth).all()
+        assert again.peak_gflops == pytest.approx(m.peak_gflops)

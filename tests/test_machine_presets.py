@@ -1,0 +1,73 @@
+"""Unit tests for the paper machine presets."""
+
+import pytest
+
+from repro.machine import (
+    knl_flat,
+    knl_snc4,
+    model_machine,
+    numa_bad_example_machine,
+    skylake_4s,
+    uma_machine,
+)
+
+
+class TestModelMachine:
+    def test_shape(self):
+        m = model_machine()
+        assert m.num_nodes == 4
+        assert m.cores_per_node == (8, 8, 8, 8)
+        assert m.nodes[0].cores[0].peak_gflops == 10.0
+
+    def test_bandwidths_follow_table_arithmetic_not_caption(self):
+        # Tables I/II compute with 32 GB/s (baseline 32/8 = 4), despite
+        # their captions saying 40 GB/s.
+        m = model_machine()
+        assert m.nodes[0].local_bandwidth == 32.0
+
+    def test_machine_peak(self):
+        assert model_machine().peak_gflops == 320.0
+
+
+class TestNumaBadExampleMachine:
+    def test_recovered_bandwidths(self):
+        m = numa_bad_example_machine()
+        assert m.nodes[0].local_bandwidth == 60.0
+        assert m.bandwidth(0, 1) == 10.0
+
+
+class TestSkylake:
+    def test_shape_matches_paper(self):
+        m = skylake_4s()
+        assert m.num_nodes == 4
+        assert m.cores_per_node == (20,) * 4
+        # "0.29 peak GFLOPS per thread", "100GB/s memory bandwidth"
+        assert m.nodes[0].cores[0].peak_gflops == pytest.approx(0.29)
+        assert m.nodes[0].local_bandwidth == pytest.approx(100.0)
+        assert m.bandwidth(1, 0) == pytest.approx(10.0)
+
+    def test_total_cores(self):
+        assert skylake_4s().total_cores == 80
+
+
+class TestOtherPresets:
+    def test_knl_flat_is_single_node(self):
+        m = knl_flat()
+        assert m.num_nodes == 1
+        assert m.total_cores == 64
+
+    def test_knl_snc4_is_four_clusters(self):
+        m = knl_snc4()
+        assert m.num_nodes == 4
+        assert m.total_cores == 64
+
+    def test_knl_modes_have_equal_compute(self):
+        assert knl_flat().peak_gflops == pytest.approx(
+            knl_snc4().peak_gflops
+        )
+
+    def test_uma_machine_parameters(self):
+        m = uma_machine(cores=4, peak_gflops_per_core=2.0, bandwidth=16.0)
+        assert m.num_nodes == 1
+        assert m.total_cores == 4
+        assert m.nodes[0].local_bandwidth == 16.0

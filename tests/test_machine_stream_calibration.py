@@ -1,0 +1,117 @@
+"""Tests for STREAM measurement and machine calibration (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.spec import AppSpec
+from repro.errors import CalibrationError
+from repro.machine import (
+    LeastSquaresCalibrator,
+    Scenario,
+    calibrate_from_even_run,
+    measure_link_matrix,
+    measure_pair_bandwidth,
+    model_machine,
+    skylake_4s,
+)
+
+
+class TestStream:
+    def test_local_bandwidth_recovered(self):
+        m = model_machine()
+        bw = measure_pair_bandwidth(m, 0, 0, duration=0.1)
+        assert bw == pytest.approx(32.0, rel=0.03)
+
+    def test_remote_bandwidth_recovered(self):
+        m = model_machine()
+        bw = measure_pair_bandwidth(m, 1, 0, duration=0.1)
+        assert bw == pytest.approx(10.0, rel=0.03)
+
+    def test_link_matrix_shape_and_symmetry(self):
+        m = model_machine()
+        links = measure_link_matrix(m, duration=0.05)
+        assert links.shape == (4, 4)
+        diag = np.diag(links)
+        assert np.allclose(diag, 32.0, rtol=0.05)
+        off = links[~np.eye(4, dtype=bool)]
+        assert np.allclose(off, 10.0, rtol=0.05)
+
+    def test_validation(self):
+        m = model_machine()
+        with pytest.raises(CalibrationError):
+            measure_pair_bandwidth(m, 0, 0, duration=0.0)
+        with pytest.raises(CalibrationError):
+            measure_pair_bandwidth(m, 0, 0, threads=99)
+
+
+class TestClosedFormCalibration:
+    def test_recovers_paper_parameters(self):
+        # Feed the paper's own Table III even-scenario numbers back in:
+        # per node, comp: 5 threads * 0.29 = 1.45 GFLOPS; each of the
+        # three memory-bound apps achieves 1.0266 GFLOPS per node (5
+        # threads at 6.57 GB/s, AI=1/32).
+        est = calibrate_from_even_run(
+            compute_app_gflops_per_node=1.45,
+            compute_app_threads_per_node=5,
+            per_app_gflops_per_node=[1.0266] * 3 + [1.45],
+            per_app_ai=[1 / 32] * 3 + [1.0],
+        )
+        assert est.peak_gflops_per_thread == pytest.approx(0.29)
+        assert est.node_bandwidth == pytest.approx(100.0, rel=0.01)
+
+    def test_to_machine(self):
+        est = calibrate_from_even_run(
+            compute_app_gflops_per_node=1.45,
+            compute_app_threads_per_node=5,
+            per_app_gflops_per_node=[1.0266] * 3 + [1.45],
+            per_app_ai=[1 / 32] * 3 + [1.0],
+        )
+        m = est.to_machine(num_nodes=4, cores_per_node=20)
+        assert m.num_nodes == 4
+        assert m.nodes[0].cores[0].peak_gflops == pytest.approx(0.29)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            calibrate_from_even_run(
+                compute_app_gflops_per_node=0.0,
+                compute_app_threads_per_node=5,
+                per_app_gflops_per_node=[1.0],
+                per_app_ai=[1.0],
+            )
+        with pytest.raises(CalibrationError):
+            calibrate_from_even_run(
+                compute_app_gflops_per_node=1.0,
+                compute_app_threads_per_node=1,
+                per_app_gflops_per_node=[1.0, 2.0],
+                per_app_ai=[1.0],
+            )
+
+
+class TestLeastSquares:
+    def test_fits_table3_scenarios(self):
+        from repro.analysis import table3_scenarios
+        from repro.core.model import NumaPerformanceModel
+
+        sky = skylake_4s()
+        model = NumaPerformanceModel()
+        scenarios = []
+        for name, apps, alloc, _, _ in table3_scenarios():
+            measured = model.predict(sky, apps, alloc).total_gflops
+            scenarios.append(
+                Scenario(
+                    apps=tuple(apps),
+                    allocation=alloc,
+                    measured_total_gflops=measured,
+                )
+            )
+        cal = LeastSquaresCalibrator(num_nodes=4, cores_per_node=20)
+        est = cal.fit(scenarios)
+        assert est.peak_gflops_per_thread == pytest.approx(0.29, rel=0.05)
+        assert est.node_bandwidth == pytest.approx(100.0, rel=0.05)
+        assert est.link_bandwidth == pytest.approx(10.0, rel=0.15)
+
+    def test_needs_three_scenarios(self):
+        cal = LeastSquaresCalibrator(num_nodes=2, cores_per_node=2)
+        with pytest.raises(CalibrationError):
+            cal.fit([])

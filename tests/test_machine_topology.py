@@ -1,0 +1,175 @@
+"""Unit tests for repro.machine.topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.topology import Core, MachineTopology, NumaNode
+
+
+def _node(node_id: int, cores: int = 2, bw: float = 10.0, gid0: int = 0):
+    return NumaNode(
+        node_id=node_id,
+        cores=tuple(
+            Core(global_id=gid0 + i, node_id=node_id, local_id=i, peak_gflops=5.0)
+            for i in range(cores)
+        ),
+        local_bandwidth=bw,
+    )
+
+
+class TestCore:
+    def test_valid(self):
+        c = Core(global_id=3, node_id=1, local_id=0, peak_gflops=2.5)
+        assert c.peak_gflops == 2.5
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(TopologyError):
+            Core(global_id=-1, node_id=0, local_id=0, peak_gflops=1.0)
+
+    def test_zero_gflops_rejected(self):
+        with pytest.raises(TopologyError):
+            Core(global_id=0, node_id=0, local_id=0, peak_gflops=0.0)
+
+
+class TestNumaNode:
+    def test_properties(self):
+        n = _node(0, cores=4)
+        assert n.num_cores == 4
+        assert n.peak_gflops == 20.0
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, cores=(), local_bandwidth=10.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            _node(0, bw=0.0)
+
+    def test_core_node_mismatch_rejected(self):
+        bad = Core(global_id=0, node_id=5, local_id=0, peak_gflops=1.0)
+        with pytest.raises(TopologyError):
+            NumaNode(node_id=0, cores=(bad,), local_bandwidth=1.0)
+
+
+class TestMachineTopology:
+    def test_homogeneous_builder(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=3,
+            cores_per_node=4,
+            peak_gflops_per_core=2.0,
+            local_bandwidth=20.0,
+            remote_bandwidth=5.0,
+        )
+        assert m.num_nodes == 3
+        assert m.total_cores == 12
+        assert m.peak_gflops == 24.0
+        assert m.bandwidth(0, 0) == 20.0
+        assert m.bandwidth(0, 1) == 5.0
+        assert m.is_symmetric
+
+    def test_default_remote_is_local(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=2,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=8.0,
+        )
+        assert m.bandwidth(0, 1) == 8.0
+
+    def test_core_ids_dense_and_ordered(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=3,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=8.0,
+        )
+        assert [c.global_id for c in m.cores] == list(range(6))
+        assert m.core(4).node_id == 1
+        assert m.node_of_core(5).node_id == 1
+
+    def test_link_matrix_shape_checked(self):
+        with pytest.raises(TopologyError):
+            MachineTopology(
+                nodes=(_node(0),),
+                link_bandwidth=np.ones((2, 2)),
+            )
+
+    def test_diagonal_must_match_local_bandwidth(self):
+        with pytest.raises(TopologyError):
+            MachineTopology(
+                nodes=(_node(0, bw=10.0),),
+                link_bandwidth=np.array([[99.0]]),
+            )
+
+    def test_node_order_enforced(self):
+        n0 = _node(1)  # wrong id in position 0
+        with pytest.raises(TopologyError):
+            MachineTopology(nodes=(n0,), link_bandwidth=np.array([[10.0]]))
+
+    def test_out_of_range_lookups(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=1,
+            cores_per_node=1,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=1.0,
+        )
+        with pytest.raises(TopologyError):
+            m.node(3)
+        with pytest.raises(TopologyError):
+            m.core(7)
+
+    def test_ridge_ai(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=1,
+            cores_per_node=8,
+            peak_gflops_per_core=10.0,
+            local_bandwidth=32.0,
+        )
+        assert m.ridge_ai(0) == pytest.approx(80.0 / 32.0)
+
+    def test_scaled_bandwidth(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=2,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=10.0,
+            remote_bandwidth=2.0,
+        )
+        m2 = m.scaled_bandwidth(2.0)
+        assert m2.bandwidth(0, 0) == 20.0
+        assert m2.bandwidth(0, 1) == 4.0
+        with pytest.raises(TopologyError):
+            m.scaled_bandwidth(0.0)
+
+    def test_describe_mentions_nodes(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=2,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=10.0,
+            remote_bandwidth=3.0,
+            name="testbox",
+        )
+        text = m.describe()
+        assert "testbox" in text
+        assert "node 1" in text
+
+    def test_link_matrix_immutable(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=2,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=10.0,
+        )
+        with pytest.raises(ValueError):
+            m.link_bandwidth[0, 1] = 99.0
+
+    def test_with_name(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=1,
+            cores_per_node=1,
+            peak_gflops_per_core=1.0,
+            local_bandwidth=1.0,
+        )
+        assert m.with_name("other").name == "other"

@@ -1,0 +1,89 @@
+"""Golden tests pinning every number the paper publishes.
+
+If any of these fail, the reproduction no longer reproduces the paper:
+
+* Table I: uneven allocation -> 63.5 GFLOPS/node, 254 total.
+* Table II: even allocation -> 35 GFLOPS/node, 140 total.
+* Figure 2 c): node-exclusive -> 128 total.
+* Figure 3 example: even 138 (exactly 138.75 under the recovered
+  machine), node-exclusive 150.
+* Table III model column: 23.20 / 18.12 / 15.18 / 13.98 / 15.18.
+"""
+
+import pytest
+
+from repro.analysis import (
+    run_fig2,
+    run_fig3,
+    run_table1,
+    run_table2,
+    run_table3_model,
+)
+
+
+class TestTablesIandII:
+    def test_table1_total(self):
+        assert run_table1().total_gflops == pytest.approx(254.0)
+
+    def test_table2_total(self):
+        assert run_table2().total_gflops == pytest.approx(140.0)
+
+
+class TestFig2:
+    def test_all_three_scenarios(self):
+        results = {r.name: r for r in run_fig2()}
+        assert results["a) uneven (1,1,1,5)"].gflops == pytest.approx(254.0)
+        assert results["b) even (2,2,2,2)"].gflops == pytest.approx(140.0)
+        assert results["c) node-exclusive"].gflops == pytest.approx(128.0)
+
+    def test_ordering_matches_paper(self):
+        g = [r.gflops for r in run_fig2()]
+        # uneven > even > exclusive for the all-NUMA-perfect workload
+        assert g[0] > g[1] > g[2]
+
+
+class TestFig3:
+    def test_values(self):
+        results = {r.name.split(" ")[0]: r for r in run_fig3()}
+        assert results["even"].gflops == pytest.approx(138.75)
+        assert results["node-exclusive"].gflops == pytest.approx(150.0)
+
+    def test_ordering_flips_with_numa_bad_app(self):
+        even, exclusive = run_fig3()
+        # Opposite of Fig 2: exclusive wins once a NUMA-bad app exists.
+        assert exclusive.gflops > even.gflops
+
+    def test_within_one_percent_of_paper(self):
+        for r in run_fig3():
+            assert abs(r.relative_error) < 0.01
+
+
+class TestTable3Model:
+    EXPECTED = {
+        "uneven (1,1,1,17)": 23.20,
+        "even (5,5,5,5)": 18.12,
+        "node-exclusive": 15.18,
+        "NUMA-bad cross-node (even)": 13.98,
+        "NUMA-bad on-node (exclusive)": 15.18,
+    }
+
+    def test_model_column_to_printed_precision(self):
+        for row in run_table3_model():
+            assert row.our_model == pytest.approx(
+                self.EXPECTED[row.name], abs=0.005
+            ), row.name
+
+    def test_paper_reference_values_recorded(self):
+        rows = {r.name: r for r in run_table3_model()}
+        assert rows["even (5,5,5,5)"].paper_real == pytest.approx(18.14)
+        assert rows["NUMA-bad cross-node (even)"].paper_real == pytest.approx(
+            13.25
+        )
+
+    def test_scenario_ordering(self):
+        rows = [r.our_model for r in run_table3_model()]
+        # uneven > even > exclusive; cross-node is the worst overall.
+        assert rows[0] > rows[1] > rows[2]
+        assert rows[3] == min(rows)
+        # on-node NUMA-bad recovers to the exclusive level
+        assert rows[4] == pytest.approx(rows[2], abs=0.005)

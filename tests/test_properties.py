@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.bwshare import RemainderRule, share_node_bandwidth
+from repro.core.model import NumaPerformanceModel
+from repro.core.roofline import Roofline
+from repro.core.spec import AppSpec, Placement
+from repro.distributed.rates import PeriodicRate, RatePhase
+from repro.machine import MachineTopology
+from repro.sim.engine import Simulator
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+demands_st = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    min_size=0,
+    max_size=16,
+)
+capacity_st = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+rule_st = st.sampled_from(list(RemainderRule))
+
+
+@st.composite
+def machines(draw):
+    nodes = draw(st.integers(min_value=1, max_value=4))
+    cores = draw(st.integers(min_value=1, max_value=8))
+    peak = draw(st.floats(min_value=0.1, max_value=100.0))
+    local = draw(st.floats(min_value=1.0, max_value=500.0))
+    remote = draw(st.floats(min_value=0.5, max_value=500.0))
+    return MachineTopology.homogeneous(
+        num_nodes=nodes,
+        cores_per_node=cores,
+        peak_gflops_per_core=peak,
+        local_bandwidth=local,
+        remote_bandwidth=min(remote, local),
+    )
+
+
+@st.composite
+def workloads(draw, machine):
+    n_apps = draw(st.integers(min_value=1, max_value=4))
+    apps = []
+    counts = np.zeros((n_apps, machine.num_nodes), dtype=np.int64)
+    free = np.array([n.num_cores for n in machine.nodes])
+    for a in range(n_apps):
+        ai = draw(st.floats(min_value=0.01, max_value=100.0))
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 1:
+            home = draw(
+                st.integers(min_value=0, max_value=machine.num_nodes - 1)
+            )
+            apps.append(AppSpec.numa_bad(f"a{a}", ai, home_node=home))
+        elif kind == 2:
+            apps.append(
+                AppSpec(f"a{a}", ai, placement=Placement.INTERLEAVED)
+            )
+        else:
+            apps.append(AppSpec(f"a{a}", ai))
+        for n in range(machine.num_nodes):
+            take = draw(st.integers(min_value=0, max_value=int(free[n])))
+            counts[a, n] = take
+            free[n] -= take
+    alloc = ThreadAllocation(
+        app_names=tuple(f"a{a}" for a in range(n_apps)), counts=counts
+    )
+    return apps, alloc
+
+
+# ----------------------------------------------------------------------
+# Bandwidth sharing invariants (assumptions 4/5)
+# ----------------------------------------------------------------------
+class TestBwShareProperties:
+    @given(capacity_st, st.integers(1, 16), demands_st, rule_st)
+    @settings(max_examples=200)
+    def test_grants_bounded_by_demand_and_capacity(
+        self, capacity, cores, demands, rule
+    ):
+        assume(len(demands) <= cores)
+        share = share_node_bandwidth(
+            capacity, cores, demands, rule=rule
+        )
+        assert np.all(share.allocated >= -1e-9)
+        assert np.all(share.allocated <= np.asarray(demands) + 1e-9)
+        assert share.consumed <= capacity + 1e-6
+
+    @given(capacity_st, st.integers(1, 16), demands_st, rule_st)
+    @settings(max_examples=200)
+    def test_work_conserving(self, capacity, cores, demands, rule):
+        """Either every demand is met or the capacity is exhausted."""
+        assume(len(demands) <= cores)
+        share = share_node_bandwidth(
+            capacity, cores, demands, rule=rule
+        )
+        total_demand = float(np.sum(demands))
+        if total_demand >= capacity:
+            assert share.consumed == pytest.approx(
+                capacity, abs=max(1e-6, capacity * 1e-9)
+            )
+        else:
+            assert share.consumed == pytest.approx(
+                total_demand, abs=1e-6
+            )
+
+    @given(st.integers(1, 16), demands_st, rule_st)
+    @settings(max_examples=100)
+    def test_more_capacity_never_hurts_anyone(
+        self, cores, demands, rule
+    ):
+        assume(len(demands) <= cores)
+        lo = share_node_bandwidth(50.0, cores, demands, rule=rule)
+        hi = share_node_bandwidth(80.0, cores, demands, rule=rule)
+        assert np.all(hi.allocated >= lo.allocated - 1e-6)
+
+    @given(capacity_st, st.integers(1, 16), demands_st)
+    @settings(max_examples=100)
+    def test_baseline_guarantee(self, capacity, cores, demands):
+        """Every thread gets at least min(demand, baseline)."""
+        assume(len(demands) <= cores)
+        share = share_node_bandwidth(capacity, cores, demands)
+        floor = np.minimum(np.asarray(demands), share.baseline)
+        assert np.all(share.allocated >= floor - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Full model invariants
+# ----------------------------------------------------------------------
+class TestModelProperties:
+    @given(machines().flatmap(lambda m: st.tuples(st.just(m), workloads(m))))
+    @settings(max_examples=100, deadline=None)
+    def test_physicality(self, mw):
+        machine, (apps, alloc) = mw
+        pred = NumaPerformanceModel().predict(machine, apps, alloc)
+        # GFLOPS bounded by compute peak of the allocated threads.
+        for app, spec in zip(pred.apps, apps):
+            core_peak = machine.nodes[0].cores[0].peak_gflops
+            assert app.gflops <= (
+                spec.peak_gflops(core_peak) * app.threads + 1e-6
+            )
+        # Memory draw bounded per node.
+        for node in pred.nodes:
+            assert node.consumed <= node.capacity + 1e-6
+        # Totals consistent.
+        assert pred.total_gflops == pytest.approx(
+            sum(a.gflops for a in pred.apps)
+        )
+
+    @given(machines().flatmap(lambda m: st.tuples(st.just(m), workloads(m))))
+    @settings(max_examples=60, deadline=None)
+    def test_bandwidth_gflops_consistency(self, mw):
+        """Every NUMA-perfect/SINGLE_NODE app's GFLOPS equals its granted
+        bandwidth times AI, capped at compute peak."""
+        machine, (apps, alloc) = mw
+        pred = NumaPerformanceModel().predict(machine, apps, alloc)
+        for app, spec in zip(pred.apps, apps):
+            expect = min(
+                app.bandwidth * spec.arithmetic_intensity,
+                spec.peak_gflops(machine.nodes[0].cores[0].peak_gflops)
+                * app.threads,
+            )
+            assert app.gflops == pytest.approx(expect, rel=1e-6, abs=1e-9)
+
+    @given(machines())
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_bandwidth_never_hurts(self, machine):
+        apps = [AppSpec("m", 0.5), AppSpec("c", 10.0)]
+        half = [max(1, n.num_cores // 2) for n in machine.nodes]
+        counts = np.zeros((2, machine.num_nodes), dtype=np.int64)
+        counts[0] = half
+        counts[1] = [n.num_cores - h for n, h in zip(machine.nodes, half)]
+        alloc = ThreadAllocation(app_names=("m", "c"), counts=counts)
+        base = NumaPerformanceModel().predict(machine, apps, alloc)
+        faster = NumaPerformanceModel().predict(
+            machine.scaled_bandwidth(2.0), apps, alloc
+        )
+        assert faster.total_gflops >= base.total_gflops - 1e-6
+
+
+# ----------------------------------------------------------------------
+# Roofline
+# ----------------------------------------------------------------------
+class TestRooflineProperties:
+    @given(
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_attainable_bounded_and_monotone(self, ai, peak, bw):
+        r = Roofline(peak_gflops=peak, peak_bandwidth=bw)
+        a = r.attainable(ai)
+        assert 0 < a <= peak + 1e-12
+        assert r.attainable(ai * 2) >= a - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Allocation algebra
+# ----------------------------------------------------------------------
+class TestAllocationProperties:
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(0, 6),
+    )
+    def test_move_preserves_totals(self, napps, nnodes, base):
+        names = [f"a{i}" for i in range(napps)]
+        alloc = ThreadAllocation.uniform(names, nnodes, base + 1)
+        if napps < 2:
+            return
+        moved = alloc.move_thread(names[0], names[1], 0)
+        assert moved.total_threads == alloc.total_threads
+        assert (
+            moved.threads_per_node.tolist()
+            == alloc.threads_per_node.tolist()
+        )
+
+
+# ----------------------------------------------------------------------
+# Event engine ordering
+# ----------------------------------------------------------------------
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+# ----------------------------------------------------------------------
+# Periodic rates
+# ----------------------------------------------------------------------
+class TestRateProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(min_value=0.01, max_value=100.0),
+                ),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.01, max_value=200.0),
+    )
+    @settings(max_examples=100)
+    def test_finish_time_consistent_with_average_rate(
+        self, phases, start, work
+    ):
+        assume(any(g > 0 for _, g in phases))
+        profile = PeriodicRate(
+            [RatePhase(d, g) for d, g in phases]
+        )
+        finish = profile.finish_time(work, start)
+        assert finish >= start
+        # Bound: completing `work` can never be faster than at the peak
+        # phase rate, nor slower than one extra period beyond the
+        # average-rate estimate.
+        peak = max(g for _, g in phases)
+        assert finish - start >= work / peak - 1e-6
+        avg_est = work / profile.average_rate()
+        assert finish - start <= avg_est + 2 * profile.period + 1e-6

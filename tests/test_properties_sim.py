@@ -1,0 +1,175 @@
+"""Property-based tests on the simulator's arbitration layers."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineTopology
+from repro.sim.cpu import Binding, SimThread
+from repro.sim.memory import BandwidthRequest, BandwidthResolver
+from repro.sim.os_scheduler import CfsScheduler
+
+
+class _NullProvider:
+    def next_segment(self, thread):
+        return None
+
+    def segment_finished(self, thread, segment):
+        pass
+
+
+@st.composite
+def machines(draw):
+    nodes = draw(st.integers(min_value=1, max_value=4))
+    cores = draw(st.integers(min_value=1, max_value=8))
+    return MachineTopology.homogeneous(
+        num_nodes=nodes,
+        cores_per_node=cores,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=draw(st.floats(min_value=1.0, max_value=200.0)),
+        remote_bandwidth=draw(
+            st.floats(min_value=0.5, max_value=50.0)
+        ),
+    )
+
+
+@st.composite
+def requests_for(draw, machine):
+    n = draw(st.integers(min_value=0, max_value=12))
+    out = []
+    for i in range(n):
+        source = draw(
+            st.integers(min_value=0, max_value=machine.num_nodes - 1)
+        )
+        demands = {}
+        for m in range(machine.num_nodes):
+            if draw(st.booleans()):
+                demands[m] = draw(
+                    st.floats(min_value=0.0, max_value=100.0)
+                )
+        out.append(
+            BandwidthRequest(key=i, source_node=source, demands=demands)
+        )
+    return out
+
+
+class TestResolverProperties:
+    @given(
+        machines().flatmap(
+            lambda m: st.tuples(st.just(m), requests_for(m))
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_physical_invariants(self, mr):
+        machine, requests = mr
+        grants = BandwidthResolver(machine).resolve(requests)
+        # 1. Grant never exceeds demand (per memory node).
+        for r in requests:
+            g = grants[r.key]
+            for m, got in g.by_node.items():
+                assert got <= r.demands.get(m, 0.0) + 1e-6
+                assert got >= -1e-9
+        # 2. Traffic drawn from each node's memory <= its bandwidth.
+        for m in range(machine.num_nodes):
+            drawn = sum(
+                g.by_node.get(m, 0.0) for g in grants.values()
+            )
+            assert drawn <= machine.node(m).local_bandwidth + 1e-6
+        # 3. Link conservation: flow from source s into memory m never
+        #    exceeds the link bandwidth.
+        for s in range(machine.num_nodes):
+            for m in range(machine.num_nodes):
+                if s == m:
+                    continue
+                flow = sum(
+                    grants[r.key].by_node.get(m, 0.0)
+                    for r in requests
+                    if r.source_node == s
+                )
+                assert flow <= machine.bandwidth(s, m) + 1e-6
+
+    @given(
+        machines().flatmap(
+            lambda m: st.tuples(st.just(m), requests_for(m))
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_local_work_conservation(self, mr):
+        """A node's memory is exhausted whenever local demand alone
+        exceeds what is left after remote service."""
+        machine, requests = mr
+        grants = BandwidthResolver(machine).resolve(requests)
+        for m in range(machine.num_nodes):
+            local_demand = sum(
+                r.demands.get(m, 0.0)
+                for r in requests
+                if r.source_node == m
+            )
+            drawn = sum(g.by_node.get(m, 0.0) for g in grants.values())
+            cap = machine.node(m).local_bandwidth
+            if local_demand >= cap:
+                assert drawn == pytest.approx(cap, rel=1e-6)
+
+
+class TestSchedulerProperties:
+    @given(
+        machines(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # node choice
+                st.floats(min_value=0.1, max_value=10.0),  # weight
+            ),
+            min_size=0,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_share_invariants(self, machine, thread_specs):
+        threads = []
+        for i, (node_pick, weight) in enumerate(thread_specs):
+            node = node_pick % machine.num_nodes
+            threads.append(
+                SimThread(
+                    tid=i,
+                    name=f"t{i}",
+                    binding=Binding.to_node(node),
+                    provider=_NullProvider(),
+                    weight=weight,
+                )
+            )
+        out = CfsScheduler().assign(machine, threads)
+        # every runnable thread is assigned, shares in (0, 1]
+        assert set(out) == {t.tid for t in threads}
+        per_node: dict[int, float] = {}
+        for t in threads:
+            a = out[t.tid]
+            assert 0.0 < a.share <= 1.0 + 1e-9
+            assert 0.0 < a.efficiency <= 1.0
+            per_node[a.node] = per_node.get(a.node, 0.0) + a.share
+        # per-node total share never exceeds the node's core count
+        for node, total in per_node.items():
+            assert total <= machine.node(node).num_cores + 1e-6
+
+    @given(machines(), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_unbound_threads_balanced(self, machine, n):
+        threads = [
+            SimThread(
+                tid=i,
+                name=f"t{i}",
+                binding=Binding.unbound(),
+                provider=_NullProvider(),
+            )
+            for i in range(n)
+        ]
+        out = CfsScheduler().assign(machine, threads)
+        counts = [0] * machine.num_nodes
+        for t in threads:
+            counts[out[t.tid].node] += 1
+        # balanced in threads-per-core terms: max spread of one unit
+        per_core = [
+            c / machine.node(i).num_cores for i, c in enumerate(counts)
+        ]
+        unit = 1.0 / machine.nodes[0].num_cores
+        assert max(per_core) - min(per_core) <= unit + 1e-9

@@ -1,0 +1,94 @@
+"""Unit tests for datablocks."""
+
+import pytest
+
+from repro.errors import DatablockError
+from repro.runtime.datablock import AccessMode, Datablock, traffic_fractions
+
+
+class TestLifecycle:
+    def test_basic(self):
+        db = Datablock(1024, home_node=1, name="d")
+        assert db.home_node == 1
+        assert not db.freed
+        db.acquire()
+        assert db.acquired
+        db.release()
+        db.destroy()
+        assert db.freed
+
+    def test_invalid_construction(self):
+        with pytest.raises(DatablockError):
+            Datablock(0, 0)
+        with pytest.raises(DatablockError):
+            Datablock(10, -1)
+
+    def test_acquire_after_free_rejected(self):
+        db = Datablock(10, 0)
+        db.destroy()
+        with pytest.raises(DatablockError):
+            db.acquire()
+
+    def test_double_free_rejected(self):
+        db = Datablock(10, 0)
+        db.destroy()
+        with pytest.raises(DatablockError):
+            db.destroy()
+
+    def test_destroy_while_acquired_rejected(self):
+        db = Datablock(10, 0)
+        db.acquire()
+        with pytest.raises(DatablockError):
+            db.destroy()
+
+    def test_release_unacquired_rejected(self):
+        db = Datablock(10, 0)
+        with pytest.raises(DatablockError):
+            db.release()
+
+    def test_rw_exclusive(self):
+        db = Datablock(10, 0)
+        db.acquire(AccessMode.READ_ONLY)
+        with pytest.raises(DatablockError):
+            db.acquire(AccessMode.READ_WRITE)
+        db.acquire(AccessMode.READ_ONLY)  # shared RO fine
+
+
+class TestMigration:
+    def test_migrate_between_tasks(self):
+        db = Datablock(10, 0)
+        db.migrate(2)
+        assert db.home_node == 2
+        assert db.migrations == 1
+
+    def test_migrate_to_same_node_free(self):
+        db = Datablock(10, 0)
+        db.migrate(0)
+        assert db.migrations == 0
+
+    def test_migrate_while_acquired_rejected(self):
+        db = Datablock(10, 0)
+        db.acquire()
+        with pytest.raises(DatablockError):
+            db.migrate(1)
+
+    def test_migrate_freed_rejected(self):
+        db = Datablock(10, 0)
+        db.destroy()
+        with pytest.raises(DatablockError):
+            db.migrate(1)
+
+
+class TestTrafficFractions:
+    def test_empty_is_none(self):
+        assert traffic_fractions([]) is None
+
+    def test_proportional_to_size(self):
+        dbs = [Datablock(30, 0), Datablock(10, 1)]
+        f = traffic_fractions(dbs)
+        assert f[0] == pytest.approx(0.75)
+        assert f[1] == pytest.approx(0.25)
+
+    def test_same_node_aggregates(self):
+        dbs = [Datablock(10, 0), Datablock(10, 0)]
+        assert traffic_fractions(dbs) == {0: pytest.approx(1.0)}

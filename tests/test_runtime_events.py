@@ -1,0 +1,92 @@
+"""Unit tests for OCR-style events."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.runtime.events import LatchEvent, OnceEvent
+
+
+class TestOnceEvent:
+    def test_fires_with_payload(self):
+        e = OnceEvent("e")
+        got = []
+        e.add_dependent(got.append)
+        e.satisfy(42)
+        assert got == [42]
+        assert e.fired
+        assert e.payload == 42
+
+    def test_double_satisfy_rejected(self):
+        e = OnceEvent()
+        e.satisfy()
+        with pytest.raises(DependencyError):
+            e.satisfy()
+
+    def test_late_dependent_fires_immediately(self):
+        e = OnceEvent()
+        e.satisfy("x")
+        got = []
+        e.add_dependent(got.append)
+        assert got == ["x"]
+
+    def test_multiple_dependents(self):
+        e = OnceEvent()
+        got = []
+        for i in range(3):
+            e.add_dependent(lambda p, i=i: got.append(i))
+        e.satisfy()
+        assert got == [0, 1, 2]
+
+    def test_unique_ids_and_default_names(self):
+        a, b = OnceEvent(), OnceEvent()
+        assert a.event_id != b.event_id
+        assert a.name != b.name
+
+
+class TestLatchEvent:
+    def test_fires_at_zero(self):
+        latch = LatchEvent(2)
+        got = []
+        latch.add_dependent(got.append)
+        latch.count_down()
+        assert not latch.fired
+        latch.count_down(payload="done")
+        assert got == ["done"]
+
+    def test_count_up_extends(self):
+        latch = LatchEvent(1)
+        latch.count_up(2)
+        latch.count_down()
+        latch.count_down()
+        assert not latch.fired
+        latch.count_down()
+        assert latch.fired
+
+    def test_nonpositive_start_rejected(self):
+        with pytest.raises(DependencyError):
+            LatchEvent(0)
+
+    def test_below_zero_rejected(self):
+        latch = LatchEvent(1)
+        with pytest.raises(DependencyError):
+            latch.count_down(2)
+
+    def test_operations_after_fire_rejected(self):
+        latch = LatchEvent(1)
+        latch.count_down()
+        with pytest.raises(DependencyError):
+            latch.count_down()
+        with pytest.raises(DependencyError):
+            latch.count_up()
+
+    def test_nonpositive_deltas_rejected(self):
+        latch = LatchEvent(2)
+        with pytest.raises(DependencyError):
+            latch.count_down(0)
+        with pytest.raises(DependencyError):
+            latch.count_up(-1)
+
+    def test_count_property(self):
+        latch = LatchEvent(3)
+        latch.count_down()
+        assert latch.count == 2

@@ -1,0 +1,188 @@
+"""Tests for the C-flavoured OCR API facade."""
+
+import pytest
+
+from repro.errors import RuntimeSystemError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.runtime.ocr_api import (
+    UNINITIALIZED,
+    OcrContext,
+    OcrEventKind,
+    ocr_add_dependence,
+    ocr_db_create,
+    ocr_db_destroy,
+    ocr_edt_create,
+    ocr_edt_template_create,
+    ocr_event_create,
+    ocr_event_satisfy,
+)
+from repro.sim import ExecutionSimulator
+
+
+@pytest.fixture
+def env():
+    ex = ExecutionSimulator(model_machine())
+    rt = OCRVxRuntime("ocr", ex)
+    rt.start([2, 2, 2, 2])
+    return ex, rt, OcrContext(rt)
+
+
+class TestTemplatesAndEdts:
+    def test_create_and_run(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, out = ocr_edt_create(ctx, tpl)
+        ex.run_until_idle()
+        assert ctx.get(out).fired
+        assert rt.stats.tasks_executed == 1
+
+    def test_template_validation(self, env):
+        _, _, ctx = env
+        with pytest.raises(RuntimeSystemError):
+            ocr_edt_template_create(ctx, "k", 0.0, 1.0)
+
+    def test_edt_needs_template_guid(self, env):
+        ex, rt, ctx = env
+        ev = ocr_event_create(ctx)
+        with pytest.raises(RuntimeSystemError):
+            ocr_edt_create(ctx, ev)
+
+    def test_chain_via_output_events(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        a, a_out = ocr_edt_create(ctx, tpl)
+        b, b_out = ocr_edt_create(ctx, tpl, depv=[a_out])
+        ex.run_until_idle()
+        assert ctx.get(b_out).fired
+
+    def test_uninitialized_slot_connected_later(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        consumer, c_out = ocr_edt_create(
+            ctx, tpl, depv=[UNINITIALIZED]
+        )
+        producer, p_out = ocr_edt_create(ctx, tpl)
+        ocr_add_dependence(ctx, p_out, consumer, slot=0)
+        ex.run_until_idle()
+        assert ctx.get(c_out).fired
+
+    def test_unconnected_slot_blocks_forever(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, out = ocr_edt_create(ctx, tpl, depv=[UNINITIALIZED])
+        ex.run(0.05)
+        assert not ctx.get(out).fired
+
+    def test_affinity_passes_through(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, _ = ocr_edt_create(ctx, tpl, affinity_node=2)
+        assert ctx.task_of(edt).affinity_node == 2
+
+
+class TestDatablocks:
+    def test_db_dependence_satisfied_immediately(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        db = ocr_db_create(ctx, 1024, home_node=1)
+        edt, out = ocr_edt_create(ctx, tpl, depv=[db])
+        ex.run_until_idle()
+        assert ctx.get(out).fired
+        # the task's traffic followed the datablock's home
+        assert ctx.task_of(edt).traffic() == {1: pytest.approx(1.0)}
+
+    def test_db_destroy(self, env):
+        _, _, ctx = env
+        db = ocr_db_create(ctx, 64, home_node=0)
+        ocr_db_destroy(ctx, db)
+        with pytest.raises(RuntimeSystemError):
+            ctx.get(db)
+
+    def test_db_as_late_dependence(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, out = ocr_edt_create(ctx, tpl, depv=[UNINITIALIZED])
+        db = ocr_db_create(ctx, 64, home_node=0)
+        ocr_add_dependence(ctx, db, edt, slot=0)
+        ex.run_until_idle()
+        assert ctx.get(out).fired
+
+
+class TestEvents:
+    def test_once_event(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        ev = ocr_event_create(ctx, OcrEventKind.ONCE)
+        edt, out = ocr_edt_create(ctx, tpl, depv=[ev])
+        ex.run(0.01)
+        assert not ctx.get(out).fired
+        ocr_event_satisfy(ctx, ev)
+        ex.run_until_idle()
+        assert ctx.get(out).fired
+
+    def test_latch_event(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        latch = ocr_event_create(
+            ctx, OcrEventKind.LATCH, latch_count=2
+        )
+        edt, out = ocr_edt_create(ctx, tpl, depv=[latch])
+        ocr_event_satisfy(ctx, latch)
+        ex.run(0.01)
+        assert not ctx.get(out).fired
+        ocr_event_satisfy(ctx, latch)
+        ex.run_until_idle()
+        assert ctx.get(out).fired
+
+    def test_satisfy_non_event_rejected(self, env):
+        _, _, ctx = env
+        db = ocr_db_create(ctx, 64, home_node=0)
+        with pytest.raises(RuntimeSystemError):
+            ocr_event_satisfy(ctx, db)
+
+
+class TestAddDependence:
+    def test_slot_bounds(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, _ = ocr_edt_create(ctx, tpl, depv=[UNINITIALIZED])
+        ev = ocr_event_create(ctx)
+        with pytest.raises(RuntimeSystemError):
+            ocr_add_dependence(ctx, ev, edt, slot=5)
+
+    def test_double_connect_rejected(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        edt, _ = ocr_edt_create(ctx, tpl, depv=[UNINITIALIZED])
+        ev = ocr_event_create(ctx)
+        ocr_event_satisfy(ctx, ev)
+        ocr_add_dependence(ctx, ev, edt, slot=0)
+        ev2 = ocr_event_create(ctx)
+        with pytest.raises(RuntimeSystemError):
+            ocr_add_dependence(ctx, ev2, edt, slot=0)
+
+    def test_pre_satisfied_slot_rejected(self, env):
+        ex, rt, ctx = env
+        tpl = ocr_edt_template_create(ctx, "k", 0.01, 8.0)
+        db = ocr_db_create(ctx, 64, home_node=0)
+        edt, _ = ocr_edt_create(ctx, tpl, depv=[db])
+        ev = ocr_event_create(ctx)
+        with pytest.raises(RuntimeSystemError):
+            ocr_add_dependence(ctx, ev, edt, slot=0)
+
+    def test_fork_join_program(self, env):
+        """Port of the canonical OCR fork-join example."""
+        ex, rt, ctx = env
+        work_tpl = ocr_edt_template_create(ctx, "work", 0.01, 8.0)
+        join_tpl = ocr_edt_template_create(ctx, "join", 0.005, 8.0)
+        width = 6
+        join, join_out = ocr_edt_create(
+            ctx, join_tpl, depv=[UNINITIALIZED] * width
+        )
+        for i in range(width):
+            _, out = ocr_edt_create(ctx, work_tpl)
+            ocr_add_dependence(ctx, out, join, slot=i)
+        ex.run_until_idle()
+        assert ctx.get(join_out).fired
+        assert rt.stats.tasks_executed == width + 1

@@ -1,0 +1,129 @@
+"""Unit tests for the OpenMP-like adapter (Section IV hazards)."""
+
+import pytest
+
+from repro.errors import RuntimeSystemError
+from repro.machine import model_machine
+from repro.runtime.openmp import OmpSchedule, OpenMpRuntime
+from repro.sim import ExecutionSimulator
+
+
+@pytest.fixture
+def ex():
+    return ExecutionSimulator(model_machine())
+
+
+class TestParallelFor:
+    def test_static_loop_completes(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=8, node=0)
+        done = omp.parallel_for(
+            "loop", iterations=80, flops_per_iteration=0.001,
+            arithmetic_intensity=10.0,
+        )
+        ex.run_until_idle()
+        assert done.fired
+        assert omp.loops_completed == 1
+
+    def test_dynamic_loop_completes(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=8, node=0)
+        done = omp.parallel_for(
+            "loop", iterations=80, flops_per_iteration=0.001,
+            arithmetic_intensity=10.0,
+            schedule=OmpSchedule.DYNAMIC, chunk=5,
+        )
+        ex.run_until_idle()
+        assert done.fired
+
+    def test_invalid_iterations(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=2)
+        with pytest.raises(RuntimeSystemError):
+            omp.parallel_for("l", 0, 1.0, 1.0)
+
+    def test_static_chunks_pinned_to_threads(self, ex):
+        # With one thread blocked, a STATIC loop cannot finish: its chunk
+        # is pinned to the blocked thread (the Section IV hazard).
+        omp = OpenMpRuntime("omp", ex, num_threads=4, node=0)
+        victim = omp._threads[0]
+        ex.block(victim)
+        done = omp.parallel_for(
+            "loop", iterations=8, flops_per_iteration=0.001,
+            arithmetic_intensity=10.0,
+        )
+        ex.run(0.2)
+        assert not done.fired
+        ex.unblock(victim)
+        ex.run(0.2)
+        assert done.fired
+
+    def test_dynamic_survives_blocked_thread(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=4, node=0)
+        ex.block(omp._threads[0])
+        done = omp.parallel_for(
+            "loop", iterations=8, flops_per_iteration=0.001,
+            arithmetic_intensity=10.0,
+            schedule=OmpSchedule.DYNAMIC, chunk=1,
+        )
+        ex.run(0.2)
+        assert done.fired
+
+    def test_fewer_iterations_than_threads(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=8, node=0)
+        done = omp.parallel_for(
+            "loop", iterations=3, flops_per_iteration=0.001,
+            arithmetic_intensity=10.0,
+        )
+        ex.run_until_idle()
+        assert done.fired
+
+
+class TestTiedTasks:
+    def test_tied_task_runs_on_its_thread(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=4, node=0)
+        task = omp.submit_tied_task("tied", 0.01, 10.0, thread_index=2)
+        ex.run_until_idle()
+        assert task.worker_name == omp._threads[2].name
+
+    def test_invalid_thread_index(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=2)
+        with pytest.raises(RuntimeSystemError):
+            omp.submit_tied_task("t", 1.0, 1.0, thread_index=5)
+
+
+class TestThreadControl:
+    def test_blocks_only_free_threads(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=4, node=0)
+        omp.submit_tied_task("tied", 0.5, 10.0, thread_index=0)
+        blocked = omp.set_total_threads(1)
+        # thread 0 holds tied work and must not be blocked
+        assert omp._threads[0].name not in blocked
+        assert len(blocked) == 3
+
+    def test_partial_honouring_reported(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=2, node=0)
+        for i in range(2):
+            omp.submit_tied_task(f"tied{i}", 0.1, 10.0, thread_index=i)
+        blocked = omp.set_total_threads(0)
+        assert blocked == []  # nothing could be blocked
+
+    def test_unblock(self, ex):
+        from repro.sim.cpu import ThreadState
+
+        omp = OpenMpRuntime("omp", ex, num_threads=4, node=0)
+        omp.set_total_threads(1)
+        assert (
+            sum(
+                1
+                for t in omp._threads
+                if t.state is ThreadState.RUNNABLE
+            )
+            == 1
+        )
+        omp.set_total_threads(4)
+        assert all(
+            t.state is ThreadState.RUNNABLE for t in omp._threads
+        )
+
+    def test_out_of_range(self, ex):
+        omp = OpenMpRuntime("omp", ex, num_threads=2)
+        with pytest.raises(RuntimeSystemError):
+            omp.set_total_threads(3)

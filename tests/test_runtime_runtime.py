@@ -1,0 +1,254 @@
+"""Unit and integration tests for OCRVxRuntime and its thread control."""
+
+import pytest
+
+from repro.errors import RuntimeSystemError
+from repro.machine import model_machine
+from repro.runtime import (
+    BindingMode,
+    FifoScheduler,
+    OCRVxRuntime,
+    WorkStealingScheduler,
+)
+from repro.sim import ExecutionSimulator
+
+
+@pytest.fixture
+def ex():
+    return ExecutionSimulator(model_machine())
+
+
+@pytest.fixture
+def rt(ex):
+    runtime = OCRVxRuntime("app", ex)
+    runtime.start([2, 2, 2, 2])
+    return runtime
+
+
+class TestStartup:
+    def test_default_start_one_worker_per_core(self, ex):
+        rt = OCRVxRuntime("app", ex)
+        rt.start()
+        assert len(rt.workers) == 32
+        assert rt.active_threads == 32
+
+    def test_explicit_allocation(self, rt):
+        assert len(rt.workers) == 8
+        assert rt.active_per_node() == [2, 2, 2, 2]
+
+    def test_double_start_rejected(self, rt):
+        with pytest.raises(RuntimeSystemError):
+            rt.start()
+
+    def test_too_many_workers_rejected(self, ex):
+        rt = OCRVxRuntime("app", ex)
+        with pytest.raises(RuntimeSystemError):
+            rt.start([9, 0, 0, 0])
+
+    def test_wrong_node_count_rejected(self, ex):
+        rt = OCRVxRuntime("app", ex)
+        with pytest.raises(RuntimeSystemError):
+            rt.start([1, 1])
+
+    def test_core_binding_mode(self, ex):
+        rt = OCRVxRuntime("app", ex, binding_mode=BindingMode.CORE)
+        rt.start([2, 0, 0, 0])
+        from repro.sim.cpu import BindingKind
+
+        assert all(
+            w.binding.kind is BindingKind.CORE for w in rt.workers
+        )
+
+
+class TestExecution:
+    def test_runs_all_tasks(self, ex, rt):
+        for i in range(50):
+            rt.create_task(f"t{i}", flops=0.01, arithmetic_intensity=10.0)
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 50
+        assert rt.queue_length == 0
+
+    def test_dependencies_respected(self, ex, rt):
+        order = []
+        a = rt.create_task(
+            "a", 0.01, 10.0, on_finish=lambda t: order.append("a")
+        )
+        b = rt.create_task(
+            "b", 0.01, 10.0, depends_on=[a],
+            on_finish=lambda t: order.append("b"),
+        )
+        rt.create_task(
+            "c", 0.01, 10.0, depends_on=[b],
+            on_finish=lambda t: order.append("c"),
+        )
+        ex.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_dynamic_task_creation(self, ex, rt):
+        count = [0]
+
+        def spawn(task):
+            count[0] += 1
+            if count[0] < 10:
+                rt.create_task(
+                    f"gen{count[0]}", 0.01, 10.0, on_finish=spawn
+                )
+
+        rt.create_task("gen0", 0.01, 10.0, on_finish=spawn)
+        ex.run_until_idle()
+        assert count[0] == 10
+
+    def test_create_after_stop_rejected(self, ex, rt):
+        rt.stop()
+        with pytest.raises(RuntimeSystemError):
+            rt.create_task("t", 1.0, 1.0)
+
+    def test_work_stealing_scheduler_integration(self, ex):
+        rt = OCRVxRuntime(
+            "ws", ex, scheduler=WorkStealingScheduler(seed=3)
+        )
+        rt.start([2, 2, 2, 2])
+        for i in range(40):
+            rt.create_task(f"t{i}", 0.01, 10.0)
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 40
+
+
+class TestOption1TotalThreads:
+    def test_reduce_blocks_idle_workers(self, ex, rt):
+        rt.set_total_threads(4)
+        ex.run(0.01)
+        assert rt.active_threads == 4
+        assert rt.blocked_threads == 4
+
+    def test_raise_unblocks_randomly(self, ex, rt):
+        rt.set_total_threads(2)
+        ex.run(0.01)
+        assert rt.active_threads == 2
+        rt.set_total_threads(6)
+        assert rt.active_threads == 6
+
+    def test_worker_finishes_task_before_blocking(self, ex, rt):
+        # A long task keeps its worker alive past the command.
+        rt.create_task("long", flops=0.5, arithmetic_intensity=10.0)
+        ex.run(0.005)
+        busy = [w for w in rt.workers if w.busy]
+        assert len(busy) == 1
+        rt.set_total_threads(0)
+        ex.run(0.01)
+        # the busy worker is still running its task
+        assert busy[0].busy
+        ex.run(0.1)  # enough time for the 50 ms task to finish
+        assert rt.stats.tasks_executed == 1
+        assert rt.active_threads == 0  # ...and then it blocked too
+
+    def test_out_of_range_rejected(self, rt):
+        with pytest.raises(RuntimeSystemError):
+            rt.set_total_threads(9)
+        with pytest.raises(RuntimeSystemError):
+            rt.set_total_threads(-1)
+
+
+class TestOption2ExplicitWorkers:
+    def test_block_specific_workers(self, ex, rt):
+        names = [rt.workers[0].name, rt.workers[3].name]
+        rt.block_workers(names)
+        ex.run(0.01)
+        assert rt.workers[0].blocked
+        assert rt.workers[3].blocked
+        assert rt.active_threads == 6
+        rt.unblock_workers(names)
+        assert rt.active_threads == 8
+
+    def test_unknown_worker_rejected(self, rt):
+        with pytest.raises(RuntimeSystemError):
+            rt.block_workers(["ghost"])
+        with pytest.raises(RuntimeSystemError):
+            rt.unblock_workers(["ghost"])
+
+
+class TestOption3PerNode:
+    def test_per_node_targets(self, ex, rt):
+        rt.set_node_threads(0, 1)
+        rt.set_node_threads(2, 0)
+        ex.run(0.01)
+        assert rt.active_per_node() == [1, 2, 0, 2]
+
+    def test_set_allocation(self, ex, rt):
+        rt.set_allocation([1, 2, 1, 2])
+        ex.run(0.01)
+        assert rt.active_per_node() == [1, 2, 1, 2]
+        rt.set_allocation([2, 2, 2, 2])
+        assert rt.active_per_node() == [2, 2, 2, 2]
+
+    def test_unbound_mode_rejects_option3(self, ex):
+        rt = OCRVxRuntime("u", ex, binding_mode=BindingMode.UNBOUND)
+        rt.start([2, 2, 2, 2])
+        with pytest.raises(RuntimeSystemError):
+            rt.set_node_threads(0, 1)
+
+    def test_out_of_range_rejected(self, rt):
+        with pytest.raises(RuntimeSystemError):
+            rt.set_node_threads(0, 5)
+
+    def test_work_continues_on_active_nodes(self, ex, rt):
+        rt.set_allocation([2, 0, 0, 0])
+        for i in range(20):
+            rt.create_task(
+                f"t{i}", 0.01, 10.0, affinity_node=0
+            )
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 20
+
+
+class TestStats:
+    def test_progress_counters(self, rt):
+        rt.stats.report_progress("iterations")
+        rt.stats.report_progress("iterations", 2.0)
+        assert rt.stats.progress["iterations"] == 3.0
+
+
+class TestWorkerMigration:
+    def test_migrate_moves_execution_and_queue_affinity(self, ex, rt):
+        w = rt.workers[0]
+        assert w.node == 0
+        rt.migrate_worker(w.name, 3)
+        assert w.node == 3
+        assert rt.active_per_node() == [1, 2, 2, 3]
+        # the migrated worker executes node-3 tasks
+        done = []
+        for i in range(6):
+            rt.create_task(
+                f"m{i}", 0.01, 10.0, affinity_node=3,
+                on_finish=lambda t: done.append(t.name),
+            )
+        ex.run_until_idle()
+        assert len(done) == 6
+
+    def test_migrate_same_node_noop(self, rt):
+        w = rt.workers[0]
+        rt.migrate_worker(w.name, 0)
+        assert w.node == 0
+
+    def test_migrate_validation(self, ex, rt):
+        with pytest.raises(RuntimeSystemError):
+            rt.migrate_worker("ghost", 1)
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            rt.migrate_worker(rt.workers[0].name, 9)
+
+    def test_migrate_requires_node_binding(self, ex):
+        rt = OCRVxRuntime("u", ex, binding_mode=BindingMode.UNBOUND)
+        rt.start([1, 1, 1, 1])
+        with pytest.raises(RuntimeSystemError):
+            rt.migrate_worker(rt.workers[0].name, 1)
+
+    def test_rebalance_via_migration(self, ex, rt):
+        """Shift all node-0 workers to node 1: a core transfer without
+        any blocking (thread counts stay constant)."""
+        for w in list(rt.workers):
+            if w.node == 0:
+                rt.migrate_worker(w.name, 1)
+        assert rt.active_per_node() == [0, 4, 2, 2]
+        assert rt.blocked_threads == 0

@@ -1,0 +1,143 @@
+"""Unit tests for the task schedulers."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    WorkStealingScheduler,
+)
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.sim.cpu import Binding
+
+
+def mk(name, affinity=None, tied=None):
+    return Task(
+        name=name,
+        flops=1.0,
+        arithmetic_intensity=1.0,
+        affinity_node=affinity,
+        tied_to=tied,
+    )
+
+
+def worker(name="w0", node=0):
+    return Worker(
+        index=0,
+        name=name,
+        binding=Binding.to_node(node) if node is not None else Binding.unbound(),
+        node=node,
+    )
+
+
+class TestFifo:
+    def test_order(self):
+        s = FifoScheduler()
+        a, b = mk("a"), mk("b")
+        s.push(a)
+        s.push(b)
+        w = worker()
+        assert s.pop(w) is a
+        assert s.pop(w) is b
+        assert s.pop(w) is None
+
+    def test_rejects_unready(self):
+        s = FifoScheduler()
+        a, b = mk("a"), mk("b")
+        b.depends_on(a)
+        with pytest.raises(SchedulerError):
+            s.push(b)
+
+    def test_tied_task_skipped_for_other_workers(self):
+        s = FifoScheduler()
+        t = mk("t", tied="w9")
+        s.push(t)
+        assert s.pop(worker("w0")) is None
+        assert len(s) == 1
+        assert s.pop(worker("w9")) is t
+
+
+class TestLocality:
+    def test_prefers_own_node(self):
+        s = LocalityScheduler(2)
+        t0, t1 = mk("t0", affinity=0), mk("t1", affinity=1)
+        s.push(t0)
+        s.push(t1)
+        assert s.pop(worker(node=1)) is t1
+        assert s.queued_on(0) == 1
+
+    def test_overflow_queue_for_unpinned(self):
+        s = LocalityScheduler(2)
+        t = mk("t")
+        s.push(t)
+        assert s.pop(worker(node=1)) is t
+
+    def test_steals_when_allowed(self):
+        s = LocalityScheduler(2, allow_steal=True)
+        t = mk("t", affinity=0)
+        s.push(t)
+        assert s.pop(worker(node=1)) is t
+
+    def test_no_steal_when_disabled(self):
+        s = LocalityScheduler(2, allow_steal=False)
+        t = mk("t", affinity=0)
+        s.push(t)
+        assert s.pop(worker(node=1)) is None
+        assert s.pop(worker(node=0)) is t
+
+    def test_steals_from_fullest_node(self):
+        s = LocalityScheduler(3)
+        for i in range(3):
+            s.push(mk(f"n2-{i}", affinity=2))
+        s.push(mk("n1-0", affinity=1))
+        got = s.pop(worker(node=0))
+        assert got.name.startswith("n2")
+
+    def test_out_of_range_affinity_rejected(self):
+        s = LocalityScheduler(2)
+        with pytest.raises(SchedulerError):
+            s.push(mk("t", affinity=7))
+
+    def test_len(self):
+        s = LocalityScheduler(2)
+        s.push(mk("a", affinity=0))
+        s.push(mk("b"))
+        assert len(s) == 2
+
+
+class TestWorkStealing:
+    def test_shared_queue_roundtrip(self):
+        s = WorkStealingScheduler(seed=1)
+        t = mk("t")
+        s.push(t)
+        assert s.pop(worker("w0")) is t
+
+    def test_steal_from_victim(self):
+        s = WorkStealingScheduler(seed=1)
+        s.register_worker("w0")
+        s.register_worker("w1")
+        # put a task straight into w0's deque
+        t = mk("t")
+        s._deques["w0"].append(t)
+        assert s.pop(worker("w1")) is t
+
+    def test_local_lifo(self):
+        s = WorkStealingScheduler(seed=1)
+        s.register_worker("w0")
+        a, b = mk("a"), mk("b")
+        s._deques["w0"].extend([a, b])
+        assert s.pop(worker("w0")) is b
+
+    def test_tied_tasks_stay_for_owner(self):
+        s = WorkStealingScheduler(seed=1)
+        s.register_worker("w0")
+        t = mk("t", tied="w0")
+        s._deques["w0"].append(t)
+        assert s.pop(worker("w1")) is None
+        assert s.pop(worker("w0")) is t
+
+    def test_empty_pop(self):
+        s = WorkStealingScheduler()
+        assert s.pop(worker("w5")) is None

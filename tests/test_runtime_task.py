@@ -1,0 +1,156 @@
+"""Unit tests for tasks and their lifecycle."""
+
+import pytest
+
+from repro.errors import DependencyError, TaskError
+from repro.runtime.datablock import AccessMode, Datablock
+from repro.runtime.events import OnceEvent
+from repro.runtime.task import Task, TaskState
+
+
+def mk(name="t", **kw):
+    return Task(name=name, flops=1.0, arithmetic_intensity=2.0, **kw)
+
+
+class TestLifecycle:
+    def test_starts_ready_without_deps(self):
+        assert mk().state is TaskState.READY
+
+    def test_run_and_finish(self):
+        t = mk()
+        t.start("w0")
+        assert t.state is TaskState.RUNNING
+        assert t.worker_name == "w0"
+        t.finish()
+        assert t.state is TaskState.FINISHED
+        assert t.output_event.fired
+
+    def test_start_twice_rejected(self):
+        t = mk()
+        t.start("w0")
+        with pytest.raises(TaskError):
+            t.start("w1")
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(TaskError):
+            mk().finish()
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            Task("x", flops=0.0, arithmetic_intensity=1.0)
+        with pytest.raises(TaskError):
+            Task("x", flops=1.0, arithmetic_intensity=-1.0)
+
+
+class TestDependencies:
+    def test_task_waits_for_producer(self):
+        a, b = mk("a"), mk("b")
+        b.depends_on(a)
+        assert b.state is TaskState.WAITING
+        a.start("w")
+        a.finish()
+        assert b.state is TaskState.READY
+
+    def test_multiple_slots(self):
+        a, b, c = mk("a"), mk("b"), mk("c")
+        c.depends_on(a)
+        c.depends_on(b)
+        a.start("w")
+        a.finish()
+        assert c.state is TaskState.WAITING
+        b.start("w")
+        b.finish()
+        assert c.state is TaskState.READY
+
+    def test_event_dependence(self):
+        e = OnceEvent()
+        t = mk()
+        t.depends_on(e)
+        assert t.state is TaskState.WAITING
+        e.satisfy()
+        assert t.state is TaskState.READY
+
+    def test_dependence_on_finished_task_satisfied_immediately(self):
+        a = mk("a")
+        a.start("w")
+        a.finish()
+        b = mk("b")
+        b.depends_on(a)
+        assert b.state is TaskState.READY
+
+    def test_adding_dep_to_running_task_rejected(self):
+        t = mk()
+        t.start("w")
+        with pytest.raises(DependencyError):
+            t.depends_on(mk("x"))
+
+    def test_on_ready_callback(self):
+        got = []
+        a, b = mk("a"), mk("b")
+        b.depends_on(a)
+        b.on_ready(lambda t: got.append(t.name))
+        assert got == []
+        a.start("w")
+        a.finish()
+        assert got == ["b"]
+
+    def test_on_ready_fires_immediately_when_ready(self):
+        got = []
+        mk("a").on_ready(lambda t: got.append(t.name))
+        assert got == ["a"]
+
+
+class TestDatablocks:
+    def test_acquired_during_run(self):
+        db = Datablock(10, 0)
+        t = mk(datablocks=[db])
+        t.start("w")
+        assert db.acquired
+        t.finish()
+        assert not db.acquired
+
+    def test_affinity_defaults_to_biggest_block(self):
+        dbs = [Datablock(10, 0), Datablock(100, 2)]
+        assert mk(datablocks=dbs).affinity_node == 2
+
+    def test_traffic_from_blocks(self):
+        dbs = [Datablock(10, 0), Datablock(30, 1)]
+        f = mk(datablocks=dbs).traffic()
+        assert f[1] == pytest.approx(0.75)
+
+    def test_access_mode_length_checked(self):
+        with pytest.raises(TaskError):
+            mk(
+                datablocks=[Datablock(10, 0)],
+                access_modes=[AccessMode.READ_ONLY, AccessMode.READ_ONLY],
+            )
+
+
+class TestTiedTasks:
+    def test_tied_task_enforces_worker(self):
+        t = mk(tied_to="w1")
+        with pytest.raises(TaskError):
+            t.start("w2")
+        t.start("w1")
+
+
+class TestCallbacks:
+    def test_on_finish_runs_before_output_event(self):
+        order = []
+        t = mk(on_finish=lambda task: order.append("finish"))
+        t.output_event.add_dependent(lambda p: order.append("event"))
+        t.start("w")
+        t.finish()
+        assert order == ["finish", "event"]
+
+    def test_dynamic_graph_from_on_finish(self):
+        created = []
+
+        def spawn(task):
+            created.append(mk(f"child-of-{task.name}"))
+
+        t = mk("root", on_finish=spawn)
+        t.start("w")
+        t.finish()
+        assert len(created) == 1
+        assert created[0].state is TaskState.READY

@@ -1,0 +1,119 @@
+"""Unit tests for the TBB-like arena/RML runtime."""
+
+import pytest
+
+from repro.errors import RuntimeSystemError
+from repro.machine import model_machine
+from repro.runtime.task import Task
+from repro.runtime.tbb import TbbRuntime
+from repro.sim import ExecutionSimulator
+
+
+def mk(name, flops=0.01, ai=10.0):
+    return Task(name=name, flops=flops, arithmetic_intensity=ai)
+
+
+@pytest.fixture
+def ex():
+    return ExecutionSimulator(model_machine())
+
+
+class TestArenas:
+    def test_create_and_duplicate(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=4)
+        tbb.create_arena("a", 2)
+        with pytest.raises(RuntimeSystemError):
+            tbb.create_arena("a", 2)
+
+    def test_invalid_concurrency(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=4)
+        with pytest.raises(RuntimeSystemError):
+            tbb.create_arena("a", -1)
+
+    def test_invalid_node(self, ex):
+        from repro.errors import TopologyError
+
+        tbb = TbbRuntime("tbb", ex, num_threads=4)
+        with pytest.raises(TopologyError):
+            tbb.create_arena("a", 2, node=99)
+
+    def test_enqueue_unready_rejected(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=4)
+        arena = tbb.create_arena("a", 2)
+        a, b = mk("a"), mk("b")
+        b.depends_on(a)
+        with pytest.raises(RuntimeSystemError):
+            arena.enqueue(b)
+
+
+class TestExecution:
+    def test_tasks_run(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=8)
+        arena = tbb.create_arena("a", 8)
+        for i in range(30):
+            arena.enqueue(mk(f"t{i}"))
+        ex.run_until_idle()
+        assert tbb.stats_tasks_executed == 30
+        assert arena.tasks_executed == 30
+        assert tbb.idle_threads == 8
+
+    def test_concurrency_limit_respected(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=8)
+        arena = tbb.create_arena("a", 2)
+        for i in range(10):
+            arena.enqueue(mk(f"t{i}", flops=0.05))
+        ex.run(0.01)
+        assert arena.active <= 2
+
+    def test_two_arenas_share_market(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=8)
+        a = tbb.create_arena("a", 4)
+        b = tbb.create_arena("b", 4)
+        for i in range(20):
+            a.enqueue(mk(f"a{i}"))
+            b.enqueue(mk(f"b{i}"))
+        ex.run_until_idle()
+        assert a.tasks_executed == 20
+        assert b.tasks_executed == 20
+
+    def test_rml_dynamic_concurrency(self, ex):
+        # The paper's RML observation: adjusting arena concurrency at
+        # runtime re-allocates threads between arenas.
+        tbb = TbbRuntime("tbb", ex, num_threads=8)
+        a = tbb.create_arena("a", 8)
+        b = tbb.create_arena("b", 0)
+        for i in range(200):
+            a.enqueue(mk(f"a{i}", flops=0.02))
+            b.enqueue(mk(f"b{i}", flops=0.02))
+        ex.run(0.02)
+        assert b.active == 0
+        tbb.set_arena_concurrency("a", 2)
+        tbb.set_arena_concurrency("b", 6)
+        ex.run(0.05)
+        assert b.active > 0
+        assert a.active <= 2
+
+    def test_unknown_arena_rejected(self, ex):
+        tbb = TbbRuntime("tbb", ex, num_threads=2)
+        with pytest.raises(RuntimeSystemError):
+            tbb.set_arena_concurrency("nope", 1)
+
+
+class TestNumaBinding:
+    def test_workers_rebind_to_arena_node(self, ex):
+        # Arena bound to node 2: its workers execute on node 2 (the
+        # paper's TBB option-3 equivalent).
+        tbb = TbbRuntime("tbb", ex, num_threads=4)
+        arena = tbb.create_arena("a", 4, node=2)
+        for i in range(400):
+            arena.enqueue(mk(f"t{i}"))
+        ex.run(0.02)
+        running = [
+            t for t in ex.threads if t.assigned_node is not None and t.busy
+        ]
+        assert running
+        assert all(t.assigned_node == 2 for t in running)
+
+    def test_zero_threads_rejected(self, ex):
+        with pytest.raises(RuntimeSystemError):
+            TbbRuntime("tbb", ex, num_threads=0)

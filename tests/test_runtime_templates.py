@@ -1,0 +1,171 @@
+"""Tests for task templates, finish scopes, and the DVFS model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RuntimeSystemError
+from repro.machine import model_machine, uma_machine
+from repro.runtime import FinishScope, OCRVxRuntime, TaskTemplate
+from repro.sim import DvfsModel, ExecutionSimulator
+
+
+@pytest.fixture
+def ex():
+    return ExecutionSimulator(model_machine())
+
+
+@pytest.fixture
+def rt(ex):
+    runtime = OCRVxRuntime("app", ex)
+    runtime.start([2, 2, 2, 2])
+    return runtime
+
+
+class TestTaskTemplate:
+    def test_instantiate(self, ex, rt):
+        tpl = TaskTemplate("kernel", flops=0.01, arithmetic_intensity=8.0)
+        t = tpl.instantiate(rt, 3)
+        assert "kernel[3]" in t.name
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 1
+
+    def test_instantiate_many_with_spread(self, ex, rt):
+        tpl = TaskTemplate("kernel", flops=0.01, arithmetic_intensity=8.0)
+        tasks = tpl.instantiate_many(rt, 8, spread_nodes=4)
+        assert [t.affinity_node for t in tasks] == [0, 1, 2, 3] * 2
+        ex.run_until_idle()
+        assert rt.stats.tasks_executed == 8
+
+    def test_dependencies_through_template(self, ex, rt):
+        tpl = TaskTemplate("k", flops=0.01, arithmetic_intensity=8.0)
+        a = tpl.instantiate(rt, "a")
+        b = tpl.instantiate(rt, "b", depends_on=[a])
+        ex.run_until_idle()
+        assert b.state.value == "finished"
+
+    def test_validation(self):
+        with pytest.raises(RuntimeSystemError):
+            TaskTemplate("k", flops=0.0, arithmetic_intensity=1.0)
+        with pytest.raises(RuntimeSystemError):
+            TaskTemplate("k", flops=1.0, arithmetic_intensity=0.0)
+        tpl = TaskTemplate("k", flops=1.0, arithmetic_intensity=1.0)
+        with pytest.raises(RuntimeSystemError):
+            tpl.instantiate_many(None, 0)
+
+
+class TestFinishScope:
+    def test_simple_scope(self, ex, rt):
+        with FinishScope(rt, "s") as scope:
+            for i in range(5):
+                rt.create_task(f"t{i}", 0.01, 8.0)
+        assert not scope.finished
+        ex.run_until_idle()
+        assert scope.finished
+
+    def test_empty_scope_fires_immediately(self, ex, rt):
+        with FinishScope(rt) as scope:
+            pass
+        assert scope.finished
+
+    def test_transitive_children_counted(self, ex, rt):
+        """Tasks spawned from a member's on_finish also hold the scope."""
+        spawned = []
+
+        def spawn(task):
+            if len(spawned) < 3:
+                spawned.append(
+                    rt.create_task(
+                        f"child{len(spawned)}", 0.01, 8.0, on_finish=spawn
+                    )
+                )
+
+        with FinishScope(rt, "deep") as scope:
+            rt.create_task("root", 0.01, 8.0, on_finish=spawn)
+        ex.run_until_idle()
+        assert scope.finished
+        assert len(spawned) == 3
+        # all children completed before the scope fired
+        assert scope.members == 0
+
+    def test_tasks_outside_scope_not_counted(self, ex, rt):
+        with FinishScope(rt) as scope:
+            rt.create_task("in", 0.01, 8.0)
+        rt.create_task("out", 5.0, 8.0)  # long task outside the scope
+        ex.run(0.05)
+        assert scope.finished  # did not wait for the outside task
+
+    def test_reenter_rejected(self, ex, rt):
+        scope = FinishScope(rt)
+        with scope:
+            pass
+        with pytest.raises(RuntimeSystemError):
+            with scope:
+                pass
+
+    def test_create_task_restored_after_scope(self, ex, rt):
+        original = rt.create_task
+        with FinishScope(rt):
+            assert rt.create_task is not original
+        assert rt.create_task == original
+
+
+class TestDvfs:
+    def test_frequency_factor_bounds(self):
+        d = DvfsModel(max_boost=0.3)
+        assert d.frequency_factor(1, 8) == pytest.approx(1.3)
+        assert d.frequency_factor(8, 8) == pytest.approx(1.0)
+        assert d.frequency_factor(4, 8) > 1.0
+        assert d.frequency_factor(1, 1) == pytest.approx(1.3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DvfsModel(max_boost=-0.1)
+        d = DvfsModel()
+        with pytest.raises(ConfigurationError):
+            d.frequency_factor(9, 8)
+        with pytest.raises(ConfigurationError):
+            d.frequency_factor(0, 0)
+
+    def test_single_thread_boosted_in_executor(self):
+        from repro.sim import Binding, WorkSegment
+
+        class Work:
+            def next_segment(self, thread):
+                return WorkSegment(flops=1.0, arithmetic_intensity=1e6)
+
+            def segment_finished(self, thread, segment):
+                pass
+
+        base = ExecutionSimulator(uma_machine())
+        base.add_thread("t", Binding.to_node(0), Work(), app_name="t")
+        base.run(0.2)
+        boosted = ExecutionSimulator(
+            uma_machine(), dvfs=DvfsModel(max_boost=0.3)
+        )
+        boosted.add_thread("t", Binding.to_node(0), Work(), app_name="t")
+        boosted.run(0.2)
+        assert boosted.achieved_gflops("t", 0.2) == pytest.approx(
+            base.achieved_gflops("t", 0.2) * 1.3, rel=0.02
+        )
+
+    def test_full_node_unaffected(self):
+        from repro.sim import Binding, WorkSegment
+
+        class Work:
+            def next_segment(self, thread):
+                return WorkSegment(flops=1.0, arithmetic_intensity=1e6)
+
+            def segment_finished(self, thread, segment):
+                pass
+
+        ex = ExecutionSimulator(
+            uma_machine(), dvfs=DvfsModel(max_boost=0.3)
+        )
+        for i in range(8):
+            ex.add_thread(
+                f"t{i}", Binding.to_node(0), Work(), app_name="app"
+            )
+        ex.run(0.2)
+        # 8 busy cores -> base frequency -> 80 GFLOPS
+        assert ex.achieved_gflops("app", 0.2) == pytest.approx(
+            80.0, rel=0.02
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=10)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule_at(5.0, lambda: hit.append(sim.now))
+        sim.run()
+        assert hit == [5.0]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 2.0
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hit = []
+        h = sim.schedule(1.0, lambda: hit.append(1))
+        sim.cancel(h)
+        sim.run()
+        assert hit == []
+        assert h.cancelled
+
+    def test_double_cancel_ok(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.cancel(h)
+        sim.cancel(h)
+
+
+class TestRunUntil:
+    def test_stops_at_time(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: hits.append(t))
+        n = sim.run_until(2.0)
+        assert hits == [1.0, 2.0]
+        assert n == 2
+        assert sim.now == 2.0
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t + 1), lambda: None)
+        n = sim.run(max_events=3)
+        assert n == 3
+        assert sim.pending == 7
+
+
+class TestCounters:
+    def test_processed_and_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.processed == 2
+        assert sim.pending == 0

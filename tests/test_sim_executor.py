@@ -1,0 +1,267 @@
+"""Unit tests for the execution simulator."""
+
+import pytest
+
+from repro.core.spec import AppSpec
+from repro.errors import SimulationError
+from repro.machine import model_machine, uma_machine
+from repro.sim import (
+    Binding,
+    ExecutionSimulator,
+    ThreadState,
+    Tracer,
+    TraceKind,
+    WorkSegment,
+)
+
+
+class CountedWork:
+    """Provider handing out ``count`` identical segments."""
+
+    def __init__(self, count, flops=0.01, ai=10.0, home=None):
+        self.remaining = count
+        self.finished = 0
+        self.flops = flops
+        self.ai = ai
+        self.home = home
+
+    def next_segment(self, thread):
+        if self.remaining <= 0:
+            return None
+        self.remaining -= 1
+        return WorkSegment(
+            flops=self.flops, arithmetic_intensity=self.ai, data_home=self.home
+        )
+
+    def segment_finished(self, thread, segment):
+        self.finished += 1
+
+
+class InfiniteWork(CountedWork):
+    def __init__(self, flops=0.01, ai=10.0, home=None):
+        super().__init__(10**12, flops=flops, ai=ai, home=home)
+
+
+class TestSegmentValidation:
+    def test_flops_positive(self):
+        with pytest.raises(SimulationError):
+            WorkSegment(flops=0.0, arithmetic_intensity=1.0)
+
+    def test_ai_positive(self):
+        with pytest.raises(SimulationError):
+            WorkSegment(flops=1.0, arithmetic_intensity=0.0)
+
+    def test_fractions_sum_to_one(self):
+        with pytest.raises(SimulationError):
+            WorkSegment(
+                flops=1.0,
+                arithmetic_intensity=1.0,
+                data_fractions={0: 0.5, 1: 0.2},
+            )
+
+
+class TestExecution:
+    def test_compute_bound_runs_at_peak(self):
+        ex = ExecutionSimulator(uma_machine())
+        ex.add_thread("t", Binding.to_node(0), InfiniteWork(ai=10.0))
+        ex.run(0.5)
+        # one 10 GFLOPS core, compute-bound demand 1 GB/s vs 32 available
+        assert ex.achieved_gflops("t", 0.5) == pytest.approx(10.0, rel=0.02)
+
+    def test_memory_bound_contention(self):
+        ex = ExecutionSimulator(uma_machine())
+        for i in range(8):
+            ex.add_thread(
+                f"t{i}", Binding.to_node(0), InfiniteWork(ai=0.5),
+                app_name="app",
+            )
+        ex.run(0.5)
+        # 8 threads saturate 32 GB/s -> 16 GFLOPS
+        assert ex.achieved_gflops("app", 0.5) == pytest.approx(16.0, rel=0.02)
+
+    def test_finite_workload_completes(self):
+        ex = ExecutionSimulator(uma_machine())
+        work = CountedWork(20)
+        ex.add_thread("t", Binding.to_node(0), work)
+        end = ex.run_until_idle()
+        assert work.finished == 20
+        # 20 tasks x 0.01 GFLOP at 10 GFLOPS = 20 ms
+        assert end == pytest.approx(0.02, rel=0.1)
+
+    def test_segments_counter(self):
+        ex = ExecutionSimulator(uma_machine())
+        work = CountedWork(5)
+        ex.add_thread("t", Binding.to_node(0), work, app_name="app")
+        ex.run_until_idle()
+        assert ex.metrics.counter("segments/app").value == 5
+
+    def test_remote_data_capped_by_link(self):
+        m = model_machine()  # links 10 GB/s
+        ex = ExecutionSimulator(m)
+        # Thread on node 1 streaming node 0's memory with high demand.
+        ex.add_thread(
+            "t", Binding.to_node(1), InfiniteWork(ai=0.5, home=0)
+        )
+        ex.run(0.5)
+        # bandwidth limited to 10 GB/s -> 5 GFLOPS
+        assert ex.achieved_gflops("t", 0.5) == pytest.approx(5.0, rel=0.02)
+
+
+class TestBlocking:
+    def test_blocked_thread_makes_no_progress(self):
+        ex = ExecutionSimulator(uma_machine())
+        t = ex.add_thread("t", Binding.to_node(0), InfiniteWork())
+        ex.run(0.05)
+        ex.block(t)
+        flops_at_block = ex.metrics.integrator("flops/t").total
+        ex.run(0.1)
+        assert ex.metrics.integrator("flops/t").total == flops_at_block
+        ex.unblock(t)
+        ex.run(0.1)
+        assert ex.metrics.integrator("flops/t").total > flops_at_block
+
+    def test_block_finished_thread_rejected(self):
+        ex = ExecutionSimulator(uma_machine())
+        t = ex.add_thread("t", Binding.to_node(0), CountedWork(1))
+        ex.finish(t)
+        with pytest.raises(SimulationError):
+            ex.block(t)
+        with pytest.raises(SimulationError):
+            ex.unblock(t)
+
+    def test_double_block_is_noop(self):
+        ex = ExecutionSimulator(uma_machine())
+        t = ex.add_thread("t", Binding.to_node(0), CountedWork(1))
+        ex.block(t)
+        ex.block(t)
+        assert t.state is ThreadState.BLOCKED
+
+
+class TestRebind:
+    def test_rebind_changes_execution_node(self):
+        m = model_machine()
+        ex = ExecutionSimulator(m)
+        t = ex.add_thread("t", Binding.to_node(0), InfiniteWork())
+        ex.run(0.01)
+        assert t.assigned_node == 0
+        ex.rebind(t, Binding.to_node(2))
+        ex.run(0.01)
+        assert t.assigned_node == 2
+
+
+class TestTracing:
+    def test_task_events_recorded(self):
+        tracer = Tracer()
+        ex = ExecutionSimulator(uma_machine(), tracer=tracer)
+        ex.add_thread("t", Binding.to_node(0), CountedWork(3))
+        ex.run_until_idle()
+        assert tracer.count(TraceKind.TASK_FINISHED) == 3
+
+    def test_block_events_recorded(self):
+        tracer = Tracer()
+        ex = ExecutionSimulator(uma_machine(), tracer=tracer)
+        t = ex.add_thread("t", Binding.to_node(0), CountedWork(1))
+        ex.block(t)
+        ex.unblock(t)
+        assert tracer.count(TraceKind.THREAD_BLOCKED) == 1
+        assert tracer.count(TraceKind.THREAD_UNBLOCKED) == 1
+
+
+class TestRunners:
+    def test_run_duration_positive(self):
+        ex = ExecutionSimulator(uma_machine())
+        with pytest.raises(SimulationError):
+            ex.run(0.0)
+
+    def test_slice_positive(self):
+        with pytest.raises(SimulationError):
+            ExecutionSimulator(uma_machine(), slice_seconds=0.0)
+
+    def test_run_until_condition(self):
+        ex = ExecutionSimulator(uma_machine())
+        work = CountedWork(50)
+        ex.add_thread("t", Binding.to_node(0), work)
+        end = ex.run_until_condition(lambda: work.finished >= 10)
+        assert work.finished >= 10
+        # progress is attributed within the slice after the tick event,
+        # so the reported end may lead the clock by up to one slice
+        assert end <= ex.sim.now + ex.slice_seconds + 1e-9
+
+    def test_run_until_condition_timeout(self):
+        ex = ExecutionSimulator(uma_machine())
+        ex.add_thread("t", Binding.to_node(0), InfiniteWork())
+        with pytest.raises(SimulationError):
+            ex.run_until_condition(lambda: False, max_time=0.05)
+
+    def test_deadlock_detection(self):
+        ex = ExecutionSimulator(uma_machine())
+        t = ex.add_thread("t", Binding.to_node(0), CountedWork(100))
+        ex.block(t)
+        with pytest.raises(SimulationError):
+            ex.run_until_idle(max_time=1.0)
+
+
+class TestBandwidthSampling:
+    def test_series_recorded(self):
+        ex = ExecutionSimulator(uma_machine(), sample_bandwidth=True)
+        for i in range(8):
+            ex.add_thread(
+                f"t{i}", Binding.to_node(0), InfiniteWork(ai=0.5),
+                app_name="app",
+            )
+        ex.run(0.1)
+        series = ex.metrics.series("bw/node0")
+        assert len(series) > 50
+        # 8 memory-bound threads saturate the 32 GB/s node
+        assert series.mean() == pytest.approx(32.0, rel=0.05)
+
+    def test_off_by_default(self):
+        ex = ExecutionSimulator(uma_machine())
+        ex.add_thread("t", Binding.to_node(0), InfiniteWork())
+        ex.run(0.02)
+        assert len(ex.metrics.series("bw/node0")) == 0
+
+
+class TestNoise:
+    def test_zero_noise_deterministic_exact(self):
+        ex = ExecutionSimulator(uma_machine())
+        ex.add_thread("t", Binding.to_node(0), InfiniteWork(ai=10.0))
+        ex.run(0.2)
+        assert ex.achieved_gflops("t", 0.2) == pytest.approx(
+            10.0, rel=0.01
+        )
+
+    def test_noise_perturbs_but_preserves_mean(self):
+        def run(seed):
+            ex = ExecutionSimulator(
+                uma_machine(), noise=0.05, noise_seed=seed
+            )
+            ex.add_thread(
+                "t", Binding.to_node(0), InfiniteWork(ai=10.0)
+            )
+            ex.run(0.3)
+            return ex.achieved_gflops("t", 0.3)
+
+        values = [run(s) for s in range(5)]
+        # different seeds give different results...
+        assert len({round(v, 6) for v in values}) > 1
+        # ...centred on the deterministic value
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(10.0, rel=0.03)
+
+    def test_same_seed_reproducible(self):
+        def run():
+            ex = ExecutionSimulator(
+                uma_machine(), noise=0.05, noise_seed=7
+            )
+            ex.add_thread("t", Binding.to_node(0), InfiniteWork())
+            ex.run(0.1)
+            return ex.metrics.integrator("flops/t").total
+
+        assert run() == run()
+
+    def test_noise_validation(self):
+        with pytest.raises(SimulationError):
+            ExecutionSimulator(uma_machine(), noise=-0.1)
+        with pytest.raises(SimulationError):
+            ExecutionSimulator(uma_machine(), noise=0.9)

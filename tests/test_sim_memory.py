@@ -1,0 +1,149 @@
+"""Unit tests for the dynamic bandwidth resolver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import MachineTopology
+from repro.sim.memory import BandwidthRequest, BandwidthResolver
+
+
+def machine(nodes=2, cores=4, bw=32.0, link=8.0):
+    return MachineTopology.homogeneous(
+        num_nodes=nodes,
+        cores_per_node=cores,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=bw,
+        remote_bandwidth=link,
+    )
+
+
+class TestLocal:
+    def test_undersubscribed_all_satisfied(self):
+        r = BandwidthResolver(machine())
+        grants = r.resolve(
+            [
+                BandwidthRequest(key="a", source_node=0, demands={0: 3.0}),
+                BandwidthRequest(key="b", source_node=0, demands={0: 5.0}),
+            ]
+        )
+        assert grants["a"].total == pytest.approx(3.0)
+        assert grants["b"].total == pytest.approx(5.0)
+
+    def test_saturated_node_shares(self):
+        r = BandwidthResolver(machine())
+        reqs = [
+            BandwidthRequest(key=i, source_node=0, demands={0: 20.0})
+            for i in range(4)
+        ]
+        grants = r.resolve(reqs)
+        total = sum(g.total for g in grants.values())
+        assert total == pytest.approx(32.0)
+        assert all(g.total == pytest.approx(8.0) for g in grants.values())
+
+    def test_oversubscribed_node_capped_proportionally(self):
+        # 8 requests on a 4-core node: baseline rule cannot apply.
+        r = BandwidthResolver(machine())
+        reqs = [
+            BandwidthRequest(key=i, source_node=0, demands={0: 10.0})
+            for i in range(8)
+        ]
+        grants = r.resolve(reqs)
+        total = sum(g.total for g in grants.values())
+        assert total == pytest.approx(32.0)
+        assert all(g.total == pytest.approx(4.0) for g in grants.values())
+
+
+class TestRemote:
+    def test_link_cap(self):
+        r = BandwidthResolver(machine(link=8.0))
+        grants = r.resolve(
+            [
+                BandwidthRequest(
+                    key="x", source_node=1, demands={0: 100.0}
+                )
+            ]
+        )
+        assert grants["x"].total == pytest.approx(8.0)
+
+    def test_remote_priority_over_local(self):
+        r = BandwidthResolver(machine(bw=10.0, link=6.0))
+        grants = r.resolve(
+            [
+                BandwidthRequest(key="rem", source_node=1, demands={0: 20.0}),
+                BandwidthRequest(key="loc", source_node=0, demands={0: 20.0}),
+            ]
+        )
+        assert grants["rem"].total == pytest.approx(6.0)
+        assert grants["loc"].total == pytest.approx(4.0)
+
+    def test_remote_flows_scaled_to_capacity(self):
+        m = MachineTopology.homogeneous(
+            num_nodes=4,
+            cores_per_node=4,
+            peak_gflops_per_core=10.0,
+            local_bandwidth=9.0,
+            remote_bandwidth=6.0,
+        )
+        r = BandwidthResolver(m)
+        reqs = [
+            BandwidthRequest(key=s, source_node=s, demands={0: 100.0})
+            for s in (1, 2, 3)
+        ]
+        grants = r.resolve(reqs)
+        total = sum(g.total for g in grants.values())
+        assert total == pytest.approx(9.0)
+        # equal demand -> equal scaled flows
+        for g in grants.values():
+            assert g.total == pytest.approx(3.0)
+
+    def test_split_within_link_proportional_to_demand(self):
+        r = BandwidthResolver(machine(link=6.0))
+        grants = r.resolve(
+            [
+                BandwidthRequest(key="big", source_node=1, demands={0: 20.0}),
+                BandwidthRequest(key="small", source_node=1, demands={0: 10.0}),
+            ]
+        )
+        assert grants["big"].total == pytest.approx(4.0)
+        assert grants["small"].total == pytest.approx(2.0)
+
+    def test_grant_by_node_breakdown(self):
+        r = BandwidthResolver(machine())
+        grants = r.resolve(
+            [
+                BandwidthRequest(
+                    key="i",
+                    source_node=0,
+                    demands={0: 2.0, 1: 3.0},
+                )
+            ]
+        )
+        assert grants["i"].by_node[0] == pytest.approx(2.0)
+        assert grants["i"].by_node[1] == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_bad_source_node(self):
+        r = BandwidthResolver(machine())
+        with pytest.raises(SimulationError):
+            r.resolve(
+                [BandwidthRequest(key="x", source_node=9, demands={0: 1.0})]
+            )
+
+    def test_bad_memory_node(self):
+        r = BandwidthResolver(machine())
+        with pytest.raises(SimulationError):
+            r.resolve(
+                [BandwidthRequest(key="x", source_node=0, demands={9: 1.0})]
+            )
+
+    def test_negative_demand(self):
+        r = BandwidthResolver(machine())
+        with pytest.raises(SimulationError):
+            r.resolve(
+                [BandwidthRequest(key="x", source_node=0, demands={0: -1.0})]
+            )
+
+    def test_empty_requests_ok(self):
+        assert BandwidthResolver(machine()).resolve([]) == {}

@@ -1,0 +1,128 @@
+"""Unit tests for the fluid CFS-like OS scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.machine import MachineTopology
+from repro.sim.cpu import Binding, SimThread, ThreadState
+from repro.sim.os_scheduler import CfsScheduler
+
+
+def machine(nodes=2, cores=4):
+    return MachineTopology.homogeneous(
+        num_nodes=nodes,
+        cores_per_node=cores,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=32.0,
+        remote_bandwidth=8.0,
+    )
+
+
+class _NullProvider:
+    def next_segment(self, thread):
+        return None
+
+    def segment_finished(self, thread, segment):
+        pass
+
+
+def thread(tid, binding):
+    return SimThread(
+        tid=tid, name=f"t{tid}", binding=binding, provider=_NullProvider()
+    )
+
+
+class TestNoOversubscription:
+    def test_full_share_node_bound(self):
+        s = CfsScheduler()
+        m = machine()
+        threads = [thread(i, Binding.to_node(0)) for i in range(4)]
+        out = s.assign(m, threads)
+        for t in threads:
+            assert out[t.tid].share == pytest.approx(1.0)
+            assert out[t.tid].efficiency == pytest.approx(1.0)
+            assert out[t.tid].node == 0
+
+    def test_core_bound_exclusive(self):
+        s = CfsScheduler()
+        m = machine()
+        threads = [thread(0, Binding.to_core(5))]
+        out = s.assign(m, threads)
+        assert out[0].node == 1  # core 5 lives on node 1
+        assert out[0].share == pytest.approx(1.0)
+
+
+class TestOversubscription:
+    def test_node_level_sharing(self):
+        s = CfsScheduler(context_switch_penalty=0.05)
+        m = machine()
+        threads = [thread(i, Binding.to_node(0)) for i in range(8)]
+        out = s.assign(m, threads)
+        for t in threads:
+            assert out[t.tid].share == pytest.approx(0.5)
+            assert out[t.tid].efficiency == pytest.approx(0.95)
+
+    def test_core_level_sharing(self):
+        s = CfsScheduler(context_switch_penalty=0.0)
+        m = machine()
+        threads = [thread(i, Binding.to_core(0)) for i in range(2)]
+        out = s.assign(m, threads)
+        for t in threads:
+            assert out[t.tid].share == pytest.approx(0.5)
+
+    def test_mixed_bound_and_flexible(self):
+        s = CfsScheduler(context_switch_penalty=0.0)
+        m = machine(nodes=1, cores=2)
+        threads = [
+            thread(0, Binding.to_core(0)),
+            thread(1, Binding.to_node(0)),
+            thread(2, Binding.to_node(0)),
+        ]
+        out = s.assign(m, threads)
+        # core 0 reserved by the bound thread; flexible pair splits the
+        # other core.
+        assert out[0].share == pytest.approx(1.0)
+        assert out[1].share == pytest.approx(0.5)
+        assert out[2].share == pytest.approx(0.5)
+
+
+class TestUnbound:
+    def test_balanced_across_nodes(self):
+        s = CfsScheduler()
+        m = machine(nodes=2, cores=4)
+        threads = [thread(i, Binding.unbound()) for i in range(8)]
+        out = s.assign(m, threads)
+        nodes = [out[t.tid].node for t in threads]
+        assert nodes.count(0) == 4
+        assert nodes.count(1) == 4
+
+    def test_migration_penalty_applied(self):
+        s = CfsScheduler(migration_penalty=0.1)
+        m = machine()
+        threads = [thread(0, Binding.unbound())]
+        out = s.assign(m, threads)
+        assert out[0].efficiency == pytest.approx(0.9)
+
+    def test_fills_least_loaded_first(self):
+        s = CfsScheduler()
+        m = machine(nodes=2, cores=4)
+        threads = [thread(i, Binding.to_node(0)) for i in range(4)]
+        threads.append(thread(99, Binding.unbound()))
+        out = s.assign(m, threads)
+        assert out[99].node == 1
+
+
+class TestStates:
+    def test_blocked_threads_skipped(self):
+        s = CfsScheduler()
+        m = machine()
+        t = thread(0, Binding.to_node(0))
+        t.state = ThreadState.BLOCKED
+        out = s.assign(m, [t])
+        assert 0 not in out
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulerError):
+            CfsScheduler(context_switch_penalty=1.0)
+        with pytest.raises(SchedulerError):
+            CfsScheduler(migration_penalty=-0.1)

@@ -1,0 +1,57 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceKind, Tracer
+
+
+class TestTracer:
+    def test_emit_and_iterate(self):
+        t = Tracer()
+        t.emit(0.0, TraceKind.TASK_STARTED, "w0", label="t0")
+        t.emit(1.0, TraceKind.TASK_FINISHED, "w0", label="t0")
+        assert len(t) == 2
+        assert [e.kind for e in t] == [
+            TraceKind.TASK_STARTED,
+            TraceKind.TASK_FINISHED,
+        ]
+
+    def test_disabled_is_noop(self):
+        t = Tracer(enabled=False)
+        t.emit(0.0, TraceKind.COMMAND, "agent")
+        assert len(t) == 0
+
+    def test_filter_by_kind_and_subject(self):
+        t = Tracer()
+        t.emit(0.0, TraceKind.TASK_STARTED, "a")
+        t.emit(0.0, TraceKind.TASK_STARTED, "b")
+        t.emit(0.0, TraceKind.COMMAND, "a")
+        assert len(t.filter(kind=TraceKind.TASK_STARTED)) == 2
+        assert len(t.filter(subject="a")) == 2
+        assert len(t.filter(kind=TraceKind.COMMAND, subject="a")) == 1
+
+    def test_filter_predicate(self):
+        t = Tracer()
+        t.emit(0.0, TraceKind.CUSTOM, "x", value=1)
+        t.emit(0.0, TraceKind.CUSTOM, "x", value=2)
+        out = t.filter(predicate=lambda e: e.detail["value"] > 1)
+        assert len(out) == 1
+
+    def test_count(self):
+        t = Tracer()
+        for _ in range(3):
+            t.emit(0.0, TraceKind.THREAD_BLOCKED, "w")
+        assert t.count(TraceKind.THREAD_BLOCKED) == 3
+        assert t.count(TraceKind.THREAD_UNBLOCKED) == 0
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, TraceKind.CUSTOM, "x")
+        t.clear()
+        assert len(t) == 0
+
+    def test_render_limit(self):
+        t = Tracer()
+        for i in range(5):
+            t.emit(float(i), TraceKind.CUSTOM, f"s{i}")
+        text = t.render(limit=2)
+        assert "s0" in text and "s1" in text
+        assert "3 more" in text

@@ -1,0 +1,125 @@
+"""Tests for weighted (priority-based) CPU sharing (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.machine import MachineTopology, uma_machine
+from repro.sim import Binding, ExecutionSimulator, WorkSegment
+from repro.sim.cpu import SimThread
+from repro.sim.os_scheduler import CfsScheduler
+
+
+class _NullProvider:
+    def next_segment(self, thread):
+        return None
+
+    def segment_finished(self, thread, segment):
+        pass
+
+
+def thread(tid, binding, weight=1.0):
+    return SimThread(
+        tid=tid,
+        name=f"t{tid}",
+        binding=binding,
+        provider=_NullProvider(),
+        weight=weight,
+    )
+
+
+def machine(cores=2):
+    return MachineTopology.homogeneous(
+        num_nodes=1,
+        cores_per_node=cores,
+        peak_gflops_per_core=10.0,
+        local_bandwidth=100.0,
+    )
+
+
+class TestWeightedShares:
+    def test_proportional_split(self):
+        shares = CfsScheduler._weighted_shares(
+            1.0, np.array([1.0, 3.0])
+        )
+        assert shares == pytest.approx([0.25, 0.75])
+
+    def test_cap_at_one_core_with_redistribution(self):
+        # weight 10 vs 1 on 2 cores: the heavy thread caps at 1.0 and
+        # the light one takes the remaining full core.
+        shares = CfsScheduler._weighted_shares(
+            2.0, np.array([10.0, 1.0])
+        )
+        assert shares == pytest.approx([1.0, 1.0])
+
+    def test_capacity_conserved(self):
+        shares = CfsScheduler._weighted_shares(
+            1.5, np.array([5.0, 1.0, 1.0])
+        )
+        assert shares.sum() == pytest.approx(1.5)
+        assert np.all(shares <= 1.0 + 1e-12)
+
+    def test_invalid_weights(self):
+        with pytest.raises(SchedulerError):
+            CfsScheduler._weighted_shares(1.0, np.array([0.0, 1.0]))
+
+
+class TestSchedulerIntegration:
+    def test_weighted_node_threads(self):
+        s = CfsScheduler(context_switch_penalty=0.0)
+        m = machine(cores=1)
+        threads = [
+            thread(0, Binding.to_node(0), weight=3.0),
+            thread(1, Binding.to_node(0), weight=1.0),
+        ]
+        out = s.assign(m, threads)
+        assert out[0].share == pytest.approx(0.75)
+        assert out[1].share == pytest.approx(0.25)
+
+    def test_weighted_core_bound(self):
+        s = CfsScheduler(context_switch_penalty=0.0)
+        m = machine(cores=2)
+        threads = [
+            thread(0, Binding.to_core(0), weight=4.0),
+            thread(1, Binding.to_core(0), weight=1.0),
+        ]
+        out = s.assign(m, threads)
+        assert out[0].share == pytest.approx(0.8)
+        assert out[1].share == pytest.approx(0.2)
+
+    def test_equal_weights_unchanged(self):
+        s = CfsScheduler(context_switch_penalty=0.0)
+        m = machine(cores=2)
+        threads = [thread(i, Binding.to_node(0)) for i in range(4)]
+        out = s.assign(m, threads)
+        for t in threads:
+            assert out[t.tid].share == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_deprioritised_nonworker(self):
+        """Section IV: a non-worker compute thread can be deprioritised
+        so the runtime's workers keep most of the CPU."""
+
+        class Work:
+            def next_segment(self, thread):
+                return WorkSegment(flops=1.0, arithmetic_intensity=1e6)
+
+            def segment_finished(self, thread, segment):
+                pass
+
+        ex = ExecutionSimulator(
+            uma_machine(cores=1),
+            scheduler=CfsScheduler(context_switch_penalty=0.0),
+        )
+        worker = ex.add_thread(
+            "worker", Binding.to_node(0), Work(), app_name="worker"
+        )
+        intruder = ex.add_thread(
+            "intruder", Binding.to_node(0), Work(), app_name="intruder"
+        )
+        intruder.weight = 0.1
+        ex.run(0.3)
+        w = ex.achieved_gflops("worker", 0.3)
+        i = ex.achieved_gflops("intruder", 0.3)
+        assert w / i == pytest.approx(10.0, rel=0.05)
