@@ -9,6 +9,8 @@ The package is organised bottom-up:
   multi-runtime arbitration;
 * :mod:`repro.sim` — the deterministic discrete-event machine simulator
   (the "hardware" the experiments run on);
+* :mod:`repro.obs` — observability: span tracer, metrics registry and
+  trace exporters, wired into the hot paths and zero-cost when off;
 * :mod:`repro.runtime` — task-based runtimes: OCR-Vx with blockable
   workers, TBB arenas + RML, an OpenMP adapter;
 * :mod:`repro.agent` — the Figure 1 coordination agent and strategies;

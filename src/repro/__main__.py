@@ -12,6 +12,11 @@ Commands
 ``describe <preset>``
     Print a machine preset (``model``, ``skylake``, ``numa-bad``,
     ``knl-flat``, ``knl-snc4``) in the parseable topology format.
+``trace <target>``
+    Run an instrumented demo workload (``quickstart``, ``optimizer``,
+    ``agent``) under :mod:`repro.obs` and print a span/metric summary;
+    ``--export chrome --out trace.json`` writes a file that loads in
+    ``chrome://tracing`` (``--export jsonl`` for JSON-lines).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.machine import (
     skylake_4s,
 )
 from repro.machine.parser import format_topology
+from repro.obs.demo import TRACE_TARGETS
 
 _PRESETS = {
     "model": model_machine,
@@ -53,6 +59,21 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("api", help="print the public API reference")
     desc = sub.add_parser("describe", help="print a machine preset")
     desc.add_argument("preset", choices=sorted(_PRESETS))
+    tracep = sub.add_parser(
+        "trace", help="run an instrumented demo and export spans/metrics"
+    )
+    tracep.add_argument("target", choices=sorted(TRACE_TARGETS))
+    tracep.add_argument(
+        "--export",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace file format (default: chrome trace-event JSON)",
+    )
+    tracep.add_argument(
+        "--out",
+        default=None,
+        help="output path; omitted, only the summary is printed",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -68,7 +89,31 @@ def main(argv: list[str] | None = None) -> int:
         print(api_summary())
     elif args.command == "describe":
         print(format_topology(_PRESETS[args.preset]()), end="")
+    elif args.command == "trace":
+        _run_trace(args.target, args.export, args.out)
     return 0
+
+
+def _run_trace(target: str, export: str, out: str | None) -> None:
+    """Run one demo target under a fresh capture and export the result."""
+    from repro.obs import capture
+    from repro.obs.demo import run_trace_target
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    with capture() as cap:
+        summary = run_trace_target(target)
+    print(summary)
+    print(f"spans: {len(cap.tracer.spans)}")
+    snapshot = cap.metrics.snapshot()
+    for key in sorted(snapshot):
+        print(f"  {key} = {snapshot[key]:g}")
+    if out is not None:
+        if export == "chrome":
+            count = write_chrome_trace(out, cap.tracer, metrics=cap.metrics)
+            print(f"wrote {count} trace events to {out} (chrome://tracing)")
+        else:
+            write_jsonl(out, cap.tracer.spans)
+            print(f"wrote {len(cap.tracer.spans)} spans to {out} (jsonl)")
 
 
 if __name__ == "__main__":

@@ -22,11 +22,23 @@ from repro.agent.monitor import LoadMonitor, LoadSample
 from repro.agent.protocol import RuntimeEndpoint, StatusReport, ThreadCommand
 from repro.agent.strategies import AgentStrategy
 from repro.errors import AgentError
+from repro.obs import OBS
 from repro.sim.executor import ExecutionSimulator, WorkSegment
 from repro.sim.cpu import Binding, SimThread
 from repro.sim.trace import TraceKind
 
 __all__ = ["AgentDecision", "Agent"]
+
+
+def _endpoint_threads(endpoint: RuntimeEndpoint) -> int | None:
+    """Active-thread count of an endpoint's runtime, if it exposes one.
+
+    Duck-typed so command spans can annotate before/after counts without
+    issuing an extra protocol report (which would perturb the endpoints'
+    differencing state, e.g. ``cpu_load``).
+    """
+    runtime = getattr(endpoint, "runtime", None)
+    return getattr(runtime, "active_threads", None)
 
 
 @dataclass(frozen=True)
@@ -134,21 +146,25 @@ class Agent:
     # ------------------------------------------------------------------
     def _round(self) -> None:
         now = self.executor.sim.now
-        reports = {
-            name: ep.report(now) for name, ep in self.endpoints.items()
-        }
-        load = self.monitor.sample()
-        commands = self.strategy.decide(self.executor.machine, reports)
-        for name, cmds in commands.items():
-            if name not in self.endpoints:
-                raise AgentError(
-                    f"strategy issued commands for unknown runtime '{name}'"
-                )
-            for cmd in cmds:
-                self.endpoints[name].apply(cmd)
-                self.executor.tracer.emit(
-                    now, TraceKind.COMMAND, name, command=cmd.kind.value
-                )
+        with OBS.tracer.span("agent/round", sim_time=now) as span:
+            reports = {
+                name: ep.report(now) for name, ep in self.endpoints.items()
+            }
+            load = self.monitor.sample()
+            commands = self.strategy.decide(self.executor.machine, reports)
+            applied = 0
+            for name, cmds in commands.items():
+                if name not in self.endpoints:
+                    raise AgentError(
+                        f"strategy issued commands for unknown runtime "
+                        f"'{name}'"
+                    )
+                for cmd in cmds:
+                    self._apply_command(name, cmd, now)
+                    applied += 1
+            if OBS.enabled:
+                span.attrs["commands"] = applied
+                OBS.metrics.counter("agent/rounds").add()
         self.total_deliberation += self.decision_cost_seconds
         if self.charge_cpu:
             self._pending_work += self.decision_cost_seconds
@@ -163,6 +179,28 @@ class Agent:
             )
         )
         self.executor.sim.schedule(self.period, self._round, priority=5)
+
+    def _apply_command(self, name: str, cmd: ThreadCommand, now: float) -> None:
+        """Apply one command; when observability is on, log it as a span
+        with the runtime's before/after active-thread counts."""
+        endpoint = self.endpoints[name]
+        if not OBS.enabled:
+            endpoint.apply(cmd)
+        else:
+            before = _endpoint_threads(endpoint)
+            with OBS.tracer.span(
+                "agent/command",
+                runtime=name,
+                command=cmd.kind.value,
+                sim_time=now,
+            ) as span:
+                endpoint.apply(cmd)
+                span.attrs["threads_before"] = before
+                span.attrs["threads_after"] = _endpoint_threads(endpoint)
+            OBS.metrics.counter("agent/commands").add()
+        self.executor.tracer.emit(
+            now, TraceKind.COMMAND, name, command=cmd.kind.value
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -24,6 +24,7 @@ is what makes the allocation-search optimizers in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -34,6 +35,7 @@ from repro.core.bwshare import RemainderRule, share_node_bandwidth
 from repro.core.spec import AppSpec, Placement
 from repro.errors import ModelError
 from repro.machine.topology import MachineTopology
+from repro.obs import OBS
 
 __all__ = [
     "GroupResult",
@@ -193,12 +195,33 @@ class NumaPerformanceModel:
     ) -> Prediction:
         """Predict achieved GFLOPS for every application.
 
+        When observability is enabled (:mod:`repro.obs`) each call bumps
+        the ``model/predictions`` counter and records its latency in the
+        ``model/predict_seconds`` histogram, from which evaluations/sec
+        falls out; disabled, the overhead is one boolean check.
+
         Raises
         ------
         ModelError
             If the apps and allocation are inconsistent with each other or
             with the machine.
         """
+        if not OBS.enabled:
+            return self._predict(machine, apps, allocation)
+        t0 = time.perf_counter()
+        prediction = self._predict(machine, apps, allocation)
+        OBS.metrics.counter("model/predictions").add()
+        OBS.metrics.histogram("model/predict_seconds").record(
+            time.perf_counter() - t0
+        )
+        return prediction
+
+    def _predict(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        allocation: ThreadAllocation,
+    ) -> Prediction:
         self._check_inputs(machine, apps, allocation)
         n_nodes = machine.num_nodes
         n_apps = len(apps)

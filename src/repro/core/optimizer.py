@@ -34,6 +34,7 @@ from repro.core.policies import enumerate_symmetric_allocations
 from repro.core.spec import AppSpec
 from repro.errors import AllocationError, ModelError
 from repro.machine.topology import MachineTopology
+from repro.obs import OBS
 
 __all__ = [
     "Objective",
@@ -95,7 +96,16 @@ class SearchResult:
 
 
 class _SearchBase:
-    """Shared plumbing: model evaluation with counting."""
+    """Shared plumbing: model evaluation with counting.
+
+    Every search is instrumented through :mod:`repro.obs` when enabled:
+    one span per :meth:`search` call (``optimizer/<search>``), the
+    ``optimizer/evaluations`` counter per candidate scored, and the
+    ``optimizer/best_score`` gauge set to the returned score.
+    """
+
+    #: span name suffix; subclasses override (``optimizer/<span_name>``)
+    span_name = "search"
 
     def __init__(
         self,
@@ -113,8 +123,26 @@ class _SearchBase:
         allocation: ThreadAllocation,
     ) -> tuple[float, Prediction]:
         self._evaluations += 1
+        if OBS.enabled:
+            OBS.metrics.counter("optimizer/evaluations").add()
         prediction = self.model.predict(machine, apps, allocation)
         return self.objective(prediction), prediction
+
+    def _span(self, machine: MachineTopology, apps: Sequence[AppSpec]):
+        """Open the per-search span (a no-op context manager when off)."""
+        return OBS.tracer.span(
+            f"optimizer/{self.span_name}",
+            machine=machine.name,
+            apps=len(apps),
+        )
+
+    def _finish(self, span, result: SearchResult) -> SearchResult:
+        """Annotate the search span and publish the best-score gauge."""
+        if OBS.enabled:
+            span.attrs["score"] = result.score
+            span.attrs["evaluations"] = result.evaluations
+            OBS.metrics.gauge("optimizer/best_score").set(result.score)
+        return result
 
 
 class ExhaustiveSearch(_SearchBase):
@@ -126,6 +154,8 @@ class ExhaustiveSearch(_SearchBase):
         Whether every core must be occupied.  Allowing idle cores enlarges
         the space but can win when all applications are memory bound.
     """
+
+    span_name = "exhaustive"
 
     def __init__(
         self,
@@ -141,6 +171,12 @@ class ExhaustiveSearch(_SearchBase):
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> SearchResult:
         """Return the best symmetric allocation."""
+        with self._span(machine, apps) as span:
+            return self._finish(span, self._run(machine, apps))
+
+    def _run(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> SearchResult:
         self._evaluations = 0
         best: tuple[float, ThreadAllocation, Prediction] | None = None
         for alloc in enumerate_symmetric_allocations(
@@ -172,10 +208,18 @@ class GreedySearch(_SearchBase):
     contention-heavy workloads).
     """
 
+    span_name = "greedy"
+
     def search(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> SearchResult:
         """Greedily build an allocation."""
+        with self._span(machine, apps) as span:
+            return self._finish(span, self._run(machine, apps))
+
+    def _run(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> SearchResult:
         self._evaluations = 0
         names = tuple(a.name for a in apps)
         counts = np.zeros((len(apps), machine.num_nodes), dtype=np.int64)
@@ -224,6 +268,8 @@ class HillClimbSearch(_SearchBase):
     a local optimum of the move neighbourhood.
     """
 
+    span_name = "hillclimb"
+
     def __init__(
         self,
         model: NumaPerformanceModel | None = None,
@@ -241,6 +287,15 @@ class HillClimbSearch(_SearchBase):
         start: ThreadAllocation | None = None,
     ) -> SearchResult:
         """Climb from ``start`` (default: even share with leftovers)."""
+        with self._span(machine, apps) as span:
+            return self._finish(span, self._run(machine, apps, start))
+
+    def _run(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation | None = None,
+    ) -> SearchResult:
         self._evaluations = 0
         if start is None:
             from repro.core.policies import EvenSharePolicy
@@ -287,6 +342,8 @@ class AnnealingSearch(_SearchBase):
     Deterministic for a fixed ``seed``.
     """
 
+    span_name = "annealing"
+
     def __init__(
         self,
         model: NumaPerformanceModel | None = None,
@@ -314,6 +371,15 @@ class AnnealingSearch(_SearchBase):
         start: ThreadAllocation | None = None,
     ) -> SearchResult:
         """Anneal from ``start`` (default: even share with leftovers)."""
+        with self._span(machine, apps) as span:
+            return self._finish(span, self._run(machine, apps, start))
+
+    def _run(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation | None = None,
+    ) -> SearchResult:
         self._evaluations = 0
         rng = np.random.default_rng(self.seed)
         if start is None:

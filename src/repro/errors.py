@@ -16,6 +16,7 @@ __all__ = [
     "OversubscriptionError",
     "ModelError",
     "SimulationError",
+    "ObservabilityError",
     "SchedulerError",
     "RuntimeSystemError",
     "TaskError",
@@ -60,6 +61,15 @@ class ModelError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ObservabilityError(SimulationError):
+    """An observability primitive (metric, span, exporter) was misused.
+
+    Subclasses :class:`SimulationError` because the metric primitives
+    originated in :mod:`repro.sim.metrics`; existing callers that catch
+    ``SimulationError`` keep working after the move to :mod:`repro.obs`.
+    """
 
 
 class SchedulerError(SimulationError):

@@ -1,0 +1,162 @@
+"""Instrumented demo workloads behind ``python -m repro trace <target>``.
+
+Each target runs a small, fast (< a few seconds) workload with enough
+span/metric activity to produce an interesting Chrome trace:
+
+* ``quickstart`` — the Tables I/II workload: model predictions for the
+  three Figure 2 allocations plus an exhaustive allocation search;
+* ``optimizer`` — all four allocation searches on the model machine;
+* ``agent`` — a scaled-down Figure 1 run: two runtimes on the simulated
+  machine coordinated by the agent (producer-consumer alignment).
+
+Targets assume the caller already enabled instrumentation (the CLI wraps
+them in :func:`repro.obs.capture`); they work uninstrumented too, just
+tracelessly.  Kept out of ``repro.obs.__init__`` so importing the
+observability layer never drags in the simulator stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ObservabilityError
+from repro.obs import OBS
+
+__all__ = ["TRACE_TARGETS", "run_trace_target"]
+
+
+def _demo_quickstart() -> str:
+    """Model predictions + exhaustive search on the paper workload."""
+    from repro.core import (
+        AppSpec,
+        EvenSharePolicy,
+        ExhaustiveSearch,
+        NodeExclusivePolicy,
+        NumaPerformanceModel,
+        UnevenSharePolicy,
+    )
+    from repro.machine import model_machine
+
+    machine = model_machine()
+    apps = [
+        AppSpec.memory_bound("mem0", 0.5),
+        AppSpec.memory_bound("mem1", 0.5),
+        AppSpec.memory_bound("mem2", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ]
+    model = NumaPerformanceModel()
+    policies = {
+        "uneven": UnevenSharePolicy(
+            {"mem0": 1, "mem1": 1, "mem2": 1, "comp": 5}
+        ),
+        "even": EvenSharePolicy(),
+        "node-exclusive": NodeExclusivePolicy(),
+    }
+    lines = []
+    with OBS.tracer.span("demo/quickstart", machine=machine.name):
+        for name, policy in policies.items():
+            with OBS.tracer.span("demo/scenario", scenario=name) as span:
+                alloc = policy.allocate(machine, apps)
+                pred = model.predict(machine, apps, alloc)
+                span.attrs["gflops"] = pred.total_gflops
+            lines.append(f"  {name:15s} {pred.total_gflops:7.2f} GFLOPS")
+        best = ExhaustiveSearch(model).search(machine, apps)
+    lines.append(
+        f"exhaustive optimum: {best.score:.1f} GFLOPS "
+        f"({best.evaluations} model evaluations)"
+    )
+    return "\n".join(lines)
+
+
+def _demo_optimizer() -> str:
+    """All four allocation searches on the model machine."""
+    from repro.core import (
+        AnnealingSearch,
+        AppSpec,
+        ExhaustiveSearch,
+        GreedySearch,
+        HillClimbSearch,
+    )
+    from repro.machine import model_machine
+
+    machine = model_machine()
+    apps = [
+        AppSpec.memory_bound("mem0", 0.5),
+        AppSpec.memory_bound("mem1", 0.5),
+        AppSpec.memory_bound("mem2", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ]
+    searches = {
+        "exhaustive": ExhaustiveSearch(),
+        "greedy": GreedySearch(),
+        "hill-climb": HillClimbSearch(),
+        "annealing": AnnealingSearch(steps=800, seed=1),
+    }
+    lines = []
+    for name, search in searches.items():
+        result = search.search(machine, apps)
+        lines.append(
+            f"  {name:11s} {result.score:7.2f} GFLOPS in "
+            f"{result.evaluations:5d} evaluations"
+        )
+    return "\n".join(lines)
+
+
+def _demo_agent() -> str:
+    """Scaled-down Figure 1: two runtimes plus the coordination agent."""
+    from repro.agent import Agent, OcrVxEndpoint, ProducerConsumerAlignment
+    from repro.apps import ProducerConsumerScenario
+    from repro.machine import model_machine
+    from repro.runtime import OCRVxRuntime
+    from repro.sim import ExecutionSimulator
+
+    machine = model_machine()
+    ex = ExecutionSimulator(machine)
+    producer = OCRVxRuntime("producer", ex)
+    consumer = OCRVxRuntime("consumer", ex)
+    producer.start()
+    consumer.start()
+    scenario = ProducerConsumerScenario(
+        ex,
+        producer,
+        consumer,
+        iterations=12,
+        tasks_per_iteration=8,
+        producer_flops=0.004,
+        consumer_flops=0.012,
+    )
+    scenario.build()
+    agent = Agent(
+        ex,
+        ProducerConsumerAlignment(
+            "producer", "consumer", max_lead=3.0, min_lead=1.0
+        ),
+        period=0.005,
+    )
+    agent.register(OcrVxEndpoint(producer))
+    agent.register(OcrVxEndpoint(consumer))
+    agent.start()
+    end = ex.run_until_condition(lambda: scenario.finished, max_time=600)
+    return (
+        f"finished at t={end:.3f}s after {agent.rounds} agent rounds, "
+        f"{agent.commands_issued()} commands, peak "
+        f"{scenario.max_intermediate_items()} buffered items"
+    )
+
+
+#: Target name -> demo callable; each returns a human-readable summary.
+TRACE_TARGETS: dict[str, Callable[[], str]] = {
+    "quickstart": _demo_quickstart,
+    "optimizer": _demo_optimizer,
+    "agent": _demo_agent,
+}
+
+
+def run_trace_target(name: str) -> str:
+    """Run one demo target by name; returns its summary text."""
+    if name not in TRACE_TARGETS:
+        raise ObservabilityError(
+            f"unknown trace target '{name}' "
+            f"(choose from {sorted(TRACE_TARGETS)})"
+        )
+    return TRACE_TARGETS[name]()

@@ -1,0 +1,185 @@
+"""Span/metric exporters: JSON-lines and Chrome trace-event format.
+
+Two formats cover the two workflows:
+
+* **JSON-lines** (``.jsonl``) — one :meth:`Span.to_dict` object per
+  line; trivially greppable/parsable and round-trips exactly through
+  :func:`read_jsonl`.
+* **Chrome trace-event JSON** — a ``{"traceEvents": [...]}`` document
+  that loads directly in ``chrome://tracing`` (or https://ui.perfetto.dev).
+  Finished spans become complete (``"ph": "X"``) events, zero-duration
+  spans become instants (``"i"``), and an optional
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot is appended as
+  counter (``"C"``) events so final metric values show up as tracks.
+
+Timestamps are normalised so the earliest span starts at 0 µs, and
+attribute values that are not JSON-serialisable are stringified — an
+export can never fail because of an exotic span attribute.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry, MetricSet
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def _spans_of(source: Tracer | Iterable[Span]) -> tuple[Span, ...]:
+    if isinstance(source, Tracer):
+        return source.spans
+    return tuple(source)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+def to_jsonl(source: Tracer | Iterable[Span]) -> str:
+    """Render spans as JSON-lines text (one object per line)."""
+    return "\n".join(
+        json.dumps(s.to_dict(), sort_keys=True, default=str)
+        for s in _spans_of(source)
+    )
+
+
+def write_jsonl(path: str, source: Tracer | Iterable[Span]) -> int:
+    """Write spans to ``path`` as JSON-lines; returns the span count."""
+    spans = _spans_of(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        text = to_jsonl(spans)
+        if text:
+            fh.write(text + "\n")
+    return len(spans)
+
+
+def read_jsonl(path: str) -> list[Span]:
+    """Load spans written by :func:`write_jsonl` (exact round-trip)."""
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: not a span record ({exc})"
+                ) from exc
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
+    safe: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[str(key)] = value
+        else:
+            safe[str(key)] = str(value)
+    return safe
+
+
+def to_chrome_trace(
+    source: Tracer | Iterable[Span],
+    metrics: MetricSet | None = None,
+    *,
+    process_name: str = "repro",
+) -> dict[str, Any]:
+    """Build a Chrome trace-event document from spans (+ optional metrics).
+
+    The result is a JSON-serialisable dict following the Trace Event
+    Format: ``traceEvents`` holds metadata (``M``), complete (``X``),
+    instant (``i``) and counter (``C``) events with microsecond
+    timestamps relative to the earliest span.
+    """
+    spans = [s for s in _spans_of(source) if s.finished]
+    t0 = min((s.start for s in spans), default=0.0)
+    # Python thread idents are large opaque ints; renumber them 0..n so
+    # the viewer shows compact per-thread tracks in first-seen order.
+    tids: dict[int, int] = {}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        tid = tids.setdefault(span.thread_id, len(tids))
+        ts = (span.start - t0) * 1e6
+        dur = (span.end - span.start) * 1e6
+        args = _json_safe(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.name.split("/", 1)[0] or "span",
+            "pid": 1,
+            "tid": tid,
+            "ts": ts,
+            "args": args,
+        }
+        if dur <= 0:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = dur
+        events.append(event)
+    for real_tid, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"thread-{real_tid}"},
+            }
+        )
+    if metrics is not None:
+        end_ts = max(
+            ((s.end - t0) * 1e6 for s in spans), default=0.0
+        )
+        for name, value in sorted(metrics.snapshot().items()):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": end_ts,
+                    "args": {"value": value},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    source: Tracer | Iterable[Span],
+    metrics: MetricsRegistry | MetricSet | None = None,
+    *,
+    process_name: str = "repro",
+) -> int:
+    """Write a ``chrome://tracing``-loadable file; returns the event count."""
+    doc = to_chrome_trace(source, metrics, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return len(doc["traceEvents"])

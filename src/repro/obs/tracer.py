@@ -1,0 +1,329 @@
+"""Nested, timestamped spans with a thread-safe in-memory buffer.
+
+A :class:`Span` is one timed operation with free-form attributes; spans
+nest per thread (the innermost open span on the calling thread becomes
+the parent of the next one started there).  The :class:`Tracer` collects
+finished spans in a lock-protected buffer that exporters
+(:mod:`repro.obs.export`) drain into JSON-lines or Chrome trace files.
+
+Tracing must cost nothing when off: the process-wide default is
+:data:`NULL_TRACER`, whose :meth:`Tracer.span` hands back one shared
+no-op context manager, and instrumented hot paths additionally guard
+metric updates with ``if OBS.enabled:`` (see :mod:`repro.obs`).
+
+This tracer is distinct from :class:`repro.sim.trace.Tracer`, which
+records the *simulated machine's* typed event log on the simulated
+clock; this one measures the *reproduction code itself* on the wall
+clock (or any injected ``clock``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation.
+
+    Attributes
+    ----------
+    name:
+        Slash-separated span name (``"optimizer/exhaustive"``).
+    span_id / parent_id:
+        Unique id and the id of the enclosing span on the same thread
+        (``None`` for a root span).
+    thread_id:
+        :func:`threading.get_ident` of the thread that opened the span.
+    start / end:
+        Clock readings (seconds); ``end`` is ``None`` while the span is
+        open.  Equal start and end mark an instant event.
+    attrs:
+        Free-form key/value annotations.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds between start and end, or ``None`` while open."""
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        """True once the span has ended."""
+        return self.end is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the JSON-lines record)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            thread_id=data["thread_id"],
+            start=data["start"],
+            end=data["end"],
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _DiscardAttrs(dict):
+    """Attribute sink of the shared no-op span: writes vanish."""
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        pass
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        return default
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+#: The one span every disabled tracer hands out; annotating it is a no-op.
+_NULL_SPAN = Span(
+    name="",
+    span_id=0,
+    parent_id=None,
+    thread_id=0,
+    start=0.0,
+    end=0.0,
+    attrs=_DiscardAttrs(),
+)
+
+
+class _NullContext:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _SpanContext:
+    """Context manager opening/closing one span (what ``span()`` returns)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start(self._name, **self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.finish(self._span)
+        return False
+
+
+class Tracer:
+    """Collects nested :class:`Span` records across threads.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source; defaults to :func:`time.perf_counter`.  Inject
+        a simulated clock to trace in simulation time instead.
+    enabled:
+        When False the tracer records nothing and ``span()`` returns a
+        shared no-op context manager (one attribute check per call).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager: open a span now, close it on exit.
+
+        ``with tracer.span("agent/round", sim_time=t) as sp:`` — the
+        yielded :class:`Span` accepts further ``sp.attrs[...]``
+        annotations, including after the block exits.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attrs)
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span manually; pair with :meth:`finish` (LIFO order)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        stack = self._stack()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            thread_id=threading.get_ident(),
+            start=self.clock(),
+            attrs=attrs,
+        )
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close a span opened with :meth:`start` on this thread."""
+        if span is _NULL_SPAN:
+            return
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise ObservabilityError(
+                f"span '{span.name}' is not the innermost open span on "
+                f"this thread (spans close in LIFO order)"
+            )
+        stack.pop()
+        span.end = self.clock()
+        with self._lock:
+            self._spans.append(span)
+
+    def instant(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration marker under the current span."""
+        if not self.enabled:
+            return _NULL_SPAN
+        now = self.clock()
+        stack = self._stack()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            thread_id=threading.get_ident(),
+            start=now,
+            end=now,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def record(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> Span:
+        """Record an explicitly timed span (e.g. on the simulated clock)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        if end < start:
+            raise ObservabilityError(
+                f"span '{name}': end {end} before start {start}"
+            )
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None,
+            thread_id=threading.get_ident(),
+            start=start,
+            end=end,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def current(self) -> Span | None:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def filter(
+        self,
+        name: str | None = None,
+        predicate: Callable[[Span], bool] | None = None,
+    ) -> list[Span]:
+        """Finished spans matching all the given criteria."""
+        out = []
+        for s in self.spans:
+            if name is not None and s.name != name:
+                continue
+            if predicate is not None and not predicate(s):
+                continue
+            out.append(s)
+        return out
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        with self._lock:
+            self._spans.clear()
+
+
+class NullTracer(Tracer):
+    """The always-off tracer: every operation is a no-op.
+
+    Installed process-wide by default (:data:`NULL_TRACER`) so
+    instrumentation costs one attribute check until someone opts in via
+    :func:`repro.obs.enable` or :func:`repro.obs.capture`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+
+#: Shared no-op tracer instance — the process-wide default.
+NULL_TRACER = NullTracer()

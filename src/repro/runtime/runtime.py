@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import RuntimeSystemError
+from repro.obs import OBS
 from repro.runtime.datablock import AccessMode, Datablock
 from repro.runtime.events import Event, LatchEvent, OnceEvent
 from repro.runtime.scheduler import (
@@ -256,6 +257,11 @@ class OCRVxRuntime:
         worker.current_task = None
         worker.tasks_executed += 1
         self.stats.tasks_executed += 1
+        if OBS.enabled:
+            OBS.metrics.counter(f"runtime/{self.name}/tasks").add()
+            OBS.metrics.gauge(f"runtime/{self.name}/queue").set(
+                len(self.scheduler)
+            )
         task.finish()
 
     # ------------------------------------------------------------------

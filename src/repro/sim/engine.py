@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs import OBS
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -141,6 +142,8 @@ class Simulator:
                 )
             self._now = max(self._now, entry.time)
             self._processed += 1
+            if OBS.enabled:
+                OBS.metrics.counter("sim/events").add()
             entry.callback()
             return True
         return False

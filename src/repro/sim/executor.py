@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.bwshare import RemainderRule
 from repro.errors import SimulationError
 from repro.machine.topology import MachineTopology
+from repro.obs import OBS
 from repro.sim.cpu import Binding, SimThread, ThreadState
 from repro.sim.engine import Simulator
 from repro.sim.memory import BandwidthRequest, BandwidthResolver
@@ -335,6 +336,8 @@ class ExecutionSimulator:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         now = self.sim.now
+        if OBS.enabled:
+            OBS.metrics.counter("sim/ticks").add()
         # 1. Hand out new segments.
         for t in self.threads:
             if t.state is not ThreadState.RUNNABLE or t.busy:
@@ -354,6 +357,8 @@ class ExecutionSimulator:
             for t in self.threads
             if t.state is ThreadState.RUNNABLE and t.busy
         ]
+        if OBS.enabled:
+            OBS.metrics.gauge("sim/runnable_threads").set(len(active))
         if active:
             assignments = self.scheduler.assign(self.machine, active)
 

@@ -1,173 +1,33 @@
-"""Lightweight instrumentation primitives for the simulator.
+"""Deprecated location of the metric primitives.
 
-Experiments need three things: counters (tasks executed, context
-switches), gauges sampled over time (threads running, bandwidth in use),
-and accumulators integrating a rate over time (FLOPs executed).  All three
-store plain Python floats and convert to NumPy arrays only on demand, so
-recording stays O(1) per sample.
+The simulator-local registry grew into the process-wide observability
+layer: :class:`Counter`, :class:`TimeSeries`, :class:`RateIntegrator`
+and :class:`MetricSet` now live in :mod:`repro.obs.metrics` (alongside
+the new :class:`~repro.obs.metrics.Gauge`,
+:class:`~repro.obs.metrics.Histogram` and
+:class:`~repro.obs.metrics.MetricsRegistry`).
+
+This module remains as a compatibility shim so existing imports
+(``from repro.sim.metrics import MetricSet``) keep working — the classes
+are the same objects, not copies.  New code should import from
+:mod:`repro.obs` directly; this shim will stay until every in-tree
+caller has moved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from repro.obs.metrics import (
+    Counter,
+    MetricSet,
+    MetricsRegistry,
+    RateIntegrator,
+    TimeSeries,
+)
 
-import numpy as np
-
-from repro.errors import SimulationError
-
-__all__ = ["Counter", "TimeSeries", "RateIntegrator", "MetricSet"]
-
-
-@dataclass
-class Counter:
-    """A monotonically increasing event counter."""
-
-    name: str
-    value: float = 0.0
-
-    def add(self, amount: float = 1.0) -> None:
-        """Increment by ``amount`` (must be non-negative)."""
-        if amount < 0:
-            raise SimulationError(
-                f"counter '{self.name}' cannot decrease (amount={amount})"
-            )
-        self.value += amount
-
-
-@dataclass
-class TimeSeries:
-    """Timestamped samples of a gauge."""
-
-    name: str
-    _times: list[float] = field(default_factory=list)
-    _values: list[float] = field(default_factory=list)
-
-    def record(self, time: float, value: float) -> None:
-        """Append one sample; times must be non-decreasing."""
-        if self._times and time < self._times[-1] - 1e-12:
-            raise SimulationError(
-                f"time series '{self.name}': sample at {time} after "
-                f"{self._times[-1]}"
-            )
-        self._times.append(time)
-        self._values.append(value)
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    @property
-    def times(self) -> np.ndarray:
-        """Sample timestamps as an array."""
-        return np.asarray(self._times)
-
-    @property
-    def values(self) -> np.ndarray:
-        """Sample values as an array."""
-        return np.asarray(self._values)
-
-    @property
-    def last(self) -> float:
-        """Most recent value."""
-        if not self._values:
-            raise SimulationError(f"time series '{self.name}' is empty")
-        return self._values[-1]
-
-    def mean(self) -> float:
-        """Time-weighted mean of the series (trapezoid-free: step-wise).
-
-        Each sample's value is assumed to hold until the next sample.  The
-        final sample gets zero weight (its holding interval is unknown), so
-        a series needs at least two samples.
-        """
-        if len(self._times) < 2:
-            raise SimulationError(
-                f"time series '{self.name}' needs >= 2 samples for a mean"
-            )
-        t = self.times
-        v = self.values
-        dt = np.diff(t)
-        span = t[-1] - t[0]
-        if span <= 0:
-            return float(v[:-1].mean())
-        return float((v[:-1] * dt).sum() / span)
-
-    def max(self) -> float:
-        """Largest sample value."""
-        if not self._values:
-            raise SimulationError(f"time series '{self.name}' is empty")
-        return float(np.max(self._values))
-
-
-@dataclass
-class RateIntegrator:
-    """Integrates a piecewise-constant rate into a total.
-
-    Used for FLOPs (integrate GFLOPS over seconds) and bytes moved
-    (integrate GB/s).
-    """
-
-    name: str
-    total: float = 0.0
-    _last_time: float | None = None
-
-    def accumulate(self, start: float, end: float, rate: float) -> None:
-        """Add ``rate * (end - start)`` to the total."""
-        if end < start:
-            raise SimulationError(
-                f"integrator '{self.name}': end {end} before start {start}"
-            )
-        if rate < 0:
-            raise SimulationError(
-                f"integrator '{self.name}': negative rate {rate}"
-            )
-        self.total += rate * (end - start)
-        self._last_time = end
-
-    def average_rate(self, duration: float) -> float:
-        """Total divided by ``duration`` (e.g. achieved GFLOPS)."""
-        if duration <= 0:
-            raise SimulationError(
-                f"integrator '{self.name}': non-positive duration {duration}"
-            )
-        return self.total / duration
-
-
-class MetricSet:
-    """A named registry of metrics, auto-creating on first use."""
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._series: dict[str, TimeSeries] = {}
-        self._integrators: dict[str, RateIntegrator] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
-
-    def series(self, name: str) -> TimeSeries:
-        """Get or create the time series ``name``."""
-        if name not in self._series:
-            self._series[name] = TimeSeries(name)
-        return self._series[name]
-
-    def integrator(self, name: str) -> RateIntegrator:
-        """Get or create the rate integrator ``name``."""
-        if name not in self._integrators:
-            self._integrators[name] = RateIntegrator(name)
-        return self._integrators[name]
-
-    def counters(self) -> Iterator[Counter]:
-        """All counters, in creation order."""
-        return iter(self._counters.values())
-
-    def snapshot(self) -> dict[str, float]:
-        """Flat dict of counter values and integrator totals."""
-        out: dict[str, float] = {}
-        for c in self._counters.values():
-            out[f"counter/{c.name}"] = c.value
-        for i in self._integrators.values():
-            out[f"total/{i.name}"] = i.total
-        return out
+__all__ = [
+    "Counter",
+    "TimeSeries",
+    "RateIntegrator",
+    "MetricSet",
+    "MetricsRegistry",
+]

@@ -1,0 +1,53 @@
+"""Smoke tests for ``python -m repro trace`` (in-process via main())."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import OBS, Span
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_off():
+    """The CLI captures locally; global state must be untouched after."""
+    yield
+    assert OBS.enabled is False
+
+
+class TestTraceCommand:
+    def test_quickstart_summary(self, capsys):
+        assert main(["trace", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "counter/model/predictions" in out
+        assert "counter/optimizer/evaluations" in out
+        assert "gauge/optimizer/best_score" in out
+
+    def test_chrome_export(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "quickstart", "--export", "chrome", "--out", str(path)]
+        ) == 0
+        assert "chrome://tracing" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= {"X", "i", "C", "M"}
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "C" for e in events)  # metrics snapshot
+
+    def test_jsonl_export(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert main(
+            ["trace", "quickstart", "--export", "jsonl", "--out", str(path)]
+        ) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        spans = [Span.from_dict(json.loads(line)) for line in lines]
+        assert all(s.finished for s in spans)
+        assert any(s.name.startswith("optimizer/") for s in spans)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonsense"])
