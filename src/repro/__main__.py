@@ -17,6 +17,12 @@ Commands
     ``agent``) under :mod:`repro.obs` and print a span/metric summary;
     ``--export chrome --out trace.json`` writes a file that loads in
     ``chrome://tracing`` (``--export jsonl`` for JSON-lines).
+``check [paths]``
+    Run the project's static-analysis suite (:mod:`repro.lint`): the
+    AST rule pack over ``paths`` (default ``src``) plus the machine
+    preset invariant checker.  ``--rules`` with no ids prints the rule
+    catalogue; ``--json`` emits machine-readable findings; ``--fail-on
+    {error,warning}`` controls the exit-code gate.
 """
 
 from __future__ import annotations
@@ -74,6 +80,9 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output path; omitted, only the summary is printed",
     )
+    from repro.lint.cli import add_check_parser
+
+    add_check_parser(sub)
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -91,6 +100,10 @@ def main(argv: list[str] | None = None) -> int:
         print(format_topology(_PRESETS[args.preset]()), end="")
     elif args.command == "trace":
         _run_trace(args.target, args.export, args.out)
+    elif args.command == "check":
+        from repro.lint.cli import run_check
+
+        return run_check(args)
     return 0
 
 

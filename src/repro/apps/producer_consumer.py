@@ -24,7 +24,7 @@ from repro.runtime.events import OnceEvent
 from repro.runtime.runtime import OCRVxRuntime
 from repro.runtime.task import Task
 from repro.sim.executor import ExecutionSimulator
-from repro.sim.metrics import TimeSeries
+from repro.obs.metrics import TimeSeries
 
 __all__ = ["ProducerConsumerScenario"]
 

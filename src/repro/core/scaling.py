@@ -187,7 +187,7 @@ def measured_curve(samples: Sequence[float]) -> ScalingCurve:
     vals = [float(v) for v in samples]
     if len(vals) < 2:
         raise ConfigurationError("need at least [t0, t1] samples")
-    if vals[0] != 0.0:
+    if abs(vals[0]) > 1e-12:
         raise ConfigurationError("samples[0] (zero threads) must be 0")
     if any(b < a - 1e-12 for a, b in zip(vals, vals[1:])):
         raise ConfigurationError("samples must be non-decreasing")

@@ -26,6 +26,7 @@ __all__ = [
     "ProtocolError",
     "DistributedError",
     "CalibrationError",
+    "LintError",
 ]
 
 
@@ -106,3 +107,9 @@ class DistributedError(ReproError):
 
 class CalibrationError(ReproError):
     """Machine-parameter calibration could not fit the measurements."""
+
+
+class LintError(ReproError):
+    """The static-analysis subsystem was misused (bad rule id, unparseable
+    file, malformed selection) — distinct from the violations it reports,
+    which are data, not exceptions."""

@@ -1,0 +1,68 @@
+"""Project-specific static analysis: AST lint rules and spec invariants.
+
+The codebase passes physical quantities (GFLOPS, GB/s, arithmetic
+intensity, thread counts) as bare floats between the analytic model,
+the simulator and the agent; a silently swapped unit or an unvalidated
+preset corrupts every downstream number.  This package is the
+correctness tooling that catches those mistakes before they run:
+
+* :mod:`repro.lint.engine` — the AST lint engine: rule registry,
+  per-file dispatch, :class:`Violation` records, ``# repro:
+  noqa[RULE]`` suppression, text and JSON reporters;
+* :mod:`repro.lint.rules` — the standard rule pack (lock discipline,
+  span lifetimes, mutable defaults, swallowed exceptions, wall-clock
+  durations, float equality, cross-unit arithmetic, API-doc drift);
+* :mod:`repro.lint.invariants` — the semantic checker that loads every
+  machine preset and verifies the model's conservation laws on example
+  workloads (INV001-INV004);
+* :mod:`repro.lint.cli` — the ``python -m repro check`` subcommand.
+
+Programmatic use::
+
+    from repro.lint import LintEngine
+
+    violations = LintEngine().check_paths(["src"])
+    for v in violations:
+        print(v.format())
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and how to add
+a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileContext,
+    LintEngine,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    format_text,
+    get_rule,
+    register,
+    violations_from_json,
+    violations_to_json,
+)
+from repro.lint.invariants import (
+    INVARIANT_IDS,
+    check_all_presets,
+    check_preset,
+)
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "LintEngine",
+    "format_text",
+    "violations_to_json",
+    "violations_from_json",
+    "INVARIANT_IDS",
+    "check_preset",
+    "check_all_presets",
+]

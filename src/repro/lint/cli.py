@@ -1,0 +1,127 @@
+"""Implementation of ``python -m repro check``.
+
+Runs the AST rule pack over the given paths (default ``src``), runs the
+semantic invariant checker over every machine preset, merges the
+findings, and renders them as text or JSON.  The exit code is governed
+by ``--fail-on``: with the default ``error``, warnings are advisory and
+only error-severity findings fail the command — which is what the CI
+gate relies on.
+
+``--rules`` with no arguments prints the full rule catalogue (syntax
+rules and invariants) and exits; with ids, it restricts the run::
+
+    python -m repro check src/ --rules LOCK001 DEF001
+    python -m repro check --rules            # catalogue
+    python -m repro check src/ --json        # machine-readable
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.engine import (
+    LintEngine,
+    Severity,
+    Violation,
+    all_rules,
+    format_text,
+    violations_to_json,
+)
+from repro.lint.invariants import INVARIANT_IDS, check_all_presets
+
+__all__ = ["add_check_parser", "run_check"]
+
+
+def add_check_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``check`` subcommand on a subparsers object."""
+    checkp = sub.add_parser(
+        "check",
+        help="run the project's static-analysis suite (repro.lint)",
+    )
+    checkp.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    checkp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
+    checkp.add_argument(
+        "--rules",
+        nargs="*",
+        default=None,
+        metavar="RULE",
+        help="restrict to these rule ids; with no ids, print the "
+        "catalogue and exit",
+    )
+    checkp.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="minimum severity that makes the exit code non-zero "
+        "(default: error; warnings stay advisory)",
+    )
+    checkp.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the machine-preset invariant checker",
+    )
+
+
+def _catalogue() -> str:
+    """The rule catalogue: every syntax rule and invariant, one line each."""
+    lines = []
+    for rule_id, rule_cls in all_rules().items():
+        lines.append(
+            f"{rule_id}  [{rule_cls.severity}]  {rule_cls.summary}"
+        )
+    for inv_id, summary in INVARIANT_IDS.items():
+        lines.append(f"{inv_id}  [error]  {summary}")
+    return "\n".join(lines)
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute ``check``; returns the process exit code."""
+    if args.rules is not None and not args.rules:
+        print(_catalogue())
+        return 0
+
+    selected = set(args.rules) if args.rules else None
+    if selected is None:
+        syntax_rules = None
+        run_invariants = not args.no_invariants
+    else:
+        syntax_rules = sorted(selected - set(INVARIANT_IDS))
+        run_invariants = not args.no_invariants and bool(
+            selected & set(INVARIANT_IDS)
+        )
+
+    violations: list[Violation] = []
+    if syntax_rules is None or syntax_rules:
+        engine = LintEngine(
+            rules=syntax_rules, project_root=Path.cwd()
+        )
+        violations.extend(engine.check_paths(args.paths))
+    if run_invariants:
+        invariant_findings = check_all_presets()
+        if selected is not None:
+            invariant_findings = [
+                v for v in invariant_findings if v.rule_id in selected
+            ]
+        violations.extend(invariant_findings)
+    violations.sort(key=lambda v: (v.file, v.line, v.rule_id))
+
+    if args.json:
+        print(violations_to_json(violations))
+    else:
+        print(format_text(violations))
+
+    threshold = (
+        Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    )
+    failing = [v for v in violations if v.severity >= threshold]
+    return 1 if failing else 0

@@ -1,0 +1,348 @@
+"""The AST lint engine: rule registry, dispatch, suppression, reporters.
+
+The engine is deliberately small: a :class:`Rule` is a class with a
+``rule_id``, a ``severity`` and a ``check(ctx)`` generator; the
+:class:`LintEngine` parses each file once into a :class:`FileContext`
+(source, AST with parent links, per-line ``noqa`` suppressions) and runs
+every registered rule over it, collecting :class:`Violation` records.
+
+Rules register themselves with the :func:`register` decorator at import
+time (importing :mod:`repro.lint.rules` loads the whole pack), so adding
+a rule is one new class in one file — see ``docs/STATIC_ANALYSIS.md``.
+
+Suppression uses a project-specific marker so it can never collide with
+tooling the repo might adopt later::
+
+    lock.acquire()  # repro: noqa[LOCK001]
+    anything_goes()  # repro: noqa
+
+Reporters: :func:`format_text` for humans, :func:`violations_to_json` /
+:func:`violations_from_json` for machines (round-trips exactly).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import LintError
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "LintEngine",
+    "format_text",
+    "violations_to_json",
+    "violations_from_json",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[RULE1,RULE2]`` anywhere in a line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Rule ids look like ``LOCK001`` — a short upper-case tag plus digits.
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,8}[0-9]{3}$")
+
+
+class Severity(enum.IntEnum):
+    """How bad a violation is; ordering supports ``--fail-on`` gating."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule fired at a specific file and line."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+    severity: Severity
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "severity": str(self.severity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            file=data["file"],
+            line=int(data["line"]),
+            rule_id=data["rule_id"],
+            message=data["message"],
+            severity=Severity[data["severity"].upper()],
+        )
+
+    def format(self) -> str:
+        """The canonical one-line rendering."""
+        return (
+            f"{self.file}:{self.line}: {self.rule_id} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+class FileContext:
+    """Everything a rule may inspect about one parsed file.
+
+    Attributes
+    ----------
+    path:
+        The path the file was read from (as given to the engine).
+    source / lines:
+        Raw source text and its ``splitlines()``.
+    tree:
+        The parsed :mod:`ast` module.  Every node additionally carries a
+        ``parent`` attribute (``None`` on the root) so rules can walk
+        *up* — e.g. "is this call the context expression of a ``with``".
+    project_root:
+        Root used by repo-aware rules (``docs/API.md`` lookups); may be
+        ``None`` for snippet checks.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        *,
+        project_root: Path | None = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.project_root = project_root
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        self.tree.parent = None  # type: ignore[attr-defined]
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[ast.AST]:
+        """All AST nodes, depth-first."""
+        return ast.walk(self.tree)
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        current = getattr(node, "parent", None)
+        while current is not None:
+            yield current
+            current = getattr(current, "parent", None)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function definition containing ``node``."""
+        for anc in self.parents(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The innermost class definition containing ``node``."""
+        for anc in self.parents(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``line`` carries a ``noqa`` covering ``rule_id``."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        ids = match.group(1)
+        if ids is None:  # bare ``# repro: noqa`` silences everything
+            return True
+        return rule_id in {part.strip() for part in ids.split(",")}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the three class attributes and implement
+    :meth:`check`, yielding a :class:`Violation` per finding (use
+    :meth:`violation` to fill in the boilerplate).  ``noqa`` filtering
+    happens in the engine, not in rules.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST | int, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` at ``node`` (or a literal line)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Violation(
+            file=ctx.path,
+            line=line,
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: The process-wide registry: rule id -> rule class.
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule_id = rule_cls.rule_id
+    if not _RULE_ID_RE.match(rule_id):
+        raise LintError(
+            f"rule id {rule_id!r} does not match {_RULE_ID_RE.pattern}"
+        )
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_cls:
+        raise LintError(f"duplicate rule id {rule_id!r}")
+    if not rule_cls.summary:
+        raise LintError(f"rule {rule_id} must define a summary")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The full registry (id -> class), loading the standard pack."""
+    import repro.lint.rules  # noqa: F401  (registers the pack on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look up one rule class by id."""
+    rules = all_rules()
+    if rule_id not in rules:
+        raise LintError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(rules)}"
+        )
+    return rules[rule_id]
+
+
+class LintEngine:
+    """Runs a set of rules over files, sources, and directory trees.
+
+    Parameters
+    ----------
+    rules:
+        Rule ids to run; ``None`` means every registered rule.
+    project_root:
+        Root directory for repo-aware rules; defaults to the current
+        working directory when checking files, ``None`` for snippets.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[str] | None = None,
+        project_root: Path | str | None = None,
+    ) -> None:
+        registry = all_rules()
+        if rules is None:
+            selected = list(registry)
+        else:
+            selected = []
+            for rule_id in rules:
+                if rule_id not in registry:
+                    raise LintError(
+                        f"unknown rule id {rule_id!r}; "
+                        f"known: {', '.join(registry)}"
+                    )
+                selected.append(rule_id)
+        self.rules: list[Rule] = [registry[r]() for r in selected]
+        self.project_root = (
+            Path(project_root) if project_root is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    def check_source(
+        self, source: str, filename: str = "<string>"
+    ) -> list[Violation]:
+        """Check one source string; ``noqa``-suppressed findings drop."""
+        ctx = FileContext(
+            filename, source, project_root=self.project_root
+        )
+        out: list[Violation] = []
+        for rule in self.rules:
+            for violation in rule.check(ctx):
+                if ctx.suppressed(violation.line, violation.rule_id):
+                    continue
+                out.append(violation)
+        out.sort(key=lambda v: (v.file, v.line, v.rule_id))
+        return out
+
+    def check_file(self, path: Path | str) -> list[Violation]:
+        """Check one ``.py`` file on disk."""
+        p = Path(path)
+        return self.check_source(
+            p.read_text(encoding="utf-8"), filename=str(p)
+        )
+
+    def check_paths(self, paths: Iterable[Path | str]) -> list[Violation]:
+        """Check files and (recursively) directories of ``.py`` files."""
+        out: list[Violation] = []
+        for path in paths:
+            p = Path(path)
+            if p.is_dir():
+                for f in sorted(p.rglob("*.py")):
+                    out.extend(self.check_file(f))
+            elif p.is_file():
+                out.extend(self.check_file(p))
+            else:
+                raise LintError(f"no such file or directory: {p}")
+        return out
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def format_text(violations: Sequence[Violation]) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.format() for v in violations]
+    errors = sum(1 for v in violations if v.severity is Severity.ERROR)
+    warnings = len(violations) - errors
+    if violations:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("ok: no violations")
+    return "\n".join(lines)
+
+
+def violations_to_json(violations: Sequence[Violation]) -> str:
+    """Serialise violations as a JSON array (stable field order)."""
+    return json.dumps(
+        [v.to_dict() for v in violations], indent=2, sort_keys=False
+    )
+
+
+def violations_from_json(text: str) -> list[Violation]:
+    """Inverse of :func:`violations_to_json` (round-trips exactly)."""
+    return [Violation.from_dict(d) for d in json.loads(text)]

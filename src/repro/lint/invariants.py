@@ -1,0 +1,297 @@
+"""Semantic spec-invariant checker for machine presets and the model.
+
+Syntax rules catch malformed *code*; this module catches malformed
+*physics*.  Every machine preset exported by
+:mod:`repro.machine.presets` is loaded and driven through the analytic
+model (:class:`~repro.core.model.NumaPerformanceModel`) on a fixed set
+of example workloads — without touching the optimizer — and the model's
+conservation laws are verified on the output:
+
+``INV001`` — **bandwidth conservation**: no NUMA node hands out more
+bandwidth than it has, and every GB/s granted to an application was
+drawn from some node (the two totals balance).
+
+``INV002`` — **water-filling caps at demand**: no thread group is
+granted more bandwidth than it asked for, and no group's GFLOPS exceed
+``min(bw x AI, peak x threads)``.
+
+``INV003`` — **link capacity**: a NUMA-bad group's remote traffic never
+exceeds the source->home link bandwidth, and NUMA-perfect groups draw
+nothing remotely.
+
+``INV004`` — **monotonicity**: a lone application's predicted GFLOPS
+never decreases when it is given one more thread on the same node (the
+paper's curves are non-decreasing by construction).
+
+A violated invariant means a preset (or a model change) broke the
+paper's Section III-A contract; the finding is reported as an ordinary
+:class:`~repro.lint.engine.Violation` anchored at the preset function's
+definition so it shows up in ``python -m repro check`` next to the
+syntactic findings.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.model import NumaPerformanceModel, Prediction
+from repro.core.spec import AppSpec, Placement
+from repro.errors import LintError, ReproError
+from repro.lint.engine import Severity, Violation
+from repro.machine import presets as presets_module
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "INVARIANT_IDS",
+    "iter_presets",
+    "example_workloads",
+    "check_preset",
+    "check_all_presets",
+]
+
+#: Invariant ids and their one-line summaries (the ``--rules`` catalogue).
+INVARIANT_IDS = {
+    "INV001": "node bandwidth conservation (allocated <= capacity, "
+    "grants balance consumption)",
+    "INV002": "water-filling caps at demand and roofline "
+    "(grant <= demand, gflops <= min(bw*AI, peak*t))",
+    "INV003": "inter-node flows within link bandwidth; NUMA-perfect "
+    "groups draw nothing remotely",
+    "INV004": "predicted GFLOPS monotone non-decreasing in thread count",
+}
+
+#: Absolute slack for float comparisons against the conservation laws.
+_TOL = 1e-6
+
+
+def iter_presets() -> Iterator[tuple[str, Callable[[], MachineTopology]]]:
+    """Yield ``(name, zero-arg constructor)`` for every exported preset."""
+    for name in presets_module.__all__:
+        yield name, getattr(presets_module, name)
+
+
+def _preset_anchor(name: str) -> tuple[str, int]:
+    """(file, line) of a preset function, for violation records."""
+    func = getattr(presets_module, name, None)
+    if func is None:
+        raise LintError(f"unknown machine preset '{name}'")
+    try:
+        path = inspect.getsourcefile(func) or "machine/presets.py"
+        line = inspect.getsourcelines(func)[1]
+    except (OSError, TypeError):
+        path, line = "machine/presets.py", 1
+    resolved = Path(path).resolve()
+    if resolved.is_relative_to(Path.cwd()):
+        path = str(resolved.relative_to(Path.cwd()))
+    return path, line
+
+
+def example_workloads(
+    machine: MachineTopology,
+) -> Iterator[tuple[str, list[AppSpec], ThreadAllocation]]:
+    """Fixed example workloads exercising every code path of the model.
+
+    Three shapes per machine: an *even* spread of a memory-bound, a
+    compute-bound and (on multi-node machines) a NUMA-bad application;
+    a *skewed* pile-up on node 0; and a *saturating* run giving one
+    memory-bound application every core of every node.
+    """
+    apps = [
+        AppSpec.memory_bound("mem", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ]
+    if machine.num_nodes > 1:
+        apps.append(AppSpec.numa_bad("bad", 1.0, home_node=0))
+    n = machine.num_nodes
+    min_cores = min(node.num_cores for node in machine.nodes)
+
+    if len(apps) <= min_cores:
+        yield "even", apps, ThreadAllocation.from_mapping(
+            {app.name: [1] * n for app in apps}
+        )
+
+    node0 = machine.node(0).num_cores
+    per_app = node0 // len(apps)
+    if per_app >= 1:
+        yield "skewed", apps, ThreadAllocation.from_mapping(
+            {
+                app.name: [per_app] + [0] * (n - 1)
+                for app in apps
+            }
+        )
+
+    mem = [AppSpec.memory_bound("mem", 0.5)]
+    yield "saturating", mem, ThreadAllocation.from_mapping(
+        {"mem": [node.num_cores for node in machine.nodes]}
+    )
+
+
+def _check_conservation(
+    label: str, prediction: Prediction
+) -> Iterator[str]:
+    """INV001 findings for one prediction, as message strings."""
+    for node in prediction.nodes:
+        if node.local_consumed > node.local_capacity + _TOL:
+            yield (
+                f"[{label}] node {node.node_id} grants "
+                f"{node.local_consumed:.6f} GB/s locally but only "
+                f"{node.local_capacity:.6f} remained after remote service"
+            )
+        if node.consumed > node.capacity + _TOL:
+            yield (
+                f"[{label}] node {node.node_id} serves "
+                f"{node.consumed:.6f} GB/s over its "
+                f"{node.capacity:.6f} GB/s capacity"
+            )
+    granted = sum(a.bandwidth for a in prediction.apps)
+    consumed = prediction.total_bandwidth
+    if abs(granted - consumed) > _TOL:
+        yield (
+            f"[{label}] apps were granted {granted:.6f} GB/s but nodes "
+            f"recorded {consumed:.6f} GB/s consumed (leak)"
+        )
+
+
+def _check_demand_caps(
+    label: str,
+    machine: MachineTopology,
+    apps: Sequence[AppSpec],
+    prediction: Prediction,
+) -> Iterator[str]:
+    """INV002 findings for one prediction."""
+    by_name = {app.name: app for app in apps}
+    for app_result in prediction.apps:
+        spec = by_name[app_result.name]
+        for group in app_result.groups:
+            want = group.demand_per_thread * group.threads
+            if group.total_bw > want + _TOL:
+                yield (
+                    f"[{label}] app '{spec.name}' node "
+                    f"{group.source_node}: granted {group.total_bw:.6f} "
+                    f"GB/s above its demand {want:.6f}"
+                )
+            core_peak = machine.node(group.source_node).cores[0].peak_gflops
+            roof = min(
+                group.total_bw * spec.arithmetic_intensity,
+                spec.peak_gflops(core_peak) * group.threads,
+            )
+            if group.gflops > roof + _TOL:
+                yield (
+                    f"[{label}] app '{spec.name}' node "
+                    f"{group.source_node}: {group.gflops:.6f} GFLOPS "
+                    f"exceeds its roofline {roof:.6f}"
+                )
+
+
+def _check_link_caps(
+    label: str,
+    machine: MachineTopology,
+    apps: Sequence[AppSpec],
+    prediction: Prediction,
+) -> Iterator[str]:
+    """INV003 findings for one prediction."""
+    by_name = {app.name: app for app in apps}
+    for app_result in prediction.apps:
+        spec = by_name[app_result.name]
+        for group in app_result.groups:
+            if spec.placement is Placement.NUMA_PERFECT:
+                if group.remote_bw > _TOL:
+                    yield (
+                        f"[{label}] NUMA-perfect app '{spec.name}' drew "
+                        f"{group.remote_bw:.6f} GB/s remotely"
+                    )
+            elif spec.placement is Placement.SINGLE_NODE:
+                home = spec.home_node
+                if group.source_node == home:
+                    continue
+                link = machine.bandwidth(group.source_node, home)
+                if group.remote_bw > link + _TOL:
+                    yield (
+                        f"[{label}] app '{spec.name}' pulls "
+                        f"{group.remote_bw:.6f} GB/s over the "
+                        f"{group.source_node}->{home} link rated "
+                        f"{link:.6f} GB/s"
+                    )
+
+
+def _check_monotonicity(
+    machine: MachineTopology, model: NumaPerformanceModel
+) -> Iterator[str]:
+    """INV004 findings: lone-app GFLOPS vs thread count on node 0."""
+    n = machine.num_nodes
+    cores0 = machine.node(0).num_cores
+    for app in (
+        AppSpec.memory_bound("mem", 0.5),
+        AppSpec.compute_bound("comp", 10.0),
+    ):
+        previous = 0.0
+        for threads in range(1, cores0 + 1):
+            counts = np.zeros((1, n), dtype=np.int64)
+            counts[0, 0] = threads
+            allocation = ThreadAllocation(
+                app_names=(app.name,), counts=counts
+            )
+            total = model.predict(machine, [app], allocation).total_gflops
+            if total < previous - _TOL:
+                yield (
+                    f"[monotonicity] app '{app.name}': {threads} threads "
+                    f"predict {total:.6f} GFLOPS, below {previous:.6f} "
+                    f"at {threads - 1}"
+                )
+            previous = total
+
+
+def check_preset(
+    name: str, machine: MachineTopology | None = None
+) -> list[Violation]:
+    """Verify every invariant for one preset; empty list means clean."""
+    file, line = _preset_anchor(name)
+    if machine is None:
+        machine = getattr(presets_module, name)()
+    model = NumaPerformanceModel()
+    findings: list[tuple[str, str]] = []
+    try:
+        for label, apps, allocation in example_workloads(machine):
+            prediction = model.predict(machine, apps, allocation)
+            findings += [
+                ("INV001", m)
+                for m in _check_conservation(label, prediction)
+            ]
+            findings += [
+                ("INV002", m)
+                for m in _check_demand_caps(label, machine, apps, prediction)
+            ]
+            findings += [
+                ("INV003", m)
+                for m in _check_link_caps(label, machine, apps, prediction)
+            ]
+        findings += [
+            ("INV004", m) for m in _check_monotonicity(machine, model)
+        ]
+    except ReproError as exc:
+        findings.append(
+            ("INV001", f"model rejected preset '{name}': {exc}")
+        )
+    return [
+        Violation(
+            file=file,
+            line=line,
+            rule_id=rule_id,
+            message=f"preset '{name}': {message}",
+            severity=Severity.ERROR,
+        )
+        for rule_id, message in findings
+    ]
+
+
+def check_all_presets() -> list[Violation]:
+    """Run :func:`check_preset` over every exported machine preset."""
+    out: list[Violation] = []
+    for name, _ in iter_presets():
+        out.extend(check_preset(name))
+    return out

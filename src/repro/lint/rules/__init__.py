@@ -1,0 +1,43 @@
+"""The standard rule pack; importing this package registers every rule.
+
+Rules are grouped by theme:
+
+* :mod:`repro.lint.rules.concurrency` — LOCK001, OBS001, OBS002
+* :mod:`repro.lint.rules.pyhygiene` — DEF001, EXC001, EXC002, TIME001
+* :mod:`repro.lint.rules.floats` — FLT001
+* :mod:`repro.lint.rules.units` — UNIT001
+* :mod:`repro.lint.rules.api` — API001
+
+See ``docs/STATIC_ANALYSIS.md`` for the full catalogue with rationale
+and examples, and :mod:`repro.lint.engine` for how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.api import ApiDocDrift
+from repro.lint.rules.concurrency import (
+    BareLockAcquire,
+    SpanWithoutWith,
+    StartWithoutFinish,
+)
+from repro.lint.rules.floats import FloatEquality
+from repro.lint.rules.pyhygiene import (
+    BareExcept,
+    MutableDefaultArgument,
+    SwallowedException,
+    WallClockDuration,
+)
+from repro.lint.rules.units import CrossUnitArithmetic
+
+__all__ = [
+    "BareLockAcquire",
+    "SpanWithoutWith",
+    "StartWithoutFinish",
+    "MutableDefaultArgument",
+    "BareExcept",
+    "SwallowedException",
+    "WallClockDuration",
+    "FloatEquality",
+    "CrossUnitArithmetic",
+    "ApiDocDrift",
+]

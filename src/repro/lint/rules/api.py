@@ -1,0 +1,132 @@
+"""Public-surface drift: ``__all__`` vs the generated ``docs/API.md``.
+
+``docs/API.md`` is generated from each package's ``__all__``
+(:mod:`repro.analysis.apidoc`), so the two can only disagree when
+someone changed a public surface and forgot to regenerate.  This rule
+re-checks the contract statically: for every package that has a section
+in ``docs/API.md``, the names in its ``__init__``'s ``__all__`` literal
+must match the documented names exactly, both directions.
+
+The rule needs a project root (to find ``docs/API.md``); when the
+engine runs without one — e.g. on snippet fixtures — it stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["ApiDocDrift", "parse_api_md"]
+
+_SECTION_RE = re.compile(r"^## `([\w.]+)`\s*$")
+_SYMBOL_RE = re.compile(r"^\* \*\*`(\w+)`\*\*")
+
+
+def parse_api_md(text: str) -> dict[str, set[str]]:
+    """Parse API.md into ``{module_name: {documented symbol, ...}}``."""
+    sections: dict[str, set[str]] = {}
+    current: set[str] | None = None
+    for line in text.splitlines():
+        section = _SECTION_RE.match(line)
+        if section:
+            current = sections.setdefault(section.group(1), set())
+            continue
+        symbol = _SYMBOL_RE.match(line)
+        if symbol and current is not None:
+            current.add(symbol.group(1))
+    return sections
+
+
+def _module_name(path: Path, root: Path) -> str | None:
+    """Dotted module name of ``path`` under ``root/src``, if any."""
+    try:
+        rel = path.resolve().relative_to((root / "src").resolve())
+    except ValueError:
+        return None
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else None
+
+
+def _all_literal(tree: ast.Module) -> tuple[list[str], int] | None:
+    """The module's ``__all__`` string-list literal and its line."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            names = [
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            ]
+            return names, node.lineno
+    return None
+
+
+@register
+class ApiDocDrift(Rule):
+    """``__all__`` and ``docs/API.md`` disagree — regenerate the doc."""
+
+    rule_id = "API001"
+    severity = Severity.ERROR
+    summary = (
+        "__all__ does not match the package's docs/API.md section; "
+        "regenerate with `python -m repro api > docs/API.md`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.project_root is None:
+            return
+        api_md = ctx.project_root / "docs" / "API.md"
+        if not api_md.is_file():
+            return
+        module = _module_name(Path(ctx.path), ctx.project_root)
+        if module is None:
+            return
+        documented = parse_api_md(
+            api_md.read_text(encoding="utf-8")
+        ).get(module)
+        if documented is None:
+            return
+        found = _all_literal(ctx.tree)
+        if found is None:
+            yield self.violation(
+                ctx,
+                1,
+                f"package '{module}' is documented in docs/API.md but "
+                f"defines no __all__ literal",
+            )
+            return
+        names, line = found
+        missing_doc = sorted(set(names) - documented)
+        stale_doc = sorted(documented - set(names))
+        if missing_doc:
+            yield self.violation(
+                ctx,
+                line,
+                f"public names not in docs/API.md: "
+                f"{', '.join(missing_doc)} (regenerate the doc)",
+            )
+        if stale_doc:
+            yield self.violation(
+                ctx,
+                line,
+                f"docs/API.md documents names absent from __all__: "
+                f"{', '.join(stale_doc)} (regenerate the doc)",
+            )

@@ -1,0 +1,250 @@
+"""Concurrency-discipline rules: lock acquisition and span lifetimes.
+
+The observability layer (:mod:`repro.obs`) and the thread-pool-shaped
+runtime code both rely on two idioms this module enforces statically:
+
+* locks are held via ``with`` (or an ``acquire`` immediately protected
+  by ``try/finally: release``) so an exception can never leave a lock
+  held — :class:`BareLockAcquire`;
+* tracer spans are opened through their context manager (or explicitly
+  paired with ``finish``) so the span buffer never accumulates
+  unterminated spans — :class:`SpanWithoutWith` and
+  :class:`StartWithoutFinish`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["BareLockAcquire", "SpanWithoutWith", "StartWithoutFinish"]
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """Best-effort dotted name of a call receiver (``self._lock`` etc.)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """Does this expression look like a lock?
+
+    Either its dotted name mentions ``lock``/``mutex``/``sem``, or it is
+    a direct ``threading.Lock()``-style constructor call (acquiring a
+    freshly constructed lock is *always* a bug — nobody can release it).
+    """
+    if isinstance(node, ast.Call):
+        callee = _receiver_name(node.func).lower()
+        return callee.rsplit(".", 1)[-1] in {
+            "lock",
+            "rlock",
+            "semaphore",
+            "boundedsemaphore",
+        }
+    name = _receiver_name(node).lower()
+    leaf = name.rsplit(".", 1)[-1]
+    return any(tag in leaf for tag in ("lock", "mutex", "sem"))
+
+
+def _statement_of(ctx: FileContext, node: ast.AST) -> ast.stmt | None:
+    """The innermost statement containing ``node``."""
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = getattr(current, "parent", None)
+    return current
+
+
+def _next_sibling(stmt: ast.stmt) -> ast.stmt | None:
+    """The statement following ``stmt`` in its enclosing body, if any."""
+    parent = getattr(stmt, "parent", None)
+    if parent is None:
+        return None
+    for field in ("body", "orelse", "finalbody", "handlers"):
+        body = getattr(parent, field, None)
+        if isinstance(body, list) and stmt in body:
+            idx = body.index(stmt)
+            return body[idx + 1] if idx + 1 < len(body) else None
+    return None
+
+
+def _releases(tree: ast.AST, receiver: str) -> bool:
+    """Does ``tree`` contain a ``<receiver>.release()`` call?"""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+            and _receiver_name(node.func.value) == receiver
+        ):
+            return True
+    return False
+
+
+@register
+class BareLockAcquire(Rule):
+    """``lock.acquire()`` outside ``with`` / ``try-finally: release``."""
+
+    rule_id = "LOCK001"
+    severity = Severity.ERROR
+    summary = (
+        "lock acquired without `with` or a try/finally release "
+        "(exception leaves the lock held)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and _is_lockish(node.func.value)
+            ):
+                continue
+            if isinstance(node.func.value, ast.Call):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "acquire() on a freshly constructed lock can never "
+                    "be released; store the lock and use `with`",
+                )
+                continue
+            receiver = _receiver_name(node.func.value)
+            if self._protected(ctx, node, receiver):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"`{receiver}.acquire()` without `with {receiver}:` or a "
+                f"try/finally releasing it",
+            )
+
+    @staticmethod
+    def _protected(
+        ctx: FileContext, call: ast.Call, receiver: str
+    ) -> bool:
+        # Pattern A: the acquire happens inside a try whose finally
+        # releases the same receiver (acquire-inside-try).
+        for anc in ctx.parents(call):
+            if isinstance(anc, ast.Try) and any(
+                _releases(stmt, receiver) for stmt in anc.finalbody
+            ):
+                return True
+        # Pattern B: ``lock.acquire()`` immediately followed by such a
+        # try (acquire-before-try, the canonical pre-3.0 idiom).
+        stmt = _statement_of(ctx, call)
+        if stmt is not None:
+            sibling = _next_sibling(stmt)
+            if isinstance(sibling, ast.Try) and any(
+                _releases(s, receiver) for s in sibling.finalbody
+            ):
+                return True
+        # Pattern C: non-blocking probe — the result is consumed
+        # (``if lock.acquire(blocking=False):``), which is a protocol,
+        # not a leak; the branch owns the release discipline.
+        parent = getattr(call, "parent", None)
+        if not isinstance(parent, ast.Expr) and any(
+            kw.arg == "blocking" for kw in call.keywords
+        ):
+            return True
+        return False
+
+
+def _is_tracerish(node: ast.expr) -> bool:
+    """Does the receiver look like a span tracer (``OBS.tracer`` etc.)?"""
+    name = _receiver_name(node).lower()
+    leaf = name.rsplit(".", 1)[-1]
+    return "tracer" in leaf or leaf == "obs"
+
+
+@register
+class SpanWithoutWith(Rule):
+    """``tracer.span(...)`` not used as a context manager."""
+
+    rule_id = "OBS001"
+    severity = Severity.ERROR
+    summary = (
+        "tracer.span() result must enter a `with` block (or be "
+        "returned to a caller that does)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and _is_tracerish(node.func.value)
+            ):
+                continue
+            parent = getattr(node, "parent", None)
+            if isinstance(parent, ast.withitem):
+                continue
+            if isinstance(parent, ast.Return):
+                continue  # delegating the context manager to the caller
+            yield self.violation(
+                ctx,
+                node,
+                "span() returns a context manager; use "
+                "`with tracer.span(...):` so the span always closes",
+            )
+
+
+@register
+class StartWithoutFinish(Rule):
+    """``tracer.start(...)`` with no ``finish`` in the same scope."""
+
+    rule_id = "OBS002"
+    severity = Severity.WARNING
+    summary = (
+        "manually started span has no matching finish() in the "
+        "enclosing function or class"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start"
+                and _is_tracerish(node.func.value)
+            ):
+                continue
+            scope: ast.AST | None = ctx.enclosing_function(node)
+            if scope is not None and self._finishes(scope):
+                continue
+            scope = ctx.enclosing_class(node)
+            if scope is None:
+                scope = ctx.tree
+            if self._finishes(scope):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                "span started with start() but never finish()ed in "
+                "this scope; prefer `with tracer.span(...):`",
+            )
+
+    @staticmethod
+    def _finishes(scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "finish"
+            ):
+                return True
+        return False

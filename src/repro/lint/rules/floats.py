@@ -1,0 +1,77 @@
+"""Floating-point comparison discipline.
+
+Every quantity the model trades in — GFLOPS, GB/s, arithmetic
+intensity — is a float produced by division and water-filling, so exact
+``==`` against a float literal is almost always a latent bug: the
+worked examples only pass because the paper's numbers happen to be
+exactly representable.  Comparisons belong on ``math.isclose`` /
+``numpy.isclose`` / ``pytest.approx`` with an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["FloatEquality"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # A negated literal parses as UnaryOp(USub, Constant).
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+def _is_float_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    )
+
+
+@register
+class FloatEquality(Rule):
+    """``x == 1.5`` on model quantities; use an explicit tolerance."""
+
+    rule_id = "FLT001"
+    severity = Severity.ERROR
+    summary = (
+        "exact ==/!= against a float; use math.isclose / np.isclose / "
+        "pytest.approx with an explicit tolerance"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(
+                    _is_float_literal(side) or _is_float_call(side)
+                    for side in (left, right)
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "exact float equality; rounding in the model's "
+                        "arithmetic makes this comparison fragile",
+                    )
+                    break

@@ -1,0 +1,166 @@
+"""General Python-hygiene rules tuned to this codebase's failure modes.
+
+These are the classic bug classes that corrupt *numbers* rather than
+crash: a mutable default accumulating state across model evaluations, a
+swallowed exception hiding a failed calibration, and wall-clock
+``time.time()`` measuring durations that the observability layer
+expects on the monotonic ``perf_counter`` clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = [
+    "MutableDefaultArgument",
+    "BareExcept",
+    "SwallowedException",
+    "WallClockDuration",
+]
+
+#: Constructor names whose call as a default is as mutable as a display.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """``def f(x=[])`` — the default is shared across all calls."""
+
+    rule_id = "DEF001"
+    severity = Severity.ERROR
+    summary = (
+        "mutable default argument (list/dict/set) is shared across "
+        "calls; default to None and construct inside"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"function '{name}' has a mutable default "
+                        f"argument; use None and build it in the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        return False
+
+
+@register
+class BareExcept(Rule):
+    """``except:`` catches SystemExit/KeyboardInterrupt too."""
+
+    rule_id = "EXC001"
+    severity = Severity.ERROR
+    summary = (
+        "bare `except:` catches SystemExit and KeyboardInterrupt; "
+        "name the exception (ReproError for library failures)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare `except:`; catch a named exception class",
+                )
+
+
+@register
+class SwallowedException(Rule):
+    """``except ...: pass`` hides the failure entirely."""
+
+    rule_id = "EXC002"
+    severity = Severity.WARNING
+    summary = (
+        "exception handler swallows the error (body is only "
+        "pass/...); log, re-raise, or narrow it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(self._is_noop(stmt) for stmt in node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "exception caught and discarded; a silent failure "
+                    "here corrupts every downstream number",
+                )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis
+
+
+@register
+class WallClockDuration(Rule):
+    """``time.time()`` — NTP steps make wall-clock deltas lie."""
+
+    rule_id = "TIME001"
+    severity = Severity.WARNING
+    summary = (
+        "time.time() is not monotonic; use time.perf_counter() for "
+        "durations (noqa for genuine wall-clock timestamps)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        from_time_import = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "time"
+            and any(alias.name == "time" for alias in node.names)
+            for node in ctx.walk()
+        )
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_attr_form = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            )
+            is_name_form = (
+                from_time_import
+                and isinstance(func, ast.Name)
+                and func.id == "time"
+            )
+            if is_attr_form or is_name_form:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "time.time() used; durations belong on "
+                    "time.perf_counter() (the obs tracer's clock)",
+                )

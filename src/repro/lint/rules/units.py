@@ -1,0 +1,127 @@
+"""A lightweight units/dimension pass over suffix-annotated names.
+
+The model layer passes physical quantities as bare floats; the project
+convention (docs/STATIC_ANALYSIS.md) is to carry the unit in the
+variable name's suffix — ``demand_gbps``, ``peak_gflops``,
+``size_bytes``, ``elapsed_seconds``.  This pass tracks those suffixes
+through additive arithmetic and ordering comparisons and flags any
+expression that mixes two different units: ``peak_gflops +
+link_gbps`` is *always* wrong no matter what the numbers say.
+
+Multiplication and division are exempt — they legitimately *change*
+units (``gflops / gbps`` is arithmetic intensity), and a full
+dimensional algebra is out of scope for a name-based pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["CrossUnitArithmetic", "unit_of_name"]
+
+#: Recognised unit suffixes, longest first so ``_gbps`` wins over ``_bps``.
+_UNIT_SUFFIXES = (
+    "gflops",
+    "gbps",
+    "gbs",
+    "bps",
+    "bytes",
+    "gb",
+    "seconds",
+    "secs",
+    "ms",
+    "us",
+    "ns",
+    "threads",
+    "cores",
+    "flops",
+    "ai",
+)
+
+#: Suffixes that are aliases of one another (same physical dimension).
+_CANONICAL = {
+    "gbs": "gbps",
+    "bps": "gbps",
+    "secs": "seconds",
+    "ms": "seconds",
+    "us": "seconds",
+    "ns": "seconds",
+    "flops": "gflops",
+    "cores": "threads",
+}
+
+
+def unit_of_name(name: str) -> str | None:
+    """The canonical unit a variable name carries, or ``None``.
+
+    The unit is the name's final ``_``-separated component when it is a
+    recognised suffix: ``local_bw_gbps`` -> ``gbps``, ``n_threads`` ->
+    ``threads``, ``baseline`` -> ``None``.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    parts = leaf.split("_")
+    if len(parts) < 2:  # a bare ``gbps`` names a unit, not a quantity
+        return None
+    suffix = parts[-1]
+    if suffix in _UNIT_SUFFIXES:
+        return _CANONICAL.get(suffix, suffix)
+    return None
+
+
+def _unit_of_expr(node: ast.expr) -> str | None:
+    """Unit of an expression, derived from names only (no inference)."""
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of_expr(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        # An additive expression keeps its operands' (shared) unit.
+        return _unit_of_expr(node.left) or _unit_of_expr(node.right)
+    return None
+
+
+@register
+class CrossUnitArithmetic(Rule):
+    """``peak_gflops + link_gbps`` — adding different dimensions."""
+
+    rule_id = "UNIT001"
+    severity = Severity.ERROR
+    summary = (
+        "addition/subtraction/comparison mixes unit-suffixed names of "
+        "different dimensions (gbps vs gflops vs bytes ...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                lu = _unit_of_expr(left)
+                ru = _unit_of_expr(right)
+                if lu is not None and ru is not None and lu != ru:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"mixes units '{lu}' and '{ru}' in one "
+                        f"additive expression or comparison",
+                    )

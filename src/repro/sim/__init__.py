@@ -13,7 +13,7 @@ from repro.sim.dvfs import DvfsModel
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.executor import ExecutionSimulator, WorkProvider, WorkSegment
 from repro.sim.memory import BandwidthGrant, BandwidthRequest, BandwidthResolver
-from repro.sim.metrics import Counter, MetricSet, RateIntegrator, TimeSeries
+from repro.obs.metrics import Counter, MetricSet, RateIntegrator, TimeSeries
 from repro.sim.os_scheduler import CfsScheduler, CpuAssignment
 from repro.sim.trace import TraceEvent, TraceKind, Tracer
 

@@ -32,7 +32,7 @@ from repro.obs import OBS
 from repro.sim.cpu import Binding, SimThread, ThreadState
 from repro.sim.engine import Simulator
 from repro.sim.memory import BandwidthRequest, BandwidthResolver
-from repro.sim.metrics import MetricSet
+from repro.obs.metrics import MetricSet
 from repro.sim.os_scheduler import CfsScheduler
 from repro.sim.trace import Tracer, TraceKind
 

@@ -9,14 +9,24 @@ the new :class:`~repro.obs.metrics.Gauge`,
 
 This module remains as a compatibility shim so existing imports
 (``from repro.sim.metrics import MetricSet``) keep working — the classes
-are the same objects, not copies.  New code should import from
-:mod:`repro.obs` directly; this shim will stay until every in-tree
-caller has moved.
+are the same objects, not copies.  Every in-tree caller has moved to
+:mod:`repro.obs.metrics`; importing this module now emits a
+:class:`DeprecationWarning` and the shim will be removed once external
+callers have had a release to migrate.
 """
 
 from __future__ import annotations
 
-from repro.obs.metrics import (
+import warnings
+
+warnings.warn(
+    "repro.sim.metrics is deprecated; import Counter/TimeSeries/"
+    "RateIntegrator/MetricSet/MetricsRegistry from repro.obs.metrics",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.obs.metrics import (  # noqa: E402  (after the deprecation gate)
     Counter,
     MetricSet,
     MetricsRegistry,

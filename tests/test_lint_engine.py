@@ -1,0 +1,239 @@
+"""Engine-level tests: registry, suppression, reporters, CLI wiring."""
+
+import ast
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.engine import (
+    FileContext,
+    LintEngine,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    format_text,
+    get_rule,
+    register,
+    violations_from_json,
+    violations_to_json,
+)
+
+
+class TestRegistry:
+    def test_standard_pack_registered(self):
+        rules = all_rules()
+        expected = {
+            "LOCK001",
+            "OBS001",
+            "OBS002",
+            "DEF001",
+            "EXC001",
+            "EXC002",
+            "TIME001",
+            "FLT001",
+            "UNIT001",
+            "API001",
+        }
+        assert expected <= set(rules)
+
+    def test_get_rule_known_and_unknown(self):
+        assert get_rule("DEF001").rule_id == "DEF001"
+        with pytest.raises(LintError):
+            get_rule("NOPE999")
+
+    def test_engine_rejects_unknown_rule_id(self):
+        with pytest.raises(LintError):
+            LintEngine(rules=["NOPE999"])
+
+    def test_register_rejects_bad_id_and_missing_summary(self):
+        with pytest.raises(LintError):
+
+            @register
+            class BadId(Rule):
+                rule_id = "lowercase1"
+                summary = "x"
+
+        with pytest.raises(LintError):
+
+            @register
+            class NoSummary(Rule):
+                rule_id = "TSU001"
+
+    def test_custom_rule_roundtrip(self):
+        @register
+        class GlobalStatement(Rule):
+            rule_id = "TST001"
+            severity = Severity.WARNING
+            summary = "global statement (test-only rule)"
+
+            def check(self, ctx):
+                for node in ctx.walk():
+                    if isinstance(node, ast.Global):
+                        yield self.violation(ctx, node, "global used")
+
+        engine = LintEngine(rules=["TST001"])
+        hits = engine.check_source("def f():\n    global x\n    x = 1\n")
+        assert [v.rule_id for v in hits] == ["TST001"]
+        assert hits[0].line == 2
+        assert hits[0].severity is Severity.WARNING
+
+
+class TestFileContext:
+    def test_parent_links_and_enclosing_scopes(self):
+        src = (
+            "class C:\n"
+            "    def m(self):\n"
+            "        return 1 + 2\n"
+        )
+        ctx = FileContext("<t>", src)
+        binop = next(
+            n for n in ctx.walk() if isinstance(n, ast.BinOp)
+        )
+        func = ctx.enclosing_function(binop)
+        assert func is not None and func.name == "m"
+        cls = ctx.enclosing_class(binop)
+        assert cls is not None and cls.name == "C"
+        assert ctx.tree in list(ctx.parents(binop))
+
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError):
+            FileContext("<t>", "def broken(:\n")
+
+
+class TestNoqa:
+    SRC = "def f(x=[]):\n    return x\n"
+
+    def test_violation_without_noqa(self):
+        hits = LintEngine(rules=["DEF001"]).check_source(self.SRC)
+        assert len(hits) == 1
+
+    def test_targeted_noqa_suppresses(self):
+        src = "def f(x=[]):  # repro: noqa[DEF001]\n    return x\n"
+        assert LintEngine(rules=["DEF001"]).check_source(src) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = "def f(x=[], y={}):  # repro: noqa\n    return x, y\n"
+        assert LintEngine(rules=["DEF001"]).check_source(src) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = "def f(x=[]):  # repro: noqa[LOCK001]\n    return x\n"
+        hits = LintEngine(rules=["DEF001"]).check_source(src)
+        assert len(hits) == 1
+
+    def test_noqa_list_with_spaces(self):
+        src = (
+            "def f(x=[]):  # repro: noqa[LOCK001, DEF001]\n"
+            "    return x\n"
+        )
+        assert LintEngine(rules=["DEF001"]).check_source(src) == []
+
+
+class TestReporters:
+    VIOLATIONS = [
+        Violation("a.py", 3, "DEF001", "mutable default", Severity.ERROR),
+        Violation("b.py", 7, "TIME001", "wall clock", Severity.WARNING),
+    ]
+
+    def test_json_roundtrip(self):
+        text = violations_to_json(self.VIOLATIONS)
+        assert violations_from_json(text) == self.VIOLATIONS
+        # And the payload is plain JSON with the documented fields.
+        payload = json.loads(text)
+        assert payload[0]["rule_id"] == "DEF001"
+        assert payload[0]["severity"] == "error"
+        assert payload[1]["severity"] == "warning"
+
+    def test_format_text_lists_and_counts(self):
+        out = format_text(self.VIOLATIONS)
+        assert "a.py:3: DEF001 [error] mutable default" in out
+        assert out.endswith("1 error(s), 1 warning(s)")
+
+    def test_format_text_clean(self):
+        assert format_text([]) == "ok: no violations"
+
+
+class TestCheckPaths:
+    def test_walks_directories_and_files(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            "def f(x=[]):\n    return x\n"
+        )
+        (tmp_path / "ok.py").write_text("def g(x=None):\n    return x\n")
+        engine = LintEngine(rules=["DEF001"])
+        hits = engine.check_paths([tmp_path])
+        assert [v.rule_id for v in hits] == ["DEF001"]
+        assert hits[0].file.endswith("bad.py")
+        assert engine.check_paths([tmp_path / "ok.py"]) == []
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            LintEngine(rules=["DEF001"]).check_paths(
+                [tmp_path / "missing.py"]
+            )
+
+
+class TestCli:
+    def run(self, argv):
+        from repro.__main__ import main
+
+        return main(argv)
+
+    def test_check_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("def g(x=None):\n    return x\n")
+        code = self.run(["check", str(f), "--no-invariants"])
+        assert code == 0
+        assert "ok: no violations" in capsys.readouterr().out
+
+    def test_check_bad_file_exits_one(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("def f(x=[]):\n    return x\n")
+        code = self.run(["check", str(f), "--no-invariants"])
+        assert code == 1
+        assert "DEF001" in capsys.readouterr().out
+
+    def test_fail_on_warning_gates_warnings(self, tmp_path, capsys):
+        f = tmp_path / "warn.py"
+        f.write_text(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert self.run(["check", str(f), "--no-invariants"]) == 0
+        capsys.readouterr()
+        code = self.run(
+            ["check", str(f), "--no-invariants", "--fail-on", "warning"]
+        )
+        assert code == 1
+        assert "TIME001" in capsys.readouterr().out
+
+    def test_rules_with_no_ids_prints_catalogue(self, capsys):
+        assert self.run(["check", "--rules"]) == 0
+        out = capsys.readouterr().out
+        listed = {
+            line.split()[0]
+            for line in out.splitlines()
+            if line.strip()
+        }
+        assert len(listed) >= 8
+        assert {"LOCK001", "DEF001", "UNIT001", "INV001"} <= listed
+
+    def test_rules_selection_restricts(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("def f(x=[]):\n    x == 1.5\n    return x\n")
+        code = self.run(
+            ["check", str(f), "--no-invariants", "--rules", "FLT001"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FLT001" in out and "DEF001" not in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("def f(x=[]):\n    return x\n")
+        code = self.run(["check", str(f), "--no-invariants", "--json"])
+        assert code == 1
+        parsed = violations_from_json(capsys.readouterr().out)
+        assert parsed[0].rule_id == "DEF001"

@@ -1,0 +1,175 @@
+"""The spec-invariant checker: clean on every preset, loud on breakage."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    AppResult,
+    GroupResult,
+    NodeResult,
+    Prediction,
+)
+from repro.core.allocation import ThreadAllocation
+from repro.core.spec import AppSpec
+from repro.lint.invariants import (
+    INVARIANT_IDS,
+    _check_conservation,
+    _check_demand_caps,
+    _check_link_caps,
+    check_all_presets,
+    check_preset,
+    example_workloads,
+    iter_presets,
+)
+from repro.machine import presets as presets_module
+
+
+PRESET_NAMES = list(presets_module.__all__)
+
+
+class TestPresetsAreClean:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_preset_satisfies_all_invariants(self, name):
+        assert check_preset(name) == []
+
+    def test_check_all_presets_covers_every_preset(self):
+        assert check_all_presets() == []
+        assert [name for name, _ in iter_presets()] == PRESET_NAMES
+
+    def test_invariant_catalogue_is_stable(self):
+        assert set(INVARIANT_IDS) == {
+            "INV001",
+            "INV002",
+            "INV003",
+            "INV004",
+        }
+
+
+class TestExampleWorkloads:
+    def test_multi_node_machine_gets_three_shapes(self):
+        machine = presets_module.model_machine()
+        shapes = dict(
+            (label, (apps, alloc))
+            for label, apps, alloc in example_workloads(machine)
+        )
+        assert set(shapes) == {"even", "skewed", "saturating"}
+        apps, _ = shapes["even"]
+        assert {a.name for a in apps} == {"mem", "comp", "bad"}
+
+    def test_single_node_machine_skips_numa_bad(self):
+        machine = presets_module.uma_machine()
+        for _, apps, alloc in example_workloads(machine):
+            assert all(a.name != "bad" for a in apps)
+            alloc.validate(machine)
+
+    def test_workloads_fit_every_preset(self):
+        for name, ctor in iter_presets():
+            machine = ctor()
+            for _, _, alloc in example_workloads(machine):
+                alloc.validate(machine)
+
+
+def fabricated_prediction(*, over_grant=False, leak=False):
+    """A hand-built Prediction violating chosen conservation laws."""
+    group = GroupResult(
+        app_name="mem",
+        source_node=0,
+        threads=2,
+        demand_per_thread=10.0,
+        local_bw=30.0 if over_grant else 16.0,
+        remote_bw=0.0,
+        gflops=8.0,
+    )
+    app = AppResult(
+        name="mem",
+        gflops=group.gflops,
+        bandwidth=group.total_bw,
+        threads=group.threads,
+        groups=(group,),
+    )
+    node = NodeResult(
+        node_id=0,
+        capacity=32.0,
+        remote_served=0.0,
+        local_capacity=32.0,
+        local_consumed=group.local_bw - (8.0 if leak else 0.0),
+        baseline=4.0,
+    )
+    allocation = ThreadAllocation(
+        app_names=("mem",), counts=np.array([[2]])
+    )
+    return Prediction(
+        machine_name="fabricated",
+        allocation=allocation,
+        apps=(app,),
+        nodes=(node,),
+    )
+
+
+class TestDetectorsFire:
+    def test_conservation_detects_leak(self):
+        findings = list(
+            _check_conservation("t", fabricated_prediction(leak=True))
+        )
+        assert any("leak" in m for m in findings)
+
+    def test_conservation_clean_prediction_passes(self):
+        assert list(
+            _check_conservation("t", fabricated_prediction())
+        ) == []
+
+    def test_demand_cap_detects_over_grant(self):
+        machine = presets_module.model_machine()
+        apps = [AppSpec.memory_bound("mem", 0.5)]
+        findings = list(
+            _check_demand_caps(
+                "t", machine, apps, fabricated_prediction(over_grant=True)
+            )
+        )
+        assert any("above its demand" in m for m in findings)
+
+    def test_link_cap_detects_remote_perfect_traffic(self):
+        machine = presets_module.model_machine()
+        apps = [AppSpec.memory_bound("mem", 0.5)]
+        pred = fabricated_prediction()
+        bad_group = GroupResult(
+            app_name="mem",
+            source_node=1,
+            threads=1,
+            demand_per_thread=10.0,
+            local_bw=0.0,
+            remote_bw=5.0,  # NUMA-perfect apps must not draw remotely
+            gflops=2.0,
+        )
+        app = AppResult(
+            name="mem",
+            gflops=2.0,
+            bandwidth=5.0,
+            threads=1,
+            groups=(bad_group,),
+        )
+        pred = Prediction(
+            machine_name=pred.machine_name,
+            allocation=pred.allocation,
+            apps=(app,),
+            nodes=pred.nodes,
+        )
+        findings = list(_check_link_caps("t", machine, apps, pred))
+        assert any("remotely" in m for m in findings)
+
+    def test_check_preset_anchors_at_presets_file(self, monkeypatch):
+        # Force a violation through a preset whose model output is bad:
+        # monkeypatch the conservation checker to report one finding.
+        import repro.lint.invariants as inv
+
+        def fake_conservation(label, prediction):
+            yield f"[{label}] fabricated finding"
+
+        monkeypatch.setattr(
+            inv, "_check_conservation", fake_conservation
+        )
+        findings = inv.check_preset("model_machine")
+        assert findings, "patched checker must surface violations"
+        assert all(v.rule_id == "INV001" for v in findings)
+        assert all("presets.py" in v.file for v in findings)
+        assert all(v.message.startswith("preset 'model_machine'") for v in findings)

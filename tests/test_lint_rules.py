@@ -1,0 +1,334 @@
+"""Per-rule fixture tests: each rule fires on a bad snippet and stays
+quiet on the compliant version of the same idiom."""
+
+import pytest
+
+from repro.lint.engine import LintEngine, Severity
+from repro.lint.rules.api import parse_api_md
+from repro.lint.rules.units import unit_of_name
+
+
+def hits(rule_id: str, source: str, **engine_kwargs):
+    engine = LintEngine(rules=[rule_id], **engine_kwargs)
+    return engine.check_source(source)
+
+
+class TestLock001:
+    def test_bare_acquire_fires(self):
+        src = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def f():\n"
+            "    lock.acquire()\n"
+            "    work()\n"
+            "    lock.release()\n"
+        )
+        found = hits("LOCK001", src)
+        assert [v.rule_id for v in found] == ["LOCK001"]
+        assert found[0].line == 4
+
+    def test_acquire_on_fresh_lock_fires(self):
+        src = "import threading\nthreading.Lock().acquire()\n"
+        assert len(hits("LOCK001", src)) == 1
+
+    def test_with_statement_is_quiet(self):
+        src = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def f():\n"
+            "    with lock:\n"
+            "        work()\n"
+        )
+        assert hits("LOCK001", src) == []
+
+    def test_acquire_before_try_finally_is_quiet(self):
+        src = (
+            "def f(self):\n"
+            "    self._lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self._lock.release()\n"
+        )
+        assert hits("LOCK001", src) == []
+
+    def test_acquire_inside_try_finally_is_quiet(self):
+        src = (
+            "def f(self):\n"
+            "    try:\n"
+            "        self._lock.acquire()\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self._lock.release()\n"
+        )
+        assert hits("LOCK001", src) == []
+
+    def test_nonblocking_probe_is_quiet(self):
+        src = (
+            "def f(lock):\n"
+            "    if lock.acquire(blocking=False):\n"
+            "        try:\n"
+            "            work()\n"
+            "        finally:\n"
+            "            lock.release()\n"
+        )
+        assert hits("LOCK001", src) == []
+
+    def test_non_lock_acquire_is_ignored(self):
+        # Datablock acquire/release protocols are not lock discipline.
+        src = "def f(db, mode):\n    db.acquire(mode)\n"
+        assert hits("LOCK001", src) == []
+
+
+class TestObs001:
+    def test_span_without_with_fires(self):
+        src = (
+            "def f(tracer):\n"
+            "    span = tracer.span('model/predict')\n"
+            "    work()\n"
+        )
+        found = hits("OBS001", src)
+        assert [v.rule_id for v in found] == ["OBS001"]
+
+    def test_span_in_with_is_quiet(self):
+        src = (
+            "def f(tracer):\n"
+            "    with tracer.span('model/predict') as sp:\n"
+            "        work(sp)\n"
+        )
+        assert hits("OBS001", src) == []
+
+    def test_obs_tracer_attribute_form(self):
+        src = (
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    OBS.tracer.span('agent/round')\n"
+        )
+        assert len(hits("OBS001", src)) == 1
+
+    def test_returned_span_is_quiet(self):
+        # Delegating the context manager to the caller (optimizer idiom).
+        src = (
+            "def scope(self, name):\n"
+            "    return OBS.tracer.span(name)\n"
+        )
+        assert hits("OBS001", src) == []
+
+
+class TestObs002:
+    def test_start_without_finish_fires(self):
+        src = (
+            "def f(tracer):\n"
+            "    sp = tracer.start('x')\n"
+            "    work()\n"
+        )
+        found = hits("OBS002", src)
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_start_with_finish_in_function_is_quiet(self):
+        src = (
+            "def f(tracer):\n"
+            "    sp = tracer.start('x')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        tracer.finish(sp)\n"
+        )
+        assert hits("OBS002", src) == []
+
+    def test_start_in_enter_finish_in_exit_is_quiet(self):
+        # The _SpanContext idiom: paired across methods of one class.
+        src = (
+            "class Ctx:\n"
+            "    def __enter__(self):\n"
+            "        self._sp = self._tracer.start('x')\n"
+            "        return self._sp\n"
+            "    def __exit__(self, *exc):\n"
+            "        self._tracer.finish(self._sp)\n"
+        )
+        assert hits("OBS002", src) == []
+
+
+class TestDef001:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "{1}", "list()", "dict()", "set()"]
+    )
+    def test_mutable_defaults_fire(self, default):
+        src = f"def f(x={default}):\n    return x\n"
+        assert len(hits("DEF001", src)) == 1
+
+    def test_keyword_only_default_fires(self):
+        src = "def f(*, x=[]):\n    return x\n"
+        assert len(hits("DEF001", src)) == 1
+
+    def test_none_and_immutable_defaults_are_quiet(self):
+        src = "def f(x=None, y=0, z=(), w='s', v=frozenset()):\n    pass\n"
+        assert hits("DEF001", src) == []
+
+
+class TestExc001And002:
+    def test_bare_except_fires(self):
+        src = "try:\n    work()\nexcept:\n    handle()\n"
+        assert [v.rule_id for v in hits("EXC001", src)] == ["EXC001"]
+
+    def test_named_except_is_quiet_for_exc001(self):
+        src = "try:\n    work()\nexcept ValueError:\n    handle()\n"
+        assert hits("EXC001", src) == []
+
+    def test_swallowed_exception_fires(self):
+        src = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        found = hits("EXC002", src)
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_ellipsis_body_fires(self):
+        src = "try:\n    work()\nexcept ValueError:\n    ...\n"
+        assert len(hits("EXC002", src)) == 1
+
+    def test_handler_with_real_body_is_quiet(self):
+        src = "try:\n    work()\nexcept ValueError:\n    raise\n"
+        assert hits("EXC002", src) == []
+
+
+class TestTime001:
+    def test_time_time_fires(self):
+        src = "import time\nstart = time.time()\n"
+        assert len(hits("TIME001", src)) == 1
+
+    def test_from_import_form_fires(self):
+        src = "from time import time\nstart = time()\n"
+        assert len(hits("TIME001", src)) == 1
+
+    def test_perf_counter_is_quiet(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        assert hits("TIME001", src) == []
+
+    def test_unrelated_time_name_is_quiet(self):
+        # A local callable named `time` without the from-import.
+        src = "def f(time):\n    return time()\n"
+        assert hits("TIME001", src) == []
+
+
+class TestFlt001:
+    @pytest.mark.parametrize(
+        "expr",
+        ["x == 1.5", "x != 0.0", "1.5 == x", "x == -2.5", "x == float(y)"],
+    )
+    def test_float_equality_fires(self, expr):
+        assert len(hits("FLT001", f"def f(x, y):\n    return {expr}\n")) == 1
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "x == 1",
+            "x < 1.5",
+            "x >= 0.0",
+            "abs(x - 1.5) < 1e-9",
+            "math.isclose(x, 1.5)",
+        ],
+    )
+    def test_tolerant_and_integer_comparisons_are_quiet(self, expr):
+        assert hits("FLT001", f"def f(x):\n    return {expr}\n") == []
+
+
+class TestUnit001:
+    def test_unit_of_name(self):
+        assert unit_of_name("local_bw_gbps") == "gbps"
+        assert unit_of_name("peak_gflops") == "gflops"
+        assert unit_of_name("size_bytes") == "bytes"
+        assert unit_of_name("n_cores") == "threads"  # canonicalised
+        assert unit_of_name("elapsed_ms") == "seconds"
+        assert unit_of_name("baseline") is None
+        assert unit_of_name("gbps") is None  # a unit, not a quantity
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "peak_gflops + link_gbps",
+            "size_bytes - budget_gbps",
+            "peak_gflops < link_gbps",
+            "demand_gbps == size_bytes",
+        ],
+    )
+    def test_cross_unit_fires(self, expr):
+        src = f"def f(peak_gflops, link_gbps, size_bytes, budget_gbps, demand_gbps):\n    return {expr}\n"
+        assert len(hits("UNIT001", src)) == 1
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "local_gbps + remote_gbps",  # same unit
+            "peak_gflops / demand_gbps",  # division changes units: fine
+            "peak_gflops * ai",  # multiplication: fine
+            "n_threads + n_cores",  # aliases of one dimension
+            "baseline + local_gbps",  # unsuffixed operand: no claim
+        ],
+    )
+    def test_compatible_arithmetic_is_quiet(self, expr):
+        src = (
+            "def f(local_gbps, remote_gbps, peak_gflops, demand_gbps,"
+            " ai, n_threads, n_cores, baseline):\n"
+            f"    return {expr}\n"
+        )
+        assert hits("UNIT001", src) == []
+
+    def test_attribute_suffixes_tracked(self):
+        src = (
+            "def f(node, app):\n"
+            "    return node.local_gbps + app.peak_gflops\n"
+        )
+        assert len(hits("UNIT001", src)) == 1
+
+
+class TestApi001:
+    API_MD = (
+        "# API reference\n\n"
+        "## `repro.fake`\n\n"
+        "* **`good`** (function) — fine.\n"
+        "* **`stale`** (function) — removed from code.\n"
+    )
+
+    def make_project(self, tmp_path, all_names):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "API.md").write_text(self.API_MD)
+        pkg = tmp_path / "src" / "repro" / "fake"
+        pkg.mkdir(parents=True)
+        init = pkg / "__init__.py"
+        init.write_text(f"__all__ = {all_names!r}\n")
+        return init
+
+    def check(self, tmp_path, init):
+        engine = LintEngine(rules=["API001"], project_root=tmp_path)
+        return engine.check_file(init)
+
+    def test_drift_both_directions(self, tmp_path):
+        init = self.make_project(tmp_path, ["good", "brand_new"])
+        found = self.check(tmp_path, init)
+        messages = " ".join(v.message for v in found)
+        assert len(found) == 2
+        assert "brand_new" in messages  # in __all__, not documented
+        assert "stale" in messages  # documented, not in __all__
+
+    def test_matching_surface_is_quiet(self, tmp_path):
+        init = self.make_project(tmp_path, ["good", "stale"])
+        assert self.check(tmp_path, init) == []
+
+    def test_undocumented_module_is_ignored(self, tmp_path):
+        self.make_project(tmp_path, ["good"])
+        other = tmp_path / "src" / "repro" / "other.py"
+        other.write_text("__all__ = ['whatever']\n")
+        engine = LintEngine(rules=["API001"], project_root=tmp_path)
+        assert engine.check_file(other) == []
+
+    def test_parse_api_md(self):
+        sections = parse_api_md(self.API_MD)
+        assert sections == {"repro.fake": {"good", "stale"}}
+
+    def test_real_tree_is_clean(self):
+        # The live repo must satisfy its own drift rule.
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        engine = LintEngine(rules=["API001"], project_root=root)
+        assert engine.check_paths([root / "src"]) == []

@@ -1,10 +1,37 @@
 """Unit tests for counters, time series, and rate integrators."""
 
+import importlib
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.metrics import Counter, MetricSet, RateIntegrator, TimeSeries
+from repro.obs.metrics import Counter, MetricSet, RateIntegrator, TimeSeries
+
+
+class TestDeprecatedShim:
+    def test_sim_metrics_import_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.sim.metrics as shim
+
+            importlib.reload(shim)  # re-run module body even if cached
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.obs.metrics" in str(w.message)
+            for w in caught
+        )
+
+    def test_shim_reexports_same_objects(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.sim.metrics as shim
+
+        assert shim.Counter is Counter
+        assert shim.MetricSet is MetricSet
+        assert shim.RateIntegrator is RateIntegrator
+        assert shim.TimeSeries is TimeSeries
 
 
 class TestCounter:
