@@ -23,6 +23,12 @@ Commands
     preset invariant checker.  ``--rules`` with no ids prints the rule
     catalogue; ``--json`` emits machine-readable findings; ``--fail-on
     {error,warning}`` controls the exit-code gate.
+``chaos <scenario>``
+    Run a fault-injection recovery scenario (:mod:`repro.faults`):
+    ``crash-one``, ``flaky-reports``, or ``lossy-links``.  Prints a
+    recovery report and exits non-zero when the scenario's recovery
+    criteria are not met; ``--seed`` replays a different (still
+    deterministic) fault sequence, ``--json`` emits the report as JSON.
 """
 
 from __future__ import annotations
@@ -83,6 +89,23 @@ def main(argv: list[str] | None = None) -> int:
     from repro.lint.cli import add_check_parser
 
     add_check_parser(sub)
+    chaosp = sub.add_parser(
+        "chaos", help="run a fault-injection recovery scenario"
+    )
+    from repro.faults import SCENARIOS
+
+    chaosp.add_argument("scenario", choices=sorted(SCENARIOS))
+    chaosp.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-sequence seed (default 0); same seed, same faults",
+    )
+    chaosp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovery report as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -104,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import run_check
 
         return run_check(args)
+    elif args.command == "chaos":
+        from repro.faults import run_scenario
+
+        report = run_scenario(args.scenario, seed=args.seed)
+        print(report.to_json() if args.json else report.format())
+        return 0 if report.passed else 1
     return 0
 
 

@@ -11,16 +11,45 @@ agent therefore tracks its cumulative *deliberation budget*
 (``decision_cost_seconds`` per round) and can optionally burn that budget
 as real simulated work on a dedicated core via ``charge_cpu=True`` —
 letting the experiments quantify the perturbation instead of ignoring it.
+
+The loop is hardened against misbehaving runtimes (crashes, hangs, stale
+or corrupt reports — exactly what :mod:`repro.faults` injects):
+
+* report collection retries within the round and probes failing
+  endpoints between rounds with exponential backoff and jitter;
+* a :class:`~repro.agent.resilience.HeartbeatTracker` rejects reports
+  older than the freshness window, so a replayed cached report cannot
+  masquerade as progress;
+* a circuit breaker quarantines an endpoint after
+  ``quarantine_after`` consecutive failed rounds and redistributes its
+  cores over the surviving runtimes;
+* when fewer than a quorum of endpoints respond, the agent stops
+  trusting its strategy and degrades to a static equal per-node
+  allocation until the quorum returns.
+
+With no failures the hardened loop is byte-identical to the plain one —
+every guard only engages on an actual failure — which the golden tests
+in ``tests/test_faults_agent.py`` pin down.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.agent.monitor import LoadMonitor, LoadSample
-from repro.agent.protocol import RuntimeEndpoint, StatusReport, ThreadCommand
-from repro.agent.strategies import AgentStrategy
+from repro.agent.protocol import (
+    CommandKind,
+    RuntimeEndpoint,
+    StatusReport,
+    ThreadCommand,
+)
+from repro.agent.resilience import (
+    EndpointHealth,
+    HeartbeatTracker,
+    ResiliencePolicy,
+)
 from repro.errors import AgentError
 from repro.obs import OBS
 from repro.sim.executor import ExecutionSimulator, WorkSegment
@@ -35,20 +64,38 @@ def _endpoint_threads(endpoint: RuntimeEndpoint) -> int | None:
 
     Duck-typed so command spans can annotate before/after counts without
     issuing an extra protocol report (which would perturb the endpoints'
-    differencing state, e.g. ``cpu_load``).
+    differencing state, e.g. ``cpu_load``).  Endpoints without a
+    ``runtime`` attribute (or whose runtime has no ``active_threads``)
+    explicitly yield ``None`` — the span annotates those as
+    ``"unknown"`` rather than dropping the attribute.
     """
     runtime = getattr(endpoint, "runtime", None)
-    return getattr(runtime, "active_threads", None)
+    if runtime is None:
+        return None
+    threads = getattr(runtime, "active_threads", None)
+    if threads is None:
+        return None
+    return int(threads)
 
 
 @dataclass(frozen=True)
 class AgentDecision:
-    """Record of one agent round."""
+    """Record of one agent round.
+
+    ``failures`` names the endpoints that produced no fresh report this
+    round, ``quarantined`` the endpoints newly quarantined by it, and
+    ``degraded`` marks rounds decided by the static quorum-loss fallback
+    instead of the strategy.  All three stay empty/False in fault-free
+    runs, keeping the record identical to the pre-hardening agent.
+    """
 
     time: float
     reports: dict[str, StatusReport]
     load: LoadSample
     commands: dict[str, tuple[ThreadCommand, ...]]
+    failures: tuple[str, ...] = ()
+    quarantined: tuple[str, ...] = ()
+    degraded: bool = False
 
 
 class Agent:
@@ -68,17 +115,22 @@ class Agent:
         When True, the agent's deliberation is executed as work on a
         dedicated simulated thread (bound to ``agent_node``), competing
         for a core like any other thread would.
+    resilience:
+        Failure-handling knobs (:class:`ResiliencePolicy`); the default
+        policy retries up to 3 times, quarantines after 3 consecutive
+        failed rounds, and requires half the endpoints to respond.
     """
 
     def __init__(
         self,
         executor: ExecutionSimulator,
-        strategy: AgentStrategy,
+        strategy,
         *,
         period: float = 0.01,
         decision_cost_seconds: float = 0.0,
         charge_cpu: bool = False,
         agent_node: int = 0,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if period <= 0:
             raise AgentError(f"period must be positive, got {period}")
@@ -90,13 +142,21 @@ class Agent:
         self.decision_cost_seconds = decision_cost_seconds
         self.charge_cpu = charge_cpu
         self.agent_node = agent_node
+        self.resilience = resilience or ResiliencePolicy()
         self.endpoints: dict[str, RuntimeEndpoint] = {}
         self.monitor = LoadMonitor(executor)
+        self.heartbeats = HeartbeatTracker(
+            self.resilience.freshness_window * period
+        )
+        self.health: dict[str, EndpointHealth] = {}
         self.decisions: list[AgentDecision] = []
         self.total_deliberation = 0.0
         self._started = False
         self._agent_thread: SimThread | None = None
         self._pending_work = 0.0
+        self._rng = random.Random(f"agent-resilience:{self.resilience.seed}")
+        self._last_reports: dict[str, StatusReport] = {}
+        self._probe_pending: set[str] = set()
 
     # ------------------------------------------------------------------
     def register(self, endpoint: RuntimeEndpoint) -> None:
@@ -104,6 +164,7 @@ class Agent:
         if endpoint.name in self.endpoints:
             raise AgentError(f"duplicate endpoint '{endpoint.name}'")
         self.endpoints[endpoint.name] = endpoint
+        self.health[endpoint.name] = EndpointHealth()
 
     def start(self) -> None:
         """Begin the periodic control loop (first round after one period)."""
@@ -144,14 +205,262 @@ class Agent:
         self.executor.sim.schedule(self.period, self._round, priority=5)
 
     # ------------------------------------------------------------------
+    # Report collection (the hardened upward path)
+    # ------------------------------------------------------------------
+    def _valid_report(self, name: str, report: StatusReport, now: float) -> bool:
+        """Plausibility gate: a corrupt report must not reach the strategy."""
+        if not isinstance(report, StatusReport):
+            return False
+        nodes = self.executor.machine.num_nodes
+        return (
+            report.runtime_name == name
+            and 0.0 <= report.time <= now + 1e-9
+            and report.tasks_executed >= 0
+            and report.active_threads >= 0
+            and report.blocked_threads >= 0
+            and report.queue_length >= 0
+            and len(report.active_per_node) == nodes
+            and len(report.workers_per_node) == nodes
+            and all(x >= 0 for x in report.active_per_node)
+            and all(x >= 0 for x in report.workers_per_node)
+        )
+
+    def _fetch_report(self, name: str, now: float) -> StatusReport | None:
+        """One round's report attempts for one endpoint.
+
+        The first attempt plus up to ``max_attempts - 1`` immediate
+        retransmits, all at the current instant (a real coordinator's
+        in-round timeout/retry).  Invalid (corrupt) reports count as
+        failures.  Returns None when every attempt failed.
+        """
+        endpoint = self.endpoints[name]
+        policy = self.resilience
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                self.health[name].retries += 1
+                if OBS.enabled:
+                    OBS.metrics.counter("agent/retries").add()
+            try:
+                report = endpoint.report(now)
+            except Exception:
+                continue
+            if self._valid_report(name, report, now):
+                return report
+            if OBS.enabled:
+                OBS.metrics.counter("agent/invalid_reports").add()
+        return None
+
+    def _collect_reports(
+        self, now: float
+    ) -> tuple[dict[str, StatusReport], list[str]]:
+        """Fresh report per responding endpoint, plus this round's failures.
+
+        A failed fetch falls back to the endpoint's cached report when
+        that is still inside the freshness window (so one lost message
+        does not blind the strategy), but still counts as a failure for
+        the circuit breaker — the endpoint did not answer *now*.
+        """
+        reports: dict[str, StatusReport] = {}
+        failures: list[str] = []
+        for name in self.endpoints:
+            if self.health[name].quarantined:
+                continue
+            report = self._fetch_report(name, now)
+            if report is not None and self.heartbeats.fresh(report.time, now):
+                reports[name] = report
+                self._last_reports[name] = report
+                self.heartbeats.beat(name, report.time)
+                continue
+            failures.append(name)
+            cached = self._last_reports.get(name)
+            if cached is not None and self.heartbeats.fresh(cached.time, now):
+                reports[name] = cached
+        return reports, failures
+
+    def _schedule_probe(self, name: str) -> None:
+        """One between-rounds backoff probe for a failing endpoint."""
+        if name in self._probe_pending:
+            return
+        streak = self.health[name].consecutive_failures
+        delay = self.resilience.backoff_delay(max(streak, 1), self._rng)
+        if delay >= self.period:
+            return  # next round arrives first anyway
+        self._probe_pending.add(name)
+        self.executor.sim.schedule(delay, lambda: self._probe(name), priority=6)
+
+    def _probe(self, name: str) -> None:
+        """Fire one backoff probe; success refreshes the report cache."""
+        self._probe_pending.discard(name)
+        health = self.health[name]
+        if health.quarantined:
+            return
+        now = self.executor.sim.now
+        health.retries += 1
+        if OBS.enabled:
+            OBS.metrics.counter("agent/retries").add()
+        try:
+            report = self.endpoints[name].report(now)
+        except Exception:
+            return
+        if not self._valid_report(name, report, now):
+            return
+        # Half-open probe succeeded: the endpoint is alive after all.
+        health.consecutive_failures = 0
+        self._last_reports[name] = report
+        if self.heartbeats.fresh(report.time, now):
+            self.heartbeats.beat(name, report.time)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker and quorum fallback
+    # ------------------------------------------------------------------
+    def _update_health(
+        self, failures: Sequence[str], now: float
+    ) -> list[str]:
+        """Advance failure streaks; returns endpoints newly quarantined."""
+        policy = self.resilience
+        newly: list[str] = []
+        for name in self.endpoints:
+            health = self.health[name]
+            if health.quarantined:
+                continue
+            if name in failures:
+                health.consecutive_failures += 1
+                health.total_failures += 1
+                if health.consecutive_failures >= policy.quarantine_after:
+                    health.quarantined = True
+                    health.quarantined_at = now
+                    newly.append(name)
+                    if OBS.enabled:
+                        OBS.metrics.counter("agent/quarantined").add()
+                        with OBS.tracer.span(
+                            "agent/quarantine",
+                            runtime=name,
+                            sim_time=now,
+                            failures=health.consecutive_failures,
+                        ):
+                            pass
+                else:
+                    self._schedule_probe(name)
+            else:
+                health.consecutive_failures = 0
+                health.last_report_time = now
+        return newly
+
+    @property
+    def active_endpoints(self) -> list[str]:
+        """Registered endpoints whose circuit breaker is still closed."""
+        return [
+            name
+            for name in self.endpoints
+            if not self.health[name].quarantined
+        ]
+
+    @property
+    def quarantined_endpoints(self) -> list[str]:
+        """Endpoints removed from coordination by the circuit breaker."""
+        return [
+            name for name in self.endpoints if self.health[name].quarantined
+        ]
+
+    def _quorum_met(self, responding: int) -> bool:
+        active = len(self.active_endpoints)
+        if active == 0:
+            return False
+        return responding / active >= self.resilience.quorum - 1e-12
+
+    def _equal_share(
+        self, reports: dict[str, StatusReport]
+    ) -> dict[str, list[ThreadCommand]]:
+        """Static equal per-node allocation over the responding runtimes.
+
+        The quorum-loss fallback: with too few signals to trust the
+        strategy, fall back to the paper's "fair share of the cores".
+        """
+        names = sorted(reports)
+        out: dict[str, list[ThreadCommand]] = {}
+        for i, name in enumerate(names):
+            per_node = []
+            for node in self.executor.machine.nodes:
+                share, leftover = divmod(node.num_cores, len(names))
+                per_node.append(share + (1 if i < leftover else 0))
+            clamped = tuple(
+                min(int(n), w)
+                for n, w in zip(per_node, reports[name].workers_per_node)
+            )
+            out[name] = [
+                ThreadCommand(
+                    kind=CommandKind.SET_ALLOCATION, per_node=clamped
+                )
+            ]
+        return out
+
+    def _redistribute(
+        self,
+        dead: Sequence[str],
+        reports: dict[str, StatusReport],
+    ) -> dict[str, list[ThreadCommand]]:
+        """Hand a quarantined runtime's cores to the survivors.
+
+        The freed per-node counts (the dead endpoint's last known active
+        threads) are dealt round-robin over the responding survivors in
+        name order; each survivor receives one SET_ALLOCATION raising its
+        current allocation, clamped to the workers it actually has.
+        """
+        survivors = sorted(reports)
+        if not survivors:
+            return {}
+        freed = [0] * self.executor.machine.num_nodes
+        for name in dead:
+            last = self._last_reports.get(name)
+            if last is None:
+                continue
+            for node, count in enumerate(last.active_per_node):
+                freed[node] += count
+        if not any(freed):
+            return {}
+        extra = {name: [0] * len(freed) for name in survivors}
+        for node, count in enumerate(freed):
+            for k in range(count):
+                extra[survivors[k % len(survivors)]][node] += 1
+        out: dict[str, list[ThreadCommand]] = {}
+        for name in survivors:
+            report = reports[name]
+            target = tuple(
+                min(a + e, w)
+                for a, e, w in zip(
+                    report.active_per_node,
+                    extra[name],
+                    report.workers_per_node,
+                )
+            )
+            out[name] = [
+                ThreadCommand(
+                    kind=CommandKind.SET_ALLOCATION, per_node=target
+                )
+            ]
+        return out
+
+    # ------------------------------------------------------------------
     def _round(self) -> None:
         now = self.executor.sim.now
         with OBS.tracer.span("agent/round", sim_time=now) as span:
-            reports = {
-                name: ep.report(now) for name, ep in self.endpoints.items()
-            }
+            reports, failures = self._collect_reports(now)
             load = self.monitor.sample()
-            commands = self.strategy.decide(self.executor.machine, reports)
+            newly_quarantined = self._update_health(failures, now)
+            degraded = not self._quorum_met(len(reports))
+            if degraded:
+                if OBS.enabled:
+                    OBS.metrics.counter("agent/degraded_rounds").add()
+                commands = self._equal_share(reports)
+            else:
+                commands = self.strategy.decide(
+                    self.executor.machine, reports
+                )
+            if newly_quarantined:
+                for name, cmds in self._redistribute(
+                    newly_quarantined, reports
+                ).items():
+                    commands.setdefault(name, []).extend(cmds)
             applied = 0
             for name, cmds in commands.items():
                 if name not in self.endpoints:
@@ -159,11 +468,17 @@ class Agent:
                         f"strategy issued commands for unknown runtime "
                         f"'{name}'"
                     )
+                if self.health[name].quarantined:
+                    continue  # unreachable by definition; drop its commands
                 for cmd in cmds:
-                    self._apply_command(name, cmd, now)
-                    applied += 1
+                    if self._apply_command(name, cmd, now):
+                        applied += 1
             if OBS.enabled:
                 span.attrs["commands"] = applied
+                if failures:
+                    span.attrs["failures"] = tuple(failures)
+                if degraded:
+                    span.attrs["degraded"] = True
                 OBS.metrics.counter("agent/rounds").add()
         self.total_deliberation += self.decision_cost_seconds
         if self.charge_cpu:
@@ -176,31 +491,52 @@ class Agent:
                 commands={
                     k: tuple(v) for k, v in commands.items()
                 },
+                failures=tuple(failures),
+                quarantined=tuple(newly_quarantined),
+                degraded=degraded,
             )
         )
         self.executor.sim.schedule(self.period, self._round, priority=5)
 
-    def _apply_command(self, name: str, cmd: ThreadCommand, now: float) -> None:
+    def _apply_command(self, name: str, cmd: ThreadCommand, now: float) -> bool:
         """Apply one command; when observability is on, log it as a span
-        with the runtime's before/after active-thread counts."""
+        with the runtime's before/after active-thread counts.
+
+        A raising endpoint must not kill the round — the failure is
+        recorded on the endpoint's health and the loop moves on to the
+        remaining commands and endpoints.  Returns True when the command
+        was applied without error.
+        """
         endpoint = self.endpoints[name]
-        if not OBS.enabled:
-            endpoint.apply(cmd)
-        else:
-            before = _endpoint_threads(endpoint)
-            with OBS.tracer.span(
-                "agent/command",
-                runtime=name,
-                command=cmd.kind.value,
-                sim_time=now,
-            ) as span:
+        try:
+            if not OBS.enabled:
                 endpoint.apply(cmd)
-                span.attrs["threads_before"] = before
-                span.attrs["threads_after"] = _endpoint_threads(endpoint)
-            OBS.metrics.counter("agent/commands").add()
+            else:
+                before = _endpoint_threads(endpoint)
+                with OBS.tracer.span(
+                    "agent/command",
+                    runtime=name,
+                    command=cmd.kind.value,
+                    sim_time=now,
+                ) as span:
+                    endpoint.apply(cmd)
+                    after = _endpoint_threads(endpoint)
+                    span.attrs["threads_before"] = (
+                        before if before is not None else "unknown"
+                    )
+                    span.attrs["threads_after"] = (
+                        after if after is not None else "unknown"
+                    )
+                OBS.metrics.counter("agent/commands").add()
+        except Exception:
+            self.health[name].command_failures += 1
+            if OBS.enabled:
+                OBS.metrics.counter("agent/command_failures").add()
+            return False
         self.executor.tracer.emit(
             now, TraceKind.COMMAND, name, command=cmd.kind.value
         )
+        return True
 
     # ------------------------------------------------------------------
     @property

@@ -12,6 +12,7 @@ their own endpoint).
 from __future__ import annotations
 
 import enum
+import numbers
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -37,9 +38,31 @@ class CommandKind(enum.Enum):
     SET_ALLOCATION = "set-allocation"  #: option 3 (all nodes)
 
 
+#: Which optional fields each command kind requires — the full field
+#: combination contract, enforced at construction so a malformed command
+#: fails where it was built, not deep inside an endpoint.
+_REQUIRED_FIELDS: dict[CommandKind, tuple[str, ...]] = {
+    CommandKind.SET_TOTAL_THREADS: ("total",),
+    CommandKind.SET_NODE_THREADS: ("node", "count"),
+    CommandKind.SET_ALLOCATION: ("per_node",),
+    CommandKind.BLOCK_WORKERS: ("workers",),
+    CommandKind.UNBLOCK_WORKERS: ("workers",),
+}
+
+_ALL_FIELDS = ("total", "node", "count", "per_node", "workers")
+
+
 @dataclass(frozen=True, slots=True)
 class ThreadCommand:
-    """One command from the agent to one runtime."""
+    """One command from the agent to one runtime.
+
+    Field combinations are validated at construction: each
+    :class:`CommandKind` has a fixed set of required fields (see
+    ``_REQUIRED_FIELDS``), every other field must stay ``None``, and
+    counts must be non-negative integers.  A ``SET_NODE_THREADS``
+    without ``node``/``count`` therefore raises :class:`ProtocolError`
+    immediately instead of failing deep in an endpoint.
+    """
 
     kind: CommandKind
     total: int | None = None
@@ -50,19 +73,55 @@ class ThreadCommand:
 
     def __post_init__(self) -> None:
         k = self.kind
-        if k is CommandKind.SET_TOTAL_THREADS and self.total is None:
-            raise ProtocolError("SET_TOTAL_THREADS needs 'total'")
-        if k is CommandKind.SET_NODE_THREADS and (
-            self.node is None or self.count is None
-        ):
-            raise ProtocolError("SET_NODE_THREADS needs 'node' and 'count'")
-        if k is CommandKind.SET_ALLOCATION and self.per_node is None:
-            raise ProtocolError("SET_ALLOCATION needs 'per_node'")
-        if (
-            k in (CommandKind.BLOCK_WORKERS, CommandKind.UNBLOCK_WORKERS)
-            and self.workers is None
-        ):
-            raise ProtocolError(f"{k.value} needs 'workers'")
+        if not isinstance(k, CommandKind):
+            raise ProtocolError(f"kind must be a CommandKind, got {k!r}")
+        required = _REQUIRED_FIELDS[k]
+        for name in required:
+            if getattr(self, name) is None:
+                raise ProtocolError(
+                    f"{k.value} needs {', '.join(repr(r) for r in required)}"
+                )
+        for name in _ALL_FIELDS:
+            if name not in required and getattr(self, name) is not None:
+                raise ProtocolError(
+                    f"{k.value} does not take '{name}' "
+                    f"(it needs only "
+                    f"{', '.join(repr(r) for r in required)})"
+                )
+        for name in ("total", "node", "count"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(
+                value, numbers.Integral
+            ):
+                raise ProtocolError(
+                    f"{k.value}: '{name}' must be an int, got {value!r}"
+                )
+            if value < 0:
+                raise ProtocolError(
+                    f"{k.value}: '{name}' must be >= 0, got {value}"
+                )
+        if self.per_node is not None:
+            if len(self.per_node) == 0:
+                raise ProtocolError(
+                    f"{k.value}: 'per_node' must not be empty"
+                )
+            for x in self.per_node:
+                if isinstance(x, bool) or not isinstance(
+                    x, numbers.Integral
+                ):
+                    raise ProtocolError(
+                        f"{k.value}: per_node entries must be ints, "
+                        f"got {x!r}"
+                    )
+                if x < 0:
+                    raise ProtocolError(
+                        f"{k.value}: per_node entries must be >= 0, "
+                        f"got {x}"
+                    )
+        if self.workers is not None and len(self.workers) == 0:
+            raise ProtocolError(f"{k.value}: 'workers' must not be empty")
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,200 @@
+"""Resilience primitives for the agent's coordination loop.
+
+The paper's Figure 1 loop — collect reports, decide, command — implicitly
+assumes every runtime answers instantly and every command applies
+cleanly.  A production coordinator cannot: applications crash, stall,
+and lose messages, and related work on adaptive pinning (Chasparis et
+al.) stresses that such noise must not destabilise the controller.  This
+module holds the pieces the hardened :class:`~repro.agent.agent.Agent`
+uses to stay stable:
+
+* :class:`ResiliencePolicy` — every knob in one validated, immutable
+  place: in-round retry attempts, exponential backoff with deterministic
+  jitter for between-round probes, report freshness windows, the
+  circuit-breaker threshold, and the response quorum.
+* :class:`EndpointHealth` — the per-endpoint circuit-breaker state the
+  agent mutates round by round (consecutive failures, retries, the
+  quarantine flag).
+* :class:`HeartbeatTracker` — a :class:`~repro.agent.monitor.LoadMonitor`-
+  style freshness tracker: each *fresh* report is a heartbeat; an
+  endpoint whose last heartbeat is older than the freshness window is
+  stale even if it technically returned something (e.g. a replayed
+  cached report injected by :mod:`repro.faults`).
+
+Everything is deterministic: backoff jitter comes from a seeded
+:class:`random.Random`, so two runs with the same seed make identical
+decisions at identical simulation times.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AgentError
+
+__all__ = [
+    "ResiliencePolicy",
+    "EndpointHealth",
+    "HeartbeatTracker",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Parameters of the hardened agent loop.
+
+    Attributes
+    ----------
+    max_attempts:
+        Report attempts per endpoint per round (the first attempt plus
+        up to ``max_attempts - 1`` immediate retransmits).
+    backoff_base / backoff_factor / backoff_cap:
+        Between-round probe schedule for a failing endpoint: after its
+        k-th consecutive failed round a single probe is scheduled
+        ``min(cap, base * factor**(k-1))`` seconds later (simulation
+        time), so a recovering runtime is noticed before the next round
+        without hammering a dead one.
+    jitter:
+        Relative jitter on the backoff delay (a factor drawn uniformly
+        from ``[1 - jitter, 1 + jitter]`` with the policy's seeded RNG),
+        decorrelating probes of simultaneously failing endpoints.
+    freshness_window:
+        Reports older than ``freshness_window`` agent periods are stale:
+        they do not count as heartbeats and do not feed the strategy.
+    quarantine_after:
+        Circuit breaker: consecutive failed rounds before an endpoint is
+        quarantined and its cores are redistributed.
+    quorum:
+        Minimum fraction of non-quarantined endpoints that must respond
+        in a round for the strategy to run; below it the agent degrades
+        to a static equal per-node allocation.
+    seed:
+        Seed of the jitter RNG.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.02
+    jitter: float = 0.25
+    freshness_window: float = 1.5
+    quarantine_after: int = 3
+    quorum: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise AgentError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base <= 0:
+            raise AgentError("backoff_base must be positive")
+        if self.backoff_factor < 1.0:
+            raise AgentError("backoff_factor must be >= 1")
+        if self.backoff_cap < self.backoff_base:
+            raise AgentError(
+                "backoff_cap must be >= backoff_base "
+                f"({self.backoff_cap} < {self.backoff_base})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise AgentError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.freshness_window <= 0:
+            raise AgentError("freshness_window must be positive")
+        if self.quarantine_after < 1:
+            raise AgentError("quarantine_after must be >= 1")
+        if not 0.0 < self.quorum <= 1.0:
+            raise AgentError(f"quorum must be in (0, 1], got {self.quorum}")
+
+    def backoff_delay(self, streak: int, rng: random.Random) -> float:
+        """Probe delay after ``streak`` consecutive failed rounds.
+
+        Exponential in the streak, capped, with deterministic jitter
+        from ``rng`` (the agent owns one seeded instance).
+        """
+        if streak < 1:
+            raise AgentError(f"streak must be >= 1, got {streak}")
+        raw = self.backoff_base * self.backoff_factor ** (streak - 1)
+        delay = min(self.backoff_cap, raw)
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+@dataclass
+class EndpointHealth:
+    """Circuit-breaker state of one registered endpoint.
+
+    Attributes
+    ----------
+    consecutive_failures:
+        Failed rounds in a row; reset by any fresh report.
+    total_failures / retries / command_failures:
+        Lifetime tallies (rounds failed, report retransmits sent,
+        commands whose ``apply`` raised).
+    quarantined / quarantined_at:
+        The breaker: once open the endpoint is no longer polled or
+        commanded, and its cores have been redistributed.
+    last_report_time:
+        Simulation time of the last *fresh* report (the heartbeat).
+    """
+
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    retries: int = 0
+    command_failures: int = 0
+    quarantined: bool = False
+    quarantined_at: float | None = None
+    last_report_time: float | None = None
+
+    @property
+    def responsive(self) -> bool:
+        """True while the breaker is closed and no failure streak runs."""
+        return not self.quarantined and self.consecutive_failures == 0
+
+
+class HeartbeatTracker:
+    """Freshness bookkeeping over endpoint reports.
+
+    Mirrors :class:`~repro.agent.monitor.LoadMonitor`'s differencing
+    style: state is only what the last heartbeat was, queries are pure.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise AgentError("heartbeat window must be positive")
+        self.window = window
+        self._last: dict[str, float] = {}
+
+    def beat(self, name: str, time: float) -> None:
+        """Record a fresh report from ``name`` at simulation ``time``."""
+        previous = self._last.get(name)
+        if previous is not None and time < previous:
+            raise AgentError(
+                f"heartbeat of '{name}' went backwards "
+                f"({time} < {previous})"
+            )
+        self._last[name] = time
+
+    def last(self, name: str) -> float | None:
+        """Time of the last heartbeat, or None if never seen."""
+        return self._last.get(name)
+
+    def stale(self, name: str, now: float) -> bool:
+        """True when ``name``'s last heartbeat is outside the window."""
+        last = self._last.get(name)
+        if last is None:
+            return True
+        return now - last > self.window
+
+    def age(self, name: str, now: float) -> float:
+        """Seconds since the last heartbeat (``inf`` if never seen)."""
+        last = self._last.get(name)
+        if last is None:
+            return math.inf
+        return now - last
+
+    def fresh(self, report_time: float, now: float) -> bool:
+        """Whether a report stamped ``report_time`` is inside the window."""
+        return now - report_time <= self.window

@@ -1,6 +1,15 @@
 """Distributed execution layer (Section V): partitions x synchronisation."""
 
 from repro.distributed.cluster import ClusterExperiment, ClusterRun
+from repro.distributed.messaging import (
+    BspProgram,
+    BspResult,
+    DeliveryResult,
+    LossyNetworkModel,
+    NetworkModel,
+    ReliableChannel,
+    SyncKind,
+)
 from repro.distributed.partition import (
     DynamicSharingPartition,
     NodePerformance,
@@ -16,6 +25,13 @@ from repro.distributed.workload import (
 )
 
 __all__ = [
+    "NetworkModel",
+    "LossyNetworkModel",
+    "DeliveryResult",
+    "ReliableChannel",
+    "SyncKind",
+    "BspResult",
+    "BspProgram",
     "PeriodicRate",
     "RatePhase",
     "NodePerformance",

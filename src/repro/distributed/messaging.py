@@ -17,20 +17,37 @@ iteration model with three synchronisation disciplines:
   stencil pattern: looser than a barrier, skew propagates at one rank
   per iteration);
 * ``NONE`` — independent ranks (the fully loose limit).
+
+:class:`LossyNetworkModel` and :class:`ReliableChannel` extend the model
+to unreliable links: messages are lost or duplicated with seeded
+probabilities, and delivery retries within a bounded *retransmit budget*
+— the distributed-layer counterpart of the agent's bounded report
+retries (an unbounded retry loop is exactly what ``RETRY001`` in
+:mod:`repro.lint` flags).
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import random
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.distributed.rates import PeriodicRate
 from repro.errors import DistributedError
+from repro.obs import OBS
 
-__all__ = ["NetworkModel", "SyncKind", "BspResult", "BspProgram"]
+__all__ = [
+    "NetworkModel",
+    "LossyNetworkModel",
+    "DeliveryResult",
+    "ReliableChannel",
+    "SyncKind",
+    "BspResult",
+    "BspProgram",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +94,169 @@ class NetworkModel:
             return 0.0
         rounds = math.ceil(math.log2(num_ranks))
         return rounds * self.transfer_time(size_bytes)
+
+
+@dataclass(frozen=True)
+class LossyNetworkModel(NetworkModel):
+    """An alpha-beta network whose links lose and duplicate messages.
+
+    Attributes
+    ----------
+    loss_rate:
+        Probability any single transmission attempt is lost.
+    duplication_rate:
+        Probability a delivered message arrives more than once (the
+        receiver must deduplicate; :class:`ReliableChannel` counts them).
+    ack_timeout:
+        Seconds a sender waits before concluding an attempt was lost
+        and retransmitting; defaults to four network latencies.
+    """
+
+    loss_rate: float = 0.0
+    duplication_rate: float = 0.0
+    ack_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise DistributedError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if not 0.0 <= self.duplication_rate <= 1.0:
+            raise DistributedError(
+                f"duplication_rate must be in [0, 1], "
+                f"got {self.duplication_rate}"
+            )
+        if self.ack_timeout is not None and self.ack_timeout <= 0:
+            raise DistributedError("ack_timeout must be positive")
+
+    @property
+    def effective_ack_timeout(self) -> float:
+        """The configured ack timeout, or the 4-latency default."""
+        if self.ack_timeout is not None:
+            return self.ack_timeout
+        return 4.0 * self.latency
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryResult:
+    """Outcome of one :meth:`ReliableChannel.send`.
+
+    Attributes
+    ----------
+    delivered:
+        Whether the message got through within the retransmit budget.
+    attempts:
+        Transmission attempts made (1 = first try succeeded).
+    duplicates:
+        Extra copies the receiver saw (deduplicated, but they cost
+        bandwidth and show up in the counters).
+    elapsed_seconds:
+        Wire time consumed: every attempt pays the transfer, every
+        *failed* attempt additionally pays the ack timeout.
+    """
+
+    delivered: bool
+    attempts: int
+    duplicates: int
+    elapsed_seconds: float
+
+    @property
+    def retransmits(self) -> int:
+        """Attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+
+class ReliableChannel:
+    """Loss/duplication-aware delivery with a bounded retransmit budget.
+
+    The channel retries a lost message at most ``max_retransmits`` times
+    — never forever (the distributed mirror of the agent's bounded
+    report retries).  When the budget runs out the send *fails
+    visibly* (``delivered=False`` and, with ``strict=True``, a
+    :class:`DistributedError`) instead of hanging the caller.
+
+    Determinism: the loss/duplication stream comes from a
+    :class:`random.Random` seeded with ``(seed, name)``, so a scenario
+    replays the exact same deliveries run after run.
+    """
+
+    def __init__(
+        self,
+        network: LossyNetworkModel,
+        *,
+        max_retransmits: int = 4,
+        strict: bool = False,
+        name: str = "channel",
+        seed: int = 0,
+    ) -> None:
+        if max_retransmits < 0:
+            raise DistributedError(
+                f"max_retransmits must be >= 0, got {max_retransmits}"
+            )
+        self.network = network
+        self.max_retransmits = max_retransmits
+        self.strict = strict
+        self.name = name
+        self._rng = random.Random(f"channel:{seed}:{name}")
+        self.sent = 0
+        self.delivered = 0
+        self.retransmits = 0
+        self.duplicates = 0
+        self.undeliverable = 0
+
+    def send(self, size_bytes: float) -> DeliveryResult:
+        """Deliver one message of ``size_bytes``, retrying within budget."""
+        self.sent += 1
+        transfer = self.network.transfer_time(size_bytes)
+        timeout = self.network.effective_ack_timeout
+        elapsed = 0.0
+        duplicates = 0
+        attempts = 0
+        delivered = False
+        for attempt in range(self.max_retransmits + 1):
+            attempts = attempt + 1
+            elapsed += transfer
+            if self._rng.random() >= self.network.loss_rate:
+                delivered = True
+                if self._rng.random() < self.network.duplication_rate:
+                    duplicates += 1
+                break
+            elapsed += timeout
+        result = DeliveryResult(
+            delivered=delivered,
+            attempts=attempts,
+            duplicates=duplicates,
+            elapsed_seconds=elapsed,
+        )
+        self.retransmits += result.retransmits
+        self.duplicates += duplicates
+        if delivered:
+            self.delivered += 1
+        else:
+            self.undeliverable += 1
+        if OBS.enabled:
+            OBS.metrics.counter("net/messages").add()
+            if result.retransmits:
+                OBS.metrics.counter("net/retransmits").add(result.retransmits)
+            if duplicates:
+                OBS.metrics.counter("net/duplicates").add(duplicates)
+            if not delivered:
+                OBS.metrics.counter("net/undeliverable").add()
+        if not delivered and self.strict:
+            raise DistributedError(
+                f"channel '{self.name}': message lost after "
+                f"{attempts} attempts (budget {self.max_retransmits} "
+                f"retransmits)"
+            )
+        return result
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of sends that got through."""
+        if self.sent == 0:
+            return 1.0
+        return self.delivered / self.sent
 
 
 class SyncKind(enum.Enum):

@@ -24,6 +24,8 @@ __all__ = [
     "DatablockError",
     "AgentError",
     "ProtocolError",
+    "EndpointUnavailable",
+    "FaultError",
     "DistributedError",
     "CalibrationError",
     "LintError",
@@ -99,6 +101,26 @@ class AgentError(ReproError):
 
 class ProtocolError(AgentError):
     """An agent<->runtime protocol message was malformed or out of order."""
+
+
+class EndpointUnavailable(AgentError):
+    """A runtime endpoint did not answer (crashed, hung, or unreachable).
+
+    Raised by endpoints — most prominently the fault-injection
+    :class:`~repro.faults.proxy.InjectionProxy` — when a report or
+    command cannot be served.  The agent treats it (and any other
+    exception escaping an endpoint) as a coordination failure: it
+    retries with backoff, and quarantines the endpoint when failures
+    persist, rather than letting the control loop die.
+    """
+
+
+class FaultError(ReproError):
+    """The fault-injection subsystem was misconfigured.
+
+    Distinct from the failures it *injects*, which surface as
+    :class:`EndpointUnavailable` / corrupted reports by design.
+    """
 
 
 class DistributedError(ReproError):

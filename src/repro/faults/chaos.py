@@ -1,0 +1,88 @@
+"""Probabilistic (but seeded, hence reproducible) fault injection.
+
+Where a :class:`~repro.faults.plan.FaultPlan` scripts *specific*
+failures at *specific* times, a :class:`ChaosConfig` describes ambient
+unreliability: every report and command rolls against per-event
+probabilities.  The RNG stream is derived from ``(seed, target name)``
+with :mod:`random`'s deterministic string seeding, so
+
+* two runs with the same seed inject *identical* fault sequences, and
+* each wrapped endpoint draws from its own stream — adding a proxy for
+  one runtime never shifts the faults another one sees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+__all__ = ["ChaosConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Per-event injection probabilities for an :class:`InjectionProxy`.
+
+    Attributes
+    ----------
+    report_failure:
+        Probability a report raises (lost request or reply).
+    report_stale:
+        Probability a report replays the previous cached report instead
+        of a fresh one (an overloaded runtime answering late).
+    report_corrupt:
+        Probability a report arrives mangled (the agent's plausibility
+        gate should reject it).
+    command_drop:
+        Probability a command is silently lost.
+    command_delay:
+        Probability a command applies ``delay`` seconds late.
+    delay:
+        The added latency for delayed commands.
+    seed:
+        Base seed of the per-target RNG streams.
+    """
+
+    report_failure: float = 0.0
+    report_stale: float = 0.0
+    report_corrupt: float = 0.0
+    command_drop: float = 0.0
+    command_delay: float = 0.0
+    delay: float = 0.005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "report_failure",
+            "report_stale",
+            "report_corrupt",
+            "command_drop",
+            "command_delay",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultError(
+                    f"{name} must be a probability in [0, 1], got {p}"
+                )
+        if self.delay < 0:
+            raise FaultError(f"delay must be >= 0, got {self.delay}")
+
+    def rng_for(self, target: str) -> random.Random:
+        """The deterministic RNG stream for one endpoint."""
+        return random.Random(f"chaos:{self.seed}:{target}")
+
+    @property
+    def any_report_fault(self) -> bool:
+        """Whether any report-path probability is non-zero."""
+        return (
+            self.report_failure > 0
+            or self.report_stale > 0
+            or self.report_corrupt > 0
+        )
+
+    @property
+    def any_command_fault(self) -> bool:
+        """Whether any command-path probability is non-zero."""
+        return self.command_drop > 0 or self.command_delay > 0

@@ -1,0 +1,184 @@
+"""Deterministic fault schedules: what breaks, where, and when.
+
+A :class:`FaultPlan` is an immutable, time-ordered list of
+:class:`FaultSpec` entries, each naming a *target* endpoint, a
+:class:`FaultKind`, and an activation time on the shared discrete-event
+clock.  Plans carry no mutable state — the
+:class:`~repro.faults.proxy.InjectionProxy` that executes a plan tracks
+which one-shot faults it has consumed — so one plan can drive any number
+of identical runs, which is what makes chaos experiments reproducible.
+
+The vocabulary covers the coordination failures the paper's Figure 1
+architecture must survive:
+
+========================  ====================================================
+kind                      effect on the wrapped endpoint
+========================  ====================================================
+``CRASH``                 permanently unreachable from ``at`` on
+``HANG``                  unreachable during ``[at, at + duration)``
+``STALE_REPORT``          replays the last cached report during the window
+``CORRUPT_REPORT``        the next ``count`` reports are garbage
+``DROP_COMMAND``          the next ``count`` commands vanish silently
+``DELAY_COMMAND``         commands in the window apply ``delay`` seconds late
+``SLOWDOWN``              reported CPU load scaled by ``factor`` in the window
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FaultError
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The failure vocabulary of the injection layer."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    STALE_REPORT = "stale-report"
+    CORRUPT_REPORT = "corrupt-report"
+    DROP_COMMAND = "drop-command"
+    DELAY_COMMAND = "delay-command"
+    SLOWDOWN = "slowdown"
+
+
+#: Kinds whose effect lasts for ``duration`` seconds from ``at``.
+_WINDOWED = frozenset(
+    {
+        FaultKind.HANG,
+        FaultKind.STALE_REPORT,
+        FaultKind.DELAY_COMMAND,
+        FaultKind.SLOWDOWN,
+    }
+)
+
+#: Kinds that consume ``count`` occurrences once active.
+_COUNTED = frozenset({FaultKind.CORRUPT_REPORT, FaultKind.DROP_COMMAND})
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    kind:
+        What breaks (:class:`FaultKind`).
+    target:
+        Name of the endpoint the fault applies to.
+    at:
+        Activation time (seconds, simulation clock).
+    duration:
+        Length of the effect window for windowed kinds (``HANG``,
+        ``STALE_REPORT``, ``DELAY_COMMAND``, ``SLOWDOWN``).
+    count:
+        Occurrences consumed for counted kinds (``CORRUPT_REPORT``,
+        ``DROP_COMMAND``).
+    delay:
+        Added latency for ``DELAY_COMMAND``.
+    factor:
+        Degradation factor for ``SLOWDOWN`` (reported load multiplier,
+        in ``(0, 1]``).
+    """
+
+    kind: FaultKind
+    target: str
+    at: float
+    duration: float = 0.0
+    count: int = 1
+    delay: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise FaultError(f"kind must be a FaultKind, got {self.kind!r}")
+        if not self.target:
+            raise FaultError("fault target must be a non-empty endpoint name")
+        if not math.isfinite(self.at) or self.at < 0:
+            raise FaultError(f"fault time must be finite and >= 0: {self.at}")
+        if self.duration < 0:
+            raise FaultError(f"duration must be >= 0, got {self.duration}")
+        if self.kind in _WINDOWED and self.duration <= 0:
+            raise FaultError(
+                f"{self.kind.value} needs a positive 'duration'"
+            )
+        if self.count < 1:
+            raise FaultError(f"count must be >= 1, got {self.count}")
+        if self.kind is FaultKind.DELAY_COMMAND and self.delay <= 0:
+            raise FaultError("DELAY_COMMAND needs a positive 'delay'")
+        if self.delay < 0:
+            raise FaultError(f"delay must be >= 0, got {self.delay}")
+        if self.kind is FaultKind.SLOWDOWN and not 0 < self.factor <= 1:
+            raise FaultError(
+                f"SLOWDOWN factor must be in (0, 1], got {self.factor}"
+            )
+
+    # ------------------------------------------------------------------
+    def active(self, now: float) -> bool:
+        """Whether the fault's effect covers simulation time ``now``.
+
+        ``CRASH`` is permanent; windowed kinds cover ``[at, at +
+        duration)``; counted kinds are "active" from ``at`` on — the
+        proxy decides how many occurrences remain.
+        """
+        if now < self.at:
+            return False
+        if self.kind is FaultKind.CRASH or self.kind in _COUNTED:
+            return True
+        return now < self.at + self.duration
+
+
+class FaultPlan:
+    """An immutable, time-ordered fault schedule.
+
+    Build one with the constructor or incrementally with :meth:`add`
+    (which returns a *new* plan — plans are value objects)::
+
+        plan = FaultPlan([
+            FaultSpec(FaultKind.CRASH, target="b", at=0.055),
+        ])
+    """
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        specs = list(faults)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(
+                    f"FaultPlan entries must be FaultSpec, got {spec!r}"
+                )
+        # Stable sort keeps insertion order among simultaneous faults.
+        self._specs: tuple[FaultSpec, ...] = tuple(
+            sorted(specs, key=lambda s: s.at)
+        )
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """A new plan with ``spec`` included."""
+        return FaultPlan(self._specs + (spec,))
+
+    def for_target(self, name: str) -> tuple[FaultSpec, ...]:
+        """The sub-schedule applying to endpoint ``name``."""
+        return tuple(s for s in self._specs if s.target == name)
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """All faults, time-ordered."""
+        return self._specs
+
+    def targets(self) -> tuple[str, ...]:
+        """Distinct endpoint names the plan touches, sorted."""
+        return tuple(sorted({s.target for s in self._specs}))
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self._specs)!r})"

@@ -1,0 +1,259 @@
+"""The injection proxy: a faulty wire between agent and runtime.
+
+:class:`InjectionProxy` wraps any
+:class:`~repro.agent.protocol.RuntimeEndpoint` and executes a
+:class:`~repro.faults.plan.FaultPlan` and/or a
+:class:`~repro.faults.chaos.ChaosConfig` against it on the shared
+discrete-event clock.  The wrapped endpoint and the agent are both
+oblivious: crashes and hangs surface as
+:class:`~repro.errors.EndpointUnavailable` (exactly what a lost TCP
+connection looks like to a coordinator), corrupt reports surface as
+implausible field values, dropped commands surface as... nothing, which
+is the point.
+
+Every injection is recorded in :attr:`InjectionProxy.injected` and — when
+observability is on — counted on ``faults/injected`` (plus a per-kind
+counter ``faults/<kind>``), so experiments can plot recovery behaviour
+against the exact fault sequence that caused it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.agent.protocol import RuntimeEndpoint, StatusReport, ThreadCommand
+from repro.errors import EndpointUnavailable, FaultError
+from repro.faults.chaos import ChaosConfig
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs import OBS
+from repro.sim.engine import Simulator
+
+__all__ = ["InjectedFault", "InjectionProxy"]
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """Ledger entry: one fault actually delivered."""
+
+    time: float
+    target: str
+    kind: FaultKind
+    detail: str = ""
+
+
+class InjectionProxy(RuntimeEndpoint):
+    """A :class:`RuntimeEndpoint` that misbehaves on schedule.
+
+    Parameters
+    ----------
+    endpoint:
+        The real endpoint to wrap (any protocol adapter).
+    simulator:
+        The shared event engine — needed for the clock and for delayed
+        command delivery.
+    plan:
+        Scripted faults for this endpoint (entries targeting other
+        names are ignored, so one plan can serve many proxies).
+    chaos:
+        Ambient probabilistic faults (seeded, reproducible).
+    on_crash:
+        Optional callback fired once when a ``CRASH`` fault activates —
+        scenarios use it to actually halt the runtime's workers, so the
+        crash costs machine throughput and not just protocol traffic.
+    """
+
+    def __init__(
+        self,
+        endpoint: RuntimeEndpoint,
+        simulator: Simulator,
+        *,
+        plan: FaultPlan | None = None,
+        chaos: ChaosConfig | None = None,
+        on_crash: Callable[[], None] | None = None,
+    ) -> None:
+        if isinstance(endpoint, InjectionProxy):
+            raise FaultError("refusing to stack injection proxies")
+        self.endpoint = endpoint
+        self.name = endpoint.name
+        self.simulator = simulator
+        self.plan = plan or FaultPlan()
+        self.chaos = chaos
+        self.on_crash = on_crash
+        self._specs = self.plan.for_target(self.name)
+        self._rng = chaos.rng_for(self.name) if chaos is not None else None
+        self._consumed: dict[int, int] = {}  # spec index -> uses burned
+        self._crashed = False
+        self._last_report: StatusReport | None = None
+        self.injected: list[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self):
+        """The wrapped endpoint's runtime, if any (span annotations)."""
+        return getattr(self.endpoint, "runtime", None)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a CRASH fault has activated."""
+        return self._crashed
+
+    def _record(self, kind: FaultKind, now: float, detail: str = "") -> None:
+        self.injected.append(
+            InjectedFault(time=now, target=self.name, kind=kind, detail=detail)
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("faults/injected").add()
+            OBS.metrics.counter(f"faults/{kind.value}").add()
+
+    def _take(self, index: int, spec: FaultSpec) -> bool:
+        """Consume one occurrence of a counted fault; False when spent."""
+        used = self._consumed.get(index, 0)
+        if used >= spec.count:
+            return False
+        self._consumed[index] = used + 1
+        return True
+
+    def _scripted(self, kind: FaultKind, now: float):
+        """The first active scripted fault of ``kind``, if any."""
+        for index, spec in enumerate(self._specs):
+            if spec.kind is kind and spec.active(now):
+                yield index, spec
+
+    def _check_liveness(self, now: float) -> None:
+        """Raise if the endpoint is (or just became) crashed or hung."""
+        for _, spec in self._scripted(FaultKind.CRASH, now):
+            if not self._crashed:
+                self._crashed = True
+                self._record(FaultKind.CRASH, now)
+                if self.on_crash is not None:
+                    self.on_crash()
+        if self._crashed:
+            raise EndpointUnavailable(
+                f"endpoint '{self.name}' crashed (injected)"
+            )
+        for _, spec in self._scripted(FaultKind.HANG, now):
+            self._record(
+                FaultKind.HANG, now, detail=f"until {spec.at + spec.duration}"
+            )
+            raise EndpointUnavailable(
+                f"endpoint '{self.name}' hung (injected, until "
+                f"{spec.at + spec.duration:g}s)"
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _corrupt(report: StatusReport) -> StatusReport:
+        """Mangle a report into implausibility (negative counters, a
+        truncated per-node vector) so a validating consumer rejects it."""
+        return dataclasses.replace(
+            report,
+            tasks_executed=-1,
+            active_per_node=(),
+            cpu_load=-1.0,
+        )
+
+    def report(self, time: float) -> StatusReport:
+        self._check_liveness(time)
+
+        # Scripted report faults first (they are the experiment).
+        for _, spec in self._scripted(FaultKind.STALE_REPORT, time):
+            if self._last_report is not None:
+                self._record(
+                    FaultKind.STALE_REPORT,
+                    time,
+                    detail=f"replayed t={self._last_report.time:g}",
+                )
+                return self._last_report
+        for index, spec in enumerate(self._specs):
+            if (
+                spec.kind is FaultKind.CORRUPT_REPORT
+                and spec.active(time)
+                and self._take(index, spec)
+            ):
+                self._record(FaultKind.CORRUPT_REPORT, time)
+                return self._corrupt(self.endpoint.report(time))
+
+        # Ambient chaos.
+        if self._rng is not None and self.chaos.any_report_fault:
+            roll = self._rng.random()
+            if roll < self.chaos.report_failure:
+                self._record(FaultKind.HANG, time, detail="chaos")
+                raise EndpointUnavailable(
+                    f"endpoint '{self.name}' dropped a report (chaos)"
+                )
+            roll = self._rng.random()
+            if roll < self.chaos.report_stale and self._last_report is not None:
+                self._record(FaultKind.STALE_REPORT, time, detail="chaos")
+                return self._last_report
+            roll = self._rng.random()
+            if roll < self.chaos.report_corrupt:
+                self._record(FaultKind.CORRUPT_REPORT, time, detail="chaos")
+                return self._corrupt(self.endpoint.report(time))
+
+        report = self.endpoint.report(time)
+        for _, spec in self._scripted(FaultKind.SLOWDOWN, time):
+            self._record(
+                FaultKind.SLOWDOWN, time, detail=f"factor {spec.factor:g}"
+            )
+            report = dataclasses.replace(
+                report, cpu_load=report.cpu_load * spec.factor
+            )
+        self._last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    def apply(self, command: ThreadCommand) -> None:
+        now = self.simulator.now
+        self._check_liveness(now)
+
+        for index, spec in enumerate(self._specs):
+            if (
+                spec.kind is FaultKind.DROP_COMMAND
+                and spec.active(now)
+                and self._take(index, spec)
+            ):
+                self._record(
+                    FaultKind.DROP_COMMAND, now, detail=command.kind.value
+                )
+                return
+        for _, spec in self._scripted(FaultKind.DELAY_COMMAND, now):
+            self._record(
+                FaultKind.DELAY_COMMAND,
+                now,
+                detail=f"{command.kind.value} +{spec.delay:g}s",
+            )
+            self.simulator.schedule(
+                spec.delay, lambda: self._deliver(command), priority=7
+            )
+            return
+
+        if self._rng is not None and self.chaos.any_command_fault:
+            roll = self._rng.random()
+            if roll < self.chaos.command_drop:
+                self._record(
+                    FaultKind.DROP_COMMAND, now, detail=command.kind.value
+                )
+                return
+            roll = self._rng.random()
+            if roll < self.chaos.command_delay:
+                self._record(
+                    FaultKind.DELAY_COMMAND,
+                    now,
+                    detail=f"{command.kind.value} +{self.chaos.delay:g}s",
+                )
+                self.simulator.schedule(
+                    self.chaos.delay,
+                    lambda: self._deliver(command),
+                    priority=7,
+                )
+                return
+
+        self.endpoint.apply(command)
+
+    def _deliver(self, command: ThreadCommand) -> None:
+        """Late delivery of a delayed command (unless crashed meanwhile)."""
+        if self._crashed:
+            return
+        self.endpoint.apply(command)

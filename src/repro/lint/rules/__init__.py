@@ -7,6 +7,7 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.floats` — FLT001
 * :mod:`repro.lint.rules.units` — UNIT001
 * :mod:`repro.lint.rules.api` — API001
+* :mod:`repro.lint.rules.retry` — RETRY001
 
 See ``docs/STATIC_ANALYSIS.md`` for the full catalogue with rationale
 and examples, and :mod:`repro.lint.engine` for how to add a rule.
@@ -27,6 +28,7 @@ from repro.lint.rules.pyhygiene import (
     SwallowedException,
     WallClockDuration,
 )
+from repro.lint.rules.retry import UnboundedRetryLoop
 from repro.lint.rules.units import CrossUnitArithmetic
 
 __all__ = [
@@ -39,5 +41,6 @@ __all__ = [
     "WallClockDuration",
     "FloatEquality",
     "CrossUnitArithmetic",
+    "UnboundedRetryLoop",
     "ApiDocDrift",
 ]

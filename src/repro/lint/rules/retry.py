@@ -1,0 +1,106 @@
+"""Retry-discipline rules.
+
+The robustness layer (:mod:`repro.faults`, the hardened agent,
+:class:`~repro.distributed.messaging.ReliableChannel`) is built on one
+invariant: **every retry has a budget**.  A retry loop without one turns
+a crashed runtime into a hung coordinator — the exact failure mode the
+circuit breaker exists to prevent.  RETRY001 enforces the invariant
+statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["UnboundedRetryLoop"]
+
+
+def _loop_body_nodes(loop: ast.While) -> Iterator[ast.AST]:
+    """Walk the loop body without descending into nested loops.
+
+    A ``continue`` inside a nested ``for``/``while`` restarts the inner
+    loop, not this one, so it must not implicate this loop.
+    """
+    stack: list[ast.AST] = list(loop.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            # Still look at the nested loop's else-clause siblings via
+            # the outer queue, but not inside its body.
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_infinite(test: ast.expr) -> bool:
+    """Whether the loop condition is a constant truthy value."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+@register
+class UnboundedRetryLoop(Rule):
+    """``while True: try/except: continue`` — a retry with no budget."""
+
+    rule_id = "RETRY001"
+    severity = Severity.ERROR
+    summary = (
+        "unbounded retry loop (`while True` retrying on exception); "
+        "bound it with an attempt budget, e.g. "
+        "`for attempt in range(max_attempts)`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_infinite(node.test):
+                continue
+            for inner in _loop_body_nodes(node):
+                if not isinstance(inner, ast.ExceptHandler):
+                    continue
+                if self._handler_retries(inner):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "`while True` retries on exception with no "
+                        "attempt budget; a persistently failing call "
+                        "spins forever (see ReliableChannel for the "
+                        "bounded pattern)",
+                    )
+                    break  # one finding per loop is enough
+
+    @staticmethod
+    def _handler_retries(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler re-enters the loop instead of exiting.
+
+        ``continue`` (or a body that simply falls through — ``pass``)
+        retries; ``break``/``return``/``raise`` bound the loop and are
+        fine.
+        """
+        exits = (ast.Break, ast.Return, ast.Raise)
+        stack: list[ast.AST] = list(handler.body)
+        saw_exit = False
+        saw_retry = False
+        while stack:
+            node = stack.pop()
+            if isinstance(node, exits):
+                saw_exit = True
+            elif isinstance(node, ast.Continue):
+                saw_retry = True
+            if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+                continue  # inner loop: its continue/break are not ours
+            stack.extend(ast.iter_child_nodes(node))
+        if saw_retry:
+            return True
+        # No explicit continue: falling off the handler also re-enters
+        # the loop, unless some path exits.
+        return not saw_exit

@@ -1,23 +1,24 @@
 """Deprecated location of the metric primitives.
 
 The simulator-local registry grew into the process-wide observability
-layer: :class:`Counter`, :class:`TimeSeries`, :class:`RateIntegrator`
-and :class:`MetricSet` now live in :mod:`repro.obs.metrics` (alongside
-the new :class:`~repro.obs.metrics.Gauge`,
-:class:`~repro.obs.metrics.Histogram` and
-:class:`~repro.obs.metrics.MetricsRegistry`).
+layer: everything that used to live here is now defined in
+:mod:`repro.obs.metrics`.  This module remains as a *strict* compatibility
+shim: it re-exports exactly the public surface of
+:mod:`repro.obs.metrics` (``__all__`` is copied, the objects are the
+same, not copies) and nothing else — there is no fallback definition
+path, so a name that disappears from :mod:`repro.obs.metrics` disappears
+from here in the same commit instead of silently resurrecting a stale
+copy.
 
-This module remains as a compatibility shim so existing imports
-(``from repro.sim.metrics import MetricSet``) keep working — the classes
-are the same objects, not copies.  Every in-tree caller has moved to
-:mod:`repro.obs.metrics`; importing this module now emits a
-:class:`DeprecationWarning` and the shim will be removed once external
-callers have had a release to migrate.
+Importing this module emits a :class:`DeprecationWarning`; the shim will
+be removed once external callers have had a release to migrate.
 """
 
 from __future__ import annotations
 
 import warnings
+
+import repro.obs.metrics as _obs_metrics
 
 warnings.warn(
     "repro.sim.metrics is deprecated; import Counter/TimeSeries/"
@@ -26,18 +27,17 @@ warnings.warn(
     stacklevel=2,
 )
 
-from repro.obs.metrics import (  # noqa: E402  (after the deprecation gate)
-    Counter,
-    MetricSet,
-    MetricsRegistry,
-    RateIntegrator,
-    TimeSeries,
-)
+#: The shim's surface IS repro.obs.metrics' surface — nothing more.
+__all__ = list(_obs_metrics.__all__)
 
-__all__ = [
-    "Counter",
-    "TimeSeries",
-    "RateIntegrator",
-    "MetricSet",
-    "MetricsRegistry",
-]
+for _name in __all__:
+    globals()[_name] = getattr(_obs_metrics, _name)
+del _name
+
+
+def __getattr__(name: str):
+    """No silent fallback: anything not in repro.obs.metrics is an error."""
+    raise AttributeError(
+        f"repro.sim.metrics re-exports only repro.obs.metrics "
+        f"(which does not define {name!r})"
+    )

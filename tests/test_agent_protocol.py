@@ -34,6 +34,64 @@ class TestThreadCommand:
             kind=CommandKind.UNBLOCK_WORKERS, workers=("a/w0",)
         )
 
+    def test_set_node_threads_requires_both_fields(self):
+        # The satellite case: count without node, node without count.
+        with pytest.raises(ProtocolError, match="node"):
+            ThreadCommand(kind=CommandKind.SET_NODE_THREADS, count=2)
+        with pytest.raises(ProtocolError, match="count"):
+            ThreadCommand(kind=CommandKind.SET_NODE_THREADS, node=1)
+
+    def test_extraneous_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="does not take"):
+            ThreadCommand(
+                kind=CommandKind.SET_TOTAL_THREADS, total=4, node=0
+            )
+        with pytest.raises(ProtocolError, match="does not take"):
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION,
+                per_node=(1, 1),
+                workers=("a/w0",),
+            )
+
+    def test_integer_fields_validated(self):
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=-1)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=2.5)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=True)
+        with pytest.raises(ProtocolError):
+            ThreadCommand(
+                kind=CommandKind.SET_NODE_THREADS, node=-1, count=2
+            )
+
+    def test_numpy_integers_accepted(self):
+        np = pytest.importorskip("numpy")
+        cmd = ThreadCommand(
+            kind=CommandKind.SET_NODE_THREADS,
+            node=np.int64(1),
+            count=np.int32(3),
+        )
+        assert int(cmd.node) == 1
+        ThreadCommand(
+            kind=CommandKind.SET_ALLOCATION,
+            per_node=(np.int64(2), np.int64(2)),
+        )
+
+    def test_per_node_and_workers_validated(self):
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.SET_ALLOCATION, per_node=())
+        with pytest.raises(ProtocolError):
+            ThreadCommand(
+                kind=CommandKind.SET_ALLOCATION, per_node=(1, -1)
+            )
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind=CommandKind.BLOCK_WORKERS, workers=())
+
+    def test_kind_must_be_command_kind(self):
+        with pytest.raises(ProtocolError):
+            ThreadCommand(kind="set-total-threads", total=4)
+
 
 class TestOcrVxEndpoint:
     @pytest.fixture

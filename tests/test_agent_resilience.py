@@ -1,0 +1,260 @@
+"""The hardened agent loop against unresponsive and raising endpoints:
+policy primitives, in-round retries, heartbeats, circuit breaker, quorum
+fallback — and the guarantee that one bad endpoint never deadlocks the
+loop or starves the healthy ones."""
+
+import random
+
+import pytest
+
+from repro.agent import Agent, FairShareStrategy, OcrVxEndpoint
+from repro.agent.protocol import (
+    CommandKind,
+    RuntimeEndpoint,
+    StatusReport,
+    ThreadCommand,
+)
+from repro.agent.resilience import (
+    EndpointHealth,
+    HeartbeatTracker,
+    ResiliencePolicy,
+)
+from repro.errors import AgentError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+
+class TestResiliencePolicy:
+    def test_defaults_valid(self):
+        ResiliencePolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_cap": 0.0001},  # below base
+            {"jitter": 1.0},
+            {"freshness_window": 0.0},
+            {"quarantine_after": 0},
+            {"quorum": 0.0},
+            {"quorum": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(AgentError):
+            ResiliencePolicy(**kwargs)
+
+    def test_backoff_exponential_and_capped(self):
+        policy = ResiliencePolicy(
+            backoff_base=0.001,
+            backoff_factor=2.0,
+            backoff_cap=0.004,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        assert policy.backoff_delay(1, rng) == pytest.approx(0.001)
+        assert policy.backoff_delay(2, rng) == pytest.approx(0.002)
+        assert policy.backoff_delay(3, rng) == pytest.approx(0.004)
+        assert policy.backoff_delay(10, rng) == pytest.approx(0.004)  # capped
+        with pytest.raises(AgentError):
+            policy.backoff_delay(0, rng)
+
+    def test_backoff_jitter_stays_in_band_and_is_seeded(self):
+        policy = ResiliencePolicy(
+            backoff_base=0.01, backoff_cap=0.01, jitter=0.25
+        )
+        delays = [
+            policy.backoff_delay(1, random.Random(42)) for _ in range(5)
+        ]
+        assert len(set(delays)) == 1  # same seed, same jitter
+        for d in delays:
+            assert 0.0075 <= d <= 0.0125
+
+
+class TestHeartbeatTracker:
+    def test_staleness_window(self):
+        hb = HeartbeatTracker(0.015)
+        assert hb.stale("a", now=0.0)  # never seen
+        hb.beat("a", 0.01)
+        assert not hb.stale("a", now=0.02)
+        assert hb.stale("a", now=0.03)
+        assert hb.age("a", now=0.02) == pytest.approx(0.01)
+        assert hb.last("missing") is None
+
+    def test_backwards_beat_rejected(self):
+        hb = HeartbeatTracker(1.0)
+        hb.beat("a", 2.0)
+        with pytest.raises(AgentError):
+            hb.beat("a", 1.0)
+
+    def test_fresh_report_predicate(self):
+        hb = HeartbeatTracker(0.015)
+        assert hb.fresh(0.09, now=0.1)
+        assert not hb.fresh(0.05, now=0.1)
+
+
+class TestEndpointHealth:
+    def test_responsive_tracks_breaker(self):
+        h = EndpointHealth()
+        assert h.responsive
+        h.consecutive_failures = 1
+        assert not h.responsive
+        h.consecutive_failures = 0
+        h.quarantined = True
+        assert not h.responsive
+
+
+class _FlakyEndpoint(RuntimeEndpoint):
+    """Raises on every report/apply — the pathological neighbour."""
+
+    def __init__(self, name="flaky", nodes=4):
+        self.name = name
+        self.nodes = nodes
+        self.report_calls = 0
+        self.apply_calls = 0
+
+    def report(self, time):
+        self.report_calls += 1
+        raise RuntimeError("no answer")
+
+    def apply(self, command):
+        self.apply_calls += 1
+        raise RuntimeError("connection reset")
+
+
+class TestAgentWithRaisingEndpoint:
+    """Satellite: the loop neither deadlocks nor starves healthy peers."""
+
+    def _run(self, *, resilience=None, horizon=0.1):
+        ex = ExecutionSimulator(model_machine())
+        healthy = OCRVxRuntime("healthy", ex)
+        healthy.start()
+        for i in range(600):
+            healthy.create_task(f"t{i}", 0.01, 8.0)
+        agent = Agent(
+            ex, FairShareStrategy(), period=0.01, resilience=resilience
+        )
+        flaky = _FlakyEndpoint()
+        agent.register(OcrVxEndpoint(healthy))
+        agent.register(flaky)
+        agent.start()
+        ex.run(horizon)
+        return agent, healthy, flaky
+
+    def test_loop_keeps_running(self):
+        agent, _, flaky = self._run()
+        # Rounds kept firing every period despite the raising endpoint.
+        assert agent.rounds == 10
+        assert flaky.report_calls > 0
+
+    def test_healthy_endpoint_still_commanded(self):
+        agent, healthy, _ = self._run()
+        commanded = [
+            d for d in agent.decisions if "healthy" in d.commands
+        ]
+        assert commanded  # fair share reached the healthy runtime
+        # ... and the command actually applied: the healthy runtime got
+        # its fair share (half the machine while the flaky peer was
+        # still considered present).
+        first = commanded[0]
+        cmd = first.commands["healthy"][0]
+        assert cmd.kind is CommandKind.SET_ALLOCATION
+
+    def test_flaky_endpoint_quarantined_and_retried(self):
+        agent, _, flaky = self._run()
+        assert agent.quarantined_endpoints == ["flaky"]
+        health = agent.health["flaky"]
+        assert health.retries > 0  # in-round retransmits + probes
+        assert health.total_failures >= agent.resilience.quarantine_after
+        # Quarantine stops the polling: no report calls in later rounds.
+        quarantined_at = next(
+            d.time for d in agent.decisions if "flaky" in d.quarantined
+        )
+        calls_at_quarantine = flaky.report_calls
+        assert agent.decisions[-1].time > quarantined_at
+        assert flaky.report_calls == calls_at_quarantine
+
+    def test_all_endpoints_dead_degrades_not_crashes(self):
+        ex = ExecutionSimulator(model_machine())
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(_FlakyEndpoint(name="f1"))
+        agent.register(_FlakyEndpoint(name="f2"))
+        agent.start()
+        ex.sim.run_until(0.05)
+        assert agent.rounds == 5
+        assert all(d.degraded for d in agent.decisions)
+        assert all(d.commands == {} for d in agent.decisions)
+
+    def test_raising_apply_recorded_not_fatal(self):
+        ex = ExecutionSimulator(model_machine())
+        healthy = OCRVxRuntime("healthy", ex)
+        healthy.start()
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(OcrVxEndpoint(healthy))
+        agent.register(_ReportOkApplyRaises())
+        agent.start()
+        ex.sim.run_until(0.02)
+        assert agent.rounds == 2
+        assert agent.health["halfdead"].command_failures > 0
+        # The healthy endpoint's command was not dropped.
+        assert any(
+            "healthy" in d.commands for d in agent.decisions
+        )
+
+
+class _ReportOkApplyRaises(RuntimeEndpoint):
+    """Answers reports but rejects every command."""
+
+    def __init__(self, name="halfdead", nodes=4):
+        self.name = name
+        self.nodes = nodes
+
+    def report(self, time):
+        return StatusReport(
+            runtime_name=self.name,
+            time=time,
+            tasks_executed=0,
+            active_threads=4,
+            blocked_threads=0,
+            active_per_node=(1,) * self.nodes,
+            workers_per_node=(8,) * self.nodes,
+            queue_length=0,
+            cpu_load=0.5,
+        )
+
+    def apply(self, command):
+        raise RuntimeError("command rejected")
+
+
+class TestQuorumFallback:
+    def test_below_quorum_uses_equal_share(self):
+        ex = ExecutionSimulator(model_machine())
+        healthy = OCRVxRuntime("healthy", ex)
+        healthy.start()
+        agent = Agent(
+            ex,
+            FairShareStrategy(),
+            period=0.01,
+            # Require everyone to answer; one flaky endpoint breaks quorum.
+            resilience=ResiliencePolicy(quorum=1.0, quarantine_after=100),
+        )
+        agent.register(OcrVxEndpoint(healthy))
+        agent.register(_FlakyEndpoint())
+        agent.start()
+        ex.sim.run_until(0.03)
+        assert agent.rounds == 3
+        assert all(d.degraded for d in agent.decisions)
+        # Degraded rounds still serve the responder: static equal share.
+        cmd = agent.decisions[0].commands["healthy"][0]
+        assert cmd.kind is CommandKind.SET_ALLOCATION
+        machine = model_machine()
+        assert cmd.per_node == tuple(
+            min(node.num_cores, w)
+            for node, w in zip(
+                machine.nodes,
+                agent.decisions[0].reports["healthy"].workers_per_node,
+            )
+        )

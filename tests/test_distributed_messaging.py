@@ -4,7 +4,9 @@ import pytest
 
 from repro.distributed.messaging import (
     BspProgram,
+    LossyNetworkModel,
     NetworkModel,
+    ReliableChannel,
     SyncKind,
 )
 from repro.distributed.rates import PeriodicRate, RatePhase
@@ -135,3 +137,85 @@ class TestBspProgram:
         prog = BspProgram(iterations=1, work_per_rank=1.0)
         with pytest.raises(DistributedError):
             prog.run([])
+
+
+class TestLossyNetworkModel:
+    def test_validation(self):
+        with pytest.raises(DistributedError):
+            LossyNetworkModel(loss_rate=1.0)  # must stay < 1
+        with pytest.raises(DistributedError):
+            LossyNetworkModel(duplication_rate=-0.1)
+        with pytest.raises(DistributedError):
+            LossyNetworkModel(ack_timeout=0.0)
+        with pytest.raises(DistributedError):
+            LossyNetworkModel(bandwidth=0.0)  # base validation still runs
+
+    def test_ack_timeout_defaults_to_four_latencies(self):
+        net = LossyNetworkModel(latency=1e-6)
+        assert net.effective_ack_timeout == pytest.approx(4e-6)
+        assert LossyNetworkModel(
+            ack_timeout=0.5
+        ).effective_ack_timeout == pytest.approx(0.5)
+
+    def test_is_a_network_model(self):
+        net = LossyNetworkModel(latency=1e-6, bandwidth=10.0, loss_rate=0.5)
+        assert net.transfer_time(1e9) == pytest.approx(0.1, rel=0.01)
+
+
+class TestReliableChannel:
+    def test_lossless_link_delivers_first_try(self):
+        chan = ReliableChannel(LossyNetworkModel())
+        result = chan.send(1e6)
+        assert result.delivered
+        assert result.attempts == 1
+        assert result.retransmits == 0
+        assert chan.delivery_rate == pytest.approx(1.0)
+
+    def test_lossy_link_retransmits_within_budget(self):
+        net = LossyNetworkModel(loss_rate=0.5, duplication_rate=0.1)
+        chan = ReliableChannel(net, max_retransmits=10, seed=1)
+        results = [chan.send(1e6) for _ in range(200)]
+        assert all(r.delivered for r in results)
+        assert chan.retransmits > 0
+        assert chan.duplicates > 0
+        assert all(r.attempts <= 11 for r in results)
+
+    def test_budget_exhaustion_fails_visibly(self):
+        net = LossyNetworkModel(loss_rate=0.99)
+        chan = ReliableChannel(net, max_retransmits=1, seed=0)
+        results = [chan.send(1e3) for _ in range(50)]
+        assert any(not r.delivered for r in results)
+        assert chan.undeliverable > 0
+        assert chan.delivery_rate < 1.0
+
+    def test_strict_mode_raises(self):
+        net = LossyNetworkModel(loss_rate=0.99)
+        chan = ReliableChannel(net, max_retransmits=0, strict=True, seed=0)
+        with pytest.raises(DistributedError, match="budget"):
+            for _ in range(100):
+                chan.send(1e3)
+
+    def test_seeded_determinism(self):
+        def tallies(seed):
+            net = LossyNetworkModel(loss_rate=0.3, duplication_rate=0.1)
+            chan = ReliableChannel(net, seed=seed)
+            for _ in range(100):
+                chan.send(1e6)
+            return (chan.delivered, chan.retransmits, chan.duplicates)
+
+        assert tallies(7) == tallies(7)
+        assert tallies(7) != tallies(8)
+
+    def test_failed_attempts_pay_ack_timeout(self):
+        net = LossyNetworkModel(
+            latency=1e-6, loss_rate=0.5, ack_timeout=1.0
+        )
+        chan = ReliableChannel(net, max_retransmits=10, seed=3)
+        result = next(
+            r for r in (chan.send(1e3) for _ in range(50)) if r.retransmits
+        )
+        assert result.elapsed_seconds > result.retransmits * 1.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(DistributedError):
+            ReliableChannel(LossyNetworkModel(), max_retransmits=-1)

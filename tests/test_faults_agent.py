@@ -1,0 +1,200 @@
+"""End-to-end robustness tests: the hardened agent against injected
+faults, plus the golden guarantee that fault-free behaviour is
+byte-identical to the pre-hardening agent."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.agent import (
+    Agent,
+    FairShareStrategy,
+    FeedbackHillClimb,
+    OcrVxEndpoint,
+)
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectionProxy,
+    SCENARIOS,
+    run_scenario,
+)
+from repro.errors import FaultError
+from repro.machine import model_machine
+from repro.runtime import OCRVxRuntime
+from repro.sim import ExecutionSimulator
+
+# SHA-256 of the agent's full decision stream (reports + commands) on
+# the reference co-scheduling workload, captured from the agent BEFORE
+# the resilience hardening.  The hardened agent must reproduce these
+# exactly when no faults are injected: every guard may engage only on an
+# actual failure.
+GOLDEN_FAIR = "7ec46f67c7ea4a0a778d613b52df35a7b694342ea891a979984507ddd6736040"
+GOLDEN_CLIMB = "f17b40c7730ef637b730fca188226ac2be008633081aa7363495b581e10e6893"
+
+
+def _decision_digest(strategy_factory, horizon=0.12):
+    """Run the reference two-runtime workload; hash the decision stream."""
+    ex = ExecutionSimulator(model_machine())
+    a = OCRVxRuntime("a", ex)
+    b = OCRVxRuntime("b", ex)
+    a.start()
+    b.start()
+    for i in range(400):
+        a.create_task(f"a{i}", 0.01, 8.0)
+    for i in range(400):
+        b.create_task(f"b{i}", 0.005, 0.5)
+    agent = Agent(ex, strategy_factory(), period=0.01)
+    agent.register(OcrVxEndpoint(a))
+    agent.register(OcrVxEndpoint(b))
+    agent.start()
+    ex.run(horizon)
+    rec = []
+    for d in agent.decisions:
+        cmds = {
+            k: [(c.kind.value, c.total, c.node, c.count, c.per_node) for c in v]
+            for k, v in sorted(d.commands.items())
+        }
+        rep = {
+            k: (
+                r.tasks_executed,
+                r.active_threads,
+                r.blocked_threads,
+                list(r.active_per_node),
+                r.queue_length,
+            )
+            for k, r in sorted(d.reports.items())
+        }
+        rec.append([round(d.time, 9), rep, cmds])
+    blob = json.dumps(rec, sort_keys=True)
+    return len(agent.decisions), hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestGoldenFaultFree:
+    def test_fair_share_decisions_byte_identical(self):
+        rounds, digest = _decision_digest(FairShareStrategy)
+        assert rounds == 12
+        assert digest == GOLDEN_FAIR
+
+    def test_hill_climb_decisions_byte_identical(self):
+        rounds, digest = _decision_digest(lambda: FeedbackHillClimb(["a", "b"]))
+        assert rounds == 12
+        assert digest == GOLDEN_CLIMB
+
+    def test_fault_free_rounds_record_no_failures(self):
+        ex = ExecutionSimulator(model_machine())
+        rt = OCRVxRuntime("a", ex)
+        rt.start()
+        for i in range(100):
+            rt.create_task(f"t{i}", 0.01, 8.0)
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        agent.register(OcrVxEndpoint(rt))
+        agent.start()
+        ex.run(0.05)
+        assert agent.decisions
+        for d in agent.decisions:
+            assert d.failures == ()
+            assert d.quarantined == ()
+            assert not d.degraded
+        assert all(h.retries == 0 for h in agent.health.values())
+
+
+class TestCrashRecovery:
+    """The ISSUE acceptance scenario, asserted directly (not via CLI)."""
+
+    @pytest.fixture(scope="class")
+    def crashed_run(self):
+        ex = ExecutionSimulator(model_machine())
+        alive = OCRVxRuntime("alive", ex)
+        victim = OCRVxRuntime("victim", ex)
+        alive.start()
+        victim.start()
+        for i in range(3000):
+            alive.create_task(f"a{i}", 0.05, 50.0)
+        for i in range(1200):
+            victim.create_task(f"v{i}", 0.05, 50.0)
+        agent = Agent(ex, FairShareStrategy(), period=0.01)
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.CRASH, target="victim", at=0.065)]
+        )
+        agent.register(InjectionProxy(OcrVxEndpoint(alive), ex.sim))
+        agent.register(
+            InjectionProxy(
+                OcrVxEndpoint(victim),
+                ex.sim,
+                plan=plan,
+                on_crash=victim.stop,
+            )
+        )
+        agent.start()
+        ex.run(0.25)
+        return agent, alive
+
+    def test_victim_quarantined_within_three_rounds(self, crashed_run):
+        agent, _ = crashed_run
+        assert agent.quarantined_endpoints == ["victim"]
+        first_failure = next(
+            i for i, d in enumerate(agent.decisions) if "victim" in d.failures
+        )
+        quarantine = next(
+            i
+            for i, d in enumerate(agent.decisions)
+            if "victim" in d.quarantined
+        )
+        assert quarantine - first_failure + 1 <= 3
+
+    def test_cores_reallocated_to_survivor(self, crashed_run):
+        agent, alive = crashed_run
+        machine = model_machine()
+        # The survivor ends up owning the whole machine: all its workers
+        # active on every node.
+        assert alive.active_per_node() == [
+            node.num_cores for node in machine.nodes
+        ]
+        quarantine_round = next(
+            d for d in agent.decisions if "victim" in d.quarantined
+        )
+        assert "alive" in quarantine_round.commands  # the redistribution
+
+    def test_utilization_recovers_to_ninety_percent(self, crashed_run):
+        agent, _ = crashed_run
+        utils = [d.load.machine_utilization for d in agent.decisions]
+        baseline = sum(utils[2:6]) / 4  # pre-crash steady state
+        final = sum(utils[-5:]) / 5
+        assert baseline > 0
+        assert final / baseline >= 0.9
+
+    def test_no_commands_sent_to_quarantined_endpoint(self, crashed_run):
+        agent, _ = crashed_run
+        quarantine = next(
+            i
+            for i, d in enumerate(agent.decisions)
+            if "victim" in d.quarantined
+        )
+        for d in agent.decisions[quarantine + 1 :]:
+            assert "victim" not in d.reports
+            assert "victim" not in d.commands
+
+
+class TestScenarios:
+    """The CLI presets themselves must pass at the CI seed."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_preset_passes_at_seed_zero(self, name):
+        report = run_scenario(name, seed=0)
+        assert report.passed, report.format()
+        assert report.faults_injected > 0
+        # format() and to_dict() agree on the verdict.
+        assert "PASS" in report.format()
+        assert report.to_dict()["passed"] is True
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultError):
+            run_scenario("split-brain")
+
+    def test_crash_one_is_deterministic(self):
+        r1 = run_scenario("crash-one", seed=0)
+        r2 = run_scenario("crash-one", seed=0)
+        assert r1.to_dict() == r2.to_dict()

@@ -1,0 +1,269 @@
+"""Unit tests for the fault-injection vocabulary: specs, plans, chaos
+configs, and the injection proxy's scripted behaviour."""
+
+import pytest
+
+from repro.errors import EndpointUnavailable, FaultError
+from repro.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectionProxy,
+)
+from repro.agent.protocol import (
+    CommandKind,
+    RuntimeEndpoint,
+    StatusReport,
+    ThreadCommand,
+)
+from repro.sim.engine import Simulator
+
+
+def spec(kind=FaultKind.CRASH, target="rt", at=1.0, **kw):
+    return FaultSpec(kind, target=target, at=at, **kw)
+
+
+class TestFaultSpec:
+    def test_crash_is_permanent(self):
+        s = spec(at=2.0)
+        assert not s.active(1.999)
+        assert s.active(2.0)
+        assert s.active(1e9)
+
+    def test_windowed_kinds_cover_half_open_window(self):
+        s = spec(FaultKind.HANG, at=1.0, duration=0.5)
+        assert not s.active(0.999)
+        assert s.active(1.0)
+        assert s.active(1.499)
+        assert not s.active(1.5)
+
+    def test_windowed_kind_requires_duration(self):
+        for kind in (
+            FaultKind.HANG,
+            FaultKind.STALE_REPORT,
+            FaultKind.SLOWDOWN,
+        ):
+            with pytest.raises(FaultError):
+                spec(kind, at=0.0)
+
+    def test_delay_command_requires_delay(self):
+        with pytest.raises(FaultError):
+            spec(FaultKind.DELAY_COMMAND, at=0.0, duration=1.0)
+        spec(FaultKind.DELAY_COMMAND, at=0.0, duration=1.0, delay=0.01)
+
+    def test_slowdown_factor_bounds(self):
+        with pytest.raises(FaultError):
+            spec(FaultKind.SLOWDOWN, at=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(FaultError):
+            spec(FaultKind.SLOWDOWN, at=0.0, duration=1.0, factor=1.5)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(FaultError):
+            spec(target="")
+        with pytest.raises(FaultError):
+            spec(at=-1.0)
+        with pytest.raises(FaultError):
+            spec(FaultKind.DROP_COMMAND, at=0.0, count=0)
+        with pytest.raises(FaultError):
+            FaultSpec("crash", target="rt", at=0.0)
+
+
+class TestFaultPlan:
+    def test_sorted_by_time_and_immutable(self):
+        late = spec(at=5.0)
+        early = spec(FaultKind.DROP_COMMAND, at=1.0)
+        plan = FaultPlan([late, early])
+        assert plan.specs == (early, late)
+        grown = plan.add(spec(FaultKind.DROP_COMMAND, at=3.0, target="other"))
+        assert len(plan) == 2  # original untouched
+        assert len(grown) == 3
+        assert grown.targets() == ("other", "rt")
+
+    def test_for_target_filters(self):
+        plan = FaultPlan([spec(target="a"), spec(target="b")])
+        assert all(s.target == "a" for s in plan.for_target("a"))
+        assert plan.for_target("missing") == ()
+
+    def test_rejects_non_spec_entries(self):
+        with pytest.raises(FaultError):
+            FaultPlan([42])
+
+
+class TestChaosConfig:
+    def test_probability_validation(self):
+        with pytest.raises(FaultError):
+            ChaosConfig(report_failure=1.5)
+        with pytest.raises(FaultError):
+            ChaosConfig(command_drop=-0.1)
+        with pytest.raises(FaultError):
+            ChaosConfig(delay=-1.0)
+
+    def test_rng_streams_are_deterministic_and_per_target(self):
+        cfg = ChaosConfig(report_failure=0.5, seed=7)
+        a1 = [cfg.rng_for("a").random() for _ in range(3)]
+        a2 = [cfg.rng_for("a").random() for _ in range(3)]
+        b = [cfg.rng_for("b").random() for _ in range(3)]
+        assert a1 == a2
+        assert a1 != b
+
+    def test_fault_flags(self):
+        assert not ChaosConfig().any_report_fault
+        assert ChaosConfig(report_stale=0.1).any_report_fault
+        assert ChaosConfig(command_delay=0.1).any_command_fault
+
+
+class _StubEndpoint(RuntimeEndpoint):
+    """Records applied commands; serves monotonically numbered reports."""
+
+    def __init__(self, name="rt", nodes=2):
+        self.name = name
+        self.nodes = nodes
+        self.applied = []
+        self.reports_served = 0
+
+    def report(self, time):
+        self.reports_served += 1
+        return StatusReport(
+            runtime_name=self.name,
+            time=time,
+            tasks_executed=self.reports_served,
+            active_threads=2,
+            blocked_threads=0,
+            active_per_node=(1,) * self.nodes,
+            workers_per_node=(2,) * self.nodes,
+            queue_length=0,
+            cpu_load=1.0,
+        )
+
+    def apply(self, command):
+        self.applied.append(command)
+
+
+def _cmd():
+    return ThreadCommand(kind=CommandKind.SET_TOTAL_THREADS, total=2)
+
+
+class TestInjectionProxy:
+    def test_refuses_stacking(self):
+        sim = Simulator()
+        proxy = InjectionProxy(_StubEndpoint(), sim)
+        with pytest.raises(FaultError):
+            InjectionProxy(proxy, sim)
+
+    def test_clean_proxy_is_passthrough(self):
+        sim = Simulator()
+        stub = _StubEndpoint()
+        proxy = InjectionProxy(stub, sim)
+        report = proxy.report(0.5)
+        assert report.runtime_name == "rt"
+        proxy.apply(_cmd())
+        assert len(stub.applied) == 1
+        assert proxy.injected == []
+
+    def test_crash_raises_and_fires_callback_once(self):
+        sim = Simulator()
+        stub = _StubEndpoint()
+        halted = []
+        plan = FaultPlan([spec(FaultKind.CRASH, at=1.0)])
+        proxy = InjectionProxy(
+            stub, sim, plan=plan, on_crash=lambda: halted.append(True)
+        )
+        assert proxy.report(0.5).tasks_executed == 1  # before the crash
+        for t in (1.0, 2.0):
+            with pytest.raises(EndpointUnavailable):
+                proxy.report(t)
+        with pytest.raises(EndpointUnavailable):
+            proxy.apply(_cmd())
+        assert halted == [True]
+        assert proxy.crashed
+        assert stub.applied == []
+
+    def test_hang_window_recovers(self):
+        sim = Simulator()
+        plan = FaultPlan([spec(FaultKind.HANG, at=1.0, duration=0.5)])
+        proxy = InjectionProxy(_StubEndpoint(), sim, plan=plan)
+        proxy.report(0.9)
+        with pytest.raises(EndpointUnavailable):
+            proxy.report(1.2)
+        assert proxy.report(1.6).runtime_name == "rt"
+        assert not proxy.crashed
+
+    def test_stale_report_replays_cache(self):
+        sim = Simulator()
+        plan = FaultPlan(
+            [spec(FaultKind.STALE_REPORT, at=1.0, duration=1.0)]
+        )
+        proxy = InjectionProxy(_StubEndpoint(), sim, plan=plan)
+        first = proxy.report(0.5)
+        stale = proxy.report(1.5)
+        assert stale is first  # replayed, not refreshed
+        fresh = proxy.report(2.5)
+        assert fresh.tasks_executed == first.tasks_executed + 1
+
+    def test_corrupt_report_consumes_count(self):
+        sim = Simulator()
+        plan = FaultPlan(
+            [spec(FaultKind.CORRUPT_REPORT, at=0.0, count=2)]
+        )
+        proxy = InjectionProxy(_StubEndpoint(), sim, plan=plan)
+        for t in (0.1, 0.2):
+            bad = proxy.report(t)
+            assert bad.tasks_executed < 0  # implausible on purpose
+        good = proxy.report(0.3)
+        assert good.tasks_executed >= 0
+
+    def test_drop_command_consumes_count(self):
+        sim = Simulator()
+        stub = _StubEndpoint()
+        plan = FaultPlan([spec(FaultKind.DROP_COMMAND, at=0.0, count=1)])
+        proxy = InjectionProxy(stub, sim, plan=plan)
+        proxy.apply(_cmd())  # dropped
+        proxy.apply(_cmd())  # delivered
+        assert len(stub.applied) == 1
+        assert [f.kind for f in proxy.injected] == [FaultKind.DROP_COMMAND]
+
+    def test_delay_command_delivers_late(self):
+        sim = Simulator()
+        stub = _StubEndpoint()
+        plan = FaultPlan(
+            [
+                spec(
+                    FaultKind.DELAY_COMMAND,
+                    at=0.0,
+                    duration=1.0,
+                    delay=0.25,
+                )
+            ]
+        )
+        proxy = InjectionProxy(stub, sim, plan=plan)
+        proxy.apply(_cmd())
+        assert stub.applied == []  # not yet
+        sim.run_until(0.5)
+        assert len(stub.applied) == 1
+
+    def test_slowdown_scales_cpu_load(self):
+        sim = Simulator()
+        plan = FaultPlan(
+            [spec(FaultKind.SLOWDOWN, at=0.0, duration=1.0, factor=0.5)]
+        )
+        proxy = InjectionProxy(_StubEndpoint(), sim, plan=plan)
+        assert proxy.report(0.5).cpu_load == pytest.approx(0.5)
+
+    def test_chaos_report_failures_are_seeded(self):
+        def run(seed):
+            sim = Simulator()
+            chaos = ChaosConfig(report_failure=0.5, seed=seed)
+            proxy = InjectionProxy(_StubEndpoint(), sim, chaos=chaos)
+            outcomes = []
+            for i in range(20):
+                try:
+                    proxy.report(float(i))
+                    outcomes.append("ok")
+                except EndpointUnavailable:
+                    outcomes.append("fail")
+            return outcomes
+
+        assert run(3) == run(3)
+        assert "fail" in run(3)
+        assert run(3) != run(4)

@@ -332,3 +332,132 @@ class TestApi001:
         root = pathlib.Path(__file__).resolve().parent.parent
         engine = LintEngine(rules=["API001"], project_root=root)
         assert engine.check_paths([root / "src"]) == []
+
+
+class TestRetry001:
+    def test_while_true_except_continue_fires(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            do()\n"
+            "            break\n"
+            "        except ValueError:\n"
+            "            continue\n"
+        )
+        found = hits("RETRY001", src)
+        assert [v.rule_id for v in found] == ["RETRY001"]
+        assert found[0].severity is Severity.ERROR
+        assert found[0].line == 2
+
+    def test_fallthrough_handler_fires(self):
+        # No continue, but nothing exits either: falling off the handler
+        # re-enters the loop just the same.
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            do()\n"
+            "        except ValueError:\n"
+            "            log()\n"
+        )
+        assert len(hits("RETRY001", src)) == 1
+
+    def test_while_one_counts_as_infinite(self):
+        src = (
+            "def f():\n"
+            "    while 1:\n"
+            "        try:\n"
+            "            do()\n"
+            "        except ValueError:\n"
+            "            pass\n"
+        )
+        assert len(hits("RETRY001", src)) == 1
+
+    def test_bounded_for_loop_is_quiet(self):
+        src = (
+            "def f():\n"
+            "    for attempt in range(5):\n"
+            "        try:\n"
+            "            do()\n"
+            "            break\n"
+            "        except ValueError:\n"
+            "            continue\n"
+        )
+        assert hits("RETRY001", src) == []
+
+    def test_handler_that_raises_is_quiet(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            do()\n"
+            "            break\n"
+            "        except ValueError:\n"
+            "            raise RuntimeError('boom')\n"
+        )
+        assert hits("RETRY001", src) == []
+
+    def test_handler_that_breaks_is_quiet(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            do()\n"
+            "        except ValueError:\n"
+            "            break\n"
+        )
+        assert hits("RETRY001", src) == []
+
+    def test_conditional_loop_is_quiet(self):
+        src = (
+            "def f():\n"
+            "    while attempts < budget:\n"
+            "        try:\n"
+            "            do()\n"
+            "        except ValueError:\n"
+            "            continue\n"
+        )
+        assert hits("RETRY001", src) == []
+
+    def test_continue_in_nested_loop_is_quiet(self):
+        # The continue restarts the inner for-loop, not the while True.
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        item = q.get()\n"
+            "        if item is None:\n"
+            "            break\n"
+            "        for x in item:\n"
+            "            try:\n"
+            "                do(x)\n"
+            "            except ValueError:\n"
+            "                continue\n"
+        )
+        assert hits("RETRY001", src) == []
+
+    def test_one_finding_per_loop(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            a()\n"
+            "        except ValueError:\n"
+            "            continue\n"
+            "        try:\n"
+            "            b()\n"
+            "        except KeyError:\n"
+            "            continue\n"
+        )
+        assert len(hits("RETRY001", src)) == 1
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def f():\n"
+            "    while True:  # repro: noqa[RETRY001]\n"
+            "        try:\n"
+            "            do()\n"
+            "        except ValueError:\n"
+            "            continue\n"
+        )
+        assert hits("RETRY001", src) == []

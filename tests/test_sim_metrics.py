@@ -33,6 +33,27 @@ class TestDeprecatedShim:
         assert shim.RateIntegrator is RateIntegrator
         assert shim.TimeSeries is TimeSeries
 
+    def test_shim_surface_is_exactly_obs_metrics(self):
+        """The shim re-exports obs.metrics' __all__ — nothing more."""
+        import repro.obs.metrics as obs_metrics
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.sim.metrics as shim
+
+        assert shim.__all__ == list(obs_metrics.__all__)
+        for name in shim.__all__:
+            assert getattr(shim, name) is getattr(obs_metrics, name)
+
+    def test_shim_has_no_silent_fallback(self):
+        """Unknown attributes raise instead of resolving to stale copies."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.sim.metrics as shim
+
+        with pytest.raises(AttributeError, match="repro.obs.metrics"):
+            shim.MetricRegistryV1
+
 
 class TestCounter:
     def test_add(self):
