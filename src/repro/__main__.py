@@ -17,6 +17,14 @@ Commands
     ``agent``) under :mod:`repro.obs` and print a span/metric summary;
     ``--export chrome --out trace.json`` writes a file that loads in
     ``chrome://tracing`` (``--export jsonl`` for JSON-lines).
+``bench``
+    Benchmark the batched/cached model-evaluation fast path
+    (:mod:`repro.core.fasteval`) against the scalar reference model and
+    time every search on both paths.  ``--json`` prints the report as
+    JSON, ``--out`` writes it to a file (``BENCH_model.json`` is the
+    committed baseline), ``--smoke`` is the quick CI mode, and
+    ``--min-speedup`` gates the exit code on the exhaustive-search
+    speedup (default 5x).
 ``check [paths]``
     Run the project's static-analysis suite (:mod:`repro.lint`): the
     AST rule pack over ``paths`` (default ``src``) plus the machine
@@ -86,6 +94,31 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output path; omitted, only the summary is printed",
     )
+    benchp = sub.add_parser(
+        "bench", help="benchmark the model-evaluation fast path"
+    )
+    benchp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick mode for CI (fewer repeats, short annealing)",
+    )
+    benchp.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of a table",
+    )
+    benchp.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    benchp.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="exit 1 unless batched exhaustive search beats scalar by "
+        "this factor (default 5.0; 0 disables the gate)",
+    )
     from repro.lint.cli import add_check_parser
 
     add_check_parser(sub)
@@ -123,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_topology(_PRESETS[args.preset]()), end="")
     elif args.command == "trace":
         _run_trace(args.target, args.export, args.out)
+    elif args.command == "bench":
+        return _run_bench(args)
     elif args.command == "check":
         from repro.lint.cli import run_check
 
@@ -133,6 +168,32 @@ def main(argv: list[str] | None = None) -> int:
         report = run_scenario(args.scenario, seed=args.seed)
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
+    return 0
+
+
+def _run_bench(args) -> int:
+    """Run the fast-path benchmark; exit 1 when below the speedup gate."""
+    import json
+
+    from repro.analysis.bench import format_report, run_bench, write_report
+
+    report = run_bench(smoke=args.smoke)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    speedup = report["speedups"]["search/exhaustive_fast"]
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(
+            f"FAIL: exhaustive-search speedup {speedup:.2f}x is below "
+            f"the {args.min_speedup:.1f}x gate",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -51,12 +51,22 @@ from repro.agent.resilience import (
     ResiliencePolicy,
 )
 from repro.errors import AgentError
-from repro.obs import OBS
+from repro.obs import OBS, CounterHandle
 from repro.sim.executor import ExecutionSimulator, WorkSegment
 from repro.sim.cpu import Binding, SimThread
 from repro.sim.trace import TraceKind
 
 __all__ = ["AgentDecision", "Agent"]
+
+# Metric handles hoisted out of the per-round/per-retry loops (PERF001):
+# resolved once against the live registry instead of per call.
+_RETRIES = CounterHandle("agent/retries")
+_INVALID_REPORTS = CounterHandle("agent/invalid_reports")
+_QUARANTINED = CounterHandle("agent/quarantined")
+_DEGRADED_ROUNDS = CounterHandle("agent/degraded_rounds")
+_ROUNDS = CounterHandle("agent/rounds")
+_COMMANDS = CounterHandle("agent/commands")
+_COMMAND_FAILURES = CounterHandle("agent/command_failures")
 
 
 def _endpoint_threads(endpoint: RuntimeEndpoint) -> int | None:
@@ -239,7 +249,7 @@ class Agent:
             if attempt > 0:
                 self.health[name].retries += 1
                 if OBS.enabled:
-                    OBS.metrics.counter("agent/retries").add()
+                    _RETRIES.add()
             try:
                 report = endpoint.report(now)
             except Exception:
@@ -247,7 +257,7 @@ class Agent:
             if self._valid_report(name, report, now):
                 return report
             if OBS.enabled:
-                OBS.metrics.counter("agent/invalid_reports").add()
+                _INVALID_REPORTS.add()
         return None
 
     def _collect_reports(
@@ -297,7 +307,7 @@ class Agent:
         now = self.executor.sim.now
         health.retries += 1
         if OBS.enabled:
-            OBS.metrics.counter("agent/retries").add()
+            _RETRIES.add()
         try:
             report = self.endpoints[name].report(now)
         except Exception:
@@ -331,7 +341,7 @@ class Agent:
                     health.quarantined_at = now
                     newly.append(name)
                     if OBS.enabled:
-                        OBS.metrics.counter("agent/quarantined").add()
+                        _QUARANTINED.add()
                         with OBS.tracer.span(
                             "agent/quarantine",
                             runtime=name,
@@ -450,7 +460,7 @@ class Agent:
             degraded = not self._quorum_met(len(reports))
             if degraded:
                 if OBS.enabled:
-                    OBS.metrics.counter("agent/degraded_rounds").add()
+                    _DEGRADED_ROUNDS.add()
                 commands = self._equal_share(reports)
             else:
                 commands = self.strategy.decide(
@@ -479,7 +489,7 @@ class Agent:
                     span.attrs["failures"] = tuple(failures)
                 if degraded:
                     span.attrs["degraded"] = True
-                OBS.metrics.counter("agent/rounds").add()
+                _ROUNDS.add()
         self.total_deliberation += self.decision_cost_seconds
         if self.charge_cpu:
             self._pending_work += self.decision_cost_seconds
@@ -527,11 +537,11 @@ class Agent:
                     span.attrs["threads_after"] = (
                         after if after is not None else "unknown"
                     )
-                OBS.metrics.counter("agent/commands").add()
+                _COMMANDS.add()
         except Exception:
             self.health[name].command_failures += 1
             if OBS.enabled:
-                OBS.metrics.counter("agent/command_failures").add()
+                _COMMAND_FAILURES.add()
             return False
         self.executor.tracer.emit(
             now, TraceKind.COMMAND, name, command=cmd.kind.value

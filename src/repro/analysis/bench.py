@@ -1,0 +1,224 @@
+"""Benchmark the model-evaluation fast path: ``python -m repro bench``.
+
+Times the three layers of the fast evaluation engine
+(:mod:`repro.core.fasteval`) against the scalar reference model on the
+paper's model machine and a four-application workload:
+
+* ``model/*`` — raw evaluation throughput: scalar
+  :meth:`~repro.core.model.NumaPerformanceModel.predict` per-candidate,
+  one batched :meth:`~repro.core.model.NumaPerformanceModel.predict_scores`
+  call over the same candidates (cold cache), and the same call again
+  with every row memoised (warm cache).
+* ``search/*`` — end-to-end searches, scalar (``use_fast=False``) vs
+  fast path, measured in model evaluations per second.
+
+The report is a JSON document mapping each op to its measured
+``evals_per_sec`` (plus ``seconds`` and ``evaluations``), with a
+``speedups`` section pairing each fast op against its scalar baseline.
+The committed ``BENCH_model.json`` at the repo root records the numbers
+of the environment that produced it; CI re-runs ``--smoke`` mode and
+gates on the exhaustive-search speedup staying above ``--min-speedup``
+(default 5x) — see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Sequence
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.model import NumaPerformanceModel
+from repro.core.optimizer import (
+    AnnealingSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    HillClimbSearch,
+)
+from repro.core.policies import symmetric_counts_tensor
+from repro.core.spec import AppSpec
+from repro.machine.presets import model_machine
+
+__all__ = ["bench_workload", "run_bench", "format_report", "write_report"]
+
+#: Baseline op each fast op's speedup is computed against.
+_SPEEDUP_PAIRS = {
+    "model/batched": "model/scalar",
+    "model/cached": "model/scalar",
+    "search/exhaustive_fast": "search/exhaustive_scalar",
+    "search/greedy_fast": "search/greedy_scalar",
+    "search/hillclimb_fast": "search/hillclimb_scalar",
+    "search/annealing_fast": "search/annealing_scalar",
+}
+
+
+def bench_workload() -> tuple:
+    """The fixed (machine, apps) pair every benchmark op runs against."""
+    machine = model_machine()
+    apps = [
+        AppSpec.memory_bound("mem-a"),
+        AppSpec.memory_bound("mem-b", 0.25),
+        AppSpec.compute_bound("cpu-a"),
+        AppSpec.numa_bad("bad-a", 1.0, home_node=0),
+    ]
+    return machine, apps
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` (minimum filters noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(
+    *, smoke: bool = False, annealing_steps: int | None = None
+) -> dict:
+    """Run the benchmark suite; returns the report as a plain dict.
+
+    ``smoke`` shrinks repeat counts and the annealing schedule so CI can
+    afford the run; the measured speedups are the same ballpark either
+    way because every op scales down together.
+    """
+    repeats = 2 if smoke else 5
+    steps = annealing_steps or (200 if smoke else 2000)
+    machine, apps = bench_workload()
+    names = tuple(a.name for a in apps)
+    counts = symmetric_counts_tensor(machine, len(apps))
+    allocations = [
+        ThreadAllocation(app_names=names, counts=c) for c in counts
+    ]
+    ops: dict[str, dict] = {}
+
+    def record(op: str, seconds: float, evaluations: int) -> None:
+        ops[op] = {
+            "seconds": round(seconds, 6),
+            "evaluations": evaluations,
+            "evals_per_sec": round(evaluations / seconds, 1),
+        }
+
+    # --- raw model evaluation ----------------------------------------
+    scalar_model = NumaPerformanceModel()
+
+    def scalar_sweep() -> None:
+        for alloc in allocations:
+            scalar_model.predict(machine, apps, alloc)
+
+    scalar_sweep()  # warm-up (table/import costs out of the timing)
+    record(
+        "model/scalar",
+        _best_seconds(scalar_sweep, repeats),
+        len(allocations),
+    )
+
+    batched_model = NumaPerformanceModel()
+    batched_model.predict_scores(machine, apps, counts[:1])  # warm tables
+
+    def batched_sweep() -> None:
+        batched_model.cache.clear()
+        batched_model.predict_scores(machine, apps, counts)
+
+    record(
+        "model/batched",
+        _best_seconds(batched_sweep, repeats),
+        len(allocations),
+    )
+
+    batched_model.predict_scores(machine, apps, counts)  # fill the cache
+    record(
+        "model/cached",
+        _best_seconds(
+            lambda: batched_model.predict_scores(machine, apps, counts),
+            repeats,
+        ),
+        len(allocations),
+    )
+
+    # --- end-to-end searches -----------------------------------------
+    searches: list[tuple[str, Callable[[bool], object]]] = [
+        (
+            "exhaustive",
+            lambda fast: ExhaustiveSearch(
+                NumaPerformanceModel(), use_fast=fast
+            ),
+        ),
+        (
+            "greedy",
+            lambda fast: GreedySearch(NumaPerformanceModel(), use_fast=fast),
+        ),
+        (
+            "hillclimb",
+            lambda fast: HillClimbSearch(
+                NumaPerformanceModel(), use_fast=fast
+            ),
+        ),
+        (
+            "annealing",
+            lambda fast: AnnealingSearch(
+                NumaPerformanceModel(), steps=steps, use_fast=fast
+            ),
+        ),
+    ]
+    for name, make in searches:
+        for fast in (False, True):
+            evaluations = 0
+
+            def run_search() -> None:
+                nonlocal evaluations
+                search = make(fast)
+                result = search.search(machine, apps)
+                evaluations = result.evaluations
+
+            run_search()  # warm-up
+            suffix = "fast" if fast else "scalar"
+            record(
+                f"search/{name}_{suffix}",
+                _best_seconds(run_search, repeats),
+                evaluations,
+            )
+
+    speedups = {
+        op: round(
+            ops[op]["evals_per_sec"] / ops[base]["evals_per_sec"], 2
+        )
+        for op, base in _SPEEDUP_PAIRS.items()
+    }
+    return {
+        "schema": "repro-bench/1",
+        "mode": "smoke" if smoke else "full",
+        "machine": machine.name,
+        "apps": len(apps),
+        "candidates": len(allocations),
+        "annealing_steps": steps,
+        "ops": ops,
+        "speedups": speedups,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a :func:`run_bench` report."""
+    lines = [
+        f"bench on '{report['machine']}' "
+        f"({report['apps']} apps, {report['candidates']} symmetric "
+        f"candidates, {report['mode']} mode)",
+        "",
+        f"{'op':28s} {'evals/sec':>12s} {'seconds':>10s} {'speedup':>8s}",
+    ]
+    for op, stats in report["ops"].items():
+        speedup = report["speedups"].get(op)
+        tail = f"{speedup:>7.1f}x" if speedup is not None else f"{'-':>8s}"
+        lines.append(
+            f"{op:28s} {stats['evals_per_sec']:>12,.1f} "
+            f"{stats['seconds']:>10.4f} {tail}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write ``report`` as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

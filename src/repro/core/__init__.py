@@ -23,7 +23,20 @@ from repro.core.arbitration import (
     FairShareArbiter,
     ResourceRequest,
 )
-from repro.core.bwshare import NodeShare, RemainderRule, share_node_bandwidth
+from repro.core.bwshare import (
+    NodeShare,
+    RemainderRule,
+    share_node_bandwidth,
+    share_node_bandwidth_batch,
+)
+from repro.core.fasteval import (
+    FastEvaluator,
+    ModelTables,
+    ScoreCache,
+    as_counts_batch,
+    batched_app_gflops,
+    workload_fingerprint,
+)
 from repro.core.model import (
     AppResult,
     GroupResult,
@@ -50,6 +63,7 @@ from repro.core.policies import (
     UnevenSharePolicy,
     enumerate_node_compositions,
     enumerate_symmetric_allocations,
+    symmetric_counts_tensor,
 )
 from repro.core.roofline import Roofline, attainable_gflops
 from repro.core.spec import AppSpec, Placement
@@ -64,6 +78,13 @@ __all__ = [
     "RemainderRule",
     "NodeShare",
     "share_node_bandwidth",
+    "share_node_bandwidth_batch",
+    "FastEvaluator",
+    "ModelTables",
+    "ScoreCache",
+    "as_counts_batch",
+    "batched_app_gflops",
+    "workload_fingerprint",
     "NumaPerformanceModel",
     "Prediction",
     "AppResult",
@@ -77,6 +98,7 @@ __all__ = [
     "SingleAppFillPolicy",
     "enumerate_symmetric_allocations",
     "enumerate_node_compositions",
+    "symmetric_counts_tensor",
     "ExhaustiveSearch",
     "GreedySearch",
     "HillClimbSearch",

@@ -18,23 +18,45 @@ provides the search machinery a resource arbiter would use:
 All searches also support an *objective* other than total GFLOPS, e.g.
 weighted throughput or max-min fairness, since a real arbiter rarely
 optimises raw FLOP/s alone.
+
+Fast path
+---------
+Every search drives the batched evaluation engine
+(:mod:`repro.core.fasteval`) when it can: exhaustive search scores its
+whole symmetric space in one
+:meth:`~repro.core.model.NumaPerformanceModel.predict_scores` call,
+greedy and hill climbing batch each round's candidate set, and annealing
+funnels its single proposals through the memo cache.  The fast path is
+only taken when the objective carries a ``batched`` form (the built-in
+objectives all do); custom objectives over full
+:class:`~repro.core.model.Prediction` objects transparently fall back to
+the scalar reference path, as does ``use_fast=False``.  Either way the
+returned :class:`SearchResult` carries a ground-truth prediction and
+score computed by the scalar model on the winning allocation, and the
+candidate enumeration order is identical, so the deterministic searches
+return the same winner (ties and all) as the reference path (annealing
+may diverge on exact ties; see its docstring).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.allocation import ThreadAllocation
+from repro.core.fasteval import FastEvaluator
 from repro.core.model import NumaPerformanceModel, Prediction
-from repro.core.policies import enumerate_symmetric_allocations
+from repro.core.policies import (
+    enumerate_symmetric_allocations,
+    symmetric_counts_tensor,
+)
 from repro.core.spec import AppSpec
 from repro.errors import AllocationError, ModelError
 from repro.machine.topology import MachineTopology
-from repro.obs import OBS
+from repro.obs import OBS, CounterHandle, GaugeHandle
 
 __all__ = [
     "Objective",
@@ -49,7 +71,15 @@ __all__ = [
 ]
 
 #: An objective maps a model prediction to a scalar score (higher = better).
+#: Carrying a ``batched`` attribute — ``(app_gflops (B, A), apps) -> (B,)``
+#: — additionally opts the objective into the searches' fast path.
 Objective = Callable[[Prediction], float]
+
+# Metric handles hoisted out of the search inner loops (PERF001): resolved
+# against the live registry on first use, re-resolved only when obs is
+# re-enabled with a fresh registry.
+_EVALUATIONS = CounterHandle("optimizer/evaluations")
+_BEST_SCORE = GaugeHandle("optimizer/best_score")
 
 
 def total_gflops(prediction: Prediction) -> float:
@@ -57,11 +87,21 @@ def total_gflops(prediction: Prediction) -> float:
     return prediction.total_gflops
 
 
+def _total_gflops_batched(
+    app_gflops: np.ndarray, apps: Sequence[AppSpec]
+) -> np.ndarray:
+    return app_gflops.sum(axis=1)
+
+
+total_gflops.batched = _total_gflops_batched
+
+
 def weighted_gflops(weights: dict[str, float]) -> Objective:
     """Objective factory: weighted sum of per-app GFLOPS.
 
     Lets an arbiter encode priorities (e.g. the interactive component
-    counts double).
+    counts double).  Apps not named in ``weights`` count with weight 1;
+    extra names are ignored.
     """
 
     def objective(prediction: Prediction) -> float:
@@ -69,12 +109,28 @@ def weighted_gflops(weights: dict[str, float]) -> Objective:
             weights.get(a.name, 1.0) * a.gflops for a in prediction.apps
         )
 
+    def batched(
+        app_gflops: np.ndarray, apps: Sequence[AppSpec]
+    ) -> np.ndarray:
+        w = np.array([weights.get(a.name, 1.0) for a in apps])
+        return app_gflops @ w
+
+    objective.batched = batched
     return objective
 
 
 def min_app_gflops(prediction: Prediction) -> float:
     """Max-min fairness objective: the worst-off application's GFLOPS."""
     return min(a.gflops for a in prediction.apps)
+
+
+def _min_app_gflops_batched(
+    app_gflops: np.ndarray, apps: Sequence[AppSpec]
+) -> np.ndarray:
+    return app_gflops.min(axis=1)
+
+
+min_app_gflops.batched = _min_app_gflops_batched
 
 
 @dataclass(frozen=True)
@@ -100,7 +156,8 @@ class _SearchBase:
 
     Every search is instrumented through :mod:`repro.obs` when enabled:
     one span per :meth:`search` call (``optimizer/<search>``), the
-    ``optimizer/evaluations`` counter per candidate scored, and the
+    ``optimizer/evaluations`` counter per candidate scored (batched
+    evaluations count each candidate in the batch), and the
     ``optimizer/best_score`` gauge set to the returned score.
     """
 
@@ -111,9 +168,12 @@ class _SearchBase:
         self,
         model: NumaPerformanceModel | None = None,
         objective: Objective = total_gflops,
+        *,
+        use_fast: bool = True,
     ) -> None:
         self.model = model or NumaPerformanceModel()
         self.objective = objective
+        self.use_fast = use_fast
         self._evaluations = 0
 
     def _score(
@@ -124,7 +184,42 @@ class _SearchBase:
     ) -> tuple[float, Prediction]:
         self._evaluations += 1
         if OBS.enabled:
-            OBS.metrics.counter("optimizer/evaluations").add()
+            _EVALUATIONS.add()
+        prediction = self.model.predict(machine, apps, allocation)
+        return self.objective(prediction), prediction
+
+    def _evaluator(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> FastEvaluator | None:
+        """The batched evaluator, or ``None`` → take the scalar path."""
+        if not self.use_fast:
+            return None
+        return FastEvaluator.create(
+            self.model, machine, apps, self.objective
+        )
+
+    def _score_batch(
+        self, evaluator: FastEvaluator, counts: np.ndarray
+    ) -> np.ndarray:
+        """Objective score of each ``(B, A, N)`` candidate, counted."""
+        scores = evaluator.scores(counts)
+        self._evaluations += len(scores)
+        if OBS.enabled:
+            _EVALUATIONS.add(len(scores))
+        return scores
+
+    def _exact(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        allocation: ThreadAllocation,
+    ) -> tuple[float, Prediction]:
+        """Ground-truth (score, prediction) of the winning allocation.
+
+        Runs the scalar reference model so the returned
+        :class:`SearchResult` is bit-identical to the scalar path's.  Not
+        counted as a search evaluation.
+        """
         prediction = self.model.predict(machine, apps, allocation)
         return self.objective(prediction), prediction
 
@@ -141,7 +236,7 @@ class _SearchBase:
         if OBS.enabled:
             span.attrs["score"] = result.score
             span.attrs["evaluations"] = result.evaluations
-            OBS.metrics.gauge("optimizer/best_score").set(result.score)
+            _BEST_SCORE.set(result.score)
         return result
 
 
@@ -153,6 +248,10 @@ class ExhaustiveSearch(_SearchBase):
     require_full:
         Whether every core must be occupied.  Allowing idle cores enlarges
         the space but can win when all applications are memory bound.
+    use_fast:
+        Score the whole space in one batched model call when the
+        objective supports it (default).  ``False`` forces the scalar
+        reference path.
     """
 
     span_name = "exhaustive"
@@ -163,8 +262,9 @@ class ExhaustiveSearch(_SearchBase):
         objective: Objective = total_gflops,
         *,
         require_full: bool = True,
+        use_fast: bool = True,
     ) -> None:
-        super().__init__(model, objective)
+        super().__init__(model, objective, use_fast=use_fast)
         self.require_full = require_full
 
     def search(
@@ -178,6 +278,9 @@ class ExhaustiveSearch(_SearchBase):
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> SearchResult:
         self._evaluations = 0
+        evaluator = self._evaluator(machine, apps)
+        if evaluator is not None:
+            return self._run_batched(machine, apps, evaluator)
         best: tuple[float, ThreadAllocation, Prediction] | None = None
         for alloc in enumerate_symmetric_allocations(
             machine, apps, require_full=self.require_full
@@ -194,6 +297,34 @@ class ExhaustiveSearch(_SearchBase):
             evaluations=self._evaluations,
         )
 
+    def _run_batched(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        evaluator: FastEvaluator,
+    ) -> SearchResult:
+        counts = symmetric_counts_tensor(
+            machine, len(apps), require_full=self.require_full
+        )
+        if len(counts) == 0:
+            raise AllocationError("empty search space")
+        scores = self._score_batch(evaluator, counts)
+        # argmax returns the first maximum — the same candidate the
+        # scalar loop's strict ">" keeps, since the enumeration order of
+        # symmetric_counts_tensor matches enumerate_symmetric_allocations.
+        best = int(np.argmax(scores))
+        allocation = ThreadAllocation(
+            app_names=tuple(a.name for a in apps),
+            counts=counts[best].copy(),
+        )
+        score, prediction = self._exact(machine, apps, allocation)
+        return SearchResult(
+            allocation=allocation,
+            prediction=prediction,
+            score=score,
+            evaluations=self._evaluations,
+        )
+
 
 class GreedySearch(_SearchBase):
     """Add one thread at a time where the marginal objective gain is best.
@@ -205,7 +336,8 @@ class GreedySearch(_SearchBase):
     different compositions on different nodes (unlike
     :class:`ExhaustiveSearch`).  Stops early if every possible addition
     lowers the objective (only possible with non-throughput objectives or
-    contention-heavy workloads).
+    contention-heavy workloads).  With a batchable objective each round's
+    candidate set is scored in one model call.
     """
 
     span_name = "greedy"
@@ -221,6 +353,9 @@ class GreedySearch(_SearchBase):
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> SearchResult:
         self._evaluations = 0
+        evaluator = self._evaluator(machine, apps)
+        if evaluator is not None:
+            return self._run_batched(machine, apps, evaluator)
         names = tuple(a.name for a in apps)
         counts = np.zeros((len(apps), machine.num_nodes), dtype=np.int64)
         free = np.array([n.num_cores for n in machine.nodes], dtype=np.int64)
@@ -234,7 +369,9 @@ class GreedySearch(_SearchBase):
                     if free[n] == 0:
                         continue
                     counts[a, n] += 1
-                    alloc = ThreadAllocation(app_names=names, counts=counts.copy())
+                    alloc = ThreadAllocation(
+                        app_names=names, counts=counts.copy()
+                    )
                     score, pred = self._score(machine, apps, alloc)
                     counts[a, n] -= 1
                     if best_step is None or score > best_step[0]:
@@ -252,9 +389,60 @@ class GreedySearch(_SearchBase):
         if best_pred is None:
             raise AllocationError("greedy search placed no threads")
         return SearchResult(
-            allocation=ThreadAllocation(app_names=names, counts=counts),
+            # Copy: `counts` is this method's scratch buffer, and the
+            # result must not be a window onto it.
+            allocation=ThreadAllocation(app_names=names, counts=counts.copy()),
             prediction=best_pred,
             score=current_score,
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )
+
+    def _run_batched(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        evaluator: FastEvaluator,
+    ) -> SearchResult:
+        names = tuple(a.name for a in apps)
+        n_apps, n_nodes = len(apps), machine.num_nodes
+        counts = np.zeros((n_apps, n_nodes), dtype=np.int64)
+        free = np.array([n.num_cores for n in machine.nodes], dtype=np.int64)
+        current_score = -math.inf
+        placed = False
+        trajectory: list[float] = []
+        while free.sum() > 0:
+            # Candidate additions in the scalar loop's (app, node) order.
+            moves = [
+                (a, n)
+                for a in range(n_apps)
+                for n in range(n_nodes)
+                if free[n] > 0
+            ]
+            if not moves:
+                break
+            batch = np.repeat(counts[None], len(moves), axis=0)
+            for k, (a, n) in enumerate(moves):
+                batch[k, a, n] += 1
+            scores = self._score_batch(evaluator, batch)
+            k = int(np.argmax(scores))
+            score = float(scores[k])
+            if score < current_score - 1e-12:
+                break  # every addition hurts; stop with idle cores
+            a, n = moves[k]
+            counts[a, n] += 1
+            free[n] -= 1
+            current_score = score
+            placed = True
+            trajectory.append(score)
+        if not placed:
+            raise AllocationError("greedy search placed no threads")
+        allocation = ThreadAllocation(app_names=names, counts=counts.copy())
+        score, prediction = self._exact(machine, apps, allocation)
+        return SearchResult(
+            allocation=allocation,
+            prediction=prediction,
+            score=score,
             evaluations=self._evaluations,
             trajectory=tuple(trajectory),
         )
@@ -265,7 +453,8 @@ class HillClimbSearch(_SearchBase):
 
     A move takes one thread of one app on one node and gives it to another
     app on the same node (the machine stays fully utilised).  Terminates at
-    a local optimum of the move neighbourhood.
+    a local optimum of the move neighbourhood.  With a batchable objective
+    the whole neighbourhood of each round is scored in one model call.
     """
 
     span_name = "hillclimb"
@@ -276,8 +465,9 @@ class HillClimbSearch(_SearchBase):
         objective: Objective = total_gflops,
         *,
         max_rounds: int = 1000,
+        use_fast: bool = True,
     ) -> None:
-        super().__init__(model, objective)
+        super().__init__(model, objective, use_fast=use_fast)
         self.max_rounds = max_rounds
 
     def search(
@@ -304,6 +494,9 @@ class HillClimbSearch(_SearchBase):
                 machine, apps
             )
         start.validate(machine)
+        evaluator = self._evaluator(machine, apps)
+        if evaluator is not None:
+            return self._run_batched(machine, apps, start, evaluator)
         current = start
         score, pred = self._score(machine, apps, current)
         trajectory = [score]
@@ -332,6 +525,51 @@ class HillClimbSearch(_SearchBase):
             trajectory=tuple(trajectory),
         )
 
+    def _run_batched(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation,
+        evaluator: FastEvaluator,
+    ) -> SearchResult:
+        names = start.app_names
+        current = start
+        score = float(self._score_batch(evaluator, current.counts[None])[0])
+        trajectory = [score]
+        for _ in range(self.max_rounds):
+            # Neighbourhood in the scalar loop's (src, dst, node) order.
+            moves = [
+                (si, di, n)
+                for si in range(len(names))
+                for di in range(len(names))
+                if si != di
+                for n in range(machine.num_nodes)
+                if current.counts[si, n] > 0
+            ]
+            if not moves:
+                break
+            batch = np.repeat(current.counts[None], len(moves), axis=0)
+            for k, (si, di, n) in enumerate(moves):
+                batch[k, si, n] -= 1
+                batch[k, di, n] += 1
+            scores = self._score_batch(evaluator, batch)
+            k = int(np.argmax(scores))
+            if scores[k] <= score + 1e-12:
+                break
+            current = ThreadAllocation(
+                app_names=names, counts=batch[k].copy()
+            )
+            score = float(scores[k])
+            trajectory.append(score)
+        final_score, prediction = self._exact(machine, apps, current)
+        return SearchResult(
+            allocation=current,
+            prediction=prediction,
+            score=final_score,
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )
+
 
 class AnnealingSearch(_SearchBase):
     """Simulated annealing over single-thread moves.
@@ -340,6 +578,17 @@ class AnnealingSearch(_SearchBase):
     moves with probability ``exp(delta / T)`` under a geometric cooling
     schedule, so it can cross the valleys between symmetric optima.
     Deterministic for a fixed ``seed``.
+
+    Annealing's proposals are inherently sequential (each depends on the
+    previous accept/reject draw), so the fast path scores them one at a
+    time through the model's memo cache rather than batching — revisited
+    allocations, which dominate late in the cooling schedule, cost a
+    dict lookup instead of a model evaluation.  Each path is
+    deterministic for a fixed seed, but the two paths may walk different
+    (equally valid) trajectories: when two allocations tie exactly, the
+    1e-14-scale rounding difference between scalar and vectorised
+    arithmetic can flip the ``delta >= 0`` shortcut and desynchronise
+    the rng stream.
     """
 
     span_name = "annealing"
@@ -353,8 +602,9 @@ class AnnealingSearch(_SearchBase):
         initial_temperature: float = 5.0,
         cooling: float = 0.995,
         seed: int = 0,
+        use_fast: bool = True,
     ) -> None:
-        super().__init__(model, objective)
+        super().__init__(model, objective, use_fast=use_fast)
         if steps <= 0:
             raise ModelError(f"steps must be positive, got {steps}")
         if not 0 < cooling < 1:
@@ -389,6 +639,9 @@ class AnnealingSearch(_SearchBase):
                 machine, apps
             )
         start.validate(machine)
+        evaluator = self._evaluator(machine, apps)
+        if evaluator is not None:
+            return self._run_cached(machine, apps, start, evaluator, rng)
         current = start
         score, pred = self._score(machine, apps, current)
         best = (score, current, pred)
@@ -418,6 +671,50 @@ class AnnealingSearch(_SearchBase):
             allocation=best[1],
             prediction=best[2],
             score=best[0],
+            evaluations=self._evaluations,
+            trajectory=tuple(trajectory),
+        )
+
+    def _run_cached(
+        self,
+        machine: MachineTopology,
+        apps: Sequence[AppSpec],
+        start: ThreadAllocation,
+        evaluator: FastEvaluator,
+        rng: np.random.Generator,
+    ) -> SearchResult:
+        current = start
+        score = float(self._score_batch(evaluator, current.counts[None])[0])
+        best = (score, current)
+        temperature = self.initial_temperature
+        trajectory = [score]
+        names = current.app_names
+        for _ in range(self.steps):
+            # Propose a random legal single-thread move (same rng draw
+            # sequence as the scalar path, modulo exact-tie divergence —
+            # see the class docstring).
+            donors = np.argwhere(current.counts > 0)
+            if donors.size == 0:
+                break
+            ai, n = donors[rng.integers(len(donors))]
+            choices = [j for j in range(len(names)) if j != ai]
+            if not choices:
+                break
+            dj = choices[rng.integers(len(choices))]
+            cand = current.move_thread(names[ai], names[dj], int(n))
+            s = float(self._score_batch(evaluator, cand.counts[None])[0])
+            delta = s - score
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current, score = cand, s
+                if score > best[0]:
+                    best = (score, current)
+            temperature = max(temperature * self.cooling, 1e-6)
+            trajectory.append(score)
+        final_score, prediction = self._exact(machine, apps, best[1])
+        return SearchResult(
+            allocation=best[1],
+            prediction=prediction,
+            score=final_score,
             evaluations=self._evaluations,
             trajectory=tuple(trajectory),
         )

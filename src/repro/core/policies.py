@@ -31,6 +31,7 @@ __all__ = [
     "SingleAppFillPolicy",
     "enumerate_symmetric_allocations",
     "enumerate_node_compositions",
+    "symmetric_counts_tensor",
 ]
 
 
@@ -281,3 +282,34 @@ def enumerate_symmetric_allocations(
         cores, len(apps), require_full=require_full
     ):
         yield ThreadAllocation.uniform(names, machine.num_nodes, list(comp))
+
+
+def symmetric_counts_tensor(
+    machine: MachineTopology,
+    num_apps: int,
+    *,
+    require_full: bool = True,
+) -> np.ndarray:
+    """The whole symmetric space as one ``(B, apps, nodes)`` counts tensor.
+
+    The batched form of :func:`enumerate_symmetric_allocations`: row
+    ``b`` replicates the ``b``-th node composition (same enumeration
+    order) across every node.  Feeding the tensor to
+    :meth:`~repro.core.model.NumaPerformanceModel.predict_scores` scores
+    the entire space in one call — the exhaustive-search fast path.
+    """
+    counts = set(machine.cores_per_node)
+    if len(counts) != 1:
+        raise AllocationError(
+            "symmetric enumeration requires equal cores per node"
+        )
+    cores = counts.pop()
+    comps = np.array(
+        list(
+            enumerate_node_compositions(
+                cores, num_apps, require_full=require_full
+            )
+        ),
+        dtype=np.int64,
+    ).reshape(-1, num_apps)
+    return np.repeat(comps[:, :, None], machine.num_nodes, axis=2)

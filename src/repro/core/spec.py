@@ -99,6 +99,22 @@ class AppSpec:
                 f"positive, got {self.peak_gflops_per_thread}"
             )
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Hashable digest of everything the performance model reads.
+
+        Used (with the machine fingerprint and the allocation bytes) as
+        the memo-cache key of the fast evaluation engine
+        (:mod:`repro.core.fasteval`).
+        """
+        return (
+            self.name,
+            self.arithmetic_intensity,
+            self.placement.value,
+            self.home_node,
+            self.peak_gflops_per_thread,
+        )
+
     def peak_gflops(self, core_peak: float) -> float:
         """Effective per-thread peak GFLOPS on a core with ``core_peak``."""
         if self.peak_gflops_per_thread is None:

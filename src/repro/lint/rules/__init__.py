@@ -8,6 +8,7 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.units` — UNIT001
 * :mod:`repro.lint.rules.api` — API001
 * :mod:`repro.lint.rules.retry` — RETRY001
+* :mod:`repro.lint.rules.perf` — PERF001
 
 See ``docs/STATIC_ANALYSIS.md`` for the full catalogue with rationale
 and examples, and :mod:`repro.lint.engine` for how to add a rule.
@@ -28,6 +29,7 @@ from repro.lint.rules.pyhygiene import (
     SwallowedException,
     WallClockDuration,
 )
+from repro.lint.rules.perf import MetricLookupInLoop
 from repro.lint.rules.retry import UnboundedRetryLoop
 from repro.lint.rules.units import CrossUnitArithmetic
 
@@ -43,4 +45,5 @@ __all__ = [
     "CrossUnitArithmetic",
     "UnboundedRetryLoop",
     "ApiDocDrift",
+    "MetricLookupInLoop",
 ]

@@ -1,0 +1,108 @@
+"""Performance rules.
+
+The observability layer's metric lookups
+(``OBS.metrics.counter("name")``) hash the metric name and take the
+registry lock on every call.  In a search inner loop that runs tens of
+thousands of times per second, the lookup dominates the instrumented
+work — the batched evaluation engine exists precisely because per-call
+overhead compounds there.  PERF001 flags lookups inside loop bodies so
+they get hoisted into a module- or instance-level handle
+(:class:`~repro.obs.CounterHandle` and friends), which resolves the
+name once and survives registry swaps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["MetricLookupInLoop"]
+
+#: Registry factory methods whose per-call lookup cost PERF001 targets.
+_METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_metric_lookup(node: ast.Call) -> str | None:
+    """The metric kind when ``node`` is ``<expr>.metrics.<kind>(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_KINDS:
+        return None
+    owner = func.value
+    if isinstance(owner, ast.Attribute) and owner.attr == "metrics":
+        return func.attr
+    return None
+
+
+@register
+class MetricLookupInLoop(Rule):
+    """``OBS.metrics.counter(...)`` resolved inside a loop body.
+
+    A warning rather than an error: a lookup in a cold loop (a shutdown
+    sweep, a once-per-tick simulator step) is harmless, and the author
+    is the one who knows the loop's temperature.  Hot paths should hoist
+    the lookup into a :class:`~repro.obs.CounterHandle` /
+    :class:`~repro.obs.GaugeHandle` / :class:`~repro.obs.HistogramHandle`
+    created once; deliberate cold-loop lookups get
+    ``# repro: noqa[PERF001]``.
+    """
+
+    rule_id = "PERF001"
+    severity = Severity.WARNING
+    summary = (
+        "metric registry lookup (`*.metrics.counter/gauge/histogram`) "
+        "inside a loop body; hoist it into a module- or instance-level "
+        "metric handle (see repro.obs.CounterHandle)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _is_metric_lookup(node)
+            if kind is None:
+                continue
+            loop = self._enclosing_loop(ctx, node)
+            if loop is None:
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"`.metrics.{kind}(...)` re-resolves the metric on every "
+                f"iteration of the loop at line {loop.lineno}; create the "
+                f"{kind} handle once outside the loop "
+                f"(repro.obs.{kind.capitalize()}Handle)",
+            )
+
+    @staticmethod
+    def _enclosing_loop(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+        """The innermost loop that re-evaluates ``node`` per iteration.
+
+        That is the loop's body/else (and a ``while`` condition), but
+        *not* a ``for``'s iterable, which evaluates once.  Stops at
+        function boundaries: a lookup in a nested function that merely
+        happens to be *defined* inside a loop runs once per call, not
+        once per iteration, and loop temperature is the callee's
+        concern.
+        """
+        child: ast.AST = node
+        for anc in ctx.parents(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+            if isinstance(anc, _LOOPS):
+                per_iteration = list(anc.body) + list(anc.orelse)
+                if isinstance(anc, ast.While):
+                    per_iteration.append(anc.test)
+                if any(child is part for part in per_iteration):
+                    return anc
+            child = anc
+        return None

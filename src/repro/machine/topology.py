@@ -270,6 +270,28 @@ class MachineTopology:
         """Sum of all nodes' local memory bandwidth (GB/s)."""
         return float(sum(node.local_bandwidth for node in self.nodes))
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Hashable digest of everything the performance model reads.
+
+        Two topologies with equal fingerprints are interchangeable as
+        model inputs (same name, node/core structure, per-core peaks and
+        bandwidth matrix), which is what makes the fingerprint a safe
+        memo-cache key component (:mod:`repro.core.fasteval`).  Computed
+        once per instance — topologies are immutable.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = (
+                self.name,
+                self.cores_per_node,
+                tuple(node.local_bandwidth for node in self.nodes),
+                tuple(core.peak_gflops for core in self._cores),
+                self.link_bandwidth.tobytes(),
+            )
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def node_of_core(self, global_id: int) -> NumaNode:
         """Return the NUMA node owning core ``global_id``."""
         core = self.core(global_id)

@@ -70,6 +70,9 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "OBS",
+    "CounterHandle",
+    "GaugeHandle",
+    "HistogramHandle",
     "Capture",
     "enable",
     "disable",
@@ -103,6 +106,70 @@ class Observability:
 
 #: The one switchboard instance every instrumented hot path consults.
 OBS = Observability()
+
+
+class _MetricHandle:
+    """A call-site cache for one named metric.
+
+    ``OBS.metrics.counter("x").add()`` performs a dict lookup (and a
+    string hash) on every call — measurable when it sits inside a search
+    inner loop scoring tens of thousands of candidates.  A handle is
+    created once, where the instrumented object is constructed, and
+    resolves the metric object a single time per registry: the fast path
+    is one identity comparison.  Handles rebind automatically when the
+    registry is swapped (:func:`enable` / :func:`capture`), so a handle
+    created before a capture still records into that capture.
+    """
+
+    __slots__ = ("name", "_registry", "_metric")
+
+    #: Which :class:`MetricsRegistry` accessor resolves this handle.
+    _kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registry: MetricsRegistry | None = None
+        self._metric = None
+
+    def _resolve(self):
+        registry = OBS.metrics
+        if registry is not self._registry:
+            self._metric = getattr(registry, self._kind)(self.name)
+            self._registry = registry
+        return self._metric
+
+
+class CounterHandle(_MetricHandle):
+    """Hoisted :class:`Counter` accessor (see :class:`_MetricHandle`)."""
+
+    __slots__ = ()
+    _kind = "counter"
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment the counter by ``amount``."""
+        self._resolve().add(amount)
+
+
+class GaugeHandle(_MetricHandle):
+    """Hoisted :class:`Gauge` accessor (see :class:`_MetricHandle`)."""
+
+    __slots__ = ()
+    _kind = "gauge"
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._resolve().set(value)
+
+
+class HistogramHandle(_MetricHandle):
+    """Hoisted :class:`Histogram` accessor (see :class:`_MetricHandle`)."""
+
+    __slots__ = ()
+    _kind = "histogram"
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._resolve().record(value)
 
 
 @dataclass(frozen=True)

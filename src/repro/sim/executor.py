@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.bwshare import RemainderRule
 from repro.errors import SimulationError
 from repro.machine.topology import MachineTopology
-from repro.obs import OBS
+from repro.obs import OBS, CounterHandle, GaugeHandle
 from repro.sim.cpu import Binding, SimThread, ThreadState
 from repro.sim.engine import Simulator
 from repro.sim.memory import BandwidthRequest, BandwidthResolver
@@ -37,6 +37,11 @@ from repro.sim.os_scheduler import CfsScheduler
 from repro.sim.trace import Tracer, TraceKind
 
 __all__ = ["WorkSegment", "WorkProvider", "ExecutionSimulator"]
+
+# Hoisted out of the per-tick path (PERF001): one registry resolution,
+# not one per simulated time slice.
+_TICKS = CounterHandle("sim/ticks")
+_RUNNABLE_THREADS = GaugeHandle("sim/runnable_threads")
 
 
 @dataclass(frozen=True, slots=True)
@@ -172,6 +177,7 @@ class ExecutionSimulator:
         self._noise_rng = np.random.default_rng(noise_seed)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = MetricSet()
+        self._segment_counters: dict[str, object] = {}
         self.threads: list[SimThread] = []
         self._next_tid = 0
         self._tick_scheduled = False
@@ -337,7 +343,7 @@ class ExecutionSimulator:
     def _tick(self) -> None:
         now = self.sim.now
         if OBS.enabled:
-            OBS.metrics.counter("sim/ticks").add()
+            _TICKS.add()
         # 1. Hand out new segments.
         for t in self.threads:
             if t.state is not ThreadState.RUNNABLE or t.busy:
@@ -358,7 +364,7 @@ class ExecutionSimulator:
             if t.state is ThreadState.RUNNABLE and t.busy
         ]
         if OBS.enabled:
-            OBS.metrics.gauge("sim/runnable_threads").set(len(active))
+            _RUNNABLE_THREADS.set(len(active))
         if active:
             assignments = self.scheduler.assign(self.machine, active)
 
@@ -462,7 +468,7 @@ class ExecutionSimulator:
                                 seg.cache_keys,
                                 now + (self.slice_seconds - time_left),
                             )
-                        self.metrics.counter(f"segments/{t.app_name}").add()
+                        self._segment_counter(t.app_name).add()
                         self.tracer.emit(
                             now + (self.slice_seconds - time_left),
                             TraceKind.TASK_FINISHED,
@@ -499,6 +505,19 @@ class ExecutionSimulator:
 
         # 5. Next tick.
         self.sim.schedule(self.slice_seconds, self._tick, priority=10)
+
+    def _segment_counter(self, app_name: str):
+        """The per-app finished-segment counter, resolved once per app.
+
+        The slice loop finishes segments constantly; caching the counter
+        object here keeps the per-segment cost to one dict lookup
+        (PERF001).
+        """
+        counter = self._segment_counters.get(app_name)
+        if counter is None:
+            counter = self.metrics.counter(f"segments/{app_name}")
+            self._segment_counters[app_name] = counter
+        return counter
 
     # ------------------------------------------------------------------
     def achieved_gflops(self, app_name: str, duration: float) -> float:

@@ -1,0 +1,101 @@
+"""The fast-path benchmark harness and its CLI entry point.
+
+Speedup assertions here are deliberately loose (``> 1``) — CI machines
+are noisy; the committed ``BENCH_model.json`` records the real numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.bench import (
+    bench_workload,
+    format_report,
+    run_bench,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(smoke=True, annealing_steps=50)
+
+
+class TestRunBench:
+    def test_schema_and_ops(self, report):
+        assert report["schema"] == "repro-bench/1"
+        assert report["mode"] == "smoke"
+        assert report["candidates"] == 165
+        expected = {
+            "model/scalar",
+            "model/batched",
+            "model/cached",
+            "search/exhaustive_scalar",
+            "search/exhaustive_fast",
+            "search/greedy_scalar",
+            "search/greedy_fast",
+            "search/hillclimb_scalar",
+            "search/hillclimb_fast",
+            "search/annealing_scalar",
+            "search/annealing_fast",
+        }
+        assert set(report["ops"]) == expected
+        for stats in report["ops"].values():
+            assert stats["seconds"] > 0
+            assert stats["evals_per_sec"] > 0
+
+    def test_fast_paths_actually_faster(self, report):
+        assert report["speedups"]["model/batched"] > 1
+        assert report["speedups"]["model/cached"] > 1
+        assert report["speedups"]["search/exhaustive_fast"] > 1
+
+    def test_both_exhaustive_paths_count_all_candidates(self, report):
+        assert report["ops"]["search/exhaustive_scalar"]["evaluations"] == 165
+        assert report["ops"]["search/exhaustive_fast"]["evaluations"] == 165
+
+    def test_format_report(self, report):
+        text = format_report(report)
+        assert "model/cached" in text
+        assert "speedup" in text
+
+    def test_write_report_round_trips(self, report, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == report
+
+    def test_workload_is_the_paper_machine(self):
+        machine, apps = bench_workload()
+        assert machine.num_nodes == 4
+        assert len(apps) == 4
+
+
+class TestBenchCli:
+    def test_json_mode(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--json",
+                "--min-speedup",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["schema"] == "repro-bench/1"
+        assert json.loads(out.read_text()) == printed
+
+    def test_impossible_gate_fails(self, capsys):
+        code = main(["bench", "--smoke", "--min-speedup", "1e9"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_committed_baseline_is_current_schema(self):
+        with open("BENCH_model.json", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        assert baseline["schema"] == "repro-bench/1"
+        assert baseline["speedups"]["search/exhaustive_fast"] >= 5.0

@@ -147,3 +147,17 @@ class TestAlgebra:
         a = ThreadAllocation.uniform(["x"], 2, 1)
         with pytest.raises(ValueError):
             a.counts[0, 0] = 5
+
+    def test_counts_are_copied_from_caller_array(self):
+        """Regression: the constructor must snapshot the caller's array —
+        search loops reuse their scratch buffers after building results."""
+        scratch = np.array([[2, 0], [0, 2]])
+        a = ThreadAllocation(app_names=("x", "y"), counts=scratch)
+        scratch[0, 0] = 99
+        assert a.threads_of("x").tolist() == [2, 0]
+
+    def test_float_counts_are_copied_too(self):
+        scratch = np.array([[1.0, 1.0]])
+        a = ThreadAllocation(app_names=("x",), counts=scratch)
+        scratch[0, 0] = 7.0
+        assert a.threads_of("x").tolist() == [1, 1]

@@ -7,6 +7,7 @@ from repro.core.bwshare import (
     NodeShare,
     RemainderRule,
     share_node_bandwidth,
+    share_node_bandwidth_batch,
 )
 from repro.errors import ModelError
 
@@ -167,3 +168,129 @@ class TestValidation:
     def test_2d_demands_rejected(self):
         with pytest.raises(ModelError):
             share_node_bandwidth(10.0, 4, np.ones((2, 2)))
+
+
+class TestBatch:
+    """The closed-form batched water-fill vs the scalar reference."""
+
+    def _scalar_groups(self, capacity, num_cores, demands, counts, rule):
+        """Expand groups to threads, run the scalar share, re-fold."""
+        per_thread = [
+            d for d, c in zip(demands, counts) for _ in range(int(c))
+        ]
+        if not per_thread:
+            return np.zeros(len(demands))
+        share = share_node_bandwidth(
+            capacity, num_cores, per_thread, rule=rule
+        )
+        out, i = np.zeros(len(demands)), 0
+        for g, c in enumerate(counts):
+            out[g] = share.allocated[i : i + int(c)].sum()
+            i += int(c)
+        return out
+
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_matches_scalar_expansion(self, rule):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            num_cores = int(rng.integers(1, 9))
+            groups = int(rng.integers(1, 5))
+            capacity = np.array([float(rng.uniform(0.0, 64.0))])
+            demands = rng.uniform(0.0, 25.0, size=groups)
+            counts = np.zeros((1, groups))
+            for _ in range(int(rng.integers(num_cores + 1))):
+                counts[0, int(rng.integers(groups))] += 1
+            batched = share_node_bandwidth_batch(
+                capacity, num_cores, demands, counts, rule=rule
+            )
+            scalar = self._scalar_groups(
+                capacity[0], num_cores, demands, counts[0], rule
+            )
+            assert np.max(np.abs(batched[0] - scalar)) <= 1e-9
+
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_zero_capacity(self, rule):
+        out = share_node_bandwidth_batch(
+            np.array([0.0]),
+            4,
+            np.array([5.0, 1.0]),
+            np.array([[2.0, 2.0]]),
+            rule=rule,
+        )
+        assert np.allclose(out, 0.0)
+
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_all_zero_demands(self, rule):
+        out = share_node_bandwidth_batch(
+            np.array([32.0]),
+            4,
+            np.array([0.0, 0.0]),
+            np.array([[2.0, 2.0]]),
+            rule=rule,
+        )
+        assert np.allclose(out, 0.0)
+
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_demands_below_baseline_fully_satisfied(self, rule):
+        # baseline 8; every demand under it -> grant = demand * count.
+        out = share_node_bandwidth_batch(
+            np.array([32.0]),
+            4,
+            np.array([1.0, 3.0]),
+            np.array([[2.0, 2.0]]),
+            rule=rule,
+        )
+        assert np.allclose(out[0], [2.0, 6.0])
+
+    def test_mixed_satisfied_and_unsatisfied(self):
+        # baseline 4; group 0 satisfied at 1, group 1 unmet 16 each.
+        # remaining = 32 - (5*1 + 3*4) = 15 shared by 3 threads.
+        out = share_node_bandwidth_batch(
+            np.array([32.0]),
+            8,
+            np.array([1.0, 20.0]),
+            np.array([[5.0, 3.0]]),
+            rule=RemainderRule.PROPORTIONAL,
+        )
+        assert np.allclose(out[0], [5.0, 3 * 9.0])
+        even = share_node_bandwidth_batch(
+            np.array([32.0]),
+            8,
+            np.array([1.0, 20.0]),
+            np.array([[5.0, 3.0]]),
+            rule=RemainderRule.EVEN,
+        )
+        assert np.allclose(even[0], [5.0, 3 * 9.0])
+
+    def test_batch_rows_are_independent(self):
+        out = share_node_bandwidth_batch(
+            np.array([32.0, 0.0, 64.0]),
+            8,
+            np.array([20.0]),
+            np.array([[3.0], [3.0], [3.0]]),
+            rule=RemainderRule.EVEN,
+        )
+        assert np.allclose(out[:, 0], [32.0, 0.0, 60.0])
+
+    def test_validation(self):
+        cap = np.array([10.0])
+        with pytest.raises(ModelError):
+            share_node_bandwidth_batch(
+                cap, 0, np.array([1.0]), np.array([[1.0]])
+            )
+        with pytest.raises(ModelError):
+            share_node_bandwidth_batch(
+                np.array([-1.0]), 4, np.array([1.0]), np.array([[1.0]])
+            )
+        with pytest.raises(ModelError):
+            share_node_bandwidth_batch(
+                cap, 4, np.array([-1.0]), np.array([[1.0]])
+            )
+        with pytest.raises(ModelError):
+            share_node_bandwidth_batch(
+                cap, 2, np.array([1.0]), np.array([[3.0]])
+            )
+        with pytest.raises(ModelError):
+            share_node_bandwidth_batch(
+                cap, 4, np.array([1.0, 2.0]), np.array([[1.0]])
+            )

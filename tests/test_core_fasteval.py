@@ -1,0 +1,414 @@
+"""The batched/cached evaluation engine: parity, caching, search paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ThreadAllocation
+from repro.core.bwshare import RemainderRule
+from repro.core.fasteval import (
+    FastEvaluator,
+    ModelTables,
+    ScoreCache,
+    as_counts_batch,
+    batched_app_gflops,
+    workload_fingerprint,
+)
+from repro.core.model import NumaPerformanceModel
+from repro.core.optimizer import (
+    AnnealingSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    HillClimbSearch,
+    min_app_gflops,
+    total_gflops,
+    weighted_gflops,
+)
+from repro.core.policies import (
+    enumerate_symmetric_allocations,
+    symmetric_counts_tensor,
+)
+from repro.core.spec import AppSpec, Placement
+from repro.errors import ModelError, OversubscriptionError
+from repro.machine.topology import MachineTopology
+from repro.obs import OBS, capture
+
+
+def random_workload(rng: np.random.Generator):
+    """One random (machine, apps) pair covering every placement."""
+    n_nodes = int(rng.integers(1, 5))
+    cores = int(rng.integers(1, 7))
+    machine = MachineTopology.homogeneous(
+        num_nodes=n_nodes,
+        cores_per_node=cores,
+        peak_gflops_per_core=float(rng.uniform(1.0, 20.0)),
+        local_bandwidth=float(rng.uniform(5.0, 100.0)),
+        remote_bandwidth=float(rng.uniform(1.0, 30.0)),
+        name=f"fuzz-{n_nodes}x{cores}",
+    )
+    apps = []
+    for a in range(int(rng.integers(1, 5))):
+        placement = [
+            Placement.NUMA_PERFECT,
+            Placement.SINGLE_NODE,
+            Placement.INTERLEAVED,
+        ][int(rng.integers(3))]
+        apps.append(
+            AppSpec(
+                name=f"app{a}",
+                arithmetic_intensity=float(rng.uniform(0.05, 12.0)),
+                placement=placement,
+                home_node=(
+                    int(rng.integers(n_nodes))
+                    if placement is Placement.SINGLE_NODE
+                    else None
+                ),
+                peak_gflops_per_thread=(
+                    float(rng.uniform(0.5, 15.0))
+                    if rng.random() < 0.3
+                    else None
+                ),
+            )
+        )
+    return machine, apps
+
+
+def random_counts(rng, machine, n_apps, batch):
+    """A ``(batch, apps, nodes)`` tensor with no over-subscribed node."""
+    counts = np.zeros((batch, n_apps, machine.num_nodes), dtype=np.int64)
+    for b in range(batch):
+        for node in machine.nodes:
+            budget = int(rng.integers(node.num_cores + 1))
+            for _ in range(budget):
+                counts[b, int(rng.integers(n_apps)), node.node_id] += 1
+    return counts
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_matches_scalar_model_on_random_workloads(self, rule):
+        rng = np.random.default_rng(1234 + (rule is RemainderRule.EVEN))
+        for _ in range(40):
+            machine, apps = random_workload(rng)
+            model = NumaPerformanceModel(rule)
+            counts = random_counts(rng, machine, len(apps), batch=8)
+            batched = model.predict_scores(machine, apps, counts)
+            names = tuple(a.name for a in apps)
+            for b in range(len(counts)):
+                pred = model.predict(
+                    machine,
+                    apps,
+                    ThreadAllocation(app_names=names, counts=counts[b]),
+                )
+                scalar = np.array([a.gflops for a in pred.apps])
+                assert np.max(np.abs(batched[b] - scalar)) <= 1e-9
+
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    def test_matches_scalar_on_paper_workload(
+        self, rule, paper_machine, paper_apps
+    ):
+        model = NumaPerformanceModel(rule)
+        names = tuple(a.name for a in paper_apps)
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        batched = model.predict_scores(paper_machine, paper_apps, counts)
+        for b in range(len(counts)):
+            pred = model.predict(
+                paper_machine,
+                paper_apps,
+                ThreadAllocation(app_names=names, counts=counts[b]),
+            )
+            assert batched[b].sum() == pytest.approx(
+                pred.total_gflops, abs=1e-9
+            )
+
+    def test_oversubscription_rejected(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel()
+        bad = np.zeros((1, 4, 4), dtype=np.int64)
+        bad[0, 0, 0] = 9  # node 0 has 8 cores
+        with pytest.raises(OversubscriptionError):
+            model.predict_scores(paper_machine, paper_apps, bad)
+
+
+class TestAsCountsBatch:
+    def test_accepts_every_input_form(self, paper_machine, paper_apps):
+        names = tuple(a.name for a in paper_apps)
+        alloc = ThreadAllocation.uniform(names, 4, 2)
+        single = as_counts_batch(alloc, 4, 4)
+        assert single.shape == (1, 4, 4)
+        seq = as_counts_batch([alloc, alloc], 4, 4)
+        assert seq.shape == (2, 4, 4)
+        matrix = as_counts_batch(np.full((4, 4), 2), 4, 4)
+        assert np.array_equal(matrix, single)
+        tensor = as_counts_batch(np.full((3, 4, 4), 2), 4, 4)
+        assert tensor.shape == (3, 4, 4)
+
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ModelError):
+            as_counts_batch(np.zeros((2, 3, 5), dtype=np.int64), 3, 4)
+        with pytest.raises(ModelError):
+            as_counts_batch([], 3, 4)
+        with pytest.raises(ModelError):
+            as_counts_batch(np.full((1, 2, 2), 1.5), 2, 2)
+        with pytest.raises(ModelError):
+            as_counts_batch(np.full((1, 2, 2), -1, dtype=np.int64), 2, 2)
+
+    def test_float_integers_are_accepted(self):
+        out = as_counts_batch(np.full((1, 2, 2), 2.0), 2, 2)
+        assert out.dtype == np.int64
+        assert np.all(out == 2)
+
+
+class TestSymmetricCountsTensor:
+    def test_matches_enumeration_order(self, paper_machine, paper_apps):
+        tensor = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        allocs = list(
+            enumerate_symmetric_allocations(paper_machine, paper_apps)
+        )
+        assert len(tensor) == len(allocs) == 165
+        for row, alloc in zip(tensor, allocs):
+            assert np.array_equal(row, alloc.counts)
+
+    def test_partial_occupation(self, paper_machine, paper_apps):
+        full = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        partial = symmetric_counts_tensor(
+            paper_machine, len(paper_apps), require_full=False
+        )
+        assert len(partial) > len(full)
+
+
+class TestScoreCache:
+    def test_hit_miss_accounting_and_lru_eviction(self):
+        cache = ScoreCache(maxsize=2)
+        cache.put(("a",), np.array([1.0]))
+        cache.put(("b",), np.array([2.0]))
+        assert cache.get(("a",)) is not None  # refreshes "a"
+        cache.put(("c",), np.array([3.0]))  # evicts "b", the LRU
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+        assert cache.hits == 3 and cache.misses == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rows_are_read_only(self):
+        cache = ScoreCache()
+        cache.put(("k",), np.array([1.0, 2.0]))
+        row = cache.get(("k",))
+        with pytest.raises(ValueError):
+            row[0] = 9.0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ModelError):
+            ScoreCache(maxsize=0)
+
+
+class TestModelCache:
+    def test_second_call_is_all_hits(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel()
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        first = model.predict_scores(paper_machine, paper_apps, counts)
+        assert model.cache.misses == len(counts)
+        second = model.predict_scores(paper_machine, paper_apps, counts)
+        assert model.cache.hits == len(counts)
+        assert np.array_equal(first, second)
+
+    def test_cache_can_be_disabled(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel(cache_size=0)
+        assert model.cache is None
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        out = model.predict_scores(paper_machine, paper_apps, counts)
+        assert out.shape == (len(counts), len(paper_apps))
+
+    def test_same_name_different_machine_does_not_alias(self, paper_apps):
+        """Two machines sharing a name must not share cached scores."""
+        fast = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=4,
+            peak_gflops_per_core=10.0,
+            local_bandwidth=32.0,
+            remote_bandwidth=8.0,
+            name="twin",
+        )
+        slow = MachineTopology.homogeneous(
+            num_nodes=2,
+            cores_per_node=4,
+            peak_gflops_per_core=10.0,
+            local_bandwidth=16.0,
+            remote_bandwidth=8.0,
+            name="twin",
+        )
+        apps = [AppSpec.memory_bound("mem", 0.5)]
+        counts = np.full((1, 1, 2), 4, dtype=np.int64)
+        model = NumaPerformanceModel()
+        a = model.predict_scores(fast, apps, counts)
+        b = model.predict_scores(slow, apps, counts)
+        assert a.sum() > b.sum()
+
+    def test_rule_is_part_of_the_fingerprint(self, paper_machine, paper_apps):
+        key_p = workload_fingerprint(
+            paper_machine, paper_apps, RemainderRule.PROPORTIONAL
+        )
+        key_e = workload_fingerprint(
+            paper_machine, paper_apps, RemainderRule.EVEN
+        )
+        assert key_p != key_e
+
+    def test_obs_counters(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel()
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        with capture() as cap:
+            model.predict_scores(paper_machine, paper_apps, counts)
+            model.predict_scores(paper_machine, paper_apps, counts)
+        metrics = cap.metrics
+        assert (
+            metrics.counter("model/batched_evaluations").value
+            == 2 * len(counts)
+        )
+        assert metrics.counter("model/cache_misses").value == len(counts)
+        assert metrics.counter("model/cache_hits").value == len(counts)
+        assert not OBS.enabled
+
+
+class TestModelTables:
+    def test_built_once_per_workload(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel()
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        model.predict_scores(paper_machine, paper_apps, counts[:3])
+        tables = list(model._tables.values())
+        model.predict_scores(paper_machine, paper_apps, counts[3:6])
+        assert list(model._tables.values()) == tables
+
+    def test_direct_build_matches_model(self, paper_machine, paper_apps):
+        tables = ModelTables.build(
+            paper_machine, paper_apps, RemainderRule.PROPORTIONAL
+        )
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        direct = batched_app_gflops(
+            tables, counts, RemainderRule.PROPORTIONAL
+        )
+        via_model = NumaPerformanceModel().predict_scores(
+            paper_machine, paper_apps, counts
+        )
+        assert np.allclose(direct, via_model, atol=1e-12)
+
+
+class TestSearchFastPath:
+    @pytest.mark.parametrize("rule", list(RemainderRule))
+    @pytest.mark.parametrize(
+        "objective",
+        [total_gflops, min_app_gflops, weighted_gflops({"mem0": 2.0})],
+        ids=["total", "min", "weighted"],
+    )
+    @pytest.mark.parametrize(
+        "search_cls", [ExhaustiveSearch, GreedySearch, HillClimbSearch]
+    )
+    def test_deterministic_searches_match_scalar_path(
+        self, rule, objective, search_cls, paper_machine, paper_apps
+    ):
+        fast = search_cls(
+            NumaPerformanceModel(rule), objective, use_fast=True
+        ).search(paper_machine, paper_apps)
+        scalar = search_cls(
+            NumaPerformanceModel(rule), objective, use_fast=False
+        ).search(paper_machine, paper_apps)
+        assert fast.evaluations == scalar.evaluations
+        assert (
+            fast.allocation.as_mapping() == scalar.allocation.as_mapping()
+        )
+        assert fast.score == pytest.approx(scalar.score, abs=1e-9)
+        assert len(fast.trajectory) == len(scalar.trajectory)
+        assert np.allclose(fast.trajectory, scalar.trajectory, atol=1e-9)
+
+    def test_exhaustive_pinned_result(self, paper_machine, paper_apps):
+        """The acceptance pin: same best allocation/score as the scalar
+        path on the paper workload, 165 evaluations."""
+        result = ExhaustiveSearch().search(paper_machine, paper_apps)
+        assert result.evaluations == 165
+        assert result.score == pytest.approx(320.0)
+
+    def test_annealing_fast_path_is_deterministic_and_sound(
+        self, paper_machine, paper_apps
+    ):
+        a = AnnealingSearch(steps=400, seed=11).search(
+            paper_machine, paper_apps
+        )
+        b = AnnealingSearch(steps=400, seed=11).search(
+            paper_machine, paper_apps
+        )
+        assert a.score == b.score
+        assert a.allocation.as_mapping() == b.allocation.as_mapping()
+        # The reported score is the scalar model's on the returned
+        # allocation, whichever path produced it.
+        check = NumaPerformanceModel().predict(
+            paper_machine, paper_apps, a.allocation
+        )
+        assert a.score == pytest.approx(check.total_gflops, abs=1e-9)
+
+    def test_custom_objective_falls_back_to_scalar_path(
+        self, paper_machine, paper_apps
+    ):
+        def bandwidth_objective(prediction):
+            return sum(a.bandwidth for a in prediction.apps)
+
+        search = ExhaustiveSearch(
+            NumaPerformanceModel(), bandwidth_objective
+        )
+        assert search._evaluator(paper_machine, paper_apps) is None
+        result = search.search(paper_machine, paper_apps)
+        reference = ExhaustiveSearch(
+            NumaPerformanceModel(), bandwidth_objective, use_fast=False
+        ).search(paper_machine, paper_apps)
+        assert result.evaluations == reference.evaluations == 165
+        assert result.score == pytest.approx(reference.score)
+        assert (
+            result.allocation.as_mapping()
+            == reference.allocation.as_mapping()
+        )
+
+    def test_fast_evaluator_create(self, paper_machine, paper_apps):
+        model = NumaPerformanceModel()
+        assert (
+            FastEvaluator.create(
+                model, paper_machine, paper_apps, total_gflops
+            )
+            is not None
+        )
+        assert (
+            FastEvaluator.create(
+                model, paper_machine, paper_apps, lambda p: 0.0
+            )
+            is None
+        )
+
+    @pytest.mark.parametrize(
+        "search_cls", [ExhaustiveSearch, GreedySearch, HillClimbSearch]
+    )
+    def test_random_workload_search_parity(self, search_cls):
+        rng = np.random.default_rng(77)
+        for _ in range(5):
+            machine, apps = random_workload(rng)
+            if sum(machine.cores_per_node) == 0:
+                continue
+            fast = search_cls(NumaPerformanceModel()).search(machine, apps)
+            scalar = search_cls(
+                NumaPerformanceModel(), use_fast=False
+            ).search(machine, apps)
+            assert (
+                fast.allocation.as_mapping()
+                == scalar.allocation.as_mapping()
+            )
+            assert fast.score == pytest.approx(scalar.score, abs=1e-9)
+            assert fast.evaluations == scalar.evaluations
+
+    def test_obs_evaluation_counter_matches_batched_result(
+        self, paper_machine, paper_apps
+    ):
+        with capture() as cap:
+            result = ExhaustiveSearch().search(paper_machine, paper_apps)
+        assert (
+            cap.metrics.counter("optimizer/evaluations").value
+            == result.evaluations
+            == 165
+        )
+        assert cap.metrics.gauge("optimizer/best_score").value == (
+            pytest.approx(result.score)
+        )

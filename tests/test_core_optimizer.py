@@ -122,3 +122,81 @@ class TestObjectives:
         assert min_app_gflops(pred) == pytest.approx(20.0)
         w = weighted_gflops({"comp": 2.0})
         assert w(pred) == pytest.approx(140.0 + 80.0)
+
+    def test_weighted_defaults_missing_names_to_one(
+        self, paper_machine, paper_apps
+    ):
+        alloc = EvenSharePolicy().allocate(paper_machine, paper_apps)
+        pred = NumaPerformanceModel().predict(
+            paper_machine, paper_apps, alloc
+        )
+        # No weights at all: identical to the plain total.
+        assert weighted_gflops({})(pred) == pytest.approx(
+            total_gflops(pred)
+        )
+        # Names that match no app are simply ignored.
+        assert weighted_gflops({"ghost": 99.0})(pred) == pytest.approx(
+            total_gflops(pred)
+        )
+
+    def test_min_app_gflops_single_app(self, paper_machine):
+        apps = [AppSpec.compute_bound("solo")]
+        alloc = EvenSharePolicy().allocate(paper_machine, apps)
+        pred = NumaPerformanceModel().predict(paper_machine, apps, alloc)
+        assert min_app_gflops(pred) == pytest.approx(total_gflops(pred))
+
+
+class TestObjectiveBatched:
+    """The vectorised ``.batched`` forms agree with the scalar calls."""
+
+    @pytest.mark.parametrize(
+        "objective",
+        [
+            total_gflops,
+            min_app_gflops,
+            weighted_gflops({"comp": 2.0, "ghost": 5.0}),
+        ],
+        ids=["total", "min", "weighted"],
+    )
+    def test_matches_scalar(self, objective, paper_machine, paper_apps):
+        import numpy as np
+
+        from repro.core.allocation import ThreadAllocation
+        from repro.core.policies import symmetric_counts_tensor
+
+        model = NumaPerformanceModel()
+        counts = symmetric_counts_tensor(paper_machine, len(paper_apps))
+        scores = objective.batched(
+            model.predict_scores(paper_machine, paper_apps, counts),
+            paper_apps,
+        )
+        names = tuple(a.name for a in paper_apps)
+        for b in range(0, len(counts), 16):
+            pred = model.predict(
+                paper_machine,
+                paper_apps,
+                ThreadAllocation(app_names=names, counts=counts[b]),
+            )
+            assert scores[b] == pytest.approx(objective(pred), abs=1e-9)
+        assert scores.shape == (len(counts),)
+        assert isinstance(scores, np.ndarray)
+
+
+class TestGreedyResultIsolation:
+    """Regression: greedy's scratch counts buffer must not leak into the
+    returned allocation (the result must stay fixed if the buffer is
+    reused afterwards)."""
+
+    @pytest.mark.parametrize("use_fast", [False, True])
+    def test_result_counts_are_detached_and_frozen(
+        self, use_fast, paper_machine, paper_apps
+    ):
+        search = GreedySearch(use_fast=use_fast)
+        first = search.search(paper_machine, paper_apps)
+        snapshot = first.allocation.counts.copy()
+        # A second search reuses the same code path and scratch logic;
+        # the first result must be unaffected.
+        search.search(paper_machine, paper_apps)
+        assert (first.allocation.counts == snapshot).all()
+        with pytest.raises(ValueError):
+            first.allocation.counts[0, 0] = 99

@@ -461,3 +461,79 @@ class TestRetry001:
             "            continue\n"
         )
         assert hits("RETRY001", src) == []
+
+
+class TestPerf001:
+    def test_counter_lookup_in_for_body_fires(self):
+        src = (
+            "def f(self):\n"
+            "    for item in items:\n"
+            "        OBS.metrics.counter('x/y').add()\n"
+        )
+        found = hits("PERF001", src)
+        assert [v.rule_id for v in found] == ["PERF001"]
+        assert found[0].line == 3
+        assert found[0].severity is Severity.WARNING
+
+    def test_gauge_and_histogram_fire_too(self):
+        src = (
+            "def f(self):\n"
+            "    while running:\n"
+            "        OBS.metrics.gauge('a').set(1)\n"
+            "        self.metrics.histogram('b').observe(2)\n"
+        )
+        assert len(hits("PERF001", src)) == 2
+
+    def test_lookup_outside_loop_is_quiet(self):
+        src = (
+            "counter = OBS.metrics.counter('x/y')\n"
+            "def f(self):\n"
+            "    c = self.metrics.counter('z')\n"
+            "    for item in items:\n"
+            "        c.add()\n"
+        )
+        assert hits("PERF001", src) == []
+
+    def test_for_iterable_is_quiet(self):
+        # The iterable expression is evaluated once, not per iteration.
+        src = (
+            "def f(self):\n"
+            "    for item in self.metrics.counter('x').tags:\n"
+            "        use(item)\n"
+        )
+        assert hits("PERF001", src) == []
+
+    def test_nested_function_in_loop_is_quiet(self):
+        # The inner def's body runs per *call*, not per loop iteration.
+        src = (
+            "def f(self):\n"
+            "    for item in items:\n"
+            "        def cb():\n"
+            "            return OBS.metrics.counter('x').value\n"
+            "        register(cb)\n"
+        )
+        assert hits("PERF001", src) == []
+
+    def test_non_metrics_owner_is_quiet(self):
+        src = (
+            "def f(self):\n"
+            "    for item in items:\n"
+            "        self.registry.counter('x').add()\n"
+        )
+        assert hits("PERF001", src) == []
+
+    def test_while_body_fires(self):
+        src = (
+            "def f(self):\n"
+            "    while True:\n"
+            "        OBS.metrics.counter('ticks').add()\n"
+        )
+        assert len(hits("PERF001", src)) == 1
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def f(self):\n"
+            "    for item in items:\n"
+            "        OBS.metrics.counter('x').add()  # repro: noqa[PERF001]\n"
+        )
+        assert hits("PERF001", src) == []
