@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""The long-running allocation service under live workload churn.
+
+Drives `repro.serve` on the deterministic simulator clock through a
+small story: two memory-bound applications register, a NUMA-bad third
+joins mid-run, one of the originals leaves again — and after every
+(debounced) membership change the service re-optimizes and pushes
+fresh per-node thread counts to every subscribed client.  Each client
+heartbeats while it lives, so nobody trips the staleness quarantine.
+At the end, the live service's allocation is checked against an
+offline exhaustive search over the same final workload: they must
+match exactly.
+
+Run:  python examples/service_churn.py
+"""
+
+from repro.analysis import render_table
+from repro.core import AppSpec, NumaPerformanceModel
+from repro.core.optimizer import ExhaustiveSearch
+from repro.machine import model_machine
+from repro.serve import AllocationService, ServiceClient, ServiceConfig
+from repro.sim.engine import Simulator
+
+HEARTBEAT = 0.05
+
+
+def main() -> None:
+    machine = model_machine()
+    sim = Simulator()
+    service = AllocationService(
+        ServiceConfig(machine=machine),
+        clock=lambda: sim.now,
+        call_later=lambda delay, fn: sim.schedule(delay, fn),
+    )
+
+    alpha = ServiceClient(service, "alpha")
+    beta = ServiceClient(service, "beta")
+    bad = ServiceClient(service, "bad")
+    live: set[str] = set()
+
+    def heartbeat(client: ServiceClient) -> None:
+        if client.name not in live:
+            return
+        client.report(sim.now, cpu_load=0.8, acked_epoch=client.last_epoch())
+        sim.schedule(HEARTBEAT, lambda: heartbeat(client))
+
+    def join(client: ServiceClient, app: AppSpec) -> None:
+        client.register(app)
+        live.add(client.name)
+        sim.schedule(HEARTBEAT, lambda: heartbeat(client))
+
+    def leave(client: ServiceClient) -> None:
+        client.deregister()
+        live.discard(client.name)
+
+    timeline: list[list[object]] = []
+
+    def snapshot(label: str) -> None:
+        alloc = service.current_allocation()
+        score = service.current_score()
+        timeline.append(
+            [
+                f"{sim.now:.2f}",
+                label,
+                service.reoptimizations,
+                *(
+                    str(alloc[name]) if name in alloc else "-"
+                    for name in ("alpha", "beta", "bad")
+                ),
+                f"{score:.1f}" if score is not None else "-",
+            ]
+        )
+
+    # t=0: two memory-bound apps join in one debounce window -> one search.
+    join(alpha, AppSpec.memory_bound("alpha", arithmetic_intensity=0.5))
+    join(beta, AppSpec.memory_bound("beta", arithmetic_intensity=0.7))
+
+    # t=0.10: a NUMA-bad app (all data homed on node 0) joins.
+    sim.schedule_at(
+        0.10,
+        lambda: join(bad, AppSpec.numa_bad("bad", 1.0, home_node=0)),
+    )
+    # t=0.20: beta finishes and leaves; its cores are redistributed.
+    sim.schedule_at(0.20, lambda: leave(beta))
+
+    for t, label in [
+        (0.05, "alpha+beta joined"),
+        (0.15, "bad joined"),
+        (0.25, "beta left"),
+    ]:
+        sim.schedule_at(t, lambda label=label: snapshot(label))
+    sim.run_until(0.30)
+
+    print(
+        render_table(
+            ["t [s]", "event", "reopts", "alpha", "beta", "bad", "GFLOPS"],
+            timeline,
+            title="Allocation service under churn (per-node threads):",
+        )
+    )
+
+    # Cross-check the live service against the offline oracle.
+    offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+        machine, list(service.registry.active_specs())
+    )
+    live_score = service.current_score()
+    assert live_score == offline.score, (live_score, offline.score)
+    print(
+        f"\nlive service score {live_score:.1f} GFLOPS == offline "
+        f"exhaustive search ({offline.evaluations} candidates evaluated)"
+    )
+    print(
+        f"'alpha' received {len(alpha.inbox)} pushed messages; final "
+        f"allocation {alpha.last_allocation().per_node} at epoch "
+        f"{alpha.last_epoch()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,10 +33,20 @@ Commands
     {error,warning}`` controls the exit-code gate.
 ``chaos <scenario>``
     Run a fault-injection recovery scenario (:mod:`repro.faults`):
-    ``crash-one``, ``flaky-reports``, or ``lossy-links``.  Prints a
+    ``crash-one``, ``flaky-reports``, ``lossy-links``, or
+    ``serve-crash`` (targets the live allocation service).  Prints a
     recovery report and exits non-zero when the scenario's recovery
     criteria are not met; ``--seed`` replays a different (still
     deterministic) fault sequence, ``--json`` emits the report as JSON.
+``serve``
+    Run the long-running allocation service (:mod:`repro.serve`).
+    ``--scenario <name>`` replays a seeded join/leave churn script on
+    the DES clock (``churn-basic``, ``churn-burst``, ``churn-stale``,
+    ``churn-cache``) and exits non-zero when the scenario's criteria —
+    including byte-identity of the final allocation with the offline
+    optimizer — are not met.  ``--socket PATH`` instead starts the
+    asyncio NDJSON daemon on a unix socket (``--machine`` picks the
+    topology preset) until interrupted.
 """
 
 from __future__ import annotations
@@ -139,6 +149,39 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit the recovery report as JSON",
     )
+    servep = sub.add_parser(
+        "serve", help="run the long-running allocation service"
+    )
+    from repro.serve import SERVE_SCENARIOS
+
+    servep.add_argument(
+        "--scenario",
+        choices=sorted(SERVE_SCENARIOS),
+        default=None,
+        help="replay a seeded churn scenario instead of daemonizing",
+    )
+    servep.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="churn-sequence seed (default 0); same seed, same replay",
+    )
+    servep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay report as JSON",
+    )
+    servep.add_argument(
+        "--socket",
+        default=None,
+        help="unix-socket path to serve the NDJSON protocol on",
+    )
+    servep.add_argument(
+        "--machine",
+        choices=sorted(_PRESETS),
+        default="model",
+        help="machine preset the daemon optimizes for (default: model)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -168,6 +211,45 @@ def main(argv: list[str] | None = None) -> int:
         report = run_scenario(args.scenario, seed=args.seed)
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
+    elif args.command == "serve":
+        return _run_serve(args)
+    return 0
+
+
+def _run_serve(args) -> int:
+    """Replay a churn scenario, or daemonize on a unix socket."""
+    if args.scenario is not None:
+        from repro.serve import run_replay
+
+        report = run_replay(args.scenario, seed=args.seed)
+        print(report.to_json() if args.json else report.format())
+        return 0 if report.passed else 1
+    if args.socket is None:
+        print(
+            "serve needs either --scenario <name> or --socket PATH",
+            file=sys.stderr,
+        )
+        return 2
+    import asyncio
+
+    from repro.serve import ServiceConfig, ServiceServer
+
+    async def _daemon() -> None:
+        server = ServiceServer(
+            ServiceConfig(machine=_PRESETS[args.machine]()),
+            args.socket,
+        )
+        await server.start()
+        print(f"serving NDJSON allocation protocol on {args.socket}")
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_daemon())
+    except KeyboardInterrupt:
+        print("drained")
     return 0
 
 

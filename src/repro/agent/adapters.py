@@ -66,6 +66,7 @@ class TbbEndpoint(RuntimeEndpoint):
         return self._arenas[node]
 
     def report(self, time: float) -> StatusReport:
+        """Sample per-arena activity, queue depth, and achieved load."""
         rt = self.runtime
         flops = rt.executor.metrics.integrator(f"flops/{rt.name}").total
         dt = time - self._last_time
@@ -93,6 +94,7 @@ class TbbEndpoint(RuntimeEndpoint):
         )
 
     def apply(self, command: ThreadCommand) -> None:
+        """Apply a command as per-node arena concurrency changes."""
         rt = self.runtime
         k = command.kind
         if k is CommandKind.SET_ALLOCATION:
@@ -134,6 +136,7 @@ class OmpEndpoint(RuntimeEndpoint):
         self.declined = 0
 
     def report(self, time: float) -> StatusReport:
+        """Sample the OpenMP team's activity and achieved load."""
         rt = self.runtime
         flops = rt.executor.metrics.integrator(f"flops/{rt.name}").total
         dt = time - self._last_time
@@ -170,6 +173,7 @@ class OmpEndpoint(RuntimeEndpoint):
         )
 
     def apply(self, command: ThreadCommand) -> None:
+        """Apply a command to the OpenMP runtime (option 1 only)."""
         rt = self.runtime
         k = command.kind
         if k is CommandKind.SET_TOTAL_THREADS:

@@ -289,7 +289,7 @@ class Agent:
 
     def _schedule_probe(self, name: str) -> None:
         """One between-rounds backoff probe for a failing endpoint."""
-        if name in self._probe_pending:
+        if name in self._probe_pending or self.health[name].quarantined:
             return
         streak = self.health[name].consecutive_failures
         delay = self.resilience.backoff_delay(max(streak, 1), self._rng)
@@ -457,6 +457,13 @@ class Agent:
             reports, failures = self._collect_reports(now)
             load = self.monitor.sample()
             newly_quarantined = self._update_health(failures, now)
+            for name in newly_quarantined:
+                # A cached (still-fresh) report may have survived the
+                # collect for an endpoint quarantined *this* round; drop
+                # it so the dead runtime is not counted toward quorum,
+                # fed to the strategy, or treated as a redistribution
+                # survivor receiving back its own freed cores.
+                reports.pop(name, None)
             degraded = not self._quorum_met(len(reports))
             if degraded:
                 if OBS.enabled:

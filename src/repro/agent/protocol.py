@@ -186,6 +186,7 @@ class OcrVxEndpoint(RuntimeEndpoint):
         self._last_time = 0.0
 
     def report(self, time: float) -> StatusReport:
+        """Build a :class:`StatusReport` from the runtime's state."""
         rt = self.runtime
         flops = rt.executor.metrics.integrator(f"flops/{rt.name}").total
         dt = time - self._last_time
@@ -214,6 +215,7 @@ class OcrVxEndpoint(RuntimeEndpoint):
         )
 
     def apply(self, command: ThreadCommand) -> None:
+        """Dispatch the command to the matching runtime operation."""
         rt = self.runtime
         k = command.kind
         if k is CommandKind.SET_TOTAL_THREADS:

@@ -84,6 +84,7 @@ class FairShareStrategy(AgentStrategy):
         machine: MachineTopology,
         reports: Mapping[str, StatusReport],
     ) -> dict[str, list[ThreadCommand]]:
+        """Give every responding runtime an equal per-node share."""
         if self._issued or not reports:
             return {}
         self._issued = True
@@ -144,6 +145,7 @@ class ProducerConsumerAlignment(AgentStrategy):
         machine: MachineTopology,
         reports: Mapping[str, StatusReport],
     ) -> dict[str, list[ThreadCommand]]:
+        """Steer threads to keep the producer's lead inside the band."""
         if self.producer not in reports or self.consumer not in reports:
             return {}
         if self._split is None:
@@ -213,6 +215,7 @@ class ModelGuidedStrategy(AgentStrategy):
         machine: MachineTopology,
         reports: Mapping[str, StatusReport],
     ) -> dict[str, list[ThreadCommand]]:
+        """Re-run the model search and command the winning allocation."""
         self._rounds += 1
         if self._last is not None and (
             self.replan_every is None
@@ -276,6 +279,7 @@ class LibraryShiftStrategy(AgentStrategy):
         machine: MachineTopology,
         reports: Mapping[str, StatusReport],
     ) -> dict[str, list[ThreadCommand]]:
+        """Shift cores toward the library runtime while it has work."""
         if self.library not in reports or self.main not in reports:
             return {}
         lib = reports[self.library]
@@ -396,6 +400,7 @@ class FeedbackHillClimb(AgentStrategy):
         machine: MachineTopology,
         reports: Mapping[str, StatusReport],
     ) -> dict[str, list[ThreadCommand]]:
+        """Propose one hill-climb move from measured throughput."""
         if any(name not in reports for name in self.app_names):
             return {}
         if self._split is None:

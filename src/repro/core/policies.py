@@ -66,6 +66,7 @@ class EvenSharePolicy(AllocationPolicy):
     def allocate(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> ThreadAllocation:
+        """Split every node's cores evenly across the apps."""
         if not apps:
             raise AllocationError("no apps to allocate")
         names = [a.name for a in apps]
@@ -92,6 +93,7 @@ class UnevenSharePolicy(AllocationPolicy):
     def allocate(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> ThreadAllocation:
+        """Replicate the configured per-app counts on every node."""
         names = [a.name for a in apps]
         missing = set(names) - set(self.threads_per_app)
         if missing:
@@ -125,6 +127,7 @@ class NodeExclusivePolicy(AllocationPolicy):
     def allocate(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> ThreadAllocation:
+        """Dedicate whole NUMA nodes to applications round-robin."""
         names = [a.name for a in apps]
         if len(apps) != machine.num_nodes:
             raise AllocationError(
@@ -166,6 +169,7 @@ class ProportionalDemandPolicy(AllocationPolicy):
     def allocate(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> ThreadAllocation:
+        """Size each app's per-node share by its weight."""
         if not apps:
             raise AllocationError("no apps to allocate")
         names = [a.name for a in apps]
@@ -214,6 +218,7 @@ class SingleAppFillPolicy(AllocationPolicy):
     def allocate(
         self, machine: MachineTopology, apps: Sequence[AppSpec]
     ) -> ThreadAllocation:
+        """Fill the machine with one app; one thread each for the rest."""
         names = [a.name for a in apps]
         if self.favoured not in names:
             raise AllocationError(f"unknown favoured app '{self.favoured}'")

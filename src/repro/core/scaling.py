@@ -86,6 +86,7 @@ class LinearScaling(ScalingCurve):
             raise ConfigurationError("per_thread must be positive")
 
     def throughput(self, threads: int) -> float:
+        """GFLOPS at ``threads``: perfectly linear."""
         if threads < 0:
             raise ModelError("threads must be non-negative")
         return self.per_thread * threads
@@ -108,6 +109,7 @@ class AmdahlScaling(ScalingCurve):
             raise ConfigurationError("serial_fraction must be in [0,1]")
 
     def throughput(self, threads: int) -> float:
+        """GFLOPS at ``threads`` under Amdahl's law."""
         if threads < 0:
             raise ModelError("threads must be non-negative")
         if threads == 0:
@@ -145,6 +147,7 @@ class RooflineNodeScaling(ScalingCurve):
         return self.node_bandwidth / demand
 
     def throughput(self, threads: int) -> float:
+        """GFLOPS at ``threads`` from the node-local roofline model."""
         if threads < 0:
             raise ModelError("threads must be non-negative")
         compute = self.per_thread_peak * threads

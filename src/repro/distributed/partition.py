@@ -126,10 +126,12 @@ class StaticExclusivePartition(Partition):
     main_fraction: float = 0.5
 
     def participating_ranks(self, num_ranks: int) -> list[int]:
+        """The ranks hosting the main component."""
         main_ranks = max(1, int(round(self.main_fraction * num_ranks)))
         return list(range(main_ranks))
 
     def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        """The main component's constant rate on one of its ranks."""
         if rank not in self.participating_ranks(num_ranks):
             raise DistributedError(
                 f"rank {rank} does not host the main component"
@@ -149,6 +151,7 @@ class StaticSplitPartition(Partition):
     stagger: bool = True
 
     def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        """Per-rank rate alternating with the colocated duty cycle."""
         on = self.colocated_duty_cycle * self.colocated_period
         off = self.colocated_period - on
         busy = self.perf.main_gflops(
@@ -189,6 +192,7 @@ class DynamicSharingPartition(Partition):
     stagger: bool = True
 
     def rank_profile(self, rank: int, num_ranks: int) -> PeriodicRate:
+        """Per-rank rate as cores shift with the co-runner's phases."""
         if not 0 <= self.reallocation_penalty < 1:
             raise DistributedError(
                 "reallocation_penalty must be in [0,1)"

@@ -29,6 +29,7 @@ __all__ = [
     "DistributedError",
     "CalibrationError",
     "LintError",
+    "ServiceError",
 ]
 
 
@@ -135,3 +136,13 @@ class LintError(ReproError):
     """The static-analysis subsystem was misused (bad rule id, unparseable
     file, malformed selection) — distinct from the violations it reports,
     which are data, not exceptions."""
+
+
+class ServiceError(AgentError):
+    """The long-running allocation service (:mod:`repro.serve`) rejected a
+    request: malformed wire message, duplicate or unknown session,
+    admission after drain began, or a protocol-state violation.
+
+    Subclasses :class:`AgentError` because the service is the daemonised
+    form of the coordination agent; callers guarding the agent<->runtime
+    path with ``except AgentError`` cover the service too."""

@@ -155,6 +155,7 @@ class InjectionProxy(RuntimeEndpoint):
         )
 
     def report(self, time: float) -> StatusReport:
+        """Report through the wrapped endpoint, faults injected."""
         self._check_liveness(time)
 
         # Scripted report faults first (they are the experiment).
@@ -205,6 +206,7 @@ class InjectionProxy(RuntimeEndpoint):
 
     # ------------------------------------------------------------------
     def apply(self, command: ThreadCommand) -> None:
+        """Apply through the wrapped endpoint, faults injected."""
         now = self.simulator.now
         self._check_liveness(now)
 

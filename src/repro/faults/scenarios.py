@@ -377,11 +377,130 @@ def _lossy_links(seed: int) -> RecoveryReport:
     )
 
 
+def _serve_crash(seed: int) -> RecoveryReport:
+    """Chaos against the live allocation service (:mod:`repro.serve`).
+
+    Three applications churn against a running service; one crashes
+    mid-run (scripted CRASH fault) and another has half its allocation
+    commands silently dropped on the wire (ambient chaos).  Pass: the
+    service's watchdog quarantines the crashed session, the dropped
+    commands are recovered by the at-least-once re-push loop (the
+    flaky runtime's last *applied* allocation equals the service's
+    current answer), and the final allocation for the surviving
+    workload is byte-identical to the offline optimizer's.
+
+    The utilisation columns of the report are repurposed: baseline is
+    the offline optimizer's score, final is the live service's score,
+    so ``recovery_ratio == 1.0`` means byte-identical recovery.
+    """
+    from repro.core.model import NumaPerformanceModel
+    from repro.core.optimizer import ExhaustiveSearch
+    from repro.core.spec import AppSpec
+    from repro.machine import model_machine
+    from repro.serve.scenarios import ChurnEvent, ReplayDriver
+    from repro.serve.service import ServiceConfig
+
+    driver = ReplayDriver(
+        ServiceConfig(
+            machine=model_machine(),
+            debounce=0.01,
+            report_interval=0.02,
+        )
+    )
+    plan = FaultPlan(
+        [FaultSpec(FaultKind.CRASH, target="victim", at=0.25)]
+    )
+    chaos = ChaosConfig(command_drop=0.5, seed=seed)
+    proxies: dict[str, InjectionProxy] = {}
+
+    def wrap(endpoint):
+        if endpoint.name == "victim":
+            proxy = InjectionProxy(endpoint, driver.sim, plan=plan)
+        elif endpoint.name == "flaky":
+            proxy = InjectionProxy(endpoint, driver.sim, chaos=chaos)
+        else:
+            return endpoint
+        proxies[endpoint.name] = proxy
+        return proxy
+
+    driver.wrap = wrap
+    events = [
+        ChurnEvent(0.00, "join", "steady", AppSpec.memory_bound("steady")),
+        ChurnEvent(0.05, "join", "flaky", AppSpec.compute_bound("flaky")),
+        ChurnEvent(
+            0.10,
+            "join",
+            "victim",
+            AppSpec.memory_bound("victim", arithmetic_intensity=0.8),
+        ),
+    ]
+    driver.run(events, duration=0.8)
+
+    service = driver.service
+    quarantined = tuple(
+        s.name for s in service.registry.live_sessions() if not s.active
+    )
+    injected = sum(len(p.injected) for p in proxies.values())
+    drops = sum(
+        1
+        for p in proxies.values()
+        for f in p.injected
+        if f.kind is FaultKind.DROP_COMMAND
+    )
+    survivors = service.registry.active_specs()
+    offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+        model_machine(), survivors
+    )
+    final_score = service.current_score()
+    flaky_applied = driver.sessions["flaky"].runtime.current_per_node
+    converged = flaky_applied == service.current_allocation().get("flaky")
+    matches = final_score == offline.score and all(
+        tuple(int(x) for x in offline.allocation.threads_of(s.name))
+        == service.current_allocation().get(s.name)
+        for s in survivors
+    )
+    passed = (
+        quarantined == ("victim",)
+        and drops > 0
+        and service.retransmits > 0
+        and converged
+        and matches
+    )
+    ratio = (
+        final_score / offline.score
+        if final_score is not None and offline.score
+        else 0.0
+    )
+    return RecoveryReport(
+        scenario="serve-crash",
+        seed=seed,
+        passed=passed,
+        rounds=service.reoptimizations,
+        faults_injected=injected,
+        retries=service.retransmits,
+        quarantined=quarantined,
+        quarantine_rounds=None,
+        baseline_utilization=offline.score,
+        final_utilization=final_score or 0.0,
+        recovery_ratio=ratio,
+        degraded_rounds=service.degraded_reoptimizations,
+        notes=(
+            f"{drops} allocation command(s) dropped on the wire, "
+            f"{service.retransmits} retransmit(s) by the re-push loop",
+            "scores shown in the utilisation columns: offline optimizer "
+            "(baseline) vs live service (final)",
+            "criteria: crashed session quarantined, dropped commands "
+            "recovered, final allocation byte-identical to offline",
+        ),
+    )
+
+
 #: Scenario name -> builder; each returns a :class:`RecoveryReport`.
 SCENARIOS: dict[str, Callable[[int], RecoveryReport]] = {
     "crash-one": _crash_one,
     "flaky-reports": _flaky_reports,
     "lossy-links": _lossy_links,
+    "serve-crash": _serve_crash,
 }
 
 

@@ -7,6 +7,7 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.floats` — FLT001
 * :mod:`repro.lint.rules.units` — UNIT001
 * :mod:`repro.lint.rules.api` — API001
+* :mod:`repro.lint.rules.docs` — DOC001
 * :mod:`repro.lint.rules.retry` — RETRY001
 * :mod:`repro.lint.rules.perf` — PERF001
 
@@ -17,6 +18,7 @@ and examples, and :mod:`repro.lint.engine` for how to add a rule.
 from __future__ import annotations
 
 from repro.lint.rules.api import ApiDocDrift
+from repro.lint.rules.docs import UndocumentedPublicName
 from repro.lint.rules.concurrency import (
     BareLockAcquire,
     SpanWithoutWith,
@@ -45,5 +47,6 @@ __all__ = [
     "CrossUnitArithmetic",
     "UnboundedRetryLoop",
     "ApiDocDrift",
+    "UndocumentedPublicName",
     "MetricLookupInLoop",
 ]

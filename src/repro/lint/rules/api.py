@@ -91,6 +91,7 @@ class ApiDocDrift(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         if ctx.project_root is None:
             return
         api_md = ctx.project_root / "docs" / "API.md"

@@ -106,6 +106,7 @@ class BareLockAcquire(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)
@@ -182,6 +183,7 @@ class SpanWithoutWith(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)
@@ -215,6 +217,7 @@ class StartWithoutFinish(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)

@@ -1,0 +1,95 @@
+"""Documentation hygiene: the public surface must explain itself.
+
+A name exported through ``__all__`` is a promise — it appears in the
+generated ``docs/API.md``, in ``help()``, and in every ``from x import
+*``.  An exported function or class without a docstring breaks that
+promise: the API reference renders an empty entry and callers are left
+reverse-engineering intent from the implementation.  DOC001 enforces
+the contract at the definition site.
+
+Only *definitions in the same file* are checked: a package
+``__init__`` that re-exports names defined elsewhere has no local
+``def``/``class`` for them, so pure re-export modules are naturally
+exempt (the defining module is where the docstring belongs, and is
+where it is checked).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+from repro.lint.rules.api import _all_literal
+
+__all__ = ["UndocumentedPublicName"]
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@register
+class UndocumentedPublicName(Rule):
+    """A name in ``__all__`` is defined here without a docstring."""
+
+    rule_id = "DOC001"
+    severity = Severity.ERROR
+    summary = (
+        "public function/class exported via __all__ lacks a docstring"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
+        found = _all_literal(ctx.tree)
+        if found is None:
+            return
+        exported = set(found[0])
+        if not exported:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _DEF_NODES):
+                continue
+            if node.name not in exported:
+                continue
+            # Only top-level (module-scope) definitions are the export;
+            # a nested def that happens to share the name is not it.
+            if not isinstance(getattr(node, "parent", None), ast.Module):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = (
+                    "class"
+                    if isinstance(node, ast.ClassDef)
+                    else "function"
+                )
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    f"public {kind} '{node.name}' is exported via "
+                    f"__all__ but has no docstring",
+                )
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_methods(ctx, node)
+
+    def _check_methods(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        """Public methods of an exported class need docstrings too."""
+        for node in cls.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue  # dunder/private methods document themselves
+            if ast.get_docstring(node) is None:
+                yield self.violation(
+                    ctx,
+                    node.lineno,
+                    f"public method '{cls.name}.{node.name}' of an "
+                    f"exported class has no docstring",
+                )

@@ -55,6 +55,7 @@ class FloatEquality(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not isinstance(node, ast.Compare):
                 continue

@@ -65,6 +65,7 @@ class MetricLookupInLoop(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue

@@ -43,6 +43,7 @@ class MutableDefaultArgument(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
@@ -83,6 +84,7 @@ class BareExcept(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if isinstance(node, ast.ExceptHandler) and node.type is None:
                 yield self.violation(
@@ -104,6 +106,7 @@ class SwallowedException(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -136,6 +139,7 @@ class WallClockDuration(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         from_time_import = any(
             isinstance(node, ast.ImportFrom)
             and node.module == "time"

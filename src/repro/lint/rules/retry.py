@@ -59,6 +59,7 @@ class UnboundedRetryLoop(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if not isinstance(node, ast.While):
                 continue

@@ -105,6 +105,7 @@ class CrossUnitArithmetic(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
         for node in ctx.walk():
             if isinstance(node, ast.BinOp) and isinstance(
                 node.op, (ast.Add, ast.Sub)

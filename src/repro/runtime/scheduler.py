@@ -69,10 +69,12 @@ class FifoScheduler(TaskScheduler):
         self._queue: deque[Task] = deque()
 
     def push(self, task: Task) -> None:
+        """Enqueue a ready task at the tail of the global queue."""
         self._check_ready(task)
         self._queue.append(task)
 
     def pop(self, worker: "Worker") -> Task | None:
+        """Dequeue the oldest task runnable by ``worker``."""
         for _ in range(len(self._queue)):
             task = self._queue.popleft()
             if task.tied_to is not None and task.tied_to != worker.name:
@@ -106,6 +108,7 @@ class LocalityScheduler(TaskScheduler):
         self.allow_steal = allow_steal
 
     def push(self, task: Task) -> None:
+        """Enqueue a ready task on its affinity node's queue."""
         self._check_ready(task)
         node = task.affinity_node
         if node is None:
@@ -118,6 +121,7 @@ class LocalityScheduler(TaskScheduler):
             )
 
     def pop(self, worker: "Worker") -> Task | None:
+        """Dequeue from the worker's node, then steal cross-node."""
         sources: list[deque[Task]] = []
         if worker.node is not None:
             sources.append(self._queues[worker.node])
@@ -163,6 +167,7 @@ class WorkStealingScheduler(TaskScheduler):
         self._deques.setdefault(name, deque())
 
     def push(self, task: Task) -> None:
+        """Push a ready task onto the owning worker's deque."""
         self._check_ready(task)
         # Tasks pushed from a worker's control path go to its own deque;
         # external pushes (main thread, agent) go to the shared queue.
@@ -173,6 +178,7 @@ class WorkStealingScheduler(TaskScheduler):
             self._shared.append(task)
 
     def pop(self, worker: "Worker") -> Task | None:
+        """Pop LIFO locally; steal FIFO from a random victim."""
         self._deques.setdefault(worker.name, deque())
         own = self._deques[worker.name]
         # Local LIFO for cache warmth.

@@ -1,0 +1,83 @@
+"""Long-running allocation service: the Figure 1 agent as a daemon.
+
+Where :mod:`repro.agent` runs a fixed number of coordination rounds
+over a static application set, :mod:`repro.serve` keeps the loop alive
+under *churn*: applications register, stream progress reports, and
+deregister while the service continuously re-optimizes per-NUMA-node
+thread counts for whoever is currently admitted — debouncing join/leave
+bursts, reusing the :class:`~repro.core.fasteval.ScoreCache` across
+membership changes, quarantining silent sessions under the PR-3
+:class:`~repro.agent.resilience.ResiliencePolicy`, and streaming
+allocation updates back with at-least-once delivery.
+
+Layering (each layer usable on its own):
+
+* :mod:`repro.serve.protocol` — the newline-delimited-JSON wire
+  messages and their strict codec;
+* :mod:`repro.serve.registry` — session lifecycle and the live
+  workload;
+* :mod:`repro.serve.service` — the transport- and clock-agnostic core;
+* :mod:`repro.serve.client` — in-process loopback client (tests,
+  examples, the tutorial);
+* :mod:`repro.serve.server` — the asyncio unix-socket daemon with
+  per-connection backpressure and graceful drain;
+* :mod:`repro.serve.scenarios` — seeded churn replays on the DES clock
+  (``python -m repro serve --scenario churn-basic``).
+
+Protocol, lifecycle, and failure semantics are documented in
+``docs/SERVICE.md``; the guided walk-through is ``docs/TUTORIAL.md``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServiceClient
+from repro.serve.protocol import (
+    Ack,
+    AllocationUpdate,
+    Deregister,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    ShutdownNotice,
+    decode_message,
+    encode_message,
+)
+from repro.serve.registry import Session, SessionState, WorkloadRegistry
+from repro.serve.scenarios import (
+    ChurnEvent,
+    ChurnReport,
+    ReplayDriver,
+    ReplayEndpoint,
+    SERVE_SCENARIOS,
+    run_replay,
+)
+from repro.serve.server import AsyncServiceClient, ServiceServer
+from repro.serve.service import AllocationService, ServiceConfig
+
+__all__ = [
+    "Register",
+    "Deregister",
+    "ProgressReport",
+    "QueryAllocation",
+    "Ack",
+    "AllocationUpdate",
+    "ErrorReply",
+    "ShutdownNotice",
+    "encode_message",
+    "decode_message",
+    "Session",
+    "SessionState",
+    "WorkloadRegistry",
+    "ServiceConfig",
+    "AllocationService",
+    "ServiceClient",
+    "ServiceServer",
+    "AsyncServiceClient",
+    "ChurnEvent",
+    "ChurnReport",
+    "ReplayEndpoint",
+    "ReplayDriver",
+    "SERVE_SCENARIOS",
+    "run_replay",
+]

@@ -1,0 +1,145 @@
+"""In-process client for :class:`~repro.serve.service.AllocationService`.
+
+:class:`ServiceClient` is the loopback transport: it talks to a service
+instance living in the same process, but every message still round-trips
+through :func:`~repro.serve.protocol.encode_message` /
+:func:`~repro.serve.protocol.decode_message`, so tests and examples that
+use it exercise the *exact* wire representation the socket server does —
+a doc example that works against the client works against the daemon.
+
+Pushed messages (unsolicited :class:`~repro.serve.protocol
+.AllocationUpdate`\\ s and the final :class:`~repro.serve.protocol
+.ShutdownNotice`) land in the client's :attr:`inbox` in arrival order;
+:meth:`drain` empties it.  See ``docs/TUTORIAL.md`` for a worked
+session.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import AppSpec
+from repro.errors import ServiceError
+from repro.serve.protocol import (
+    Ack,
+    AllocationUpdate,
+    Deregister,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    decode_message,
+    encode_message,
+)
+from repro.serve.service import AllocationService
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One application's in-process connection to the service.
+
+    Parameters
+    ----------
+    service:
+        The service instance to attach to.
+    name:
+        The application (session) name this client speaks for.
+    raise_errors:
+        When True (default) an :class:`~repro.serve.protocol.ErrorReply`
+        is raised as :class:`~repro.errors.ServiceError`; when False it
+        is returned like any other reply, which is handy for protocol
+        tests.
+    """
+
+    def __init__(
+        self,
+        service: AllocationService,
+        name: str,
+        *,
+        raise_errors: bool = True,
+    ) -> None:
+        self.service = service
+        self.name = name
+        self.raise_errors = raise_errors
+        #: pushed messages, oldest first.
+        self.inbox: list = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _roundtrip(self, message):
+        """Send one request over the loopback wire, return the reply.
+
+        Both the request and the reply pass through the NDJSON codec,
+        so a message the codec would reject on a socket is rejected
+        here too.
+        """
+        reply = self.service.handle(decode_message(encode_message(message)))
+        reply = decode_message(encode_message(reply))
+        if self.raise_errors and isinstance(reply, ErrorReply):
+            raise ServiceError(reply.error)
+        return reply
+
+    def _deliver(self, message) -> None:
+        self.inbox.append(decode_message(encode_message(message)))
+
+    # -- the four requests ----------------------------------------------
+
+    def register(self, app: AppSpec) -> Ack:
+        """Join the live workload and subscribe to pushed updates."""
+        if app.name != self.name:
+            raise ServiceError(
+                f"client '{self.name}' cannot register app '{app.name}'"
+            )
+        reply = self._roundtrip(Register(name=app.name, app=app))
+        if isinstance(reply, Ack):
+            self.service.subscribe(self.name, self._deliver)
+        return reply
+
+    def deregister(self) -> Ack:
+        """Leave the live workload (also detaches the push stream)."""
+        return self._roundtrip(Deregister(name=self.name))
+
+    def report(
+        self,
+        time: float,
+        progress: dict[str, float] | None = None,
+        cpu_load: float = 0.0,
+        acked_epoch: int | None = None,
+    ) -> Ack:
+        """Send one progress heartbeat.
+
+        Pass ``acked_epoch`` (normally :meth:`last_epoch`) so the
+        service's at-least-once loop knows which allocation this
+        runtime actually applied.
+        """
+        return self._roundtrip(
+            ProgressReport(
+                name=self.name,
+                time=time,
+                progress=progress or {},
+                cpu_load=cpu_load,
+                acked_epoch=acked_epoch,
+            )
+        )
+
+    def query_allocation(self) -> AllocationUpdate:
+        """Pull the session's current per-node thread counts."""
+        return self._roundtrip(QueryAllocation(name=self.name))
+
+    # -- inbox helpers --------------------------------------------------
+
+    def drain(self) -> list:
+        """Remove and return all pushed messages received so far."""
+        messages, self.inbox = self.inbox, []
+        return messages
+
+    def last_allocation(self) -> AllocationUpdate | None:
+        """The newest pushed allocation still in the inbox, or None."""
+        for message in reversed(self.inbox):
+            if isinstance(message, AllocationUpdate):
+                return message
+        return None
+
+    def last_epoch(self) -> int | None:
+        """Epoch of the newest pushed allocation in the inbox, or None."""
+        update = self.last_allocation()
+        return None if update is None else update.epoch

@@ -1,0 +1,320 @@
+"""Asyncio unix-socket transport for the allocation service.
+
+:class:`ServiceServer` binds one :class:`~repro.serve.service
+.AllocationService` to a ``AF_UNIX`` stream socket speaking the
+newline-delimited-JSON protocol of :mod:`repro.serve.protocol`: one
+request per line in, one reply line out, plus unsolicited pushed lines
+(allocation updates, the final shutdown notice) interleaved on the same
+stream.
+
+Transport properties:
+
+* **Clock** — the service runs on ``loop.time()`` (the event loop's
+  monotonic clock) and debounce timers are ``loop.call_later``; no
+  wall-clock arithmetic (TIME001).
+* **Backpressure** — pushed messages are written through a bounded
+  per-connection outbox :class:`asyncio.Queue` drained by one writer
+  task that awaits ``writer.drain()``, so one slow consumer stalls only
+  its own stream, never the service core or other sessions.  When a
+  session's outbox overflows (it stopped reading entirely) the
+  connection is dropped; the at-least-once re-push loop recovers it on
+  reconnect.
+* **Graceful drain** — :meth:`stop` closes admission via
+  :meth:`~repro.serve.service.AllocationService.drain`, flushes every
+  outbox (each connection's queue receives the
+  :class:`~repro.serve.protocol.ShutdownNotice` and then a sentinel),
+  waits for the writer tasks, and only then closes the socket.
+
+:class:`AsyncServiceClient` is the matching test/tooling client: it
+separates direct replies (tagged ``in_reply_to``) from pushed messages
+arriving on the same stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.core.spec import AppSpec
+from repro.errors import ServiceError
+from repro.serve.protocol import (
+    Ack,
+    AllocationUpdate,
+    Deregister,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    decode_message,
+    encode_message,
+)
+from repro.serve.service import AllocationService, ServiceConfig
+
+__all__ = [
+    "ServiceServer",
+    "AsyncServiceClient",
+]
+
+#: Sentinel closing a connection's outbox queue.
+_CLOSE = object()
+
+
+class _Connection:
+    """Server-side state of one connected runtime."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        outbox_limit: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbox_limit)
+        self.session_name: str | None = None
+        self.writer_task: asyncio.Task | None = None
+
+    def push(self, message) -> None:
+        """Enqueue a pushed message; overflow drops the connection.
+
+        Called synchronously from the service core.  A full outbox
+        means the peer stopped reading its stream; rather than block
+        the core (or buffer without bound) the connection is abandoned
+        — the runtime re-learns the allocation on reconnect through
+        the at-least-once re-push path.
+        """
+        try:
+            self.outbox.put_nowait(message)
+        except asyncio.QueueFull:
+            with contextlib.suppress(asyncio.QueueFull):
+                # Drop the connection from the writer side: clear one
+                # slot so the sentinel fits, then close.
+                self.outbox.get_nowait()
+                self.outbox.put_nowait(_CLOSE)
+
+    async def drain_outbox(self) -> None:
+        """Writer task body: serialize the outbox onto the socket."""
+        while True:
+            message = await self.outbox.get()
+            if message is _CLOSE:
+                break
+            self.writer.write(
+                (encode_message(message) + "\n").encode("utf-8")
+            )
+            try:
+                await self.writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                break
+
+    def close_outbox(self) -> None:
+        """Ask the writer task to finish after the queued messages."""
+        with contextlib.suppress(asyncio.QueueFull):
+            self.outbox.put_nowait(_CLOSE)
+
+
+class ServiceServer:
+    """NDJSON unix-socket front end of one allocation service.
+
+    Parameters
+    ----------
+    config:
+        Service configuration (machine, debounce, resilience).
+    path:
+        Filesystem path of the unix socket to bind.
+    outbox_limit:
+        Pushed messages buffered per connection before it is judged
+        dead and dropped (backpressure bound).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        path: str,
+        *,
+        outbox_limit: int = 64,
+    ) -> None:
+        self.config = config
+        self.path = path
+        self.outbox_limit = outbox_limit
+        self.service: AllocationService | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+
+    async def start(self) -> AllocationService:
+        """Bind the socket and start serving; returns the live core."""
+        if self._server is not None:
+            raise ServiceError(f"server already started on {self.path}")
+        loop = asyncio.get_running_loop()
+        self.service = AllocationService(
+            self.config,
+            clock=loop.time,
+            call_later=loop.call_later,
+        )
+        self._server = await asyncio.start_unix_server(
+            self._serve_connection, path=self.path
+        )
+        return self.service
+
+    async def stop(self, reason: str = "draining") -> None:
+        """Graceful drain: notify sessions, flush streams, unbind."""
+        if self._server is None:
+            return
+        assert self.service is not None
+        self.service.drain(reason)
+        self._server.close()
+        await self._server.wait_closed()
+        writers = []
+        for conn in list(self._connections):
+            conn.close_outbox()
+            if conn.writer_task is not None:
+                writers.append(conn.writer_task)
+        if writers:
+            await asyncio.gather(*writers, return_exceptions=True)
+        for conn in list(self._connections):
+            conn.writer.close()
+            with contextlib.suppress(ConnectionError):
+                await conn.writer.wait_closed()
+        self._connections.clear()
+        self._server = None
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        conn = _Connection(reader, writer, self.outbox_limit)
+        self._connections.add(conn)
+        conn.writer_task = asyncio.ensure_future(conn.drain_outbox())
+        service = self.service
+        assert service is not None
+        try:
+            # Not a retry loop: one iteration per request line, bounded
+            # by the peer closing its stream (EOF breaks out).
+            while True:  # repro: noqa[RETRY001]
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line.decode("utf-8"))
+                except ServiceError as exc:
+                    conn.push(ErrorReply(error=str(exc)))
+                    continue
+                if isinstance(message, Register):
+                    reply = service.handle(message)
+                    if isinstance(reply, Ack):
+                        conn.session_name = message.name
+                        service.subscribe(message.name, conn.push)
+                else:
+                    reply = service.handle(message)
+                conn.push(reply)
+                if (
+                    isinstance(message, Deregister)
+                    and isinstance(reply, Ack)
+                    and conn.session_name == message.name
+                ):
+                    conn.session_name = None
+        finally:
+            if conn.session_name is not None:
+                service.unsubscribe(conn.session_name)
+            conn.close_outbox()
+            if conn.writer_task is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await conn.writer_task
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+            self._connections.discard(conn)
+
+
+class AsyncServiceClient:
+    """Socket client separating replies from pushed stream messages.
+
+    Every request awaits the next ``in_reply_to``-tagged line; pushed
+    lines (``in_reply_to`` absent or ``None``) encountered while
+    waiting are buffered in :attr:`pushed`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        #: pushed messages in arrival order.
+        self.pushed: list = []
+
+    async def connect(self, path: str) -> None:
+        """Open the unix-socket stream."""
+        self.reader, self.writer = await asyncio.open_unix_connection(
+            path
+        )
+
+    async def close(self) -> None:
+        """Close the stream (idempotent)."""
+        if self.writer is not None:
+            self.writer.close()
+            with contextlib.suppress(ConnectionError):
+                await self.writer.wait_closed()
+            self.writer = None
+            self.reader = None
+
+    async def _request(self, message):
+        if self.reader is None or self.writer is None:
+            raise ServiceError("client is not connected")
+        self.writer.write(
+            (encode_message(message) + "\n").encode("utf-8")
+        )
+        await self.writer.drain()
+        while True:
+            line = await self.reader.readline()
+            if not line:
+                raise ServiceError(
+                    "connection closed while awaiting a reply"
+                )
+            reply = decode_message(line.decode("utf-8"))
+            if getattr(reply, "in_reply_to", None) is not None:
+                if isinstance(reply, ErrorReply):
+                    raise ServiceError(reply.error)
+                return reply
+            self.pushed.append(reply)
+
+    async def register(self, app: AppSpec) -> Ack:
+        """Join the live workload."""
+        return await self._request(Register(name=app.name, app=app))
+
+    async def deregister(self) -> Ack:
+        """Leave the live workload."""
+        return await self._request(Deregister(name=self.name))
+
+    async def report(
+        self,
+        time: float,
+        progress: dict[str, float] | None = None,
+        cpu_load: float = 0.0,
+        acked_epoch: int | None = None,
+    ) -> Ack:
+        """Send one progress heartbeat."""
+        return await self._request(
+            ProgressReport(
+                name=self.name,
+                time=time,
+                progress=progress or {},
+                cpu_load=cpu_load,
+                acked_epoch=acked_epoch,
+            )
+        )
+
+    async def query_allocation(self) -> AllocationUpdate:
+        """Pull the current per-node thread counts."""
+        return await self._request(QueryAllocation(name=self.name))
+
+    async def next_pushed(self, timeout: float = 1.0):
+        """The next pushed message (buffered or newly read)."""
+        if self.pushed:
+            return self.pushed.pop(0)
+        if self.reader is None:
+            raise ServiceError("client is not connected")
+        line = await asyncio.wait_for(
+            self.reader.readline(), timeout=timeout
+        )
+        if not line:
+            raise ServiceError("connection closed")
+        return decode_message(line.decode("utf-8"))

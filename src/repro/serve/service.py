@@ -1,0 +1,592 @@
+"""The allocation service core: admission, churn, re-optimization.
+
+:class:`AllocationService` is the paper's Figure 1 agent turned into a
+long-running daemon.  Where :class:`~repro.agent.agent.Agent` runs a
+fixed number of offline rounds over a static application set, the
+service accepts *churn*: applications register, stream progress
+reports, and deregister at any time, and the service keeps re-issuing
+per-NUMA-node thread counts for whoever is currently admitted.
+
+The core is transport-agnostic and clock-agnostic: it consumes decoded
+:mod:`repro.serve.protocol` messages via :meth:`handle` and emits
+pushed messages through subscriber callbacks, while *when* things
+happen is delegated to an injected ``clock()`` / ``call_later()`` pair.
+:mod:`repro.serve.server` binds it to an asyncio unix socket (loop
+time), :mod:`repro.serve.scenarios` binds it to the DES
+:class:`~repro.sim.engine.Simulator` (simulation time), and
+:class:`~repro.serve.client.ServiceClient` drives it in-process — all
+three run the *same* policy code.
+
+Policy highlights (full semantics in ``docs/SERVICE.md``):
+
+* **Debounced re-optimization** — every membership change arms one
+  ``debounce``-second timer instead of searching immediately, so a
+  burst of joins/leaves costs one search, not one per event.
+* **Score-cache reuse** — the service owns a single
+  :class:`~repro.core.model.NumaPerformanceModel` whose
+  :class:`~repro.core.fasteval.ScoreCache` persists across churn;
+  when a departed workload composition returns, its candidate scores
+  are cache hits (property-tested in ``tests/test_core_fasteval.py``).
+* **Staleness quarantine + quorum degradation** — sessions whose last
+  report is older than the :class:`~repro.agent.resilience
+  .ResiliencePolicy` freshness window are quarantined out of the
+  optimized workload; when fewer than ``quorum`` of live sessions are
+  active the service degrades to a static equal share instead of
+  trusting the model with a mostly-unobserved workload.
+* **At-least-once delivery** — each progress report carries the epoch
+  the runtime last applied; the service re-pushes the current
+  allocation while that trails, which is what lets the chaos path
+  (``python -m repro chaos serve-crash``) converge under dropped
+  commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.agent.protocol import CommandKind, ThreadCommand
+from repro.agent.resilience import ResiliencePolicy
+from repro.core.allocation import ThreadAllocation
+from repro.core.model import NumaPerformanceModel
+from repro.core.optimizer import ExhaustiveSearch
+from repro.core.spec import AppSpec
+from repro.errors import ServiceError
+from repro.machine.topology import MachineTopology
+from repro.obs import OBS, CounterHandle, GaugeHandle, HistogramHandle
+from repro.serve.protocol import (
+    Ack,
+    AllocationUpdate,
+    Deregister,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    ShutdownNotice,
+)
+from repro.serve.registry import Session, SessionState, WorkloadRegistry
+
+__all__ = [
+    "ServiceConfig",
+    "AllocationService",
+]
+
+# Hot-path metric handles (PERF001: resolved once, not per event).
+_SESSIONS = GaugeHandle("serve/sessions")
+_CHURN_EVENTS = CounterHandle("serve/churn_events")
+_REOPTIMIZATIONS = CounterHandle("serve/reoptimizations")
+_DEGRADED = CounterHandle("serve/degraded_reoptimizations")
+_COMMANDS = CounterHandle("serve/commands")
+_RETRANSMITS = CounterHandle("serve/retransmits")
+_QUARANTINED = CounterHandle("serve/quarantined")
+_COMMAND_LATENCY = HistogramHandle("serve/command_latency")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable knobs of one :class:`AllocationService`.
+
+    Attributes
+    ----------
+    machine:
+        Topology the workload is optimized against.
+    debounce:
+        Seconds a membership change waits before triggering a
+        re-optimization, coalescing join/leave bursts.  Must be
+        positive: zero would re-introduce one search per event.
+    report_interval:
+        Expected seconds between a runtime's progress reports; the
+        staleness window is ``resilience.freshness_window`` times this
+        (mirroring the agent's per-period windows).
+    resilience:
+        The PR-3 policy reused for freshness and quorum semantics.
+    max_sessions:
+        Admission cap (``None`` = unbounded).
+    """
+
+    machine: MachineTopology
+    debounce: float = 0.02
+    report_interval: float = 0.1
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    max_sessions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.debounce <= 0:
+            raise ServiceError(
+                f"debounce must be positive, got {self.debounce}"
+            )
+        if self.report_interval <= 0:
+            raise ServiceError(
+                f"report_interval must be positive, "
+                f"got {self.report_interval}"
+            )
+
+    @property
+    def staleness_window(self) -> float:
+        """Seconds without a report before a session is quarantined."""
+        return self.resilience.freshness_window * self.report_interval
+
+
+class AllocationService:
+    """Transport-agnostic core of the ``repro.serve`` daemon.
+
+    Parameters
+    ----------
+    config:
+        Machine, timing, and resilience knobs.
+    clock:
+        Zero-argument callable returning the current time on whatever
+        clock drives this instance (loop time, simulation time, ...).
+        Never wall-clock arithmetic inside the service itself.
+    call_later:
+        ``(delay, fn)`` scheduler on the same clock; used for the
+        debounce timer.  Returning a handle is not required — the
+        service guards re-entry itself.
+    model / search:
+        Injectable for tests; by default the service owns one
+        :class:`~repro.core.model.NumaPerformanceModel` (so the score
+        cache survives churn) driving an
+        :class:`~repro.core.optimizer.ExhaustiveSearch`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        clock: Callable[[], float],
+        call_later: Callable[[float, Callable[[], None]], object],
+        model: NumaPerformanceModel | None = None,
+        search: ExhaustiveSearch | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.call_later = call_later
+        self.model = model or NumaPerformanceModel()
+        self.search = search or ExhaustiveSearch(self.model)
+        if self.search.model is not self.model:
+            raise ServiceError(
+                "search must evaluate through the service's model "
+                "(otherwise the ScoreCache cannot persist across churn)"
+            )
+        self.registry = WorkloadRegistry(max_sessions=config.max_sessions)
+        #: name -> callback receiving this session's pushed messages.
+        self._subscribers: dict[str, Callable[[object], None]] = {}
+        #: per-session thread counts of the current allocation.
+        self._allocation: dict[str, tuple[int, ...]] = {}
+        #: scalar-model score of the current allocation (ground truth).
+        self._score: float | None = None
+        #: whether the current allocation came from the degraded path.
+        self._degraded = False
+        #: epoch the current allocation was computed for.
+        self._allocation_epoch: int | None = None
+        self._reopt_pending = False
+        #: clock times of membership changes awaiting the pending
+        #: re-optimization — drained into the latency histogram.
+        self._pending_event_times: list[float] = []
+        self._draining = False
+        self._watchdog_interval: float | None = None
+        self.reoptimizations = 0
+        self.degraded_reoptimizations = 0
+        self.retransmits = 0
+        self.quarantines = 0
+
+    # -- message entry point --------------------------------------------
+
+    def handle(self, message):
+        """Process one decoded request; returns the direct reply.
+
+        The reply is an :class:`~repro.serve.protocol.Ack`,
+        :class:`~repro.serve.protocol.AllocationUpdate`, or — for any
+        rejected request — an :class:`~repro.serve.protocol.ErrorReply`
+        (the core never lets a bad request raise through a transport).
+        """
+        try:
+            if isinstance(message, Register):
+                return self._register(message)
+            if isinstance(message, Deregister):
+                return self._deregister(message)
+            if isinstance(message, ProgressReport):
+                return self._progress(message)
+            if isinstance(message, QueryAllocation):
+                return self._query(message)
+        except ServiceError as exc:
+            return ErrorReply(
+                error=str(exc),
+                in_reply_to=getattr(message, "TYPE", None),
+            )
+        return ErrorReply(
+            error=f"unsupported message {type(message).__name__}",
+            in_reply_to=getattr(message, "TYPE", None),
+        )
+
+    def subscribe(
+        self, name: str, push: Callable[[object], None]
+    ) -> None:
+        """Attach ``push`` as the stream back to session ``name``.
+
+        Pushed messages are :class:`~repro.serve.protocol
+        .AllocationUpdate` (``in_reply_to=None``) and one final
+        :class:`~repro.serve.protocol.ShutdownNotice` on drain.
+        """
+        if name not in self.registry:
+            raise ServiceError(
+                f"cannot subscribe unknown session '{name}'"
+            )
+        self._subscribers[name] = push
+
+    def unsubscribe(self, name: str) -> None:
+        """Detach the stream of session ``name`` (idempotent)."""
+        self._subscribers.pop(name, None)
+
+    # -- request handlers -----------------------------------------------
+
+    def _register(self, message: Register):
+        if self._draining:
+            raise ServiceError(
+                "service is draining; admission is closed"
+            )
+        now = self.clock()
+        self.registry.admit(message.app, now)
+        self._note_churn(now)
+        if OBS.enabled:
+            _SESSIONS.set(len(self.registry))
+        return Ack(
+            name=message.name,
+            epoch=self.registry.epoch,
+            in_reply_to=Register.TYPE,
+        )
+
+    def _deregister(self, message: Deregister):
+        session = self.registry.remove(message.name)
+        self.unsubscribe(message.name)
+        self._allocation.pop(message.name, None)
+        self._note_churn(self.clock())
+        if OBS.enabled:
+            _SESSIONS.set(len(self.registry))
+        return Ack(
+            name=session.name,
+            epoch=self.registry.epoch,
+            in_reply_to=Deregister.TYPE,
+        )
+
+    def _progress(self, message: ProgressReport):
+        session = self.registry.record_report(
+            message.name,
+            message.time,
+            message.progress,
+            message.cpu_load,
+            message.acked_epoch,
+        )
+        if session.state is SessionState.QUARANTINED:
+            # A heartbeat from a quarantined session brings it back
+            # into the optimized workload (membership change).
+            self.registry.reactivate(message.name)
+            self._note_churn(self.clock())
+        self._maybe_retransmit(session)
+        return Ack(
+            name=session.name,
+            epoch=self.registry.epoch,
+            in_reply_to=ProgressReport.TYPE,
+        )
+
+    def _query(self, message: QueryAllocation):
+        session = self.registry.get(message.name)
+        if session is None or session.state is SessionState.CLOSED:
+            raise ServiceError(f"unknown session '{message.name}'")
+        per_node = self._allocation.get(message.name)
+        if per_node is None:
+            raise ServiceError(
+                f"no allocation computed yet for '{message.name}' "
+                f"(re-optimization pending)"
+            )
+        return AllocationUpdate(
+            name=message.name,
+            per_node=per_node,
+            epoch=self._allocation_epoch or 0,
+            score=self._score or 0.0,
+            degraded=self._degraded,
+            in_reply_to=QueryAllocation.TYPE,
+        )
+
+    # -- churn / debounce -----------------------------------------------
+
+    def _note_churn(self, now: float) -> None:
+        """Record a membership change and arm the debounce timer."""
+        if OBS.enabled:
+            _CHURN_EVENTS.add()
+        self._pending_event_times.append(now)
+        if self._reopt_pending:
+            return
+        self._reopt_pending = True
+        self.call_later(self.config.debounce, self._debounce_fired)
+
+    def _debounce_fired(self) -> None:
+        self._reopt_pending = False
+        if self._draining:
+            return
+        self.reoptimize()
+
+    # -- watchdog -------------------------------------------------------
+
+    def start_watchdog(self, interval: float | None = None) -> None:
+        """Arm the periodic staleness sweep.
+
+        Re-optimizations are churn-triggered, so without a watchdog a
+        session that silently stops reporting would only be noticed at
+        the *next* membership change.  The watchdog sweeps every
+        ``interval`` seconds (default: the staleness window itself) and
+        treats any resulting quarantine as a churn event, which arms
+        the normal debounced re-optimization.
+        """
+        if interval is not None and interval <= 0:
+            raise ServiceError(
+                f"watchdog interval must be positive, got {interval}"
+            )
+        self._watchdog_interval = (
+            interval
+            if interval is not None
+            else self.config.staleness_window
+        )
+        self.call_later(self._watchdog_interval, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        if self._draining or self._watchdog_interval is None:
+            return
+        now = self.clock()
+        active_before = sum(1 for _ in self.registry.active_sessions())
+        self._sweep_stale(now)
+        active_after = sum(1 for _ in self.registry.active_sessions())
+        if active_after < active_before:
+            self._note_churn(now)
+        self.call_later(self._watchdog_interval, self._watchdog_tick)
+
+    # -- the re-optimization loop ---------------------------------------
+
+    def _sweep_stale(self, now: float) -> None:
+        """Quarantine every active session outside the freshness window."""
+        window = self.config.staleness_window
+        for session in list(self.registry.active_sessions()):
+            last = session.last_report_time
+            if last is None or now - last > window:
+                self.registry.quarantine(session.name)
+                self.quarantines += 1
+                if OBS.enabled:
+                    _QUARANTINED.add()
+
+    def _quorum_met(self) -> bool:
+        live = sum(1 for _ in self.registry.live_sessions())
+        if live == 0:
+            return True
+        active = sum(1 for _ in self.registry.active_sessions())
+        return active / live >= self.config.resilience.quorum
+
+    def reoptimize(self) -> None:
+        """Recompute the allocation for the current active workload.
+
+        Called by the debounce timer; safe to call directly (tests, the
+        replay driver).  Chooses the optimizer path when quorum holds
+        and the degraded equal-share path when it does not, then pushes
+        an :class:`~repro.serve.protocol.AllocationUpdate` to every
+        subscribed session whose counts, epoch, or degradation flag
+        changed.
+        """
+        now = self.clock()
+        self._sweep_stale(now)
+        specs = self.registry.active_specs()
+        epoch = self.registry.epoch
+        with OBS.tracer.span(
+            "serve/reoptimize", apps=len(specs), epoch=epoch
+        ) as span:
+            degraded = not self._quorum_met()
+            if not specs:
+                allocation: dict[str, tuple[int, ...]] = {}
+                score: float | None = None
+            elif degraded:
+                allocation, score = self._equal_share(specs)
+            else:
+                allocation, score = self._optimize(specs)
+            self.reoptimizations += 1
+            if degraded:
+                self.degraded_reoptimizations += 1
+            if OBS.enabled:
+                _REOPTIMIZATIONS.add()
+                if degraded:
+                    _DEGRADED.add()
+                span.attrs["degraded"] = degraded
+                if score is not None:
+                    span.attrs["score"] = score
+        self._allocation = allocation
+        self._score = score
+        self._degraded = degraded
+        self._allocation_epoch = epoch
+        events, self._pending_event_times = self._pending_event_times, []
+        if OBS.enabled:
+            for event_time in events:
+                _COMMAND_LATENCY.record(now - event_time)
+        self._push_updates()
+
+    def _optimize(
+        self, specs: tuple[AppSpec, ...]
+    ) -> tuple[dict[str, tuple[int, ...]], float]:
+        """The normal path: run the search over the active workload.
+
+        The search shares the service's model, so candidate scores for
+        any previously-seen workload composition come straight out of
+        the :class:`~repro.core.fasteval.ScoreCache`; the returned
+        score is the scalar model's ground truth for the winner.
+        """
+        result = self.search.search(self.config.machine, specs)
+        allocation = {
+            spec.name: tuple(
+                int(x) for x in result.allocation.threads_of(spec.name)
+            )
+            for spec in specs
+        }
+        return allocation, result.score
+
+    def _equal_share(
+        self, specs: tuple[AppSpec, ...]
+    ) -> tuple[dict[str, tuple[int, ...]], float]:
+        """Degraded path: static equal split, no model trust required.
+
+        Mirrors :meth:`repro.agent.agent.Agent._equal_share`: each
+        node's cores are divided evenly, the remainder going to the
+        earliest-admitted apps.  The score is still the scalar model's
+        prediction for transparency, but it did not steer the choice.
+        """
+        machine = self.config.machine
+        names = [s.name for s in specs]
+        counts = [[0] * machine.num_nodes for _ in names]
+        for node_index, node in enumerate(machine.nodes):
+            cores = len(node.cores)
+            base, extra = divmod(cores, len(names))
+            for app_index in range(len(names)):
+                counts[app_index][node_index] = base + (
+                    1 if app_index < extra else 0
+                )
+        allocation = ThreadAllocation(
+            app_names=tuple(names), counts=counts
+        )
+        prediction = self.model.predict(machine, specs, allocation)
+        return (
+            {
+                name: tuple(
+                    int(x) for x in allocation.threads_of(name)
+                )
+                for name in names
+            },
+            prediction.total_gflops,
+        )
+
+    # -- downstream push ------------------------------------------------
+
+    def _update_for(self, session: Session) -> AllocationUpdate | None:
+        per_node = self._allocation.get(session.name)
+        if per_node is None:
+            return None
+        return AllocationUpdate(
+            name=session.name,
+            per_node=per_node,
+            epoch=self._allocation_epoch or 0,
+            score=self._score or 0.0,
+            degraded=self._degraded,
+        )
+
+    def _push_updates(self) -> None:
+        for session in list(self.registry.active_sessions()):
+            update = self._update_for(session)
+            if update is None:
+                continue
+            if session.pushed_epoch == update.epoch:
+                continue
+            self._push(session, update)
+
+    def _maybe_retransmit(self, session: Session) -> None:
+        """Re-push when the runtime's applied epoch trails the current.
+
+        The runtime tells us what it last applied (``acked_epoch`` on
+        its progress reports); if a pushed command was lost in flight,
+        the gap shows up here and the command is re-sent — at-least-once
+        delivery without any transport-level acking.
+        """
+        if self._allocation_epoch is None:
+            return
+        if session.name not in self._subscribers:
+            return
+        if session.acked_epoch is not None and (
+            session.acked_epoch >= self._allocation_epoch
+        ):
+            return
+        if session.pushed_epoch != self._allocation_epoch:
+            # The regular push loop has not even reached this epoch yet
+            # (or the session subscribed late); the plain push below
+            # counts as the first transmission, not a retransmit.
+            update = self._update_for(session)
+            if update is not None:
+                self._push(session, update)
+            return
+        update = self._update_for(session)
+        if update is None:
+            return
+        self.retransmits += 1
+        if OBS.enabled:
+            _RETRANSMITS.add()
+        self._push(session, update)
+
+    def _push(self, session: Session, update: AllocationUpdate) -> None:
+        session.pushed_epoch = update.epoch
+        if OBS.enabled:
+            _COMMANDS.add()
+        push = self._subscribers.get(session.name)
+        if push is not None:
+            push(update)
+
+    # -- queries / shutdown ---------------------------------------------
+
+    def current_allocation(self) -> dict[str, tuple[int, ...]]:
+        """Per-session thread counts of the last re-optimization."""
+        return dict(self._allocation)
+
+    def current_score(self) -> float | None:
+        """Scalar-model score of the current allocation (None = empty)."""
+        return self._score
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` was called; admission is closed."""
+        return self._draining
+
+    def thread_command(self, name: str) -> ThreadCommand:
+        """The current allocation of ``name`` as an agent-wire command.
+
+        This is the bridge to everything that speaks the PR-3 protocol:
+        :class:`~repro.agent.protocol.RuntimeEndpoint` adapters and the
+        :class:`~repro.faults.proxy.InjectionProxy` chaos path apply
+        exactly this command.
+        """
+        per_node = self._allocation.get(name)
+        if per_node is None:
+            raise ServiceError(f"no allocation for session '{name}'")
+        return ThreadCommand(
+            kind=CommandKind.SET_ALLOCATION, per_node=per_node
+        )
+
+    def drain(self, reason: str = "draining") -> None:
+        """Graceful shutdown: close admission, notify every session.
+
+        Existing sessions get a final
+        :class:`~repro.serve.protocol.ShutdownNotice`; the pending
+        debounce timer (if armed) becomes a no-op.  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._watchdog_interval = None
+        notice = ShutdownNotice(reason=reason)
+        for name, push in list(self._subscribers.items()):
+            push(notice)
+        self._subscribers.clear()
+        for session in list(self.registry.live_sessions()):
+            self.registry.remove(session.name)
+        if OBS.enabled:
+            _SESSIONS.set(0)

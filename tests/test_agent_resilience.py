@@ -229,6 +229,99 @@ class _ReportOkApplyRaises(RuntimeEndpoint):
         raise RuntimeError("command rejected")
 
 
+class _DiesAfter(RuntimeEndpoint):
+    """Reports healthy activity until ``dies_at``, then never answers."""
+
+    def __init__(self, name="victim", nodes=4, dies_at=0.025):
+        self.name = name
+        self.nodes = nodes
+        self.dies_at = dies_at
+
+    def report(self, time):
+        if time >= self.dies_at:
+            raise RuntimeError("crashed")
+        return StatusReport(
+            runtime_name=self.name,
+            time=time,
+            tasks_executed=1,
+            active_threads=2 * self.nodes,
+            blocked_threads=0,
+            active_per_node=(2,) * self.nodes,
+            workers_per_node=(8,) * self.nodes,
+            queue_length=0,
+            cpu_load=0.5,
+        )
+
+    def apply(self, command):
+        pass
+
+
+class TestQuarantineRoundExcludesDeadReport:
+    """Regression: the round that quarantines an endpoint must not keep
+    feeding its cached (still-fresh) report downstream.
+
+    With a long freshness window the victim's last good report survives
+    ``_collect_reports`` via the cache fallback even in the round that
+    quarantines it; before the fix that stale entry counted toward
+    quorum, was handed to the strategy, and made the dead runtime a
+    "survivor" of its own core redistribution.
+    """
+
+    def _run(self):
+        ex = ExecutionSimulator(model_machine())
+        healthy = OCRVxRuntime("healthy", ex)
+        healthy.start()
+        for i in range(600):
+            healthy.create_task(f"t{i}", 0.01, 8.0)
+        agent = Agent(
+            ex,
+            FairShareStrategy(),
+            period=0.01,
+            # Freshness of 10 periods: the victim's cached report is
+            # still "fresh" when the breaker opens after 3 failures.
+            resilience=ResiliencePolicy(
+                freshness_window=10.0, quarantine_after=3
+            ),
+        )
+        agent.register(OcrVxEndpoint(healthy))
+        agent.register(_DiesAfter(dies_at=0.025))
+        agent.start()
+        ex.run(0.1)
+        return agent
+
+    def test_dead_endpoint_dropped_from_quarantine_round(self):
+        agent = self._run()
+        decision = next(
+            d for d in agent.decisions if "victim" in d.quarantined
+        )
+        # The cached report was inside the freshness window, but the
+        # endpoint was quarantined this round: it must be gone from the
+        # round's reports and receive no commands.
+        assert "victim" not in decision.reports
+        assert "victim" not in decision.commands
+        assert "healthy" in decision.reports
+        # Quorum is judged among the living only — not degraded.
+        assert not decision.degraded
+
+    def test_redistribution_survivors_exclude_the_dead(self):
+        agent = self._run()
+        decision = next(
+            d for d in agent.decisions if "victim" in d.quarantined
+        )
+        # The victim's freed cores went to the healthy survivor, never
+        # back to the victim itself.
+        assert any(
+            cmd.kind is CommandKind.SET_ALLOCATION
+            for cmd in decision.commands["healthy"]
+        )
+
+    def test_no_probe_scheduled_for_quarantined_endpoint(self):
+        agent = self._run()
+        assert agent.quarantined_endpoints == ["victim"]
+        agent._schedule_probe("victim")
+        assert "victim" not in agent._probe_pending
+
+
 class TestQuorumFallback:
     def test_below_quorum_uses_equal_share(self):
         ex = ExecutionSimulator(model_machine())

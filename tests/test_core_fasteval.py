@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.core.allocation import ThreadAllocation
 from repro.core.bwshare import RemainderRule
@@ -29,6 +31,7 @@ from repro.core.policies import (
 )
 from repro.core.spec import AppSpec, Placement
 from repro.errors import ModelError, OversubscriptionError
+from repro.machine import model_machine
 from repro.machine.topology import MachineTopology
 from repro.obs import OBS, capture
 
@@ -412,3 +415,100 @@ class TestSearchFastPath:
         assert cap.metrics.gauge("optimizer/best_score").value == (
             pytest.approx(result.score)
         )
+
+
+_MACHINE = model_machine()
+
+
+class TestFingerprintProperties:
+    """Property-based guarantees on the cache key: fingerprints agree
+    exactly when the ordered (machine, specs, rule) triples agree, and
+    a permuted workload gets a distinct key while its scores are the
+    same set of numbers."""
+
+    @staticmethod
+    @st.composite
+    def app_lists(draw):
+        n = draw(st.integers(min_value=1, max_value=4))
+        apps = []
+        for i in range(n):
+            ai = draw(
+                st.floats(
+                    min_value=0.1,
+                    max_value=50.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            kind = draw(st.sampled_from(["mem", "comp", "bad"]))
+            name = f"{kind}{i}"
+            if kind == "mem":
+                apps.append(AppSpec.memory_bound(name, ai))
+            elif kind == "comp":
+                apps.append(AppSpec.compute_bound(name, ai))
+            else:
+                apps.append(AppSpec.numa_bad(name, ai, home_node=0))
+        return apps
+
+    @settings(max_examples=50, deadline=None)
+    @given(apps=app_lists(), rule=st.sampled_from(list(RemainderRule)))
+    def test_fingerprint_is_deterministic(self, apps, rule):
+        a = workload_fingerprint(_MACHINE, apps, rule)
+        b = workload_fingerprint(_MACHINE, list(apps), rule)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(apps=app_lists(), rule=st.sampled_from(list(RemainderRule)))
+    def test_equal_spec_tuples_equal_fingerprints(
+        self, apps, rule
+    ):
+        rebuilt = [
+            AppSpec(
+                name=a.name,
+                arithmetic_intensity=a.arithmetic_intensity,
+                placement=a.placement,
+                home_node=a.home_node,
+                peak_gflops_per_thread=a.peak_gflops_per_thread,
+            )
+            for a in apps
+        ]
+        assert workload_fingerprint(
+            _MACHINE, rebuilt, rule
+        ) == workload_fingerprint(_MACHINE, apps, rule)
+
+    @settings(max_examples=50, deadline=None)
+    @given(apps=app_lists(), data=st.data())
+    def test_permuted_workload_distinct_key_same_scores(
+        self, apps, data
+    ):
+        assume(len(apps) >= 2)
+        permutation = data.draw(st.permutations(range(len(apps))))
+        assume(list(permutation) != list(range(len(apps))))
+        shuffled = [apps[i] for i in permutation]
+        rule = RemainderRule.PROPORTIONAL
+        key = workload_fingerprint(_MACHINE, apps, rule)
+        key_shuffled = workload_fingerprint(_MACHINE, shuffled, rule)
+        # Same spec multiset in a different order: the ordered tuple is
+        # part of the key (columns of the cached score rows are
+        # positional), so the keys must differ...
+        if [a.fingerprint for a in apps] != [
+            a.fingerprint for a in shuffled
+        ]:
+            assert key != key_shuffled
+        # ... while the physics is order-independent: the same uniform
+        # allocation (one thread of every app on every node) scores
+        # identically app-by-app.
+        counts = np.ones(
+            (1, len(apps), len(_MACHINE.nodes)), dtype=np.int64
+        )
+        model = NumaPerformanceModel(cache_size=0)
+        scores = model.predict_scores(_MACHINE, apps, counts)
+        scores_shuffled = model.predict_scores(
+            _MACHINE, shuffled, counts
+        )
+        for idx, app in enumerate(apps):
+            jdx = [a.name for a in shuffled].index(app.name)
+            assert scores[0, idx] == pytest.approx(
+                scores_shuffled[0, jdx], rel=1e-9
+            )

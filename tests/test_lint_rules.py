@@ -537,3 +537,90 @@ class TestPerf001:
             "        OBS.metrics.counter('x').add()  # repro: noqa[PERF001]\n"
         )
         assert hits("PERF001", src) == []
+
+
+class TestDoc001:
+    def test_undocumented_exported_function_fires(self):
+        src = (
+            "__all__ = ['f']\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        found = hits("DOC001", src)
+        assert [v.rule_id for v in found] == ["DOC001"]
+        assert found[0].line == 2
+        assert "'f'" in found[0].message
+
+    def test_documented_exported_function_is_quiet(self):
+        src = (
+            "__all__ = ['f']\n"
+            "def f():\n"
+            "    \"\"\"Do the thing.\"\"\"\n"
+            "    return 1\n"
+        )
+        assert hits("DOC001", src) == []
+
+    def test_unexported_function_is_quiet(self):
+        src = (
+            "__all__ = ['g']\n"
+            "def g():\n"
+            "    \"\"\"Exported and documented.\"\"\"\n"
+            "def helper():\n"
+            "    return 1\n"
+        )
+        assert hits("DOC001", src) == []
+
+    def test_public_method_of_exported_class_fires(self):
+        src = (
+            "__all__ = ['C']\n"
+            "class C:\n"
+            "    \"\"\"Documented class.\"\"\"\n"
+            "    def work(self):\n"
+            "        return 1\n"
+            "    def _internal(self):\n"
+            "        return 2\n"
+        )
+        found = hits("DOC001", src)
+        assert len(found) == 1
+        assert "C.work" in found[0].message
+
+    def test_undocumented_class_and_method_both_fire(self):
+        src = (
+            "__all__ = ['C']\n"
+            "class C:\n"
+            "    def work(self):\n"
+            "        return 1\n"
+        )
+        found = hits("DOC001", src)
+        assert len(found) == 2
+
+    def test_nested_def_sharing_the_name_is_quiet(self):
+        src = (
+            "__all__ = ['f']\n"
+            "def f():\n"
+            "    \"\"\"Documented.\"\"\"\n"
+            "    def f():\n"
+            "        return 1\n"
+            "    return f\n"
+        )
+        assert hits("DOC001", src) == []
+
+    def test_no_all_literal_is_quiet(self):
+        src = "def f():\n    return 1\n"
+        assert hits("DOC001", src) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "__all__ = ['f']\n"
+            "def f():  # repro: noqa[DOC001]\n"
+            "    return 1\n"
+        )
+        assert hits("DOC001", src) == []
+
+    def test_real_tree_is_clean(self):
+        # The live repo must satisfy its own documentation rule.
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        engine = LintEngine(rules=["DOC001"], project_root=root)
+        assert engine.check_paths([root / "src"]) == []

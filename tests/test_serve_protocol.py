@@ -1,0 +1,118 @@
+"""The NDJSON wire protocol: every message round-trips through the
+codec byte-identically, and malformed input is rejected with
+`ServiceError` rather than a stack trace."""
+
+import json
+
+import pytest
+
+from repro.core import AppSpec
+from repro.errors import ServiceError
+from repro.serve import (
+    Ack,
+    AllocationUpdate,
+    Deregister,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    ShutdownNotice,
+    decode_message,
+    encode_message,
+)
+
+ALL_MESSAGES = [
+    Register(name="a", app=AppSpec.memory_bound("a", 0.5)),
+    Register(name="b", app=AppSpec.numa_bad("b", 1.0, home_node=2)),
+    Deregister(name="a"),
+    ProgressReport(
+        name="a",
+        time=0.25,
+        progress={"tasks": 12.0},
+        cpu_load=0.8,
+        acked_epoch=3,
+    ),
+    ProgressReport(name="a", time=0.0, progress={}),
+    QueryAllocation(name="a"),
+    Ack(name="a", epoch=4, in_reply_to="register"),
+    AllocationUpdate(
+        name="a",
+        per_node=(2, 2, 2, 2),
+        epoch=4,
+        score=79.8,
+        degraded=False,
+    ),
+    AllocationUpdate(
+        name="a",
+        per_node=(8, 0, 0, 0),
+        epoch=9,
+        score=64.0,
+        degraded=True,
+        in_reply_to="query-allocation",
+    ),
+    ErrorReply(error="duplicate session 'a'", in_reply_to="register"),
+    ShutdownNotice(reason="draining"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_codec_round_trip(self, message):
+        line = encode_message(message)
+        assert "\n" not in line
+        assert decode_message(line) == message
+
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_encoding_is_canonical(self, message):
+        # Sorted keys, compact separators: same message, same bytes.
+        assert encode_message(message) == encode_message(message)
+        parsed = json.loads(encode_message(message))
+        assert list(parsed) == sorted(parsed)
+
+    def test_register_preserves_app_fingerprint(self):
+        app = AppSpec.numa_bad("bad", 1.0, home_node=1)
+        line = encode_message(Register(name="bad", app=app))
+        decoded = decode_message(line)
+        assert decoded.app.fingerprint == app.fingerprint
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2, 3]",
+            '{"no_type": true}',
+            '{"type": "warp-drive"}',
+            '{"type": "register", "app": {}}',
+            '{"type": "deregister"}',
+            '{"type": "progress-report", "name": "a"}',
+            '{"type": "progress-report", "name": "a", "time": "soon"}',
+            '{"type": "progress-report", "name": "a", "time": true}',
+            '{"type": "allocation", "name": "a", "per_node": []}',
+            '{"type": "allocation", "name": "a", "per_node": [1, -2]}',
+        ],
+    )
+    def test_malformed_raises_service_error(self, line):
+        with pytest.raises(ServiceError):
+            decode_message(line)
+
+    def test_register_name_must_match_app(self):
+        payload = json.loads(
+            encode_message(
+                Register(name="y", app=AppSpec.memory_bound("y", 0.5))
+            )
+        )
+        payload["name"] = "x"  # app inside still says "y"
+        with pytest.raises(ServiceError):
+            decode_message(json.dumps(payload))
+
+    def test_error_survives_codec(self):
+        line = encode_message(ErrorReply(error="boom"))
+        reply = decode_message(line)
+        assert isinstance(reply, ErrorReply)
+        assert reply.error == "boom"

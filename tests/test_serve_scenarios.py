@@ -1,0 +1,81 @@
+"""The scripted churn replays: every preset passes at several seeds,
+reports are well-formed, and the live-vs-offline oracle comparison is
+exact."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import SERVE_SCENARIOS, ChurnEvent, run_replay
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(SERVE_SCENARIOS))
+    def test_passes_at_seed_zero(self, name):
+        report = run_replay(name, seed=0)
+        assert report.passed, report.notes
+        assert report.matches_offline
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_churn_basic_passes_other_seeds(self, seed):
+        report = run_replay("churn-basic", seed=seed)
+        assert report.passed, report.notes
+
+    def test_reports_are_deterministic(self):
+        first = run_replay("churn-basic", seed=3)
+        second = run_replay("churn-basic", seed=3)
+        assert first.to_dict() == second.to_dict()
+
+    def test_burst_coalesces(self):
+        report = run_replay("churn-burst", seed=0)
+        assert report.passed
+        # One search for the initial join, one for the 3-join burst.
+        assert report.reoptimizations == 2
+
+    def test_stale_quarantines_then_recovers(self):
+        report = run_replay("churn-stale", seed=0)
+        assert report.passed
+        # Everyone reactivated by the end: the quarantine list is empty
+        # again and all three apps are in the final allocation.
+        assert report.quarantined == ()
+        assert sorted(report.final_allocation) == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+        assert report.degraded_reoptimizations >= 1
+
+    def test_cache_reused_across_rejoin(self):
+        report = run_replay("churn-cache", seed=0)
+        assert report.passed
+        assert report.cache_hits > 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ServiceError):
+            run_replay("churn-nonexistent")
+
+
+class TestReportShape:
+    def test_json_round_trips(self):
+        report = run_replay("churn-basic", seed=0)
+        data = json.loads(report.to_json())
+        assert data["scenario"] == "churn-basic"
+        assert data["passed"] is True
+        assert data["final_score"] == data["offline_score"]
+
+    def test_format_mentions_the_verdict(self):
+        report = run_replay("churn-basic", seed=0)
+        text = report.format()
+        assert "churn-basic" in text
+        assert "PASS" in text
+
+
+class TestChurnEvent:
+    def test_join_requires_app(self):
+        with pytest.raises(ServiceError):
+            ChurnEvent(0.1, "join", "x")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ServiceError):
+            ChurnEvent(0.1, "explode", "x")

@@ -1,0 +1,201 @@
+"""The asyncio unix-socket transport: real sockets, real NDJSON lines,
+register/report/query round-trips, pushed updates, error replies, and
+graceful drain."""
+
+import asyncio
+
+import pytest
+
+from repro.core import AppSpec
+from repro.errors import ServiceError
+from repro.machine import model_machine
+from repro.serve import (
+    Ack,
+    AllocationUpdate,
+    AsyncServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    ShutdownNotice,
+)
+
+MEM = AppSpec.memory_bound("mem", 0.5)
+BAD = AppSpec.numa_bad("bad", 1.0, home_node=0)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=20.0))
+
+
+def make_server(tmp_path, **config_kwargs):
+    config_kwargs.setdefault("machine", model_machine())
+    config_kwargs.setdefault("debounce", 0.01)
+    path = str(tmp_path / "repro.sock")
+    return ServiceServer(ServiceConfig(**config_kwargs), path), path
+
+
+class TestSocketRoundTrip:
+    def test_register_query_deregister(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            client = AsyncServiceClient("mem")
+            await client.connect(path)
+            ack = await client.register(MEM)
+            assert isinstance(ack, Ack)
+            await asyncio.sleep(0.05)  # debounce fires on the loop clock
+            update = await client.query_allocation()
+            assert isinstance(update, AllocationUpdate)
+            assert update.per_node == (8, 8, 8, 8)
+            bye = await client.deregister()
+            assert isinstance(bye, Ack)
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_pushed_update_arrives_unsolicited(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            client = AsyncServiceClient("mem")
+            await client.connect(path)
+            await client.register(MEM)
+            pushed = await client.next_pushed(timeout=5.0)
+            assert isinstance(pushed, AllocationUpdate)
+            assert pushed.name == "mem"
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_two_clients_share_the_machine(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            service = await server.start()
+            mem = AsyncServiceClient("mem")
+            bad = AsyncServiceClient("bad")
+            await mem.connect(path)
+            await bad.connect(path)
+            await mem.register(MEM)
+            await bad.register(BAD)
+            await asyncio.sleep(0.05)
+            u_mem = await mem.query_allocation()
+            u_bad = await bad.query_allocation()
+            assert u_mem.per_node == (2, 2, 2, 2)
+            assert u_bad.per_node == (6, 6, 6, 6)
+            assert service.reoptimizations >= 1
+            await mem.close()
+            await bad.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_progress_report_acks(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            client = AsyncServiceClient("mem")
+            await client.connect(path)
+            ack = await client.register(MEM)
+            # Report times live on the service clock — the loop's.
+            now = asyncio.get_running_loop().time()
+            reply = await client.report(
+                time=now, cpu_load=0.4, acked_epoch=ack.epoch
+            )
+            assert isinstance(reply, Ack)
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestSocketErrors:
+    def test_error_reply_raises_client_side(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            first = AsyncServiceClient("mem")
+            second = AsyncServiceClient("mem")
+            await first.connect(path)
+            await second.connect(path)
+            await first.register(MEM)
+            with pytest.raises(ServiceError):
+                await second.register(MEM)  # duplicate live session
+            await first.close()
+            await second.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_garbage_line_gets_error_not_disconnect(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            assert b'"error"' in line
+            # The connection survived: a valid request still works.
+            client = AsyncServiceClient("mem")
+            client.reader, client.writer = reader, writer
+            ack = await client.register(MEM)
+            assert isinstance(ack, Ack)
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_double_start_rejected(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            with pytest.raises(ServiceError):
+                await server.start()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_stop_pushes_shutdown_notice(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            client = AsyncServiceClient("mem")
+            await client.connect(path)
+            await client.register(MEM)
+            await asyncio.sleep(0.05)
+            await server.stop("maintenance")
+            # Drain all remaining lines; the shutdown notice is there.
+            notices = []
+            while True:
+                try:
+                    msg = await client.next_pushed(timeout=1.0)
+                except (ServiceError, asyncio.TimeoutError):
+                    break
+                notices.append(msg)
+            assert any(
+                isinstance(m, ShutdownNotice) for m in notices
+            )
+            await client.close()
+
+        run(scenario())
+
+    def test_stop_twice_is_harmless(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        run(scenario())

@@ -1,0 +1,330 @@
+"""The clock-agnostic service core on the discrete-event simulator:
+registry lifecycle, debounced re-optimization, staleness quarantine,
+quorum degradation, and at-least-once allocation delivery."""
+
+import pytest
+
+from repro.core import AppSpec, NumaPerformanceModel
+from repro.core.optimizer import ExhaustiveSearch
+from repro.errors import ServiceError
+from repro.machine import model_machine
+from repro.agent.resilience import ResiliencePolicy
+from repro.serve import (
+    Ack,
+    AllocationService,
+    AllocationUpdate,
+    ErrorReply,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+    ServiceClient,
+    ServiceConfig,
+    SessionState,
+    WorkloadRegistry,
+)
+from repro.sim.engine import Simulator
+
+
+def make_service(**config_kwargs):
+    sim = Simulator()
+    config_kwargs.setdefault("machine", model_machine())
+    service = AllocationService(
+        ServiceConfig(**config_kwargs),
+        clock=lambda: sim.now,
+        call_later=lambda delay, fn: sim.schedule(delay, fn),
+    )
+    return sim, service
+
+
+MEM = AppSpec.memory_bound("mem", 0.5)
+BAD = AppSpec.numa_bad("bad", 1.0, home_node=0)
+
+
+class TestRegistry:
+    def test_admission_order_is_stable(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        reg.admit(BAD, now=0.1)
+        assert [s.name for s in reg.live_sessions()] == ["mem", "bad"]
+        assert tuple(s.name for s in reg.active_sessions()) == (
+            "mem",
+            "bad",
+        )
+
+    def test_duplicate_live_name_rejected(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        with pytest.raises(ServiceError):
+            reg.admit(MEM, now=0.1)
+
+    def test_closed_name_is_reusable_and_joins_at_the_end(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        reg.admit(BAD, now=0.0)
+        reg.remove("mem")
+        reg.admit(MEM, now=0.2)
+        assert [s.name for s in reg.live_sessions()] == ["bad", "mem"]
+
+    def test_epoch_bumps_on_every_membership_change(self):
+        reg = WorkloadRegistry()
+        e0 = reg.epoch
+        reg.admit(MEM, now=0.0)
+        e1 = reg.epoch
+        reg.quarantine("mem")
+        e2 = reg.epoch
+        reg.reactivate("mem")
+        e3 = reg.epoch
+        reg.remove("mem")
+        e4 = reg.epoch
+        assert e0 < e1 < e2 < e3 < e4
+
+    def test_reactivating_an_active_session_is_a_noop_epoch(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        before = reg.epoch
+        reg.reactivate("mem")
+        assert reg.epoch == before
+
+    def test_backwards_report_time_rejected(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        reg.record_report(
+            "mem", time=0.5, progress={}, cpu_load=0.0, acked_epoch=None
+        )
+        with pytest.raises(ServiceError):
+            reg.record_report(
+                "mem", time=0.4, progress={}, cpu_load=0.0, acked_epoch=None
+            )
+
+    def test_quarantined_excluded_from_active_specs(self):
+        reg = WorkloadRegistry()
+        reg.admit(MEM, now=0.0)
+        reg.admit(BAD, now=0.0)
+        reg.quarantine("bad")
+        assert [s.name for s in reg.active_specs()] == ["mem"]
+        assert reg.get("bad").state is SessionState.QUARANTINED
+
+    def test_max_sessions_enforced(self):
+        reg = WorkloadRegistry(max_sessions=1)
+        reg.admit(MEM, now=0.0)
+        with pytest.raises(ServiceError):
+            reg.admit(BAD, now=0.0)
+
+
+class TestChurnAndDebounce:
+    def test_burst_of_joins_costs_one_reoptimization(self):
+        sim, service = make_service(debounce=0.02)
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        sim.run_until(0.005)  # still inside the debounce window
+        b.register(BAD)
+        sim.run_until(0.1)
+        assert service.reoptimizations == 1
+
+    def test_spaced_churn_reoptimizes_each_time(self):
+        sim, service = make_service(debounce=0.02)
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        sim.run_until(0.05)
+        b.register(BAD)
+        sim.run_until(0.1)
+        b.deregister()
+        sim.run_until(0.15)
+        assert service.reoptimizations == 3
+
+    def test_result_matches_offline_search_exactly(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        b.register(BAD)
+        sim.run_until(0.1)
+        offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+            model_machine(), [MEM, BAD]
+        )
+        assert service.current_score() == offline.score
+        for name in ("mem", "bad"):
+            assert service.current_allocation()[name] == tuple(
+                int(t) for t in offline.allocation.threads_of(name)
+            )
+
+    def test_updates_pushed_once_per_epoch(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.2)  # several idle reoptimization opportunities
+        updates = [
+            m for m in a.inbox if isinstance(m, AllocationUpdate)
+        ]
+        assert len(updates) == 1  # one epoch, one push
+
+    def test_handle_returns_error_reply_not_raise(self):
+        sim, service = make_service()
+        reply = service.handle(
+            ProgressReport(name="ghost", time=0.0, progress={})
+        )
+        assert isinstance(reply, ErrorReply)
+        assert "ghost" in reply.error
+
+    def test_query_allocation_roundtrip(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        update = a.query_allocation()
+        assert isinstance(update, AllocationUpdate)
+        assert update.per_node == (8, 8, 8, 8)
+
+
+class TestStalenessAndQuorum:
+    def _resilience(self):
+        return ResiliencePolicy(
+            freshness_window=1.5, quarantine_after=3, quorum=0.6
+        )
+
+    def test_silent_session_quarantined_by_watchdog(self):
+        sim, service = make_service(
+            report_interval=0.02, resilience=self._resilience()
+        )
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        b.register(BAD)
+        service.start_watchdog()
+
+        def beat():
+            a.report(sim.now, cpu_load=0.5, acked_epoch=a.last_epoch())
+            sim.schedule(0.02, beat)
+
+        sim.schedule(0.02, beat)  # only "mem" heartbeats
+        sim.run_until(0.5)
+        assert service.quarantines >= 1
+        assert service.registry.get("bad").state is (
+            SessionState.QUARANTINED
+        )
+        # Below quorum (1 of 2 active < 0.6): degraded equal share.
+        assert service.degraded_reoptimizations >= 1
+
+    def test_fresh_report_reactivates(self):
+        sim, service = make_service(
+            report_interval=0.02, resilience=self._resilience()
+        )
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        b.register(BAD)
+        service.start_watchdog()
+
+        def beat_a():
+            a.report(sim.now, cpu_load=0.5)
+            sim.schedule(0.02, beat_a)
+
+        sim.schedule(0.02, beat_a)
+        # "bad" goes silent until t=0.3, then resumes.
+        def beat_b():
+            b.report(sim.now, cpu_load=0.5)
+            sim.schedule(0.02, beat_b)
+
+        sim.schedule_at(0.3, beat_b)
+        sim.run_until(0.5)
+        assert service.quarantines >= 1
+        assert service.registry.get("bad").state is SessionState.ACTIVE
+
+    def test_degraded_equal_share_covers_all_active(self):
+        sim, service = make_service(
+            resilience=ResiliencePolicy(quorum=1.0, freshness_window=1.5),
+            report_interval=0.02,
+        )
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        b.register(BAD)
+        service.start_watchdog()
+        sim.run_until(0.5)  # nobody reports: both eventually stale
+        # With everyone quarantined or below quorum the service pushed
+        # degraded updates while it still had active members.
+        assert service.degraded_reoptimizations >= 1
+
+
+class TestRetransmitAndDrain:
+    def test_unacked_epoch_is_retransmitted(self):
+        sim, service = make_service(report_interval=0.02)
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        assert a.last_allocation() is not None
+        # Report without acking: the service re-pushes the update.
+        before = len(a.inbox)
+        a.report(sim.now, cpu_load=0.5, acked_epoch=0)
+        assert len(a.inbox) > before
+        assert service.retransmits >= 1
+
+    def test_acked_epoch_not_retransmitted(self):
+        sim, service = make_service(report_interval=0.02)
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        epoch = a.last_epoch()
+        before = len(a.inbox)
+        a.report(sim.now, cpu_load=0.5, acked_epoch=epoch)
+        assert len(a.inbox) == before
+        assert service.retransmits == 0
+
+    def test_drain_notifies_and_closes_everything(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        service.drain("test shutdown")
+        assert service.draining
+        types = [type(m).__name__ for m in a.inbox]
+        assert "ShutdownNotice" in types
+        assert list(service.registry.live_sessions()) == []
+        reply = service.handle(Register(name="bad", app=BAD))
+        assert isinstance(reply, ErrorReply)
+
+    def test_drain_is_idempotent(self):
+        sim, service = make_service()
+        service.drain("once")
+        service.drain("twice")
+        assert service.draining
+
+
+class TestThreadCommand:
+    def test_command_matches_allocation(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        command = service.thread_command("mem")
+        assert command.per_node == service.current_allocation()["mem"]
+
+    def test_unknown_session_raises(self):
+        sim, service = make_service()
+        with pytest.raises(ServiceError):
+            service.thread_command("ghost")
+
+
+class TestSearchModelValidation:
+    def test_mismatched_search_model_rejected(self):
+        sim = Simulator()
+        model = NumaPerformanceModel()
+        other = NumaPerformanceModel()
+        with pytest.raises(ServiceError):
+            AllocationService(
+                ServiceConfig(machine=model_machine()),
+                clock=lambda: sim.now,
+                call_later=lambda d, fn: sim.schedule(d, fn),
+                model=model,
+                search=ExhaustiveSearch(other),
+            )
+
+    def test_reply_to_register_is_ack_with_epoch(self):
+        sim, service = make_service()
+        reply = service.handle(Register(name="mem", app=MEM))
+        assert isinstance(reply, Ack)
+        assert reply.epoch == 1
+        dup = service.handle(Register(name="mem", app=MEM))
+        assert isinstance(dup, ErrorReply)
