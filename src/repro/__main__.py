@@ -23,8 +23,9 @@ Commands
     time every search on both paths.  ``--json`` prints the report as
     JSON, ``--out`` writes it to a file (``BENCH_model.json`` is the
     committed baseline), ``--smoke`` is the quick CI mode, and
-    ``--min-speedup`` gates the exit code on the exhaustive-search
-    speedup (default 5x).
+    ``--min-speedup`` / ``--max-delta-ms`` gate the exit code on the
+    exhaustive-search speedup (default 5x) and the steady-state
+    incremental re-optimization latency (default 1 ms).
 ``check [paths]``
     Run the project's static-analysis suite (:mod:`repro.lint`): the
     AST rule pack over ``paths`` (default ``src``) plus the machine
@@ -44,9 +45,12 @@ Commands
     the DES clock (``churn-basic``, ``churn-burst``, ``churn-stale``,
     ``churn-cache``) and exits non-zero when the scenario's criteria —
     including byte-identity of the final allocation with the offline
-    optimizer — are not met.  ``--socket PATH`` instead starts the
-    asyncio NDJSON daemon on a unix socket (``--machine`` picks the
-    topology preset) until interrupted.
+    optimizer — are not met.  ``--mode delta`` routes churn through
+    the incremental :class:`~repro.core.delta.DeltaSearch` instead of
+    the full per-event search (the oracle check still applies).
+    ``--socket PATH`` instead starts the asyncio NDJSON daemon on a
+    unix socket (``--machine`` picks the topology preset) until
+    interrupted.
 """
 
 from __future__ import annotations
@@ -129,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 unless batched exhaustive search beats scalar by "
         "this factor (default 5.0; 0 disables the gate)",
     )
+    benchp.add_argument(
+        "--max-delta-ms",
+        type=float,
+        default=1.0,
+        help="exit 1 unless one steady-state delta re-optimization stays "
+        "under this many milliseconds (default 1.0; 0 disables the gate)",
+    )
     from repro.lint.cli import add_check_parser
 
     add_check_parser(sub)
@@ -170,6 +181,14 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         help="emit the replay report as JSON",
+    )
+    servep.add_argument(
+        "--mode",
+        choices=("full", "delta"),
+        default="full",
+        help="re-optimization path: 'full' re-searches the whole space "
+        "per churn event, 'delta' warm-starts from the previous "
+        "allocation (default: full)",
     )
     servep.add_argument(
         "--socket",
@@ -221,7 +240,7 @@ def _run_serve(args) -> int:
     if args.scenario is not None:
         from repro.serve import run_replay
 
-        report = run_replay(args.scenario, seed=args.seed)
+        report = run_replay(args.scenario, seed=args.seed, mode=args.mode)
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
     if args.socket is None:
@@ -236,7 +255,7 @@ def _run_serve(args) -> int:
 
     async def _daemon() -> None:
         server = ServiceServer(
-            ServiceConfig(machine=_PRESETS[args.machine]()),
+            ServiceConfig(machine=_PRESETS[args.machine](), mode=args.mode),
             args.socket,
         )
         await server.start()
@@ -273,6 +292,14 @@ def _run_bench(args) -> int:
         print(
             f"FAIL: exhaustive-search speedup {speedup:.2f}x is below "
             f"the {args.min_speedup:.1f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    delta_ms = report["delta"]["steady_state_ms"]
+    if args.max_delta_ms > 0 and delta_ms > args.max_delta_ms:
+        print(
+            f"FAIL: steady-state delta re-optimization {delta_ms:.4f} ms "
+            f"exceeds the {args.max_delta_ms:.1f} ms gate",
             file=sys.stderr,
         )
         return 1

@@ -230,9 +230,14 @@ class ModelGuidedStrategy(AgentStrategy):
             len(set(machine.cores_per_node)) == 1
             and space <= self.exhaustive_limit
         ):
-            result = ExhaustiveSearch(self.model).search(machine, self.specs)
+            # Deliberate periodic full re-plan, throttled by replan_every.
+            result = ExhaustiveSearch(self.model).search(  # repro: noqa[PERF002]
+                machine, self.specs
+            )
         else:
-            result = HillClimbSearch(self.model).search(machine, self.specs)
+            result = HillClimbSearch(self.model).search(  # repro: noqa[PERF002]
+                machine, self.specs
+            )
         self._last = result.allocation
         out: dict[str, list[ThreadCommand]] = {}
         for spec in self.specs:

@@ -11,14 +11,23 @@ paper's model machine and a four-application workload:
   with every row memoised (warm cache).
 * ``search/*`` — end-to-end searches, scalar (``use_fast=False``) vs
   fast path, measured in model evaluations per second.
+* ``delta/*`` — churn-time re-optimization on a ten-application
+  workload (24,310 symmetric candidates): a full exhaustive re-search
+  with a cold and a warm score cache versus the incremental
+  :class:`~repro.core.delta.DeltaSearch` warm-started from the previous
+  allocation across a leave/rejoin cycle.
 
 The report is a JSON document mapping each op to its measured
 ``evals_per_sec`` (plus ``seconds`` and ``evaluations``), with a
-``speedups`` section pairing each fast op against its scalar baseline.
-The committed ``BENCH_model.json`` at the repo root records the numbers
-of the environment that produced it; CI re-runs ``--smoke`` mode and
-gates on the exhaustive-search speedup staying above ``--min-speedup``
-(default 5x) — see ``docs/PERFORMANCE.md``.
+``speedups`` section pairing each fast op against its scalar baseline
+and a ``delta`` section recording ``steady_state_ms`` — the wall time
+of one steady-state delta re-optimization — with its speedups over the
+full re-search.  The committed ``BENCH_model.json`` at the repo root
+records the numbers of the environment that produced it; CI re-runs
+``--smoke`` mode and gates on the exhaustive-search speedup staying
+above ``--min-speedup`` (default 5x) and on ``steady_state_ms``
+staying under ``--max-delta-ms`` (default 1 ms) — see
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ import time
 from typing import Callable, Sequence
 
 from repro.core.allocation import ThreadAllocation
+from repro.core.candidates import CandidateSpace
+from repro.core.delta import DeltaSearch
 from repro.core.model import NumaPerformanceModel
 from repro.core.optimizer import (
     AnnealingSearch,
@@ -39,7 +50,13 @@ from repro.core.policies import symmetric_counts_tensor
 from repro.core.spec import AppSpec
 from repro.machine.presets import model_machine
 
-__all__ = ["bench_workload", "run_bench", "format_report", "write_report"]
+__all__ = [
+    "bench_workload",
+    "delta_workload",
+    "run_bench",
+    "format_report",
+    "write_report",
+]
 
 #: Baseline op each fast op's speedup is computed against.
 _SPEEDUP_PAIRS = {
@@ -61,6 +78,21 @@ def bench_workload() -> tuple:
         AppSpec.compute_bound("cpu-a"),
         AppSpec.numa_bad("bad-a", 1.0, home_node=0),
     ]
+    return machine, apps
+
+
+def delta_workload() -> tuple:
+    """The ten-application churn workload behind the ``delta/*`` ops.
+
+    Ten apps on the eight-core model machine span a 24,310-candidate
+    symmetric space — large enough that :class:`DeltaSearch` skips its
+    exactness audit and the steady-state path is a genuine O(delta)
+    move search rather than a disguised full enumeration.
+    """
+    machine = model_machine()
+    apps = [
+        AppSpec.memory_bound(f"mem-{i}", 0.2 + 0.1 * i) for i in range(6)
+    ] + [AppSpec.compute_bound(f"cpu-{i}", 4.0 + 2.0 * i) for i in range(4)]
     return machine, apps
 
 
@@ -186,6 +218,84 @@ def run_bench(
         )
         for op, base in _SPEEDUP_PAIRS.items()
     }
+
+    # --- churn-time re-optimization (delta path) ---------------------
+    d_machine, d_apps = delta_workload()
+    d_model = NumaPerformanceModel()
+    d_full = ExhaustiveSearch(d_model)
+    d_search = DeltaSearch(d_model, fallback=d_full)
+    delta_ops: dict[str, dict] = {}
+
+    def record_delta(op: str, seconds: float, evaluations: int) -> None:
+        delta_ops[op] = {
+            "seconds": round(seconds, 6),
+            "evaluations": evaluations,
+            "evals_per_sec": round(evaluations / seconds, 1),
+        }
+
+    base = d_full.search(d_machine, d_apps)  # warm-up (tables + cache)
+
+    def full_cold() -> None:
+        d_model.cache.clear()  # a churn event changes the fingerprint
+        d_full.search(d_machine, d_apps)
+
+    record_delta(
+        "delta/full_cold",
+        _best_seconds(full_cold, repeats),
+        base.evaluations,
+    )
+    d_full.search(d_machine, d_apps)  # refill the cache
+    record_delta(
+        "delta/full_warm",
+        _best_seconds(
+            lambda: d_full.search(d_machine, d_apps), repeats
+        ),
+        base.evaluations,
+    )
+
+    survivors = d_apps[:-1]
+    departed = d_search.search(
+        d_machine,
+        survivors,
+        previous=base.allocation,
+        previous_specs=tuple(d_apps),
+        previous_score=base.score,
+    )
+    steady_evals = 0
+
+    def rejoin() -> None:
+        nonlocal steady_evals
+        d_model.cache.clear()
+        res = d_search.search(
+            d_machine,
+            d_apps,
+            previous=departed.allocation,
+            previous_specs=tuple(survivors),
+            previous_score=departed.score,
+        )
+        steady_evals = res.result.evaluations
+
+    rejoin()  # warm-up
+    steady_seconds = _best_seconds(rejoin, repeats)
+    record_delta("delta/steady_state", steady_seconds, steady_evals)
+
+    delta_section = {
+        "apps": len(d_apps),
+        "candidates": CandidateSpace(
+            d_machine, len(d_apps)
+        ).symmetric_size(),
+        "ops": delta_ops,
+        "steady_state_ms": round(steady_seconds * 1e3, 4),
+        "speedups": {
+            "vs_full_cold": round(
+                delta_ops["delta/full_cold"]["seconds"] / steady_seconds, 1
+            ),
+            "vs_full_warm": round(
+                delta_ops["delta/full_warm"]["seconds"] / steady_seconds, 1
+            ),
+        },
+    }
+
     return {
         "schema": "repro-bench/1",
         "mode": "smoke" if smoke else "full",
@@ -195,6 +305,7 @@ def run_bench(
         "annealing_steps": steps,
         "ops": ops,
         "speedups": speedups,
+        "delta": delta_section,
     }
 
 
@@ -213,6 +324,25 @@ def format_report(report: dict) -> str:
         lines.append(
             f"{op:28s} {stats['evals_per_sec']:>12,.1f} "
             f"{stats['seconds']:>10.4f} {tail}"
+        )
+    delta = report.get("delta")
+    if delta:
+        lines += [
+            "",
+            f"churn-time re-optimization ({delta['apps']} apps, "
+            f"{delta['candidates']:,} symmetric candidates)",
+            f"{'op':28s} {'evaluations':>12s} {'ms':>10s}",
+        ]
+        for op, stats in delta["ops"].items():
+            lines.append(
+                f"{op:28s} {stats['evaluations']:>12,d} "
+                f"{stats['seconds'] * 1e3:>10.4f}"
+            )
+        lines.append(
+            f"steady-state delta re-optimization: "
+            f"{delta['steady_state_ms']:.4f} ms "
+            f"({delta['speedups']['vs_full_cold']:.1f}x vs cold full "
+            f"re-search, {delta['speedups']['vs_full_warm']:.1f}x vs warm)"
         )
     return "\n".join(lines)
 

@@ -10,6 +10,9 @@ Public surface:
   performance model of Section III-A;
 * :mod:`~repro.core.policies` and :mod:`~repro.core.optimizer` —
   allocation generators and searches;
+* :mod:`~repro.core.candidates` and :mod:`~repro.core.delta` — the
+  shared candidate-space layer and the incremental (O(delta))
+  churn-time re-optimizer built on it;
 * :mod:`~repro.core.arbitration` — static multi-runtime core negotiation;
 * :func:`~repro.core.worked.worked_example` — Table I/II style row-by-row
   breakdowns.
@@ -22,6 +25,13 @@ from repro.core.arbitration import (
     CooperativeConsensus,
     FairShareArbiter,
     ResourceRequest,
+)
+from repro.core.candidates import CandidateSpace
+from repro.core.delta import (
+    DeltaResult,
+    DeltaSearch,
+    WorkloadDelta,
+    diff_workloads,
 )
 from repro.core.bwshare import (
     NodeShare,
@@ -99,10 +109,15 @@ __all__ = [
     "enumerate_symmetric_allocations",
     "enumerate_node_compositions",
     "symmetric_counts_tensor",
+    "CandidateSpace",
     "ExhaustiveSearch",
     "GreedySearch",
     "HillClimbSearch",
     "AnnealingSearch",
+    "DeltaSearch",
+    "DeltaResult",
+    "WorkloadDelta",
+    "diff_workloads",
     "SearchResult",
     "total_gflops",
     "weighted_gflops",

@@ -19,6 +19,13 @@ All searches also support an *objective* other than total GFLOPS, e.g.
 weighted throughput or max-min fairness, since a real arbiter rarely
 optimises raw FLOP/s alone.
 
+Candidate enumeration is delegated to
+:class:`~repro.core.candidates.CandidateSpace`, the shared layer that
+also powers the incremental churn-time searcher in
+:mod:`repro.core.delta`; the enumeration orders are pinned there (and
+by ``tests/test_core_candidates.py``), which is what lets the batched
+paths below pick winners with a plain ``argmax``.
+
 Fast path
 ---------
 Every search drives the batched evaluation engine
@@ -47,12 +54,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.allocation import ThreadAllocation
+from repro.core.candidates import CandidateSpace
 from repro.core.fasteval import FastEvaluator
 from repro.core.model import NumaPerformanceModel, Prediction
-from repro.core.policies import (
-    enumerate_symmetric_allocations,
-    symmetric_counts_tensor,
-)
 from repro.core.spec import AppSpec
 from repro.errors import AllocationError, ModelError
 from repro.machine.topology import MachineTopology
@@ -198,6 +202,12 @@ class _SearchBase:
             self.model, machine, apps, self.objective
         )
 
+    def _space(
+        self, machine: MachineTopology, apps: Sequence[AppSpec]
+    ) -> CandidateSpace:
+        """The shared candidate/move enumerator for this workload size."""
+        return CandidateSpace(machine, len(apps))
+
     def _score_batch(
         self, evaluator: FastEvaluator, counts: np.ndarray
     ) -> np.ndarray:
@@ -282,8 +292,8 @@ class ExhaustiveSearch(_SearchBase):
         if evaluator is not None:
             return self._run_batched(machine, apps, evaluator)
         best: tuple[float, ThreadAllocation, Prediction] | None = None
-        for alloc in enumerate_symmetric_allocations(
-            machine, apps, require_full=self.require_full
+        for alloc in self._space(machine, apps).symmetric_allocations(
+            apps, require_full=self.require_full
         ):
             score, pred = self._score(machine, apps, alloc)
             if best is None or score > best[0]:
@@ -303,15 +313,15 @@ class ExhaustiveSearch(_SearchBase):
         apps: Sequence[AppSpec],
         evaluator: FastEvaluator,
     ) -> SearchResult:
-        counts = symmetric_counts_tensor(
-            machine, len(apps), require_full=self.require_full
+        counts = self._space(machine, apps).symmetric_tensor(
+            require_full=self.require_full
         )
         if len(counts) == 0:
             raise AllocationError("empty search space")
         scores = self._score_batch(evaluator, counts)
         # argmax returns the first maximum — the same candidate the
-        # scalar loop's strict ">" keeps, since the enumeration order of
-        # symmetric_counts_tensor matches enumerate_symmetric_allocations.
+        # scalar loop's strict ">" keeps, since the tensor rows follow
+        # the same enumeration order as symmetric_allocations.
         best = int(np.argmax(scores))
         allocation = ThreadAllocation(
             app_names=tuple(a.name for a in apps),
@@ -357,6 +367,7 @@ class GreedySearch(_SearchBase):
         if evaluator is not None:
             return self._run_batched(machine, apps, evaluator)
         names = tuple(a.name for a in apps)
+        space = self._space(machine, apps)
         counts = np.zeros((len(apps), machine.num_nodes), dtype=np.int64)
         free = np.array([n.num_cores for n in machine.nodes], dtype=np.int64)
         current_score = -math.inf
@@ -364,18 +375,15 @@ class GreedySearch(_SearchBase):
         trajectory: list[float] = []
         while free.sum() > 0:
             best_step: tuple[float, int, int, Prediction] | None = None
-            for a in range(len(apps)):
-                for n in range(machine.num_nodes):
-                    if free[n] == 0:
-                        continue
-                    counts[a, n] += 1
-                    alloc = ThreadAllocation(
-                        app_names=names, counts=counts.copy()
-                    )
-                    score, pred = self._score(machine, apps, alloc)
-                    counts[a, n] -= 1
-                    if best_step is None or score > best_step[0]:
-                        best_step = (score, a, n, pred)
+            for a, n in space.addition_moves(free):
+                counts[a, n] += 1
+                alloc = ThreadAllocation(
+                    app_names=names, counts=counts.copy()
+                )
+                score, pred = self._score(machine, apps, alloc)
+                counts[a, n] -= 1
+                if best_step is None or score > best_step[0]:
+                    best_step = (score, a, n, pred)
             if best_step is None:
                 break
             score, a, n, pred = best_step
@@ -405,26 +413,20 @@ class GreedySearch(_SearchBase):
         evaluator: FastEvaluator,
     ) -> SearchResult:
         names = tuple(a.name for a in apps)
-        n_apps, n_nodes = len(apps), machine.num_nodes
-        counts = np.zeros((n_apps, n_nodes), dtype=np.int64)
+        space = self._space(machine, apps)
+        counts = np.zeros((len(apps), machine.num_nodes), dtype=np.int64)
         free = np.array([n.num_cores for n in machine.nodes], dtype=np.int64)
         current_score = -math.inf
         placed = False
         trajectory: list[float] = []
         while free.sum() > 0:
             # Candidate additions in the scalar loop's (app, node) order.
-            moves = [
-                (a, n)
-                for a in range(n_apps)
-                for n in range(n_nodes)
-                if free[n] > 0
-            ]
+            moves = space.addition_moves(free)
             if not moves:
                 break
-            batch = np.repeat(counts[None], len(moves), axis=0)
-            for k, (a, n) in enumerate(moves):
-                batch[k, a, n] += 1
-            scores = self._score_batch(evaluator, batch)
+            scores = self._score_batch(
+                evaluator, space.addition_batch(counts, moves)
+            )
             k = int(np.argmax(scores))
             score = float(scores[k])
             if score < current_score - 1e-12:
@@ -498,21 +500,17 @@ class HillClimbSearch(_SearchBase):
         if evaluator is not None:
             return self._run_batched(machine, apps, start, evaluator)
         current = start
+        names = current.app_names
+        space = self._space(machine, apps)
         score, pred = self._score(machine, apps, current)
         trajectory = [score]
         for _ in range(self.max_rounds):
             best_move: tuple[float, ThreadAllocation, Prediction] | None = None
-            for src in current.app_names:
-                for dst in current.app_names:
-                    if src == dst:
-                        continue
-                    for n in range(machine.num_nodes):
-                        if current.threads_of(src)[n] == 0:
-                            continue
-                        cand = current.move_thread(src, dst, n)
-                        s, p = self._score(machine, apps, cand)
-                        if best_move is None or s > best_move[0]:
-                            best_move = (s, cand, p)
+            for si, di, n in space.thread_moves(current.counts):
+                cand = current.move_thread(names[si], names[di], n)
+                s, p = self._score(machine, apps, cand)
+                if best_move is None or s > best_move[0]:
+                    best_move = (s, cand, p)
             if best_move is None or best_move[0] <= score + 1e-12:
                 break
             score, current, pred = best_move
@@ -534,24 +532,15 @@ class HillClimbSearch(_SearchBase):
     ) -> SearchResult:
         names = start.app_names
         current = start
+        space = self._space(machine, apps)
         score = float(self._score_batch(evaluator, current.counts[None])[0])
         trajectory = [score]
         for _ in range(self.max_rounds):
             # Neighbourhood in the scalar loop's (src, dst, node) order.
-            moves = [
-                (si, di, n)
-                for si in range(len(names))
-                for di in range(len(names))
-                if si != di
-                for n in range(machine.num_nodes)
-                if current.counts[si, n] > 0
-            ]
+            moves = space.thread_moves(current.counts)
             if not moves:
                 break
-            batch = np.repeat(current.counts[None], len(moves), axis=0)
-            for k, (si, di, n) in enumerate(moves):
-                batch[k, si, n] -= 1
-                batch[k, di, n] += 1
+            batch = space.move_batch(current.counts, moves)
             scores = self._score_batch(evaluator, batch)
             k = int(np.argmax(scores))
             if scores[k] <= score + 1e-12:
@@ -643,6 +632,7 @@ class AnnealingSearch(_SearchBase):
         if evaluator is not None:
             return self._run_cached(machine, apps, start, evaluator, rng)
         current = start
+        space = self._space(machine, apps)
         score, pred = self._score(machine, apps, current)
         best = (score, current, pred)
         temperature = self.initial_temperature
@@ -650,15 +640,11 @@ class AnnealingSearch(_SearchBase):
         names = current.app_names
         for _ in range(self.steps):
             # Propose a random legal single-thread move.
-            donors = np.argwhere(current.counts > 0)
-            if donors.size == 0:
+            move = space.random_move(current.counts, rng)
+            if move is None:
                 break
-            ai, n = donors[rng.integers(len(donors))]
-            choices = [j for j in range(len(names)) if j != ai]
-            if not choices:
-                break
-            dj = choices[rng.integers(len(choices))]
-            cand = current.move_thread(names[ai], names[dj], int(n))
+            ai, dj, n = move
+            cand = current.move_thread(names[ai], names[dj], n)
             s, p = self._score(machine, apps, cand)
             delta = s - score
             if delta >= 0 or rng.random() < math.exp(delta / temperature):
@@ -684,6 +670,7 @@ class AnnealingSearch(_SearchBase):
         rng: np.random.Generator,
     ) -> SearchResult:
         current = start
+        space = self._space(machine, apps)
         score = float(self._score_batch(evaluator, current.counts[None])[0])
         best = (score, current)
         temperature = self.initial_temperature
@@ -693,15 +680,11 @@ class AnnealingSearch(_SearchBase):
             # Propose a random legal single-thread move (same rng draw
             # sequence as the scalar path, modulo exact-tie divergence —
             # see the class docstring).
-            donors = np.argwhere(current.counts > 0)
-            if donors.size == 0:
+            move = space.random_move(current.counts, rng)
+            if move is None:
                 break
-            ai, n = donors[rng.integers(len(donors))]
-            choices = [j for j in range(len(names)) if j != ai]
-            if not choices:
-                break
-            dj = choices[rng.integers(len(choices))]
-            cand = current.move_thread(names[ai], names[dj], int(n))
+            ai, dj, n = move
+            cand = current.move_thread(names[ai], names[dj], n)
             s = float(self._score_batch(evaluator, cand.counts[None])[0])
             delta = s - score
             if delta >= 0 or rng.random() < math.exp(delta / temperature):

@@ -9,7 +9,7 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.api` — API001
 * :mod:`repro.lint.rules.docs` — DOC001
 * :mod:`repro.lint.rules.retry` — RETRY001
-* :mod:`repro.lint.rules.perf` — PERF001
+* :mod:`repro.lint.rules.perf` — PERF001, PERF002
 
 See ``docs/STATIC_ANALYSIS.md`` for the full catalogue with rationale
 and examples, and :mod:`repro.lint.engine` for how to add a rule.
@@ -31,7 +31,7 @@ from repro.lint.rules.pyhygiene import (
     SwallowedException,
     WallClockDuration,
 )
-from repro.lint.rules.perf import MetricLookupInLoop
+from repro.lint.rules.perf import FullSearchInChurnPath, MetricLookupInLoop
 from repro.lint.rules.retry import UnboundedRetryLoop
 from repro.lint.rules.units import CrossUnitArithmetic
 
@@ -49,4 +49,5 @@ __all__ = [
     "ApiDocDrift",
     "UndocumentedPublicName",
     "MetricLookupInLoop",
+    "FullSearchInChurnPath",
 ]

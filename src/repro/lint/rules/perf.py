@@ -9,11 +9,21 @@ overhead compounds there.  PERF001 flags lookups inside loop bodies so
 they get hoisted into a module- or instance-level handle
 (:class:`~repro.obs.CounterHandle` and friends), which resolves the
 name once and survives registry swaps.
+
+PERF002 guards the other hot path this codebase has learned about the
+hard way: churn-time re-optimization.  A full-space ``search()`` per
+churn event costs O(space) — 24,310 model evaluations for ten apps on
+the model machine — while :class:`~repro.core.delta.DeltaSearch`
+repairs the previous answer in O(delta).  The rule flags full searches
+inside event-handler-shaped functions that demonstrably track a
+previous allocation (so a warm start was available and ignored);
+deliberate full re-searches get ``# repro: noqa[PERF002]``.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.lint.engine import (
@@ -24,7 +34,7 @@ from repro.lint.engine import (
     register,
 )
 
-__all__ = ["MetricLookupInLoop"]
+__all__ = ["MetricLookupInLoop", "FullSearchInChurnPath"]
 
 #: Registry factory methods whose per-call lookup cost PERF001 targets.
 _METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
@@ -107,3 +117,144 @@ class MetricLookupInLoop(Rule):
                     return anc
             child = anc
         return None
+
+
+#: Function names that look like per-event / re-optimization handlers.
+_HANDLER_NAME_RE = re.compile(
+    r"^(?:on|handle)_|churn|reoptim|optimi[sz]e|decide"
+)
+
+#: Variable/attribute names that look like previous-answer state.
+_PREV_NAME_RE = re.compile(r"prev|previous|last")
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _dotted_names(expr: ast.AST) -> str:
+    """Every identifier along an attribute/call chain, lowercased."""
+    parts: list[str] = []
+    while True:
+        if isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        elif isinstance(expr, ast.Call):
+            expr = expr.func
+        elif isinstance(expr, ast.Name):
+            parts.append(expr.id)
+            break
+        else:
+            break
+    return " ".join(parts).lower()
+
+
+def _is_full_search_call(node: ast.Call) -> bool:
+    """``<receiver>.search(a, b, ...)`` with no 'delta' in the chain.
+
+    Two positional arguments separate the optimizer protocol
+    (``search(machine, apps)``) from unrelated ``.search`` methods such
+    as compiled regexes; a receiver chain mentioning ``delta`` is
+    already the incremental path.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "search":
+        return False
+    if len(node.args) < 2:
+        return False
+    return "delta" not in _dotted_names(func.value)
+
+
+def _assign_target_name(target: ast.AST) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _names_previous_allocation(name: str, annotation: str) -> bool:
+    if not _PREV_NAME_RE.search(name.lower()):
+        return False
+    return "alloc" in name.lower() or "ThreadAllocation" in annotation
+
+
+def _tracks_previous_allocation(scope: ast.AST) -> str | None:
+    """The previous-allocation name ``scope`` assigns, or ``None``.
+
+    A scope "tracks a previous allocation" when it assigns a name
+    matching ``prev``/``previous``/``last`` that is either explicitly
+    allocation-flavoured (contains ``alloc``) or annotated as a
+    :class:`~repro.core.allocation.ThreadAllocation`.
+    """
+    for node in ast.walk(scope):
+        if isinstance(node, ast.AnnAssign):
+            name = _assign_target_name(node.target)
+            annotation = ast.unparse(node.annotation)
+            if name and _names_previous_allocation(name, annotation):
+                return name
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _assign_target_name(target)
+                if name and _names_previous_allocation(name, ""):
+                    return name
+    return None
+
+
+@register
+class FullSearchInChurnPath(Rule):
+    """Full-space ``search()`` on a churn path with a warm start in reach.
+
+    Fires on ``<receiver>.search(machine, apps, ...)`` calls inside a
+    function whose name looks like an event handler (``on_*``,
+    ``handle_*``, or mentioning churn / re-optimization / ``decide``)
+    when that function — or its enclosing class — assigns a
+    previous-allocation name (``prev*``/``last*`` plus ``alloc`` in the
+    name or a ``ThreadAllocation`` annotation).  Tracking the previous
+    answer and then re-searching the whole space from scratch pays
+    O(space) per event where :class:`~repro.core.delta.DeltaSearch`
+    pays O(delta); see ``docs/OPTIMIZER.md``.
+
+    A warning, not an error: a full re-search is sometimes the point
+    (the delta searcher's own fall-back, an oracle check, a deliberate
+    periodic re-plan).  Those sites document themselves with
+    ``# repro: noqa[PERF002]``.
+    """
+
+    rule_id = "PERF002"
+    severity = Severity.WARNING
+    summary = (
+        "full-space `.search(machine, apps)` in a churn/event-handler "
+        "function that tracks a previous allocation; warm-start with "
+        "repro.core.delta.DeltaSearch instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_full_search_call(node):
+                continue
+            func = cls = None
+            for anc in ctx.parents(node):
+                if func is None and isinstance(anc, _FUNCS):
+                    func = anc
+                elif func is not None and isinstance(anc, ast.ClassDef):
+                    cls = anc
+                    break
+            if func is None or not _HANDLER_NAME_RE.search(
+                func.name.lower()
+            ):
+                continue
+            prev = _tracks_previous_allocation(func) or (
+                cls is not None and _tracks_previous_allocation(cls)
+            )
+            if not prev:
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"`{func.name}` tracks the previous allocation "
+                f"(`{prev}`) but re-searches the full space every "
+                f"event; warm-start with DeltaSearch, or mark a "
+                f"deliberate full re-search `# repro: noqa[PERF002]`",
+            )

@@ -14,7 +14,11 @@ Each preset encodes its own pass criteria in a :class:`ChurnReport`;
 the headline check — shared by all presets — is that the service's
 final allocation for the surviving workload equals the *offline*
 optimizer's answer computed from scratch, with byte-identical scalar
-scores.  Live churn must not cost correctness.
+scores.  Live churn must not cost correctness.  Every preset also runs
+in either service mode (``--mode full`` or ``--mode delta``) against
+the *same* from-scratch oracle, which is how the incremental
+:class:`~repro.core.delta.DeltaSearch` path is proven exact under
+churn.
 
 Presets
 -------
@@ -122,16 +126,22 @@ class ChurnReport:
     matches_offline: bool
     final_allocation: dict
     notes: tuple[str, ...] = ()
+    mode: str = "full"
+    delta_reoptimizations: int = 0
+    delta_fallbacks: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (the ``--json`` record)."""
         return {
             "scenario": self.scenario,
             "seed": self.seed,
+            "mode": self.mode,
             "passed": self.passed,
             "events": self.events,
             "reoptimizations": self.reoptimizations,
             "degraded_reoptimizations": self.degraded_reoptimizations,
+            "delta_reoptimizations": self.delta_reoptimizations,
+            "delta_fallbacks": self.delta_fallbacks,
             "retransmits": self.retransmits,
             "quarantined": list(self.quarantined),
             "cache_hits": self.cache_hits,
@@ -153,10 +163,18 @@ class ChurnReport:
     def format(self) -> str:
         """Human-readable replay report."""
         lines = [
-            f"serve scenario: {self.scenario} (seed {self.seed})",
+            f"serve scenario: {self.scenario} "
+            f"(seed {self.seed}, mode {self.mode})",
             f"  churn events:        {self.events}",
             f"  reoptimizations:     {self.reoptimizations} "
             f"({self.degraded_reoptimizations} degraded)",
+        ]
+        if self.mode == "delta":
+            lines.append(
+                f"  delta path:          {self.delta_reoptimizations} "
+                f"incremental ({self.delta_fallbacks} fell back to full)"
+            )
+        lines += [
             f"  retransmits:         {self.retransmits}",
             f"  quarantined:         "
             f"{', '.join(self.quarantined) if self.quarantined else 'none'}",
@@ -439,10 +457,13 @@ def _finish(
     return ChurnReport(
         scenario=scenario,
         seed=seed,
+        mode=service.config.mode,
         passed=matches and extra_pass,
         events=len(events),
         reoptimizations=service.reoptimizations,
         degraded_reoptimizations=service.degraded_reoptimizations,
+        delta_reoptimizations=service.delta_reoptimizations,
+        delta_fallbacks=service.delta_fallbacks,
         retransmits=service.retransmits,
         quarantined=quarantined,
         cache_hits=cache.hits if cache is not None else 0,
@@ -455,7 +476,7 @@ def _finish(
     )
 
 
-def _churn_basic(seed: int) -> ChurnReport:
+def _churn_basic(seed: int, mode: str = "full") -> ChurnReport:
     """Joins/leaves spaced wider than the debounce window."""
     rng = random.Random(seed)
     apps = {
@@ -477,6 +498,7 @@ def _churn_basic(seed: int) -> ChurnReport:
             machine=model_machine(),
             debounce=0.02,
             report_interval=0.02,
+            mode=mode,
         )
     )
     driver.run(events, duration=0.5)
@@ -496,7 +518,7 @@ def _churn_basic(seed: int) -> ChurnReport:
     )
 
 
-def _churn_burst(seed: int) -> ChurnReport:
+def _churn_burst(seed: int, mode: str = "full") -> ChurnReport:
     """A join burst inside one debounce window coalesces."""
     rng = random.Random(seed)
     base = _jittered(0.10, rng)
@@ -526,6 +548,7 @@ def _churn_burst(seed: int) -> ChurnReport:
             machine=model_machine(),
             debounce=0.02,
             report_interval=0.02,
+            mode=mode,
         )
     )
     driver.run(events, duration=0.3)
@@ -545,7 +568,7 @@ def _churn_burst(seed: int) -> ChurnReport:
     )
 
 
-def _churn_stale(seed: int) -> ChurnReport:
+def _churn_stale(seed: int, mode: str = "full") -> ChurnReport:
     """Silent sessions are quarantined; quorum loss degrades; recovery
     reactivates."""
     rng = random.Random(seed)
@@ -564,6 +587,7 @@ def _churn_stale(seed: int) -> ChurnReport:
             machine=model_machine(),
             debounce=0.01,
             report_interval=0.02,
+            mode=mode,
         )
     )
     # Silence beta and gamma between t=0.15 and t=0.40: their report
@@ -606,7 +630,7 @@ def _churn_stale(seed: int) -> ChurnReport:
     )
 
 
-def _churn_cache(seed: int) -> ChurnReport:
+def _churn_cache(seed: int, mode: str = "full") -> ChurnReport:
     """A returning workload composition is served from the score cache."""
     rng = random.Random(seed)
     apps = {
@@ -629,6 +653,7 @@ def _churn_cache(seed: int) -> ChurnReport:
             machine=model_machine(),
             debounce=0.02,
             report_interval=0.02,
+            mode=mode,
         )
     )
     driver.run(events, duration=0.5)
@@ -649,7 +674,7 @@ def _churn_cache(seed: int) -> ChurnReport:
 
 
 #: Scenario name -> builder; each returns a :class:`ChurnReport`.
-SERVE_SCENARIOS: dict[str, Callable[[int], ChurnReport]] = {
+SERVE_SCENARIOS: dict[str, Callable[..., ChurnReport]] = {
     "churn-basic": _churn_basic,
     "churn-burst": _churn_burst,
     "churn-stale": _churn_stale,
@@ -657,11 +682,18 @@ SERVE_SCENARIOS: dict[str, Callable[[int], ChurnReport]] = {
 }
 
 
-def run_replay(name: str, seed: int = 0) -> ChurnReport:
-    """Run one churn replay preset by name."""
+def run_replay(name: str, seed: int = 0, mode: str = "full") -> ChurnReport:
+    """Run one churn replay preset by name.
+
+    ``mode`` selects the service's re-optimization path (``"full"`` or
+    ``"delta"``); the offline oracle the replay is checked against is
+    always the from-scratch exhaustive search, so a passing delta run
+    proves the incremental path byte-identical under that scenario's
+    churn.
+    """
     if name not in SERVE_SCENARIOS:
         raise ServiceError(
             f"unknown serve scenario '{name}' "
             f"(choose from {sorted(SERVE_SCENARIOS)})"
         )
-    return SERVE_SCENARIOS[name](seed)
+    return SERVE_SCENARIOS[name](seed, mode=mode)

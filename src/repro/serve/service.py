@@ -27,6 +27,12 @@ Policy highlights (full semantics in ``docs/SERVICE.md``):
   :class:`~repro.core.fasteval.ScoreCache` persists across churn;
   when a departed workload composition returns, its candidate scores
   are cache hits (property-tested in ``tests/test_core_fasteval.py``).
+* **Incremental re-optimization** — ``mode="delta"`` warm-starts each
+  re-optimization from the previous allocation through
+  :class:`~repro.core.delta.DeltaSearch` (O(delta) move exploration
+  with automatic full-search fall-back) instead of re-searching the
+  whole candidate space; ``mode="full"`` (default) keeps the
+  from-scratch oracle behaviour.
 * **Staleness quarantine + quorum degradation** — sessions whose last
   report is older than the :class:`~repro.agent.resilience
   .ResiliencePolicy` freshness window are quarantined out of the
@@ -48,6 +54,7 @@ from typing import Callable
 from repro.agent.protocol import CommandKind, ThreadCommand
 from repro.agent.resilience import ResiliencePolicy
 from repro.core.allocation import ThreadAllocation
+from repro.core.delta import DeltaSearch
 from repro.core.model import NumaPerformanceModel
 from repro.core.optimizer import ExhaustiveSearch
 from repro.core.spec import AppSpec
@@ -80,6 +87,7 @@ _COMMANDS = CounterHandle("serve/commands")
 _RETRANSMITS = CounterHandle("serve/retransmits")
 _QUARANTINED = CounterHandle("serve/quarantined")
 _COMMAND_LATENCY = HistogramHandle("serve/command_latency")
+_DELTA_REOPTIMIZATIONS = CounterHandle("serve/delta_reoptimizations")
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,12 @@ class ServiceConfig:
         The PR-3 policy reused for freshness and quorum semantics.
     max_sessions:
         Admission cap (``None`` = unbounded).
+    mode:
+        ``"full"`` re-runs the configured search from scratch on every
+        re-optimization; ``"delta"`` routes churn through the
+        incremental :class:`~repro.core.delta.DeltaSearch`, warm-started
+        from the previous allocation (with automatic fall-back to the
+        full search — see ``docs/OPTIMIZER.md``).
     """
 
     machine: MachineTopology
@@ -109,6 +123,7 @@ class ServiceConfig:
     report_interval: float = 0.1
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     max_sessions: int | None = None
+    mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.debounce <= 0:
@@ -119,6 +134,10 @@ class ServiceConfig:
             raise ServiceError(
                 f"report_interval must be positive, "
                 f"got {self.report_interval}"
+            )
+        if self.mode not in ("full", "delta"):
+            raise ServiceError(
+                f"mode must be 'full' or 'delta', got {self.mode!r}"
             )
 
     @property
@@ -168,6 +187,16 @@ class AllocationService:
                 "search must evaluate through the service's model "
                 "(otherwise the ScoreCache cannot persist across churn)"
             )
+        #: the incremental re-optimizer (delta mode only); its fall-back
+        #: is the service's own full search, so both paths share the
+        #: model and its persistent score cache.
+        self.delta: DeltaSearch | None = (
+            DeltaSearch(
+                self.model, self.search.objective, fallback=self.search
+            )
+            if config.mode == "delta"
+            else None
+        )
         self.registry = WorkloadRegistry(max_sessions=config.max_sessions)
         #: name -> callback receiving this session's pushed messages.
         self._subscribers: dict[str, Callable[[object], None]] = {}
@@ -179,6 +208,11 @@ class AllocationService:
         self._degraded = False
         #: epoch the current allocation was computed for.
         self._allocation_epoch: int | None = None
+        #: what the last *optimized* (non-degraded) answer was computed
+        #: for/from — the warm start of the next delta re-optimization.
+        self._prev_specs: tuple[AppSpec, ...] = ()
+        self._prev_allocation: ThreadAllocation | None = None
+        self._prev_score: float | None = None
         self._reopt_pending = False
         #: clock times of membership changes awaiting the pending
         #: re-optimization — drained into the latency histogram.
@@ -187,6 +221,7 @@ class AllocationService:
         self._watchdog_interval: float | None = None
         self.reoptimizations = 0
         self.degraded_reoptimizations = 0
+        self.delta_reoptimizations = 0
         self.retransmits = 0
         self.quarantines = 0
 
@@ -405,6 +440,12 @@ class AllocationService:
                 allocation, score = self._equal_share(specs)
             else:
                 allocation, score = self._optimize(specs)
+            if not specs or degraded:
+                # An equal share (or an empty workload) is not a search
+                # answer; the next delta re-optimization cold-starts.
+                self._prev_specs = ()
+                self._prev_allocation = None
+                self._prev_score = None
             self.reoptimizations += 1
             if degraded:
                 self.degraded_reoptimizations += 1
@@ -433,9 +474,30 @@ class AllocationService:
         The search shares the service's model, so candidate scores for
         any previously-seen workload composition come straight out of
         the :class:`~repro.core.fasteval.ScoreCache`; the returned
-        score is the scalar model's ground truth for the winner.
+        score is the scalar model's ground truth for the winner.  In
+        delta mode the incremental searcher is warm-started from the
+        previous answer instead of re-searching the whole space.
         """
-        result = self.search.search(self.config.machine, specs)
+        if self.delta is not None:
+            outcome = self.delta.search(
+                self.config.machine,
+                specs,
+                previous=self._prev_allocation,
+                previous_specs=self._prev_specs,
+                previous_score=self._prev_score,
+            )
+            self.delta_reoptimizations += 1
+            if OBS.enabled:
+                _DELTA_REOPTIMIZATIONS.add()
+            result = outcome.result
+        else:
+            # Full mode deliberately re-searches the whole space even
+            # though the previous allocation is at hand: it is the
+            # oracle the delta mode is checked against.
+            result = self.search.search(self.config.machine, specs)  # repro: noqa[PERF002]
+        self._prev_specs = specs
+        self._prev_allocation = result.allocation
+        self._prev_score = result.score
         allocation = {
             spec.name: tuple(
                 int(x) for x in result.allocation.threads_of(spec.name)
@@ -550,6 +612,11 @@ class AllocationService:
     def current_score(self) -> float | None:
         """Scalar-model score of the current allocation (None = empty)."""
         return self._score
+
+    @property
+    def delta_fallbacks(self) -> int:
+        """Full-search fall-backs the delta searcher took (0 = full mode)."""
+        return self.delta.fallbacks if self.delta is not None else 0
 
     @property
     def draining(self) -> bool:

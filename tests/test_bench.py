@@ -11,6 +11,7 @@ import pytest
 from repro.__main__ import main
 from repro.analysis.bench import (
     bench_workload,
+    delta_workload,
     format_report,
     run_bench,
     write_report,
@@ -69,6 +70,40 @@ class TestRunBench:
         assert machine.num_nodes == 4
         assert len(apps) == 4
 
+    def test_delta_section_schema(self, report):
+        delta = report["delta"]
+        assert delta["apps"] == 10
+        assert delta["candidates"] == 24310
+        assert set(delta["ops"]) == {
+            "delta/full_cold",
+            "delta/full_warm",
+            "delta/steady_state",
+        }
+        for stats in delta["ops"].values():
+            assert stats["seconds"] > 0
+        assert delta["steady_state_ms"] > 0
+
+    def test_delta_beats_full_re_search(self, report):
+        # Loose (> 1) on purpose; BENCH_model.json records the real
+        # numbers (hundreds of x) and CI gates on steady_state_ms.
+        assert report["delta"]["speedups"]["vs_full_cold"] > 1
+        assert report["delta"]["speedups"]["vs_full_warm"] > 1
+
+    def test_delta_path_is_sublinear_in_the_space(self, report):
+        steady = report["delta"]["ops"]["delta/steady_state"]
+        assert steady["evaluations"] < 24310 / 10
+
+    def test_delta_workload_is_ten_apps(self):
+        machine, apps = delta_workload()
+        assert len(apps) == 10
+        assert len({a.name for a in apps}) == 10
+        assert machine.name == bench_workload()[0].name
+
+    def test_format_report_includes_delta(self, report):
+        text = format_report(report)
+        assert "delta/steady_state" in text
+        assert "steady-state delta re-optimization" in text
+
 
 class TestBenchCli:
     def test_json_mode(self, capsys, tmp_path):
@@ -79,6 +114,8 @@ class TestBenchCli:
                 "--smoke",
                 "--json",
                 "--min-speedup",
+                "0",
+                "--max-delta-ms",
                 "0",
                 "--out",
                 str(out),
@@ -94,8 +131,24 @@ class TestBenchCli:
         assert code == 1
         assert "FAIL" in capsys.readouterr().err
 
+    def test_impossible_delta_gate_fails(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--min-speedup",
+                "0",
+                "--max-delta-ms",
+                "1e-9",
+            ]
+        )
+        assert code == 1
+        assert "delta" in capsys.readouterr().err
+
     def test_committed_baseline_is_current_schema(self):
         with open("BENCH_model.json", encoding="utf-8") as fh:
             baseline = json.load(fh)
         assert baseline["schema"] == "repro-bench/1"
         assert baseline["speedups"]["search/exhaustive_fast"] >= 5.0
+        assert baseline["delta"]["steady_state_ms"] < 1.0
+        assert baseline["delta"]["speedups"]["vs_full_cold"] > 10

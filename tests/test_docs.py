@@ -12,7 +12,7 @@ import pytest
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs"
 
-DOCTESTED = [DOCS / "MODEL.md", DOCS / "TUTORIAL.md"]
+DOCTESTED = [DOCS / "MODEL.md", DOCS / "OPTIMIZER.md", DOCS / "TUTORIAL.md"]
 
 
 class TestDoctests:

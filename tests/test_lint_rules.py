@@ -539,6 +539,100 @@ class TestPerf001:
         assert hits("PERF001", src) == []
 
 
+class TestPerf002:
+    #: A churn handler that tracks the previous answer and re-searches.
+    BAD = (
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._prev_allocation: ThreadAllocation | None = None\n"
+        "    def reoptimize(self, specs):\n"
+        "        result = self.search.search(self.machine, specs)\n"
+        "        self._prev_allocation = result.allocation\n"
+    )
+
+    def test_full_search_with_tracked_previous_fires(self):
+        found = hits("PERF002", self.BAD)
+        assert [v.rule_id for v in found] == ["PERF002"]
+        assert found[0].line == 5
+        assert found[0].severity is Severity.WARNING
+        assert "_prev_allocation" in found[0].message
+
+    def test_handler_prefixes_fire(self):
+        for name in ("on_churn", "handle_join", "decide", "_optimize"):
+            src = (
+                "class S:\n"
+                "    def __init__(self):\n"
+                "        self.last_alloc = None\n"
+                f"    def {name}(self, specs):\n"
+                "        r = self.search.search(self.machine, specs)\n"
+            )
+            assert len(hits("PERF002", src)) == 1, name
+
+    def test_delta_receiver_is_quiet(self):
+        src = (
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._prev_allocation: ThreadAllocation | None = None\n"
+            "    def reoptimize(self, specs):\n"
+            "        out = self.delta.search(self.machine, specs)\n"
+        )
+        assert hits("PERF002", src) == []
+
+    def test_no_previous_state_is_quiet(self):
+        # An arbiter that searches from scratch every time has no warm
+        # start to ignore.
+        src = (
+            "class Arbiter:\n"
+            "    def decide(self, machine, requests):\n"
+            "        return self.search.search(machine, requests)\n"
+        )
+        assert hits("PERF002", src) == []
+
+    def test_non_handler_function_is_quiet(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._prev_allocation = None\n"
+            "    def offline_answer(self, specs):\n"
+            "        return self.search.search(self.machine, specs)\n"
+        )
+        assert hits("PERF002", src) == []
+
+    def test_regex_style_search_is_quiet(self):
+        # One positional argument: not the optimizer protocol.
+        src = (
+            "def handle_line(self):\n"
+            "    last_alloc = None\n"
+            "    return PATTERN.search(line)\n"
+        )
+        assert hits("PERF002", src) == []
+
+    def test_previous_allocation_in_function_locals_fires(self):
+        src = (
+            "def on_event(machine, specs, prev_alloc):\n"
+            "    last_alloc = search.search(machine, specs).allocation\n"
+            "    return last_alloc\n"
+        )
+        assert len(hits("PERF002", src)) == 1
+
+    def test_annotation_without_alloc_in_name_fires(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._last: ThreadAllocation | None = None\n"
+            "    def decide(self, machine):\n"
+            "        r = ExhaustiveSearch(self.model).search(machine, self.specs)\n"
+        )
+        assert len(hits("PERF002", src)) == 1
+
+    def test_noqa_suppresses(self):
+        src = self.BAD.replace(
+            "specs)\n        self._prev",
+            "specs)  # repro: noqa[PERF002]\n        self._prev",
+        )
+        assert hits("PERF002", src) == []
+
+
 class TestDoc001:
     def test_undocumented_exported_function_fires(self):
         src = (

@@ -56,6 +56,34 @@ class TestPresets:
             run_replay("churn-nonexistent")
 
 
+class TestDeltaMode:
+    @pytest.mark.parametrize("name", sorted(SERVE_SCENARIOS))
+    def test_every_preset_passes_the_oracle_in_delta_mode(self, name):
+        report = run_replay(name, seed=0, mode="delta")
+        assert report.passed, report.notes
+        assert report.matches_offline
+        assert report.mode == "delta"
+        assert report.delta_reoptimizations > 0
+
+    def test_full_mode_report_shows_no_delta_work(self):
+        report = run_replay("churn-basic", seed=0)
+        assert report.mode == "full"
+        assert report.delta_reoptimizations == 0
+        assert report.delta_fallbacks == 0
+
+    def test_delta_and_full_agree_on_the_final_answer(self):
+        full = run_replay("churn-basic", seed=0)
+        delta = run_replay("churn-basic", seed=0, mode="delta")
+        assert delta.final_score == full.final_score
+        assert delta.final_allocation == full.final_allocation
+
+    def test_warm_starts_dominate_after_the_cold_start(self):
+        report = run_replay("churn-basic", seed=0, mode="delta")
+        # Only the first event (and any degraded restart) lacks a
+        # previous answer to repair.
+        assert report.delta_fallbacks < report.delta_reoptimizations
+
+
 class TestReportShape:
     def test_json_round_trips(self):
         report = run_replay("churn-basic", seed=0)
@@ -63,12 +91,20 @@ class TestReportShape:
         assert data["scenario"] == "churn-basic"
         assert data["passed"] is True
         assert data["final_score"] == data["offline_score"]
+        assert data["mode"] == "full"
+        assert data["delta_reoptimizations"] == 0
 
     def test_format_mentions_the_verdict(self):
         report = run_replay("churn-basic", seed=0)
         text = report.format()
         assert "churn-basic" in text
         assert "PASS" in text
+
+    def test_format_mentions_the_delta_path(self):
+        report = run_replay("churn-basic", seed=0, mode="delta")
+        text = report.format()
+        assert "mode delta" in text
+        assert "delta path" in text
 
 
 class TestChurnEvent:

@@ -307,6 +307,75 @@ class TestThreadCommand:
             service.thread_command("ghost")
 
 
+class TestDeltaMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(machine=model_machine(), mode="incremental")
+
+    def test_full_mode_has_no_delta_searcher(self):
+        _, service = make_service()
+        assert service.delta is None
+        assert service.delta_fallbacks == 0
+
+    def test_delta_searcher_shares_model_and_fallback(self):
+        _, service = make_service(mode="delta")
+        assert service.delta is not None
+        assert service.delta.model is service.model
+        assert service.delta.fallback is service.search
+
+    def test_churn_routed_through_delta_path(self):
+        sim, service = make_service(mode="delta")
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        sim.run_until(0.05)
+        b.register(BAD)
+        sim.run_until(0.1)
+        assert service.reoptimizations == 2
+        assert service.delta_reoptimizations == 2
+        # First event is a cold start; the second warm-starts.
+        assert service.delta_fallbacks == 1
+
+    def test_delta_mode_matches_offline_search_exactly(self):
+        sim, service = make_service(mode="delta")
+        a = ServiceClient(service, "mem")
+        b = ServiceClient(service, "bad")
+        a.register(MEM)
+        sim.run_until(0.05)
+        b.register(BAD)
+        sim.run_until(0.1)
+        offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+            model_machine(), [MEM, BAD]
+        )
+        assert service.current_score() == offline.score
+        for name in ("mem", "bad"):
+            assert service.current_allocation()[name] == tuple(
+                int(t) for t in offline.allocation.threads_of(name)
+            )
+
+    def test_degraded_event_clears_the_warm_start(self):
+        sim, service = make_service(
+            mode="delta",
+            resilience=ResiliencePolicy(quorum=1.0, freshness_window=1.5),
+            report_interval=0.02,
+        )
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        service.start_watchdog()
+        sim.run_until(0.5)  # "mem" never reports: degraded path
+        assert service.degraded_reoptimizations >= 1
+        assert service._prev_allocation is None
+        assert service._prev_specs == ()
+
+    def test_full_mode_never_counts_delta_work(self):
+        sim, service = make_service()
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.1)
+        assert service.reoptimizations == 1
+        assert service.delta_reoptimizations == 0
+
+
 class TestSearchModelValidation:
     def test_mismatched_search_model_rejected(self):
         sim = Simulator()
