@@ -28,10 +28,15 @@ Commands
     incremental re-optimization latency (default 1 ms).
 ``check [paths]``
     Run the project's static-analysis suite (:mod:`repro.lint`): the
-    AST rule pack over ``paths`` (default ``src``) plus the machine
-    preset invariant checker.  ``--rules`` with no ids prints the rule
-    catalogue; ``--json`` emits machine-readable findings; ``--fail-on
-    {error,warning}`` controls the exit-code gate.
+    per-file AST rules and the whole-program rules (call graph, async
+    safety, replay determinism, metric drift) over ``paths`` (default
+    ``src``) plus the machine preset invariant checker.  Warm runs are
+    incremental via a content-hash cache (``--no-cache`` disables).
+    ``--rules`` with no ids prints the rule catalogue; ``--json`` /
+    ``--sarif [PATH]`` emit machine-readable findings; findings ratchet
+    against ``lint-baseline.json`` (``--update-baseline`` rewrites it,
+    ``--no-baseline`` ignores it); ``--fail-on {error,warning}``
+    controls the exit-code gate.
 ``chaos <scenario>``
     Run a fault-injection recovery scenario (:mod:`repro.faults`):
     ``crash-one``, ``flaky-reports``, ``lossy-links``, or

@@ -8,13 +8,22 @@ correctness tooling that catches those mistakes before they run:
 
 * :mod:`repro.lint.engine` — the AST lint engine: rule registry,
   per-file dispatch, :class:`Violation` records, ``# repro:
-  noqa[RULE]`` suppression, text and JSON reporters;
+  noqa[RULE]`` suppression (inline and module-level), text and JSON
+  reporters;
 * :mod:`repro.lint.rules` — the standard rule pack (lock discipline,
   span lifetimes, mutable defaults, swallowed exceptions, wall-clock
-  durations, float equality, cross-unit arithmetic, API-doc drift);
+  durations, float equality, cross-unit arithmetic, API-doc drift) and
+  the whole-program rules (blocking calls in async paths, locks across
+  awaits, cross-context races, replay determinism, metric-namespace
+  drift);
+* :mod:`repro.lint.project` — the whole-program layer those rules run
+  on: per-module summaries, the project call graph, and the
+  content-hash cache that makes warm runs incremental;
 * :mod:`repro.lint.invariants` — the semantic checker that loads every
   machine preset and verifies the model's conservation laws on example
   workloads (INV001-INV004);
+* :mod:`repro.lint.sarif` / :mod:`repro.lint.baseline` — the SARIF
+  2.1.0 reporter and the committed findings-baseline ratchet;
 * :mod:`repro.lint.cli` — the ``python -m repro check`` subcommand.
 
 Programmatic use::
@@ -31,9 +40,11 @@ a rule.
 
 from __future__ import annotations
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.engine import (
     FileContext,
     LintEngine,
+    ProjectRule,
     Rule,
     Severity,
     Violation,
@@ -49,12 +60,14 @@ from repro.lint.invariants import (
     check_all_presets,
     check_preset,
 )
+from repro.lint.sarif import violations_to_sarif
 
 __all__ = [
     "Severity",
     "Violation",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rule",
@@ -62,6 +75,10 @@ __all__ = [
     "format_text",
     "violations_to_json",
     "violations_from_json",
+    "violations_to_sarif",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
     "INVARIANT_IDS",
     "check_preset",
     "check_all_presets",

@@ -1,0 +1,104 @@
+"""The findings baseline: a committed ratchet over lint debt.
+
+``lint-baseline.json`` records, per ``<file>::<rule_id>`` key, how many
+findings existed when the baseline was last updated.  A check run
+subtracts the baseline: within each key the first ``count`` findings
+(by line) are suppressed as known debt, anything beyond is *new* and
+fails the run.  Fixing findings makes keys shrink; ``--update-baseline``
+re-writes the file so the lower count becomes the new ceiling — the
+ratchet only ever tightens unless a human commits a bigger baseline.
+
+Counts, not line numbers, keep the baseline stable under unrelated
+edits: moving a function does not churn the file, adding a second
+violation of the same rule to the same file does trip it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import LintError
+from repro.lint.engine import Violation
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: Default baseline path, relative to the project root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def baseline_key(violation: Violation) -> str:
+    """The ratchet key of one finding: ``<file>::<rule_id>``."""
+    return f"{violation.file}::{violation.rule_id}"
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """Read a baseline file into its key -> count map."""
+    p = Path(path)
+    try:
+        raw = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {p}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {p} is not valid JSON: {exc}") from exc
+    counts = raw.get("counts") if isinstance(raw, dict) else None
+    if not isinstance(counts, dict):
+        raise LintError(f"baseline {p} has no 'counts' object")
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(
+    violations: Sequence[Violation], path: Path | str
+) -> dict[str, int]:
+    """Write the baseline matching ``violations``; returns its counts."""
+    counts: dict[str, int] = {}
+    for v in violations:
+        key = baseline_key(v)
+        counts[key] = counts.get(key, 0) + 1
+    document = {
+        "comment": (
+            "Known lint debt, counted per file::rule. Regenerate with "
+            "'python -m repro check src/ --update-baseline'; CI fails "
+            "when any count grows."
+        ),
+        "counts": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return counts
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> tuple[list[Violation], int, list[str]]:
+    """Subtract the baseline from a findings list.
+
+    Returns ``(new, suppressed_count, fixed_keys)``: findings beyond
+    each key's baseline count (these fail the run), how many findings
+    the baseline absorbed, and baseline keys whose debt has shrunk or
+    vanished (candidates for ``--update-baseline``).
+    """
+    per_key: dict[str, list[Violation]] = {}
+    for v in sorted(violations, key=lambda v: (v.file, v.line, v.rule_id)):
+        per_key.setdefault(baseline_key(v), []).append(v)
+    new: list[Violation] = []
+    suppressed = 0
+    for key, found in per_key.items():
+        allowed = baseline.get(key, 0)
+        suppressed += min(allowed, len(found))
+        new.extend(found[allowed:])
+    fixed = sorted(
+        key
+        for key, allowed in baseline.items()
+        if len(per_key.get(key, ())) < allowed
+    )
+    new.sort(key=lambda v: (v.file, v.line, v.rule_id))
+    return new, suppressed, fixed

@@ -1,18 +1,26 @@
 """Implementation of ``python -m repro check``.
 
-Runs the AST rule pack over the given paths (default ``src``), runs the
-semantic invariant checker over every machine preset, merges the
-findings, and renders them as text or JSON.  The exit code is governed
-by ``--fail-on``: with the default ``error``, warnings are advisory and
+Runs the two-layer rule pack (per-file AST rules, then the
+whole-program rules over the call graph) plus the semantic invariant
+checker, merges the findings, subtracts the committed baseline, and
+renders the rest as text, JSON or SARIF.  The exit code is governed by
+``--fail-on``: with the default ``error``, warnings are advisory and
 only error-severity findings fail the command — which is what the CI
 gate relies on.
 
-``--rules`` with no arguments prints the full rule catalogue (syntax
-rules and invariants) and exits; with ids, it restricts the run::
+Repeat runs are incremental: a content-hash cache
+(``.repro-lint-cache.json``) skips re-parsing unchanged files; disable
+it with ``--no-cache``.
 
-    python -m repro check src/ --rules LOCK001 DEF001
-    python -m repro check --rules            # catalogue
-    python -m repro check src/ --json        # machine-readable
+``--rules`` with no arguments prints the full rule catalogue (syntax
+rules, project rules and invariants) and exits; with ids, it restricts
+the run::
+
+    python -m repro check src/ --rules LOCK001 ASYNC001
+    python -m repro check --rules              # catalogue
+    python -m repro check src/ --json          # machine-readable
+    python -m repro check src/ --sarif         # code-scanning upload
+    python -m repro check src/ --update-baseline
 """
 
 from __future__ import annotations
@@ -20,6 +28,12 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.engine import (
     LintEngine,
     Severity,
@@ -30,7 +44,7 @@ from repro.lint.engine import (
 )
 from repro.lint.invariants import INVARIANT_IDS, check_all_presets
 
-__all__ = ["add_check_parser", "run_check"]
+__all__ = ["add_check_parser", "run_check", "rule_catalogue"]
 
 
 def add_check_parser(sub: argparse._SubParsersAction) -> None:
@@ -49,6 +63,15 @@ def add_check_parser(sub: argparse._SubParsersAction) -> None:
         "--json",
         action="store_true",
         help="emit findings as a JSON array instead of text",
+    )
+    checkp.add_argument(
+        "--sarif",
+        nargs="?",
+        const="lint.sarif",
+        default=None,
+        metavar="PATH",
+        help="additionally write findings as SARIF 2.1.0 "
+        "(default path: lint.sarif)",
     )
     checkp.add_argument(
         "--rules",
@@ -70,18 +93,54 @@ def add_check_parser(sub: argparse._SubParsersAction) -> None:
         action="store_true",
         help="skip the machine-preset invariant checker",
     )
+    checkp.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file to subtract (default: {BASELINE_FILENAME} "
+        "when it exists)",
+    )
+    checkp.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    checkp.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    checkp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental parse cache "
+        "(.repro-lint-cache.json)",
+    )
+
+
+def rule_catalogue() -> list[tuple[str, str, str]]:
+    """``(id, severity, summary)`` for every rule and invariant.
+
+    This is the machine-readable source the documentation's rule table
+    is checked against (see ``docs/STATIC_ANALYSIS.md``).
+    """
+    rows = [
+        (rule_id, str(rule_cls.severity), rule_cls.summary)
+        for rule_id, rule_cls in all_rules().items()
+    ]
+    rows.extend(
+        (inv_id, "error", summary)
+        for inv_id, summary in INVARIANT_IDS.items()
+    )
+    return rows
 
 
 def _catalogue() -> str:
-    """The rule catalogue: every syntax rule and invariant, one line each."""
-    lines = []
-    for rule_id, rule_cls in all_rules().items():
-        lines.append(
-            f"{rule_id}  [{rule_cls.severity}]  {rule_cls.summary}"
-        )
-    for inv_id, summary in INVARIANT_IDS.items():
-        lines.append(f"{inv_id}  [error]  {summary}")
-    return "\n".join(lines)
+    """The rule catalogue rendering: one line per rule."""
+    return "\n".join(
+        f"{rule_id}  [{severity}]  {summary}"
+        for rule_id, severity, summary in rule_catalogue()
+    )
 
 
 def run_check(args: argparse.Namespace) -> int:
@@ -100,12 +159,21 @@ def run_check(args: argparse.Namespace) -> int:
             selected & set(INVARIANT_IDS)
         )
 
+    root = Path.cwd()
+    cache = None
+    stats: dict[str, int] | None = None
     violations: list[Violation] = []
     if syntax_rules is None or syntax_rules:
+        if not args.no_cache:
+            from repro.lint.project.cache import LintCache
+
+            cache = LintCache(root)
+            cache.load()
         engine = LintEngine(
-            rules=syntax_rules, project_root=Path.cwd()
+            rules=syntax_rules, project_root=root, cache=cache
         )
         violations.extend(engine.check_paths(args.paths))
+        stats = engine.stats
     if run_invariants:
         invariant_findings = check_all_presets()
         if selected is not None:
@@ -115,10 +183,51 @@ def run_check(args: argparse.Namespace) -> int:
         violations.extend(invariant_findings)
     violations.sort(key=lambda v: (v.file, v.line, v.rule_id))
 
+    # -- baseline ratchet ----------------------------------------------
+    baseline_path = Path(args.baseline) if args.baseline else (
+        root / BASELINE_FILENAME
+    )
+    if args.update_baseline:
+        counts = write_baseline(violations, baseline_path)
+        print(
+            f"baseline updated: {baseline_path} "
+            f"({sum(counts.values())} finding(s), {len(counts)} key(s))"
+        )
+        return 0
+    suppressed = 0
+    fixed: list[str] = []
+    if not args.no_baseline and baseline_path.is_file():
+        baseline = load_baseline(baseline_path)
+        violations, suppressed, fixed = apply_baseline(
+            violations, baseline
+        )
+
+    if args.sarif:
+        from repro.lint.sarif import violations_to_sarif
+
+        Path(args.sarif).write_text(
+            violations_to_sarif(violations) + "\n", encoding="utf-8"
+        )
+
     if args.json:
         print(violations_to_json(violations))
     else:
         print(format_text(violations))
+        notes = []
+        if stats is not None and stats["files"]:
+            notes.append(
+                f"checked {stats['files']} file(s), "
+                f"{stats['cache_hits']} from cache"
+            )
+        if suppressed:
+            notes.append(f"{suppressed} baselined finding(s) hidden")
+        if fixed:
+            notes.append(
+                f"{len(fixed)} baseline key(s) shrank - run "
+                f"--update-baseline to ratchet down"
+            )
+        if notes:
+            print("; ".join(notes))
 
     threshold = (
         Severity.ERROR if args.fail_on == "error" else Severity.WARNING

@@ -10,14 +10,28 @@ Rules register themselves with the :func:`register` decorator at import
 time (importing :mod:`repro.lint.rules` loads the whole pack), so adding
 a rule is one new class in one file — see ``docs/STATIC_ANALYSIS.md``.
 
+A second layer sits on top: :class:`ProjectRule` subclasses implement
+``check_project(project)`` against the whole-program
+:class:`~repro.lint.project.graph.ProjectContext` (symbol table, import
+graph, call graph) that the engine builds once per run — incrementally,
+through the content-hash cache of :mod:`repro.lint.project.cache`, so a
+warm run re-parses only changed files.
+
 Suppression uses a project-specific marker so it can never collide with
 tooling the repo might adopt later::
 
     lock.acquire()  # repro: noqa[LOCK001]
+    command.retry()  # repro: noqa[RETRY001,PERF002]
     anything_goes()  # repro: noqa
 
+and a module-wide form for whole-file opt-outs (ids are mandatory —
+silencing *every* rule for a file is never the right call)::
+
+    # repro: noqa-module[DOC001,OBS003]
+
 Reporters: :func:`format_text` for humans, :func:`violations_to_json` /
-:func:`violations_from_json` for machines (round-trips exactly).
+:func:`violations_from_json` for machines (round-trips exactly), and
+:func:`repro.lint.sarif.violations_to_sarif` for code-scanning UIs.
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ __all__ = [
     "Violation",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rule",
@@ -48,6 +63,11 @@ __all__ = [
 
 #: ``# repro: noqa`` or ``# repro: noqa[RULE1,RULE2]`` anywhere in a line.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: ``# repro: noqa-module[RULE1,RULE2]`` — suppresses the ids file-wide.
+_NOQA_MODULE_RE = re.compile(
+    r"#\s*repro:\s*noqa-module\[([A-Za-z0-9_,\s]+)\]"
+)
 
 #: Rule ids look like ``LOCK001`` — a short upper-case tag plus digits.
 _RULE_ID_RE = re.compile(r"^[A-Z]{2,8}[0-9]{3}$")
@@ -139,6 +159,16 @@ class FileContext:
         for node in ast.walk(self.tree):
             for child in ast.iter_child_nodes(node):
                 child.parent = node  # type: ignore[attr-defined]
+        #: rule ids suppressed for the whole file via
+        #: ``# repro: noqa-module[...]`` markers.
+        self.module_suppressions: frozenset[str] = frozenset(
+            part.strip()
+            for line in self.lines
+            for match in [_NOQA_MODULE_RE.search(line)]
+            if match is not None
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
 
     # ------------------------------------------------------------------
     def walk(self) -> Iterator[ast.AST]:
@@ -169,7 +199,9 @@ class FileContext:
         return None
 
     def suppressed(self, line: int, rule_id: str) -> bool:
-        """True when ``line`` carries a ``noqa`` covering ``rule_id``."""
+        """True when a ``noqa`` (inline or module-wide) covers ``rule_id``."""
+        if rule_id in self.module_suppressions:
+            return True
         if not 1 <= line <= len(self.lines):
             return False
         match = _NOQA_RE.search(self.lines[line - 1])
@@ -205,6 +237,38 @@ class Rule:
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
         return Violation(
             file=ctx.path,
+            line=line,
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` against the
+    :class:`~repro.lint.project.graph.ProjectContext` the engine builds
+    once per run; :meth:`check` never runs for project rules (the
+    per-file pass only extracts summaries).  Suppression still works the
+    same way — the engine consults the ``noqa`` maps captured in each
+    file's summary.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Project rules have no per-file pass."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Yield every violation found in the whole-program view."""
+        raise NotImplementedError
+
+    def project_violation(
+        self, file: str, line: int, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` at an explicit file and line."""
+        return Violation(
+            file=file,
             line=line,
             rule_id=self.rule_id,
             message=message,
@@ -258,12 +322,18 @@ class LintEngine:
     project_root:
         Root directory for repo-aware rules; defaults to the current
         working directory when checking files, ``None`` for snippets.
+    cache:
+        A :class:`~repro.lint.project.cache.LintCache` (already
+        ``load()``-ed) making :meth:`check_paths` incremental; ``None``
+        re-parses everything.  ``check_paths`` fills :attr:`stats` with
+        ``files`` / ``parsed`` / ``cache_hits`` counters either way.
     """
 
     def __init__(
         self,
         rules: Sequence[str] | None = None,
         project_root: Path | str | None = None,
+        cache=None,
     ) -> None:
         registry = all_rules()
         if rules is None:
@@ -278,24 +348,83 @@ class LintEngine:
                     )
                 selected.append(rule_id)
         self.rules: list[Rule] = [registry[r]() for r in selected]
+        self.file_rules: list[Rule] = [
+            r for r in self.rules if not isinstance(r, ProjectRule)
+        ]
+        self.project_rules: list[ProjectRule] = [
+            r for r in self.rules if isinstance(r, ProjectRule)
+        ]
         self.project_root = (
             Path(project_root) if project_root is not None else None
         )
+        self.cache = cache
+        self.stats: dict[str, int] = {
+            "files": 0, "parsed": 0, "cache_hits": 0
+        }
 
     # ------------------------------------------------------------------
-    def check_source(
-        self, source: str, filename: str = "<string>"
-    ) -> list[Violation]:
-        """Check one source string; ``noqa``-suppressed findings drop."""
-        ctx = FileContext(
-            filename, source, project_root=self.project_root
-        )
+    def _module_name(self, path: Path) -> str | None:
+        """Dotted module name under ``<project_root>/src``, else None."""
+        if self.project_root is None:
+            return None
+        try:
+            rel = path.resolve().relative_to(
+                (self.project_root / "src").resolve()
+            )
+        except ValueError:
+            return None
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts.pop()
+        return ".".join(parts) if parts else None
+
+    def _check_context(self, ctx: FileContext) -> list[Violation]:
+        """Run the per-file rules over one parsed context."""
         out: list[Violation] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             for violation in rule.check(ctx):
                 if ctx.suppressed(violation.line, violation.rule_id):
                     continue
                 out.append(violation)
+        return out
+
+    def _run_project_rules(self, summaries: list) -> list[Violation]:
+        """Build the :class:`ProjectContext` and run the second layer."""
+        if not self.project_rules or not summaries:
+            return []
+        from repro.lint.project.graph import ProjectContext
+
+        project = ProjectContext(summaries, project_root=self.project_root)
+        by_path = {s.path: s for s in summaries}
+        out: list[Violation] = []
+        for rule in self.project_rules:
+            for violation in rule.check_project(project):
+                summary = by_path.get(violation.file)
+                if summary is not None and summary.suppressed(
+                    violation.line, violation.rule_id
+                ):
+                    continue
+                out.append(violation)
+        return out
+
+    def check_source(
+        self, source: str, filename: str = "<string>"
+    ) -> list[Violation]:
+        """Check one source string; ``noqa``-suppressed findings drop.
+
+        Project rules run too, over a single-file project view — useful
+        for fixtures and snippets, though cross-file findings obviously
+        need :meth:`check_paths`.
+        """
+        ctx = FileContext(
+            filename, source, project_root=self.project_root
+        )
+        out = self._check_context(ctx)
+        if self.project_rules:
+            from repro.lint.project.summary import summarize_module
+
+            summary = summarize_module(filename, None, ctx.tree, source)
+            out.extend(self._run_project_rules([summary]))
         out.sort(key=lambda v: (v.file, v.line, v.rule_id))
         return out
 
@@ -306,18 +435,66 @@ class LintEngine:
             p.read_text(encoding="utf-8"), filename=str(p)
         )
 
-    def check_paths(self, paths: Iterable[Path | str]) -> list[Violation]:
-        """Check files and (recursively) directories of ``.py`` files."""
-        out: list[Violation] = []
+    def _collect(self, paths: Iterable[Path | str]) -> list[Path]:
+        files: list[Path] = []
         for path in paths:
             p = Path(path)
             if p.is_dir():
-                for f in sorted(p.rglob("*.py")):
-                    out.extend(self.check_file(f))
+                files.extend(sorted(p.rglob("*.py")))
             elif p.is_file():
-                out.extend(self.check_file(p))
+                files.append(p)
             else:
                 raise LintError(f"no such file or directory: {p}")
+        return files
+
+    def check_paths(self, paths: Iterable[Path | str]) -> list[Violation]:
+        """Check files and (recursively) directories of ``.py`` files.
+
+        With a cache attached, unchanged files are neither re-parsed
+        nor re-checked: their summaries and findings come back from the
+        content-hash lookup.  Project rules then run once over the
+        combined summaries.
+        """
+        from repro.lint.project.summary import summarize_module
+
+        file_rule_ids = [r.rule_id for r in self.file_rules]
+        self.stats = {"files": 0, "parsed": 0, "cache_hits": 0}
+        out: list[Violation] = []
+        summaries = []
+        for p in self._collect(paths):
+            self.stats["files"] += 1
+            raw = p.read_bytes()
+            cached = None
+            content_hash = None
+            if self.cache is not None:
+                content_hash = self.cache.content_hash(raw)
+                cached = self.cache.lookup(
+                    str(p), content_hash, file_rule_ids
+                )
+            if cached is not None:
+                summary, violations = cached
+                self.stats["cache_hits"] += 1
+            else:
+                source = raw.decode("utf-8")
+                ctx = FileContext(
+                    str(p), source, project_root=self.project_root
+                )
+                self.stats["parsed"] += 1
+                violations = self._check_context(ctx)
+                summary = summarize_module(
+                    str(p), self._module_name(p), ctx.tree, source
+                )
+                if self.cache is not None and content_hash is not None:
+                    self.cache.store(
+                        str(p), content_hash, file_rule_ids,
+                        summary, violations,
+                    )
+            out.extend(violations)
+            summaries.append(summary)
+        out.extend(self._run_project_rules(summaries))
+        if self.cache is not None:
+            self.cache.save()
+        out.sort(key=lambda v: (v.file, v.line, v.rule_id))
         return out
 
 

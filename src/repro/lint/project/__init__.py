@@ -1,0 +1,52 @@
+"""Whole-program analysis: symbol table, import graph, call graph.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time;
+properties the paper's results actually depend on — no blocking call
+reachable from the service's asyncio handlers, no unseeded randomness
+reachable from a DES replay entry point, one project-wide metric
+namespace — span module boundaries.  This package is the second layer
+of the lint engine:
+
+* :mod:`repro.lint.project.summary` — :class:`ModuleSummary`, the
+  JSON-serialisable per-module digest (imports, functions, call sites,
+  blocking/nondeterministic calls, metric name literals, state
+  mutations, ``noqa`` maps) extracted from one AST pass;
+* :mod:`repro.lint.project.graph` — :class:`ProjectContext`, the
+  project-wide view rules consume: symbol table, import graph, call
+  graph (aliased imports, ``self`` methods, constructors, attribute
+  types inferred from ``__init__``), and reachability queries;
+* :mod:`repro.lint.project.cache` — :class:`LintCache`, the
+  content-hash-keyed incremental cache that lets a warm ``python -m
+  repro check`` re-parse only changed files.
+
+Cross-module rules subclass :class:`repro.lint.engine.ProjectRule` and
+receive a :class:`ProjectContext` instead of a ``FileContext``; see
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.project.cache import CACHE_FILENAME, CACHE_VERSION, LintCache
+from repro.lint.project.graph import CallEdge, ProjectContext
+from repro.lint.project.summary import (
+    CallSite,
+    FunctionInfo,
+    MetricUse,
+    ModuleSummary,
+    MutationSite,
+    summarize_module,
+)
+
+__all__ = [
+    "ModuleSummary",
+    "FunctionInfo",
+    "CallSite",
+    "MetricUse",
+    "MutationSite",
+    "summarize_module",
+    "ProjectContext",
+    "CallEdge",
+    "LintCache",
+    "CACHE_FILENAME",
+    "CACHE_VERSION",
+]

@@ -1,0 +1,174 @@
+"""Content-hash-keyed incremental cache for the lint engine.
+
+Parsing and summarising ~100 modules dominates a ``python -m repro
+check`` run; almost none of them change between runs.  The cache
+persists, per file, the SHA-256 of its content alongside the extracted
+:class:`~repro.lint.project.summary.ModuleSummary` and the per-file
+rule findings, so a warm run re-parses only files whose content hash
+moved.  Project-wide rules always re-run — they are cheap once the
+summaries exist — but they run *from cached summaries*, never from
+re-parsed ASTs.
+
+Invalidation is deliberately coarse where it has to be:
+
+* ``CACHE_VERSION`` — bumped whenever the summary shape or any rule's
+  behaviour changes; a version mismatch discards the whole cache;
+* the **environment fingerprint** — a hash over the documentation
+  files repo-aware rules read (``docs/API.md``,
+  ``docs/OBSERVABILITY.md``); editing either invalidates everything,
+  because API001/OBS003 findings depend on them, not on the ``.py``
+  content alone;
+* per-entry **rule coverage** — an entry only hits when the requested
+  per-file rule set is a subset of the set the entry was computed with.
+
+The cache file (:data:`CACHE_FILENAME`, at the project root) is a
+plain-JSON implementation detail: corrupt, unreadable or alien content
+is silently discarded and rebuilt, and write failures (read-only
+checkouts) are swallowed — caching must never change check results or
+exit codes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.lint.engine import Violation
+from repro.lint.project.summary import ModuleSummary
+
+__all__ = ["CACHE_FILENAME", "CACHE_VERSION", "LintCache"]
+
+#: Bump on any change to summary extraction or rule behaviour.
+CACHE_VERSION = 1
+
+#: File name of the on-disk cache, relative to the project root.
+CACHE_FILENAME = ".repro-lint-cache.json"
+
+#: Documents whose content feeds repo-aware rules (API001, OBS003).
+_ENV_DOCS = ("docs/API.md", "docs/OBSERVABILITY.md")
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """Per-file summary + findings cache, keyed on content hashes.
+
+    Parameters
+    ----------
+    project_root:
+        Where the cache file lives and where the environment documents
+        are looked up.  ``load()`` and ``save()`` are both no-ops when
+        the root does not exist.
+    """
+
+    def __init__(self, project_root: Path | str) -> None:
+        self.root = Path(project_root)
+        self.path = self.root / CACHE_FILENAME
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    # -- environment fingerprint ---------------------------------------
+    def environment_fingerprint(self) -> str:
+        """Hash of everything that invalidates the cache besides content."""
+        h = hashlib.sha256()
+        h.update(str(CACHE_VERSION).encode())
+        for rel in _ENV_DOCS:
+            doc = self.root / rel
+            h.update(b"\x00" + rel.encode() + b"\x00")
+            if doc.is_file():
+                h.update(doc.read_bytes())
+        return h.hexdigest()
+
+    # -- persistence ----------------------------------------------------
+    def load(self) -> None:
+        """Read the cache file; discard silently on any mismatch."""
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("version") != CACHE_VERSION:
+            return
+        if raw.get("environment") != self.environment_fingerprint():
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._entries = files
+
+    def save(self) -> None:
+        """Atomically write the cache; failures are swallowed."""
+        if not self._dirty:
+            return
+        document = {
+            "version": CACHE_VERSION,
+            "environment": self.environment_fingerprint(),
+            "files": self._entries,
+        }
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".repro-lint-cache."
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+
+    # -- lookup ---------------------------------------------------------
+    @staticmethod
+    def content_hash(source: bytes) -> str:
+        """The key of one file's content."""
+        return _sha256(source)
+
+    def lookup(
+        self, path: str, content_hash: str, rule_ids: list[str]
+    ) -> tuple[ModuleSummary, list[Violation]] | None:
+        """Cached summary + findings, or ``None`` on any mismatch.
+
+        A hit requires the content hash to match and the requested
+        per-file ``rule_ids`` to be a subset of the rules the entry was
+        computed with (findings are filtered down to the request).
+        """
+        entry = self._entries.get(path)
+        if entry is None or entry.get("hash") != content_hash:
+            self.misses += 1
+            return None
+        if not set(rule_ids) <= set(entry.get("rules", ())):
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+            violations = [
+                Violation.from_dict(v) for v in entry["violations"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        requested = set(rule_ids)
+        self.hits += 1
+        return summary, [v for v in violations if v.rule_id in requested]
+
+    def store(
+        self,
+        path: str,
+        content_hash: str,
+        rule_ids: list[str],
+        summary: ModuleSummary,
+        violations: list[Violation],
+    ) -> None:
+        """Record one freshly computed file."""
+        self._entries[path] = {
+            "hash": content_hash,
+            "rules": sorted(rule_ids),
+            "summary": summary.to_dict(),
+            "violations": [v.to_dict() for v in violations],
+        }
+        self._dirty = True

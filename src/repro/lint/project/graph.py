@@ -1,0 +1,405 @@
+"""The project-wide view cross-module rules consume.
+
+:class:`ProjectContext` indexes every :class:`~repro.lint.project
+.summary.ModuleSummary` of a run and builds the call graph over them.
+Call resolution is deliberately *static and best-effort* — the point is
+linting, not soundness proofs — but it covers the idioms this codebase
+actually uses:
+
+* bare names — local nested defs, then module-level functions, then
+  imported names (``from x import f`` / ``import x as y``);
+* ``self.method()`` — the enclosing class, following base classes
+  defined inside the project;
+* ``self.attr.method()`` / ``var.method()`` — attribute and local
+  variable types inferred from constructor assignments
+  (``self.service = AllocationService(...)``, ``var = self.service``)
+  and annotations;
+* ``Class(...)`` — an edge to ``Class.__init__`` when it exists;
+* re-export chains — ``from repro.serve import ServiceConfig`` follows
+  the package ``__init__`` to the defining module;
+* a last-resort *unique-method* heuristic: ``x.m()`` where exactly one
+  project class defines ``m`` links to that method (over-approximate by
+  design; suppress false positives with ``noqa``).
+
+Unresolvable calls to dotted names rooted at an import are reported as
+**external** (``time.sleep``, ``numpy.einsum``) with the alias expanded
+— which is exactly what the ASYNC001/DET001 classifiers match against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.project.summary import (
+    MODULE_BODY,
+    CallSite,
+    FunctionInfo,
+    ModuleSummary,
+)
+
+__all__ = ["CallEdge", "ProjectContext"]
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call-graph edge.
+
+    ``target`` is the callee's node key for calls resolved inside the
+    project, ``None`` otherwise; ``external`` is the alias-expanded
+    dotted name for calls resolved to an import (``time.sleep``),
+    ``None`` otherwise.  Unresolved calls keep both ``None`` and retain
+    the raw spelling in ``raw``.
+    """
+
+    caller: str
+    raw: str
+    line: int
+    target: str | None = None
+    external: str | None = None
+
+
+class ProjectContext:
+    """Symbol table + import graph + call graph over one file set.
+
+    Node keys are ``"<module>:<qualname>"`` (``"<path>:<qualname>"``
+    for files outside the ``src`` root, so snippets still work).
+    ``project_root`` lets repo-aware project rules (OBS003) find the
+    documentation they diff against; ``None`` disables those checks.
+    """
+
+    def __init__(
+        self,
+        summaries: list[ModuleSummary],
+        project_root=None,
+    ) -> None:
+        self.project_root = project_root
+        #: path -> summary, in check order.
+        self.summaries: dict[str, ModuleSummary] = {
+            s.path: s for s in summaries
+        }
+        #: dotted module name -> summary (files under the src root).
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries if s.module is not None
+        }
+        #: method name -> [(summary, class qualname)] across the project.
+        self._methods_by_name: dict[str, list[tuple[ModuleSummary, str]]] = {}
+        for s in summaries:
+            for cls, entry in s.classes.items():
+                for m in entry["methods"]:
+                    self._methods_by_name.setdefault(m, []).append((s, cls))
+        self._edges: dict[str, list[CallEdge]] | None = None
+
+    # -- node naming ----------------------------------------------------
+    @staticmethod
+    def node_key(summary: ModuleSummary, qualname: str) -> str:
+        """The graph key of ``qualname`` defined in ``summary``."""
+        return f"{summary.module or summary.path}:{qualname}"
+
+    def function_of(self, key: str) -> tuple[ModuleSummary, FunctionInfo]:
+        """Inverse of :meth:`node_key` (raises ``KeyError`` if unknown)."""
+        owner, _, qualname = key.rpartition(":")
+        summary = self.modules.get(owner) or self.summaries[owner]
+        return summary, summary.functions[qualname]
+
+    def functions(self) -> Iterator[tuple[ModuleSummary, FunctionInfo]]:
+        """Every function in every summary (module bodies included)."""
+        for summary in self.summaries.values():
+            yield from (
+                (summary, fn) for fn in summary.functions.values()
+            )
+
+    # -- symbol resolution ----------------------------------------------
+    def _resolve_class(
+        self, summary: ModuleSummary, name: str, _depth: int = 0
+    ) -> tuple[ModuleSummary, str] | None:
+        """Resolve a class name written in ``summary`` to its definition."""
+        if _depth > 8:
+            return None
+        if name in summary.classes:
+            return summary, name
+        head, _, rest = name.partition(".")
+        if head in summary.imports:
+            absolute = summary.imports[head] + (f".{rest}" if rest else "")
+            return self._resolve_absolute_class(absolute, _depth + 1)
+        return None
+
+    def _split_absolute(
+        self, dotted: str
+    ) -> tuple[ModuleSummary, str] | None:
+        """Longest-module-prefix split of an absolute dotted name."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module in self.modules:
+                return self.modules[module], ".".join(parts[cut:])
+        return None
+
+    def _resolve_absolute_class(
+        self, dotted: str, _depth: int = 0
+    ) -> tuple[ModuleSummary, str] | None:
+        split = self._split_absolute(dotted)
+        if split is None:
+            return None
+        summary, remainder = split
+        if not remainder:
+            return None
+        if remainder in summary.classes:
+            return summary, remainder
+        # re-export: the package __init__ imported it from elsewhere
+        head, _, rest = remainder.partition(".")
+        if head in summary.imports and _depth <= 8:
+            absolute = summary.imports[head] + (f".{rest}" if rest else "")
+            return self._resolve_absolute_class(absolute, _depth + 1)
+        return None
+
+    def _method_in_class(
+        self,
+        summary: ModuleSummary,
+        cls: str,
+        method: str,
+        _depth: int = 0,
+    ) -> tuple[ModuleSummary, str] | None:
+        """``cls.method`` following project-internal base classes."""
+        if _depth > 8:
+            return None
+        entry = summary.classes.get(cls)
+        if entry is None:
+            return None
+        if method in entry["methods"]:
+            return summary, f"{cls}.{method}"
+        for base in entry["bases"]:
+            resolved = self._resolve_class(summary, base)
+            if resolved is not None:
+                found = self._method_in_class(
+                    resolved[0], resolved[1], method, _depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _attr_type(
+        self, summary: ModuleSummary, cls: str, attr: str
+    ) -> tuple[ModuleSummary, str] | None:
+        """The project class an instance attribute was constructed from."""
+        entry = summary.classes.get(cls)
+        if entry is None:
+            return None
+        ctor = entry["attr_types"].get(attr)
+        if ctor is None:
+            return None
+        return self._resolve_class(summary, ctor)
+
+    def _resolve_absolute_callable(
+        self, dotted: str, _depth: int = 0
+    ) -> str | None:
+        """Node key for an absolute dotted name, following re-exports."""
+        if _depth > 8:
+            return None
+        split = self._split_absolute(dotted)
+        if split is None:
+            return None
+        summary, remainder = split
+        if not remainder:
+            return None
+        if remainder in summary.functions:
+            return self.node_key(summary, remainder)
+        if remainder in summary.classes:
+            init = self._method_in_class(summary, remainder, "__init__")
+            if init is not None:
+                return self.node_key(init[0], init[1])
+            return None
+        first, _, rest = remainder.partition(".")
+        if first in summary.classes and rest:
+            found = self._method_in_class(summary, first, rest)
+            if found is not None:
+                return self.node_key(found[0], found[1])
+            return None
+        if first in summary.imports:
+            absolute = summary.imports[first] + (f".{rest}" if rest else "")
+            return self._resolve_absolute_callable(absolute, _depth + 1)
+        return None
+
+    def resolve_call(
+        self, summary: ModuleSummary, fn: FunctionInfo, call: CallSite
+    ) -> CallEdge:
+        """Resolve one call site into a :class:`CallEdge`."""
+        caller = self.node_key(summary, fn.qualname)
+        parts = call.callee.split(".")
+        head = parts[0]
+
+        def internal(target_summary: ModuleSummary, qualname: str) -> CallEdge:
+            return CallEdge(
+                caller=caller,
+                raw=call.callee,
+                line=call.line,
+                target=self.node_key(target_summary, qualname),
+            )
+
+        # self.method() / self.attr.method()
+        if head == "self" and fn.class_name is not None:
+            if len(parts) == 2:
+                found = self._method_in_class(
+                    summary, fn.class_name, parts[1]
+                )
+                if found is not None:
+                    return internal(*found)
+            elif len(parts) == 3:
+                typed = self._attr_type(summary, fn.class_name, parts[1])
+                if typed is not None:
+                    found = self._method_in_class(
+                        typed[0], typed[1], parts[2]
+                    )
+                    if found is not None:
+                        return internal(*found)
+            return self._heuristic(caller, call)
+
+        # nested defs and named lambdas, through the lexical scope chain
+        # (a closure sees every enclosing function's local defs)
+        if len(parts) == 1:
+            scope = fn.qualname
+            while True:
+                info = summary.functions.get(scope)
+                if info is not None and head in info.local_defs:
+                    return internal(summary, info.local_defs[head])
+                if ".<locals>." not in scope:
+                    break
+                scope = scope.rsplit(".<locals>.", 1)[0]
+
+        # typed local variables: var = Ctor(...) / var = self.attr
+        if len(parts) >= 2 and head in fn.local_types:
+            type_name = fn.local_types[head]
+            typed: tuple[ModuleSummary, str] | None
+            if type_name.startswith("self.") and fn.class_name is not None:
+                typed = self._attr_type(
+                    summary, fn.class_name, type_name[len("self."):]
+                )
+            else:
+                typed = self._resolve_class(summary, type_name)
+            if typed is not None:
+                found = self._method_in_class(
+                    typed[0], typed[1], parts[-1]
+                )
+                if found is not None and len(parts) == 2:
+                    return internal(*found)
+            return self._heuristic(caller, call)
+
+        # module-scope names: top-level functions, classes, imports
+        module_body = summary.functions.get(MODULE_BODY)
+        if (
+            len(parts) == 1
+            and module_body is not None
+            and head in module_body.local_defs
+        ):
+            return internal(summary, module_body.local_defs[head])
+        if head in summary.classes:
+            if len(parts) == 1:
+                found = self._method_in_class(summary, head, "__init__")
+                if found is not None:
+                    return internal(*found)
+                return CallEdge(
+                    caller=caller, raw=call.callee, line=call.line
+                )
+            found = self._method_in_class(
+                summary, head, parts[-1]
+            )
+            if found is not None and len(parts) == 2:
+                return internal(*found)
+            return self._heuristic(caller, call)
+        if head in summary.imports:
+            absolute = summary.imports[head] + (
+                "." + ".".join(parts[1:]) if len(parts) > 1 else ""
+            )
+            key = self._resolve_absolute_callable(absolute)
+            if key is not None:
+                return CallEdge(
+                    caller=caller,
+                    raw=call.callee,
+                    line=call.line,
+                    target=key,
+                )
+            return CallEdge(
+                caller=caller,
+                raw=call.callee,
+                line=call.line,
+                external=absolute,
+            )
+        return self._heuristic(caller, call)
+
+    def _heuristic(self, caller: str, call: CallSite) -> CallEdge:
+        """Unique-method fallback for receiver-typed calls we can't infer."""
+        parts = call.callee.split(".")
+        if len(parts) >= 2:
+            candidates = self._methods_by_name.get(parts[-1], [])
+            if len(candidates) == 1:
+                s, cls = candidates[0]
+                return CallEdge(
+                    caller=caller,
+                    raw=call.callee,
+                    line=call.line,
+                    target=self.node_key(s, f"{cls}.{parts[-1]}"),
+                )
+        return CallEdge(caller=caller, raw=call.callee, line=call.line)
+
+    # -- the graph ------------------------------------------------------
+    def edges(self) -> dict[str, list[CallEdge]]:
+        """Adjacency of every function, built once and memoised."""
+        if self._edges is None:
+            self._edges = {}
+            for summary, fn in self.functions():
+                key = self.node_key(summary, fn.qualname)
+                self._edges[key] = [
+                    self.resolve_call(summary, fn, call)
+                    for call in fn.calls
+                ]
+        return self._edges
+
+    def reachable_from(
+        self, roots: list[str]
+    ) -> dict[str, tuple[str | None, int]]:
+        """BFS closure: node key -> (predecessor key, call line).
+
+        Roots map to ``(None, 0)``.  The predecessor chain reconstructs
+        one example call path for diagnostics (:meth:`chain`).
+        """
+        edges = self.edges()
+        seen: dict[str, tuple[str | None, int]] = {}
+        queue: deque[str] = deque()
+        for root in roots:
+            if root not in seen:
+                seen[root] = (None, 0)
+                queue.append(root)
+        while queue:
+            key = queue.popleft()
+            for edge in edges.get(key, ()):
+                if edge.target is not None and edge.target not in seen:
+                    seen[edge.target] = (key, edge.line)
+                    queue.append(edge.target)
+        return seen
+
+    def chain(
+        self, reachable: dict[str, tuple[str | None, int]], key: str
+    ) -> list[str]:
+        """Root-to-``key`` node list using the BFS predecessor map."""
+        path = [key]
+        while True:
+            pred = reachable.get(path[-1])
+            if pred is None or pred[0] is None:
+                break
+            path.append(pred[0])
+        return list(reversed(path))
+
+    def external_calls(
+        self, keys: dict[str, tuple[str | None, int]] | list[str]
+    ) -> Iterator[tuple[ModuleSummary, FunctionInfo, CallEdge]]:
+        """External (and unresolved-dotted) call edges of the given nodes."""
+        edges = self.edges()
+        for key in keys:
+            try:
+                summary, fn = self.function_of(key)
+            except KeyError:
+                continue
+            for edge in edges.get(key, ()):
+                if edge.target is None:
+                    yield summary, fn, edge

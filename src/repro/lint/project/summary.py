@@ -1,0 +1,709 @@
+"""Per-module digests the whole-program analyzer is built from.
+
+:func:`summarize_module` walks one parsed AST and extracts everything
+the cross-module rules need — call sites, async-ness, metric name
+literals, state mutations, ``noqa`` maps — into a
+:class:`ModuleSummary` that serialises to plain JSON.  The summaries,
+not the ASTs, are what the incremental cache persists: a warm run
+rebuilds the :class:`~repro.lint.project.graph.ProjectContext` from
+cached summaries without re-parsing unchanged files.
+
+Names are recorded *as written* (``self.service.handle``,
+``np.einsum``); resolution against the import table and the symbol
+table happens later in :mod:`repro.lint.project.graph`, so a summary
+never depends on any other file's content (which is what makes per-file
+caching sound).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CallSite",
+    "MetricUse",
+    "MutationSite",
+    "FunctionInfo",
+    "ModuleSummary",
+    "summarize_module",
+]
+
+#: Mirrors the engine's inline-suppression marker (kept in sync by
+#: tests/test_lint_engine.py) so summaries can carry the noqa map
+#: without holding the source text.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+_NOQA_MODULE_RE = re.compile(
+    r"#\s*repro:\s*noqa-module\[([A-Za-z0-9_,\s]+)\]"
+)
+
+#: Pseudo-function holding import-time (module-level) statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression: the dotted callee as written, and its line."""
+
+    callee: str
+    line: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {"callee": self.callee, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallSite":
+        """Inverse of :meth:`to_dict`."""
+        return cls(callee=data["callee"], line=int(data["line"]))
+
+
+@dataclass(frozen=True)
+class MetricUse:
+    """One metric/span name literal: ``OBS.metrics.counter("x/y")`` etc.
+
+    ``name`` is the literal, with every f-string interpolation collapsed
+    to the placeholder ``<?>`` (``f"runtime/{name}/tasks"`` becomes
+    ``runtime/<?>/tasks``); ``dynamic`` is True when any placeholder is
+    present.  ``kind`` is ``counter``/``gauge``/``histogram``/``span``.
+    """
+
+    name: str
+    kind: str
+    line: int
+    dynamic: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "line": self.line,
+            "dynamic": self.dynamic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricUse":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            line=int(data["line"]),
+            dynamic=bool(data["dynamic"]),
+        )
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """A write to shared state: ``self.<attr>`` or a module global.
+
+    ``target`` is ``ClassName.attr`` for instance/class attributes and
+    the bare name for module globals (written through a ``global``
+    declaration or at module level).  ``locked`` records whether the
+    write happens under a ``with <lock>:`` in the same function.
+    """
+
+    target: str
+    line: int
+    locked: bool
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {
+            "target": self.target,
+            "line": self.line,
+            "locked": self.locked,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MutationSite":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            target=data["target"],
+            line=int(data["line"]),
+            locked=bool(data["locked"]),
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """Everything recorded about one function, method or lambda.
+
+    Attributes
+    ----------
+    qualname:
+        Dotted qualified name within the module
+        (``Class.method``, ``outer.<locals>.inner``).
+    line / is_async:
+        Definition line; whether this is an ``async def``.
+    class_name:
+        Enclosing class qualname, or ``None`` for module-level defs.
+    decorators:
+        Decorator names as written (``register``, ``functools.wraps``).
+    calls:
+        Every call expression in the body (not nested defs — those own
+        their calls).
+    lock_awaits:
+        ``(with_line, lock_name, await_line)`` triples: a synchronous
+        ``with <lock>:`` whose body awaits (LOCK002's raw material).
+    mutations:
+        Shared-state writes (THRD001's raw material).
+    local_defs:
+        Names bound to nested functions/lambdas in this body
+        (``{"inner": "outer.<locals>.inner"}``), for bare-name call
+        resolution.
+    local_types:
+        Best-effort local variable types: ``var`` assigned from a
+        constructor call records the constructor's dotted name, ``var =
+        self.attr`` records ``self.<attr>``.
+    """
+
+    qualname: str
+    line: int
+    is_async: bool = False
+    class_name: str | None = None
+    decorators: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    lock_awaits: list[tuple[int, str, int]] = field(default_factory=list)
+    mutations: list[MutationSite] = field(default_factory=list)
+    local_defs: dict[str, str] = field(default_factory=dict)
+    local_types: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "is_async": self.is_async,
+            "class_name": self.class_name,
+            "decorators": list(self.decorators),
+            "calls": [c.to_dict() for c in self.calls],
+            "lock_awaits": [list(t) for t in self.lock_awaits],
+            "mutations": [m.to_dict() for m in self.mutations],
+            "local_defs": dict(self.local_defs),
+            "local_types": dict(self.local_types),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionInfo":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            qualname=data["qualname"],
+            line=int(data["line"]),
+            is_async=bool(data["is_async"]),
+            class_name=data["class_name"],
+            decorators=list(data["decorators"]),
+            calls=[CallSite.from_dict(c) for c in data["calls"]],
+            lock_awaits=[
+                (int(a), str(b), int(c)) for a, b, c in data["lock_awaits"]
+            ],
+            mutations=[MutationSite.from_dict(m) for m in data["mutations"]],
+            local_defs=dict(data["local_defs"]),
+            local_types=dict(data["local_types"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The JSON-serialisable whole-program digest of one module.
+
+    Attributes
+    ----------
+    path / module:
+        File path as given to the engine; dotted module name under the
+        project's ``src`` root (``None`` when the file lies outside it).
+    imports:
+        Local alias -> imported target (``np`` -> ``numpy``,
+        ``ExhaustiveSearch`` -> ``repro.core.optimizer.ExhaustiveSearch``).
+    functions:
+        Qualname -> :class:`FunctionInfo`; module-level statements live
+        under the pseudo-function :data:`MODULE_BODY`.
+    classes:
+        Class qualname -> ``{"bases": [...], "methods": [...],
+        "attr_types": {attr: dotted-ctor}}``.
+    metrics:
+        Every metric/span name literal in the module.
+    thread_targets:
+        Dotted names handed to ``threading.Thread(target=...)`` /
+        ``loop.run_in_executor(..., fn)`` / ``asyncio.to_thread(fn)`` —
+        the thread-context roots for THRD001.
+    noqa / module_noqa:
+        Line -> suppressed rule ids (``["*"]`` for a bare marker), and
+        the file-wide ``# repro: noqa-module[...]`` ids.
+    """
+
+    path: str
+    module: str | None
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, dict] = field(default_factory=dict)
+    metrics: list[MetricUse] = field(default_factory=list)
+    thread_targets: list[tuple[str, int]] = field(default_factory=list)
+    noqa: dict[int, list[str]] = field(default_factory=dict)
+    module_noqa: list[str] = field(default_factory=list)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Does the summary's noqa map silence ``rule_id`` at ``line``?"""
+        if rule_id in self.module_noqa:
+            return True
+        ids = self.noqa.get(line)
+        if ids is None:
+            return False
+        return "*" in ids or rule_id in ids
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSON record)."""
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": dict(self.imports),
+            "functions": {
+                q: f.to_dict() for q, f in self.functions.items()
+            },
+            "classes": self.classes,
+            "metrics": [m.to_dict() for m in self.metrics],
+            "thread_targets": [list(t) for t in self.thread_targets],
+            "noqa": {str(k): v for k, v in self.noqa.items()},
+            "module_noqa": list(self.module_noqa),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            imports=dict(data["imports"]),
+            functions={
+                q: FunctionInfo.from_dict(f)
+                for q, f in data["functions"].items()
+            },
+            classes=dict(data["classes"]),
+            metrics=[MetricUse.from_dict(m) for m in data["metrics"]],
+            thread_targets=[
+                (str(n), int(ln)) for n, ln in data["thread_targets"]
+            ],
+            noqa={int(k): list(v) for k, v in data["noqa"].items()},
+            module_noqa=list(data["module_noqa"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lockish_name(dotted: str | None) -> bool:
+    """Same lock heuristic as the LOCK001 rule, on a dotted string."""
+    if not dotted:
+        return False
+    leaf = dotted.rsplit(".", 1)[-1].lower()
+    return any(tag in leaf for tag in ("lock", "mutex", "sem"))
+
+
+def _metric_name(arg: ast.expr) -> tuple[str, bool] | None:
+    """``(template, dynamic)`` for a str/f-string literal, else None."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, False
+    if isinstance(arg, ast.JoinedStr):
+        parts: list[str] = []
+        dynamic = False
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant) and isinstance(
+                piece.value, str
+            ):
+                parts.append(piece.value)
+            else:
+                parts.append("<?>")
+                dynamic = True
+        return "".join(parts), dynamic
+    return None
+
+
+_METRIC_METHODS = {"counter", "gauge", "histogram"}
+_HANDLE_KINDS = {
+    "CounterHandle": "counter",
+    "GaugeHandle": "gauge",
+    "HistogramHandle": "histogram",
+}
+
+
+class _Extractor(ast.NodeVisitor):
+    """Single-pass AST walk filling a :class:`ModuleSummary`."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        #: (qualname-prefix-parts, FunctionInfo) stack; module level is
+        #: represented by the MODULE_BODY pseudo-function.
+        module_fn = FunctionInfo(qualname=MODULE_BODY, line=1)
+        summary.functions[MODULE_BODY] = module_fn
+        self._fn_stack: list[FunctionInfo] = [module_fn]
+        self._class_stack: list[str] = []
+        self._name_stack: list[str] = []
+        self._with_locks: list[str] = []
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def _fn(self) -> FunctionInfo:
+        return self._fn_stack[-1]
+
+    def _qual(self, name: str) -> str:
+        return ".".join(self._name_stack + [name]) if self._name_stack else name
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            self.summary.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self.summary.imports[local] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- definitions ---------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = self._qual(node.name)
+        bases = [b for b in (_dotted(base) for base in node.bases) if b]
+        entry = self.summary.classes.setdefault(
+            qual, {"bases": [], "methods": [], "attr_types": {}}
+        )
+        entry["bases"] = bases
+        for deco in node.decorator_list:
+            name = _dotted(deco.func if isinstance(deco, ast.Call) else deco)
+            if name:
+                self._fn.calls.append(CallSite(callee=name, line=node.lineno))
+        # class-body annotations declare attribute types
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                anno = _dotted(stmt.annotation)
+                if anno:
+                    entry["attr_types"].setdefault(stmt.target.id, anno)
+        self._class_stack.append(qual)
+        self._name_stack.append(node.name)
+        self.generic_visit(node)
+        self._name_stack.pop()
+        self._class_stack.pop()
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qual = self._qual(node.name)
+        class_name = self._class_stack[-1] if self._class_stack else None
+        # only direct class-body defs are methods of that class
+        if class_name is not None and qual != f"{class_name}.{node.name}":
+            class_name = None
+        if class_name is not None:
+            entry = self.summary.classes.setdefault(
+                class_name, {"bases": [], "methods": [], "attr_types": {}}
+            )
+            entry["methods"].append(node.name)
+        decorators = []
+        for deco in node.decorator_list:
+            name = _dotted(deco.func if isinstance(deco, ast.Call) else deco)
+            if name:
+                decorators.append(name)
+                self._fn.calls.append(
+                    CallSite(callee=name, line=node.lineno)
+                )
+        info = FunctionInfo(
+            qualname=qual,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_name=class_name,
+            decorators=decorators,
+        )
+        self.summary.functions[qual] = info
+        if class_name is None:
+            # bare-name calls resolve through the *enclosing* function's
+            # local defs; methods are reached via self/instances instead
+            self._fn.local_defs.setdefault(node.name, qual)
+        self._fn_stack.append(info)
+        self._name_stack.extend(
+            [node.name, "<locals>"]
+        )
+        saved_locks = self._with_locks
+        self._with_locks = []
+        for child in node.body:
+            self.visit(child)
+        self._with_locks = saved_locks
+        self._name_stack.pop()
+        self._name_stack.pop()
+        self._fn_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        qual = self._qual(f"<lambda@{node.lineno}>")
+        info = FunctionInfo(qualname=qual, line=node.lineno)
+        self.summary.functions[qual] = info
+        self._fn_stack.append(info)
+        self.visit(node.body)
+        self._fn_stack.pop()
+
+    # -- statements ----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_mutations(node.targets, node.lineno)
+        self._record_local_binding(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_mutations([node.target], node.lineno)
+        # ``self.attr: SomeType`` (with or without value) types the attr
+        if (
+            isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "self"
+            and self._fn.class_name is not None
+        ):
+            anno = _dotted(node.annotation)
+            if anno:
+                entry = self.summary.classes[self._fn.class_name]
+                entry["attr_types"].setdefault(node.target.attr, anno)
+        if node.value is not None:
+            self._record_local_binding([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_mutations([node.target], node.lineno)
+        self.generic_visit(node)
+
+    def _record_local_binding(
+        self, targets: list[ast.expr], value: ast.expr
+    ) -> None:
+        if len(targets) != 1:
+            return
+        target = targets[0]
+        if isinstance(value, ast.Lambda):
+            # visit_Lambda runs later via generic_visit; pre-compute its
+            # qualname so the binding is available for call resolution.
+            lam_qual = self._qual(f"<lambda@{value.lineno}>")
+            if isinstance(target, ast.Name):
+                self._fn.local_defs[target.id] = lam_qual
+            return
+        if not isinstance(target, ast.Name):
+            # ``self.attr = Ctor(...)`` types the attribute
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self._fn.class_name is not None
+                and isinstance(value, ast.Call)
+            ):
+                ctor = _dotted(value.func)
+                if ctor and (ctor[:1].isupper() or "." in ctor):
+                    entry = self.summary.classes[self._fn.class_name]
+                    entry["attr_types"].setdefault(target.attr, ctor)
+            return
+        if isinstance(value, ast.Call):
+            ctor = _dotted(value.func)
+            if ctor:
+                self._fn.local_types[target.id] = ctor
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            self._fn.local_types[target.id] = f"self.{value.attr}"
+
+    def _record_mutations(
+        self, targets: list[ast.expr], line: int
+    ) -> None:
+        fn = self._fn
+        locked = bool(self._with_locks)
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                self._record_mutations(list(target.elts), line)
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and fn.class_name is not None
+            ):
+                fn.mutations.append(
+                    MutationSite(
+                        target=f"{fn.class_name}.{target.attr}",
+                        line=line,
+                        locked=locked,
+                    )
+                )
+            elif (
+                isinstance(target, ast.Name)
+                and fn.qualname == MODULE_BODY
+            ):
+                fn.mutations.append(
+                    MutationSite(target=target.id, line=line, locked=locked)
+                )
+            elif isinstance(target, ast.Name) and target.id in getattr(
+                fn, "_globals", ()
+            ):
+                fn.mutations.append(
+                    MutationSite(target=target.id, line=line, locked=locked)
+                )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        fn = self._fn
+        declared = getattr(fn, "_globals", None)
+        if declared is None:
+            declared = set()
+            fn._globals = declared  # type: ignore[attr-defined]
+        declared.update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node, is_async=False)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node, is_async=True)
+
+    def _visit_with(
+        self, node: ast.With | ast.AsyncWith, is_async: bool
+    ) -> None:
+        lock_names = []
+        for item in node.items:
+            expr = item.context_expr
+            dotted = _dotted(
+                expr.func if isinstance(expr, ast.Call) else expr
+            )
+            if _is_lockish_name(dotted):
+                lock_names.append(dotted)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        # ``async with lock`` is an asyncio lock — designed to be held
+        # across awaits; only a *sync* with on a lock is suspect.
+        if lock_names and not is_async:
+            awaits = [
+                inner.lineno
+                for inner in ast.walk(node)  # body only: defs skipped below
+                if isinstance(inner, ast.Await)
+                and self._directly_enclosed(inner, node)
+            ]
+            for await_line in awaits:
+                for name in lock_names:
+                    self._fn.lock_awaits.append(
+                        (node.lineno, name, await_line)
+                    )
+        self._with_locks.extend(lock_names)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in lock_names:
+            self._with_locks.pop()
+
+    @staticmethod
+    def _directly_enclosed(inner: ast.AST, outer: ast.AST) -> bool:
+        """True when no function boundary separates ``inner`` from ``outer``."""
+        current = getattr(inner, "parent", None)
+        while current is not None and current is not outer:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                return False
+            current = getattr(current, "parent", None)
+        return current is outer
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted(node.func)
+        if callee is not None:
+            self._fn.calls.append(CallSite(callee=callee, line=node.lineno))
+            self._record_metric(node, callee)
+            self._record_thread_target(node, callee)
+        self.generic_visit(node)
+
+    def _record_metric(self, node: ast.Call, callee: str) -> None:
+        leaf = callee.rsplit(".", 1)[-1]
+        kind: str | None = None
+        if leaf in _HANDLE_KINDS:
+            kind = _HANDLE_KINDS[leaf]
+        elif leaf in _METRIC_METHODS and "." in callee:
+            receiver_leaf = callee.rsplit(".", 2)[-2].lower()
+            if "metric" in receiver_leaf or "registry" in receiver_leaf:
+                kind = leaf
+        elif leaf == "span" and "." in callee:
+            receiver_leaf = callee.rsplit(".", 2)[-2].lower()
+            if "tracer" in receiver_leaf or receiver_leaf == "obs":
+                kind = "span"
+        if kind is None or not node.args:
+            return
+        named = _metric_name(node.args[0])
+        if named is None:
+            return
+        name, dynamic = named
+        self.summary.metrics.append(
+            MetricUse(name=name, kind=kind, line=node.lineno, dynamic=dynamic)
+        )
+
+    def _record_thread_target(self, node: ast.Call, callee: str) -> None:
+        leaf = callee.rsplit(".", 1)[-1]
+        target: ast.expr | None = None
+        if leaf == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = kw.value
+        elif leaf == "run_in_executor" and len(node.args) >= 2:
+            target = node.args[1]
+        elif leaf == "to_thread" and node.args:
+            target = node.args[0]
+        if target is None:
+            return
+        dotted = _dotted(target)
+        if dotted:
+            self.summary.thread_targets.append((dotted, node.lineno))
+
+
+def summarize_module(
+    path: str, module: str | None, tree: ast.Module, source: str
+) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` of one parsed module.
+
+    ``tree`` must carry parent links (the engine's
+    :class:`~repro.lint.engine.FileContext` provides them); ``source``
+    is only consulted for the ``noqa`` line maps.
+    """
+    summary = ModuleSummary(path=path, module=module)
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        module_match = _NOQA_MODULE_RE.search(text)
+        if module_match:
+            summary.module_noqa.extend(
+                part.strip()
+                for part in module_match.group(1).split(",")
+                if part.strip()
+            )
+            continue
+        match = _NOQA_RE.search(text)
+        if match:
+            ids = match.group(1)
+            summary.noqa[lineno] = (
+                ["*"]
+                if ids is None
+                else [p.strip() for p in ids.split(",") if p.strip()]
+            )
+    _Extractor(summary).visit(tree)
+    return summary

@@ -10,6 +10,8 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.docs` — DOC001
 * :mod:`repro.lint.rules.retry` — RETRY001
 * :mod:`repro.lint.rules.perf` — PERF001, PERF002
+* :mod:`repro.lint.rules.project_rules` — ASYNC001, LOCK002, THRD001,
+  DET001, OBS003 (whole-program; see :mod:`repro.lint.project`)
 
 See ``docs/STATIC_ANALYSIS.md`` for the full catalogue with rationale
 and examples, and :mod:`repro.lint.engine` for how to add a rule.
@@ -32,6 +34,13 @@ from repro.lint.rules.pyhygiene import (
     WallClockDuration,
 )
 from repro.lint.rules.perf import FullSearchInChurnPath, MetricLookupInLoop
+from repro.lint.rules.project_rules import (
+    BlockingCallInAsyncPath,
+    MetricNamespaceDrift,
+    NondeterminismInReplayPath,
+    SyncLockAcrossAwait,
+    UnlockedCrossContextMutation,
+)
 from repro.lint.rules.retry import UnboundedRetryLoop
 from repro.lint.rules.units import CrossUnitArithmetic
 
@@ -50,4 +59,9 @@ __all__ = [
     "UndocumentedPublicName",
     "MetricLookupInLoop",
     "FullSearchInChurnPath",
+    "BlockingCallInAsyncPath",
+    "SyncLockAcrossAwait",
+    "UnlockedCrossContextMutation",
+    "NondeterminismInReplayPath",
+    "MetricNamespaceDrift",
 ]

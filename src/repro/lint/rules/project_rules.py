@@ -1,0 +1,467 @@
+"""Cross-module rules: async safety, determinism, metric-namespace drift.
+
+These are the rules the per-file layer cannot express — each one walks
+the :class:`~repro.lint.project.graph.ProjectContext` call graph or the
+project-wide metric registry:
+
+* ASYNC001 — a blocking call (``time.sleep``, ``subprocess.run``,
+  synchronous file I/O, ...) reachable from an ``async def``.  One
+  stalled handler freezes the allocation service's entire event loop,
+  which the serve-layer latency histograms would mis-attribute to the
+  optimizer.
+* LOCK002 — a *synchronous* lock held across an ``await``.  The
+  coroutine suspends with the lock taken; any other task (or thread)
+  touching that lock deadlocks or serialises the loop.  ``async with``
+  on an asyncio lock is the correct idiom and is exempt.
+* THRD001 — state mutated from both a thread context
+  (``Thread(target=...)``, ``run_in_executor``) and an event-loop
+  context with no lock held at either site.
+* DET001 — wall-clock or process-global randomness reachable from a
+  DES replay entry point.  Replays are byte-identical only while every
+  decision flows from the simulation clock and seeded RNGs.
+* OBS003 — the project-wide metric/span registry: kind-consistency,
+  naming convention, and drift in both directions against the table in
+  ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.lint.engine import ProjectRule, Severity, Violation, register
+
+__all__ = [
+    "BlockingCallInAsyncPath",
+    "SyncLockAcrossAwait",
+    "UnlockedCrossContextMutation",
+    "NondeterminismInReplayPath",
+    "MetricNamespaceDrift",
+]
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _fmt_chain(project, reachable, key: int | str) -> str:
+    """``a -> b -> c`` rendering of one example call path to ``key``."""
+    names = []
+    for node in project.chain(reachable, key):
+        _, _, qualname = node.rpartition(":")
+        names.append(qualname)
+    return " -> ".join(names)
+
+
+# ----------------------------------------------------------------------
+# ASYNC001
+# ----------------------------------------------------------------------
+#: Calls that block the calling thread (and with it, the event loop).
+_BLOCKING_EXACT = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "input",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+}
+_BLOCKING_PREFIXES = ("subprocess.",)
+#: Attribute leaves that are file I/O on whatever the receiver is; only
+#: matched on *unresolved* receivers (a resolved project method named
+#: ``read_text`` would be linked, not external).
+_BLOCKING_IO_LEAVES = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+def _is_blocking(edge) -> str | None:
+    """The blocking callable's name, or ``None``."""
+    name = edge.external or edge.raw
+    if name in _BLOCKING_EXACT or name == "open":
+        return name
+    if any(name.startswith(p) for p in _BLOCKING_PREFIXES):
+        return name
+    if edge.external is None and _leaf(edge.raw) in _BLOCKING_IO_LEAVES:
+        return edge.raw
+    return None
+
+
+@register
+class BlockingCallInAsyncPath(ProjectRule):
+    """ASYNC001: blocking call reachable from an ``async def``."""
+
+    rule_id = "ASYNC001"
+    severity = Severity.ERROR
+    summary = (
+        "Blocking call (sleep/subprocess/sync file I/O) reachable from "
+        "an async def; it stalls the whole event loop - await an async "
+        "equivalent or push it through run_in_executor/to_thread"
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Walk the call closure of every ``async def``."""
+        roots = [
+            project.node_key(summary, fn.qualname)
+            for summary, fn in project.functions()
+            if fn.is_async
+        ]
+        if not roots:
+            return
+        reachable = project.reachable_from(roots)
+        for summary, fn, edge in project.external_calls(reachable):
+            blocked = _is_blocking(edge)
+            if blocked is None:
+                continue
+            chain = _fmt_chain(project, reachable, edge.caller)
+            yield self.project_violation(
+                summary.path,
+                edge.line,
+                f"blocking call {blocked}() reachable from async "
+                f"context via {chain}",
+            )
+
+
+# ----------------------------------------------------------------------
+# LOCK002
+# ----------------------------------------------------------------------
+@register
+class SyncLockAcrossAwait(ProjectRule):
+    """LOCK002: synchronous ``with <lock>:`` body contains ``await``."""
+
+    rule_id = "LOCK002"
+    severity = Severity.ERROR
+    summary = (
+        "Synchronous lock held across an await; the coroutine suspends "
+        "with the lock taken - use asyncio.Lock with 'async with', or "
+        "release before awaiting"
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Report every recorded lock-across-await triple."""
+        for summary, fn in project.functions():
+            for with_line, lock_name, await_line in fn.lock_awaits:
+                yield self.project_violation(
+                    summary.path,
+                    with_line,
+                    f"sync lock {lock_name!r} held across await on "
+                    f"line {await_line} (in {fn.qualname})",
+                )
+
+
+# ----------------------------------------------------------------------
+# THRD001
+# ----------------------------------------------------------------------
+@register
+class UnlockedCrossContextMutation(ProjectRule):
+    """THRD001: state written from thread and event-loop, no lock."""
+
+    rule_id = "THRD001"
+    severity = Severity.WARNING
+    summary = (
+        "State mutated from both a thread target and an async context "
+        "with no lock held at one of the writes - guard both sides "
+        "with the same lock or confine the state to one context"
+    )
+
+    def _thread_roots(self, project) -> list[str]:
+        from repro.lint.project.summary import MODULE_BODY, CallSite
+
+        roots = []
+        for summary in project.summaries.values():
+            module_fn = summary.functions[MODULE_BODY]
+            for dotted, line in summary.thread_targets:
+                edge = project.resolve_call(
+                    summary, module_fn, CallSite(callee=dotted, line=line)
+                )
+                if edge.target is not None:
+                    roots.append(edge.target)
+        return roots
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Intersect thread-reachable and async-reachable writes."""
+        thread_roots = self._thread_roots(project)
+        async_roots = [
+            project.node_key(summary, fn.qualname)
+            for summary, fn in project.functions()
+            if fn.is_async
+        ]
+        if not thread_roots or not async_roots:
+            return
+        in_thread = project.reachable_from(thread_roots)
+        in_async = project.reachable_from(async_roots)
+
+        def writes(reachable) -> dict[str, list]:
+            sites: dict[str, list] = {}
+            for key in reachable:
+                try:
+                    summary, fn = project.function_of(key)
+                except KeyError:
+                    continue
+                for mut in fn.mutations:
+                    sites.setdefault(mut.target, []).append(
+                        (summary, fn, mut)
+                    )
+            return sites
+
+        thread_writes = writes(in_thread)
+        async_writes = writes(in_async)
+        reported = set()
+        for target in sorted(set(thread_writes) & set(async_writes)):
+            both = thread_writes[target] + async_writes[target]
+            if all(mut.locked for _, _, mut in both):
+                continue
+            for summary, fn, mut in both:
+                if mut.locked:
+                    continue
+                site = (summary.path, mut.line, target)
+                if site in reported:
+                    continue
+                reported.add(site)
+                yield self.project_violation(
+                    summary.path,
+                    mut.line,
+                    f"{target} is written from both thread and async "
+                    f"contexts; this write (in {fn.qualname}) holds "
+                    f"no lock",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET001
+# ----------------------------------------------------------------------
+#: Entry-point module prefixes whose call closure must be deterministic.
+_REPLAY_MODULES = ("repro.sim", "repro.serve.scenarios", "repro.core.delta")
+
+#: Process-global nondeterminism: wall clocks and unseeded randomness.
+_NONDET_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "os.urandom",
+}
+_NONDET_PREFIXES = ("secrets.",)
+#: Module-level ``random.*`` / ``numpy.random.*`` drive the process-wide
+#: RNG; seeded instances (``random.Random(seed)``, ``default_rng(seed)``)
+#: are the deterministic idiom and stay allowed.
+_NONDET_RANDOM_MODULES = ("random.", "numpy.random.")
+_NONDET_RANDOM_ALLOWED = {"Random", "default_rng", "Generator", "SeedSequence"}
+
+
+def _is_nondeterministic(edge) -> str | None:
+    name = edge.external or edge.raw
+    if name in _NONDET_EXACT:
+        return name
+    if any(name.startswith(p) for p in _NONDET_PREFIXES):
+        return name
+    for module in _NONDET_RANDOM_MODULES:
+        if name.startswith(module):
+            rest = name[len(module):]
+            if "." not in rest and rest not in _NONDET_RANDOM_ALLOWED:
+                return name
+    return None
+
+
+def _in_replay_module(module: str | None) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _REPLAY_MODULES
+    )
+
+
+@register
+class NondeterminismInReplayPath(ProjectRule):
+    """DET001: wall clock / global RNG reachable from replay code."""
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    summary = (
+        "Wall clock or process-global randomness reachable from a DES "
+        "replay entry point; replays stop being byte-identical - use "
+        "the simulation clock and seeded RNG instances"
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Walk the call closure of the replay modules."""
+        roots = [
+            project.node_key(summary, fn.qualname)
+            for summary, fn in project.functions()
+            if _in_replay_module(summary.module)
+        ]
+        if not roots:
+            return
+        reachable = project.reachable_from(roots)
+        seen = set()
+        for summary, fn, edge in project.external_calls(reachable):
+            name = _is_nondeterministic(edge)
+            if name is None:
+                continue
+            site = (summary.path, edge.line, name)
+            if site in seen:
+                continue
+            seen.add(site)
+            chain = _fmt_chain(project, reachable, edge.caller)
+            yield self.project_violation(
+                summary.path,
+                edge.line,
+                f"nondeterministic call {name}() reachable from replay "
+                f"entry point via {chain}",
+            )
+
+
+# ----------------------------------------------------------------------
+# OBS003
+# ----------------------------------------------------------------------
+#: A documented name cell: every backticked token in the first column.
+_DOC_ROW_RE = re.compile(r"^\s*\|(.+?)\|(.+?)\|")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_DOC_KINDS = {
+    "counter": "counter",
+    "counters": "counter",
+    "gauge": "gauge",
+    "gauges": "gauge",
+    "histogram": "histogram",
+    "histograms": "histogram",
+    "span": "span",
+    "spans": "span",
+}
+#: Static metric names: lowercase slash-separated, >= 2 segments; the
+#: ``<?>`` placeholder stands for a collapsed f-string field.
+_SEGMENT_RE = re.compile(r"^(?:<\?>|[a-z0-9_.<>?-]+)$")
+
+_OBS_DOC = "docs/OBSERVABILITY.md"
+
+
+def _parse_doc_table(text: str) -> list[tuple[str, str, int]]:
+    """``(name, kind, line)`` for every documented metric name."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        row = _DOC_ROW_RE.match(line)
+        if row is None:
+            continue
+        kind_cell = row.group(2).strip().lower()
+        kind = _DOC_KINDS.get(kind_cell)
+        if kind is None:
+            continue
+        for name in _BACKTICK_RE.findall(row.group(1)):
+            out.append((name, kind, lineno))
+    return out
+
+
+def _segments_match(doc_seg: str, code_seg: str) -> bool:
+    if doc_seg == "*" or (doc_seg.startswith("<") and doc_seg.endswith(">")):
+        return True
+    if code_seg == "<?>" or "<?>" in code_seg:
+        return True
+    return doc_seg == code_seg
+
+
+def _name_matches(doc_name: str, code_name: str) -> bool:
+    doc_parts = doc_name.split("/")
+    code_parts = code_name.split("/")
+    if doc_parts and doc_parts[-1] == "*":
+        if len(code_parts) < len(doc_parts):
+            return False
+        doc_parts = doc_parts[:-1] + ["*"] * (
+            len(code_parts) - len(doc_parts) + 1
+        )
+    if len(doc_parts) != len(code_parts):
+        return False
+    return all(
+        _segments_match(d, c) for d, c in zip(doc_parts, code_parts)
+    )
+
+
+@register
+class MetricNamespaceDrift(ProjectRule):
+    """OBS003: metric registry consistency + OBSERVABILITY.md drift."""
+
+    rule_id = "OBS003"
+    severity = Severity.WARNING
+    summary = (
+        "Project-wide metric namespace check: one kind per name, "
+        "lowercase area/name convention, and no drift in either "
+        "direction against the docs/OBSERVABILITY.md table"
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        """Check the merged metric registry, then diff the docs."""
+        uses = [
+            (summary, use)
+            for summary in project.summaries.values()
+            for use in summary.metrics
+        ]
+        # -- kind consistency ------------------------------------------
+        first_kind: dict[str, tuple[str, str, int]] = {}
+        for summary, use in uses:
+            prior = first_kind.setdefault(
+                use.name, (use.kind, summary.path, use.line)
+            )
+            if prior[0] != use.kind:
+                yield self.project_violation(
+                    summary.path,
+                    use.line,
+                    f"metric {use.name!r} used as {use.kind} here but "
+                    f"as {prior[0]} at {prior[1]}:{prior[2]}",
+                )
+        # -- naming convention -----------------------------------------
+        for summary, use in uses:
+            parts = use.name.split("/")
+            if len(parts) < 2 or not all(
+                p and _SEGMENT_RE.match(p) for p in parts
+            ):
+                yield self.project_violation(
+                    summary.path,
+                    use.line,
+                    f"metric name {use.name!r} violates the lowercase "
+                    f"<area>/<name> convention",
+                )
+        # -- drift against the documentation ---------------------------
+        if project.project_root is None:
+            return
+        doc_path = project.project_root / _OBS_DOC
+        if not doc_path.is_file():
+            return
+        documented = _parse_doc_table(
+            doc_path.read_text(encoding="utf-8")
+        )
+        doc_names = [(name, line) for name, _, line in documented]
+        for summary, use in uses:
+            if not any(
+                _name_matches(doc, use.name) for doc, _ in doc_names
+            ):
+                yield self.project_violation(
+                    summary.path,
+                    use.line,
+                    f"metric {use.name!r} is not documented in "
+                    f"{_OBS_DOC}",
+                )
+        # The documented-but-unused direction is only meaningful when
+        # the whole source tree was checked; a narrow path selection
+        # (one file, one subpackage) trivially "misses" most metrics.
+        # A top-level package among the summaries is the tell.
+        if not any("." not in mod for mod in project.modules):
+            return
+        code_names = [use.name for _, use in uses]
+        for doc_name, _, line in documented:
+            if not any(
+                _name_matches(doc_name, code) for code in code_names
+            ):
+                yield self.project_violation(
+                    _OBS_DOC,
+                    line,
+                    f"metric {doc_name!r} is documented but never "
+                    f"recorded by the code",
+                )

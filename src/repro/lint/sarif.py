@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 reporter for the lint engine.
+
+SARIF (Static Analysis Results Interchange Format) is the format code
+scanning UIs ingest.  :func:`violations_to_sarif` renders a violation
+list as one SARIF *run*: the tool's ``driver`` carries the rule
+catalogue (id, summary, default severity) for every rule that appears,
+and each violation becomes a ``result`` with a physical location
+(relative URI + start line) and a ``ruleIndex`` back-reference into the
+catalogue.
+
+The output targets the published 2.1.0 schema; the structural subset we
+emit is pinned by ``tests/test_lint_sarif.py`` so the reporter cannot
+drift without a test telling on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro._version import __version__
+from repro.lint.engine import Severity, Violation, all_rules
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "violations_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Lint severities -> SARIF result levels.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule_id: str, summary: str, severity: str) -> dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": severity},
+    }
+
+
+def _known_rules() -> dict[str, tuple[str, str]]:
+    """Rule id -> (summary, level) for syntax rules and invariants."""
+    from repro.lint.invariants import INVARIANT_IDS
+
+    known = {
+        rule_id: (cls.summary, _LEVELS[cls.severity])
+        for rule_id, cls in all_rules().items()
+    }
+    for inv_id, summary in INVARIANT_IDS.items():
+        known.setdefault(inv_id, (summary, "error"))
+    return known
+
+
+def violations_to_sarif(violations: Sequence[Violation]) -> str:
+    """Serialise ``violations`` as a SARIF 2.1.0 document (a JSON string).
+
+    The driver's rule array lists exactly the rules that fired, in
+    first-appearance order; unknown rule ids (possible when replaying a
+    findings file from a newer checkout) still get a bare descriptor.
+    """
+    known = _known_rules()
+    rule_ids: list[str] = []
+    rule_index: dict[str, int] = {}
+    results = []
+    for v in violations:
+        if v.rule_id not in rule_index:
+            rule_index[v.rule_id] = len(rule_ids)
+            rule_ids.append(v.rule_id)
+        results.append(
+            {
+                "ruleId": v.rule_id,
+                "ruleIndex": rule_index[v.rule_id],
+                "level": _LEVELS[v.severity],
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": v.file.replace("\\", "/"),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": max(v.line, 1)},
+                        }
+                    }
+                ],
+            }
+        )
+    rules = [
+        _rule_descriptor(
+            rule_id, *known.get(rule_id, ("(unknown rule)", "warning"))
+        )
+        for rule_id in rule_ids
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -12,7 +12,12 @@ import pytest
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs"
 
-DOCTESTED = [DOCS / "MODEL.md", DOCS / "OPTIMIZER.md", DOCS / "TUTORIAL.md"]
+DOCTESTED = [
+    DOCS / "MODEL.md",
+    DOCS / "OPTIMIZER.md",
+    DOCS / "TUTORIAL.md",
+    DOCS / "STATIC_ANALYSIS.md",
+]
 
 
 class TestDoctests:

@@ -1,0 +1,480 @@
+"""Whole-program layer tests: summaries, call graph, incremental cache.
+
+The call-graph cases pin the resolution idioms the cross-module rules
+rely on — aliased imports, ``self`` methods through base classes,
+decorators, nested defs and lambdas, constructor-typed attributes and
+re-export chains — and the cache cases pin the incremental contract:
+hit on unchanged content, invalidation on edit, silent discard of
+stale-version or corrupt cache files.
+"""
+
+import ast
+import json
+
+from repro.lint.engine import FileContext, LintEngine
+from repro.lint.project.cache import (
+    CACHE_FILENAME,
+    CACHE_VERSION,
+    LintCache,
+)
+from repro.lint.project.graph import ProjectContext
+from repro.lint.project.summary import (
+    MODULE_BODY,
+    CallSite,
+    ModuleSummary,
+    summarize_module,
+)
+
+
+def summarize(source: str, path: str = "mod.py", module: str | None = None):
+    ctx = FileContext(path, source)
+    return summarize_module(path, module, ctx.tree, source)
+
+
+def project(*sources: tuple[str, str]) -> ProjectContext:
+    """Build a ProjectContext from ``(module_name, source)`` pairs."""
+    summaries = [
+        summarize(src, path=f"{mod.replace('.', '/')}.py", module=mod)
+        for mod, src in sources
+    ]
+    return ProjectContext(summaries)
+
+
+def edges_of(ctx: ProjectContext, key: str):
+    return ctx.edges()[key]
+
+
+class TestSummaries:
+    def test_functions_and_asyncness(self):
+        s = summarize(
+            "async def handler():\n    pass\n\ndef plain():\n    pass\n"
+        )
+        assert s.functions["handler"].is_async
+        assert not s.functions["plain"].is_async
+        assert MODULE_BODY in s.functions
+
+    def test_imports_record_aliases(self):
+        s = summarize(
+            "import numpy as np\n"
+            "from repro.core.model import NumaPerformanceModel as Model\n"
+        )
+        assert s.imports["np"] == "numpy"
+        assert (
+            s.imports["Model"] == "repro.core.model.NumaPerformanceModel"
+        )
+
+    def test_metric_literals_and_fstring_collapse(self):
+        s = summarize(
+            "def f(m, name):\n"
+            "    m.metrics.counter('a/b').add()\n"
+            "    m.metrics.gauge(f'runtime/{name}/queue').set(1)\n"
+        )
+        names = {(u.name, u.kind, u.dynamic) for u in s.metrics}
+        assert ("a/b", "counter", False) in names
+        assert ("runtime/<?>/queue", "gauge", True) in names
+
+    def test_lock_across_await_recorded_sync_only(self):
+        s = summarize(
+            "async def f(lock, alock):\n"
+            "    with lock:\n"
+            "        await g()\n"
+            "    async with alock:\n"
+            "        await g()\n"
+        )
+        assert len(s.functions["f"].lock_awaits) == 1
+        with_line, name, await_line = s.functions["f"].lock_awaits[0]
+        assert (with_line, name, await_line) == (2, "lock", 3)
+
+    def test_mutations_and_locked_flag(self):
+        s = summarize(
+            "class C:\n"
+            "    def locked(self, lock):\n"
+            "        with lock:\n"
+            "            self.x = 1\n"
+            "    def bare(self):\n"
+            "        self.x = 2\n"
+        )
+        muts = {
+            (m.target, m.locked)
+            for f in s.functions.values()
+            for m in f.mutations
+        }
+        assert ("C.x", True) in muts
+        assert ("C.x", False) in muts
+
+    def test_thread_targets(self):
+        s = summarize(
+            "import threading\n"
+            "def spawn(loop, fn):\n"
+            "    threading.Thread(target=worker).start()\n"
+            "    loop.run_in_executor(None, blocking)\n"
+        )
+        targets = {name for name, _ in s.thread_targets}
+        assert targets == {"worker", "blocking"}
+
+    def test_round_trips_through_json(self):
+        s = summarize(
+            "import threading\n"
+            "class C:\n"
+            "    def m(self, lock):\n"
+            "        with lock:\n"
+            "            self.x = 1\n"
+            "async def f(m):\n"
+            "    m.metrics.counter('a/b').add()  # repro: noqa[OBS003]\n"
+        )
+        clone = ModuleSummary.from_dict(
+            json.loads(json.dumps(s.to_dict()))
+        )
+        assert clone.to_dict() == s.to_dict()
+        assert clone.suppressed(7, "OBS003")
+        assert not clone.suppressed(7, "DET001")
+
+
+class TestCallGraph:
+    def test_bare_name_to_module_function(self):
+        ctx = project(("m", "def f():\n    g()\n\ndef g():\n    pass\n"))
+        (edge,) = edges_of(ctx, "m:f")
+        assert edge.target == "m:g"
+
+    def test_aliased_import_resolves_cross_module(self):
+        ctx = project(
+            ("pkg.a", "def helper():\n    pass\n"),
+            (
+                "pkg.b",
+                "from pkg.a import helper as h\n"
+                "def caller():\n    h()\n",
+            ),
+        )
+        (edge,) = edges_of(ctx, "pkg.b:caller")
+        assert edge.target == "pkg.a:helper"
+
+    def test_module_alias_import(self):
+        ctx = project(
+            ("pkg.a", "def helper():\n    pass\n"),
+            (
+                "pkg.b",
+                "import pkg.a as alias\n"
+                "def caller():\n    alias.helper()\n",
+            ),
+        )
+        (edge,) = edges_of(ctx, "pkg.b:caller")
+        assert edge.target == "pkg.a:helper"
+
+    def test_self_method_and_base_class(self):
+        ctx = project(
+            (
+                "m",
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        self.shared()\n",
+            )
+        )
+        (edge,) = edges_of(ctx, "m:Child.run")
+        assert edge.target == "m:Base.shared"
+
+    def test_attr_type_from_constructor_assignment(self):
+        ctx = project(
+            ("svc", "class Service:\n    def handle(self):\n        pass\n"),
+            (
+                "srv",
+                "from svc import Service\n"
+                "class Server:\n"
+                "    def start(self):\n"
+                "        self.service = Service()\n"
+                "    def on_conn(self):\n"
+                "        self.service.handle()\n",
+            ),
+        )
+        edges = {e.raw: e.target for e in edges_of(ctx, "srv:Server.on_conn")}
+        assert edges["self.service.handle"] == "svc:Service.handle"
+
+    def test_local_variable_typed_by_constructor(self):
+        ctx = project(
+            (
+                "m",
+                "class Widget:\n"
+                "    def ping(self):\n"
+                "        pass\n"
+                "def use():\n"
+                "    w = Widget()\n"
+                "    w.ping()\n",
+            )
+        )
+        by_raw = {e.raw: e for e in edges_of(ctx, "m:use")}
+        assert by_raw["w.ping"].target == "m:Widget.ping"
+        assert by_raw["Widget"].target is None  # no __init__ defined
+
+    def test_decorator_creates_edge(self):
+        ctx = project(
+            (
+                "m",
+                "def deco(fn):\n"
+                "    return fn\n"
+                "@deco\n"
+                "def decorated():\n"
+                "    pass\n",
+            )
+        )
+        raws = {e.raw: e.target for e in edges_of(ctx, f"m:{MODULE_BODY}")}
+        assert raws["deco"] == "m:deco"
+
+    def test_nested_def_and_lambda(self):
+        ctx = project(
+            (
+                "m",
+                "def outer():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "    fn = lambda: inner()\n"
+                "    inner()\n"
+                "    fn()\n",
+            )
+        )
+        by_raw = {e.raw: e.target for e in edges_of(ctx, "m:outer")}
+        assert by_raw["inner"] == "m:outer.<locals>.inner"
+        assert by_raw["fn"] == "m:outer.<locals>.<lambda@4>"
+        lam_edges = edges_of(ctx, "m:outer.<locals>.<lambda@4>")
+        assert lam_edges[0].target == "m:outer.<locals>.inner"
+
+    def test_reexport_chain_through_package_init(self):
+        ctx = project(
+            ("pkg.impl", "def api():\n    pass\n"),
+            ("pkg", "from pkg.impl import api\n"),
+            (
+                "user",
+                "from pkg import api\n"
+                "def go():\n    api()\n",
+            ),
+        )
+        (edge,) = edges_of(ctx, "user:go")
+        assert edge.target == "pkg.impl:api"
+
+    def test_external_call_expands_alias(self):
+        ctx = project(
+            ("m", "import time as t\ndef f():\n    t.sleep(1)\n")
+        )
+        (edge,) = edges_of(ctx, "m:f")
+        assert edge.target is None
+        assert edge.external == "time.sleep"
+
+    def test_unique_method_heuristic(self):
+        ctx = project(
+            (
+                "m",
+                "class Only:\n"
+                "    def very_unique_name(self):\n"
+                "        pass\n"
+                "def f(x):\n"
+                "    x.very_unique_name()\n",
+            )
+        )
+        (edge,) = edges_of(ctx, "m:f")
+        assert edge.target == "m:Only.very_unique_name"
+
+    def test_reachability_and_chain(self):
+        ctx = project(
+            (
+                "m",
+                "def a():\n    b()\n"
+                "def b():\n    c()\n"
+                "def c():\n    pass\n"
+                "def unrelated():\n    pass\n",
+            )
+        )
+        reachable = ctx.reachable_from(["m:a"])
+        assert "m:c" in reachable and "m:unrelated" not in reachable
+        assert ctx.chain(reachable, "m:c") == ["m:a", "m:b", "m:c"]
+
+    def test_constructor_call_links_to_init(self):
+        ctx = project(
+            (
+                "m",
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self.x = 1\n"
+                "def make():\n"
+                "    return Box()\n",
+            )
+        )
+        (edge,) = edges_of(ctx, "m:make")
+        assert edge.target == "m:Box.__init__"
+
+
+class TestIncrementalCache:
+    def tree(self, tmp_path, source="def f():\n    pass\n"):
+        src = tmp_path / "src" / "pkg"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(source)
+        return src / "mod.py"
+
+    def engine(self, tmp_path, cache=None):
+        return LintEngine(project_root=tmp_path, cache=cache)
+
+    def test_warm_run_hits_and_skips_parsing(self, tmp_path):
+        path = self.tree(tmp_path)
+        cache = LintCache(tmp_path)
+        cache.load()
+        eng = self.engine(tmp_path, cache)
+        cold = eng.check_paths([path])
+        assert eng.stats == {"files": 1, "parsed": 1, "cache_hits": 0}
+        assert (tmp_path / CACHE_FILENAME).is_file()
+
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        eng2 = self.engine(tmp_path, cache2)
+        warm = eng2.check_paths([path])
+        assert eng2.stats == {"files": 1, "parsed": 0, "cache_hits": 1}
+        assert warm == cold
+
+    def test_edited_file_reparsed_others_cached(self, tmp_path):
+        path = self.tree(tmp_path)
+        other = path.with_name("other.py")
+        other.write_text("def g():\n    pass\n")
+        cache = LintCache(tmp_path)
+        cache.load()
+        eng = self.engine(tmp_path, cache)
+        eng.check_paths([path.parent])
+        assert eng.stats["parsed"] == 2
+
+        path.write_text("def f():\n    return 1\n")
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        eng2 = self.engine(tmp_path, cache2)
+        eng2.check_paths([path.parent])
+        assert eng2.stats == {"files": 2, "parsed": 1, "cache_hits": 1}
+
+    def test_stale_version_discarded(self, tmp_path):
+        path = self.tree(tmp_path)
+        cache = LintCache(tmp_path)
+        cache.load()
+        self.engine(tmp_path, cache).check_paths([path])
+
+        raw = json.loads((tmp_path / CACHE_FILENAME).read_text())
+        raw["version"] = CACHE_VERSION + 1
+        (tmp_path / CACHE_FILENAME).write_text(json.dumps(raw))
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        eng = self.engine(tmp_path, cache2)
+        eng.check_paths([path])
+        assert eng.stats["cache_hits"] == 0 and eng.stats["parsed"] == 1
+
+    def test_environment_doc_edit_invalidates(self, tmp_path):
+        path = self.tree(tmp_path)
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OBSERVABILITY.md").write_text("| `a/b` | counter | x |\n")
+        cache = LintCache(tmp_path)
+        cache.load()
+        self.engine(tmp_path, cache).check_paths([path])
+
+        (docs / "OBSERVABILITY.md").write_text("| `a/c` | counter | x |\n")
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        eng = self.engine(tmp_path, cache2)
+        eng.check_paths([path])
+        assert eng.stats["cache_hits"] == 0
+
+    def test_corrupt_cache_discarded(self, tmp_path):
+        path = self.tree(tmp_path)
+        (tmp_path / CACHE_FILENAME).write_text("{not json")
+        cache = LintCache(tmp_path)
+        cache.load()
+        eng = self.engine(tmp_path, cache)
+        eng.check_paths([path])
+        assert eng.stats["parsed"] == 1
+
+    def test_rule_subset_semantics(self, tmp_path):
+        path = self.tree(tmp_path)
+        cache = LintCache(tmp_path)
+        cache.load()
+        narrow = LintEngine(
+            rules=["DEF001"], project_root=tmp_path, cache=cache
+        )
+        narrow.check_paths([path])
+
+        # a broader selection cannot reuse the narrow entry...
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        broad = self.engine(tmp_path, cache2)
+        broad.check_paths([path])
+        assert broad.stats["cache_hits"] == 0
+        # ...but the narrow selection can reuse the broad entry.
+        cache3 = LintCache(tmp_path)
+        cache3.load()
+        narrow2 = LintEngine(
+            rules=["DEF001"], project_root=tmp_path, cache=cache3
+        )
+        narrow2.check_paths([path])
+        assert narrow2.stats["cache_hits"] == 1
+
+    def test_cached_violations_replayed(self, tmp_path):
+        source = "def f(x=[]):\n    pass\n"  # DEF001
+        path = self.tree(tmp_path, source)
+        cache = LintCache(tmp_path)
+        cache.load()
+        eng = self.engine(tmp_path, cache)
+        cold = eng.check_paths([path])
+        assert any(v.rule_id == "DEF001" for v in cold)
+
+        cache2 = LintCache(tmp_path)
+        cache2.load()
+        eng2 = self.engine(tmp_path, cache2)
+        warm = eng2.check_paths([path])
+        assert eng2.stats["cache_hits"] == 1
+        assert warm == cold
+
+
+class TestModuleNames:
+    def test_src_relative_module_names(self, tmp_path):
+        src = tmp_path / "src" / "pkg" / "sub"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text("x = 1\n")
+        (src / "__init__.py").write_text("")
+        eng = LintEngine(project_root=tmp_path)
+        assert eng._module_name(src / "mod.py") == "pkg.sub.mod"
+        assert eng._module_name(src / "__init__.py") == "pkg.sub"
+
+    def test_outside_src_is_none(self, tmp_path):
+        other = tmp_path / "scripts"
+        other.mkdir()
+        (other / "x.py").write_text("x = 1\n")
+        eng = LintEngine(project_root=tmp_path)
+        assert eng._module_name(other / "x.py") is None
+
+
+class TestModuleLevelNoqa:
+    def test_module_noqa_silences_listed_rule_everywhere(self):
+        eng = LintEngine(rules=["DEF001"])
+        src = (
+            "# repro: noqa-module[DEF001]\n"
+            "def f(x=[]):\n    pass\n"
+            "def g(y={}):\n    pass\n"
+        )
+        assert eng.check_source(src) == []
+
+    def test_module_noqa_only_silences_listed_ids(self):
+        eng = LintEngine(rules=["DEF001", "FLT001"])
+        src = (
+            "# repro: noqa-module[FLT001]\n"
+            "def f(x=[]):\n    return x == 0.1\n"
+        )
+        found = {v.rule_id for v in eng.check_source(src)}
+        assert found == {"DEF001"}
+
+    def test_inline_multi_id_noqa(self):
+        eng = LintEngine(rules=["DEF001", "FLT001"])
+        src = "def f(x=[], y=0.1):  # repro: noqa[DEF001,FLT001]\n    pass\n"
+        assert eng.check_source(src) == []
+
+    def test_summary_module_noqa_suppresses_project_rule(self):
+        eng = LintEngine(rules=["LOCK002"])
+        src = (
+            "# repro: noqa-module[LOCK002]\n"
+            "async def f(lock):\n"
+            "    with lock:\n"
+            "        await g()\n"
+        )
+        assert eng.check_source(src) == []

@@ -1,0 +1,330 @@
+"""Fixture tests for the cross-module rule family.
+
+Each rule gets a positive case (it fires, anchored at the right line)
+and the negative cases that pin its deliberate exemptions: ``async
+with`` locks, seeded RNG instances, thread work dispatched through
+``to_thread``/``run_in_executor``, documented wildcard metric names.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.engine import FileContext, LintEngine
+from repro.lint.project.graph import ProjectContext
+from repro.lint.project.summary import summarize_module
+from repro.lint.rules.project_rules import (
+    BlockingCallInAsyncPath,
+    MetricNamespaceDrift,
+    NondeterminismInReplayPath,
+    SyncLockAcrossAwait,
+    UnlockedCrossContextMutation,
+)
+
+
+def build_project(*sources, root=None):
+    """ProjectContext over ``(module_name, source)`` pairs."""
+    summaries = []
+    for module, src in sources:
+        path = f"{module.replace('.', '/')}.py"
+        ctx = FileContext(path, src)
+        summaries.append(summarize_module(path, module, ctx.tree, src))
+    return ProjectContext(summaries, project_root=root)
+
+
+def run(rule, project):
+    return sorted(
+        rule.check_project(project), key=lambda v: (v.file, v.line)
+    )
+
+
+class TestAsync001:
+    def test_indirect_blocking_call_fires_with_chain(self):
+        project = build_project(
+            (
+                "m",
+                "import time\n"
+                "def helper():\n"
+                "    time.sleep(1)\n"
+                "async def handler():\n"
+                "    helper()\n",
+            )
+        )
+        (v,) = run(BlockingCallInAsyncPath(), project)
+        assert v.line == 3
+        assert "time.sleep" in v.message
+        assert "handler -> helper" in v.message
+
+    def test_cross_module_reachability(self):
+        project = build_project(
+            ("pkg.io", "import subprocess\ndef sync_work():\n    subprocess.run(['x'])\n"),
+            (
+                "pkg.srv",
+                "from pkg.io import sync_work\n"
+                "async def handle():\n"
+                "    sync_work()\n",
+            ),
+        )
+        (v,) = run(BlockingCallInAsyncPath(), project)
+        assert v.file == "pkg/io.py" and "subprocess.run" in v.message
+
+    def test_to_thread_dispatch_is_clean(self):
+        project = build_project(
+            (
+                "m",
+                "import asyncio, time\n"
+                "def blocking():\n"
+                "    time.sleep(1)\n"
+                "async def handler():\n"
+                "    await asyncio.to_thread(blocking)\n",
+            )
+        )
+        assert run(BlockingCallInAsyncPath(), project) == []
+
+    def test_sync_only_code_is_clean(self):
+        project = build_project(
+            ("m", "import time\ndef f():\n    time.sleep(1)\n")
+        )
+        assert run(BlockingCallInAsyncPath(), project) == []
+
+
+class TestLock002:
+    def test_sync_lock_across_await_fires(self):
+        project = build_project(
+            (
+                "m",
+                "async def f(lock):\n"
+                "    with lock:\n"
+                "        await g()\n",
+            )
+        )
+        (v,) = run(SyncLockAcrossAwait(), project)
+        assert v.line == 2 and "'lock'" in v.message
+
+    def test_async_with_is_exempt(self):
+        project = build_project(
+            (
+                "m",
+                "async def f(lock):\n"
+                "    async with lock:\n"
+                "        await g()\n",
+            )
+        )
+        assert run(SyncLockAcrossAwait(), project) == []
+
+    def test_await_in_nested_def_not_counted(self):
+        project = build_project(
+            (
+                "m",
+                "def f(lock):\n"
+                "    with lock:\n"
+                "        async def inner():\n"
+                "            await g()\n"
+                "        return inner\n",
+            )
+        )
+        assert run(SyncLockAcrossAwait(), project) == []
+
+
+class TestThrd001:
+    SHARED = (
+        "import threading\n"
+        "class Shared:\n"
+        "    def __init__(self):\n"
+        "        self.lock = threading.Lock()\n"
+        "        threading.Thread(target=self.worker).start()\n"
+        "    def worker(self):\n"
+        "        self.count = 1\n"
+        "    async def tick(self):\n"
+        "        self.count = 2\n"
+    )
+
+    def test_unlocked_cross_context_write_fires(self):
+        project = build_project(("m", self.SHARED))
+        found = run(UnlockedCrossContextMutation(), project)
+        assert {v.line for v in found} == {7, 9}
+        assert all("Shared.count" in v.message for v in found)
+
+    def test_locked_on_both_sides_is_clean(self):
+        src = (
+            "import threading\n"
+            "class Shared:\n"
+            "    def __init__(self):\n"
+            "        threading.Thread(target=self.worker).start()\n"
+            "    def worker(self):\n"
+            "        with self.lock:\n"
+            "            self.count = 1\n"
+            "    async def tick(self):\n"
+            "        with self.lock:\n"
+            "            self.count = 2\n"
+        )
+        project = build_project(("m", src))
+        assert run(UnlockedCrossContextMutation(), project) == []
+
+    def test_single_context_writes_are_clean(self):
+        src = (
+            "import threading\n"
+            "class Shared:\n"
+            "    def __init__(self):\n"
+            "        threading.Thread(target=self.worker).start()\n"
+            "    def worker(self):\n"
+            "        self.count = 1\n"
+            "    async def tick(self):\n"
+            "        self.other = 2\n"
+        )
+        project = build_project(("m", src))
+        assert run(UnlockedCrossContextMutation(), project) == []
+
+
+class TestDet001:
+    def test_wall_clock_in_replay_module_fires(self):
+        project = build_project(
+            (
+                "repro.sim.fake",
+                "import time\n"
+                "def step():\n"
+                "    return time.time()\n",
+            )
+        )
+        (v,) = run(NondeterminismInReplayPath(), project)
+        assert "time.time" in v.message
+
+    def test_global_rng_reached_from_replay_fires(self):
+        project = build_project(
+            ("repro.util", "import random\ndef jitter():\n    return random.random()\n"),
+            (
+                "repro.serve.scenarios",
+                "from repro.util import jitter\n"
+                "def churn():\n"
+                "    return jitter()\n",
+            ),
+        )
+        (v,) = run(NondeterminismInReplayPath(), project)
+        assert v.file == "repro/util.py" and "random.random" in v.message
+
+    def test_seeded_rng_instances_allowed(self):
+        project = build_project(
+            (
+                "repro.sim.fake",
+                "import random\n"
+                "import numpy.random\n"
+                "def make(seed):\n"
+                "    return random.Random(seed), numpy.random.default_rng(seed)\n",
+            )
+        )
+        assert run(NondeterminismInReplayPath(), project) == []
+
+    def test_non_replay_module_unchecked(self):
+        project = build_project(
+            (
+                "repro.analysis.report",
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n",
+            )
+        )
+        assert run(NondeterminismInReplayPath(), project) == []
+
+
+class TestObs003:
+    def test_kind_conflict_fires(self):
+        project = build_project(
+            (
+                "m",
+                "def f(obs):\n"
+                "    obs.metrics.counter('a/b').add()\n"
+                "    obs.metrics.gauge('a/b').set(1)\n",
+            )
+        )
+        found = run(MetricNamespaceDrift(), project)
+        assert any("used as gauge here but as counter" in v.message for v in found)
+
+    def test_convention_violation_fires(self):
+        project = build_project(
+            ("m", "def f(obs):\n    obs.metrics.counter('Bad').add()\n")
+        )
+        found = run(MetricNamespaceDrift(), project)
+        assert any("convention" in v.message for v in found)
+
+    def test_drift_both_directions(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OBSERVABILITY.md").write_text(
+            "| name | kind | recorded by |\n"
+            "|---|---|---|\n"
+            "| `a/b` | counter | something |\n"
+            "| `ghost/metric` | counter | nothing anymore |\n"
+        )
+        project = build_project(
+            (
+                "m",
+                "def f(obs):\n"
+                "    obs.metrics.counter('a/b').add()\n"
+                "    obs.metrics.counter('new/metric').add()\n",
+            ),
+            root=tmp_path,
+        )
+        found = run(MetricNamespaceDrift(), project)
+        messages = [v.message for v in found]
+        assert any(
+            "'new/metric' is not documented" in m for m in messages
+        )
+        assert any(
+            "'ghost/metric' is documented but never" in m for m in messages
+        )
+        assert not any("'a/b'" in m for m in messages)
+        doc_anchored = [v for v in found if v.file == "docs/OBSERVABILITY.md"]
+        assert doc_anchored and doc_anchored[0].line == 4
+
+    def test_wildcard_doc_rows_match_dynamic_names(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OBSERVABILITY.md").write_text(
+            "| name | kind | recorded by |\n"
+            "|---|---|---|\n"
+            "| `runtime/<name>/tasks` | counter | runtimes |\n"
+            "| `demo/*` | spans | demos |\n"
+        )
+        project = build_project(
+            (
+                "m",
+                "def f(obs, name):\n"
+                "    obs.metrics.counter(f'runtime/{name}/tasks').add()\n"
+                "    obs.tracer.span('demo/anything')\n",
+            ),
+            root=tmp_path,
+        )
+        assert run(MetricNamespaceDrift(), project) == []
+
+    def test_no_root_skips_doc_drift(self):
+        project = build_project(
+            ("m", "def f(obs):\n    obs.metrics.counter('a/b').add()\n")
+        )
+        assert run(MetricNamespaceDrift(), project) == []
+
+
+class TestEngineIntegration:
+    def test_check_source_runs_project_rules(self):
+        eng = LintEngine(rules=["LOCK002"])
+        src = "async def f(lock):\n    with lock:\n        await g()\n"
+        (v,) = eng.check_source(src)
+        assert v.rule_id == "LOCK002"
+
+    def test_inline_noqa_suppresses_project_finding(self):
+        eng = LintEngine(rules=["LOCK002"])
+        src = (
+            "async def f(lock):\n"
+            "    with lock:  # repro: noqa[LOCK002]\n"
+            "        await g()\n"
+        )
+        assert eng.check_source(src) == []
+
+    def test_repo_src_is_clean_of_new_rules(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        eng = LintEngine(
+            rules=["ASYNC001", "LOCK002", "THRD001", "DET001"],
+            project_root=root,
+        )
+        assert eng.check_paths([root / "src" / "repro"]) == []

@@ -1,0 +1,312 @@
+"""SARIF reporter and baseline-ratchet tests.
+
+The SARIF checks pin the structural subset of SARIF 2.1.0 the reporter
+emits (schema reference, driver rule catalogue, result locations); when
+``jsonschema`` is installed locally the same document is validated
+against a hand-written subset schema of the published standard (the CI
+image does not carry jsonschema, so that test skips there).
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import add_check_parser, rule_catalogue, run_check
+from repro.lint.engine import Severity, Violation
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    violations_to_sarif,
+)
+from repro.errors import LintError
+
+
+def make_violation(
+    file="src/repro/x.py",
+    line=10,
+    rule_id="LOCK001",
+    message="something",
+    severity=Severity.ERROR,
+):
+    return Violation(
+        file=file,
+        line=line,
+        rule_id=rule_id,
+        message=message,
+        severity=severity,
+    )
+
+
+class TestSarif:
+    def test_document_structure(self):
+        doc = json.loads(
+            violations_to_sarif(
+                [
+                    make_violation(),
+                    make_violation(
+                        line=20,
+                        rule_id="ASYNC001",
+                        severity=Severity.ERROR,
+                    ),
+                    make_violation(
+                        line=30,
+                        rule_id="OBS003",
+                        severity=Severity.WARNING,
+                    ),
+                ]
+            )
+        )
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == ["LOCK001", "ASYNC001", "OBS003"]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+            )
+        assert len(run["results"]) == 3
+        result = run["results"][0]
+        assert result["ruleId"] == "LOCK001"
+        assert result["level"] == "error"
+        assert (
+            driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        )
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert loc["region"]["startLine"] == 10
+
+    def test_warning_maps_to_warning_level(self):
+        doc = json.loads(
+            violations_to_sarif(
+                [make_violation(severity=Severity.WARNING)]
+            )
+        )
+        assert doc["runs"][0]["results"][0]["level"] == "warning"
+
+    def test_empty_run_still_valid_shape(self):
+        doc = json.loads(violations_to_sarif([]))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_validates_against_subset_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        # A hand-written subset of the published SARIF 2.1.0 schema
+        # covering every property the reporter emits.
+        schema = {
+            "type": "object",
+            "required": ["$schema", "version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name"],
+                                        "properties": {
+                                            "rules": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "required": ["id"],
+                                                },
+                                            }
+                                        },
+                                    }
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["message"],
+                                    "properties": {
+                                        "level": {
+                                            "enum": [
+                                                "none",
+                                                "note",
+                                                "warning",
+                                                "error",
+                                            ]
+                                        },
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                        "locations": {"type": "array"},
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        doc = json.loads(
+            violations_to_sarif(
+                [make_violation(), make_violation(rule_id="DET001")]
+            )
+        )
+        jsonschema.validate(doc, schema)
+
+
+class TestBaseline:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        violations = [
+            make_violation(),
+            make_violation(line=20),
+            make_violation(file="src/y.py", rule_id="DET001"),
+        ]
+        counts = write_baseline(violations, path)
+        assert counts == {
+            "src/repro/x.py::LOCK001": 2,
+            "src/y.py::DET001": 1,
+        }
+        assert load_baseline(path) == counts
+
+    def test_apply_suppresses_known_debt(self):
+        violations = [make_violation(), make_violation(line=20)]
+        baseline = {baseline_key(violations[0]): 2}
+        new, suppressed, fixed = apply_baseline(violations, baseline)
+        assert new == [] and suppressed == 2 and fixed == []
+
+    def test_apply_reports_growth_beyond_count(self):
+        violations = [
+            make_violation(),
+            make_violation(line=20),
+            make_violation(line=30),
+        ]
+        baseline = {baseline_key(violations[0]): 2}
+        new, suppressed, fixed = apply_baseline(violations, baseline)
+        assert [v.line for v in new] == [30] and suppressed == 2
+
+    def test_apply_reports_shrunken_keys(self):
+        violations = [make_violation()]
+        baseline = {
+            baseline_key(violations[0]): 2,
+            "gone.py::DET001": 1,
+        }
+        new, suppressed, fixed = apply_baseline(violations, baseline)
+        assert new == [] and suppressed == 1
+        assert fixed == ["gone.py::DET001", baseline_key(violations[0])]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("[]")
+        with pytest.raises(LintError):
+            load_baseline(path)
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "missing.json")
+
+
+def parse_check_args(argv):
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command")
+    add_check_parser(sub)
+    return parser.parse_args(["check", *argv])
+
+
+class TestCheckCommand:
+    DIRTY = "def f(x=[]):\n    pass\n"  # one DEF001 error
+
+    def setup_tree(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(self.DIRTY)
+        return src
+
+    def test_sarif_output_written(self, tmp_path, monkeypatch, capsys):
+        src = self.setup_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        args = parse_check_args(
+            [str(src), "--sarif", "--no-invariants", "--no-cache"]
+        )
+        assert run_check(args) == 1
+        doc = json.loads((tmp_path / "lint.sarif").read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "DEF001"
+
+    def test_update_baseline_then_clean_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        src = self.setup_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        update = parse_check_args(
+            [str(src), "--update-baseline", "--no-invariants", "--no-cache"]
+        )
+        assert run_check(update) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+
+        check = parse_check_args(
+            [str(src), "--no-invariants", "--no-cache"]
+        )
+        assert run_check(check) == 0
+        out = capsys.readouterr().out
+        assert "baselined finding(s) hidden" in out
+
+    def test_baseline_does_not_hide_growth(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        src = self.setup_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        run_check(
+            parse_check_args(
+                [str(src), "--update-baseline", "--no-invariants",
+                 "--no-cache"]
+            )
+        )
+        (src / "mod.py").write_text(
+            self.DIRTY + "def g(y={}):\n    pass\n"
+        )
+        check = parse_check_args(
+            [str(src), "--no-invariants", "--no-cache"]
+        )
+        assert run_check(check) == 1
+        out = capsys.readouterr().out
+        assert "DEF001" in out
+
+    def test_no_baseline_flag_reports_everything(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        src = self.setup_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        run_check(
+            parse_check_args(
+                [str(src), "--update-baseline", "--no-invariants",
+                 "--no-cache"]
+            )
+        )
+        check = parse_check_args(
+            [str(src), "--no-baseline", "--no-invariants", "--no-cache"]
+        )
+        assert run_check(check) == 1
+
+    def test_catalogue_contains_project_rules(self):
+        ids = {rule_id for rule_id, _, _ in rule_catalogue()}
+        assert {
+            "ASYNC001",
+            "LOCK002",
+            "THRD001",
+            "DET001",
+            "OBS003",
+        } <= ids
