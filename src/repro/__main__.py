@@ -39,23 +39,31 @@ Commands
     controls the exit-code gate.
 ``chaos <scenario>``
     Run a fault-injection recovery scenario (:mod:`repro.faults`):
-    ``crash-one``, ``flaky-reports``, ``lossy-links``, or
-    ``serve-crash`` (targets the live allocation service).  Prints a
-    recovery report and exits non-zero when the scenario's recovery
-    criteria are not met; ``--seed`` replays a different (still
-    deterministic) fault sequence, ``--json`` emits the report as JSON.
+    ``crash-one``, ``flaky-reports``, ``lossy-links``, ``serve-crash``
+    (churn + crash + dropped commands against the live allocation
+    service), ``serve-restart`` (the journaled service is killed and
+    its write-ahead journal corrupted — duplicated segment, stale
+    snapshot, torn tail — before recovery), or ``serve-overload``
+    (admission overflow, a shed report flood, and a queued-stale
+    command).  Prints a recovery report and exits non-zero when the
+    scenario's recovery criteria are not met; ``--seed`` replays a
+    different (still deterministic) fault sequence, ``--json`` emits
+    the report as JSON.
 ``serve``
     Run the long-running allocation service (:mod:`repro.serve`).
     ``--scenario <name>`` replays a seeded join/leave churn script on
     the DES clock (``churn-basic``, ``churn-burst``, ``churn-stale``,
-    ``churn-cache``) and exits non-zero when the scenario's criteria —
-    including byte-identity of the final allocation with the offline
-    optimizer — are not met.  ``--mode delta`` routes churn through
-    the incremental :class:`~repro.core.delta.DeltaSearch` instead of
-    the full per-event search (the oracle check still applies).
-    ``--socket PATH`` instead starts the asyncio NDJSON daemon on a
-    unix socket (``--machine`` picks the topology preset) until
-    interrupted.
+    ``churn-cache``, ``serve-crash-restart``) and exits non-zero when
+    the scenario's criteria — including byte-identity of the final
+    allocation with the offline optimizer — are not met.  ``--mode
+    delta`` routes churn through the incremental
+    :class:`~repro.core.delta.DeltaSearch` instead of the full
+    per-event search (the oracle check still applies).  ``--journal
+    DIR`` enables the :mod:`repro.serve.persist` write-ahead journal
+    (for replays *and* the daemon; a daemon restarted on a non-empty
+    journal directory recovers its pre-crash state).  ``--socket
+    PATH`` instead starts the asyncio NDJSON daemon on a unix socket
+    (``--machine`` picks the topology preset) until interrupted.
 """
 
 from __future__ import annotations
@@ -206,6 +214,13 @@ def main(argv: list[str] | None = None) -> int:
         default="model",
         help="machine preset the daemon optimizes for (default: model)",
     )
+    servep.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead-journal directory; replays journal into it, "
+        "the daemon additionally recovers from it on startup",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -245,7 +260,12 @@ def _run_serve(args) -> int:
     if args.scenario is not None:
         from repro.serve import run_replay
 
-        report = run_replay(args.scenario, seed=args.seed, mode=args.mode)
+        report = run_replay(
+            args.scenario,
+            seed=args.seed,
+            mode=args.mode,
+            journal=args.journal,
+        )
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
     if args.socket is None:
@@ -262,6 +282,7 @@ def _run_serve(args) -> int:
         server = ServiceServer(
             ServiceConfig(machine=_PRESETS[args.machine](), mode=args.mode),
             args.socket,
+            journal_path=args.journal,
         )
         await server.start()
         print(f"serving NDJSON allocation protocol on {args.socket}")

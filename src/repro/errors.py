@@ -143,6 +143,16 @@ class ServiceError(AgentError):
     request: malformed wire message, duplicate or unknown session,
     admission after drain began, or a protocol-state violation.
 
+    Carries an optional machine-readable ``code`` (one of
+    :data:`repro.serve.protocol.ERROR_CODES`) that the service copies
+    into the :class:`~repro.serve.protocol.ErrorReply` it answers with,
+    so clients can branch on the *kind* of rejection without parsing
+    the human-readable message.
+
     Subclasses :class:`AgentError` because the service is the daemonised
     form of the coordination agent; callers guarding the agent<->runtime
     path with ``except AgentError`` cover the service too."""
+
+    def __init__(self, message: str = "", *, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code

@@ -7,14 +7,17 @@ hang, stale/corrupt report, dropped/delayed command, slowdown) at
 specific simulated times; a :class:`ChaosConfig` adds seeded ambient
 unreliability; an :class:`InjectionProxy` executes both against any
 :class:`~repro.agent.protocol.RuntimeEndpoint` without either side
-knowing.  :func:`run_scenario` packages full recovery experiments
-(``python -m repro chaos``).
+knowing.  :func:`apply_journal_fault` corrupts
+:mod:`repro.serve.persist` journal directories on disk (torn tail,
+stale snapshot, duplicated segment).  :func:`run_scenario` packages
+full recovery experiments (``python -m repro chaos``).
 
 Everything is seeded and replayable: the same plan + seed produces the
 same faults, retries, quarantines, and recovery, run after run.
 """
 
 from repro.faults.chaos import ChaosConfig
+from repro.faults.journal import apply_journal_fault
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.proxy import InjectedFault, InjectionProxy
 from repro.faults.scenarios import SCENARIOS, RecoveryReport, run_scenario
@@ -26,6 +29,7 @@ __all__ = [
     "ChaosConfig",
     "InjectedFault",
     "InjectionProxy",
+    "apply_journal_fault",
     "RecoveryReport",
     "SCENARIOS",
     "run_scenario",

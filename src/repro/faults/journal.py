@@ -1,0 +1,104 @@
+"""On-disk corruption of :mod:`repro.serve.persist` journals.
+
+Where :class:`~repro.faults.proxy.InjectionProxy` breaks the *live*
+coordination path, this module breaks what a crashed service left on
+*disk* — the three corruptions the write-ahead journal's recovery is
+designed to survive:
+
+``TORN_TAIL``
+    Appends a partial, CRC-less record to the newest journal segment —
+    the bytes a power loss mid-``write`` leaves behind.  Recovery must
+    detect it via CRC and truncate to the last valid record.
+``STALE_SNAPSHOT``
+    Overwrites a slice of the newest snapshot file with garbage so its
+    CRC no longer validates.  Recovery must fall back to the previous
+    snapshot generation (which compaction keeps around exactly for
+    this) and replay forward — losslessly.
+``DUPLICATE_SEGMENT``
+    Copies the newest journal segment to the next generation number —
+    a half-completed operator copy / retry.  Recovery must skip every
+    duplicated record by its global ``seq`` instead of double-applying
+    membership events.
+
+Like everything in :mod:`repro.faults`, application is deterministic:
+the same :class:`~repro.faults.plan.FaultSpec` against the same journal
+directory yields byte-identical corruption.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FaultError
+from repro.faults.plan import _JOURNAL, FaultKind, FaultSpec
+from repro.serve.persist import _scan, latest_journal_segment
+
+__all__ = ["apply_journal_fault"]
+
+#: What a torn mid-append write leaves at the end of a segment: a
+#: syntactically broken, newline-less JSON prefix.
+_TORN_BYTES = b'{"crc":1234567,"event":{"kind":"torn-by-chaos","name":"'
+
+
+def apply_journal_fault(spec: FaultSpec, path: str | None = None) -> str:
+    """Corrupt the journal directory per ``spec``; returns the file hit.
+
+    ``path`` defaults to ``spec.target`` (journal faults carry the
+    directory as their target).  Raises
+    :class:`~repro.errors.FaultError` when ``spec`` is not a journal
+    kind or the directory lacks the file the fault needs.
+    """
+    if spec.kind not in _JOURNAL:
+        raise FaultError(
+            f"{spec.kind.value} is not a journal fault kind"
+        )
+    directory = path if path is not None else spec.target
+    snapshots, journals = _scan(directory)
+    if spec.kind is FaultKind.TORN_TAIL:
+        segment = latest_journal_segment(directory)
+        fd = os.open(segment, os.O_WRONLY | os.O_APPEND)
+        try:
+            os.write(fd, _TORN_BYTES)
+        finally:
+            os.close(fd)
+        return segment
+    if spec.kind is FaultKind.STALE_SNAPSHOT:
+        if not snapshots:
+            raise FaultError(
+                f"no snapshot to corrupt under {directory!r} "
+                f"(compact the journal first)"
+            )
+        target = snapshots[max(snapshots)]
+        # Overwrite the head in place: the JSON prefix (and with it the
+        # CRC framing) is destroyed, the file stays non-empty.
+        fd = os.open(target, os.O_WRONLY)
+        try:
+            os.write(fd, b"\x00CHAOS\x00CHAOS\x00CHAOS\x00")
+        finally:
+            os.close(fd)
+        return target
+    # DUPLICATE_SEGMENT
+    if not journals:
+        raise FaultError(
+            f"no journal segment to duplicate under {directory!r}"
+        )
+    newest = max(journals)
+    source = journals[newest]
+    copy_gen = max([newest, *snapshots]) + 1
+    copy = os.path.join(directory, f"journal-{copy_gen:06d}.ndjson")
+    src_fd = os.open(source, os.O_RDONLY)
+    try:
+        dst_fd = os.open(
+            copy, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+        try:
+            while True:
+                chunk = os.read(src_fd, 1 << 16)
+                if not chunk:
+                    break
+                os.write(dst_fd, chunk)
+        finally:
+            os.close(dst_fd)
+    finally:
+        os.close(src_fd)
+    return copy

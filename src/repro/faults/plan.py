@@ -21,7 +21,17 @@ kind                      effect on the wrapped endpoint
 ``DROP_COMMAND``          the next ``count`` commands vanish silently
 ``DELAY_COMMAND``         commands in the window apply ``delay`` seconds late
 ``SLOWDOWN``              reported CPU load scaled by ``factor`` in the window
+``TORN_TAIL``             a partial record is appended to the journal tail
+``STALE_SNAPSHOT``        the newest journal snapshot is corrupted on disk
+``DUPLICATE_SEGMENT``     the newest journal segment is duplicated on disk
 ========================  ====================================================
+
+The last three are *journal-level* faults: their target is a
+:mod:`repro.serve.persist` journal directory (not an endpoint), they
+fire exactly once at ``at``, and they are applied to the on-disk files
+by :func:`repro.faults.journal.apply_journal_fault` — modelling what a
+mid-append power loss, silent snapshot corruption, or a
+half-completed copy during operator intervention leave behind.
 """
 
 from __future__ import annotations
@@ -46,6 +56,9 @@ class FaultKind(enum.Enum):
     DROP_COMMAND = "drop-command"
     DELAY_COMMAND = "delay-command"
     SLOWDOWN = "slowdown"
+    TORN_TAIL = "torn-tail"
+    STALE_SNAPSHOT = "stale-snapshot"
+    DUPLICATE_SEGMENT = "duplicate-segment"
 
 
 #: Kinds whose effect lasts for ``duration`` seconds from ``at``.
@@ -61,6 +74,16 @@ _WINDOWED = frozenset(
 #: Kinds that consume ``count`` occurrences once active.
 _COUNTED = frozenset({FaultKind.CORRUPT_REPORT, FaultKind.DROP_COMMAND})
 
+#: One-shot journal-directory faults (``target`` is a directory path,
+#: applied to disk by :func:`repro.faults.journal.apply_journal_fault`).
+_JOURNAL = frozenset(
+    {
+        FaultKind.TORN_TAIL,
+        FaultKind.STALE_SNAPSHOT,
+        FaultKind.DUPLICATE_SEGMENT,
+    }
+)
+
 
 @dataclass(frozen=True, slots=True)
 class FaultSpec:
@@ -71,7 +94,9 @@ class FaultSpec:
     kind:
         What breaks (:class:`FaultKind`).
     target:
-        Name of the endpoint the fault applies to.
+        Name of the endpoint the fault applies to — or, for the
+        journal kinds (``TORN_TAIL``, ``STALE_SNAPSHOT``,
+        ``DUPLICATE_SEGMENT``), the journal directory path.
     at:
         Activation time (seconds, simulation clock).
     duration:
@@ -118,6 +143,11 @@ class FaultSpec:
             raise FaultError(
                 f"SLOWDOWN factor must be in (0, 1], got {self.factor}"
             )
+        if self.kind in _JOURNAL and self.duration > 0:
+            raise FaultError(
+                f"{self.kind.value} is a one-shot journal fault; "
+                f"'duration' does not apply"
+            )
 
     # ------------------------------------------------------------------
     def active(self, now: float) -> bool:
@@ -125,11 +155,17 @@ class FaultSpec:
 
         ``CRASH`` is permanent; windowed kinds cover ``[at, at +
         duration)``; counted kinds are "active" from ``at`` on — the
-        proxy decides how many occurrences remain.
+        proxy decides how many occurrences remain.  Journal kinds are
+        one-shot: "active" from ``at`` on, consumed when
+        :func:`~repro.faults.journal.apply_journal_fault` applies them.
         """
         if now < self.at:
             return False
-        if self.kind is FaultKind.CRASH or self.kind in _COUNTED:
+        if (
+            self.kind is FaultKind.CRASH
+            or self.kind in _COUNTED
+            or self.kind in _JOURNAL
+        ):
             return True
         return now < self.at + self.duration
 

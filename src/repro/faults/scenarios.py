@@ -18,6 +18,22 @@ recovery criteria:
   every message gets through a :class:`ReliableChannel` within its
   retransmit budget, and the pipeline completes although commands are
   being dropped and delayed on the wire.
+* ``serve-crash`` — churn against the live allocation service with a
+  crashed session and dropped allocation commands.  Pass: quarantine,
+  at-least-once recovery, final allocation byte-identical to offline.
+* ``serve-restart`` — the journaled service is killed mid-churn and
+  its journal directory is corrupted three ways (duplicated segment,
+  stale snapshot, torn tail) before recovery.  Pass: recovery survives
+  all three — duplicates deduplicated by ``seq``, snapshot fallback
+  taken, torn tail truncated — and the recovered state dump equals the
+  pre-crash one exactly.
+* ``serve-overload`` — a full service is hit with extra registrations,
+  a progress-report flood inside a debounce window, and a command that
+  sat queued past its deadline.  Pass: every overflow ``register`` is
+  answered ``overloaded``, the flood is shed (acknowledged, not
+  applied), the stale command is answered ``deadline-exceeded``, a
+  ``deregister`` mid-flood still succeeds, and the final allocation
+  matches the offline oracle.
 
 Everything is seeded; the same ``(scenario, seed)`` pair replays the
 same faults, retries, and recovery, which is what makes the CI smoke job
@@ -32,6 +48,7 @@ from typing import Callable
 
 from repro.errors import FaultError, SimulationError
 from repro.faults.chaos import ChaosConfig
+from repro.faults.journal import apply_journal_fault
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.proxy import InjectionProxy
 
@@ -495,12 +512,320 @@ def _serve_crash(seed: int) -> RecoveryReport:
     )
 
 
+def _serve_restart(seed: int) -> RecoveryReport:
+    """Kill the journaled service, corrupt its journal, recover anyway.
+
+    Three applications churn against a journaled service; at a scripted
+    DES time the service dies and its journal directory is hit with all
+    three journal faults — the newest segment is duplicated, the newest
+    snapshot is corrupted, and a torn partial record is appended to the
+    tail.  Pass: recovery deduplicates the copied records by ``seq``,
+    falls back to the previous snapshot generation, truncates the torn
+    tail, and still rebuilds the exact pre-crash state (``pre == post``
+    on the full state dump); churn then continues against the recovered
+    service and the final allocation matches the offline optimizer.
+
+    As in ``serve-crash``, the utilisation columns of the report carry
+    scores: baseline is the offline optimizer's, final is the live
+    service's, so ``recovery_ratio == 1.0`` means byte-identical.
+    """
+    import tempfile
+
+    from repro.core.model import NumaPerformanceModel
+    from repro.core.optimizer import ExhaustiveSearch
+    from repro.core.spec import AppSpec
+    from repro.machine import model_machine
+    from repro.serve.scenarios import ChurnEvent, ReplayDriver
+    from repro.serve.service import ServiceConfig
+
+    journal_dir = tempfile.mkdtemp(prefix="repro-chaos-journal-")
+    driver = ReplayDriver(
+        ServiceConfig(
+            machine=model_machine(),
+            debounce=0.02,
+            report_interval=0.02,
+        ),
+        journal_path=journal_dir,
+        compact_every=None,  # compaction is scripted below
+    )
+    events = [
+        ChurnEvent(0.00, "join", "alpha", AppSpec.memory_bound("alpha")),
+        ChurnEvent(0.05, "join", "beta", AppSpec.compute_bound("beta")),
+        ChurnEvent(
+            0.10,
+            "join",
+            "gamma",
+            AppSpec.memory_bound("gamma", arithmetic_intensity=0.8),
+        ),
+    ]
+    checks: dict[str, bool] = {}
+
+    def _compact() -> None:
+        service = driver.service
+        assert service.journal is not None
+        service.journal.compact(service.snapshot_state())
+
+    def _crash_corrupt_recover() -> None:
+        pre = driver.crash()
+        # Order matters: the torn tail must land on the *newest*
+        # segment, which the duplication just created.
+        for kind in (
+            FaultKind.DUPLICATE_SEGMENT,
+            FaultKind.STALE_SNAPSHOT,
+            FaultKind.TORN_TAIL,
+        ):
+            apply_journal_fault(
+                FaultSpec(kind, target=journal_dir, at=0.30)
+            )
+        post = driver.recover()
+        recovery = driver.service.last_recovery
+        assert recovery is not None
+        checks["identical"] = pre == post
+        checks["torn_tail"] = recovery.truncated_tail
+        checks["snapshot_fallback"] = recovery.snapshot_fallbacks > 0
+        checks["duplicates_skipped"] = recovery.duplicates_skipped > 0
+
+    # Two scripted compactions leave two snapshot generations on disk
+    # (so the stale-snapshot fault has a generation to fall back to),
+    # with journaled reports on both sides; then the triple corruption.
+    driver.sim.schedule_at(0.16, _compact)
+    driver.sim.schedule_at(0.22, _compact)
+    driver.sim.schedule_at(0.30, _crash_corrupt_recover)
+    driver.run(events, duration=0.55)
+
+    service = driver.service
+    survivors = service.registry.active_specs()
+    offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+        model_machine(), survivors
+    )
+    final_score = service.current_score()
+    matches = final_score == offline.score and all(
+        tuple(int(x) for x in offline.allocation.threads_of(s.name))
+        == service.current_allocation().get(s.name)
+        for s in survivors
+    )
+    passed = (
+        all(
+            checks.get(key, False)
+            for key in (
+                "identical",
+                "torn_tail",
+                "snapshot_fallback",
+                "duplicates_skipped",
+            )
+        )
+        and service.recoveries == 1
+        and matches
+    )
+    ratio = (
+        final_score / offline.score
+        if final_score is not None and offline.score
+        else 0.0
+    )
+    survived = ", ".join(
+        key for key in sorted(checks) if checks[key]
+    )
+    return RecoveryReport(
+        scenario="serve-restart",
+        seed=seed,
+        passed=passed,
+        rounds=service.reoptimizations,
+        faults_injected=3,
+        retries=service.retransmits,
+        quarantined=tuple(
+            s.name
+            for s in service.registry.live_sessions()
+            if not s.active
+        ),
+        quarantine_rounds=None,
+        baseline_utilization=offline.score,
+        final_utilization=final_score or 0.0,
+        recovery_ratio=ratio,
+        degraded_rounds=service.degraded_reoptimizations,
+        notes=(
+            f"journal corrupted 3 ways before recovery; "
+            f"checks passed: {survived or 'none'}",
+            f"{service.journal_records + driver.journal_records_prior} "
+            f"journal record(s), {service.recoveries} recovery",
+            "scores shown in the utilisation columns: offline optimizer "
+            "(baseline) vs live service (final)",
+            "criteria: duplicated segment deduplicated, stale snapshot "
+            "fallback taken, torn tail truncated, recovered state == "
+            "pre-crash state, final allocation matches offline",
+        ),
+    )
+
+
+def _serve_overload(seed: int) -> RecoveryReport:
+    """Overload the service: full admission, report flood, stale command.
+
+    A three-slot service is filled, then hit with three more
+    registrations (all must be refused with code ``overloaded``), a
+    progress-report flood inside an armed debounce window (must be shed
+    — acknowledged but not applied), a ``deregister`` mid-flood (must
+    still succeed: membership changes are never shed), and one command
+    that sat queued past ``command_deadline`` (must be answered
+    ``deadline-exceeded``).  The surviving workload's final allocation
+    must still match the offline optimizer byte-identically —
+    overload protection must not cost correctness.
+    """
+    from repro.core.model import NumaPerformanceModel
+    from repro.core.optimizer import ExhaustiveSearch
+    from repro.core.spec import AppSpec
+    from repro.machine import model_machine
+    from repro.serve.protocol import Deregister, ProgressReport, Register
+    from repro.serve.scenarios import ChurnEvent, ReplayDriver
+    from repro.serve.service import ServiceConfig
+
+    driver = ReplayDriver(
+        ServiceConfig(
+            machine=model_machine(),
+            debounce=0.02,
+            report_interval=0.02,
+            max_sessions=3,
+            command_deadline=0.05,
+            shed_report_interval=0.01,
+        )
+    )
+    events = [
+        ChurnEvent(0.00, "join", "alpha", AppSpec.memory_bound("alpha")),
+        ChurnEvent(0.03, "join", "beta", AppSpec.compute_bound("beta")),
+        ChurnEvent(
+            0.06,
+            "join",
+            "gamma",
+            AppSpec.memory_bound("gamma", arithmetic_intensity=0.8),
+        ),
+    ]
+    checks: dict[str, bool] = {}
+    overflow_codes: list[str | None] = []
+    shed_counts: dict[str, int] = {}
+
+    def _overflow() -> None:
+        for name in ("delta", "epsilon", "zeta"):
+            reply = driver.service.handle(
+                Register(name=name, app=AppSpec.compute_bound(name))
+            )
+            overflow_codes.append(getattr(reply, "code", None))
+        checks["overloaded"] = overflow_codes == ["overloaded"] * 3
+
+    def _flood_start() -> None:
+        shed_counts["before"] = driver.service.shed_commands
+
+    def _flood_one() -> None:
+        driver.service.handle(
+            ProgressReport(
+                name="alpha",
+                time=driver.sim.now,
+                progress={},
+                cpu_load=1.0,
+                acked_epoch=driver.sessions["alpha"].acked_epoch,
+            )
+        )
+
+    def _flood_end() -> None:
+        shed_counts["after"] = driver.service.shed_commands
+        checks["flood_shed"] = (
+            shed_counts["after"] - shed_counts["before"] >= 5
+        )
+
+    def _dereg_mid_flood() -> None:
+        driver.sessions["beta"].stopped = True
+        reply = driver.service.handle(Deregister(name="beta"))
+        checks["dereg_acked"] = hasattr(reply, "epoch")
+
+    def _stale_command() -> None:
+        now = driver.sim.now
+        reply = driver.service.handle(
+            ProgressReport(
+                name="alpha",
+                time=now,
+                progress={},
+                cpu_load=1.0,
+                acked_epoch=None,
+            ),
+            received_at=now - 0.2,
+        )
+        checks["deadline"] = (
+            getattr(reply, "code", None) == "deadline-exceeded"
+        )
+
+    driver.sim.schedule_at(0.12, _overflow)
+    # A leave arms the debounce; the flood lands inside that window,
+    # where reports faster than shed_report_interval are coalesced.
+    driver.sim.schedule_at(
+        0.20, lambda: driver.leave("gamma")
+    )
+    driver.sim.schedule_at(0.2004, _flood_start)
+    for k in range(10):
+        driver.sim.schedule_at(0.2005 + 0.001 * k, _flood_one)
+    driver.sim.schedule_at(0.2055, _dereg_mid_flood)
+    driver.sim.schedule_at(0.2105, _flood_end)
+    driver.sim.schedule_at(0.25, _stale_command)
+    driver.run(events, duration=0.4)
+
+    service = driver.service
+    survivors = service.registry.active_specs()
+    offline = ExhaustiveSearch(NumaPerformanceModel()).search(
+        model_machine(), survivors
+    )
+    final_score = service.current_score()
+    matches = final_score == offline.score and all(
+        tuple(int(x) for x in offline.allocation.threads_of(s.name))
+        == service.current_allocation().get(s.name)
+        for s in survivors
+    )
+    required = ("overloaded", "flood_shed", "dereg_acked", "deadline")
+    passed = (
+        all(checks.get(key, False) for key in required)
+        and tuple(s.name for s in survivors) == ("alpha",)
+        and matches
+    )
+    shed = shed_counts.get("after", 0) - shed_counts.get("before", 0)
+    ratio = (
+        final_score / offline.score
+        if final_score is not None and offline.score
+        else 0.0
+    )
+    return RecoveryReport(
+        scenario="serve-overload",
+        seed=seed,
+        passed=passed,
+        rounds=service.reoptimizations,
+        faults_injected=len(overflow_codes) + 10,
+        retries=service.retransmits,
+        quarantined=tuple(
+            s.name
+            for s in service.registry.live_sessions()
+            if not s.active
+        ),
+        quarantine_rounds=None,
+        baseline_utilization=offline.score,
+        final_utilization=final_score or 0.0,
+        recovery_ratio=ratio,
+        degraded_rounds=service.degraded_reoptimizations,
+        notes=(
+            f"3 overflow register(s) refused, {shed} report(s) shed in "
+            f"the flood window, {service.shed_commands} command(s) shed "
+            f"total (incl. the deadline miss)",
+            "scores shown in the utilisation columns: offline optimizer "
+            "(baseline) vs live service (final)",
+            "criteria: overflow registers answered 'overloaded', flood "
+            "shed under debounce pressure, deregister mid-flood still "
+            "acknowledged, queued-stale command answered "
+            "'deadline-exceeded', final allocation matches offline",
+        ),
+    )
+
+
 #: Scenario name -> builder; each returns a :class:`RecoveryReport`.
 SCENARIOS: dict[str, Callable[[int], RecoveryReport]] = {
     "crash-one": _crash_one,
     "flaky-reports": _flaky_reports,
     "lossy-links": _lossy_links,
     "serve-crash": _serve_crash,
+    "serve-restart": _serve_restart,
+    "serve-overload": _serve_overload,
 }
 
 

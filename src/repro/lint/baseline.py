@@ -16,6 +16,8 @@ violation of the same rule to the same file does trip it.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -70,9 +72,16 @@ def write_baseline(
         ),
         "counts": dict(sorted(counts.items())),
     }
-    Path(path).write_text(
-        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    target = Path(path)
+    # Temp+rename (IO001): a crash mid-write must not leave a torn
+    # baseline that poisons every later check run.
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent), prefix=".repro-baseline."
     )
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, target)
     return counts
 
 

@@ -1,0 +1,156 @@
+"""Durable-state I/O rules.
+
+A plain ``open(path, "w")`` leaves a window where a crash mid-write
+makes readers see a truncated or half-written file — exactly the
+failure the crash-safety layer exists to rule out.  Everything in this
+tree that writes *durable* state (journals, snapshots, baselines,
+checkpoints) must go through
+:func:`repro.serve.persist.atomic_write` — temp file in the same
+directory, ``fsync``, ``os.replace``, directory ``fsync`` — or an
+equivalent temp+rename sequence, so readers only ever see old bytes or
+new bytes.
+
+IO001 flags the bypasses: a builtin ``open`` in a write mode, or a
+``.write_text(...)`` / ``.write_bytes(...)`` call, inside a
+durable-state context — a function whose name says it persists
+(``save*``, ``persist*``, ``snapshot*``, ``checkpoint*``, ...) or a
+path expression that names a durable artefact (``journal``,
+``snapshot``, ``baseline``, ...).  Temp+rename sequences pass
+automatically: ``os.fdopen`` over a ``mkstemp`` descriptor followed by
+``os.replace`` never uses the builtin ``open``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    register,
+)
+
+__all__ = ["NonAtomicDurableWrite"]
+
+#: Function names whose writes are durable state by declaration.
+_DURABLE_FUNC_RE = re.compile(
+    r"save|persist|snapshot|compact|checkpoint|journal|commit|baseline"
+)
+
+#: Path expressions that name a durable artefact.
+_DURABLE_PATH_RE = re.compile(
+    r"journal|snapshot|baseline|checkpoint|manifest"
+)
+
+_WRITE_MODE_RE = re.compile(r"[wax+]")
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The write mode when ``node`` is builtin ``open(..., 'w'|...)``."""
+    func = node.func
+    if not isinstance(func, ast.Name) or func.id != "open":
+        return None
+    mode: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+    if not isinstance(mode, ast.Constant) or not isinstance(
+        mode.value, str
+    ):
+        return None  # no mode / dynamic mode: reads, or undecidable
+    return mode.value if _WRITE_MODE_RE.search(mode.value) else None
+
+
+def _write_call_path(node: ast.Call) -> str | None:
+    """Source of the path expression when ``node`` writes a file.
+
+    ``open(path, 'w')`` yields its first argument; ``p.write_text(...)``
+    and ``p.write_bytes(...)`` yield their receiver.
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "write_text",
+        "write_bytes",
+    ):
+        return ast.unparse(func.value)
+    if _open_write_mode(node) is not None and node.args:
+        return ast.unparse(node.args[0])
+    return None
+
+
+@register
+class NonAtomicDurableWrite(Rule):
+    """Durable-state write bypassing the atomic temp+rename idiom.
+
+    Fires on builtin ``open`` in a write mode and on
+    ``.write_text(...)`` / ``.write_bytes(...)`` when either the
+    enclosing function's name declares persistence intent
+    (``save``/``persist``/``snapshot``/``compact``/``checkpoint``/
+    ``journal``/``commit``/``baseline``) or the path expression names a
+    durable artefact (``journal``/``snapshot``/``baseline``/
+    ``checkpoint``/``manifest``).  A crash mid-write leaves such a file
+    truncated; :func:`repro.serve.persist.atomic_write` (or an
+    equivalent ``mkstemp`` + ``os.replace`` sequence, which this rule
+    does not flag) makes the replacement all-or-nothing.
+
+    A warning, not an error: scratch output inside a coincidentally
+    named function is harmless, and the author knows whether a reader
+    can ever observe the file mid-write.  Deliberate non-atomic writes
+    document themselves with ``# repro: noqa[IO001]``.
+    """
+
+    rule_id = "IO001"
+    severity = Severity.WARNING
+    summary = (
+        "durable-state file write without the atomic temp+rename "
+        "idiom; use repro.serve.persist.atomic_write (or mkstemp + "
+        "os.replace) so readers see old bytes or new bytes, never a "
+        "torn file"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            path_expr = _write_call_path(node)
+            if path_expr is None:
+                continue
+            func_name = self._enclosing_function_name(ctx, node)
+            durable_func = func_name is not None and _DURABLE_FUNC_RE.search(
+                func_name.lower()
+            )
+            durable_path = _DURABLE_PATH_RE.search(path_expr.lower())
+            if not durable_func and not durable_path:
+                continue
+            reason = (
+                f"`{func_name}` persists durable state"
+                if durable_func
+                else f"`{path_expr}` names a durable artefact"
+            )
+            yield self.violation(
+                ctx,
+                node,
+                f"{reason}, but this write is not atomic — a crash "
+                f"mid-write leaves a torn file; write via "
+                f"repro.serve.persist.atomic_write or mkstemp + "
+                f"os.replace",
+            )
+
+    @staticmethod
+    def _enclosing_function_name(
+        ctx: FileContext, node: ast.AST
+    ) -> str | None:
+        for anc in ctx.parents(node):
+            if isinstance(anc, _FUNCS):
+                return anc.name
+        return None

@@ -16,6 +16,9 @@ Layering (each layer usable on its own):
   messages and their strict codec;
 * :mod:`repro.serve.registry` — session lifecycle and the live
   workload;
+* :mod:`repro.serve.persist` — the crash-safety layer: an append-only
+  CRC'd write-ahead journal with atomic snapshot compaction, feeding
+  deterministic :meth:`~repro.serve.service.AllocationService.recover`;
 * :mod:`repro.serve.service` — the transport- and clock-agnostic core;
 * :mod:`repro.serve.client` — in-process loopback client (tests,
   examples, the tutorial);
@@ -31,7 +34,14 @@ Protocol, lifecycle, and failure semantics are documented in
 from __future__ import annotations
 
 from repro.serve.client import ServiceClient
+from repro.serve.persist import (
+    Journal,
+    RecoveryLoad,
+    atomic_write,
+    load_journal,
+)
 from repro.serve.protocol import (
+    ERROR_CODES,
     Ack,
     AllocationUpdate,
     Deregister,
@@ -56,6 +66,7 @@ from repro.serve.server import AsyncServiceClient, ServiceServer
 from repro.serve.service import AllocationService, ServiceConfig
 
 __all__ = [
+    "ERROR_CODES",
     "Register",
     "Deregister",
     "ProgressReport",
@@ -69,6 +80,10 @@ __all__ = [
     "Session",
     "SessionState",
     "WorkloadRegistry",
+    "Journal",
+    "RecoveryLoad",
+    "atomic_write",
+    "load_journal",
     "ServiceConfig",
     "AllocationService",
     "ServiceClient",

@@ -28,6 +28,7 @@ from repro.core.spec import AppSpec, Placement
 from repro.errors import ServiceError
 
 __all__ = [
+    "ERROR_CODES",
     "Register",
     "Deregister",
     "ProgressReport",
@@ -41,6 +42,27 @@ __all__ = [
     "encode_message",
     "decode_message",
 ]
+
+#: Every machine-readable rejection code an :class:`ErrorReply` may
+#: carry, with what each one means.  This table is the single place a
+#: code is minted: the codec rejects unknown codes, and
+#: ``tests/test_serve_protocol.py`` asserts that every code here is
+#: actually produced by some service path (and none is produced that
+#: is not here), so the set cannot drift silently.
+ERROR_CODES: dict[str, str] = {
+    "malformed": "the wire line failed JSON or message validation",
+    "unsupported": "a reply/stream type was sent as a request",
+    "invalid-request": "the request violated a service invariant",
+    "unknown-session": "no session is registered under that name",
+    "duplicate-session": "a live session already holds that name",
+    "closed-session": "the named session already deregistered/closed",
+    "overloaded": "admission refused: the max_sessions cap is reached",
+    "draining": "the service is shutting down; admission is closed",
+    "backwards-report": "the report's timestamp went backwards",
+    "no-allocation": "no allocation has been computed yet",
+    "deadline-exceeded": "the command sat queued past its deadline",
+    "frame-too-large": "the NDJSON line exceeded the frame cap",
+}
 
 
 def app_spec_to_dict(spec: AppSpec) -> dict:
@@ -327,10 +349,17 @@ class AllocationUpdate:
 
 @dataclass(frozen=True, slots=True)
 class ErrorReply:
-    """Negative reply: the request was rejected (session state intact)."""
+    """Negative reply: the request was rejected (session state intact).
+
+    ``code`` is one of :data:`ERROR_CODES` (or ``None`` for a legacy
+    peer) so clients can branch on the kind of rejection — retry later
+    on ``overloaded``, re-register on ``unknown-session`` — without
+    parsing the human-readable ``error`` text.
+    """
 
     error: str
     in_reply_to: str | None = None
+    code: str | None = None
 
     TYPE = "error"
 
@@ -340,6 +369,7 @@ class ErrorReply:
             "type": self.TYPE,
             "error": self.error,
             "in_reply_to": self.in_reply_to,
+            "code": self.code,
         }
 
     @classmethod
@@ -350,10 +380,17 @@ class ErrorReply:
             raise ServiceError(
                 f"'error' must be a non-empty string, got {error!r}"
             )
+        code = data.get("code")
+        if code is not None and code not in ERROR_CODES:
+            raise ServiceError(
+                f"unknown error code {code!r} "
+                f"(known: {sorted(ERROR_CODES)})"
+            )
         reply_to = data.get("in_reply_to")
         return cls(
             error=error,
             in_reply_to=None if reply_to is None else str(reply_to),
+            code=code,
         )
 
 

@@ -133,7 +133,8 @@ class WorkloadRegistry:
         if existing is not None and existing.state is not SessionState.CLOSED:
             raise ServiceError(
                 f"session '{app.name}' is already registered "
-                f"({existing.state.value})"
+                f"({existing.state.value})",
+                code="duplicate-session",
             )
         live = sum(
             1
@@ -143,7 +144,8 @@ class WorkloadRegistry:
         if self.max_sessions is not None and live >= self.max_sessions:
             raise ServiceError(
                 f"admission of '{app.name}' refused: "
-                f"{live} sessions at the max_sessions={self.max_sessions} cap"
+                f"{live} sessions at the max_sessions={self.max_sessions} cap",
+                code="overloaded",
             )
         # Re-admission must take the *newest* position in admission
         # order, so drop the closed tombstone first.
@@ -156,8 +158,20 @@ class WorkloadRegistry:
         return session
 
     def remove(self, name: str) -> Session:
-        """Close ``name``'s session; bumps the epoch if it was active."""
+        """Close ``name``'s session; bumps the epoch if it was active.
+
+        Deregistering an already-closed session (a duplicate
+        ``Deregister``, or one sent after drain closed everything) is a
+        deterministic error — the runtime's view of the session has
+        diverged from the service's, and silently acknowledging would
+        hide that.
+        """
         session = self._require(name)
+        if session.state is SessionState.CLOSED:
+            raise ServiceError(
+                f"session '{name}' is already closed",
+                code="closed-session",
+            )
         was_active = session.active
         session.state = SessionState.CLOSED
         if was_active:
@@ -169,7 +183,8 @@ class WorkloadRegistry:
         session = self._require(name)
         if session.state is SessionState.CLOSED:
             raise ServiceError(
-                f"cannot quarantine closed session '{name}'"
+                f"cannot quarantine closed session '{name}'",
+                code="closed-session",
             )
         if session.active:
             session.state = SessionState.QUARANTINED
@@ -181,7 +196,8 @@ class WorkloadRegistry:
         session = self._require(name)
         if session.state is SessionState.CLOSED:
             raise ServiceError(
-                f"cannot reactivate closed session '{name}'"
+                f"cannot reactivate closed session '{name}'",
+                code="closed-session",
             )
         if session.state is SessionState.QUARANTINED:
             session.state = SessionState.ACTIVE
@@ -202,13 +218,15 @@ class WorkloadRegistry:
         session = self._require(name)
         if session.state is SessionState.CLOSED:
             raise ServiceError(
-                f"session '{name}' is closed; re-register first"
+                f"session '{name}' is closed; re-register first",
+                code="closed-session",
             )
         last = session.last_report_time
         if last is not None and time < last:
             raise ServiceError(
                 f"report time of '{name}' went backwards "
-                f"({time} < {last})"
+                f"({time} < {last})",
+                code="backwards-report",
             )
         session.last_report_time = time
         session.progress = dict(progress)
@@ -223,7 +241,9 @@ class WorkloadRegistry:
     def _require(self, name: str) -> Session:
         session = self._sessions.get(name)
         if session is None:
-            raise ServiceError(f"unknown session '{name}'")
+            raise ServiceError(
+                f"unknown session '{name}'", code="unknown-session"
+            )
         return session
 
     def get(self, name: str) -> Session | None:
@@ -256,6 +276,71 @@ class WorkloadRegistry:
     def epoch(self) -> int:
         """Monotonic membership-change counter (starts at 0)."""
         return self._epoch
+
+    # -- persistence ----------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """JSON-safe dump of the full registry, tombstones included.
+
+        Insertion (admission) order is preserved in the ``sessions``
+        list, so ``from_snapshot(to_snapshot())`` rebuilds a registry
+        whose workload fingerprint — and therefore whose optimizer
+        answer — is byte-identical to the original.  Equality of two
+        snapshots is exactly state equality of two registries, which is
+        what the crash-recovery tests assert with ``==``.
+        """
+        from repro.serve.protocol import app_spec_to_dict
+
+        return {
+            "epoch": self._epoch,
+            "sessions": [
+                {
+                    "app": app_spec_to_dict(session.app),
+                    "state": session.state.value,
+                    "admitted_at": session.admitted_at,
+                    "last_report_time": session.last_report_time,
+                    "acked_epoch": session.acked_epoch,
+                    "pushed_epoch": session.pushed_epoch,
+                    "progress": dict(session.progress),
+                    "cpu_load": session.cpu_load,
+                }
+                for session in self._sessions.values()
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, data: Mapping, max_sessions: int | None = None
+    ) -> "WorkloadRegistry":
+        """Rebuild a registry from :meth:`to_snapshot` output."""
+        from repro.serve.protocol import app_spec_from_dict
+
+        epoch = data.get("epoch")
+        sessions = data.get("sessions")
+        if not isinstance(epoch, int) or not isinstance(sessions, list):
+            raise ServiceError(
+                "registry snapshot needs integer 'epoch' and "
+                "list 'sessions'"
+            )
+        registry = cls(max_sessions=max_sessions)
+        for entry in sessions:
+            app = app_spec_from_dict(entry["app"])
+            if app.name in registry._sessions:
+                raise ServiceError(
+                    f"registry snapshot repeats session '{app.name}'"
+                )
+            registry._sessions[app.name] = Session(
+                app=app,
+                state=SessionState(entry["state"]),
+                admitted_at=entry["admitted_at"],
+                last_report_time=entry["last_report_time"],
+                acked_epoch=entry["acked_epoch"],
+                pushed_epoch=entry["pushed_epoch"],
+                progress=dict(entry["progress"]),
+                cpu_load=entry["cpu_load"],
+            )
+        registry._epoch = epoch
+        return registry
 
     def fingerprint(
         self, machine: MachineTopology, rule: RemainderRule

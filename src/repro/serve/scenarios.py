@@ -40,12 +40,28 @@ Presets
     composition: the second optimization of that composition is served
     from the persistent :class:`~repro.core.fasteval.ScoreCache`
     (cache hits observed).
+``serve-crash-restart``
+    The service journals every state change
+    (:mod:`repro.serve.persist`), is killed at a scripted DES time
+    mid-churn — with a torn record appended to the journal tail, as a
+    real crash would leave — and is rebuilt with
+    :meth:`~repro.serve.service.AllocationService.recover`.  The
+    recovered state dump must equal the pre-crash one exactly, churn
+    continues against the recovered service, and the final allocation
+    must still match the offline oracle.
+
+Any preset can additionally run *journaled* (``--journal DIR``):
+journaling is a pure observer, so the report is identical to the
+un-journaled run apart from the journal counters themselves (pinned by
+the golden-digest test in ``tests/test_serve_persist.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
+import tempfile
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -60,6 +76,7 @@ from repro.core.optimizer import ExhaustiveSearch
 from repro.core.spec import AppSpec
 from repro.errors import EndpointUnavailable, ServiceError
 from repro.machine.presets import model_machine
+from repro.serve.persist import Journal, latest_journal_segment
 from repro.serve.protocol import (
     AllocationUpdate,
     Deregister,
@@ -129,6 +146,8 @@ class ChurnReport:
     mode: str = "full"
     delta_reoptimizations: int = 0
     delta_fallbacks: int = 0
+    journal_records: int = 0
+    recoveries: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (the ``--json`` record)."""
@@ -154,6 +173,8 @@ class ChurnReport:
                 for name, per_node in self.final_allocation.items()
             },
             "notes": list(self.notes),
+            "journal_records": self.journal_records,
+            "recoveries": self.recoveries,
         }
 
     def to_json(self) -> str:
@@ -173,6 +194,11 @@ class ChurnReport:
             lines.append(
                 f"  delta path:          {self.delta_reoptimizations} "
                 f"incremental ({self.delta_fallbacks} fell back to full)"
+            )
+        if self.journal_records or self.recoveries:
+            lines.append(
+                f"  journal:             {self.journal_records} records, "
+                f"{self.recoveries} recoveries"
             )
         lines += [
             f"  retransmits:         {self.retransmits}",
@@ -272,23 +298,52 @@ class ReplayDriver:
     :class:`ReplayEndpoint`), and the operator (join/leave events), all
     on one shared :class:`~repro.sim.engine.Simulator` so a replay is a
     deterministic function of its inputs.
+
+    With ``journal_path`` set the service writes the
+    :mod:`repro.serve.persist` write-ahead journal under that
+    directory, and :meth:`crash` / :meth:`recover` replace the service
+    with one rebuilt from disk mid-replay.  ``fsync`` defaults off for
+    replays: a simulated in-process crash never loses buffered OS
+    writes, and the DES clock should not wait on the disk (the real
+    daemon in :mod:`repro.serve.server` keeps fsync on).
     """
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        journal_path: str | None = None,
+        compact_every: int | None = 16,
+        fsync: bool = False,
+    ) -> None:
         self.sim = Simulator()
         self.config = config or ServiceConfig(machine=model_machine())
+        self.journal_path = journal_path
+        self._compact_every = compact_every
+        self._fsync = fsync
+        journal = (
+            Journal.open(
+                journal_path, fsync=fsync, compact_every=compact_every
+            )
+            if journal_path is not None
+            else None
+        )
         self.service = AllocationService(
             self.config,
             clock=lambda: self.sim.now,
             call_later=lambda delay, fn: self.sim.schedule(
                 delay, fn, priority=_SERVICE_PRIORITY
             ),
+            journal=journal,
         )
         self.sessions: dict[str, _ReplaySession] = {}
         #: ``(endpoint) -> surface`` hook: wrap endpoints (e.g. in an
         #: InjectionProxy) before the driver talks to them.
         self.wrap: Callable[[ReplayEndpoint], RuntimeEndpoint] | None = None
         self._horizon: float | None = None
+        self._watchdog = True
+        #: journal records appended by service instances that crashed.
+        self.journal_records_prior = 0
 
     # -- session lifecycle ---------------------------------------------
 
@@ -367,6 +422,71 @@ class ReplayDriver:
             lambda: self._report_tick(session),
         )
 
+    # -- crash / recovery ----------------------------------------------
+
+    def crash(self) -> dict:
+        """Kill the service abruptly; returns its pre-crash state dump.
+
+        The dead instance's timers become no-ops and its journal
+        descriptor is released; the driver keeps running report loops
+        that will talk to whatever :meth:`recover` installs next.
+        """
+        state = self.service.snapshot_state()
+        self.journal_records_prior += self.service.journal_records
+        self.service.crash()
+        return state
+
+    def recover(self) -> dict:
+        """Rebuild the service from the journal; returns its state dump.
+
+        Re-subscribes every still-running replay session to the
+        recovered service and re-arms the watchdog, mirroring what a
+        restarted daemon's reconnecting runtimes would do.
+        """
+        if self.journal_path is None:
+            raise ServiceError(
+                "this driver has no journal_path; nothing to recover"
+            )
+        self.service = AllocationService.recover(
+            self.journal_path,
+            self.config,
+            clock=lambda: self.sim.now,
+            call_later=lambda delay, fn: self.sim.schedule(
+                delay, fn, priority=_SERVICE_PRIORITY
+            ),
+            fsync=self._fsync,
+            compact_every=self._compact_every,
+        )
+        for name, session in self.sessions.items():
+            if not session.stopped:
+                self.service.subscribe(
+                    name,
+                    lambda message, s=session: self._on_push(s, message),
+                )
+        if self._watchdog:
+            self.service.start_watchdog()
+        return self.service.snapshot_state()
+
+    def crash_and_recover(
+        self, *, tear_tail: bool = False
+    ) -> tuple[dict, dict]:
+        """Crash, optionally tear the journal tail, recover; both dumps.
+
+        ``tear_tail`` appends a partial, CRC-less record to the newest
+        journal segment — the bytes a mid-append power loss leaves
+        behind — so recovery must detect it via CRC and truncate to the
+        last valid record.
+        """
+        pre = self.crash()
+        if tear_tail:
+            segment = latest_journal_segment(self.journal_path)
+            fd = os.open(segment, os.O_WRONLY | os.O_APPEND)
+            try:
+                os.write(fd, b'{"crc":0,"event":{"kind":"torn')
+            finally:
+                os.close(fd)
+        return pre, self.recover()
+
     # -- replay ---------------------------------------------------------
 
     def run(
@@ -378,6 +498,7 @@ class ReplayDriver:
     ) -> None:
         """Schedule ``events`` and run the simulation to ``duration``."""
         self._horizon = duration
+        self._watchdog = watchdog
         if watchdog:
             self.service.start_watchdog()
         for event in events:
@@ -473,10 +594,16 @@ def _finish(
         matches_offline=matches,
         final_allocation=final_allocation,
         notes=notes,
+        journal_records=(
+            service.journal_records + driver.journal_records_prior
+        ),
+        recoveries=service.recoveries,
     )
 
 
-def _churn_basic(seed: int, mode: str = "full") -> ChurnReport:
+def _churn_basic(
+    seed: int, mode: str = "full", journal: str | None = None
+) -> ChurnReport:
     """Joins/leaves spaced wider than the debounce window."""
     rng = random.Random(seed)
     apps = {
@@ -499,7 +626,8 @@ def _churn_basic(seed: int, mode: str = "full") -> ChurnReport:
             debounce=0.02,
             report_interval=0.02,
             mode=mode,
-        )
+        ),
+        journal_path=journal,
     )
     driver.run(events, duration=0.5)
     # Spacing (>= 50 ms) exceeds the debounce (20 ms): every event must
@@ -518,7 +646,9 @@ def _churn_basic(seed: int, mode: str = "full") -> ChurnReport:
     )
 
 
-def _churn_burst(seed: int, mode: str = "full") -> ChurnReport:
+def _churn_burst(
+    seed: int, mode: str = "full", journal: str | None = None
+) -> ChurnReport:
     """A join burst inside one debounce window coalesces."""
     rng = random.Random(seed)
     base = _jittered(0.10, rng)
@@ -549,7 +679,8 @@ def _churn_burst(seed: int, mode: str = "full") -> ChurnReport:
             debounce=0.02,
             report_interval=0.02,
             mode=mode,
-        )
+        ),
+        journal_path=journal,
     )
     driver.run(events, duration=0.3)
     # 4 events, but the 3-join burst lands inside one debounce window:
@@ -568,7 +699,9 @@ def _churn_burst(seed: int, mode: str = "full") -> ChurnReport:
     )
 
 
-def _churn_stale(seed: int, mode: str = "full") -> ChurnReport:
+def _churn_stale(
+    seed: int, mode: str = "full", journal: str | None = None
+) -> ChurnReport:
     """Silent sessions are quarantined; quorum loss degrades; recovery
     reactivates."""
     rng = random.Random(seed)
@@ -588,7 +721,8 @@ def _churn_stale(seed: int, mode: str = "full") -> ChurnReport:
             debounce=0.01,
             report_interval=0.02,
             mode=mode,
-        )
+        ),
+        journal_path=journal,
     )
     # Silence beta and gamma between t=0.15 and t=0.40: their report
     # loops pause, the watchdog quarantines them, and 1/3 active drops
@@ -630,7 +764,9 @@ def _churn_stale(seed: int, mode: str = "full") -> ChurnReport:
     )
 
 
-def _churn_cache(seed: int, mode: str = "full") -> ChurnReport:
+def _churn_cache(
+    seed: int, mode: str = "full", journal: str | None = None
+) -> ChurnReport:
     """A returning workload composition is served from the score cache."""
     rng = random.Random(seed)
     apps = {
@@ -654,7 +790,8 @@ def _churn_cache(seed: int, mode: str = "full") -> ChurnReport:
             debounce=0.02,
             report_interval=0.02,
             mode=mode,
-        )
+        ),
+        journal_path=journal,
     )
     driver.run(events, duration=0.5)
     cache = driver.service.model.cache
@@ -673,27 +810,107 @@ def _churn_cache(seed: int, mode: str = "full") -> ChurnReport:
     )
 
 
+def _churn_restart(
+    seed: int, mode: str = "full", journal: str | None = None
+) -> ChurnReport:
+    """Crash the journaled service mid-churn; recover byte-identically.
+
+    At a scripted DES time the service dies (its pre-crash state dump
+    captured), a torn partial record is appended to the journal tail,
+    and the service is rebuilt from snapshot + journal replay.  The
+    recovered dump must ``==`` the pre-crash one, the torn tail must be
+    detected and truncated (not crash recovery, not load garbage), and
+    the churn that continues *after* recovery — a new join and a leave
+    — must still end byte-identical to the offline oracle.
+    """
+    rng = random.Random(seed)
+    apps = {
+        "alpha": AppSpec.memory_bound("alpha"),
+        "beta": AppSpec.compute_bound("beta"),
+        "gamma": AppSpec.memory_bound("gamma", arithmetic_intensity=0.8),
+        "delta": AppSpec.compute_bound("delta", arithmetic_intensity=64.0),
+    }
+    events = [
+        ChurnEvent(_jittered(0.00, rng), "join", "alpha", apps["alpha"]),
+        ChurnEvent(_jittered(0.05, rng), "join", "beta", apps["beta"]),
+        ChurnEvent(_jittered(0.10, rng), "join", "gamma", apps["gamma"]),
+        ChurnEvent(_jittered(0.15, rng), "leave", "beta"),
+        # Scheduled after the crash at t=0.22: both land on the
+        # *recovered* service.
+        ChurnEvent(_jittered(0.30, rng), "join", "delta", apps["delta"]),
+        ChurnEvent(_jittered(0.38, rng), "leave", "gamma"),
+    ]
+    driver = ReplayDriver(
+        ServiceConfig(
+            machine=model_machine(),
+            debounce=0.02,
+            report_interval=0.02,
+            mode=mode,
+        ),
+        journal_path=journal or tempfile.mkdtemp(prefix="repro-journal-"),
+    )
+    checks: dict[str, bool] = {}
+
+    def _crash_recover() -> None:
+        pre, post = driver.crash_and_recover(tear_tail=True)
+        recovery = driver.service.last_recovery
+        checks["identical"] = pre == post
+        checks["torn_tail"] = (
+            recovery is not None and recovery.truncated_tail
+        )
+
+    driver.sim.schedule_at(0.22, _crash_recover)
+    driver.run(events, duration=0.6)
+    service = driver.service
+    extra = (
+        checks.get("identical", False)
+        and checks.get("torn_tail", False)
+        and service.recoveries == 1
+        and service.journal_records + driver.journal_records_prior > 0
+    )
+    notes = (
+        "criteria: recovered state dump == pre-crash dump, torn "
+        "journal tail truncated at the last valid record, churn after "
+        "recovery still matches the offline oracle",
+    )
+    if not checks.get("identical", False):
+        notes += ("FAIL: recovered state differs from pre-crash state",)
+    if not checks.get("torn_tail", False):
+        notes += ("FAIL: torn tail was not detected/truncated",)
+    return _finish(
+        "serve-crash-restart", seed, driver, events, extra, notes
+    )
+
+
 #: Scenario name -> builder; each returns a :class:`ChurnReport`.
 SERVE_SCENARIOS: dict[str, Callable[..., ChurnReport]] = {
     "churn-basic": _churn_basic,
     "churn-burst": _churn_burst,
     "churn-stale": _churn_stale,
     "churn-cache": _churn_cache,
+    "serve-crash-restart": _churn_restart,
 }
 
 
-def run_replay(name: str, seed: int = 0, mode: str = "full") -> ChurnReport:
+def run_replay(
+    name: str,
+    seed: int = 0,
+    mode: str = "full",
+    journal: str | None = None,
+) -> ChurnReport:
     """Run one churn replay preset by name.
 
     ``mode`` selects the service's re-optimization path (``"full"`` or
     ``"delta"``); the offline oracle the replay is checked against is
     always the from-scratch exhaustive search, so a passing delta run
     proves the incremental path byte-identical under that scenario's
-    churn.
+    churn.  ``journal`` (a directory path) runs the replay with the
+    write-ahead journal enabled; ``serve-crash-restart`` journals into
+    a fresh temporary directory when none is given.
     """
     if name not in SERVE_SCENARIOS:
         raise ServiceError(
             f"unknown serve scenario '{name}' "
             f"(choose from {sorted(SERVE_SCENARIOS)})"
         )
-    return SERVE_SCENARIOS[name](seed, mode=mode)
+    return SERVE_SCENARIOS[name](seed, mode=mode, journal=journal)

@@ -124,6 +124,18 @@ class ServiceServer:
     outbox_limit:
         Pushed messages buffered per connection before it is judged
         dead and dropped (backpressure bound).
+    max_line_bytes:
+        Upper bound on one NDJSON request line.  A peer that exceeds
+        it gets an :class:`~repro.serve.protocol.ErrorReply` code
+        ``frame-too-large`` and is disconnected — after a torn frame
+        there is no reliable record boundary to resynchronise on —
+        instead of growing the read buffer without bound.
+    journal_path:
+        Optional write-ahead-journal directory
+        (:mod:`repro.serve.persist`).  When it already holds journal
+        segments, :meth:`start` *recovers* the service from them
+        before serving; either way every state change is journaled so
+        the next start survives a crash.
     """
 
     def __init__(
@@ -132,10 +144,18 @@ class ServiceServer:
         path: str,
         *,
         outbox_limit: int = 64,
+        max_line_bytes: int = 64 * 1024,
+        journal_path: str | None = None,
     ) -> None:
+        if max_line_bytes < 1024:
+            raise ServiceError(
+                f"max_line_bytes must be >= 1024, got {max_line_bytes}"
+            )
         self.config = config
         self.path = path
         self.outbox_limit = outbox_limit
+        self.max_line_bytes = max_line_bytes
+        self.journal_path = journal_path
         self.service: AllocationService | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
@@ -145,13 +165,23 @@ class ServiceServer:
         if self._server is not None:
             raise ServiceError(f"server already started on {self.path}")
         loop = asyncio.get_running_loop()
-        self.service = AllocationService(
-            self.config,
-            clock=loop.time,
-            call_later=loop.call_later,
-        )
+        if self.journal_path is not None:
+            self.service = AllocationService.recover(
+                self.journal_path,
+                self.config,
+                clock=loop.time,
+                call_later=loop.call_later,
+            )
+        else:
+            self.service = AllocationService(
+                self.config,
+                clock=loop.time,
+                call_later=loop.call_later,
+            )
         self._server = await asyncio.start_unix_server(
-            self._serve_connection, path=self.path
+            self._serve_connection,
+            path=self.path,
+            limit=self.max_line_bytes,
         )
         return self.service
 
@@ -187,25 +217,59 @@ class ServiceServer:
         conn.writer_task = asyncio.ensure_future(conn.drain_outbox())
         service = self.service
         assert service is not None
+        loop = asyncio.get_running_loop()
         try:
             # Not a retry loop: one iteration per request line, bounded
             # by the peer closing its stream (EOF breaks out).
             while True:  # repro: noqa[RETRY001]
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The peer blew through max_line_bytes; past a torn
+                    # frame there is no trustworthy record boundary
+                    # left, so reply and drop the connection.
+                    conn.push(
+                        ErrorReply(
+                            error=(
+                                f"request line exceeded the "
+                                f"{self.max_line_bytes}-byte frame cap"
+                            ),
+                            code="frame-too-large",
+                        )
+                    )
+                    break
                 if not line:
                     break
+                received_at = loop.time()
                 try:
                     message = decode_message(line.decode("utf-8"))
+                except UnicodeDecodeError as exc:
+                    conn.push(
+                        ErrorReply(
+                            error=f"request line is not UTF-8: {exc}",
+                            code="malformed",
+                        )
+                    )
+                    continue
                 except ServiceError as exc:
-                    conn.push(ErrorReply(error=str(exc)))
+                    conn.push(
+                        ErrorReply(
+                            error=str(exc),
+                            code=getattr(exc, "code", None) or "malformed",
+                        )
+                    )
                     continue
                 if isinstance(message, Register):
-                    reply = service.handle(message)
+                    reply = service.handle(
+                        message, received_at=received_at
+                    )
                     if isinstance(reply, Ack):
                         conn.session_name = message.name
                         service.subscribe(message.name, conn.push)
                 else:
-                    reply = service.handle(message)
+                    reply = service.handle(
+                        message, received_at=received_at
+                    )
                 conn.push(reply)
                 if (
                     isinstance(message, Deregister)
@@ -213,6 +277,10 @@ class ServiceServer:
                     and conn.session_name == message.name
                 ):
                     conn.session_name = None
+        except ConnectionError:  # repro: noqa[EXC002]
+            # Mid-read disconnect (reset, broken pipe): nothing to
+            # reply to — fall through to the teardown below.
+            pass
         finally:
             if conn.session_name is not None:
                 service.unsubscribe(conn.session_name)

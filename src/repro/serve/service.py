@@ -48,6 +48,7 @@ Policy highlights (full semantics in ``docs/SERVICE.md``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -61,6 +62,7 @@ from repro.core.spec import AppSpec
 from repro.errors import ServiceError
 from repro.machine.topology import MachineTopology
 from repro.obs import OBS, CounterHandle, GaugeHandle, HistogramHandle
+from repro.serve.persist import Journal, RecoveryLoad, load_journal
 from repro.serve.protocol import (
     Ack,
     AllocationUpdate,
@@ -70,6 +72,8 @@ from repro.serve.protocol import (
     QueryAllocation,
     Register,
     ShutdownNotice,
+    app_spec_from_dict,
+    app_spec_to_dict,
 )
 from repro.serve.registry import Session, SessionState, WorkloadRegistry
 
@@ -88,6 +92,10 @@ _RETRANSMITS = CounterHandle("serve/retransmits")
 _QUARANTINED = CounterHandle("serve/quarantined")
 _COMMAND_LATENCY = HistogramHandle("serve/command_latency")
 _DELTA_REOPTIMIZATIONS = CounterHandle("serve/delta_reoptimizations")
+_RECOVERIES = CounterHandle("serve/recoveries")
+_JOURNAL_RECORDS = CounterHandle("serve/journal_records")
+_SHED = CounterHandle("serve/shed_commands")
+_RECOVERY_REPLAY = HistogramHandle("serve/recovery_replay_ms")
 
 
 @dataclass(frozen=True)
@@ -109,13 +117,29 @@ class ServiceConfig:
     resilience:
         The PR-3 policy reused for freshness and quorum semantics.
     max_sessions:
-        Admission cap (``None`` = unbounded).
+        Admission cap (``None`` = unbounded).  A full service answers
+        ``Register`` with an :class:`~repro.serve.protocol.ErrorReply`
+        code ``overloaded`` instead of growing without bound.
     mode:
         ``"full"`` re-runs the configured search from scratch on every
         re-optimization; ``"delta"`` routes churn through the
         incremental :class:`~repro.core.delta.DeltaSearch`, warm-started
         from the previous allocation (with automatic fall-back to the
         full search — see ``docs/OPTIMIZER.md``).
+    command_deadline:
+        Seconds a ``progress-report`` / ``query-allocation`` may sit
+        queued (between being read off the wire and being handled)
+        before the service answers ``deadline-exceeded`` instead of
+        acting on stale input.  ``None`` (default) disables the check.
+        Membership changes are exempt: a late ``register`` or
+        ``deregister`` is still true.
+    shed_report_interval:
+        Load-shedding floor for ``progress-report`` floods: while a
+        re-optimization is already pending (debounce armed), reports
+        from a session that reported less than this many seconds ago
+        are coalesced — acknowledged but not folded into the registry.
+        ``None`` (default) disables shedding.  ``register`` and
+        ``deregister`` are never shed.
     """
 
     machine: MachineTopology
@@ -124,6 +148,8 @@ class ServiceConfig:
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     max_sessions: int | None = None
     mode: str = "full"
+    command_deadline: float | None = None
+    shed_report_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.debounce <= 0:
@@ -139,6 +165,25 @@ class ServiceConfig:
             raise ServiceError(
                 f"mode must be 'full' or 'delta', got {self.mode!r}"
             )
+        if self.command_deadline is not None and self.command_deadline <= 0:
+            raise ServiceError(
+                f"command_deadline must be positive, "
+                f"got {self.command_deadline}"
+            )
+        if self.shed_report_interval is not None:
+            if self.shed_report_interval <= 0:
+                raise ServiceError(
+                    f"shed_report_interval must be positive, "
+                    f"got {self.shed_report_interval}"
+                )
+            if self.shed_report_interval >= self.staleness_window / 2:
+                raise ServiceError(
+                    f"shed_report_interval "
+                    f"{self.shed_report_interval} must stay under half "
+                    f"the staleness window "
+                    f"({self.staleness_window}); shedding that "
+                    f"aggressively would quarantine healthy sessions"
+                )
 
     @property
     def staleness_window(self) -> float:
@@ -166,6 +211,13 @@ class AllocationService:
         :class:`~repro.core.model.NumaPerformanceModel` (so the score
         cache survives churn) driving an
         :class:`~repro.core.optimizer.ExhaustiveSearch`.
+    journal:
+        Optional :class:`~repro.serve.persist.Journal`; when set, every
+        state-changing event is appended (and periodically compacted
+        into a snapshot) so :meth:`recover` can rebuild this service
+        byte-identically after a crash.  Journaling is a pure observer:
+        a journaled service and an un-journaled one produce identical
+        replies, pushes, and metrics.
     """
 
     def __init__(
@@ -176,6 +228,7 @@ class AllocationService:
         call_later: Callable[[float, Callable[[], None]], object],
         model: NumaPerformanceModel | None = None,
         search: ExhaustiveSearch | None = None,
+        journal: Journal | None = None,
     ) -> None:
         self.config = config
         self.clock = clock
@@ -224,17 +277,54 @@ class AllocationService:
         self.delta_reoptimizations = 0
         self.retransmits = 0
         self.quarantines = 0
+        #: the write-ahead journal (None = volatile service).
+        self.journal = journal
+        #: events appended to the journal by this instance.
+        self.journal_records = 0
+        #: times this instance was rebuilt from disk (0 or 1).
+        self.recoveries = 0
+        #: progress-report/query commands shed under overload.
+        self.shed_commands = 0
+        #: what :meth:`recover` read back (diagnostics for chaos tests).
+        self.last_recovery: RecoveryLoad | None = None
 
     # -- message entry point --------------------------------------------
 
-    def handle(self, message):
+    def handle(self, message, *, received_at: float | None = None):
         """Process one decoded request; returns the direct reply.
 
         The reply is an :class:`~repro.serve.protocol.Ack`,
         :class:`~repro.serve.protocol.AllocationUpdate`, or — for any
         rejected request — an :class:`~repro.serve.protocol.ErrorReply`
         (the core never lets a bad request raise through a transport).
+        Every rejection carries a machine-readable ``code`` from
+        :data:`~repro.serve.protocol.ERROR_CODES`.
+
+        ``received_at`` is when the transport read the request off the
+        wire (same clock as ``clock()``).  With
+        ``config.command_deadline`` set, a ``progress-report`` or
+        ``query-allocation`` that sat queued past the deadline is
+        answered ``deadline-exceeded`` instead of being acted on —
+        stale load signals would steer the optimizer wrong, while a
+        late ``register``/``deregister`` is still a true membership
+        fact and is always processed.
         """
+        deadline = self.config.command_deadline
+        if (
+            deadline is not None
+            and received_at is not None
+            and isinstance(message, (ProgressReport, QueryAllocation))
+            and self.clock() - received_at > deadline
+        ):
+            self._count_shed()
+            return ErrorReply(
+                error=(
+                    f"command sat queued {self.clock() - received_at:.4f}s, "
+                    f"past the {deadline}s deadline"
+                ),
+                in_reply_to=message.TYPE,
+                code="deadline-exceeded",
+            )
         try:
             if isinstance(message, Register):
                 return self._register(message)
@@ -248,10 +338,12 @@ class AllocationService:
             return ErrorReply(
                 error=str(exc),
                 in_reply_to=getattr(message, "TYPE", None),
+                code=getattr(exc, "code", None) or "invalid-request",
             )
         return ErrorReply(
             error=f"unsupported message {type(message).__name__}",
             in_reply_to=getattr(message, "TYPE", None),
+            code="unsupported",
         )
 
     def subscribe(
@@ -278,10 +370,19 @@ class AllocationService:
     def _register(self, message: Register):
         if self._draining:
             raise ServiceError(
-                "service is draining; admission is closed"
+                "service is draining; admission is closed",
+                code="draining",
             )
         now = self.clock()
         self.registry.admit(message.app, now)
+        self._journal_event(
+            {
+                "kind": "register",
+                "name": message.name,
+                "t": now,
+                "app": app_spec_to_dict(message.app),
+            }
+        )
         self._note_churn(now)
         if OBS.enabled:
             _SESSIONS.set(len(self.registry))
@@ -295,6 +396,9 @@ class AllocationService:
         session = self.registry.remove(message.name)
         self.unsubscribe(message.name)
         self._allocation.pop(message.name, None)
+        self._journal_event(
+            {"kind": "deregister", "name": message.name}
+        )
         self._note_churn(self.clock())
         if OBS.enabled:
             _SESSIONS.set(len(self.registry))
@@ -305,6 +409,17 @@ class AllocationService:
         )
 
     def _progress(self, message: ProgressReport):
+        if self._should_shed(message):
+            # Coalesced under debounce pressure: acknowledged so the
+            # runtime keeps its cadence, but nothing is mutated (and
+            # nothing journaled) — the pending re-optimization will
+            # read the last accepted report instead.
+            self._count_shed()
+            return Ack(
+                name=message.name,
+                epoch=self.registry.epoch,
+                in_reply_to=ProgressReport.TYPE,
+            )
         session = self.registry.record_report(
             message.name,
             message.time,
@@ -312,10 +427,23 @@ class AllocationService:
             message.cpu_load,
             message.acked_epoch,
         )
+        self._journal_event(
+            {
+                "kind": "report",
+                "name": message.name,
+                "t": message.time,
+                "progress": dict(message.progress),
+                "cpu_load": message.cpu_load,
+                "acked": message.acked_epoch,
+            }
+        )
         if session.state is SessionState.QUARANTINED:
             # A heartbeat from a quarantined session brings it back
             # into the optimized workload (membership change).
             self.registry.reactivate(message.name)
+            self._journal_event(
+                {"kind": "reactivate", "name": message.name}
+            )
             self._note_churn(self.clock())
         self._maybe_retransmit(session)
         return Ack(
@@ -324,15 +452,43 @@ class AllocationService:
             in_reply_to=ProgressReport.TYPE,
         )
 
+    def _should_shed(self, message: ProgressReport) -> bool:
+        """True when this report should be coalesced, not applied.
+
+        Sheds only while a re-optimization is already pending (the
+        flood is about to be folded into one answer anyway) and only
+        reports that arrive faster than ``shed_report_interval`` after
+        the session's last accepted one.  Never sheds the report that
+        would reactivate a quarantined session — that one is a
+        membership signal, not a load sample.
+        """
+        interval = self.config.shed_report_interval
+        if interval is None or not self._reopt_pending:
+            return False
+        session = self.registry.get(message.name)
+        if session is None or not session.active:
+            return False
+        last = session.last_report_time
+        return last is not None and message.time - last < interval
+
+    def _count_shed(self) -> None:
+        self.shed_commands += 1
+        if OBS.enabled:
+            _SHED.add()
+
     def _query(self, message: QueryAllocation):
         session = self.registry.get(message.name)
         if session is None or session.state is SessionState.CLOSED:
-            raise ServiceError(f"unknown session '{message.name}'")
+            raise ServiceError(
+                f"unknown session '{message.name}'",
+                code="unknown-session",
+            )
         per_node = self._allocation.get(message.name)
         if per_node is None:
             raise ServiceError(
                 f"no allocation computed yet for '{message.name}' "
-                f"(re-optimization pending)"
+                f"(re-optimization pending)",
+                code="no-allocation",
             )
         return AllocationUpdate(
             name=message.name,
@@ -404,6 +560,9 @@ class AllocationService:
             last = session.last_report_time
             if last is None or now - last > window:
                 self.registry.quarantine(session.name)
+                self._journal_event(
+                    {"kind": "quarantine", "name": session.name}
+                )
                 self.quarantines += 1
                 if OBS.enabled:
                     _QUARANTINED.add()
@@ -460,6 +619,18 @@ class AllocationService:
         self._score = score
         self._degraded = degraded
         self._allocation_epoch = epoch
+        self._journal_event(
+            {
+                "kind": "allocation",
+                "epoch": epoch,
+                "score": score,
+                "degraded": degraded,
+                "allocation": {
+                    name: list(counts)
+                    for name, counts in allocation.items()
+                },
+            }
+        )
         events, self._pending_event_times = self._pending_event_times, []
         if OBS.enabled:
             for event_time in events:
@@ -597,11 +768,199 @@ class AllocationService:
 
     def _push(self, session: Session, update: AllocationUpdate) -> None:
         session.pushed_epoch = update.epoch
+        self._journal_event(
+            {
+                "kind": "push",
+                "name": session.name,
+                "epoch": update.epoch,
+            }
+        )
         if OBS.enabled:
             _COMMANDS.add()
         push = self._subscribers.get(session.name)
         if push is not None:
             push(update)
+
+    # -- persistence ----------------------------------------------------
+
+    def _journal_event(self, event: dict) -> None:
+        """Append one state-change record; compact when due.
+
+        Called *after* the mutation it records succeeded, so the
+        journal never contains an event the live service rejected.
+        Pure observer: with ``journal=None`` (or a closed journal)
+        this is a no-op and the service behaves byte-identically.
+        """
+        if self.journal is None or self.journal.closed:
+            return
+        self.journal.append(event)
+        self.journal_records += 1
+        if OBS.enabled:
+            _JOURNAL_RECORDS.add()
+        if self.journal.should_compact():
+            self.journal.compact(self.snapshot_state())
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe dump of everything :meth:`recover` must rebuild."""
+        return {
+            "machine": repr(self.config.machine.fingerprint),
+            "mode": self.config.mode,
+            "registry": self.registry.to_snapshot(),
+            "allocation": {
+                name: list(counts)
+                for name, counts in self._allocation.items()
+            },
+            "score": self._score,
+            "degraded": self._degraded,
+            "allocation_epoch": self._allocation_epoch,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        machine = state.get("machine")
+        if machine != repr(self.config.machine.fingerprint):
+            raise ServiceError(
+                "journal snapshot was taken against a different machine "
+                "topology; refusing to recover onto it"
+            )
+        if state.get("mode") != self.config.mode:
+            raise ServiceError(
+                f"journal snapshot was taken in mode "
+                f"{state.get('mode')!r}, recovering in "
+                f"{self.config.mode!r}; refusing"
+            )
+        self.registry = WorkloadRegistry.from_snapshot(
+            state["registry"], max_sessions=self.config.max_sessions
+        )
+        self._allocation = {
+            name: tuple(int(x) for x in counts)
+            for name, counts in state["allocation"].items()
+        }
+        self._score = state["score"]
+        self._degraded = state["degraded"]
+        self._allocation_epoch = state["allocation_epoch"]
+
+    def _replay_event(self, event: dict) -> None:
+        """Apply one journal record to the recovering state.
+
+        Each record replays the *registry-level* mutation it logged —
+        not the request that caused it — so replay is deterministic
+        and free of policy side effects (no debounce timers, no
+        pushes, no re-optimizations during replay).
+        """
+        kind = event.get("kind")
+        name = event.get("name")
+        if kind == "register":
+            self.registry.admit(
+                app_spec_from_dict(event["app"]), event["t"]
+            )
+        elif kind == "deregister":
+            self.registry.remove(name)
+            self._allocation.pop(name, None)
+        elif kind == "report":
+            self.registry.record_report(
+                name,
+                event["t"],
+                event["progress"],
+                event["cpu_load"],
+                event["acked"],
+            )
+        elif kind == "quarantine":
+            self.registry.quarantine(name)
+        elif kind == "reactivate":
+            self.registry.reactivate(name)
+        elif kind == "push":
+            session = self.registry.get(name)
+            if session is not None:
+                session.pushed_epoch = event["epoch"]
+        elif kind == "allocation":
+            self._allocation = {
+                app: tuple(int(x) for x in counts)
+                for app, counts in event["allocation"].items()
+            }
+            self._score = event["score"]
+            self._degraded = event["degraded"]
+            self._allocation_epoch = event["epoch"]
+        else:
+            raise ServiceError(f"unknown journal event kind {kind!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        path: str,
+        config: ServiceConfig,
+        *,
+        clock: Callable[[], float],
+        call_later: Callable[[float, Callable[[], None]], object],
+        model: NumaPerformanceModel | None = None,
+        search: ExhaustiveSearch | None = None,
+        fsync: bool = True,
+        compact_every: int | None = 1024,
+        reconcile: bool = True,
+    ) -> "AllocationService":
+        """Rebuild a service from the journal directory at ``path``.
+
+        Deterministic: loads the newest CRC-valid snapshot, replays
+        every journal record after it (torn tails truncated, corrupt
+        snapshots falling back a generation, duplicated segments
+        deduplicated by ``seq`` — see
+        :func:`~repro.serve.persist.load_journal`), then compacts the
+        recovered state into a fresh generation so the next crash
+        replays from *here*, not from the beginning of time.
+
+        With ``reconcile`` (default) a recovered service with live
+        sessions arms one debounced re-optimization, so its allocation
+        answer is recomputed against the recovered workload instead of
+        trusted blindly.  Same registry, same model, same search ⇒ the
+        reconciliation answer equals the pre-crash one, and no spurious
+        pushes go out (every session's ``pushed_epoch`` is already
+        current).
+        """
+        start = time.perf_counter()
+        loaded = load_journal(path)
+        service = cls(
+            config,
+            clock=clock,
+            call_later=call_later,
+            model=model,
+            search=search,
+        )
+        if loaded.state is not None:
+            service._restore_state(loaded.state)
+        for event in loaded.events:
+            service._replay_event(event)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        service.recoveries = 1
+        service.last_recovery = loaded
+        service.journal = Journal.open(
+            path,
+            fsync=fsync,
+            compact_every=compact_every,
+            start_seq=loaded.last_seq,
+        )
+        service.journal.compact(service.snapshot_state())
+        if OBS.enabled:
+            _RECOVERIES.add()
+            _RECOVERY_REPLAY.record(elapsed_ms)
+            _SESSIONS.set(len(service.registry))
+        if reconcile and any(
+            True for _ in service.registry.live_sessions()
+        ):
+            service._note_churn(clock())
+        return service
+
+    def crash(self) -> None:
+        """Simulate abrupt death (tests and chaos scenarios only).
+
+        Unlike :meth:`drain`, nothing graceful happens: no shutdown
+        notices, no final compaction — the journal descriptor is just
+        released so :meth:`recover` reads exactly what the appends made
+        durable.  The dead instance's pending timers become no-ops.
+        """
+        self._draining = True
+        self._watchdog_interval = None
+        self._subscribers.clear()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- queries / shutdown ---------------------------------------------
 
@@ -655,5 +1014,13 @@ class AllocationService:
         self._subscribers.clear()
         for session in list(self.registry.live_sessions()):
             self.registry.remove(session.name)
+            self._journal_event(
+                {"kind": "deregister", "name": session.name}
+            )
+        if self.journal is not None and not self.journal.closed:
+            # Final compaction so a later recover() starts from the
+            # drained state instead of replaying the whole history.
+            self.journal.compact(self.snapshot_state())
+            self.journal.close()
         if OBS.enabled:
             _SESSIONS.set(0)

@@ -17,6 +17,7 @@ DOCTESTED = [
     DOCS / "OPTIMIZER.md",
     DOCS / "TUTORIAL.md",
     DOCS / "STATIC_ANALYSIS.md",
+    DOCS / "SERVICE.md",
 ]
 
 

@@ -267,3 +267,107 @@ class TestInjectionProxy:
         assert run(3) == run(3)
         assert "fail" in run(3)
         assert run(3) != run(4)
+
+
+class TestJournalFaultSpecs:
+    def test_journal_kinds_are_one_shot(self):
+        for kind in (
+            FaultKind.TORN_TAIL,
+            FaultKind.STALE_SNAPSHOT,
+            FaultKind.DUPLICATE_SEGMENT,
+        ):
+            spec(kind, target="/tmp/j", at=0.0)  # duration 0 is fine
+            with pytest.raises(FaultError):
+                spec(kind, target="/tmp/j", at=0.0, duration=0.5)
+
+
+class TestApplyJournalFault:
+    def _journal_dir(self, tmp_path, *, snapshot=False, records=3):
+        from repro.serve.persist import Journal
+
+        journal = Journal.open(str(tmp_path), fsync=False)
+        for i in range(records):
+            journal.append({"kind": "register", "name": f"app{i}", "t": 0.0, "app": {}})
+        if snapshot:
+            journal.compact({"marker": "snap"})
+            journal.append({"kind": "deregister", "name": "app0"})
+        journal.close()
+        return str(tmp_path)
+
+    def test_wire_kind_rejected(self, tmp_path):
+        from repro.faults import apply_journal_fault
+
+        with pytest.raises(FaultError):
+            apply_journal_fault(spec(FaultKind.CRASH, target=str(tmp_path)))
+
+    def test_torn_tail_is_truncated_on_load(self, tmp_path):
+        from repro.faults import apply_journal_fault
+        from repro.serve.persist import load_journal
+
+        path = self._journal_dir(tmp_path)
+        clean = load_journal(path)
+        hit = apply_journal_fault(
+            spec(FaultKind.TORN_TAIL, target=path, at=0.0)
+        )
+        assert hit.endswith(".ndjson")
+        loaded = load_journal(path)
+        assert loaded.truncated_tail
+        assert loaded.events == clean.events  # nothing valid was lost
+        assert loaded.last_seq == clean.last_seq
+
+    def test_stale_snapshot_falls_back_a_generation(self, tmp_path):
+        from repro.faults import apply_journal_fault
+        from repro.serve.persist import load_journal
+
+        path = self._journal_dir(tmp_path, snapshot=True)
+        clean = load_journal(path)
+        hit = apply_journal_fault(
+            spec(FaultKind.STALE_SNAPSHOT, target=path, at=0.0)
+        )
+        assert "snapshot" in hit
+        loaded = load_journal(path)
+        assert loaded.snapshot_fallbacks >= 1
+        # Replaying the longer pre-snapshot chain lands on the same seq.
+        assert loaded.last_seq == clean.last_seq
+
+    def test_stale_snapshot_requires_a_snapshot(self, tmp_path):
+        from repro.faults import apply_journal_fault
+
+        path = self._journal_dir(tmp_path, snapshot=False)
+        with pytest.raises(FaultError):
+            apply_journal_fault(
+                spec(FaultKind.STALE_SNAPSHOT, target=path, at=0.0)
+            )
+
+    def test_duplicate_segment_is_deduplicated_by_seq(self, tmp_path):
+        from repro.faults import apply_journal_fault
+        from repro.serve.persist import load_journal
+
+        path = self._journal_dir(tmp_path)
+        clean = load_journal(path)
+        apply_journal_fault(
+            spec(FaultKind.DUPLICATE_SEGMENT, target=path, at=0.0)
+        )
+        loaded = load_journal(path)
+        assert loaded.duplicates_skipped > 0
+        assert loaded.events == clean.events
+        assert loaded.last_seq == clean.last_seq
+
+    def test_duplicate_segment_requires_a_journal(self, tmp_path):
+        from repro.faults import apply_journal_fault
+
+        with pytest.raises(FaultError):
+            apply_journal_fault(
+                spec(FaultKind.DUPLICATE_SEGMENT, target=str(tmp_path), at=0.0)
+            )
+
+    def test_explicit_path_overrides_the_spec_target(self, tmp_path):
+        from repro.faults import apply_journal_fault
+        from repro.serve.persist import load_journal
+
+        path = self._journal_dir(tmp_path)
+        apply_journal_fault(
+            spec(FaultKind.TORN_TAIL, target="/nonexistent", at=0.0),
+            path=path,
+        )
+        assert load_journal(path).truncated_tail

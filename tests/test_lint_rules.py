@@ -718,3 +718,93 @@ class TestDoc001:
         root = pathlib.Path(__file__).resolve().parent.parent
         engine = LintEngine(rules=["DOC001"], project_root=root)
         assert engine.check_paths([root / "src"]) == []
+
+
+class TestIo001:
+    def test_open_write_in_save_function_fires(self):
+        src = (
+            "import json\n"
+            "def save_results(path, doc):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(doc, handle)\n"
+        )
+        found = hits("IO001", src)
+        assert [v.rule_id for v in found] == ["IO001"]
+        assert found[0].line == 3
+        assert "atomic" in found[0].message
+
+    def test_write_text_on_durable_path_fires(self):
+        src = (
+            "def f(snapshot_path, data):\n"
+            "    snapshot_path.write_text(data)\n"
+        )
+        found = hits("IO001", src)
+        assert len(found) == 1
+
+    def test_write_bytes_on_journal_path_fires(self):
+        src = "def f(journal_file):\n    journal_file.write_bytes(b'x')\n"
+        assert len(hits("IO001", src)) == 1
+
+    def test_open_with_mode_keyword_fires(self):
+        src = (
+            "def persist(path, data):\n"
+            "    handle = open(path, mode='wb')\n"
+            "    handle.write(data)\n"
+        )
+        assert len(hits("IO001", src)) == 1
+
+    def test_read_mode_is_quiet(self):
+        src = (
+            "def load_snapshot(path):\n"
+            "    with open(path, 'r') as handle:\n"
+            "        return handle.read()\n"
+        )
+        assert hits("IO001", src) == []
+
+    def test_default_mode_is_quiet(self):
+        # No mode argument means read mode.
+        src = "def load_baseline(path):\n    return open(path).read()\n"
+        assert hits("IO001", src) == []
+
+    def test_non_durable_context_is_quiet(self):
+        # Neither the function name nor the path smells durable.
+        src = (
+            "def render(out, text):\n"
+            "    with open(out, 'w') as handle:\n"
+            "        handle.write(text)\n"
+        )
+        assert hits("IO001", src) == []
+
+    def test_temp_plus_rename_idiom_is_quiet(self):
+        src = (
+            "import os, tempfile\n"
+            "def save_state(path, data):\n"
+            "    fd, tmp = tempfile.mkstemp(dir='.')\n"
+            "    with os.fdopen(fd, 'w') as handle:\n"
+            "        handle.write(data)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert hits("IO001", src) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def save_log(path):\n"
+            "    open(path, 'a').write('x')  # repro: noqa[IO001]\n"
+        )
+        assert hits("IO001", src) == []
+
+    def test_severity_is_warning(self):
+        src = (
+            "def checkpoint(path):\n"
+            "    open(path, 'w').write('x')\n"
+        )
+        found = hits("IO001", src)
+        assert found[0].severity is Severity.WARNING
+
+    def test_real_tree_is_clean(self):
+        # Every durable write in the repo uses the atomic idiom.
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        engine = LintEngine(rules=["IO001"], project_root=root)
+        assert engine.check_paths([root / "src"]) == []

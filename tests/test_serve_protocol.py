@@ -51,6 +51,11 @@ ALL_MESSAGES = [
         in_reply_to="query-allocation",
     ),
     ErrorReply(error="duplicate session 'a'", in_reply_to="register"),
+    ErrorReply(
+        error="admission refused",
+        in_reply_to="register",
+        code="overloaded",
+    ),
     ShutdownNotice(reason="draining"),
 ]
 
@@ -116,3 +121,124 @@ class TestRejection:
         reply = decode_message(line)
         assert isinstance(reply, ErrorReply)
         assert reply.error == "boom"
+
+
+class TestErrorCodes:
+    """ERROR_CODES is exhaustive: every listed code is provoked by a
+    real service/transport path, and the codec refuses codes that are
+    not in the table."""
+
+    def _service(self, **config_kwargs):
+        from repro.machine import model_machine
+        from repro.serve import AllocationService, ServiceConfig
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        config_kwargs.setdefault("machine", model_machine())
+        service = AllocationService(
+            ServiceConfig(**config_kwargs),
+            clock=lambda: sim.now,
+            call_later=lambda delay, fn: sim.schedule(delay, fn),
+        )
+        return sim, service
+
+    def test_unknown_code_rejected_by_codec(self):
+        line = encode_message(ErrorReply(error="x", code="overloaded"))
+        payload = json.loads(line)
+        payload["code"] = "flux-capacitor"
+        with pytest.raises(ServiceError):
+            decode_message(json.dumps(payload))
+
+    def test_every_code_is_provoked(self, tmp_path):
+        import asyncio
+
+        from repro.machine import model_machine
+        from repro.serve import ERROR_CODES, ServiceConfig, ServiceServer
+
+        mem = AppSpec.memory_bound("mem", 0.5)
+        bad = AppSpec.numa_bad("bad", 1.0, home_node=0)
+        codes: dict[str, str] = {}
+
+        sim, service = self._service()
+        codes["unsupported"] = service.handle(
+            Ack(name="x", epoch=1, in_reply_to="register")
+        ).code
+        codes["unknown-session"] = service.handle(
+            ProgressReport(name="ghost", time=0.0, progress={})
+        ).code
+        service.handle(Register(name="mem", app=mem))
+        codes["duplicate-session"] = service.handle(
+            Register(name="mem", app=mem)
+        ).code
+        # Debounce has not fired yet: nothing computed to query.
+        codes["no-allocation"] = service.handle(
+            QueryAllocation(name="mem")
+        ).code
+        service.handle(ProgressReport(name="mem", time=0.5, progress={}))
+        codes["backwards-report"] = service.handle(
+            ProgressReport(name="mem", time=0.4, progress={})
+        ).code
+        service.handle(Deregister(name="mem"))
+        codes["closed-session"] = service.handle(
+            ProgressReport(name="mem", time=1.0, progress={})
+        ).code
+
+        _, capped = self._service(max_sessions=1)
+        capped.handle(Register(name="mem", app=mem))
+        codes["overloaded"] = capped.handle(
+            Register(name="bad", app=bad)
+        ).code
+        capped.drain("bye")
+        codes["draining"] = capped.handle(
+            Register(name="late", app=AppSpec.memory_bound("late", 0.5))
+        ).code
+
+        _, strict = self._service(command_deadline=0.01)
+        strict.handle(Register(name="mem", app=mem))
+        codes["deadline-exceeded"] = strict.handle(
+            ProgressReport(name="mem", time=0.0, progress={}),
+            received_at=-0.2,  # queued 0.2 s on a clock stuck at 0
+        ).code
+
+        # A service invariant without a more specific code of its own.
+        _, broken = self._service()
+        def violate(*args, **kwargs):
+            raise ServiceError("invariant violated")
+        broken.registry.admit = violate
+        codes["invalid-request"] = broken.handle(
+            Register(name="x", app=AppSpec.memory_bound("x", 0.5))
+        ).code
+
+        # Transport-level codes need the real socket.
+        socket_path = str(tmp_path / "codes.sock")
+
+        async def transport():
+            server = ServiceServer(
+                ServiceConfig(machine=model_machine()),
+                socket_path,
+                max_line_bytes=1024,
+            )
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(
+                socket_path
+            )
+            writer.write(b"\xff\xfe not utf-8\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            codes["malformed"] = decode_message(
+                line.decode("utf-8")
+            ).code
+            writer.write(b"x" * 5000 + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            codes["frame-too-large"] = decode_message(
+                line.decode("utf-8")
+            ).code
+            writer.close()
+            await server.stop()
+
+        asyncio.run(asyncio.wait_for(transport(), timeout=20.0))
+
+        assert set(codes) == set(ERROR_CODES)
+        for code, observed in codes.items():
+            assert observed == code, f"{code} provoked {observed!r}"

@@ -115,3 +115,40 @@ class TestChurnEvent:
     def test_unknown_action_rejected(self):
         with pytest.raises(ServiceError):
             ChurnEvent(0.1, "explode", "x")
+
+
+class TestCrashRestart:
+    def test_crash_restart_recovers_and_matches(self):
+        report = run_replay("serve-crash-restart", seed=0)
+        assert report.passed, report.notes
+        assert report.recoveries == 1
+        assert report.journal_records > 0
+        assert report.matches_offline
+
+    def test_crash_restart_passes_in_delta_mode(self):
+        report = run_replay("serve-crash-restart", seed=0, mode="delta")
+        assert report.passed, report.notes
+        assert report.recoveries == 1
+        assert report.matches_offline
+
+    def test_journal_directory_is_honoured(self, tmp_path):
+        import os
+
+        report = run_replay(
+            "serve-crash-restart", seed=0, journal=str(tmp_path)
+        )
+        assert report.passed
+        names = os.listdir(tmp_path)
+        assert any(n.startswith("journal-") for n in names)
+        assert any(n.startswith("snapshot-") for n in names)
+
+    def test_journaled_run_reports_the_journal(self, tmp_path):
+        plain = run_replay("churn-basic", seed=0)
+        journaled = run_replay(
+            "churn-basic", seed=0, journal=str(tmp_path)
+        )
+        assert plain.journal_records == 0
+        assert journaled.journal_records > 0
+        # Identical behaviour: journaling is a pure observer.
+        assert journaled.final_allocation == plain.final_allocation
+        assert journaled.final_score == plain.final_score

@@ -199,3 +199,97 @@ class TestDrain:
             await server.stop()
 
         run(scenario())
+
+
+class TestHardenedFrames:
+    def test_invalid_utf8_gets_malformed_reply(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(b"\xff\xfe\xfd definitely not utf-8\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            assert b'"malformed"' in line
+            # The connection survived the bad frame.
+            client = AsyncServiceClient("mem")
+            client.reader, client.writer = reader, writer
+            ack = await client.register(MEM)
+            assert isinstance(ack, Ack)
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_oversized_frame_replies_then_disconnects(self, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        server = ServiceServer(
+            ServiceConfig(machine=model_machine(), debounce=0.01),
+            path,
+            max_line_bytes=1024,
+        )
+
+        async def scenario():
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(b"x" * 5000 + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            assert b'"frame-too-large"' in line
+            # Past a torn frame there is no record boundary left: the
+            # server closes the stream after the error reply.
+            rest = await asyncio.wait_for(reader.read(), timeout=5.0)
+            assert rest == b""
+            writer.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_min_frame_cap_enforced(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ServiceServer(
+                ServiceConfig(machine=model_machine()),
+                str(tmp_path / "repro.sock"),
+                max_line_bytes=16,
+            )
+
+    def test_abrupt_disconnect_mid_session_is_tolerated(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            service = await server.start()
+            rude = AsyncServiceClient("mem")
+            await rude.connect(path)
+            await rude.register(MEM)
+            # Vanish without deregistering — no FIN handshake games,
+            # just drop the transport mid-stream.
+            rude.writer.transport.abort()
+            await asyncio.sleep(0.05)
+            # The service keeps running and serves a fresh client.
+            polite = AsyncServiceClient("bad")
+            await polite.connect(path)
+            ack = await polite.register(BAD)
+            assert isinstance(ack, Ack)
+            # The rude session is still registered (its liveness is
+            # the staleness sweep's business, not the transport's).
+            assert "mem" in service.registry
+            await polite.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_disconnect_with_queued_pushes_is_tolerated(self, tmp_path):
+        server, path = make_server(tmp_path)
+
+        async def scenario():
+            await server.start()
+            client = AsyncServiceClient("mem")
+            await client.connect(path)
+            await client.register(MEM)
+            await asyncio.sleep(0.05)  # a push is in flight or queued
+            client.writer.transport.abort()
+            await asyncio.sleep(0.05)
+            await server.stop()  # drain must not hang or raise
+
+        run(scenario())

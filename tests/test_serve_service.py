@@ -13,6 +13,7 @@ from repro.serve import (
     Ack,
     AllocationService,
     AllocationUpdate,
+    Deregister,
     ErrorReply,
     ProgressReport,
     QueryAllocation,
@@ -397,3 +398,101 @@ class TestSearchModelValidation:
         assert reply.epoch == 1
         dup = service.handle(Register(name="mem", app=MEM))
         assert isinstance(dup, ErrorReply)
+
+
+class TestOverloadProtection:
+    def test_flood_is_shed_only_while_reopt_pending(self):
+        # A long debounce keeps the re-optimization pending while the
+        # flood arrives.  Admission stamps last_report_time, so the
+        # first report is spaced past the shed floor.
+        sim, service = make_service(
+            debounce=0.2, shed_report_interval=0.005
+        )
+        a = ServiceClient(service, "mem")
+        a.register(MEM)  # debounce armed: a re-opt is pending
+        first = service.handle(
+            ProgressReport(name="mem", time=0.1, progress={}, cpu_load=0.9)
+        )
+        assert isinstance(first, Ack)
+        flood = service.handle(
+            ProgressReport(name="mem", time=0.101, progress={}, cpu_load=0.1)
+        )
+        # Shed: acked so the runtime keeps its cadence, but the
+        # registry still holds the first report's state.
+        assert isinstance(flood, Ack)
+        assert service.shed_commands == 1
+        assert service.registry.get("mem").last_report_time == 0.1
+        # Once the debounce fired nothing is pending: same spacing
+        # is accepted again.
+        sim.run_until(0.3)
+        late = service.handle(
+            ProgressReport(
+                name="mem", time=sim.now, progress={}, cpu_load=0.5
+            )
+        )
+        more = service.handle(
+            ProgressReport(
+                name="mem", time=sim.now + 0.001, progress={}, cpu_load=0.5
+            )
+        )
+        assert isinstance(late, Ack) and isinstance(more, Ack)
+        assert service.shed_commands == 1  # unchanged
+        assert service.registry.get("mem").last_report_time == sim.now + 0.001
+
+    def test_membership_is_never_shed(self):
+        sim, service = make_service(shed_report_interval=0.005)
+        a = ServiceClient(service, "mem")
+        a.register(MEM)  # pending re-opt: shedding is live
+        reply = service.handle(Register(name="bad", app=BAD))
+        assert isinstance(reply, Ack)
+        bye = service.handle(Deregister(name="bad"))
+        assert isinstance(bye, Ack)
+        assert service.shed_commands == 0
+
+    def test_stale_queued_command_hits_the_deadline(self):
+        sim, service = make_service(command_deadline=0.05)
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.5)
+        reply = service.handle(
+            ProgressReport(name="mem", time=sim.now, progress={}),
+            received_at=sim.now - 0.2,
+        )
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "deadline-exceeded"
+        assert service.shed_commands == 1
+
+    def test_fresh_queued_command_beats_the_deadline(self):
+        sim, service = make_service(command_deadline=0.05)
+        a = ServiceClient(service, "mem")
+        a.register(MEM)
+        sim.run_until(0.5)
+        reply = service.handle(
+            ProgressReport(name="mem", time=sim.now, progress={}),
+            received_at=sim.now - 0.01,
+        )
+        assert isinstance(reply, Ack)
+
+    def test_late_membership_commands_are_exempt_from_deadlines(self):
+        sim, service = make_service(command_deadline=0.05)
+        sim.run_until(0.5)
+        reply = service.handle(
+            Register(name="mem", app=MEM), received_at=sim.now - 0.2
+        )
+        assert isinstance(reply, Ack)  # a late register is still true
+
+    def test_admission_cap_answers_overloaded(self):
+        sim, service = make_service(max_sessions=1)
+        first = service.handle(Register(name="mem", app=MEM))
+        assert isinstance(first, Ack)
+        second = service.handle(Register(name="bad", app=BAD))
+        assert isinstance(second, ErrorReply)
+        assert second.code == "overloaded"
+
+    def test_shed_interval_must_respect_the_staleness_window(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(
+                machine=model_machine(),
+                report_interval=0.02,
+                shed_report_interval=0.015,  # >= staleness_window / 2
+            )
