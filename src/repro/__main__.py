@@ -25,7 +25,12 @@ Commands
     committed baseline), ``--smoke`` is the quick CI mode, and
     ``--min-speedup`` / ``--max-delta-ms`` gate the exit code on the
     exhaustive-search speedup (default 5x) and the steady-state
-    incremental re-optimization latency (default 1 ms).
+    incremental re-optimization latency (default 1 ms).  ``--workers
+    N`` adds the process-pool section (serial vs 2/4/... workers on
+    the ten-app space, byte-identity always hard-gated);
+    ``--min-parallel-speedup`` additionally gates the N-worker
+    exhaustive speedup — on hosts with >= 2 effective CPUs only, since
+    a single-core container cannot run two workers at once.
 ``check [paths]``
     Run the project's static-analysis suite (:mod:`repro.lint`): the
     per-file AST rules and the whole-program rules (call graph, async
@@ -153,6 +158,22 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 unless one steady-state delta re-optimization stays "
         "under this many milliseconds (default 1.0; 0 disables the gate)",
     )
+    benchp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also benchmark the process-parallel scoring pool at "
+        "2/4/... workers up to N (adds the 'parallel' report section)",
+    )
+    benchp.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=0.0,
+        help="exit 1 unless the N-worker exhaustive search beats serial "
+        "by this factor (needs --workers; enforced only on hosts with "
+        ">= 2 effective CPUs; default 0 disables the gate)",
+    )
     from repro.lint.cli import add_check_parser
 
     add_check_parser(sub)
@@ -221,6 +242,15 @@ def main(argv: list[str] | None = None) -> int:
         help="write-ahead-journal directory; replays journal into it, "
         "the daemon additionally recovers from it on startup",
     )
+    servep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="score big candidate batches through N worker processes "
+        "(repro.core.parallel; default 0 = serial, allocations are "
+        "byte-identical either way)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -265,6 +295,7 @@ def _run_serve(args) -> int:
             seed=args.seed,
             mode=args.mode,
             journal=args.journal,
+            workers=args.workers,
         )
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
@@ -280,7 +311,11 @@ def _run_serve(args) -> int:
 
     async def _daemon() -> None:
         server = ServiceServer(
-            ServiceConfig(machine=_PRESETS[args.machine](), mode=args.mode),
+            ServiceConfig(
+                machine=_PRESETS[args.machine](),
+                mode=args.mode,
+                workers=args.workers,
+            ),
             args.socket,
             journal_path=args.journal,
         )
@@ -304,7 +339,13 @@ def _run_bench(args) -> int:
 
     from repro.analysis.bench import format_report, run_bench, write_report
 
-    report = run_bench(smoke=args.smoke)
+    if args.min_parallel_speedup > 0 and args.workers is None:
+        print(
+            "--min-parallel-speedup needs --workers N",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_bench(smoke=args.smoke, workers=args.workers)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -329,6 +370,39 @@ def _run_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    parallel = report.get("parallel")
+    if parallel is not None:
+        # Byte-identity is a correctness property, not a perf number:
+        # it is hard-gated whenever the parallel section ran at all.
+        if not parallel["identical"]:
+            print(
+                "FAIL: a parallel search result differed from the "
+                "serial answer (byte-identity contract broken)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.min_parallel_speedup > 0:
+            cpus = parallel["effective_cpus"]
+            if cpus < 2:
+                print(
+                    f"note: skipping the {args.min_parallel_speedup:.1f}x "
+                    f"parallel-speedup gate — this host exposes "
+                    f"{cpus} effective CPU(s), so a wall-clock speedup "
+                    f"is physically unattainable (byte-identity was "
+                    f"still enforced)",
+                    file=sys.stderr,
+                )
+            else:
+                top = max(parallel["worker_counts"])
+                pspeed = parallel["speedups"][f"exhaustive_w{top}"]
+                if pspeed < args.min_parallel_speedup:
+                    print(
+                        f"FAIL: {top}-worker exhaustive speedup "
+                        f"{pspeed:.2f}x is below the "
+                        f"{args.min_parallel_speedup:.1f}x gate",
+                        file=sys.stderr,
+                    )
+                    return 1
     return 0
 
 

@@ -13,6 +13,8 @@ Public surface:
 * :mod:`~repro.core.candidates` and :mod:`~repro.core.delta` — the
   shared candidate-space layer and the incremental (O(delta))
   churn-time re-optimizer built on it;
+* :mod:`~repro.core.parallel` — the process-parallel scoring pool that
+  shards big candidate batches over shared-memory tensors;
 * :mod:`~repro.core.arbitration` — static multi-runtime core negotiation;
 * :func:`~repro.core.worked.worked_example` — Table I/II style row-by-row
   breakdowns.
@@ -45,6 +47,7 @@ from repro.core.fasteval import (
     ScoreCache,
     as_counts_batch,
     batched_app_gflops,
+    check_oversubscription,
     workload_fingerprint,
 )
 from repro.core.model import (
@@ -59,10 +62,20 @@ from repro.core.optimizer import (
     ExhaustiveSearch,
     GreedySearch,
     HillClimbSearch,
+    OptimizerConfig,
     SearchResult,
     min_app_gflops,
     total_gflops,
     weighted_gflops,
+)
+from repro.core.parallel import (
+    WorkerPool,
+    chunk_bounds,
+    default_workers,
+    get_pool,
+    parallel_app_gflops,
+    release_pool,
+    shutdown_pools,
 )
 from repro.core.policies import (
     AllocationPolicy,
@@ -94,7 +107,16 @@ __all__ = [
     "ScoreCache",
     "as_counts_batch",
     "batched_app_gflops",
+    "check_oversubscription",
     "workload_fingerprint",
+    "WorkerPool",
+    "chunk_bounds",
+    "default_workers",
+    "get_pool",
+    "parallel_app_gflops",
+    "release_pool",
+    "shutdown_pools",
+    "OptimizerConfig",
     "NumaPerformanceModel",
     "Prediction",
     "AppResult",

@@ -53,6 +53,7 @@ __all__ = [
     "FastEvaluator",
     "batched_app_gflops",
     "as_counts_batch",
+    "check_oversubscription",
     "workload_fingerprint",
 ]
 
@@ -195,6 +196,26 @@ def as_counts_batch(
     return counts
 
 
+def check_oversubscription(
+    tables: ModelTables, counts: np.ndarray
+) -> None:
+    """Reject any candidate placing more threads on a node than cores.
+
+    Shared by the serial kernel and the parallel pool's parent-side
+    pre-validation (:mod:`repro.core.parallel`), so an oversubscribed
+    batch raises the *same* error with the same message regardless of
+    the worker count — and never counts as a parallel fallback.
+    """
+    per_node = counts.sum(axis=1)  # (B, N)
+    over = per_node > tables.cores_per_node[None, :]
+    if np.any(over):
+        b, n = np.argwhere(over)[0]
+        raise OversubscriptionError(
+            f"candidate {b}: node {n} gets {per_node[b, n]} threads but "
+            f"has only {tables.cores_per_node[n]} cores"
+        )
+
+
 def batched_app_gflops(
     tables: ModelTables,
     counts: np.ndarray,
@@ -213,15 +234,7 @@ def batched_app_gflops(
     OversubscriptionError
         If any candidate puts more threads on a node than it has cores.
     """
-    per_node = counts.sum(axis=1)  # (B, N)
-    over = per_node > tables.cores_per_node[None, :]
-    if np.any(over):
-        b, n = np.argwhere(over)[0]
-        raise OversubscriptionError(
-            f"candidate {b}: node {n} gets {per_node[b, n]} threads but "
-            f"has only {tables.cores_per_node[n]} cores"
-        )
-
+    check_oversubscription(tables, counts)
     cf = counts.astype(float)
     n_nodes = tables.link.shape[0]
     # Routing tensor: route[b, a, s, m] = demand app a's threads on s

@@ -64,6 +64,7 @@ from repro.obs import OBS, CounterHandle, GaugeHandle
 
 __all__ = [
     "Objective",
+    "OptimizerConfig",
     "total_gflops",
     "weighted_gflops",
     "min_app_gflops",
@@ -138,6 +139,37 @@ min_app_gflops.batched = _min_app_gflops_batched
 
 
 @dataclass(frozen=True)
+class OptimizerConfig:
+    """Search-wide knobs shared by every optimizer.
+
+    A single value the serve layer (and tests) can thread through all
+    searches instead of repeating keyword arguments.  Every search
+    accepts ``config=`` plus per-call overrides; an explicit keyword
+    always wins over the config value.
+
+    Attributes
+    ----------
+    use_fast:
+        Drive the batched evaluation engine when the objective supports
+        it (default).  ``False`` forces the scalar reference path.
+    workers:
+        Process count for big score batches (:mod:`repro.core.
+        parallel`).  ``None`` leaves the model's setting alone (which
+        defaults to the ``REPRO_WORKERS`` environment variable); ``0``
+        forces serial scoring.  Search results are byte-identical for
+        every worker count.
+    parallel_min_batch:
+        Smallest batch routed through the worker pool; ``None`` keeps
+        the model's threshold
+        (:data:`repro.core.parallel.DEFAULT_MIN_BATCH`).
+    """
+
+    use_fast: bool = True
+    workers: int | None = None
+    parallel_min_batch: int | None = None
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """Outcome of an allocation search."""
 
@@ -173,11 +205,21 @@ class _SearchBase:
         model: NumaPerformanceModel | None = None,
         objective: Objective = total_gflops,
         *,
-        use_fast: bool = True,
+        use_fast: bool | None = None,
+        workers: int | None = None,
+        config: OptimizerConfig | None = None,
     ) -> None:
+        self.config = config or OptimizerConfig()
         self.model = model or NumaPerformanceModel()
         self.objective = objective
-        self.use_fast = use_fast
+        self.use_fast = (
+            self.config.use_fast if use_fast is None else use_fast
+        )
+        workers = self.config.workers if workers is None else workers
+        if workers is not None:
+            self.model.set_workers(
+                workers, min_batch=self.config.parallel_min_batch
+            )
         self._evaluations = 0
 
     def _score(
@@ -272,9 +314,14 @@ class ExhaustiveSearch(_SearchBase):
         objective: Objective = total_gflops,
         *,
         require_full: bool = True,
-        use_fast: bool = True,
+        use_fast: bool | None = None,
+        workers: int | None = None,
+        config: OptimizerConfig | None = None,
     ) -> None:
-        super().__init__(model, objective, use_fast=use_fast)
+        super().__init__(
+            model, objective, use_fast=use_fast, workers=workers,
+            config=config,
+        )
         self.require_full = require_full
 
     def search(
@@ -467,9 +514,14 @@ class HillClimbSearch(_SearchBase):
         objective: Objective = total_gflops,
         *,
         max_rounds: int = 1000,
-        use_fast: bool = True,
+        use_fast: bool | None = None,
+        workers: int | None = None,
+        config: OptimizerConfig | None = None,
     ) -> None:
-        super().__init__(model, objective, use_fast=use_fast)
+        super().__init__(
+            model, objective, use_fast=use_fast, workers=workers,
+            config=config,
+        )
         self.max_rounds = max_rounds
 
     def search(
@@ -591,9 +643,14 @@ class AnnealingSearch(_SearchBase):
         initial_temperature: float = 5.0,
         cooling: float = 0.995,
         seed: int = 0,
-        use_fast: bool = True,
+        use_fast: bool | None = None,
+        workers: int | None = None,
+        config: OptimizerConfig | None = None,
     ) -> None:
-        super().__init__(model, objective, use_fast=use_fast)
+        super().__init__(
+            model, objective, use_fast=use_fast, workers=workers,
+            config=config,
+        )
         if steps <= 0:
             raise ModelError(f"steps must be positive, got {steps}")
         if not 0 < cooling < 1:

@@ -30,6 +30,7 @@ __all__ = [
     "CalibrationError",
     "LintError",
     "ServiceError",
+    "ParallelError",
 ]
 
 
@@ -156,3 +157,13 @@ class ServiceError(AgentError):
     def __init__(self, message: str = "", *, code: str | None = None) -> None:
         super().__init__(message)
         self.code = code
+
+
+class ParallelError(ReproError):
+    """The process-parallel scoring pool (:mod:`repro.core.parallel`)
+    could not produce a result: shared memory was unavailable, a worker
+    process died mid-chunk, or the pool timed out.
+
+    Always recoverable — every caller falls back to the serial fast
+    path (and bumps the ``parallel/fallbacks`` counter) instead of
+    letting this escape a search."""

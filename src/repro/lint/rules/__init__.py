@@ -9,7 +9,7 @@ Rules are grouped by theme:
 * :mod:`repro.lint.rules.api` — API001
 * :mod:`repro.lint.rules.docs` — DOC001
 * :mod:`repro.lint.rules.retry` — RETRY001
-* :mod:`repro.lint.rules.perf` — PERF001, PERF002
+* :mod:`repro.lint.rules.perf` — PERF001, PERF002, PERF003
 * :mod:`repro.lint.rules.io` — IO001
 * :mod:`repro.lint.rules.project_rules` — ASYNC001, LOCK002, THRD001,
   DET001, OBS003 (whole-program; see :mod:`repro.lint.project`)
@@ -35,7 +35,11 @@ from repro.lint.rules.pyhygiene import (
     WallClockDuration,
 )
 from repro.lint.rules.io import NonAtomicDurableWrite
-from repro.lint.rules.perf import FullSearchInChurnPath, MetricLookupInLoop
+from repro.lint.rules.perf import (
+    FullSearchInChurnPath,
+    MetricLookupInLoop,
+    PoolConstructionInLoop,
+)
 from repro.lint.rules.project_rules import (
     BlockingCallInAsyncPath,
     MetricNamespaceDrift,
@@ -61,6 +65,7 @@ __all__ = [
     "UndocumentedPublicName",
     "MetricLookupInLoop",
     "FullSearchInChurnPath",
+    "PoolConstructionInLoop",
     "NonAtomicDurableWrite",
     "BlockingCallInAsyncPath",
     "SyncLockAcrossAwait",

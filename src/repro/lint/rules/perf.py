@@ -18,6 +18,16 @@ repairs the previous answer in O(delta).  The rule flags full searches
 inside event-handler-shaped functions that demonstrably track a
 previous allocation (so a warm start was available and ignored);
 deliberate full re-searches get ``# repro: noqa[PERF002]``.
+
+PERF003 protects the process-parallel scoring path
+(:mod:`repro.core.parallel`): spawning a worker pool costs process
+forks, shared-memory setup and (under ``spawn``) a full interpreter
+boot — tens to hundreds of milliseconds, against per-batch scoring
+work measured in single-digit milliseconds.  A ``Pool`` /
+``ProcessPoolExecutor`` / ``WorkerPool`` constructed inside a loop or
+per handler invocation pays that tax on every round; pools must be
+created once and reused (``repro.core.parallel.get_pool`` keeps a
+process-wide registry precisely for this).
 """
 
 from __future__ import annotations
@@ -34,12 +44,39 @@ from repro.lint.engine import (
     register,
 )
 
-__all__ = ["MetricLookupInLoop", "FullSearchInChurnPath"]
+__all__ = [
+    "MetricLookupInLoop",
+    "FullSearchInChurnPath",
+    "PoolConstructionInLoop",
+]
 
 #: Registry factory methods whose per-call lookup cost PERF001 targets.
 _METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
 
 _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _enclosing_loop(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+    """The innermost loop that re-evaluates ``node`` per iteration.
+
+    That is the loop's body/else (and a ``while`` condition), but *not*
+    a ``for``'s iterable, which evaluates once.  Stops at function
+    boundaries: code in a nested function that merely happens to be
+    *defined* inside a loop runs once per call, not once per iteration,
+    and loop temperature is the callee's concern.
+    """
+    child: ast.AST = node
+    for anc in ctx.parents(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        if isinstance(anc, _LOOPS):
+            per_iteration = list(anc.body) + list(anc.orelse)
+            if isinstance(anc, ast.While):
+                per_iteration.append(anc.test)
+            if any(child is part for part in per_iteration):
+                return anc
+        child = anc
+    return None
 
 
 def _is_metric_lookup(node: ast.Call) -> str | None:
@@ -82,7 +119,7 @@ class MetricLookupInLoop(Rule):
             kind = _is_metric_lookup(node)
             if kind is None:
                 continue
-            loop = self._enclosing_loop(ctx, node)
+            loop = _enclosing_loop(ctx, node)
             if loop is None:
                 continue
             yield self.violation(
@@ -94,34 +131,16 @@ class MetricLookupInLoop(Rule):
                 f"(repro.obs.{kind.capitalize()}Handle)",
             )
 
-    @staticmethod
-    def _enclosing_loop(ctx: FileContext, node: ast.AST) -> ast.AST | None:
-        """The innermost loop that re-evaluates ``node`` per iteration.
-
-        That is the loop's body/else (and a ``while`` condition), but
-        *not* a ``for``'s iterable, which evaluates once.  Stops at
-        function boundaries: a lookup in a nested function that merely
-        happens to be *defined* inside a loop runs once per call, not
-        once per iteration, and loop temperature is the callee's
-        concern.
-        """
-        child: ast.AST = node
-        for anc in ctx.parents(node):
-            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                return None
-            if isinstance(anc, _LOOPS):
-                per_iteration = list(anc.body) + list(anc.orelse)
-                if isinstance(anc, ast.While):
-                    per_iteration.append(anc.test)
-                if any(child is part for part in per_iteration):
-                    return anc
-            child = anc
-        return None
-
 
 #: Function names that look like per-event / re-optimization handlers.
 _HANDLER_NAME_RE = re.compile(
     r"^(?:on|handle)_|churn|reoptim|optimi[sz]e|decide"
+)
+
+#: Handler names plus the scoring-path verbs PERF003 also treats as hot.
+_HOT_FUNC_NAME_RE = re.compile(
+    r"^(?:on|handle)_|churn|reoptim|optimi[sz]e|decide|search|score"
+    r"|evaluate"
 )
 
 #: Variable/attribute names that look like previous-answer state.
@@ -258,3 +277,99 @@ class FullSearchInChurnPath(Rule):
                 f"event; warm-start with DeltaSearch, or mark a "
                 f"deliberate full re-search `# repro: noqa[PERF002]`",
             )
+
+
+#: Constructor names that spawn a worker pool (stdlib and this repo's).
+_POOL_NAME_RE = re.compile(
+    r"^(?:Pool|ThreadPool|ProcessPoolExecutor|ThreadPoolExecutor|"
+    r"WorkerPool)$"
+)
+
+
+def _pool_constructor_name(node: ast.Call) -> str | None:
+    """The pool class name when ``node`` constructs a worker pool.
+
+    Matches both the bare-name form (``WorkerPool(4)``,
+    ``ProcessPoolExecutor(...)``) and the attribute form
+    (``multiprocessing.Pool(...)``, ``ctx.Pool(...)``,
+    ``concurrent.futures.ProcessPoolExecutor(...)``).
+    """
+    func = node.func
+    if isinstance(func, ast.Name) and _POOL_NAME_RE.match(func.id):
+        return func.id
+    if isinstance(func, ast.Attribute) and _POOL_NAME_RE.match(func.attr):
+        return func.attr
+    return None
+
+
+@register
+class PoolConstructionInLoop(Rule):
+    """A worker pool constructed per iteration or per handler call.
+
+    Fires on ``Pool`` / ``ThreadPool`` / ``ProcessPoolExecutor`` /
+    ``ThreadPoolExecutor`` / ``WorkerPool`` construction either inside
+    a loop body, or inside a search/handler-shaped function (``on_*``,
+    ``handle_*``, or a name mentioning churn / re-optimization /
+    ``decide`` / ``search`` / ``score`` / ``evaluate``) — both shapes
+    re-pay process spawn plus shared-memory setup on every round.
+    Pools must be created once and reused:
+    :func:`repro.core.parallel.get_pool` keeps a process-wide registry
+    keyed by worker count, and the searchers route through it via
+    ``NumaPerformanceModel.set_workers``.
+
+    A warning, not an error: a pool built in a loop that runs once per
+    process lifetime (a benchmark sweeping worker counts, a test
+    parametrizing start methods) is legitimate — those sites document
+    themselves with ``# repro: noqa[PERF003]``.
+    """
+
+    rule_id = "PERF003"
+    severity = Severity.WARNING
+    summary = (
+        "worker pool (`Pool`/`ProcessPoolExecutor`/`WorkerPool`) "
+        "constructed inside a loop or search/handler function; create "
+        "it once and reuse it (repro.core.parallel.get_pool)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield this rule's violations found in ``ctx``."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = _pool_constructor_name(node)
+            if name is None:
+                continue
+            loop = _enclosing_loop(ctx, node)
+            if loop is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{name}(...)` spawns a fresh worker pool on every "
+                    f"iteration of the loop at line {loop.lineno}; "
+                    f"create it once outside the loop or reuse the "
+                    f"registry (repro.core.parallel.get_pool)",
+                )
+                continue
+            func = self._enclosing_hot_function(ctx, node)
+            if func is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{func.name}` constructs `{name}(...)` on every "
+                    f"call — search/handler functions run per event, so "
+                    f"the pool is re-spawned each time; hoist it to the "
+                    f"owner's lifetime or use "
+                    f"repro.core.parallel.get_pool",
+                )
+
+    @staticmethod
+    def _enclosing_hot_function(
+        ctx: FileContext, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost enclosing search/handler-shaped function."""
+        for anc in ctx.parents(node):
+            if isinstance(anc, _FUNCS):
+                if _HOT_FUNC_NAME_RE.search(anc.name.lower()):
+                    return anc
+                return None
+        return None

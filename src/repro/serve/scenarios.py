@@ -601,8 +601,31 @@ def _finish(
     )
 
 
+def _replay_config(
+    mode: str, workers: int, **knobs
+) -> ServiceConfig:
+    """The shared replay :class:`ServiceConfig`.
+
+    ``workers > 0`` additionally drops ``parallel_min_batch`` to 1 so
+    even the small replay candidate spaces exercise the worker pool —
+    replays are correctness runs, not benchmarks, and the offline
+    oracle they are checked against always scores serially, so a
+    passing parallel replay proves worker byte-identity under churn.
+    """
+    return ServiceConfig(
+        machine=model_machine(),
+        mode=mode,
+        workers=workers,
+        parallel_min_batch=1 if workers > 0 else None,
+        **knobs,
+    )
+
+
 def _churn_basic(
-    seed: int, mode: str = "full", journal: str | None = None
+    seed: int,
+    mode: str = "full",
+    journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """Joins/leaves spaced wider than the debounce window."""
     rng = random.Random(seed)
@@ -621,11 +644,8 @@ def _churn_basic(
         ChurnEvent(_jittered(0.30, rng), "leave", "delta"),
     ]
     driver = ReplayDriver(
-        ServiceConfig(
-            machine=model_machine(),
-            debounce=0.02,
-            report_interval=0.02,
-            mode=mode,
+        _replay_config(
+            mode, workers, debounce=0.02, report_interval=0.02
         ),
         journal_path=journal,
     )
@@ -647,7 +667,10 @@ def _churn_basic(
 
 
 def _churn_burst(
-    seed: int, mode: str = "full", journal: str | None = None
+    seed: int,
+    mode: str = "full",
+    journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """A join burst inside one debounce window coalesces."""
     rng = random.Random(seed)
@@ -674,11 +697,8 @@ def _churn_burst(
         ),
     ]
     driver = ReplayDriver(
-        ServiceConfig(
-            machine=model_machine(),
-            debounce=0.02,
-            report_interval=0.02,
-            mode=mode,
+        _replay_config(
+            mode, workers, debounce=0.02, report_interval=0.02
         ),
         journal_path=journal,
     )
@@ -700,7 +720,10 @@ def _churn_burst(
 
 
 def _churn_stale(
-    seed: int, mode: str = "full", journal: str | None = None
+    seed: int,
+    mode: str = "full",
+    journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """Silent sessions are quarantined; quorum loss degrades; recovery
     reactivates."""
@@ -716,11 +739,8 @@ def _churn_stale(
         ChurnEvent(_jittered(0.06, rng), "join", "gamma", apps[2]),
     ]
     driver = ReplayDriver(
-        ServiceConfig(
-            machine=model_machine(),
-            debounce=0.01,
-            report_interval=0.02,
-            mode=mode,
+        _replay_config(
+            mode, workers, debounce=0.01, report_interval=0.02
         ),
         journal_path=journal,
     )
@@ -765,7 +785,10 @@ def _churn_stale(
 
 
 def _churn_cache(
-    seed: int, mode: str = "full", journal: str | None = None
+    seed: int,
+    mode: str = "full",
+    journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """A returning workload composition is served from the score cache."""
     rng = random.Random(seed)
@@ -785,11 +808,8 @@ def _churn_cache(
         ChurnEvent(_jittered(0.30, rng), "join", "gamma", apps["gamma"]),
     ]
     driver = ReplayDriver(
-        ServiceConfig(
-            machine=model_machine(),
-            debounce=0.02,
-            report_interval=0.02,
-            mode=mode,
+        _replay_config(
+            mode, workers, debounce=0.02, report_interval=0.02
         ),
         journal_path=journal,
     )
@@ -811,7 +831,10 @@ def _churn_cache(
 
 
 def _churn_restart(
-    seed: int, mode: str = "full", journal: str | None = None
+    seed: int,
+    mode: str = "full",
+    journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """Crash the journaled service mid-churn; recover byte-identically.
 
@@ -822,6 +845,12 @@ def _churn_restart(
     detected and truncated (not crash recovery, not load garbage), and
     the churn that continues *after* recovery — a new join and a leave
     — must still end byte-identical to the offline oracle.
+
+    With ``workers > 0`` the replay additionally asserts the scoring
+    pool's lifecycle across the crash: :meth:`~repro.serve.service.
+    AllocationService.crash` releases the pool (gone from the process
+    registry), and the recovered service's first re-optimization
+    respawns a fresh, live one.
     """
     rng = random.Random(seed)
     apps = {
@@ -841,23 +870,31 @@ def _churn_restart(
         ChurnEvent(_jittered(0.38, rng), "leave", "gamma"),
     ]
     driver = ReplayDriver(
-        ServiceConfig(
-            machine=model_machine(),
-            debounce=0.02,
-            report_interval=0.02,
-            mode=mode,
+        _replay_config(
+            mode, workers, debounce=0.02, report_interval=0.02
         ),
         journal_path=journal or tempfile.mkdtemp(prefix="repro-journal-"),
     )
     checks: dict[str, bool] = {}
 
     def _crash_recover() -> None:
+        if workers > 0:
+            from repro.core.parallel import pool_stats
+
+            stats = pool_stats().get(workers)
+            checks["pool_spawned"] = (
+                stats is not None and stats["alive"]
+            )
         pre, post = driver.crash_and_recover(tear_tail=True)
         recovery = driver.service.last_recovery
         checks["identical"] = pre == post
         checks["torn_tail"] = (
             recovery is not None and recovery.truncated_tail
         )
+        if workers > 0:
+            from repro.core.parallel import pool_stats
+
+            checks["pool_released"] = workers not in pool_stats()
 
     driver.sim.schedule_at(0.22, _crash_recover)
     driver.run(events, duration=0.6)
@@ -877,6 +914,39 @@ def _churn_restart(
         notes += ("FAIL: recovered state differs from pre-crash state",)
     if not checks.get("torn_tail", False):
         notes += ("FAIL: torn tail was not detected/truncated",)
+    if workers > 0:
+        from repro.core.parallel import (
+            pool_stats,
+            shared_memory_available,
+        )
+
+        if shared_memory_available():
+            stats = pool_stats().get(workers)
+            checks["pool_restarted"] = (
+                stats is not None and stats["alive"]
+            )
+            extra = (
+                extra
+                and checks.get("pool_spawned", False)
+                and checks.get("pool_released", False)
+                and checks["pool_restarted"]
+            )
+            notes += (
+                "criteria (workers): pool live before the crash, "
+                "released at crash, a fresh pool live again after the "
+                "recovered service's re-optimizations",
+            )
+            if not checks.get("pool_spawned", False):
+                notes += ("FAIL: no live scoring pool before the crash",)
+            if not checks.get("pool_released", False):
+                notes += ("FAIL: crash did not release the scoring pool",)
+            if not checks["pool_restarted"]:
+                notes += ("FAIL: no live scoring pool after recovery",)
+        else:
+            notes += (
+                "note: shared memory unavailable here; pool lifecycle "
+                "checks skipped (serial fallback path exercised instead)",
+            )
     return _finish(
         "serve-crash-restart", seed, driver, events, extra, notes
     )
@@ -897,6 +967,7 @@ def run_replay(
     seed: int = 0,
     mode: str = "full",
     journal: str | None = None,
+    workers: int = 0,
 ) -> ChurnReport:
     """Run one churn replay preset by name.
 
@@ -906,11 +977,18 @@ def run_replay(
     proves the incremental path byte-identical under that scenario's
     churn.  ``journal`` (a directory path) runs the replay with the
     write-ahead journal enabled; ``serve-crash-restart`` journals into
-    a fresh temporary directory when none is given.
+    a fresh temporary directory when none is given.  ``workers`` routes
+    the service's scoring through the process pool
+    (:mod:`repro.core.parallel`) with a batch threshold of 1, so the
+    same oracle checks also prove worker byte-identity under churn
+    (``serve-crash-restart`` additionally asserts the pool restarts
+    cleanly after recovery).
     """
     if name not in SERVE_SCENARIOS:
         raise ServiceError(
             f"unknown serve scenario '{name}' "
             f"(choose from {sorted(SERVE_SCENARIOS)})"
         )
-    return SERVE_SCENARIOS[name](seed, mode=mode, journal=journal)
+    return SERVE_SCENARIOS[name](
+        seed, mode=mode, journal=journal, workers=workers
+    )

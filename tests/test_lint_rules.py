@@ -633,6 +633,89 @@ class TestPerf002:
         assert hits("PERF002", src) == []
 
 
+class TestPerf003:
+    def test_pool_in_loop_fires(self):
+        src = (
+            "def f(batches):\n"
+            "    for batch in batches:\n"
+            "        pool = WorkerPool(4)\n"
+            "        pool.score(batch)\n"
+        )
+        found = hits("PERF003", src)
+        assert [v.rule_id for v in found] == ["PERF003"]
+        assert found[0].line == 3
+        assert found[0].severity is Severity.WARNING
+
+    def test_attribute_form_fires(self):
+        src = (
+            "def f(rounds):\n"
+            "    while rounds:\n"
+            "        with multiprocessing.Pool(4) as p:\n"
+            "            p.map(g, rounds.pop())\n"
+        )
+        assert len(hits("PERF003", src)) == 1
+
+    def test_executor_in_handler_fires(self):
+        src = (
+            "def handle_report(self, report):\n"
+            "    ex = ProcessPoolExecutor(4)\n"
+            "    return ex.submit(score, report)\n"
+        )
+        assert len(hits("PERF003", src)) == 1
+
+    def test_search_shaped_function_fires(self):
+        src = (
+            "def search(self, machine, apps):\n"
+            "    pool = WorkerPool(self.workers)\n"
+            "    return pool.score(machine, apps)\n"
+        )
+        assert len(hits("PERF003", src)) == 1
+
+    def test_hoisted_pool_is_quiet(self):
+        src = (
+            "POOL = WorkerPool(4)\n"
+            "def score_all(batches):\n"
+            "    for batch in batches:\n"
+            "        POOL.score(batch)\n"
+        )
+        assert hits("PERF003", src) == []
+
+    def test_registry_lookup_is_quiet(self):
+        src = (
+            "def search(self, machine, apps):\n"
+            "    pool = get_pool(self.workers)\n"
+            "    return pool.score(machine, apps)\n"
+        )
+        assert hits("PERF003", src) == []
+
+    def test_cold_function_is_quiet(self):
+        src = (
+            "def make_pool(workers):\n"
+            "    return WorkerPool(workers)\n"
+        )
+        assert hits("PERF003", src) == []
+
+    def test_nested_function_in_loop_is_quiet(self):
+        # Defined per iteration, constructed per later call.
+        src = (
+            "def f(batches):\n"
+            "    for batch in batches:\n"
+            "        def make():\n"
+            "            return WorkerPool(2)\n"
+            "        callbacks.append(make)\n"
+        )
+        assert hits("PERF003", src) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def bench(counts):\n"
+            "    for w in counts:\n"
+            "        pool = WorkerPool(w)  # repro: noqa[PERF003]\n"
+            "        pool.close()\n"
+        )
+        assert hits("PERF003", src) == []
+
+
 class TestDoc001:
     def test_undocumented_exported_function_fires(self):
         src = (

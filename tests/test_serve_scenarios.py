@@ -152,3 +152,35 @@ class TestCrashRestart:
         # Identical behaviour: journaling is a pure observer.
         assert journaled.final_allocation == plain.final_allocation
         assert journaled.final_score == plain.final_score
+
+
+class TestParallelWorkers:
+    """Replays routed through the process pool (``workers=N``)."""
+
+    def test_crash_restart_pool_lifecycle(self):
+        from repro.core.parallel import pool_stats, shutdown_pools
+
+        try:
+            report = run_replay("serve-crash-restart", seed=0, workers=2)
+            assert report.passed, report.notes
+            assert report.matches_offline
+            # The scenario's own checks cover spawn -> released-at-crash
+            # -> respawned-after-recovery; the respawned pool is still
+            # live here because the replay never drains the service.
+            stats = pool_stats().get(2)
+            assert stats is not None and stats["alive"]
+        finally:
+            shutdown_pools()
+
+    def test_parallel_replay_identical_to_serial(self):
+        from repro.core.parallel import shutdown_pools
+
+        try:
+            serial = run_replay("churn-basic", seed=0)
+            pooled = run_replay("churn-basic", seed=0, workers=2)
+            assert pooled.passed, pooled.notes
+            assert pooled.final_allocation == serial.final_allocation
+            assert pooled.final_score == serial.final_score
+            assert pooled.offline_score == serial.offline_score
+        finally:
+            shutdown_pools()
