@@ -68,7 +68,22 @@ Commands
     (for replays *and* the daemon; a daemon restarted on a non-empty
     journal directory recovers its pre-crash state).  ``--socket
     PATH`` instead starts the asyncio NDJSON daemon on a unix socket
-    (``--machine`` picks the topology preset) until interrupted.
+    (``--machine`` picks the topology preset) until interrupted;
+    ``--tcp [HOST:]PORT`` / ``--http [HOST:]PORT`` instead start the
+    network-facing :class:`~repro.serve.gateway.GatewayServer` with
+    admission control (connection caps, token-bucket rate limiting,
+    bounded admission queue, idle deadlines — see ``docs/GATEWAY.md``).
+``load``
+    Drive the gateway with an open-loop load scenario
+    (:mod:`repro.serve.load`): seeded Poisson/diurnal arrivals spawn
+    simulated client sessions that register, report, and deregister
+    through a live in-process gateway.  Prints p50/p95/p99 command
+    latency, shed/retry counts, and re-optimization debounce
+    behaviour; ``--json`` emits the report as JSON, ``--out`` writes
+    it (``BENCH_serve.json`` is the committed baseline),
+    ``--transport http`` routes every command through the HTTP/1.1
+    adapter, and ``--max-p99-ms`` gates the exit code on the latency
+    SLO (the CI gate).
 """
 
 from __future__ import annotations
@@ -251,6 +266,65 @@ def main(argv: list[str] | None = None) -> int:
         "(repro.core.parallel; default 0 = serial, allocations are "
         "byte-identical either way)",
     )
+    servep.add_argument(
+        "--tcp",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve the NDJSON protocol over TCP through the gateway "
+        "(admission control, rate limiting; see docs/GATEWAY.md)",
+    )
+    servep.add_argument(
+        "--http",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="additionally expose the HTTP/1.1 adapter on this port "
+        "(needs --tcp)",
+    )
+    loadp = sub.add_parser(
+        "load", help="drive the gateway with an open-loop load scenario"
+    )
+    from repro.serve.load import LOAD_SCENARIOS
+
+    loadp.add_argument(
+        "--scenario",
+        choices=sorted(LOAD_SCENARIOS),
+        default="open-loop-small",
+        help="named workload from the scenario library "
+        "(default: open-loop-small, the CI preset)",
+    )
+    loadp.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="arrival-schedule seed (default 0); same seed, same "
+        "arrival offsets",
+    )
+    loadp.add_argument(
+        "--transport",
+        choices=("tcp", "http"),
+        default="tcp",
+        help="how sessions speak to the gateway: persistent NDJSON "
+        "streams (tcp, default) or one HTTP request per command (http)",
+    )
+    loadp.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of a table",
+    )
+    loadp.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path "
+        "(BENCH_serve.json is the committed baseline)",
+    )
+    loadp.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="override the scenario's latency SLO: exit 1 unless the "
+        "overall command-latency p99 stays at or under MS milliseconds",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -282,11 +356,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if report.passed else 1
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "load":
+        return _run_load(args)
     return 0
 
 
+def _parse_bind(value: str) -> tuple[str, int]:
+    """``[HOST:]PORT`` -> ``(host, port)`` (default host: loopback)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host = "127.0.0.1"
+        port = value
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"invalid bind address {value!r}") from None
+
+
 def _run_serve(args) -> int:
-    """Replay a churn scenario, or daemonize on a unix socket."""
+    """Replay a churn scenario, or daemonize on a socket/gateway."""
     if args.scenario is not None:
         from repro.serve import run_replay
 
@@ -299,23 +387,50 @@ def _run_serve(args) -> int:
         )
         print(report.to_json() if args.json else report.format())
         return 0 if report.passed else 1
-    if args.socket is None:
+    if args.socket is None and args.tcp is None:
         print(
-            "serve needs either --scenario <name> or --socket PATH",
+            "serve needs --scenario <name>, --socket PATH, or "
+            "--tcp [HOST:]PORT",
             file=sys.stderr,
         )
+        return 2
+    if args.http is not None and args.tcp is None:
+        print("--http needs --tcp", file=sys.stderr)
         return 2
     import asyncio
 
     from repro.serve import ServiceConfig, ServiceServer
+    from repro.serve.gateway import GatewayConfig, GatewayServer
+
+    service_config = ServiceConfig(
+        machine=_PRESETS[args.machine](),
+        mode=args.mode,
+        workers=args.workers,
+    )
 
     async def _daemon() -> None:
+        if args.tcp is not None:
+            host, port = _parse_bind(args.tcp)
+            http_port = (
+                _parse_bind(args.http)[1] if args.http is not None else None
+            )
+            gateway = GatewayServer(
+                service_config,
+                GatewayConfig(host=host, port=port, http_port=http_port),
+                journal_path=args.journal,
+            )
+            await gateway.start()
+            where = "%s:%d" % gateway.tcp_address
+            if http_port is not None:
+                where += ", HTTP on %s:%d" % gateway.http_address
+            print(f"gateway serving allocation protocol on {where}")
+            try:
+                await asyncio.Event().wait()  # until interrupted
+            finally:
+                await gateway.stop()
+            return
         server = ServiceServer(
-            ServiceConfig(
-                machine=_PRESETS[args.machine](),
-                mode=args.mode,
-                workers=args.workers,
-            ),
+            service_config,
             args.socket,
             journal_path=args.journal,
         )
@@ -330,6 +445,35 @@ def _run_serve(args) -> int:
         asyncio.run(_daemon())
     except KeyboardInterrupt:
         print("drained")
+    return 0
+
+
+def _run_load(args) -> int:
+    """Run one open-loop load scenario; exit 1 when the SLO fails."""
+    from repro.serve.load import run_load
+
+    report = run_load(
+        args.scenario,
+        seed=args.seed,
+        transport=args.transport,
+        max_p99_ms=args.max_p99_ms,
+    )
+    print(report.to_json() if args.json else report.format())
+    if args.out is not None:
+        from repro.analysis.bench import write_report
+
+        write_report(report.to_dict(), args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    if not report.passed:
+        print(
+            f"FAIL: p99 {report.latency_ms['p99']:.2f} ms against the "
+            f"{report.slo['p99_ms']:.0f} ms SLO (or too few sessions "
+            f"admitted: {report.sessions['admitted']} < "
+            f"{report.slo['min_admitted']})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

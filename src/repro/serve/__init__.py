@@ -24,6 +24,13 @@ Layering (each layer usable on its own):
   examples, the tutorial);
 * :mod:`repro.serve.server` — the asyncio unix-socket daemon with
   per-connection backpressure and graceful drain;
+* :mod:`repro.serve.gateway` — the network-facing TCP/HTTP front end
+  with admission control: connection caps, token-bucket rate limiting,
+  a bounded admission queue, idle deadlines, and graceful drain
+  (``python -m repro serve --tcp :9070``, ``docs/GATEWAY.md``);
+* :mod:`repro.serve.load` — the open-loop load harness behind
+  ``python -m repro load``: seeded Poisson/diurnal arrivals, latency
+  percentiles, shed/retry accounting (``BENCH_serve.json``);
 * :mod:`repro.serve.scenarios` — seeded churn replays on the DES clock
   (``python -m repro serve --scenario churn-basic``).
 
@@ -52,6 +59,17 @@ from repro.serve.protocol import (
     ShutdownNotice,
     decode_message,
     encode_message,
+)
+from repro.serve.gateway import (
+    GatewayConfig,
+    GatewayServer,
+    TokenBucket,
+)
+from repro.serve.load import (
+    LOAD_SCENARIOS,
+    LoadReport,
+    LoadScenario,
+    run_load,
 )
 from repro.serve.registry import Session, SessionState, WorkloadRegistry
 from repro.serve.scenarios import (
@@ -89,6 +107,13 @@ __all__ = [
     "ServiceClient",
     "ServiceServer",
     "AsyncServiceClient",
+    "TokenBucket",
+    "GatewayConfig",
+    "GatewayServer",
+    "LoadScenario",
+    "LoadReport",
+    "LOAD_SCENARIOS",
+    "run_load",
     "ChurnEvent",
     "ChurnReport",
     "ReplayEndpoint",

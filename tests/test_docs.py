@@ -18,6 +18,8 @@ DOCTESTED = [
     DOCS / "TUTORIAL.md",
     DOCS / "STATIC_ANALYSIS.md",
     DOCS / "SERVICE.md",
+    DOCS / "GATEWAY.md",
+    DOCS / "BENCHMARKS.md",
 ]
 
 

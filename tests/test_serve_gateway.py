@@ -1,0 +1,653 @@
+"""The network-facing gateway: admission control on real TCP sockets.
+
+Covers the edge cases a trusting transport never sees: slow-loris
+partial lines, oversized frames, connection-cap rejection, token-bucket
+burst-then-sustain behaviour, drain with commands still queued, and
+malformed HTTP requests against the adapter.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import AppSpec
+from repro.errors import ServiceError
+from repro.machine import model_machine
+from repro.serve import (
+    Ack,
+    AllocationUpdate,
+    ErrorReply,
+    GatewayConfig,
+    GatewayServer,
+    ServiceConfig,
+    ShutdownNotice,
+    TokenBucket,
+    decode_message,
+    encode_message,
+)
+from repro.serve.protocol import (
+    Deregister,
+    ProgressReport,
+    QueryAllocation,
+    Register,
+)
+
+MEM = AppSpec.memory_bound("mem", 0.5)
+CPU = AppSpec.compute_bound("cpu", 10.0)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=20.0))
+
+
+def make_gateway(**gw_kwargs):
+    gw_kwargs.setdefault("port", 0)
+    config = ServiceConfig(machine=model_machine(), debounce=0.01)
+    return GatewayServer(config, GatewayConfig(**gw_kwargs))
+
+
+async def connect(gateway):
+    host, port = gateway.tcp_address
+    return await asyncio.open_connection(host, port)
+
+
+async def request(reader, writer, message):
+    """One round-trip, skipping pushed (untagged) stream lines."""
+    writer.write((encode_message(message) + "\n").encode("utf-8"))
+    await writer.drain()
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        assert line, "connection closed while awaiting a reply"
+        reply = decode_message(line.decode("utf-8"))
+        if getattr(reply, "in_reply_to", None) is not None:
+            return reply
+
+
+async def http_exchange(gateway, raw: bytes) -> tuple[int, dict]:
+    """Send raw bytes to the HTTP listener; parse status + JSON body."""
+    host, port = gateway.http_address
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(raw)
+        await writer.drain()
+        status_line = await asyncio.wait_for(
+            reader.readline(), timeout=10.0
+        )
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = json.loads((await reader.readexactly(length)).decode())
+        return status, body
+    finally:
+        writer.close()
+
+
+def http_post_command(message) -> bytes:
+    body = encode_message(message).encode("utf-8")
+    head = (
+        f"POST /v1/command HTTP/1.1\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_on_injected_clock(self):
+        t = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3, clock=lambda: t[0])
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        t[0] = 0.1  # one token refilled
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        t[0] = 10.0  # refill caps at burst
+        assert bucket.available() == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=0.0, burst=1, clock=lambda: 0.0)
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=1.0, burst=0, clock=lambda: 0.0)
+
+
+class TestGatewayConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_connections": 0},
+            {"rate": 0.0},
+            {"burst": 0},
+            {"admission_limit": 0},
+            {"idle_deadline": 0.0},
+            {"max_line_bytes": 100},
+            {"outbox_limit": 0},
+        ],
+    )
+    def test_bad_knob_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            GatewayConfig(**kwargs)
+
+
+class TestTcpRoundTrip:
+    def test_register_query_deregister(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            ack = await request(
+                reader, writer, Register(name="mem", app=MEM)
+            )
+            assert isinstance(ack, Ack)
+            await asyncio.sleep(0.05)  # debounce fires on loop time
+            update = await request(
+                reader, writer, QueryAllocation(name="mem")
+            )
+            assert isinstance(update, AllocationUpdate)
+            assert update.per_node == (8, 8, 8, 8)
+            bye = await request(reader, writer, Deregister(name="mem"))
+            assert isinstance(bye, Ack)
+            writer.close()
+            await gateway.stop()
+            assert gateway.commands == 3
+
+        run(scenario())
+
+    def test_pushed_update_arrives_on_the_stream(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            await request(reader, writer, Register(name="mem", app=MEM))
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            pushed = decode_message(line.decode("utf-8"))
+            assert isinstance(pushed, AllocationUpdate)
+            assert pushed.in_reply_to is None
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_malformed_line_gets_error_not_disconnect(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = decode_message(
+                (await reader.readline()).decode("utf-8")
+            )
+            assert isinstance(reply, ErrorReply)
+            assert reply.code == "malformed"
+            # The connection survived: a real command still works.
+            ack = await request(
+                reader, writer, Register(name="mem", app=MEM)
+            )
+            assert isinstance(ack, Ack)
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestSlowLoris:
+    def test_partial_line_is_disconnected_at_the_idle_deadline(self):
+        gateway = make_gateway(idle_deadline=0.1)
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            # A partial frame, never completed with a newline.
+            writer.write(b'{"type": "regis')
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            assert line == b""  # server closed the socket, no reply
+            assert gateway.idle_timeouts == 1
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_active_connection_is_not_disconnected(self):
+        gateway = make_gateway(idle_deadline=0.2)
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            await request(reader, writer, Register(name="mem", app=MEM))
+            for _ in range(4):
+                await asyncio.sleep(0.1)  # stays under the deadline
+                loop = asyncio.get_running_loop()
+                reply = await request(
+                    reader,
+                    writer,
+                    ProgressReport(name="mem", time=loop.time()),
+                )
+                assert isinstance(reply, Ack)
+            assert gateway.idle_timeouts == 0
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestOversizedFrames:
+    def test_frame_too_large_replies_then_disconnects(self):
+        gateway = make_gateway(max_line_bytes=1024)
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            writer.write(b"x" * 4096 + b"\n")
+            await writer.drain()
+            reply = decode_message(
+                (await reader.readline()).decode("utf-8")
+            )
+            assert isinstance(reply, ErrorReply)
+            assert reply.code == "frame-too-large"
+            assert await reader.readline() == b""  # disconnected
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestConnectionLimit:
+    def test_over_cap_connect_is_rejected_overloaded(self):
+        gateway = make_gateway(max_connections=1)
+
+        async def scenario():
+            await gateway.start()
+            reader1, writer1 = await connect(gateway)
+            ack = await request(
+                reader1, writer1, Register(name="mem", app=MEM)
+            )
+            assert isinstance(ack, Ack)
+            reader2, writer2 = await connect(gateway)
+            line = await asyncio.wait_for(
+                reader2.readline(), timeout=5.0
+            )
+            reply = decode_message(line.decode("utf-8"))
+            assert isinstance(reply, ErrorReply)
+            assert reply.code == "overloaded"
+            assert await reader2.readline() == b""  # closed
+            assert gateway.rejected_connections == 1
+            # The first connection is unaffected.
+            bye = await request(
+                reader1, writer1, Deregister(name="mem")
+            )
+            assert isinstance(bye, Ack)
+            writer1.close()
+            writer2.close()
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_slot_frees_up_after_disconnect(self):
+        gateway = make_gateway(max_connections=1)
+
+        async def scenario():
+            await gateway.start()
+            reader1, writer1 = await connect(gateway)
+            await request(reader1, writer1, Register(name="mem", app=MEM))
+            writer1.close()
+            await writer1.wait_closed()
+            await asyncio.sleep(0.05)  # let the server reap the socket
+            reader2, writer2 = await connect(gateway)
+            ack = await request(
+                reader2, writer2, Register(name="cpu", app=CPU)
+            )
+            assert isinstance(ack, Ack)
+            writer2.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestRateLimit:
+    def test_burst_then_sustain(self):
+        gateway = make_gateway(rate=20.0, burst=5)
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            loop = asyncio.get_running_loop()
+            await request(reader, writer, Register(name="mem", app=MEM))
+            # Burst: 4 more instant commands fit the 5-token bucket.
+            for _ in range(4):
+                reply = await request(
+                    reader,
+                    writer,
+                    ProgressReport(name="mem", time=loop.time()),
+                )
+                assert isinstance(reply, Ack)
+            # The bucket is dry: the next instant command is shed.
+            shed = await request(
+                reader,
+                writer,
+                ProgressReport(name="mem", time=loop.time()),
+            )
+            assert isinstance(shed, ErrorReply)
+            assert shed.code == "overloaded"
+            assert gateway.rate_limited >= 1
+            # Sustained pace under the refill rate is admitted again.
+            accepted = 0
+            for _ in range(3):
+                await asyncio.sleep(0.06)  # > 1/rate seconds
+                reply = await request(
+                    reader,
+                    writer,
+                    ProgressReport(name="mem", time=loop.time()),
+                )
+                if isinstance(reply, Ack):
+                    accepted += 1
+            assert accepted == 3
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestAdmissionQueue:
+    def test_queue_overflow_sheds_overloaded(self):
+        gateway = make_gateway(admission_limit=1)
+
+        async def scenario():
+            await gateway.start()
+            # Pause the dispatcher so the queue cannot drain while the
+            # flood goes in.
+            gateway._dispatcher.cancel()
+            try:
+                await gateway._dispatcher
+            except asyncio.CancelledError:
+                pass
+            reader, writer = await connect(gateway)
+            for _ in range(3):
+                writer.write(
+                    (
+                        encode_message(Register(name="mem", app=MEM))
+                        + "\n"
+                    ).encode("utf-8")
+                )
+            await writer.drain()
+            await asyncio.sleep(0.1)  # let the read loop admit/shed
+            assert gateway.shed >= 2  # one queued, the rest shed
+            # Restart the dispatcher so stop() can drain the queue.
+            gateway._dispatcher = asyncio.ensure_future(
+                gateway._dispatch()
+            )
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_inflight_commands_are_answered_before_shutdown(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            await request(reader, writer, Register(name="mem", app=MEM))
+            loop = asyncio.get_running_loop()
+            # Burst of commands, then stop() immediately: every one
+            # already read off the wire must still get a real reply.
+            for _ in range(5):
+                writer.write(
+                    (
+                        encode_message(
+                            ProgressReport(name="mem", time=loop.time())
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+            await writer.drain()
+            await asyncio.sleep(0.05)  # commands enter the queue
+            await gateway.stop()
+            replies = []
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=5.0
+                )
+                if not line:
+                    break
+                replies.append(decode_message(line.decode("utf-8")))
+            acks = [
+                r
+                for r in replies
+                if isinstance(r, Ack)
+                and r.in_reply_to == "progress-report"
+            ]
+            assert len(acks) == 5
+            assert any(
+                isinstance(r, ShutdownNotice) for r in replies
+            )
+            writer.close()
+
+        run(scenario())
+
+    def test_new_connections_rejected_while_draining(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            await gateway.stop()
+            host, port = ("127.0.0.1", 0)
+            with pytest.raises((ConnectionError, OSError, ServiceError)):
+                # The listener is gone; tcp_address raises or the
+                # connect fails.
+                host, port = gateway.tcp_address
+                await asyncio.open_connection(host, port)
+
+        run(scenario())
+
+    def test_commands_during_drain_window_are_shed_draining(self):
+        gateway = make_gateway()
+
+        async def scenario():
+            await gateway.start()
+            reader, writer = await connect(gateway)
+            # Freeze the gateway inside its drain window (listeners
+            # closing, queue settling) and send a command through the
+            # still-open connection.
+            gateway._draining = True
+            writer.write(
+                (
+                    encode_message(Register(name="mem", app=MEM)) + "\n"
+                ).encode("utf-8")
+            )
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            reply = decode_message(line.decode("utf-8"))
+            assert isinstance(reply, ErrorReply)
+            assert reply.code == "draining"
+            assert gateway.shed == 1
+            writer.close()
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestHttpAdapter:
+    def make_http_gateway(self, **kwargs):
+        kwargs.setdefault("http_port", 0)
+        return make_gateway(**kwargs)
+
+    def test_register_report_query_over_http(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            status, body = await http_exchange(
+                gateway, http_post_command(Register(name="mem", app=MEM))
+            )
+            assert status == 200
+            assert body["type"] == "ack"
+            await asyncio.sleep(0.05)  # debounce
+            host, port = gateway.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.close()
+            status, body = await http_exchange(
+                gateway,
+                b"GET /v1/allocation/mem HTTP/1.1\r\n\r\n",
+            )
+            assert status == 200
+            assert body["type"] == "allocation"
+            assert body["per_node"] == [8, 8, 8, 8]
+            status, body = await http_exchange(
+                gateway, b"GET /healthz HTTP/1.1\r\n\r\n"
+            )
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["sessions"] == 1
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_malformed_request_line_is_400(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            status, body = await http_exchange(gateway, b"NONSENSE\r\n\r\n")
+            assert status == 400
+            assert "malformed" in body["error"]
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_unknown_route_is_404_and_bad_method_is_405(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            status, _ = await http_exchange(
+                gateway, b"GET /nowhere HTTP/1.1\r\n\r\n"
+            )
+            assert status == 404
+            status, _ = await http_exchange(
+                gateway, b"GET /v1/command HTTP/1.1\r\n\r\n"
+            )
+            assert status == 405
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_bad_content_length_is_400(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            status, body = await http_exchange(
+                gateway,
+                b"POST /v1/command HTTP/1.1\r\n"
+                b"content-length: banana\r\n\r\n",
+            )
+            assert status == 400
+            assert "content-length" in body["error"]
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_oversized_body_is_413(self):
+        gateway = self.make_http_gateway(max_line_bytes=1024)
+
+        async def scenario():
+            await gateway.start()
+            status, _ = await http_exchange(
+                gateway,
+                b"POST /v1/command HTTP/1.1\r\n"
+                b"content-length: 99999\r\n\r\n",
+            )
+            assert status == 413
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_malformed_json_body_is_400_malformed(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            body = b"not json"
+            status, reply = await http_exchange(
+                gateway,
+                b"POST /v1/command HTTP/1.1\r\n"
+                + f"content-length: {len(body)}\r\n\r\n".encode()
+                + body,
+            )
+            assert status == 400
+            assert reply["code"] == "malformed"
+            await gateway.stop()
+
+        run(scenario())
+
+    def test_unknown_session_maps_to_404(self):
+        gateway = self.make_http_gateway()
+
+        async def scenario():
+            await gateway.start()
+            status, reply = await http_exchange(
+                gateway,
+                b"GET /v1/allocation/ghost HTTP/1.1\r\n\r\n",
+            )
+            assert status == 404
+            assert reply["code"] == "unknown-session"
+            await gateway.stop()
+
+        run(scenario())
+
+
+class TestJournalRecovery:
+    def test_gateway_recovers_sessions_from_journal(self, tmp_path):
+        journal = str(tmp_path / "journal")
+
+        async def first_life():
+            gateway = GatewayServer(
+                ServiceConfig(machine=model_machine(), debounce=0.01),
+                GatewayConfig(port=0),
+                journal_path=journal,
+            )
+            service = await gateway.start()
+            reader, writer = await connect(gateway)
+            await request(reader, writer, Register(name="mem", app=MEM))
+            await asyncio.sleep(0.05)
+            # Crash, not drain: the journal keeps the session.
+            service.crash()
+            writer.close()
+            gateway._tcp_server.close()
+            await gateway._tcp_server.wait_closed()
+
+        async def second_life():
+            gateway = GatewayServer(
+                ServiceConfig(machine=model_machine(), debounce=0.01),
+                GatewayConfig(port=0),
+                journal_path=journal,
+            )
+            service = await gateway.start()
+            assert service.recoveries == 1
+            assert "mem" in service.registry
+            reader, writer = await connect(gateway)
+            await asyncio.sleep(0.05)  # reconcile re-optimization
+            update = await request(
+                reader, writer, QueryAllocation(name="mem")
+            )
+            assert isinstance(update, AllocationUpdate)
+            writer.close()
+            await gateway.stop()
+
+        run(first_life())
+        run(second_life())
